@@ -1,0 +1,108 @@
+//! The QNF (Query Normalized First) asymmetric transformation of H2-ALSH.
+//!
+//! For a subset with maximum norm `M`:
+//!
+//! * data:  `o ↦ [o ; sqrt(M² − ‖o‖²)]` — a `(d+1)`-dim point of norm `M`;
+//! * query: `q ↦ [λq ; 0]` with `λ = M/‖q‖` — also of norm `M`.
+//!
+//! Then `dis²(T(o), T(q)) = 2M² − 2λ⟨o, q⟩`, strictly decreasing in the
+//! inner product: the MIP order inside the subset equals the NN order in
+//! the transformed space, with **no transformation error** (the property
+//! that distinguishes H2-ALSH from L2-ALSH/Sign-ALSH).
+
+use promips_linalg::sq_norm2;
+
+/// QNF transformer for one norm subset.
+#[derive(Debug, Clone, Copy)]
+pub struct Qnf {
+    /// The subset's maximum 2-norm `M`.
+    pub max_norm: f64,
+}
+
+impl Qnf {
+    /// Transforms a data point (requires `‖o‖ ≤ M`, clamped for safety
+    /// against rounding).
+    pub fn transform_data(&self, o: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(o.len() + 1);
+        out.extend_from_slice(o);
+        let rest = (self.max_norm * self.max_norm - sq_norm2(o)).max(0.0);
+        out.push(rest.sqrt() as f32);
+        out
+    }
+
+    /// Transforms a query; returns the transformed vector and the scale
+    /// `λ = M/‖q‖` (needed to map inner products to transformed distances).
+    pub fn transform_query(&self, q: &[f32]) -> (Vec<f32>, f64) {
+        let qn = sq_norm2(q).sqrt();
+        assert!(qn > 0.0, "QNF requires a non-zero query");
+        let lambda = self.max_norm / qn;
+        let mut out = Vec::with_capacity(q.len() + 1);
+        out.extend(q.iter().map(|&v| (v as f64 * lambda) as f32));
+        out.push(0.0);
+        (out, lambda)
+    }
+
+    /// Transformed squared distance from an exact inner product:
+    /// `dis²(T(o), T(q)) = 2M² − 2λ⟨o,q⟩` (clamped at 0).
+    pub fn sq_dist_from_ip(&self, lambda: f64, ip: f64) -> f64 {
+        (2.0 * self.max_norm * self.max_norm - 2.0 * lambda * ip).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promips_linalg::{dot, sq_dist};
+    use promips_stats::Xoshiro256pp;
+
+    #[test]
+    fn transformed_data_has_norm_m() {
+        let qnf = Qnf { max_norm: 5.0 };
+        let t = qnf.transform_data(&[3.0, 0.0]);
+        assert_eq!(t.len(), 3);
+        assert!((sq_norm2(&t) - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distance_identity_holds() {
+        // dis²(T(o),T(q)) must equal 2M² − 2λ⟨o,q⟩ for any o with ‖o‖ ≤ M.
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let d = 12;
+        for _ in 0..50 {
+            let o: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
+            let q: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
+            let m = sq_norm2(&o).sqrt() * 1.3;
+            let qnf = Qnf { max_norm: m };
+            let to = qnf.transform_data(&o);
+            let (tq, lambda) = qnf.transform_query(&q);
+            let lhs = sq_dist(&to, &tq);
+            let rhs = qnf.sq_dist_from_ip(lambda, dot(&o, &q));
+            assert!(
+                (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+                "{lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn nn_order_equals_mip_order() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let d = 8;
+        let points: Vec<Vec<f32>> = (0..30)
+            .map(|_| (0..d).map(|_| rng.normal() as f32).collect())
+            .collect();
+        let q: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
+        let m = points.iter().map(|p| sq_norm2(p).sqrt()).fold(0.0, f64::max);
+        let qnf = Qnf { max_norm: m };
+        let (tq, _) = qnf.transform_query(&q);
+
+        let mut by_ip: Vec<usize> = (0..30).collect();
+        by_ip.sort_by(|&a, &b| dot(&points[b], &q).total_cmp(&dot(&points[a], &q)));
+        let mut by_dist: Vec<usize> = (0..30).collect();
+        by_dist.sort_by(|&a, &b| {
+            sq_dist(&qnf.transform_data(&points[a]), &tq)
+                .total_cmp(&sq_dist(&qnf.transform_data(&points[b]), &tq))
+        });
+        assert_eq!(by_ip, by_dist);
+    }
+}

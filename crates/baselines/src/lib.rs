@@ -1,0 +1,32 @@
+//! Benchmark methods from the ProMIPS evaluation (paper Section VIII-A1).
+//!
+//! * [`h2alsh`] — **H2-ALSH** (Huang et al., KDD 2018): homocentric
+//!   hypersphere norm partitioning + exact QNF asymmetric transformation,
+//!   solving the per-subset NN problem with a disk-resident **QALSH**
+//!   (query-aware LSH over per-hash B+-trees), as the paper's
+//!   implementation note prescribes.
+//! * [`rangelsh`] — **Norm-Ranging LSH** (Yan et al., NeurIPS 2018): 32
+//!   norm-range sub-datasets, Simple-LSH symmetric transformation, 16-bit
+//!   SimHash codes, and the single-table multi-probe strategy that ranks
+//!   buckets across sub-datasets.
+//! * [`pq`] — **PQ-based** (after Kalantidis & Avrithis, CVPR 2014): the
+//!   QNF MIPS→NN reduction followed by an IVF-PQ index (16 sub-spaces ×
+//!   256 centroids, 16 probed cells), ADC scanning and exact re-ranking.
+//! * [`exact`] — multi-threaded exact scan, used for ground truth.
+//!
+//! All disk-resident methods read points and index structures through
+//! [`promips_storage::Pager`]s, so their Page Access numbers are directly
+//! comparable with ProMIPS's (Fig. 7).
+
+pub mod exact;
+pub mod fetch;
+pub mod h2alsh;
+pub mod method;
+pub mod pq;
+pub mod rangelsh;
+
+pub use exact::ExactScan;
+pub use h2alsh::H2Alsh;
+pub use method::{MipsMethod, Neighbor, ProMipsMethod};
+pub use pq::PqMips;
+pub use rangelsh::RangeLsh;

@@ -1,0 +1,111 @@
+//! The common interface the experiment harness drives.
+
+use std::io;
+
+/// One returned neighbour: id and exact inner product.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Point id (dataset row).
+    pub id: u64,
+    /// Exact inner product with the query.
+    pub ip: f64,
+}
+
+/// Uniform interface over ProMIPS and the three baselines so the figure
+/// harness can sweep methods generically.
+pub trait MipsMethod {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// c-k-AMIP search: top-k by inner product (approximate).
+    fn search(&self, q: &[f32], k: usize) -> io::Result<Vec<Neighbor>>;
+
+    /// The method's index size in bytes (paper Fig. 4a).
+    fn index_size_bytes(&self) -> u64;
+
+    /// Logical page reads since the last reset (paper Fig. 7).
+    fn page_accesses(&self) -> u64;
+
+    /// Resets the page-access counters.
+    fn reset_stats(&self);
+
+    /// Drops buffered pages so the next query measures cold I/O.
+    fn clear_cache(&self);
+}
+
+/// Adapter giving [`promips_core::ProMips`] the harness interface.
+pub struct ProMipsMethod {
+    inner: promips_core::ProMips,
+}
+
+impl ProMipsMethod {
+    /// Wraps a built ProMIPS index.
+    pub fn new(inner: promips_core::ProMips) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped index.
+    pub fn inner(&self) -> &promips_core::ProMips {
+        &self.inner
+    }
+}
+
+impl MipsMethod for ProMipsMethod {
+    fn name(&self) -> &'static str {
+        "ProMIPS"
+    }
+
+    fn search(&self, q: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
+        Ok(self
+            .inner
+            .search(q, k)?
+            .items
+            .into_iter()
+            .map(|i| Neighbor { id: i.id, ip: i.ip })
+            .collect())
+    }
+
+    fn index_size_bytes(&self) -> u64 {
+        self.inner.index_size_bytes()
+    }
+
+    fn page_accesses(&self) -> u64 {
+        self.inner.access_stats().logical_reads
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+
+    fn clear_cache(&self) {
+        self.inner.clear_cache();
+    }
+}
+
+/// Merges per-thread top-k lists into a global top-k (by ip desc, id asc).
+pub(crate) fn merge_topk(mut lists: Vec<Vec<Neighbor>>, k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = lists.drain(..).flatten().collect();
+    all.sort_by(|a, b| b.ip.total_cmp(&a.ip).then(a.id.cmp(&b.id)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_topk_orders_and_truncates() {
+        let lists = vec![
+            vec![Neighbor { id: 1, ip: 5.0 }, Neighbor { id: 2, ip: 1.0 }],
+            vec![Neighbor { id: 3, ip: 9.0 }],
+            vec![Neighbor { id: 4, ip: 5.0 }],
+        ];
+        let top = merge_topk(lists, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].id, 3);
+        // Tie at ip=5.0 broken by id.
+        assert_eq!(top[1].id, 1);
+        assert_eq!(top[2].id, 4);
+    }
+}

@@ -1,0 +1,385 @@
+//! Norm-Ranging LSH (Yan et al., NeurIPS 2018).
+//!
+//! Simple-LSH suffers from "long tails" in real 2-norm distributions: one
+//! huge norm forces every other point's transformed coordinates toward the
+//! pole, destroying resolution. Norm-ranging fixes this by splitting the
+//! norm-sorted dataset into equal-cardinality sub-datasets, applying
+//! Simple-LSH **per sub-dataset** with the local maximum norm `Uj`:
+//!
+//! `o ↦ [o/Uj ; sqrt(1 − ‖o/Uj‖²)]` (unit norm), query `q ↦ [q/‖q‖ ; 0]`.
+//!
+//! Each sub-dataset hashes its transformed points to `L`-bit SimHash codes
+//! (sign random projections; paper setting: 32 partitions, 16-bit codes).
+//! The **single-table multi-probe** strategy ranks buckets *across*
+//! sub-datasets: a bucket at Hamming distance `h` from the query code in
+//! sub-dataset `j` is ranked by the estimated inner-product bound
+//! `Uj·cos(π·h/L)`, and buckets are probed in descending bound until the
+//! bound cannot beat the current k-th best inner product (or a candidate
+//! budget runs out).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::sync::Arc;
+
+use promips_idistance::layout::{enc, write_blob};
+use promips_linalg::{dot, norm2, sq_norm2, Matrix};
+use promips_stats::Xoshiro256pp;
+use promips_storage::{PageId, Pager};
+
+use crate::fetch::fetch_f32_records;
+use crate::method::{MipsMethod, Neighbor};
+
+/// Configuration (defaults are the paper's settings).
+#[derive(Debug, Clone, Copy)]
+pub struct RangeLshConfig {
+    /// Number of norm-range sub-datasets (paper: 32).
+    pub partitions: usize,
+    /// SimHash code length in bits (paper: 16; must be ≤ 16 here because
+    /// codes are stored as `u16`).
+    pub code_bits: usize,
+    /// Candidate budget as a fraction of `n` (scan stops after this many
+    /// exact verifications even if the bound ordering would continue).
+    pub budget_frac: f64,
+    /// RNG seed for the hash vectors.
+    pub seed: u64,
+}
+
+impl Default for RangeLshConfig {
+    fn default() -> Self {
+        Self { partitions: 32, code_bits: 16, budget_frac: 0.3, seed: 0x4A5C }
+    }
+}
+
+struct SubDataset {
+    /// Local max norm `Uj`.
+    u: f64,
+    /// Global ids in on-disk record order.
+    ids: Vec<u64>,
+    orig_start: PageId,
+    /// code → local record offsets.
+    buckets: HashMap<u16, Vec<u32>>,
+}
+
+/// A built Norm-Ranging LSH index.
+pub struct RangeLsh {
+    pager: Arc<Pager>,
+    d: usize,
+    config: RangeLshConfig,
+    /// `code_bits × (d+1)` shared Gaussian hash matrix.
+    hash: Matrix,
+    subsets: Vec<SubDataset>,
+    n: usize,
+}
+
+/// Max-heap entry for the cross-subset bucket ranking.
+struct ProbeEntry {
+    bound: f64,
+    subset: usize,
+    hamming: usize,
+}
+impl PartialEq for ProbeEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.subset == other.subset
+    }
+}
+impl Eq for ProbeEntry {}
+impl PartialOrd for ProbeEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ProbeEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| other.subset.cmp(&self.subset))
+    }
+}
+
+impl RangeLsh {
+    /// Builds the index over `data`.
+    pub fn build(
+        data: &Matrix,
+        config: RangeLshConfig,
+        pager: Arc<Pager>,
+    ) -> io::Result<Self> {
+        assert!(!data.is_empty());
+        assert!(config.code_bits >= 1 && config.code_bits <= 16);
+        let n = data.rows();
+        let d = data.cols();
+        let partitions = config.partitions.min(n).max(1);
+
+        // Shared SimHash vectors over the (d+1)-dim transformed space.
+        let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
+        let mut hdata = Vec::with_capacity(config.code_bits * (d + 1));
+        for _ in 0..config.code_bits * (d + 1) {
+            hdata.push(rng.normal() as f32);
+        }
+        let hash = Matrix::from_vec(config.code_bits, d + 1, hdata);
+
+        // Norm-sorted, split into equal-cardinality ranges. The paper
+        // organizes subsets on disk by descending maximum norm.
+        let mut order: Vec<(f64, u64)> =
+            (0..n).map(|i| (norm2(data.row(i)), i as u64)).collect();
+        order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let per = n.div_ceil(partitions);
+        let mut subsets = Vec::with_capacity(partitions);
+        for chunk in order.chunks(per) {
+            let u = chunk[0].0.max(1e-12);
+            let ids: Vec<u64> = chunk.iter().map(|&(_, id)| id).collect();
+            let mut blob = Vec::with_capacity(ids.len() * 4 * d);
+            let mut buckets: HashMap<u16, Vec<u32>> = HashMap::new();
+            for (local, &id) in ids.iter().enumerate() {
+                let row = data.row(id as usize);
+                enc::put_f32s(&mut blob, row);
+                let t = simple_lsh_transform(row, u);
+                let code = simhash_code(&hash, &t);
+                buckets.entry(code).or_default().push(local as u32);
+            }
+            let orig_start = write_blob(&pager, &blob)?;
+            subsets.push(SubDataset { u, ids, orig_start, buckets });
+        }
+
+        Ok(Self { pager, d, config, hash, subsets, n })
+    }
+
+    /// Number of sub-datasets.
+    pub fn num_subsets(&self) -> usize {
+        self.subsets.len()
+    }
+
+    fn search_impl(&self, q: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
+        assert_eq!(q.len(), self.d);
+        let l = self.config.code_bits;
+        // Simple-LSH query transform: [q/‖q‖ ; 0].
+        let qn = norm2(q).max(1e-12);
+        let mut tq: Vec<f32> = q.iter().map(|&v| (v as f64 / qn) as f32).collect();
+        tq.push(0.0);
+        let q_code = simhash_code(&self.hash, &tq);
+
+        let budget =
+            ((self.config.budget_frac * self.n as f64).ceil() as usize).max(4 * k);
+        let mut top: Vec<Neighbor> = Vec::new();
+        let mut verified = 0usize;
+
+        // Rank (subset, hamming) cells by the bound Uj·cos(π·h/L).
+        let mut heap: BinaryHeap<ProbeEntry> = BinaryHeap::new();
+        for (j, s) in self.subsets.iter().enumerate() {
+            heap.push(ProbeEntry { bound: s.u, subset: j, hamming: 0 });
+        }
+
+        // The cos-angle bound is an *estimate*, not a true upper bound, so
+        // trusting it immediately hurts accuracy on small buckets; require a
+        // minimum amount of verification before letting it terminate.
+        let min_verified = (10 * k).min(budget);
+        while let Some(entry) = heap.pop() {
+            // Ranking-bound termination: every unprobed bucket's estimated
+            // best inner product is below the current k-th best.
+            if top.len() == k && top[k - 1].ip >= entry.bound && verified >= min_verified
+            {
+                break;
+            }
+            if verified >= budget {
+                break;
+            }
+            let s = &self.subsets[entry.subset];
+            // All codes at Hamming distance h from q_code.
+            for code in codes_at_hamming(q_code, entry.hamming, l) {
+                let Some(locals) = s.buckets.get(&code) else { continue };
+                let origs =
+                    fetch_f32_records(&self.pager, s.orig_start, self.d, locals)?;
+                for (&local, orig) in locals.iter().zip(&origs) {
+                    let ip = dot(orig, q);
+                    push_topk(&mut top, Neighbor { id: s.ids[local as usize], ip }, k);
+                    verified += 1;
+                }
+                if verified >= budget {
+                    break;
+                }
+            }
+            if entry.hamming + 1 <= l {
+                let h = entry.hamming + 1;
+                let bound = s.u * (std::f64::consts::PI * h as f64 / l as f64).cos();
+                heap.push(ProbeEntry { bound, subset: entry.subset, hamming: h });
+            }
+        }
+        Ok(top)
+    }
+}
+
+/// `o ↦ [o/U ; sqrt(1 − ‖o/U‖²)]`.
+fn simple_lsh_transform(o: &[f32], u: f64) -> Vec<f32> {
+    let mut t: Vec<f32> = o.iter().map(|&v| (v as f64 / u) as f32).collect();
+    let rest = (1.0 - sq_norm2(&t)).max(0.0);
+    t.push(rest.sqrt() as f32);
+    t
+}
+
+/// SimHash sign code of a transformed vector.
+fn simhash_code(hash: &Matrix, t: &[f32]) -> u16 {
+    let mut code = 0u16;
+    for i in 0..hash.rows() {
+        if dot(hash.row(i), t) >= 0.0 {
+            code |= 1 << i;
+        }
+    }
+    code
+}
+
+/// Enumerates all `L`-bit codes at exactly Hamming distance `h` from `base`
+/// (Gosper's-hack combination walk over bit masks).
+fn codes_at_hamming(base: u16, h: usize, l: usize) -> Vec<u16> {
+    assert!(l <= 16);
+    if h == 0 {
+        return vec![base];
+    }
+    if h > l {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let limit: u32 = 1 << l;
+    let mut mask: u32 = (1 << h) - 1;
+    while mask < limit {
+        out.push(base ^ (mask as u16));
+        // Gosper's hack: next bit permutation with the same popcount.
+        let c = mask & mask.wrapping_neg();
+        let r = mask + c;
+        mask = (((r ^ mask) >> 2) / c) | r;
+    }
+    out
+}
+
+fn push_topk(top: &mut Vec<Neighbor>, nb: Neighbor, k: usize) {
+    let pos = top.partition_point(|x| x.ip > nb.ip || (x.ip == nb.ip && x.id < nb.id));
+    top.insert(pos, nb);
+    if top.len() > k {
+        top.pop();
+    }
+}
+
+impl MipsMethod for RangeLsh {
+    fn name(&self) -> &'static str {
+        "Range-LSH"
+    }
+
+    fn search(&self, q: &[f32], k: usize) -> io::Result<Vec<Neighbor>> {
+        self.search_impl(q, k)
+    }
+
+    fn index_size_bytes(&self) -> u64 {
+        // Codes (2 bytes/point in buckets) + ids + hash matrix; the file
+        // holds only raw data blobs, which don't count as index.
+        let bucket_bytes: u64 = self
+            .subsets
+            .iter()
+            .map(|s| {
+                s.buckets.values().map(|v| 4 * v.len() as u64 + 2).sum::<u64>()
+                    + s.ids.len() as u64 * 8
+            })
+            .sum();
+        bucket_bytes + (self.hash.rows() * self.hash.cols() * 4) as u64
+    }
+
+    fn page_accesses(&self) -> u64 {
+        self.pager.stats().snapshot().logical_reads
+    }
+
+    fn reset_stats(&self) {
+        self.pager.stats().reset();
+    }
+
+    fn clear_cache(&self) {
+        self.pager.clear_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        Matrix::from_rows(d, (0..n).map(|i| {
+            let scale = 0.5 + 2.0 * (i % 7) as f32 / 7.0;
+            (0..d).map(|_| scale * rng.normal() as f32).collect()
+        }))
+    }
+
+    #[test]
+    fn codes_at_hamming_enumeration() {
+        let codes = codes_at_hamming(0b0000, 2, 4);
+        assert_eq!(codes.len(), 6); // C(4,2)
+        for c in &codes {
+            assert_eq!(c.count_ones(), 2);
+        }
+        assert_eq!(codes_at_hamming(0b1111, 0, 4), vec![0b1111]);
+        assert_eq!(codes_at_hamming(0, 5, 4), Vec::<u16>::new());
+        // Distance is relative to base.
+        let from_base = codes_at_hamming(0b1010, 1, 4);
+        for c in &from_base {
+            assert_eq!((c ^ 0b1010u16).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn transform_is_unit_norm() {
+        let o = vec![0.3f32, -0.4, 0.5];
+        let t = simple_lsh_transform(&o, 2.0);
+        assert_eq!(t.len(), 4);
+        assert!((sq_norm2(&t) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subsets_partition_dataset() {
+        let data = random_data(500, 8, 1);
+        let pager = Arc::new(Pager::in_memory(4096, 1 << 14));
+        let rl = RangeLsh::build(&data, RangeLshConfig::default(), pager).unwrap();
+        let total: usize = rl.subsets.iter().map(|s| s.ids.len()).sum();
+        assert_eq!(total, 500);
+        assert_eq!(rl.num_subsets(), 32);
+        // Subset max norms are non-increasing.
+        assert!(rl.subsets.windows(2).all(|w| w[0].u >= w[1].u - 1e-9));
+    }
+
+    #[test]
+    fn search_quality_reasonable() {
+        let data = random_data(1000, 16, 3);
+        let pager = Arc::new(Pager::in_memory(4096, 1 << 14));
+        let rl = RangeLsh::build(&data, RangeLshConfig::default(), pager).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut ratio_sum = 0.0;
+        let trials = 15;
+        for _ in 0..trials {
+            let q: Vec<f32> = (0..16).map(|_| rng.normal() as f32).collect();
+            let res = rl.search(&q, 5).unwrap();
+            assert!(!res.is_empty());
+            let best = (0..1000)
+                .map(|i| dot(data.row(i), &q))
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best > 0.0 {
+                ratio_sum += (res[0].ip / best).min(1.0);
+            } else {
+                ratio_sum += 1.0;
+            }
+        }
+        let mean = ratio_sum / trials as f64;
+        assert!(mean > 0.75, "mean top-1 ratio {mean} too low");
+    }
+
+    #[test]
+    fn pages_counted_and_budget_bounds_work() {
+        let data = random_data(800, 12, 9);
+        let pager = Arc::new(Pager::in_memory(4096, 1 << 14));
+        let cfg = RangeLshConfig { budget_frac: 0.05, ..Default::default() };
+        let rl = RangeLsh::build(&data, cfg, pager).unwrap();
+        rl.clear_cache();
+        rl.reset_stats();
+        let q: Vec<f32> = vec![0.7; 12];
+        let res = rl.search(&q, 10).unwrap();
+        assert!(!res.is_empty());
+        assert!(rl.page_accesses() > 0);
+        assert!(rl.index_size_bytes() > 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Ablation — the optimized projected dimension (paper Section V-B).
+//!
+//! Sweeps m around the optimizer's choice `m* = argmin 2^m(m+1) + n/2^m`
+//! and reports accuracy, page accesses and CPU time. Expected: accuracy
+//! rises with m (better distance preservation) while Quick-Probe group
+//! costs rise too; m* balances the two — nearby m should not beat it on
+//! the combined cost at comparable accuracy.
+
+use promips_bench::metrics::overall_ratio;
+use promips_bench::report::{f, Table};
+use promips_bench::{write_csv, BenchConfig, Workload};
+use promips_core::{optimized_projection_dim, ProMips, ProMipsConfig};
+use promips_data::DatasetSpec;
+use std::time::Instant;
+
+const K: usize = 10;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let w = Workload::prepare(DatasetSpec::netflix(), cfg.queries, K);
+    let m_star = optimized_projection_dim(w.n() as u64);
+    let m_values: Vec<usize> = [-3i64, -1, 0, 1, 3]
+        .iter()
+        .filter_map(|&off| {
+            let m = m_star as i64 + off;
+            (m >= 1).then_some(m as usize)
+        })
+        .collect();
+
+    let mut table = Table::new(&["m", "ratio", "pages/query", "cpu ms/query"]);
+    for &m in &m_values {
+        let pconfig = ProMipsConfig {
+            m: Some(m),
+            idistance: promips_bench::methods::idistance_for(w.n()),
+            page_size: w.page_size(),
+            ..Default::default()
+        };
+        let index = ProMips::build_in_memory(&w.dataset.data, pconfig).unwrap();
+        let mut sum_ratio = 0.0;
+        let mut sum_pages = 0.0;
+        let mut sum_ms = 0.0;
+        for qi in 0..w.dataset.queries.rows() {
+            let q = w.dataset.queries.row(qi);
+            index.reset_stats();
+            let t = Instant::now();
+            let res = index.search(q, K).unwrap();
+            sum_ms += t.elapsed().as_secs_f64() * 1e3;
+            sum_pages += index.access_stats().logical_reads as f64;
+            let neighbors: Vec<promips_baselines::Neighbor> = res
+                .items
+                .iter()
+                .map(|i| promips_baselines::Neighbor { id: i.id, ip: i.ip })
+                .collect();
+            sum_ratio += overall_ratio(&neighbors, &w.ground_truth[qi], K);
+        }
+        let nq = w.dataset.queries.rows() as f64;
+        let marker = if m == m_star { format!("{m} (m*)") } else { m.to_string() };
+        table.row(vec![
+            marker,
+            f(sum_ratio / nq, 4),
+            f(sum_pages / nq, 1),
+            f(sum_ms / nq, 3),
+        ]);
+    }
+
+    table.print(&format!(
+        "Ablation: projected dimension sweep (Netflix, n={}, m*={m_star}, k={K})",
+        w.n()
+    ));
+    write_csv("ablation_m", &table);
+}

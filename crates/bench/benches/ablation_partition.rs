@@ -1,0 +1,80 @@
+//! Ablation — the new iDistance partition pattern (paper Section VI).
+//!
+//! Compares the two-stage pattern (rings + ksp sub-partitions) against
+//! degenerate configurations: no sub-partition split (ksp = 1) and no rings
+//! (Nkey = 1, closest to plain iDistance where a range query scans whole
+//! annuli). Expected: the full pattern reads the fewest pages because the
+//! sub-partition sphere filter discards most of each ring.
+
+use promips_bench::metrics::overall_ratio;
+use promips_bench::report::{f, Table};
+use promips_bench::{write_csv, BenchConfig, Workload};
+use promips_core::{ProMips, ProMipsConfig};
+use promips_data::DatasetSpec;
+use promips_idistance::IDistanceConfig;
+
+const K: usize = 10;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let w = Workload::prepare(DatasetSpec::netflix(), cfg.queries, K);
+
+    // The scaled full pattern and its ablations with matched total
+    // sub-partition counts where possible.
+    let variants: Vec<(&str, IDistanceConfig)> = vec![
+        (
+            "rings + sub-partitions (paper)",
+            promips_bench::methods::idistance_for(w.n()),
+        ),
+        ("rings only (ksp = 1)", {
+            let mut c = promips_bench::methods::idistance_for(w.n());
+            c.ksp = 1;
+            c
+        }),
+        ("plain iDistance (Nkey = 1, ksp = 1)", {
+            let mut c = promips_bench::methods::idistance_for(w.n());
+            c.nkey = 1;
+            c.ksp = 1;
+            c
+        }),
+    ];
+
+    let mut table =
+        Table::new(&["variant", "ratio", "pages/query", "index MB", "build ms"]);
+    for (name, id_cfg) in variants {
+        let pconfig = ProMipsConfig {
+            idistance: id_cfg,
+            page_size: w.page_size(),
+            ..Default::default()
+        };
+        let t = std::time::Instant::now();
+        let index = ProMips::build_in_memory(&w.dataset.data, pconfig).unwrap();
+        let build_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let mut sum_ratio = 0.0;
+        let mut sum_pages = 0.0;
+        for qi in 0..w.dataset.queries.rows() {
+            let q = w.dataset.queries.row(qi);
+            index.reset_stats();
+            let res = index.search(q, K).unwrap();
+            sum_pages += index.access_stats().logical_reads as f64;
+            let neighbors: Vec<promips_baselines::Neighbor> = res
+                .items
+                .iter()
+                .map(|i| promips_baselines::Neighbor { id: i.id, ip: i.ip })
+                .collect();
+            sum_ratio += overall_ratio(&neighbors, &w.ground_truth[qi], K);
+        }
+        let nq = w.dataset.queries.rows() as f64;
+        table.row(vec![
+            name.to_string(),
+            f(sum_ratio / nq, 4),
+            f(sum_pages / nq, 1),
+            promips_bench::report::mb(index.index_size_bytes()),
+            f(build_ms, 1),
+        ]);
+    }
+
+    table.print("Ablation: iDistance partition pattern (Netflix, k=10)");
+    write_csv("ablation_partition", &table);
+}

@@ -1,0 +1,65 @@
+//! Fig. 10 — impact of the approximation ratio c on ProMIPS
+//! (c ∈ {0.7, 0.8, 0.9} × every dataset; overall ratio and page access).
+//!
+//! Expected shape (paper): smaller c → smaller searching range → fewer
+//! candidates → lower overall ratio and fewer page accesses; the measured
+//! overall ratio stays above the configured c in every cell.
+
+use promips_bench::metrics::overall_ratio;
+use promips_bench::methods::build_promips;
+use promips_bench::report::{f, Table};
+use promips_bench::{write_csv, BenchConfig, Workload};
+use std::time::Instant;
+
+const K: usize = 10;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let cs = [0.7, 0.8, 0.9];
+    let mut ratio_table = Table::new(&["dataset", "c=0.7", "c=0.8", "c=0.9"]);
+    let mut pages_table = Table::new(&["dataset", "c=0.7", "c=0.8", "c=0.9"]);
+
+    for spec in cfg.specs() {
+        eprintln!("[fig10] {} …", spec.name);
+        let w = Workload::prepare(spec, cfg.queries, K);
+        let mut ratios = Vec::new();
+        let mut pages = Vec::new();
+        for &c in &cs {
+            let built = build_promips(&w, c, 0.5, 42);
+            let mut sum_ratio = 0.0;
+            let mut sum_pages = 0.0;
+            let t = Instant::now();
+            for qi in 0..w.dataset.queries.rows() {
+                built.method.reset_stats();
+                let res = built.method.search(w.dataset.queries.row(qi), K).unwrap();
+                sum_pages += built.method.page_accesses() as f64;
+                sum_ratio += overall_ratio(&res, &w.ground_truth[qi], K);
+            }
+            let nq = w.dataset.queries.rows() as f64;
+            eprintln!(
+                "[fig10] {} c={c}: ratio {:.4}, pages {:.1} ({:.1}s)",
+                w.spec.name,
+                sum_ratio / nq,
+                sum_pages / nq,
+                t.elapsed().as_secs_f64()
+            );
+            ratios.push(sum_ratio / nq);
+            pages.push(sum_pages / nq);
+        }
+        ratio_table.row(
+            std::iter::once(w.spec.name.to_string())
+                .chain(ratios.iter().map(|&r| f(r, 4)))
+                .collect(),
+        );
+        pages_table.row(
+            std::iter::once(w.spec.name.to_string())
+                .chain(pages.iter().map(|&p| f(p, 1)))
+                .collect(),
+        );
+    }
+
+    ratio_table.print(&format!("Fig 10(a): overall ratio vs c (k={K})"));
+    write_csv("fig10a_ratio_vs_c", &ratio_table);
+    pages_table.print(&format!("Fig 10(b): page access vs c (k={K})"));
+    write_csv("fig10b_pages_vs_c", &pages_table);
+}

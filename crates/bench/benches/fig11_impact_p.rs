@@ -1,0 +1,64 @@
+//! Fig. 11 — impact of the guarantee probability p on ProMIPS
+//! (p ∈ {0.3, 0.5, 0.7, 0.9} × every dataset; overall ratio and page
+//! access).
+//!
+//! Expected shape (paper): larger p → larger searching range → higher
+//! overall ratio but disproportionately more page accesses (accuracy gains
+//! flatten while I/O keeps climbing).
+
+use promips_bench::metrics::overall_ratio;
+use promips_bench::methods::build_promips;
+use promips_bench::report::{f, Table};
+use promips_bench::{write_csv, BenchConfig, Workload};
+
+const K: usize = 10;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let ps = [0.3, 0.5, 0.7, 0.9];
+    let headers = ["dataset", "p=0.3", "p=0.5", "p=0.7", "p=0.9"];
+    let mut ratio_table = Table::new(&headers);
+    let mut pages_table = Table::new(&headers);
+
+    for spec in cfg.specs() {
+        eprintln!("[fig11] {} …", spec.name);
+        let w = Workload::prepare(spec, cfg.queries, K);
+        let mut ratios = Vec::new();
+        let mut pages = Vec::new();
+        for &p in &ps {
+            let built = build_promips(&w, 0.9, p, 42);
+            let mut sum_ratio = 0.0;
+            let mut sum_pages = 0.0;
+            for qi in 0..w.dataset.queries.rows() {
+                built.method.reset_stats();
+                let res = built.method.search(w.dataset.queries.row(qi), K).unwrap();
+                sum_pages += built.method.page_accesses() as f64;
+                sum_ratio += overall_ratio(&res, &w.ground_truth[qi], K);
+            }
+            let nq = w.dataset.queries.rows() as f64;
+            eprintln!(
+                "[fig11] {} p={p}: ratio {:.4}, pages {:.1}",
+                w.spec.name,
+                sum_ratio / nq,
+                sum_pages / nq
+            );
+            ratios.push(sum_ratio / nq);
+            pages.push(sum_pages / nq);
+        }
+        ratio_table.row(
+            std::iter::once(w.spec.name.to_string())
+                .chain(ratios.iter().map(|&r| f(r, 4)))
+                .collect(),
+        );
+        pages_table.row(
+            std::iter::once(w.spec.name.to_string())
+                .chain(pages.iter().map(|&v| f(v, 1)))
+                .collect(),
+        );
+    }
+
+    ratio_table.print(&format!("Fig 11(a): overall ratio vs p (k={K})"));
+    write_csv("fig11a_ratio_vs_p", &ratio_table);
+    pages_table.print(&format!("Fig 11(b): page access vs p (k={K})"));
+    write_csv("fig11b_pages_vs_p", &pages_table);
+}

@@ -1,0 +1,37 @@
+//! Fig. 4 — index size (a) and pre-processing time (b) for the four
+//! methods on every dataset.
+//!
+//! Expected shape (paper): ProMIPS smallest index and fastest build on all
+//! datasets; PQ-Based worst on both; Range-LSH smaller index but slower
+//! build than H2-ALSH.
+
+use promips_bench::methods::build_all_methods;
+use promips_bench::report::{f, mb, Table};
+use promips_bench::{write_csv, BenchConfig, Workload};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut size_table = Table::new(&["dataset", "ProMIPS", "H2-ALSH", "Range-LSH", "PQ-Based"]);
+    let mut time_table = Table::new(&["dataset", "ProMIPS", "H2-ALSH", "Range-LSH", "PQ-Based"]);
+
+    for spec in cfg.specs() {
+        eprintln!("[fig4] {} (n={}, d={}) …", spec.name, spec.n, spec.d);
+        let w = Workload::prepare(spec, 1, 1); // no queries needed
+        let methods = build_all_methods(&w, 42);
+        size_table.row(
+            std::iter::once(w.spec.name.to_string())
+                .chain(methods.iter().map(|m| mb(m.index_bytes)))
+                .collect(),
+        );
+        time_table.row(
+            std::iter::once(w.spec.name.to_string())
+                .chain(methods.iter().map(|m| f(m.build_ms, 1)))
+                .collect(),
+        );
+    }
+
+    size_table.print("Fig 4(a): index size (MB)");
+    write_csv("fig4a_index_size", &size_table);
+    time_table.print("Fig 4(b): pre-processing time (ms)");
+    write_csv("fig4b_preprocessing_time", &time_table);
+}

@@ -1,0 +1,18 @@
+//! Fig. 5 — overall ratio vs k (one panel per dataset, one series per
+//! method).
+//!
+//! Expected shape (paper): all four methods above 0.95; ProMIPS the
+//! highest (by up to 3%) and always above the default c = 0.9.
+
+use promips_bench::sweep::{full_sweep_cached, metric_table};
+use promips_bench::{write_csv, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = full_sweep_cached(&cfg);
+    for dataset in &cfg.datasets {
+        let t = metric_table(&rows, dataset, &cfg.ks, |r| r.ratio, 4);
+        t.print(&format!("Fig 5: overall ratio vs k — {dataset}"));
+        write_csv(&format!("fig5_overall_ratio_{dataset}"), &t);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fig. 6 — recall vs k (one panel per dataset, one series per method).
+//!
+//! Expected shape (paper): same ordering as Fig. 5 — ProMIPS leads,
+//! recall decreasing mildly with k on the harder datasets.
+
+use promips_bench::sweep::{full_sweep_cached, metric_table};
+use promips_bench::{write_csv, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = full_sweep_cached(&cfg);
+    for dataset in &cfg.datasets {
+        let t = metric_table(&rows, dataset, &cfg.ks, |r| r.recall, 4);
+        t.print(&format!("Fig 6: recall vs k — {dataset}"));
+        write_csv(&format!("fig6_recall_{dataset}"), &t);
+    }
+}

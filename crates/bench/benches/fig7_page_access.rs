@@ -1,0 +1,19 @@
+//! Fig. 7 — page accesses vs k (one panel per dataset, one series per
+//! method).
+//!
+//! Expected shape (paper): ProMIPS lowest on every dataset at every k
+//! (single B+-tree + sub-partition-sequential reads); H2-ALSH worst among
+//! the LSH methods; PQ-Based in between (inverted-list scans).
+
+use promips_bench::sweep::{full_sweep_cached, metric_table};
+use promips_bench::{write_csv, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = full_sweep_cached(&cfg);
+    for dataset in &cfg.datasets {
+        let t = metric_table(&rows, dataset, &cfg.ks, |r| r.pages, 1);
+        t.print(&format!("Fig 7: page accesses vs k — {dataset}"));
+        write_csv(&format!("fig7_page_access_{dataset}"), &t);
+    }
+}

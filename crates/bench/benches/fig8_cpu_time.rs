@@ -1,0 +1,18 @@
+//! Fig. 8 — CPU time vs k (one panel per dataset, one series per method).
+//!
+//! Expected shape (paper): PQ-Based fastest CPU (pre-computed ADC tables);
+//! ProMIPS comparable and better than both LSH methods; H2-ALSH slowest
+//! (collision counting across many trees).
+
+use promips_bench::sweep::{full_sweep_cached, metric_table};
+use promips_bench::{write_csv, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = full_sweep_cached(&cfg);
+    for dataset in &cfg.datasets {
+        let t = metric_table(&rows, dataset, &cfg.ks, |r| r.cpu_ms, 3);
+        t.print(&format!("Fig 8: CPU time (ms) vs k — {dataset}"));
+        write_csv(&format!("fig8_cpu_time_{dataset}"), &t);
+    }
+}

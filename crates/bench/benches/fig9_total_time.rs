@@ -1,0 +1,25 @@
+//! Fig. 9 — total time vs k on Netflix and Yahoo (the two datasets the
+//! paper shows; run with PROMIPS_DATASETS to extend).
+//!
+//! Total time = CPU time + page_accesses × PROMIPS_PAGE_US. The paper reads
+//! from a hard disk, so total time is I/O-dominated and ProMIPS's page-access
+//! advantage translates into the best total time.
+
+use promips_bench::sweep::{full_sweep_cached, metric_table};
+use promips_bench::{write_csv, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let rows = full_sweep_cached(&cfg);
+    for dataset in ["Netflix", "Yahoo"] {
+        if !cfg.datasets.contains(&dataset) {
+            continue;
+        }
+        let t = metric_table(&rows, dataset, &cfg.ks, |r| r.total_ms, 2);
+        t.print(&format!(
+            "Fig 9: total time (ms, disk model {} µs/page) vs k — {dataset}",
+            cfg.page_us
+        ));
+        write_csv(&format!("fig9_total_time_{dataset}"), &t);
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the hot substrate operations: 2-stable
+//! projection, chi-square CDF/quantile, B+-tree point/range access, k-means
+//! assignment step, Quick-Probe group location, and the vector kernels.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use promips_btree::BTree;
+use promips_cluster::{kmeans, KMeansConfig};
+use promips_core::quickprobe::QuickProbe;
+use promips_linalg::{dot, norm1, sq_dist, Matrix};
+use promips_stats::{chi2_cdf, chi2_inv_cdf, Xoshiro256pp};
+use promips_storage::Pager;
+
+fn random_matrix(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    Matrix::from_rows(d, (0..n).map(|_| {
+        (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()
+    }))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let a: Vec<f32> = (0..300).map(|i| (i as f32 * 0.01).sin()).collect();
+    let b: Vec<f32> = (0..300).map(|i| (i as f32 * 0.02).cos()).collect();
+    c.bench_function("dot_300d", |bench| bench.iter(|| dot(std::hint::black_box(&a), &b)));
+    c.bench_function("sq_dist_300d", |bench| bench.iter(|| sq_dist(std::hint::black_box(&a), &b)));
+    c.bench_function("norm1_300d", |bench| bench.iter(|| norm1(std::hint::black_box(&a))));
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let proj = promips_core::projection::Projection::generate(8, 300, 1);
+    let point: Vec<f32> = (0..300).map(|i| (i as f32).sin()).collect();
+    c.bench_function("project_300d_to_8d", |bench| {
+        bench.iter(|| proj.project(std::hint::black_box(&point)))
+    });
+}
+
+fn bench_chi2(c: &mut Criterion) {
+    c.bench_function("chi2_cdf_m8", |bench| {
+        bench.iter(|| chi2_cdf(8, std::hint::black_box(5.3)))
+    });
+    c.bench_function("chi2_inv_cdf_m8", |bench| {
+        bench.iter(|| chi2_inv_cdf(8, std::hint::black_box(0.5)))
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let pager = Arc::new(Pager::in_memory(4096, 1 << 14));
+    let tree =
+        BTree::bulk_load(Arc::clone(&pager), (0..100_000u64).map(|k| (k, k))).unwrap();
+    c.bench_function("btree_get", |bench| {
+        let mut key = 0u64;
+        bench.iter(|| {
+            key = (key + 7919) % 100_000;
+            tree.get(std::hint::black_box(key)).unwrap()
+        })
+    });
+    c.bench_function("btree_range_100", |bench| {
+        bench.iter(|| {
+            tree.range(50_000, 50_099)
+                .unwrap()
+                .map(|r| r.unwrap().1)
+                .sum::<u64>()
+        })
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let data = random_matrix(2_000, 8, 3);
+    let subset: Vec<usize> = (0..2_000).collect();
+    c.bench_function("kmeans_2000x8_k10", |bench| {
+        bench.iter_batched(
+            || KMeansConfig { k: 10, max_iters: 5, seed: 7 },
+            |cfg| kmeans(&data, &subset, &cfg),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_quickprobe(c: &mut Criterion) {
+    let proj = random_matrix(20_000, 8, 5);
+    let qp = QuickProbe::build(
+        8,
+        (0..20_000).map(|i| (i as u64, proj.row(i))),
+        |id| norm1(proj.row(id as usize)) * 3.0,
+    );
+    let pq: Vec<f32> = (0..8).map(|i| (i as f32).sin()).collect();
+    c.bench_function("quickprobe_locate_20k_m8", |bench| {
+        bench.iter(|| qp.locate(std::hint::black_box(&pq), 10.0, 0.9, 0.5))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels, bench_projection, bench_chi2, bench_btree, bench_kmeans, bench_quickprobe
+}
+criterion_main!(benches);

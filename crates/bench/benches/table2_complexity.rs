@@ -1,0 +1,57 @@
+//! Table II — time-complexity check.
+//!
+//! The paper states ProMIPS's query cost is `O(d + n log n)` (dominated in
+//! practice by the `O(log n)` index traversal and the `βn·d` verification).
+//! This bench sweeps `n` at fixed `d` and prints query time and page
+//! accesses so the near-linear-with-small-slope growth is visible, plus the
+//! measured `m = argmin f(m)` used at each scale.
+
+use promips_bench::methods::build_promips;
+use promips_bench::report::{f, Table};
+use promips_bench::{write_csv, Workload};
+use promips_core::optimized_projection_dim;
+use promips_data::DatasetSpec;
+use std::time::Instant;
+
+const K: usize = 10;
+const QUERIES: usize = 30;
+
+fn main() {
+    let ns = [2_000usize, 4_000, 8_000, 16_000, 32_000];
+    let mut table = Table::new(&["n", "m*", "build ms", "query ms", "pages/query"]);
+
+    let mut prev_ms: Option<f64> = None;
+    for &n in &ns {
+        let spec = DatasetSpec::netflix().with_n(n);
+        let w = Workload::prepare(spec, QUERIES, K);
+        let built = build_promips(&w, 0.9, 0.5, 42);
+        let mut sum_ms = 0.0;
+        let mut sum_pages = 0.0;
+        for qi in 0..QUERIES {
+            built.method.reset_stats();
+            let t = Instant::now();
+            let _ = built.method.search(w.dataset.queries.row(qi), K).unwrap();
+            sum_ms += t.elapsed().as_secs_f64() * 1e3;
+            sum_pages += built.method.page_accesses() as f64;
+        }
+        let ms = sum_ms / QUERIES as f64;
+        table.row(vec![
+            n.to_string(),
+            optimized_projection_dim(n as u64).to_string(),
+            f(built.build_ms, 1),
+            f(ms, 3),
+            f(sum_pages / QUERIES as f64, 1),
+        ]);
+        if let Some(prev) = prev_ms {
+            eprintln!("[table2] n={n}: query-time growth ×{:.2} for n×2", ms / prev);
+        }
+        prev_ms = Some(ms);
+    }
+
+    table.print("Table II check: ProMIPS query cost vs n (d=300, k=10)");
+    write_csv("table2_complexity", &table);
+    println!(
+        "\npaper claim: O(d + n log n) — query time should grow clearly \
+         sub-quadratically (≈×2 or less per n doubling)."
+    );
+}

@@ -1,0 +1,42 @@
+//! Table III — dataset statistics.
+//!
+//! Prints the paper's dataset table next to the generated stand-ins at the
+//! configured scale, so every other experiment's context is explicit.
+
+use promips_bench::report::{mb, Table};
+use promips_bench::{write_csv, BenchConfig, Workload};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut table = Table::new(&[
+        "dataset",
+        "paper n",
+        "paper d",
+        "generated n",
+        "generated d",
+        "raw MB",
+        "queries",
+    ]);
+    for spec in cfg.specs() {
+        let paper = match spec.name {
+            "Netflix" => (17_770, 300),
+            "Yahoo" => (624_961, 300),
+            "P53" => (31_420, 5_408),
+            "Sift" => (11_164_866, 128),
+            _ => unreachable!(),
+        };
+        let w = Workload::prepare(spec, cfg.queries, 1);
+        table.row(vec![
+            w.spec.name.to_string(),
+            paper.0.to_string(),
+            paper.1.to_string(),
+            w.n().to_string(),
+            w.d().to_string(),
+            mb(w.n() as u64 * w.d() as u64 * 4),
+            cfg.queries.to_string(),
+        ]);
+    }
+    table.print("Table III: datasets (paper vs generated stand-ins)");
+    write_csv("table3_datasets", &table);
+    println!("\nscale factor: {} (PROMIPS_SCALE)", cfg.scale);
+}

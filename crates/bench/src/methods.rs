@@ -1,0 +1,141 @@
+//! Method builders: construct all four evaluated methods over a workload
+//! with the paper's parameter settings, recording pre-processing time and
+//! index size (Fig. 4).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use promips_baselines::h2alsh::{H2Alsh, H2AlshConfig};
+use promips_baselines::pq::{PqConfig, PqMips};
+use promips_baselines::rangelsh::{RangeLsh, RangeLshConfig};
+use promips_baselines::{MipsMethod, ProMipsMethod};
+use promips_core::{ProMips, ProMipsConfig};
+use promips_idistance::IDistanceConfig;
+use promips_storage::Pager;
+
+use crate::workload::Workload;
+
+/// A built method plus its pre-processing measurements.
+pub struct BuiltMethod {
+    /// The queryable method.
+    pub method: Box<dyn MipsMethod>,
+    /// Wall-clock build time in milliseconds (Fig. 4b).
+    pub build_ms: f64,
+    /// Index size in bytes (Fig. 4a).
+    pub index_bytes: u64,
+}
+
+/// iDistance parameters for a dataset of `n` points.
+///
+/// The paper's settings (kp=5, Nkey=40, ksp=10 ⇒ µ = 1/2000) presume
+/// paper-scale datasets; on scaled-down data we shrink Nkey/ksp so a
+/// sub-partition still holds ≈16 points (the selectivity the paper's
+/// two-stage filter is designed around). At `n ≥ 200k` this returns the
+/// paper's exact settings.
+pub fn idistance_for(n: usize) -> IDistanceConfig {
+    if n >= 200_000 {
+        return IDistanceConfig::default();
+    }
+    let kp = 5;
+    let per_part = (n / 16 / kp).max(1); // target rings × ksp per partition
+    let ksp = (per_part as f64).sqrt().round() as usize;
+    let ksp = ksp.clamp(1, 10);
+    let nkey = (per_part / ksp.max(1)).clamp(2, 40);
+    IDistanceConfig { kp, nkey, ksp, ..Default::default() }
+}
+
+/// Buffer-pool pages used by every method (16 MB at 4 KB pages).
+const POOL_PAGES: usize = 4096;
+
+/// Builds ProMIPS with the paper defaults (`c`, `p` overridable).
+pub fn build_promips(w: &Workload, c: f64, p: f64, seed: u64) -> BuiltMethod {
+    let cfg = ProMipsConfig {
+        c,
+        p,
+        m: None, // Section V-B optimizer (reproduces the paper's m values)
+        idistance: idistance_for(w.n()),
+        page_size: w.page_size(),
+        pool_pages: POOL_PAGES,
+        seed,
+    };
+    let t = Instant::now();
+    let index = ProMips::build_in_memory(&w.dataset.data, cfg).expect("ProMIPS build");
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let m = ProMipsMethod::new(index);
+    let index_bytes = m.index_size_bytes();
+    BuiltMethod { method: Box::new(m), build_ms, index_bytes }
+}
+
+/// Builds H2-ALSH (c0 = 2.0 per the paper).
+pub fn build_h2alsh(w: &Workload, seed: u64) -> BuiltMethod {
+    let pager = Arc::new(Pager::in_memory(w.page_size(), POOL_PAGES));
+    let cfg = H2AlshConfig { seed, ..Default::default() };
+    let t = Instant::now();
+    let index = H2Alsh::build(&w.dataset.data, cfg, pager).expect("H2-ALSH build");
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let index_bytes = index.index_size_bytes();
+    BuiltMethod { method: Box::new(index), build_ms, index_bytes }
+}
+
+/// Builds Norm-Ranging LSH (32 partitions, 16-bit codes per the paper).
+pub fn build_rangelsh(w: &Workload, seed: u64) -> BuiltMethod {
+    let pager = Arc::new(Pager::in_memory(w.page_size(), POOL_PAGES));
+    let cfg = RangeLshConfig { seed, ..Default::default() };
+    let t = Instant::now();
+    let index = RangeLsh::build(&w.dataset.data, cfg, pager).expect("Range-LSH build");
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let index_bytes = index.index_size_bytes();
+    BuiltMethod { method: Box::new(index), build_ms, index_bytes }
+}
+
+/// Builds the PQ-based method (16 sub-spaces × 256 centroids, 16 probed
+/// cells per the paper).
+pub fn build_pq(w: &Workload, seed: u64) -> BuiltMethod {
+    let pager = Arc::new(Pager::in_memory(w.page_size(), POOL_PAGES));
+    let cfg = PqConfig { seed, ..Default::default() };
+    let t = Instant::now();
+    let index = PqMips::build(&w.dataset.data, cfg, pager).expect("PQ build");
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let index_bytes = index.index_size_bytes();
+    BuiltMethod { method: Box::new(index), build_ms, index_bytes }
+}
+
+/// Builds all four evaluated methods in the paper's order.
+pub fn build_all_methods(w: &Workload, seed: u64) -> Vec<BuiltMethod> {
+    vec![
+        build_promips(w, 0.9, 0.5, seed),
+        build_h2alsh(w, seed ^ 0x1111),
+        build_rangelsh(w, seed ^ 0x2222),
+        build_pq(w, seed ^ 0x3333),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promips_data::DatasetSpec;
+
+    #[test]
+    fn idistance_scaling_rules() {
+        let paper = idistance_for(600_000);
+        assert_eq!((paper.kp, paper.nkey, paper.ksp), (5, 40, 10));
+        let small = idistance_for(2_000);
+        // ≈16 points per sub-partition.
+        let per_sub = 2_000 / (small.kp * small.nkey * small.ksp);
+        assert!((4..=64).contains(&per_sub), "per_sub = {per_sub}, cfg {small:?}");
+    }
+
+    #[test]
+    fn all_methods_build_and_answer() {
+        let w = Workload::prepare(DatasetSpec::netflix().with_n(600), 3, 10);
+        let methods = build_all_methods(&w, 7);
+        assert_eq!(methods.len(), 4);
+        let names: Vec<&str> = methods.iter().map(|m| m.method.name()).collect();
+        assert_eq!(names, vec!["ProMIPS", "H2-ALSH", "Range-LSH", "PQ-Based"]);
+        for built in &methods {
+            assert!(built.index_bytes > 0, "{}", built.method.name());
+            let res = built.method.search(w.dataset.queries.row(0), 5).unwrap();
+            assert!(!res.is_empty(), "{} returned nothing", built.method.name());
+        }
+    }
+}

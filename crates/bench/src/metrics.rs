@@ -1,0 +1,97 @@
+//! Accuracy metrics of the paper (Section VIII-A3).
+
+use promips_baselines::Neighbor;
+use promips_data::GroundTruth;
+
+/// Overall ratio: `(1/k)·Σᵢ ⟨oᵢ,q⟩ / ⟨o*ᵢ,q⟩` — rank-wise ratio of
+/// returned to exact inner products. 1.0 is perfect; the paper's methods
+/// all sit above 0.95.
+///
+/// Rank pairs with non-positive exact inner products are skipped (the ratio
+/// is undefined there); if all are skipped the ratio is 1.0 by convention.
+pub fn overall_ratio(result: &[Neighbor], exact: &GroundTruth, k: usize) -> f64 {
+    let k = k.min(exact.len());
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for i in 0..k.min(result.len()) {
+        let denom = exact[i].1;
+        if denom > 0.0 {
+            sum += (result[i].ip / denom).min(1.0);
+            counted += 1;
+        }
+    }
+    // Missing ranks (method returned fewer than k) count as zero.
+    let missing = k.saturating_sub(result.len());
+    if counted + missing == 0 {
+        return 1.0;
+    }
+    sum / (counted + missing) as f64
+}
+
+/// Recall: `t/k` where `t` is how many returned ids are among the exact
+/// top-k ids.
+pub fn recall(result: &[Neighbor], exact: &GroundTruth, k: usize) -> f64 {
+    let k = k.min(exact.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let exact_ids: std::collections::HashSet<u64> =
+        exact[..k].iter().map(|&(id, _)| id).collect();
+    let hits = result
+        .iter()
+        .take(k)
+        .filter(|n| exact_ids.contains(&n.id))
+        .count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(id: u64, ip: f64) -> Neighbor {
+        Neighbor { id, ip }
+    }
+
+    #[test]
+    fn perfect_result_scores_one() {
+        let exact: GroundTruth = vec![(1, 10.0), (2, 8.0), (3, 6.0)];
+        let result = vec![nb(1, 10.0), nb(2, 8.0), nb(3, 6.0)];
+        assert_eq!(overall_ratio(&result, &exact, 3), 1.0);
+        assert_eq!(recall(&result, &exact, 3), 1.0);
+    }
+
+    #[test]
+    fn approximate_result_scores_partial() {
+        let exact: GroundTruth = vec![(1, 10.0), (2, 8.0)];
+        let result = vec![nb(5, 9.0), nb(2, 8.0)];
+        let r = overall_ratio(&result, &exact, 2);
+        assert!((r - (0.9 + 1.0) / 2.0).abs() < 1e-12);
+        assert_eq!(recall(&result, &exact, 2), 0.5);
+    }
+
+    #[test]
+    fn short_result_penalized() {
+        let exact: GroundTruth = vec![(1, 10.0), (2, 8.0), (3, 6.0), (4, 5.0)];
+        let result = vec![nb(1, 10.0)];
+        let r = overall_ratio(&result, &exact, 4);
+        assert!((r - 0.25).abs() < 1e-12);
+        assert_eq!(recall(&result, &exact, 4), 0.25);
+    }
+
+    #[test]
+    fn non_positive_exact_ips_skipped() {
+        let exact: GroundTruth = vec![(1, 5.0), (2, -1.0)];
+        let result = vec![nb(1, 5.0), nb(2, -1.0)];
+        assert_eq!(overall_ratio(&result, &exact, 2), 1.0);
+    }
+
+    #[test]
+    fn ratio_capped_at_one() {
+        // A returned ip can exceed the same-rank exact ip (different
+        // point); the per-rank ratio is capped so the aggregate stays ≤ 1.
+        let exact: GroundTruth = vec![(1, 10.0), (2, 1.0)];
+        let result = vec![nb(1, 10.0), nb(9, 9.0)];
+        assert!(overall_ratio(&result, &exact, 2) <= 1.0);
+    }
+}

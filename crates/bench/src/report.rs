@@ -1,0 +1,120 @@
+//! Aligned-table printing and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// A simple column-aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Prints the table to stdout with a heading.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Writes CSV content into `target/experiments/<name>.csv`.
+pub fn write_csv(name: &str, table: &Table) {
+    let dir = crate::config::BenchConfig::out_dir();
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = f.write_all(table.to_csv().as_bytes());
+            println!("[csv] {}", path.display());
+        }
+        Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Formats a byte count as MB with two decimals (Fig. 4a's unit).
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["method", "k", "ratio"]);
+        t.row(vec!["ProMIPS".into(), "10".into(), "0.99".into()]);
+        t.row(vec!["H2-ALSH".into(), "100".into(), "0.97".into()]);
+        let s = t.render();
+        assert!(s.contains("ProMIPS"));
+        assert!(s.lines().count() == 4);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("method,k,ratio\n"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mb(1024 * 1024), "1.00");
+        assert_eq!(f(0.98765, 3), "0.988");
+    }
+}

@@ -1,0 +1,218 @@
+//! The k-sweep runner shared by Figs. 5–9: for each method and each k, run
+//! every query, and record accuracy (overall ratio, recall), page accesses,
+//! CPU time, and the disk-model Total Time.
+
+use std::time::Instant;
+
+use crate::metrics::{overall_ratio, recall};
+use crate::methods::BuiltMethod;
+use crate::workload::Workload;
+
+/// One (method, k) aggregate over all queries.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Dataset display name.
+    pub dataset: String,
+    /// Method display name.
+    pub method: String,
+    /// Result size k.
+    pub k: usize,
+    /// Mean overall ratio over queries (Fig. 5).
+    pub ratio: f64,
+    /// Mean recall over queries (Fig. 6).
+    pub recall: f64,
+    /// Mean page accesses per query (Fig. 7).
+    pub pages: f64,
+    /// Mean CPU milliseconds per query (Fig. 8).
+    pub cpu_ms: f64,
+    /// Mean total milliseconds per query = CPU + pages·page_us (Fig. 9).
+    pub total_ms: f64,
+}
+
+/// Runs the full sweep for one workload over the given methods.
+///
+/// Caches stay warm across queries of one method (the paper relies on the
+/// OS page cache the same way); page accesses are *logical* reads, counted
+/// identically for every method.
+pub fn run_sweep(
+    w: &Workload,
+    methods: &[BuiltMethod],
+    ks: &[usize],
+    page_us: f64,
+) -> Vec<SweepRow> {
+    let nq = w.dataset.queries.rows();
+    let mut rows = Vec::new();
+    for built in methods {
+        let method = &built.method;
+        for &k in ks {
+            assert!(k <= w.gt_k, "ground truth depth {} < k {k}", w.gt_k);
+            let mut sum_ratio = 0.0;
+            let mut sum_recall = 0.0;
+            let mut sum_pages = 0.0;
+            let mut sum_cpu = 0.0;
+            for qi in 0..nq {
+                let q = w.dataset.queries.row(qi);
+                method.reset_stats();
+                let t = Instant::now();
+                let result = method.search(q, k).expect("search failed");
+                let cpu = t.elapsed().as_secs_f64() * 1e3;
+                let pages = method.page_accesses() as f64;
+                let gt = &w.ground_truth[qi];
+                sum_ratio += overall_ratio(&result, gt, k);
+                sum_recall += recall(&result, gt, k);
+                sum_pages += pages;
+                sum_cpu += cpu;
+            }
+            let n = nq as f64;
+            let pages = sum_pages / n;
+            let cpu_ms = sum_cpu / n;
+            rows.push(SweepRow {
+                dataset: w.spec.name.to_string(),
+                method: method.name().to_string(),
+                k,
+                ratio: sum_ratio / n,
+                recall: sum_recall / n,
+                pages,
+                cpu_ms,
+                total_ms: cpu_ms + pages * page_us / 1e3,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders sweep rows for one metric as a "k × method" table per dataset
+/// (matching the figures' layout: x-axis k, one series per method).
+pub fn metric_table(
+    rows: &[SweepRow],
+    dataset: &str,
+    ks: &[usize],
+    metric: impl Fn(&SweepRow) -> f64,
+    prec: usize,
+) -> crate::report::Table {
+    let methods: Vec<String> = {
+        let mut seen = Vec::new();
+        for r in rows.iter().filter(|r| r.dataset == dataset) {
+            if !seen.contains(&r.method) {
+                seen.push(r.method.clone());
+            }
+        }
+        seen
+    };
+    let mut headers: Vec<&str> = vec!["k"];
+    let method_names: Vec<String> = methods.clone();
+    for m in &method_names {
+        headers.push(m);
+    }
+    let mut table = crate::report::Table::new(&headers);
+    for &k in ks {
+        let mut cells = vec![k.to_string()];
+        for m in &methods {
+            let v = rows
+                .iter()
+                .find(|r| r.dataset == dataset && &r.method == m && r.k == k)
+                .map(&metric);
+            cells.push(match v {
+                Some(v) => format!("{v:.prec$}"),
+                None => "-".into(),
+            });
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Runs (or loads from the on-disk cache) the full Fig. 5–9 sweep: every
+/// configured dataset × the four methods × the k values. The cache lives in
+/// `target/experiments/` keyed by the configuration, so running the five
+/// figure benches back-to-back computes the sweep once.
+pub fn full_sweep_cached(cfg: &crate::config::BenchConfig) -> Vec<SweepRow> {
+    let tag = format!(
+        "sweep_s{}_q{}_ks{}_d{}",
+        cfg.scale,
+        cfg.queries,
+        cfg.ks.iter().map(|k| k.to_string()).collect::<Vec<_>>().join("-"),
+        cfg.datasets.join("-"),
+    );
+    let path = crate::config::BenchConfig::out_dir().join(format!("{tag}.csv"));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Some(rows) = parse_rows(&text) {
+            eprintln!("[sweep] loaded cached sweep from {}", path.display());
+            return rows;
+        }
+    }
+
+    let gt_k = cfg.ks.iter().copied().max().unwrap_or(100);
+    let mut all = Vec::new();
+    for spec in cfg.specs() {
+        eprintln!(
+            "[sweep] {}: generating n={} d={} …",
+            spec.name, spec.n, spec.d
+        );
+        let w = Workload::prepare(spec, cfg.queries, gt_k);
+        eprintln!("[sweep] {}: building 4 methods …", w.spec.name);
+        let methods = crate::methods::build_all_methods(&w, 42);
+        eprintln!("[sweep] {}: running {} queries × {} ks …", w.spec.name, cfg.queries, cfg.ks.len());
+        all.extend(run_sweep(&w, &methods, &cfg.ks, cfg.page_us));
+    }
+
+    // Persist the cache.
+    let mut csv = String::from("dataset,method,k,ratio,recall,pages,cpu_ms,total_ms\n");
+    for r in &all {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            r.dataset, r.method, r.k, r.ratio, r.recall, r.pages, r.cpu_ms, r.total_ms
+        ));
+    }
+    let _ = std::fs::write(&path, csv);
+    all
+}
+
+fn parse_rows(text: &str) -> Option<Vec<SweepRow>> {
+    let mut rows = Vec::new();
+    for line in text.lines().skip(1) {
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 8 {
+            return None;
+        }
+        rows.push(SweepRow {
+            dataset: parts[0].to_string(),
+            method: parts[1].to_string(),
+            k: parts[2].parse().ok()?,
+            ratio: parts[3].parse().ok()?,
+            recall: parts[4].parse().ok()?,
+            pages: parts[5].parse().ok()?,
+            cpu_ms: parts[6].parse().ok()?,
+            total_ms: parts[7].parse().ok()?,
+        });
+    }
+    if rows.is_empty() {
+        None
+    } else {
+        Some(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::build_promips;
+    use promips_data::DatasetSpec;
+
+    #[test]
+    fn sweep_produces_rows_and_sane_metrics() {
+        let w = Workload::prepare(DatasetSpec::netflix().with_n(500), 4, 20);
+        let methods = vec![build_promips(&w, 0.9, 0.5, 3)];
+        let rows = run_sweep(&w, &methods, &[5, 10], 100.0);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.ratio > 0.5 && r.ratio <= 1.0, "ratio {}", r.ratio);
+            assert!(r.recall >= 0.0 && r.recall <= 1.0);
+            assert!(r.pages > 0.0);
+            assert!(r.total_ms >= r.cpu_ms);
+        }
+        let t = metric_table(&rows, "Netflix", &[5, 10], |r| r.ratio, 4);
+        let rendered = t.render();
+        assert!(rendered.contains("ProMIPS"));
+    }
+}

@@ -1,0 +1,70 @@
+//! A generated dataset + query workload + cached ground truth.
+
+use promips_data::{exact_topk_batch, Dataset, DatasetSpec, GroundTruth};
+use promips_storage::{PAGE_SIZE_DEFAULT, PAGE_SIZE_LARGE};
+
+/// A ready-to-run workload.
+pub struct Workload {
+    /// The generating spec (scaled).
+    pub spec: DatasetSpec,
+    /// Generated data and queries.
+    pub dataset: Dataset,
+    /// Exact top-`gt_k` answers per query.
+    pub ground_truth: Vec<GroundTruth>,
+    /// Depth of the cached ground truth.
+    pub gt_k: usize,
+}
+
+impl Workload {
+    /// Generates the dataset, trims the query set to `n_queries`, and
+    /// computes exact top-`gt_k` ground truth (threaded).
+    pub fn prepare(mut spec: DatasetSpec, n_queries: usize, gt_k: usize) -> Self {
+        spec.n_queries = n_queries;
+        let dataset = spec.generate();
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        let ground_truth =
+            exact_topk_batch(&dataset.data, &dataset.queries, gt_k, threads);
+        Self { spec, dataset, ground_truth, gt_k }
+    }
+
+    /// The paper's page size for this dataset: 64 KB for P53 (one 5408-dim
+    /// point does not fit a 4 KB page), 4 KB otherwise.
+    pub fn page_size(&self) -> usize {
+        if self.spec.name == "P53" {
+            PAGE_SIZE_LARGE
+        } else {
+            PAGE_SIZE_DEFAULT
+        }
+    }
+
+    /// n of the generated data.
+    pub fn n(&self) -> usize {
+        self.dataset.data.rows()
+    }
+
+    /// d of the generated data.
+    pub fn d(&self) -> usize {
+        self.dataset.data.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_small_workload() {
+        let w = Workload::prepare(DatasetSpec::netflix().with_n(400), 10, 20);
+        assert_eq!(w.n(), 400);
+        assert_eq!(w.dataset.queries.rows(), 10);
+        assert_eq!(w.ground_truth.len(), 10);
+        assert_eq!(w.ground_truth[0].len(), 20);
+        assert_eq!(w.page_size(), PAGE_SIZE_DEFAULT);
+    }
+
+    #[test]
+    fn p53_gets_large_pages() {
+        let w = Workload::prepare(DatasetSpec::p53().with_n(50).with_d(600), 2, 5);
+        assert_eq!(w.page_size(), PAGE_SIZE_LARGE);
+    }
+}

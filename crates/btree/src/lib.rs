@@ -1,0 +1,27 @@
+//! A page-based disk B+-tree.
+//!
+//! ProMIPS's pitch (Section I of the paper) is that one B+-tree — via the
+//! iDistance scheme — replaces the "heavyweight" structures of LSH-based
+//! competitors (hundreds of hash tables). This crate is that single tree.
+//! It is also reused by the H2-ALSH baseline, whose QALSH substrate keeps
+//! one B+-tree per hash function over real-valued hash keys (mapped to
+//! ordered `u64`s by [`codec::f64_to_key`]).
+//!
+//! Characteristics:
+//! * keys are `u64`, values are `u64`, duplicate keys allowed;
+//! * nodes are exactly one storage page; fan-out derives from the page size;
+//! * all reads go through a [`promips_storage::Pager`], so tree traversals
+//!   are charged to the paper's Page Access metric;
+//! * bottom-up bulk loading for index construction, plus standard top-down
+//!   inserts with node splits for incremental maintenance;
+//! * forward range scans over leaf chaining.
+
+pub mod bulk;
+pub mod codec;
+pub mod iter;
+pub mod node;
+pub mod tree;
+
+pub use codec::{f64_to_key, key_to_f64};
+pub use iter::RangeIter;
+pub use tree::BTree;

@@ -1,0 +1,202 @@
+//! On-page node layout and (de)serialization.
+//!
+//! Every node occupies exactly one page:
+//!
+//! ```text
+//! offset 0   u8   tag            1 = leaf, 2 = internal
+//! offset 2   u16  count          number of entries
+//! offset 8   u64  link           leaf: next-leaf page id (NIL if last)
+//!                                internal: leftmost child page id
+//! offset 16  [entry; count]      16-byte entries, key-sorted
+//!             entry = (key: u64, val: u64)
+//!                                leaf: val is the stored value
+//!                                internal: val is the child page id holding
+//!                                keys >= key (relative to the previous
+//!                                separator)
+//! ```
+//!
+//! All integers are little-endian. The decoded form is an owned struct; the
+//! tree performs copy-on-write: read page → decode → mutate → encode → write.
+
+use promips_storage::{PageBuf, PageId};
+
+/// Sentinel for "no page" (last leaf's next pointer).
+pub const NIL_PAGE: PageId = u64::MAX;
+
+const HEADER_LEN: usize = 16;
+const ENTRY_LEN: usize = 16;
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+
+/// Maximum number of entries a node can hold for the given page size.
+#[inline]
+pub fn node_capacity(page_size: usize) -> usize {
+    let cap = (page_size - HEADER_LEN) / ENTRY_LEN;
+    assert!(cap >= 3, "page size {page_size} too small for a B+-tree node");
+    cap
+}
+
+/// A decoded node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf: sorted `(key, value)` pairs plus the next-leaf link.
+    Leaf {
+        /// Sorted entries; duplicates permitted.
+        entries: Vec<(u64, u64)>,
+        /// Page id of the next leaf in key order, or [`NIL_PAGE`].
+        next: PageId,
+    },
+    /// Internal: leftmost child plus sorted `(separator, child)` pairs.
+    Internal {
+        /// Child for keys below the first separator.
+        leftmost: PageId,
+        /// Sorted separators with their right-hand children.
+        entries: Vec<(u64, PageId)>,
+    },
+}
+
+impl Node {
+    /// Creates an empty leaf.
+    pub fn empty_leaf() -> Self {
+        Node::Leaf { entries: Vec::new(), next: NIL_PAGE }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Internal { entries, .. } => entries.len(),
+        }
+    }
+
+    /// True when the node holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Serializes into a fresh page buffer of `page_size` bytes.
+    ///
+    /// # Panics
+    /// Panics if the node exceeds [`node_capacity`].
+    pub fn encode(&self, page_size: usize) -> PageBuf {
+        let cap = node_capacity(page_size);
+        assert!(self.len() <= cap, "node overflow: {} > {cap}", self.len());
+        let mut page = PageBuf::zeroed(page_size);
+        let buf = page.as_mut_slice();
+        match self {
+            Node::Leaf { entries, next } => {
+                buf[0] = TAG_LEAF;
+                buf[2..4].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                buf[8..16].copy_from_slice(&next.to_le_bytes());
+                for (i, &(k, v)) in entries.iter().enumerate() {
+                    let off = HEADER_LEN + i * ENTRY_LEN;
+                    buf[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                    buf[off + 8..off + 16].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            Node::Internal { leftmost, entries } => {
+                buf[0] = TAG_INTERNAL;
+                buf[2..4].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                buf[8..16].copy_from_slice(&leftmost.to_le_bytes());
+                for (i, &(k, c)) in entries.iter().enumerate() {
+                    let off = HEADER_LEN + i * ENTRY_LEN;
+                    buf[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                    buf[off + 8..off + 16].copy_from_slice(&c.to_le_bytes());
+                }
+            }
+        }
+        page
+    }
+
+    /// Decodes a node from page bytes.
+    ///
+    /// # Panics
+    /// Panics on an unknown tag byte (corrupt page).
+    pub fn decode(bytes: &[u8]) -> Node {
+        let tag = bytes[0];
+        let count = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
+        let link = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = HEADER_LEN + i * ENTRY_LEN;
+            let k = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            let v = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().unwrap());
+            entries.push((k, v));
+        }
+        match tag {
+            TAG_LEAF => Node::Leaf { entries, next: link },
+            TAG_INTERNAL => Node::Internal { leftmost: link, entries },
+            other => panic!("corrupt B+-tree page: unknown tag {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_for_standard_pages() {
+        assert_eq!(node_capacity(4096), 255);
+        assert_eq!(node_capacity(65536), 4095);
+        assert_eq!(node_capacity(64), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn capacity_rejects_tiny_pages() {
+        node_capacity(32);
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let node = Node::Leaf {
+            entries: vec![(1, 10), (5, 50), (5, 51), (9, 90)],
+            next: 77,
+        };
+        let page = node.encode(4096);
+        assert_eq!(Node::decode(page.as_slice()), node);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let node = Node::Internal {
+            leftmost: 3,
+            entries: vec![(100, 4), (200, 5)],
+        };
+        let page = node.encode(4096);
+        assert_eq!(Node::decode(page.as_slice()), node);
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let node = Node::empty_leaf();
+        let page = node.encode(256);
+        let decoded = Node::decode(page.as_slice());
+        assert_eq!(decoded, node);
+        assert!(decoded.is_empty());
+        assert!(decoded.is_leaf());
+    }
+
+    #[test]
+    fn full_node_roundtrip() {
+        let cap = node_capacity(256);
+        let entries: Vec<(u64, u64)> = (0..cap as u64).map(|i| (i * 3, i)).collect();
+        let node = Node::Leaf { entries, next: NIL_PAGE };
+        let page = node.encode(256);
+        assert_eq!(Node::decode(page.as_slice()), node);
+    }
+
+    #[test]
+    #[should_panic]
+    fn encode_rejects_overflow() {
+        let cap = node_capacity(64);
+        let entries: Vec<(u64, u64)> = (0..=cap as u64).map(|i| (i, i)).collect();
+        Node::Leaf { entries, next: NIL_PAGE }.encode(64);
+    }
+}

@@ -1,0 +1,297 @@
+//! The B+-tree proper: lookups, range scans, and top-down inserts.
+
+use std::io;
+use std::sync::Arc;
+
+use promips_storage::{PageId, Pager};
+
+use crate::iter::RangeIter;
+use crate::node::{node_capacity, Node};
+
+/// A disk B+-tree rooted at a known page of a [`Pager`].
+///
+/// The tree does not own the pager: several trees (e.g. QALSH's per-hash
+/// tables) can share one page file, and data pages can interleave with index
+/// pages as iDistance's sequential layout requires.
+pub struct BTree {
+    pager: Arc<Pager>,
+    root: PageId,
+    height: u32,
+    len: u64,
+}
+
+impl BTree {
+    /// Creates an empty tree (a single empty leaf) in `pager`.
+    pub fn create(pager: Arc<Pager>) -> io::Result<Self> {
+        let root = pager.append(Node::empty_leaf().encode(pager.page_size()))?;
+        Ok(Self { pager, root, height: 1, len: 0 })
+    }
+
+    /// Reconstructs a handle from a persisted root (see [`BTree::root`],
+    /// [`BTree::height`], [`BTree::len`] for what to persist).
+    pub fn open(pager: Arc<Pager>, root: PageId, height: u32, len: u64) -> Self {
+        Self { pager, root, height, len }
+    }
+
+    /// Builds a tree from `(key, value)` pairs **sorted by key** using
+    /// bottom-up bulk loading (see [`crate::bulk`]).
+    pub fn bulk_load(
+        pager: Arc<Pager>,
+        sorted: impl IntoIterator<Item = (u64, u64)>,
+    ) -> io::Result<Self> {
+        crate::bulk::bulk_load(pager, sorted)
+    }
+
+    /// Root page id (persist this to reopen the tree).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Tree height in levels (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The pager backing this tree.
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    fn read_node(&self, id: PageId) -> io::Result<Node> {
+        Ok(Node::decode(self.pager.read(id)?.as_slice()))
+    }
+
+    /// Descends to the leaf where a scan for `key` must start.
+    ///
+    /// Uses the strict `separator < key` rule so that duplicate runs that
+    /// straddle a split boundary are never skipped (the scan then walks the
+    /// leaf chain forward).
+    fn descend_for_scan(&self, key: u64) -> io::Result<PageId> {
+        let mut id = self.root;
+        loop {
+            match self.read_node(id)? {
+                Node::Leaf { .. } => return Ok(id),
+                Node::Internal { leftmost, entries } => {
+                    // Last separator strictly below `key`, else leftmost.
+                    let idx = entries.partition_point(|&(sep, _)| sep < key);
+                    id = if idx == 0 { leftmost } else { entries[idx - 1].1 };
+                }
+            }
+        }
+    }
+
+    /// Returns the first value stored under `key`, if any.
+    pub fn get(&self, key: u64) -> io::Result<Option<u64>> {
+        let mut iter = self.range(key, key)?;
+        match iter.next() {
+            Some(res) => res.map(|(_, v)| Some(v)),
+            None => Ok(None),
+        }
+    }
+
+    /// Returns every value stored under `key`.
+    pub fn get_all(&self, key: u64) -> io::Result<Vec<u64>> {
+        self.range(key, key)?
+            .map(|r| r.map(|(_, v)| v))
+            .collect()
+    }
+
+    /// Iterates `(key, value)` pairs with `lo <= key <= hi` in key order.
+    pub fn range(&self, lo: u64, hi: u64) -> io::Result<RangeIter> {
+        let leaf = self.descend_for_scan(lo)?;
+        RangeIter::new(Arc::clone(&self.pager), leaf, lo, hi)
+    }
+
+    /// Iterates all entries in key order.
+    pub fn scan_all(&self) -> io::Result<RangeIter> {
+        self.range(0, u64::MAX)
+    }
+
+    /// Inserts a `(key, value)` pair (duplicates allowed).
+    pub fn insert(&mut self, key: u64, value: u64) -> io::Result<()> {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value)? {
+            // Root split: grow the tree by one level.
+            let new_root = Node::Internal {
+                leftmost: self.root,
+                entries: vec![(sep, right)],
+            };
+            self.root = self.pager.append(new_root.encode(self.pager.page_size()))?;
+            self.height += 1;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Recursive insert; returns `Some((separator, new_right_page))` when
+    /// the child split.
+    fn insert_rec(
+        &mut self,
+        id: PageId,
+        key: u64,
+        value: u64,
+    ) -> io::Result<Option<(u64, PageId)>> {
+        let page_size = self.pager.page_size();
+        let cap = node_capacity(page_size);
+        match self.read_node(id)? {
+            Node::Leaf { mut entries, next } => {
+                // Insert after any existing duplicates to keep insertion
+                // order stable among equal keys.
+                let pos = entries.partition_point(|&(k, _)| k <= key);
+                entries.insert(pos, (key, value));
+                if entries.len() <= cap {
+                    self.pager.write(id, Node::Leaf { entries, next }.encode(page_size))?;
+                    return Ok(None);
+                }
+                // Split: right half moves to a fresh page.
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0;
+                let right_page = self
+                    .pager
+                    .append(Node::Leaf { entries: right_entries, next }.encode(page_size))?;
+                self.pager
+                    .write(id, Node::Leaf { entries, next: right_page }.encode(page_size))?;
+                Ok(Some((sep, right_page)))
+            }
+            Node::Internal { leftmost, mut entries } => {
+                let idx = entries.partition_point(|&(sep, _)| sep <= key);
+                let child = if idx == 0 { leftmost } else { entries[idx - 1].1 };
+                let Some((sep, right)) = self.insert_rec(child, key, value)? else {
+                    return Ok(None);
+                };
+                entries.insert(idx, (sep, right));
+                if entries.len() <= cap {
+                    self.pager
+                        .write(id, Node::Internal { leftmost, entries }.encode(page_size))?;
+                    return Ok(None);
+                }
+                // Split the internal node: middle separator moves up.
+                let mid = entries.len() / 2;
+                let mut right_entries = entries.split_off(mid);
+                let (up_sep, right_leftmost) = right_entries.remove(0);
+                let right_page = self.pager.append(
+                    Node::Internal { leftmost: right_leftmost, entries: right_entries }
+                        .encode(page_size),
+                )?;
+                self.pager
+                    .write(id, Node::Internal { leftmost, entries }.encode(page_size))?;
+                Ok(Some((up_sep, right_page)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_tree() -> BTree {
+        // 64-byte pages → capacity 3 per node → lots of splits.
+        let pager = Arc::new(Pager::in_memory(64, 1024));
+        BTree::create(pager).unwrap()
+    }
+
+    #[test]
+    fn empty_tree_lookups() {
+        let t = tiny_tree();
+        assert!(t.is_empty());
+        assert_eq!(t.get(5).unwrap(), None);
+        assert_eq!(t.scan_all().unwrap().count(), 0);
+    }
+
+    #[test]
+    fn insert_and_get_sequential() {
+        let mut t = tiny_tree();
+        for k in 0..200u64 {
+            t.insert(k, k * 10).unwrap();
+        }
+        assert_eq!(t.len(), 200);
+        assert!(t.height() > 1, "splits must have happened");
+        for k in 0..200u64 {
+            assert_eq!(t.get(k).unwrap(), Some(k * 10), "key {k}");
+        }
+        assert_eq!(t.get(200).unwrap(), None);
+    }
+
+    #[test]
+    fn insert_reverse_order() {
+        let mut t = tiny_tree();
+        for k in (0..150u64).rev() {
+            t.insert(k, k + 1).unwrap();
+        }
+        let collected: Vec<(u64, u64)> =
+            t.scan_all().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(collected.len(), 150);
+        assert!(collected.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(collected[0], (0, 1));
+        assert_eq!(collected[149], (149, 150));
+    }
+
+    #[test]
+    fn duplicates_are_all_returned() {
+        let mut t = tiny_tree();
+        // Interleave duplicates with other keys to force straddling splits.
+        for i in 0..30u64 {
+            t.insert(42, 1000 + i).unwrap();
+            t.insert(i, i).unwrap();
+        }
+        let dups = t.get_all(42).unwrap();
+        assert_eq!(dups.len(), 30, "{dups:?}");
+        let mut sorted = dups.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1000..1030).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn range_scan_bounds_inclusive() {
+        let mut t = tiny_tree();
+        for k in (0..100u64).map(|k| k * 2) {
+            t.insert(k, k).unwrap();
+        }
+        let got: Vec<u64> = t.range(10, 20).unwrap().map(|r| r.unwrap().0).collect();
+        assert_eq!(got, vec![10, 12, 14, 16, 18, 20]);
+        // Bounds not present in the tree.
+        let got: Vec<u64> = t.range(11, 19).unwrap().map(|r| r.unwrap().0).collect();
+        assert_eq!(got, vec![12, 14, 16, 18]);
+        // Empty range.
+        assert_eq!(t.range(21, 21).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn traversal_costs_page_reads() {
+        let pager = Arc::new(Pager::in_memory(4096, 1024));
+        let mut t = BTree::create(Arc::clone(&pager)).unwrap();
+        for k in 0..10_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        pager.stats().reset();
+        let _ = t.get(5000).unwrap();
+        let reads = pager.stats().snapshot().logical_reads;
+        assert!(reads >= t.height() as u64, "reads={reads}");
+        assert!(reads <= t.height() as u64 + 2, "reads={reads}");
+    }
+
+    #[test]
+    fn reopen_from_persisted_root() {
+        let pager = Arc::new(Pager::in_memory(128, 64));
+        let mut t = BTree::create(Arc::clone(&pager)).unwrap();
+        for k in 0..500u64 {
+            t.insert(k, k * 3).unwrap();
+        }
+        let (root, height, len) = (t.root(), t.height(), t.len());
+        drop(t);
+        let t2 = BTree::open(pager, root, height, len);
+        assert_eq!(t2.get(321).unwrap(), Some(963));
+        assert_eq!(t2.len(), 500);
+    }
+}

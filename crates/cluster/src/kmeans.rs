@@ -1,0 +1,246 @@
+//! Lloyd's algorithm with k-means++ seeding and empty-cluster repair.
+
+use promips_linalg::{add_scaled, sq_dist, Matrix};
+use promips_stats::Xoshiro256pp;
+
+use crate::seed::kmeanspp_indices;
+
+/// Configuration for a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when no assignment changes (always also honoured).
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// A sensible default: `max_iters = 25`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self { k, max_iters: 25, seed }
+    }
+}
+
+/// Output of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `k × d` centroid matrix.
+    pub centroids: Matrix,
+    /// For each input index position, the assigned cluster in `0..k`.
+    pub assignment: Vec<u32>,
+    /// Per-cluster member counts.
+    pub sizes: Vec<usize>,
+    /// Per-cluster radius: max distance from a member to its centroid.
+    /// (iDistance partitions use this to filter spheres.)
+    pub radii: Vec<f64>,
+    /// Iterations actually executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Members of each cluster as index lists **into the subset given to
+    /// [`kmeans`]** (positions, not original row ids).
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.centroids.rows()];
+        for (pos, &c) in self.assignment.iter().enumerate() {
+            out[c as usize].push(pos);
+        }
+        out
+    }
+}
+
+/// Runs k-means over `subset` (row indices into `data`).
+///
+/// If `subset.len() < k`, the effective `k` is reduced to the subset size so
+/// every centroid is a real point — this happens routinely for tiny rings in
+/// iDistance's second clustering stage.
+pub fn kmeans(data: &Matrix, subset: &[usize], config: &KMeansConfig) -> KMeansResult {
+    assert!(!subset.is_empty(), "kmeans on empty subset");
+    let k = config.k.min(subset.len()).max(1);
+    let d = data.cols();
+    let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
+
+    // Seed with k-means++ and materialize centroid vectors.
+    let seeds = kmeanspp_indices(data, subset, k, &mut rng);
+    let mut centroids = Matrix::from_rows(d, seeds.iter().map(|&i| data.row(i).to_vec()));
+
+    let mut assignment = vec![0u32; subset.len()];
+    let mut iterations = 0;
+    for iter in 0..config.max_iters.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (pos, &row) in subset.iter().enumerate() {
+            let point = data.row(row);
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dist = sq_dist(point, centroids.row(c));
+                if dist < best_d {
+                    best_d = dist;
+                    best = c as u32;
+                }
+            }
+            if assignment[pos] != best {
+                assignment[pos] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+
+        // Update step with f64 accumulators.
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for (pos, &row) in subset.iter().enumerate() {
+            let c = assignment[pos] as usize;
+            add_scaled(&mut sums[c], 1.0, data.row(row));
+            counts[c] += 1;
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty-cluster repair: re-seed from the point farthest from
+                // its assigned centroid.
+                let (far_pos, _) = subset
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &row)| {
+                        (pos, sq_dist(data.row(row), centroids.row(assignment[pos] as usize)))
+                    })
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("subset non-empty");
+                let row = subset[far_pos];
+                centroids.row_mut(c).copy_from_slice(data.row(row));
+                assignment[far_pos] = c as u32;
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                for (dst, &s) in centroids.row_mut(c).iter_mut().zip(&sums[c]) {
+                    *dst = (s * inv) as f32;
+                }
+            }
+        }
+    }
+
+    // Final statistics.
+    let mut sizes = vec![0usize; k];
+    let mut radii = vec![0.0f64; k];
+    for (pos, &row) in subset.iter().enumerate() {
+        let c = assignment[pos] as usize;
+        sizes[c] += 1;
+        let dist = sq_dist(data.row(row), centroids.row(c)).sqrt();
+        if dist > radii[c] {
+            radii[c] = dist;
+        }
+    }
+
+    KMeansResult { centroids, assignment, sizes, radii, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(centers: &[(f32, f32)], per: usize, spread: f32, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..per {
+                rows.push(vec![
+                    cx + spread * rng.normal() as f32,
+                    cy + spread * rng.normal() as f32,
+                ]);
+            }
+        }
+        Matrix::from_rows(2, rows)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let data = blobs(&[(0.0, 0.0), (50.0, 0.0), (0.0, 50.0)], 40, 0.5, 3);
+        let subset: Vec<usize> = (0..data.rows()).collect();
+        let res = kmeans(&data, &subset, &KMeansConfig::new(3, 7));
+        assert_eq!(res.centroids.rows(), 3);
+        assert_eq!(res.sizes.iter().sum::<usize>(), 120);
+        // Each blob maps to exactly one cluster.
+        for blob in 0..3 {
+            let first = res.assignment[blob * 40];
+            for i in 0..40 {
+                assert_eq!(res.assignment[blob * 40 + i], first, "blob {blob} split");
+            }
+        }
+        // Cluster sizes are the blob sizes.
+        let mut sizes = res.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![40, 40, 40]);
+    }
+
+    #[test]
+    fn radii_cover_members() {
+        let data = blobs(&[(0.0, 0.0), (30.0, 30.0)], 50, 2.0, 11);
+        let subset: Vec<usize> = (0..data.rows()).collect();
+        let res = kmeans(&data, &subset, &KMeansConfig::new(2, 5));
+        for (pos, &row) in subset.iter().enumerate() {
+            let c = res.assignment[pos] as usize;
+            let d = sq_dist(data.row(row), res.centroids.row(c)).sqrt();
+            assert!(d <= res.radii[c] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let data = blobs(&[(0.0, 0.0)], 3, 0.1, 1);
+        let subset: Vec<usize> = (0..3).collect();
+        let res = kmeans(&data, &subset, &KMeansConfig::new(10, 1));
+        assert_eq!(res.centroids.rows(), 3);
+        assert_eq!(res.assignment.len(), 3);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let data = Matrix::from_rows(1, vec![vec![0.0f32], vec![2.0], vec![4.0]]);
+        let subset: Vec<usize> = (0..3).collect();
+        let res = kmeans(&data, &subset, &KMeansConfig::new(1, 2));
+        assert!((res.centroids.row(0)[0] - 2.0).abs() < 1e-6);
+        assert_eq!(res.sizes, vec![3]);
+        assert!((res.radii[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn works_on_subset_positions() {
+        let data = blobs(&[(0.0, 0.0), (100.0, 100.0)], 10, 0.1, 4);
+        // Only cluster the second blob.
+        let subset: Vec<usize> = (10..20).collect();
+        let res = kmeans(&data, &subset, &KMeansConfig::new(2, 4));
+        assert_eq!(res.assignment.len(), 10);
+        // Centroids must be near (100, 100).
+        for c in 0..res.centroids.rows() {
+            assert!(res.centroids.row(c)[0] > 90.0);
+        }
+    }
+
+    #[test]
+    fn members_partition_positions() {
+        let data = blobs(&[(0.0, 0.0), (9.0, 9.0)], 25, 1.0, 6);
+        let subset: Vec<usize> = (0..50).collect();
+        let res = kmeans(&data, &subset, &KMeansConfig::new(4, 8));
+        let members = res.members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 50);
+        let mut all: Vec<usize> = members.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(&[(0.0, 0.0), (20.0, 0.0)], 30, 1.0, 9);
+        let subset: Vec<usize> = (0..60).collect();
+        let a = kmeans(&data, &subset, &KMeansConfig::new(2, 42));
+        let b = kmeans(&data, &subset, &KMeansConfig::new(2, 42));
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.centroids, b.centroids);
+    }
+}

@@ -1,0 +1,123 @@
+//! k-means++ seeding (Arthur & Vassilvitskii, 2007).
+
+use promips_linalg::{sq_dist, Matrix};
+use promips_stats::Xoshiro256pp;
+
+/// Picks `k` initial centroids with the k-means++ D² weighting: the first
+/// centroid is uniform, each subsequent one is drawn with probability
+/// proportional to its squared distance from the nearest centroid chosen so
+/// far. Returns centroid row indices into `data` (distinct).
+pub fn kmeanspp_indices(
+    data: &Matrix,
+    subset: &[usize],
+    k: usize,
+    rng: &mut Xoshiro256pp,
+) -> Vec<usize> {
+    assert!(k >= 1, "k must be >= 1");
+    assert!(
+        subset.len() >= k,
+        "cannot pick {k} centroids from {} points",
+        subset.len()
+    );
+
+    let mut chosen = Vec::with_capacity(k);
+    let first = subset[rng.below(subset.len() as u64) as usize];
+    chosen.push(first);
+
+    // d2[i] = squared distance of subset[i] to nearest chosen centroid.
+    let mut d2: Vec<f64> = subset
+        .iter()
+        .map(|&i| sq_dist(data.row(i), data.row(first)))
+        .collect();
+
+    while chosen.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with chosen centroids; pick any
+            // not-yet-chosen point to keep the centroid count.
+            subset
+                .iter()
+                .copied()
+                .find(|i| !chosen.contains(i))
+                .unwrap_or(subset[0])
+        } else {
+            let mut target = rng.uniform() * total;
+            let mut pick = subset.len() - 1;
+            for (j, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    pick = j;
+                    break;
+                }
+            }
+            subset[pick]
+        };
+        chosen.push(next);
+        for (j, &i) in subset.iter().enumerate() {
+            let d = sq_dist(data.row(i), data.row(next));
+            if d < d2[j] {
+                d2[j] = d;
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_data() -> Matrix {
+        // 3 well-separated blobs on a line.
+        let mut rows = Vec::new();
+        for center in [0.0f32, 100.0, 200.0] {
+            for i in 0..20 {
+                rows.push(vec![center + (i % 5) as f32 * 0.1, center]);
+            }
+        }
+        Matrix::from_rows(2, rows)
+    }
+
+    #[test]
+    fn picks_k_distinct_rows() {
+        let data = grid_data();
+        let subset: Vec<usize> = (0..data.rows()).collect();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let picks = kmeanspp_indices(&data, &subset, 3, &mut rng);
+        assert_eq!(picks.len(), 3);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "picks must be distinct: {picks:?}");
+    }
+
+    #[test]
+    fn spreads_across_blobs() {
+        let data = grid_data();
+        let subset: Vec<usize> = (0..data.rows()).collect();
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let picks = kmeanspp_indices(&data, &subset, 3, &mut rng);
+        // One pick per blob, overwhelmingly likely given the separation.
+        let mut blobs: Vec<usize> = picks.iter().map(|&i| i / 20).collect();
+        blobs.sort_unstable();
+        assert_eq!(blobs, vec![0, 1, 2], "picks {picks:?}");
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let data = Matrix::from_rows(1, (0..10).map(|_| vec![1.0f32]));
+        let subset: Vec<usize> = (0..10).collect();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let picks = kmeanspp_indices(&data, &subset, 3, &mut rng);
+        assert_eq!(picks.len(), 3);
+    }
+
+    #[test]
+    fn works_on_subset() {
+        let data = grid_data();
+        let subset: Vec<usize> = (0..20).collect(); // first blob only
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let picks = kmeanspp_indices(&data, &subset, 2, &mut rng);
+        assert!(picks.iter().all(|&i| i < 20));
+    }
+}

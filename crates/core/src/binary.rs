@@ -1,0 +1,100 @@
+//! Sign binary codes of projected points (paper Section V-A).
+//!
+//! Each projected point `P(o)` is transformed into an `m`-bit code
+//! `c(o) = (c₁(o), …, c_m(o))` with `cᵢ(o) = 1` iff `Pᵢ(o) ≥ 0`. The XOR of
+//! a data code with the query's code isolates the coordinates where the
+//! signs differ, which Theorem 3 turns into a 1-norm-style lower bound on
+//! the projected distance:
+//!
+//! `dis(P(o), P(q)) ≥ (1/√m) · Σᵢ (cᵢ(o) ⊕ cᵢ(q)) · |Pᵢ(q)|`.
+
+/// An `m`-bit sign code packed into a `u64` (bit `i` = sign of coordinate
+/// `i`). `m ≤ 64` is enforced by [`crate::config::ProMipsConfig::validate`].
+pub type BinaryCode = u64;
+
+/// Computes the sign code of a projected vector.
+#[inline]
+pub fn code_of(projected: &[f32]) -> BinaryCode {
+    debug_assert!(projected.len() <= 64);
+    let mut code = 0u64;
+    for (i, &v) in projected.iter().enumerate() {
+        if v >= 0.0 {
+            code |= 1u64 << i;
+        }
+    }
+    code
+}
+
+/// Theorem 3's lower bound on `dis(P(o), P(q))` for a point with code
+/// `code`, given the query's code and the absolute values of the query's
+/// projected coordinates.
+#[inline]
+pub fn theorem3_lower_bound(
+    code: BinaryCode,
+    q_code: BinaryCode,
+    q_abs: &[f64],
+) -> f64 {
+    let m = q_abs.len();
+    debug_assert!(m <= 64);
+    let mut diff = code ^ q_code;
+    let mut sum = 0.0;
+    while diff != 0 {
+        let i = diff.trailing_zeros() as usize;
+        if i >= m {
+            break;
+        }
+        sum += q_abs[i];
+        diff &= diff - 1;
+    }
+    sum / (m as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promips_linalg::dist;
+
+    #[test]
+    fn code_bits_follow_signs() {
+        let v = [1.0f32, -2.0, 0.0, -0.5, 3.0];
+        let code = code_of(&v);
+        assert_eq!(code & 1, 1); // +
+        assert_eq!((code >> 1) & 1, 0); // −
+        assert_eq!((code >> 2) & 1, 1); // 0 counts as non-negative
+        assert_eq!((code >> 3) & 1, 0); // −
+        assert_eq!((code >> 4) & 1, 1); // +
+    }
+
+    #[test]
+    fn identical_codes_give_zero_bound() {
+        let q_abs = vec![1.0, 2.0, 3.0];
+        assert_eq!(theorem3_lower_bound(0b101, 0b101, &q_abs), 0.0);
+    }
+
+    #[test]
+    fn bound_sums_differing_coordinates() {
+        let q_abs = vec![1.0, 2.0, 4.0, 8.0];
+        // Bits 1 and 3 differ → (2 + 8)/√4 = 5.
+        let lb = theorem3_lower_bound(0b0000, 0b1010, &q_abs);
+        assert!((lb - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_never_exceeds_true_distance() {
+        // Property test over random pairs: Theorem 3 must be a valid lower
+        // bound of the projected Euclidean distance.
+        let mut rng = promips_stats::Xoshiro256pp::seed_from_u64(17);
+        for _ in 0..500 {
+            let m = 1 + (rng.below(16) as usize);
+            let po: Vec<f32> = (0..m).map(|_| rng.normal() as f32).collect();
+            let pq: Vec<f32> = (0..m).map(|_| rng.normal() as f32).collect();
+            let q_abs: Vec<f64> = pq.iter().map(|&v| v.abs() as f64).collect();
+            let lb = theorem3_lower_bound(code_of(&po), code_of(&pq), &q_abs);
+            let true_dist = dist(&po, &pq);
+            assert!(
+                lb <= true_dist + 1e-9,
+                "lb {lb} > dist {true_dist} (m={m}, po={po:?}, pq={pq:?})"
+            );
+        }
+    }
+}

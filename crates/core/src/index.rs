@@ -1,0 +1,301 @@
+//! The end-to-end ProMIPS index: pre-processing pipeline and handle.
+
+use std::io;
+use std::sync::Arc;
+
+use promips_idistance::{build_index, IDistanceIndex};
+use promips_linalg::Matrix;
+use promips_storage::{AccessStatsSnapshot, Pager};
+
+use crate::config::ProMipsConfig;
+use crate::maintenance::DeltaSegment;
+use crate::norms::NormTable;
+use crate::optimize::optimized_projection_dim;
+use crate::projection::Projection;
+use crate::quickprobe::QuickProbe;
+
+/// Timing breakdown of the pre-processing phase (Fig. 4b of the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildTimings {
+    /// Projecting the dataset (2-stable random projections).
+    pub project_ms: f64,
+    /// Norm tables + binary codes + Quick-Probe groups.
+    pub quickprobe_ms: f64,
+    /// iDistance construction (clustering, layout, B+-tree).
+    pub index_ms: f64,
+}
+
+impl BuildTimings {
+    /// Total pre-processing time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.project_ms + self.quickprobe_ms + self.index_ms
+    }
+}
+
+/// A built ProMIPS index.
+///
+/// See the crate docs for the architecture; construction happens in
+/// [`ProMips::build_in_memory`] / [`ProMips::build_with_pager`], searching
+/// in [`ProMips::search`] (Quick-Probe + MIP-Search-II) and
+/// [`ProMips::search_incremental`] (MIP-Search-I, kept for the ablation).
+pub struct ProMips {
+    pub(crate) config: ProMipsConfig,
+    pub(crate) projection: Projection,
+    pub(crate) index: IDistanceIndex,
+    pub(crate) norms: NormTable,
+    pub(crate) quickprobe: QuickProbe,
+    /// id → (sub-partition, record offset).
+    pub(crate) locator: Vec<(u32, u32)>,
+    pub(crate) m: usize,
+    pub(crate) d: usize,
+    timings: BuildTimings,
+    /// Page holding the iDistance footer (needed by [`ProMips::save`]).
+    idist_footer_page: u64,
+    /// In-memory delta segment for incremental inserts.
+    pub(crate) delta: DeltaSegment,
+    /// Tombstoned (deleted) ids.
+    pub(crate) tombstones: std::collections::HashSet<u64>,
+    /// Next id to assign on insert (= base n + delta inserts so far).
+    pub(crate) next_id: u64,
+}
+
+impl ProMips {
+    /// Builds the index with an in-memory page device (used by tests,
+    /// examples and CPU-time-oriented experiments).
+    pub fn build_in_memory(data: &Matrix, config: ProMipsConfig) -> io::Result<Self> {
+        config.validate();
+        let pager = Arc::new(Pager::in_memory(config.page_size, config.pool_pages));
+        Self::build_with_pager(data, config, pager)
+    }
+
+    /// Builds the index into the given pager (file-backed for the
+    /// disk-resident experiments).
+    pub fn build_with_pager(
+        data: &Matrix,
+        config: ProMipsConfig,
+        pager: Arc<Pager>,
+    ) -> io::Result<Self> {
+        config.validate();
+        assert!(!data.is_empty(), "cannot build ProMIPS over an empty dataset");
+        assert_eq!(pager.page_size(), config.page_size, "pager/config page size mismatch");
+        let n = data.rows();
+        let d = data.cols();
+        let m = config
+            .m
+            .unwrap_or_else(|| optimized_projection_dim(n as u64))
+            .clamp(1, 64);
+
+        // Stage 1: 2-stable random projections (Definition 2).
+        let t0 = std::time::Instant::now();
+        let projection = Projection::generate(m, d, config.seed);
+        let proj = projection.project_all(data);
+        let project_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Stage 2: norms + binary codes for Quick-Probe.
+        let t1 = std::time::Instant::now();
+        let norms = NormTable::compute(data);
+        let quickprobe = QuickProbe::build(
+            m,
+            (0..n).map(|i| (i as u64, proj.row(i))),
+            |id| norms.norm1(id),
+        );
+        let quickprobe_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // Stage 3: iDistance over the projected points, originals alongside.
+        let t2 = std::time::Instant::now();
+        let mut id_cfg = config.idistance.clone();
+        id_cfg.seed ^= config.seed;
+        let index = build_index(Arc::clone(&pager), &proj, data, &id_cfg)?;
+        // build_index ends by writing the iDistance footer as the last page.
+        let idist_footer_page = pager.num_pages() - 1;
+
+        // Locator: where did each id land?
+        let mut locator = vec![(u32::MAX, u32::MAX); n];
+        for sub in 0..index.subparts().len() as u32 {
+            for (offset, (id, _)) in
+                index.read_subpart_proj(sub)?.into_iter().enumerate()
+            {
+                locator[id as usize] = (sub, offset as u32);
+            }
+        }
+        debug_assert!(locator.iter().all(|&(s, _)| s != u32::MAX));
+        let index_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        Ok(Self {
+            config,
+            projection,
+            index,
+            norms,
+            quickprobe,
+            locator,
+            m,
+            d,
+            timings: BuildTimings { project_ms, quickprobe_ms, index_ms },
+            idist_footer_page,
+            delta: DeltaSegment::default(),
+            tombstones: std::collections::HashSet::new(),
+            next_id: n as u64,
+        })
+    }
+
+    /// Reconstructs a handle from persisted parts (see [`crate::persist`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn reassemble(
+        config: ProMipsConfig,
+        projection: Projection,
+        index: IDistanceIndex,
+        norms: NormTable,
+        quickprobe: QuickProbe,
+        locator: Vec<(u32, u32)>,
+        m: usize,
+        d: usize,
+        timings: BuildTimings,
+        idist_footer_page: u64,
+    ) -> Self {
+        let next_id = index.len();
+        Self {
+            config,
+            projection,
+            index,
+            norms,
+            quickprobe,
+            locator,
+            m,
+            d,
+            timings,
+            idist_footer_page,
+            delta: DeltaSegment::default(),
+            tombstones: std::collections::HashSet::new(),
+            next_id,
+        }
+    }
+
+    /// The page holding the iDistance footer.
+    pub(crate) fn idist_footer_page(&self) -> u64 {
+        self.idist_footer_page
+    }
+
+    /// The effective projected dimensionality `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Original dimensionality `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> u64 {
+        self.index.len()
+    }
+
+    /// True when the index is empty (never: construction requires data).
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProMipsConfig {
+        &self.config
+    }
+
+    /// Build-phase timings.
+    pub fn build_timings(&self) -> BuildTimings {
+        self.timings
+    }
+
+    /// The underlying iDistance index.
+    pub fn idistance(&self) -> &IDistanceIndex {
+        &self.index
+    }
+
+    /// Page-access counters (reset between queries to measure per-query
+    /// page accesses, Fig. 7).
+    pub fn access_stats(&self) -> AccessStatsSnapshot {
+        self.index.access_stats()
+    }
+
+    /// Resets page-access counters.
+    pub fn reset_stats(&self) {
+        self.index.pager().stats().reset();
+    }
+
+    /// Drops cached pages (cold-cache measurements).
+    pub fn clear_cache(&self) {
+        self.index.pager().clear_cache();
+    }
+
+    /// The paper's **Index Size** metric: everything except the raw
+    /// original vectors — i.e. the projected blobs + B+-tree + directory
+    /// pages, plus the in-memory Quick-Probe groups, norm table and locator.
+    pub fn index_size_bytes(&self) -> u64 {
+        let ps = self.index.pager().page_size() as u64;
+        let orig_pages = self.index.orig_region().1.div_ceil(ps).max(1);
+        let file = self.index.size_bytes();
+        let aux = (self.quickprobe.size_bytes()
+            + self.norms.size_bytes()
+            + self.locator.len() * 8) as u64;
+        file - orig_pages * ps + aux
+    }
+
+    /// Total bytes on disk including the original vectors (data + index).
+    pub fn file_size_bytes(&self) -> u64 {
+        self.index.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promips_stats::Xoshiro256pp;
+
+    fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        Matrix::from_rows(d, (0..n).map(|_| {
+            (0..d).map(|_| rng.normal() as f32).collect()
+        }))
+    }
+
+    #[test]
+    fn build_selects_optimized_m() {
+        let data = random_data(500, 20, 1);
+        let idx = ProMips::build_in_memory(&data, ProMipsConfig::default()).unwrap();
+        assert_eq!(idx.m(), optimized_projection_dim(500));
+        assert_eq!(idx.len(), 500);
+    }
+
+    #[test]
+    fn build_honours_m_override() {
+        let data = random_data(300, 16, 2);
+        let cfg = ProMipsConfig::builder().m(9).build();
+        let idx = ProMips::build_in_memory(&data, cfg).unwrap();
+        assert_eq!(idx.m(), 9);
+    }
+
+    #[test]
+    fn locator_is_consistent() {
+        let data = random_data(400, 12, 3);
+        let idx = ProMips::build_in_memory(&data, ProMipsConfig::default()).unwrap();
+        for id in (0..400u64).step_by(37) {
+            let (sub, off) = idx.locator[id as usize];
+            let (stored_id, _) = idx.index.fetch_proj_record(sub, off).unwrap();
+            assert_eq!(stored_id, id);
+        }
+    }
+
+    #[test]
+    fn index_size_smaller_than_file_with_originals() {
+        let data = random_data(500, 64, 4);
+        let idx = ProMips::build_in_memory(&data, ProMipsConfig::default()).unwrap();
+        assert!(idx.index_size_bytes() < idx.file_size_bytes());
+        assert!(idx.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn timings_populated() {
+        let data = random_data(200, 10, 5);
+        let idx = ProMips::build_in_memory(&data, ProMipsConfig::default()).unwrap();
+        assert!(idx.build_timings().total_ms() > 0.0);
+    }
+}

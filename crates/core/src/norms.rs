@@ -1,0 +1,149 @@
+//! Per-point norm tables.
+//!
+//! The searching conditions need `‖oM‖²` (the maximum squared 2-norm over
+//! the dataset, Condition A/B) and Quick-Probe needs every point's 1-norm
+//! (Theorem 4's upper bound `dis(o,q) ≤ ‖o‖₁ + ‖q‖₁`). Both are computed
+//! once during pre-processing; together they are `O(n)` extra floats — part
+//! of the "lightweight" index budget the paper accounts for in Section VII.
+
+use promips_linalg::{norm1, sq_norm2, Matrix};
+
+/// Norm tables over the original (d-dimensional) dataset.
+#[derive(Debug, Clone)]
+pub struct NormTable {
+    sq_norm2: Vec<f64>,
+    norm1: Vec<f64>,
+    max_sq_norm2: f64,
+    max_norm_id: u64,
+}
+
+impl NormTable {
+    /// Computes all norms of `data`'s rows.
+    pub fn compute(data: &Matrix) -> Self {
+        let mut sq = Vec::with_capacity(data.rows());
+        let mut l1 = Vec::with_capacity(data.rows());
+        let mut max_sq = 0.0f64;
+        let mut max_id = 0u64;
+        for (i, row) in data.iter_rows().enumerate() {
+            let s = sq_norm2(row);
+            if s > max_sq {
+                max_sq = s;
+                max_id = i as u64;
+            }
+            sq.push(s);
+            l1.push(norm1(row));
+        }
+        Self { sq_norm2: sq, norm1: l1, max_sq_norm2: max_sq, max_norm_id: max_id }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.sq_norm2.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sq_norm2.is_empty()
+    }
+
+    /// `‖o‖²` of point `id`.
+    #[inline]
+    pub fn sq_norm2(&self, id: u64) -> f64 {
+        self.sq_norm2[id as usize]
+    }
+
+    /// `‖o‖₁` of point `id`.
+    #[inline]
+    pub fn norm1(&self, id: u64) -> f64 {
+        self.norm1[id as usize]
+    }
+
+    /// `‖oM‖²`: the maximum squared 2-norm in the dataset.
+    #[inline]
+    pub fn max_sq_norm2(&self) -> f64 {
+        self.max_sq_norm2
+    }
+
+    /// The id of the maximum-norm point `oM`.
+    pub fn max_norm_id(&self) -> u64 {
+        self.max_norm_id
+    }
+
+    /// Approximate in-memory footprint in bytes (for the Index Size metric).
+    pub fn size_bytes(&self) -> usize {
+        self.sq_norm2.len() * 16
+    }
+
+    /// Serializes the table (for full-index persistence).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        use promips_idistance::layout::enc::*;
+        put_u64(buf, self.sq_norm2.len() as u64);
+        for &v in &self.sq_norm2 {
+            put_f64(buf, v);
+        }
+        for &v in &self.norm1 {
+            put_f64(buf, v);
+        }
+        put_f64(buf, self.max_sq_norm2);
+        put_u64(buf, self.max_norm_id);
+    }
+
+    /// Deserializes a table written by [`NormTable::encode`].
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Self {
+        use promips_idistance::layout::enc::*;
+        let n = get_u64(buf, pos) as usize;
+        let sq_norm2: Vec<f64> = (0..n).map(|_| get_f64(buf, pos)).collect();
+        let norm1: Vec<f64> = (0..n).map(|_| get_f64(buf, pos)).collect();
+        let max_sq_norm2 = get_f64(buf, pos);
+        let max_norm_id = get_u64(buf, pos);
+        Self { sq_norm2, norm1, max_sq_norm2, max_norm_id }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_all_norms() {
+        let data = Matrix::from_rows(
+            2,
+            vec![vec![3.0f32, 4.0], vec![1.0, -1.0], vec![0.0, 0.0]],
+        );
+        let t = NormTable::compute(&data);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.sq_norm2(0), 25.0);
+        assert_eq!(t.norm1(0), 7.0);
+        assert_eq!(t.sq_norm2(1), 2.0);
+        assert_eq!(t.norm1(1), 2.0);
+        assert_eq!(t.max_sq_norm2(), 25.0);
+        assert_eq!(t.max_norm_id(), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let data = Matrix::from_rows(2, vec![vec![3.0f32, 4.0], vec![1.0, -1.0]]);
+        let t = NormTable::compute(&data);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        let mut pos = 0;
+        let back = NormTable::decode(&buf, &mut pos);
+        assert_eq!(pos, buf.len());
+        assert_eq!(back.sq_norm2(0), t.sq_norm2(0));
+        assert_eq!(back.norm1(1), t.norm1(1));
+        assert_eq!(back.max_sq_norm2(), t.max_sq_norm2());
+        assert_eq!(back.max_norm_id(), t.max_norm_id());
+    }
+
+    #[test]
+    fn max_norm_dominates_all() {
+        let data = Matrix::from_rows(
+            3,
+            (0..50).map(|i| vec![i as f32 * 0.1, -(i as f32) * 0.2, 1.0]),
+        );
+        let t = NormTable::compute(&data);
+        for i in 0..50 {
+            assert!(t.sq_norm2(i) <= t.max_sq_norm2());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Optimized projected dimension (paper Section V-B).
+//!
+//! Quick-Probe groups points by their `m`-bit codes: `2^m` groups of
+//! `n / 2^m` expected points. Computing the group lower bounds costs
+//! `2^m (m + 1)` and scanning one group costs `n / 2^m`, so the paper
+//! minimizes `f(m) = 2^m (m + 1) + n / 2^m` over integers.
+
+/// `f(m) = 2^m (m + 1) + n / 2^m` — the Quick-Probe cost model.
+pub fn quickprobe_cost(m: usize, n: u64) -> f64 {
+    let two_m = (1u128 << m) as f64;
+    two_m * (m as f64 + 1.0) + n as f64 / two_m
+}
+
+/// Returns `argmin_m f(m)` over `1 ≤ m ≤ 40`.
+///
+/// The function is strictly convex in `m` (its second derivative is
+/// positive, as the paper notes), so the first local minimum is global; we
+/// still scan the whole range because it is 40 evaluations.
+pub fn optimized_projection_dim(n: u64) -> usize {
+    assert!(n > 0, "dataset must be non-empty");
+    (1..=40usize)
+        .min_by(|&a, &b| quickprobe_cost(a, n).total_cmp(&quickprobe_cost(b, n)))
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_settings() {
+        // Section VIII-A4: m = 6 on Netflix (n=17,770) and P53 (n=31,420),
+        // m = 8 on Yahoo (n=624,961), m = 10 on Sift (n=11,164,866).
+        assert_eq!(optimized_projection_dim(17_770), 6);
+        assert_eq!(optimized_projection_dim(31_420), 6);
+        assert_eq!(optimized_projection_dim(624_961), 8);
+        assert_eq!(optimized_projection_dim(11_164_866), 10);
+    }
+
+    #[test]
+    fn monotone_in_n() {
+        let mut prev = 0;
+        for exp in 4..30 {
+            let m = optimized_projection_dim(1u64 << exp);
+            assert!(m >= prev, "m decreased at n=2^{exp}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn minimum_is_local_minimum() {
+        for &n in &[100u64, 10_000, 1_000_000, 100_000_000] {
+            let m = optimized_projection_dim(n);
+            let f = |mm: usize| quickprobe_cost(mm, n);
+            if m > 1 {
+                assert!(f(m) <= f(m - 1), "n={n}");
+            }
+            assert!(f(m) <= f(m + 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn tiny_datasets_get_small_m() {
+        assert_eq!(optimized_projection_dim(1), 1);
+        assert!(optimized_projection_dim(64) <= 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Search results and per-query diagnostics.
+
+/// One returned point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchItem {
+    /// Point id (row in the indexed dataset).
+    pub id: u64,
+    /// Exact inner product `⟨o, q⟩` (computed during verification).
+    pub ip: f64,
+}
+
+/// Result of a c-k-AMIP search, plus diagnostics the experiment harness
+/// reports (candidate counts, radii, termination cause).
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Top-k items by inner product, descending.
+    pub items: Vec<SearchItem>,
+    /// Number of candidates whose exact inner product was computed.
+    pub verified: usize,
+    /// The Quick-Probe radius `r` (squared distance **not** applied — this
+    /// is the Euclidean radius in the projected space). `None` for
+    /// [`crate::ProMips::search_incremental`].
+    pub probe_radius: Option<f64>,
+    /// The final radius after optional compensation.
+    pub final_radius: Option<f64>,
+    /// Whether the compensation extension `r → r'` was triggered.
+    pub compensated: bool,
+    /// Why the search stopped.
+    pub termination: Termination,
+}
+
+/// Which condition ended the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Condition A (deterministic guarantee).
+    ConditionA,
+    /// Condition B (probabilistic guarantee).
+    ConditionB,
+    /// The (possibly compensated) range was exhausted.
+    RangeExhausted,
+    /// The whole dataset was scanned (incremental search ran dry).
+    DatasetExhausted,
+}
+
+impl SearchResult {
+    /// The best inner product found (None for an empty result).
+    pub fn best_ip(&self) -> Option<f64> {
+        self.items.first().map(|i| i.ip)
+    }
+
+    /// The ids in rank order.
+    pub fn ids(&self) -> Vec<u64> {
+        self.items.iter().map(|i| i.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = SearchResult {
+            items: vec![SearchItem { id: 3, ip: 9.0 }, SearchItem { id: 1, ip: 5.0 }],
+            verified: 10,
+            probe_radius: Some(1.0),
+            final_radius: Some(2.0),
+            compensated: true,
+            termination: Termination::RangeExhausted,
+        };
+        assert_eq!(r.best_ip(), Some(9.0));
+        assert_eq!(r.ids(), vec![3, 1]);
+    }
+}

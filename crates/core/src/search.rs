@@ -1,0 +1,492 @@
+//! The searching processes: MIP-Search-II with Quick-Probe (Algorithm 3,
+//! the production path) and MIP-Search-I (Algorithm 1, the incremental
+//! baseline kept for the paper's design rationale and our ablation).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io;
+
+use promips_idistance::RangeCandidate;
+use promips_linalg::{dist, dot, norm1, sq_norm2};
+
+use crate::conditions::ConditionContext;
+use crate::index::ProMips;
+use crate::result::{SearchItem, SearchResult, Termination};
+
+/// Bounded top-k collector over (inner product, id), deterministic under
+/// ties (larger ip wins; equal ips keep the smaller id).
+struct TopK {
+    k: usize,
+    /// Min-heap of (ip, Reverse(id)) so the weakest kept item is on top.
+    heap: BinaryHeap<Reverse<(OrdF64, Reverse<u64>)>>,
+}
+
+/// Total-ordered f64 wrapper.
+#[derive(PartialEq, PartialOrd)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    fn push(&mut self, id: u64, ip: f64) {
+        self.heap.push(Reverse((OrdF64(ip), Reverse(id))));
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The k-th best inner product so far (paper's `⟨ok_max, q⟩`), or −∞
+    /// while fewer than k candidates have been verified.
+    fn kth_ip(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::NEG_INFINITY
+        } else {
+            self.heap.peek().map(|Reverse((OrdF64(ip), _))| *ip).unwrap()
+        }
+    }
+
+    fn into_sorted(self) -> Vec<SearchItem> {
+        let mut items: Vec<SearchItem> = self
+            .heap
+            .into_iter()
+            .map(|Reverse((OrdF64(ip), Reverse(id)))| SearchItem { id, ip })
+            .collect();
+        items.sort_by(|a, b| b.ip.total_cmp(&a.ip).then(a.id.cmp(&b.id)));
+        items
+    }
+}
+
+impl ProMips {
+    /// c-k-AMIP search (Algorithm 3 + Quick-Probe).
+    ///
+    /// Returns the top-`k` candidates by exact inner product among the
+    /// verified points; with probability at least `p`, each returned item
+    /// satisfies `⟨oᵢ,q⟩ ≥ c·⟨o*ᵢ,q⟩`.
+    pub fn search(&self, q: &[f32], k: usize) -> io::Result<SearchResult> {
+        assert_eq!(q.len(), self.d, "query dimensionality mismatch");
+        assert!(k >= 1, "k must be at least 1");
+        let k = k.min(self.live_len() as usize);
+
+        let pq = self.projection.project(q);
+        let ctx = ConditionContext {
+            c: self.config.c,
+            p: self.config.p,
+            m: self.m as u32,
+            max_sq_norm: self.effective_max_sq_norm(),
+            q_sq_norm: sq_norm2(q),
+        };
+
+        // --- Quick-Probe: locate the range-defining point (Algorithm 2). --
+        let located = self.quickprobe.locate(&pq, norm1(q), self.config.c, self.config.p);
+        let r = self.located_radius(&located, &pq)?;
+
+        let mut top = TopK::new(k);
+        let mut verified = 0usize;
+
+        // Fresh inserts live in the in-memory delta segment; verify them
+        // all up-front so the searching conditions' premise (everything
+        // nearer than a tested frontier is verified) covers them.
+        self.verify_delta(q, &mut top, &mut verified);
+
+        // --- Range search within r; verify per sub-partition batch. -------
+        let cands = self.index.range_candidates(&pq, -1.0, r)?;
+        if let Some(term) = self.verify_groups(&cands, q, &ctx, &mut top, &mut verified)? {
+            return Ok(self.finish(top, verified, Some(r), Some(r), false, term));
+        }
+
+        // --- Rare shortfall: fewer than k candidates inside r. ------------
+        // Pull further neighbours in distance order until k are verified so
+        // the conditions (which need the k-th best) become meaningful.
+        let mut r_final = r;
+        let mut extended = false;
+        if top.len() < k {
+            let mut iter = self.index.nn_iter(&pq);
+            for cand in iter.by_ref() {
+                if cand.proj_dist <= r || self.is_deleted(cand.id) {
+                    continue; // already verified by the range pass / deleted
+                }
+                let orig = self.index.fetch_original(&cand)?;
+                top.push(cand.id, dot(&orig, q));
+                verified += 1;
+                r_final = cand.proj_dist;
+                extended = true;
+                if top.len() >= k {
+                    break;
+                }
+            }
+            if let Some(e) = iter.take_error() {
+                return Err(e);
+            }
+        }
+
+        // --- Termination tests at the searched radius. ---------------------
+        if ctx.condition_a(top.kth_ip()) {
+            return Ok(self.finish(top, verified, Some(r), Some(r_final), extended, Termination::ConditionA));
+        }
+        if ctx.condition_b(r_final * r_final, top.kth_ip()) {
+            return Ok(self.finish(top, verified, Some(r), Some(r_final), extended, Termination::ConditionB));
+        }
+
+        // --- Compensation: extend once to r' (paper Section V-A). ---------
+        if let Some(r_prime) = ctx.compensation_radius(top.kth_ip()) {
+            if r_prime > r_final {
+                let annulus = self.index.range_candidates(&pq, r_final, r_prime)?;
+                if let Some(term) =
+                    self.verify_groups(&annulus, q, &ctx, &mut top, &mut verified)?
+                {
+                    return Ok(self.finish(top, verified, Some(r), Some(r_prime), true, term));
+                }
+                r_final = r_prime;
+                extended = true;
+            }
+        }
+        Ok(self.finish(top, verified, Some(r), Some(r_final), extended, Termination::RangeExhausted))
+    }
+
+    /// MIP-Search-I (Algorithm 1): incremental NN search testing the
+    /// conditions after every returned point. Quadratically more page
+    /// accesses than [`ProMips::search`] in practice — kept as the ablation
+    /// baseline showing what Quick-Probe buys.
+    pub fn search_incremental(&self, q: &[f32], k: usize) -> io::Result<SearchResult> {
+        assert_eq!(q.len(), self.d, "query dimensionality mismatch");
+        assert!(k >= 1, "k must be at least 1");
+        let k = k.min(self.live_len() as usize);
+
+        let pq = self.projection.project(q);
+        let ctx = ConditionContext {
+            c: self.config.c,
+            p: self.config.p,
+            m: self.m as u32,
+            max_sq_norm: self.effective_max_sq_norm(),
+            q_sq_norm: sq_norm2(q),
+        };
+
+        let mut top = TopK::new(k);
+        let mut verified = 0usize;
+        let mut termination = Termination::DatasetExhausted;
+        self.verify_delta(q, &mut top, &mut verified);
+
+        let mut iter = self.index.nn_iter(&pq);
+        for cand in iter.by_ref() {
+            if self.is_deleted(cand.id) {
+                continue;
+            }
+            let orig = self.index.fetch_original(&cand)?;
+            top.push(cand.id, dot(&orig, q));
+            verified += 1;
+            if ctx.condition_a(top.kth_ip()) {
+                termination = Termination::ConditionA;
+                break;
+            }
+            if ctx.condition_b(cand.proj_dist * cand.proj_dist, top.kth_ip()) {
+                termination = Termination::ConditionB;
+                break;
+            }
+        }
+        if let Some(e) = iter.take_error() {
+            return Err(e);
+        }
+        Ok(self.finish(top, verified, None, None, false, termination))
+    }
+
+    /// Verifies candidates one sub-partition batch at a time (each batch is
+    /// one sequential original-blob read), testing the cheap Condition A
+    /// between batches as Algorithm 3 prescribes.
+    ///
+    /// Groups are processed in ascending order of their nearest member's
+    /// projected distance, and Condition B is tested at every group
+    /// boundary with the *frontier* distance (the nearest unverified
+    /// candidate): at that moment every point closer than the frontier has
+    /// been verified, which is exactly the premise of Theorem 2. This keeps
+    /// MIP-Search-II's batched sequential I/O while recovering the early
+    /// termination of the incremental search — unverified groups are never
+    /// fetched from disk.
+    fn verify_groups(
+        &self,
+        cands: &[RangeCandidate],
+        q: &[f32],
+        ctx: &ConditionContext,
+        top: &mut TopK,
+        verified: &mut usize,
+    ) -> io::Result<Option<Termination>> {
+        let mut groups: Vec<&[RangeCandidate]> =
+            cands.chunk_by(|a, b| a.subpart == b.subpart).collect();
+        let min_pd = |g: &[RangeCandidate]| {
+            g.iter().map(|c| c.proj_dist).fold(f64::INFINITY, f64::min)
+        };
+        groups.sort_by(|a, b| min_pd(a).total_cmp(&min_pd(b)));
+
+        for (gi, group) in groups.iter().enumerate() {
+            let offsets: Vec<u32> = group.iter().map(|c| c.offset).collect();
+            let origs = self.index.fetch_originals(group[0].subpart, &offsets)?;
+            for (cand, orig) in group.iter().zip(&origs) {
+                if self.is_deleted(cand.id) {
+                    continue;
+                }
+                top.push(cand.id, dot(orig, q));
+                *verified += 1;
+            }
+            if ctx.condition_a(top.kth_ip()) {
+                return Ok(Some(Termination::ConditionA));
+            }
+            if let Some(next) = groups.get(gi + 1) {
+                let frontier = min_pd(next);
+                if ctx.condition_b(frontier * frontier, top.kth_ip()) {
+                    return Ok(Some(Termination::ConditionB));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Resolves the Quick-Probe point's projected distance. The located id
+    /// can refer to a delta insert, whose projection is in memory.
+    fn located_radius(
+        &self,
+        located: &crate::quickprobe::Located,
+        pq: &[f32],
+    ) -> io::Result<f64> {
+        if let Some(entry) =
+            self.delta.entries.iter().find(|e| e.id == located.id)
+        {
+            return Ok(dist(&entry.proj, pq));
+        }
+        let (sub, off) = self.locator[located.id as usize];
+        let (_, located_proj) = self.index.fetch_proj_record(sub, off)?;
+        Ok(dist(&located_proj, pq))
+    }
+
+    /// Verifies every live delta entry (in memory, no page cost).
+    fn verify_delta(&self, q: &[f32], top: &mut TopK, verified: &mut usize) {
+        for entry in &self.delta.entries {
+            if !self.is_deleted(entry.id) {
+                top.push(entry.id, dot(&entry.orig, q));
+                *verified += 1;
+            }
+        }
+    }
+
+    fn finish(
+        &self,
+        top: TopK,
+        verified: usize,
+        probe_radius: Option<f64>,
+        final_radius: Option<f64>,
+        compensated: bool,
+        termination: Termination,
+    ) -> SearchResult {
+        SearchResult {
+            items: top.into_sorted(),
+            verified,
+            probe_radius,
+            final_radius,
+            compensated,
+            termination,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProMipsConfig;
+    use promips_linalg::Matrix;
+    use promips_stats::Xoshiro256pp;
+
+    fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        Matrix::from_rows(d, (0..n).map(|_| {
+            (0..d).map(|_| rng.normal() as f32).collect()
+        }))
+    }
+
+    /// Exact top-k MIP by brute force.
+    fn exact_topk(data: &Matrix, q: &[f32], k: usize) -> Vec<(u64, f64)> {
+        let mut ips: Vec<(u64, f64)> = (0..data.rows())
+            .map(|i| (i as u64, dot(data.row(i), q)))
+            .collect();
+        ips.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ips.truncate(k);
+        ips
+    }
+
+    fn build(n: usize, d: usize, seed: u64, c: f64, p: f64) -> (ProMips, Matrix) {
+        let data = random_data(n, d, seed);
+        let cfg = ProMipsConfig::builder().c(c).p(p).seed(seed ^ 0xABCD).build();
+        let idx = ProMips::build_in_memory(&data, cfg).unwrap();
+        (idx, data)
+    }
+
+    #[test]
+    fn topk_collector_behaviour() {
+        let mut t = TopK::new(3);
+        assert_eq!(t.kth_ip(), f64::NEG_INFINITY);
+        t.push(1, 5.0);
+        t.push(2, 7.0);
+        assert_eq!(t.kth_ip(), f64::NEG_INFINITY); // only 2 of 3
+        t.push(3, 3.0);
+        assert_eq!(t.kth_ip(), 3.0);
+        t.push(4, 6.0); // evicts 3.0
+        assert_eq!(t.kth_ip(), 5.0);
+        let items = t.into_sorted();
+        assert_eq!(items.iter().map(|i| i.id).collect::<Vec<_>>(), vec![2, 4, 1]);
+    }
+
+    #[test]
+    fn search_returns_k_sorted_items() {
+        let (idx, _) = build(800, 24, 11, 0.9, 0.5);
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let q: Vec<f32> = (0..24).map(|_| rng.normal() as f32).collect();
+        let res = idx.search(&q, 10).unwrap();
+        assert_eq!(res.items.len(), 10);
+        assert!(res.items.windows(2).all(|w| w[0].ip >= w[1].ip));
+        assert!(res.verified >= 10);
+        assert!(res.probe_radius.is_some());
+    }
+
+    #[test]
+    fn search_satisfies_c_bound_overwhelmingly() {
+        // With p = 0.5, at least half the queries must return a c-AMIP
+        // point; empirically the rate is far higher. We check the overall
+        // ratio across queries stays above c (the paper's Fig. 5 behaviour).
+        let (idx, data) = build(1000, 32, 7, 0.9, 0.5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut ratios = Vec::new();
+        for _ in 0..30 {
+            let q: Vec<f32> = (0..32).map(|_| rng.normal() as f32).collect();
+            let res = idx.search(&q, 1).unwrap();
+            let exact = exact_topk(&data, &q, 1)[0].1;
+            if exact > 0.0 {
+                ratios.push(res.items[0].ip / exact);
+            }
+        }
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(mean >= 0.9, "mean overall ratio {mean} below c");
+        let ok = ratios.iter().filter(|&&r| r >= 0.9).count();
+        assert!(
+            ok as f64 / ratios.len() as f64 >= 0.5,
+            "guarantee rate {ok}/{} below p",
+            ratios.len()
+        );
+    }
+
+    #[test]
+    fn incremental_matches_guarantee_too() {
+        let (idx, data) = build(600, 16, 3, 0.8, 0.5);
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let mut hold = 0;
+        let total = 20;
+        for _ in 0..total {
+            let q: Vec<f32> = (0..16).map(|_| rng.normal() as f32).collect();
+            let res = idx.search_incremental(&q, 1).unwrap();
+            let exact = exact_topk(&data, &q, 1)[0].1;
+            if res.items[0].ip >= 0.8 * exact {
+                hold += 1;
+            }
+        }
+        assert!(hold as f64 / total as f64 >= 0.5, "{hold}/{total}");
+    }
+
+    #[test]
+    fn k_clamped_to_dataset_size() {
+        let (idx, _) = build(20, 8, 13, 0.9, 0.5);
+        let q = vec![0.5f32; 8];
+        let res = idx.search(&q, 50).unwrap();
+        assert_eq!(res.items.len(), 20);
+        // All distinct ids.
+        let mut ids = res.ids();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn no_duplicate_ids_in_results() {
+        let (idx, _) = build(500, 12, 17, 0.7, 0.9);
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        for _ in 0..10 {
+            let q: Vec<f32> = (0..12).map(|_| rng.normal() as f32).collect();
+            let res = idx.search(&q, 15).unwrap();
+            let mut ids = res.ids();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "duplicate ids returned");
+        }
+    }
+
+    #[test]
+    fn quickprobe_search_uses_fewer_pages_than_incremental() {
+        // Partition parameters scaled to the dataset so sub-partitions hold
+        // ~20 points (the paper's µ-selectivity intent); with degenerate
+        // 2-point sub-partitions the batched-read advantage disappears.
+        let data = random_data(1500, 24, 29);
+        let id_cfg = promips_idistance::IDistanceConfig {
+            kp: 3,
+            nkey: 8,
+            ksp: 3,
+            ..Default::default()
+        };
+        let cfg = ProMipsConfig::builder()
+            .c(0.9)
+            .p(0.5)
+            .seed(29 ^ 0xABCD)
+            .idistance(id_cfg)
+            .build();
+        let idx = ProMips::build_in_memory(&data, cfg).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(55);
+        let mut probe_total = 0u64;
+        let mut incr_total = 0u64;
+        for _ in 0..5 {
+            let q: Vec<f32> = (0..24).map(|_| rng.normal() as f32).collect();
+            idx.clear_cache();
+            idx.reset_stats();
+            let _ = idx.search(&q, 10).unwrap();
+            probe_total += idx.access_stats().logical_reads;
+
+            idx.clear_cache();
+            idx.reset_stats();
+            let _ = idx.search_incremental(&q, 10).unwrap();
+            incr_total += idx.access_stats().logical_reads;
+        }
+        // Quick-Probe's whole purpose (paper Section V): avoid the
+        // one-by-one NN fetches. It must not cost more pages.
+        assert!(
+            probe_total <= incr_total,
+            "quick-probe {probe_total} > incremental {incr_total}"
+        );
+    }
+
+    #[test]
+    fn higher_p_verifies_no_fewer_candidates() {
+        let data = random_data(900, 20, 41);
+        let mk = |p: f64| {
+            let cfg = ProMipsConfig::builder().c(0.9).p(p).seed(4).build();
+            ProMips::build_in_memory(&data, cfg).unwrap()
+        };
+        let low = mk(0.3);
+        let high = mk(0.9);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let mut low_sum = 0usize;
+        let mut high_sum = 0usize;
+        for _ in 0..10 {
+            let q: Vec<f32> = (0..20).map(|_| rng.normal() as f32).collect();
+            low_sum += low.search(&q, 10).unwrap().verified;
+            high_sum += high.search(&q, 10).unwrap().verified;
+        }
+        assert!(high_sum >= low_sum, "p=0.9 {high_sum} < p=0.3 {low_sum}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Exact MIP ground truth, computed once per (dataset, queries, k) and
+//! reused by the accuracy metrics (overall ratio, recall).
+
+use promips_linalg::{dot, Matrix};
+
+/// Exact top-k list for one query: `(id, ip)` sorted by ip descending.
+pub type GroundTruth = Vec<(u64, f64)>;
+
+/// Exact top-k MIP points of `q` by linear scan.
+pub fn exact_topk(data: &Matrix, q: &[f32], k: usize) -> GroundTruth {
+    let k = k.min(data.rows());
+    let mut all: Vec<(u64, f64)> = (0..data.rows())
+        .map(|i| (i as u64, dot(data.row(i), q)))
+        .collect();
+    all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Exact top-k for a batch of queries, parallelized over queries with
+/// crossbeam scoped threads.
+pub fn exact_topk_batch(
+    data: &Matrix,
+    queries: &Matrix,
+    k: usize,
+    threads: usize,
+) -> Vec<GroundTruth> {
+    let nq = queries.rows();
+    let threads = threads.clamp(1, nq.max(1));
+    if threads == 1 {
+        return (0..nq).map(|i| exact_topk(data, queries.row(i), k)).collect();
+    }
+    let mut out: Vec<GroundTruth> = vec![Vec::new(); nq];
+    let chunk = nq.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let lo = t * chunk;
+            s.spawn(move |_| {
+                for (off, gt) in slot.iter_mut().enumerate() {
+                    *gt = exact_topk(data, queries.row(lo + off), k);
+                }
+            });
+        }
+    })
+    .expect("ground-truth scope failed");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promips_stats::Xoshiro256pp;
+
+    fn random(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        Matrix::from_rows(d, (0..n).map(|_| {
+            (0..d).map(|_| rng.normal() as f32).collect()
+        }))
+    }
+
+    #[test]
+    fn topk_is_sorted_and_exact() {
+        let data = random(500, 12, 1);
+        let q: Vec<f32> = vec![0.5; 12];
+        let gt = exact_topk(&data, &q, 10);
+        assert_eq!(gt.len(), 10);
+        assert!(gt.windows(2).all(|w| w[0].1 >= w[1].1));
+        // No unlisted point beats the 10th.
+        let worst = gt[9].1;
+        for i in 0..500u64 {
+            if !gt.iter().any(|&(id, _)| id == i) {
+                assert!(dot(data.row(i as usize), &q) <= worst + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let data = random(400, 8, 2);
+        let queries = random(10, 8, 3);
+        let batch = exact_topk_batch(&data, &queries, 5, 4);
+        for i in 0..10 {
+            let single = exact_topk(&data, queries.row(i), 5);
+            assert_eq!(batch[i], single);
+        }
+    }
+}

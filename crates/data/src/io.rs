@@ -1,0 +1,132 @@
+//! Vector file IO: the classic `.fvecs` format (one `i32` dimension header
+//! per vector, then `d` little-endian `f32`s) and a cache helper so
+//! generated datasets can be reused across bench invocations.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use promips_linalg::Matrix;
+
+/// Writes a matrix as `.fvecs`.
+pub fn write_fvecs(path: impl AsRef<Path>, m: &Matrix) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for row in m.iter_rows() {
+        w.write_all(&(row.len() as i32).to_le_bytes())?;
+        for &v in row {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads an `.fvecs` file. All vectors must share one dimensionality.
+pub fn read_fvecs(path: impl AsRef<Path>) -> io::Result<Matrix> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut rows: Vec<f32> = Vec::new();
+    let mut d: Option<usize> = None;
+    let mut n = 0usize;
+    loop {
+        let mut dim_buf = [0u8; 4];
+        match r.read_exact(&mut dim_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let dim = i32::from_le_bytes(dim_buf) as usize;
+        match d {
+            None => d = Some(dim),
+            Some(expect) if expect != dim => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("mixed dimensions: {expect} vs {dim}"),
+                ))
+            }
+            _ => {}
+        }
+        let mut buf = vec![0u8; dim * 4];
+        r.read_exact(&mut buf)?;
+        rows.extend(buf.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())));
+        n += 1;
+    }
+    let d = d.unwrap_or(0);
+    Ok(Matrix::from_vec(n, d, rows))
+}
+
+/// Generates a dataset through `make` unless a cached `.fvecs` pair already
+/// exists under `cache_dir`; returns `(data, queries)` either way.
+pub fn cached_or_generate(
+    cache_dir: impl AsRef<Path>,
+    tag: &str,
+    make: impl FnOnce() -> (Matrix, Matrix),
+) -> io::Result<(Matrix, Matrix)> {
+    let dir = cache_dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let data_path = dir.join(format!("{tag}.data.fvecs"));
+    let query_path = dir.join(format!("{tag}.query.fvecs"));
+    if data_path.exists() && query_path.exists() {
+        return Ok((read_fvecs(&data_path)?, read_fvecs(&query_path)?));
+    }
+    let (data, queries) = make();
+    write_fvecs(&data_path, &data)?;
+    write_fvecs(&query_path, &queries)?;
+    Ok((data, queries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("promips-io-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let dir = tmpdir("rt");
+        let m = Matrix::from_rows(3, vec![vec![1.0, 2.0, 3.0], vec![-4.0, 5.5, 0.25]]);
+        let path = dir.join("x.fvecs");
+        write_fvecs(&path, &m).unwrap();
+        let back = read_fvecs(&path).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_fvecs() {
+        let dir = tmpdir("empty");
+        let m = Matrix::zeros(0, 0);
+        let path = dir.join("e.fvecs");
+        write_fvecs(&path, &m).unwrap();
+        let back = read_fvecs(&path).unwrap();
+        assert_eq!(back.rows(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_generates_once() {
+        let dir = tmpdir("cache");
+        let mut calls = 0;
+        let make = || {
+            (
+                Matrix::from_rows(2, vec![vec![1.0, 2.0]]),
+                Matrix::from_rows(2, vec![vec![3.0, 4.0]]),
+            )
+        };
+        let (d1, q1) = cached_or_generate(&dir, "t", || {
+            calls += 1;
+            make()
+        })
+        .unwrap();
+        let (d2, q2) = cached_or_generate(&dir, "t", || {
+            panic!("should not regenerate")
+        })
+        .unwrap();
+        assert_eq!(calls, 1);
+        assert_eq!(d1, d2);
+        assert_eq!(q1, q2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

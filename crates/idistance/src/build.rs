@@ -1,0 +1,262 @@
+//! Index construction (Algorithm 4 of the paper).
+//!
+//! 1. Project-space `kp`-means → partitions;
+//! 2. ring width `ε = r_avg / Nkey`; key `I(p) = ⌊i·C + dis(p,Oi)/ε⌋`;
+//! 3. per-ring `ksp`-means → sub-partitions;
+//! 4. sequential disk layout (projected blob + original blob per
+//!    sub-partition), single bulk-loaded B+-tree over ring keys;
+//! 5. directory + footer written into the same paged file.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+
+use promips_btree::BTree;
+use promips_cluster::{kmeans, KMeansConfig};
+use promips_linalg::{dist, Matrix};
+use promips_storage::Pager;
+
+use crate::config::IDistanceConfig;
+use crate::index::IDistanceIndex;
+use crate::layout::{enc, RegionWriter};
+use crate::meta::{PartitionMeta, SubPartMeta};
+
+/// Builds an [`IDistanceIndex`] over `proj` (n × m projected points) and
+/// `orig` (n × d original points) inside `pager`.
+///
+/// The row order of `proj` and `orig` must agree: row `i` of both matrices
+/// is the same logical point, whose id is `i`.
+pub fn build_index(
+    pager: Arc<Pager>,
+    proj: &Matrix,
+    orig: &Matrix,
+    config: &IDistanceConfig,
+) -> io::Result<IDistanceIndex> {
+    assert_eq!(proj.rows(), orig.rows(), "proj/orig row mismatch");
+    assert!(!proj.is_empty(), "cannot index an empty dataset");
+    let n = proj.rows();
+    let m = proj.cols();
+    let d = orig.cols();
+
+    // --- Stage 1: kp-means over the projected points. --------------------
+    let all: Vec<usize> = (0..n).collect();
+    let mut km_cfg = KMeansConfig::new(config.kp, config.seed);
+    km_cfg.max_iters = config.kmeans_iters;
+    let stage1 = kmeans(proj, &all, &km_cfg);
+    let kp = stage1.centroids.rows();
+
+    let partitions: Vec<PartitionMeta> = (0..kp)
+        .map(|i| PartitionMeta {
+            center: stage1.centroids.row(i).to_vec(),
+            radius: stage1.radii[i],
+            count: stage1.sizes[i] as u64,
+        })
+        .collect();
+
+    // --- Ring width ε from the average radius (paper Section VI). --------
+    let r_avg = partitions.iter().map(|p| p.radius).sum::<f64>() / kp as f64;
+    let mut epsilon = r_avg / config.nkey as f64;
+    if !(epsilon > 0.0) {
+        // Degenerate data (all points identical): any positive width works.
+        epsilon = 1.0;
+    }
+
+    // Ring index of every point; C must exceed every ring index so partition
+    // key ranges never overlap (standard iDistance requirement).
+    let mut rings = vec![0u64; n];
+    let mut max_ring = 0u64;
+    for (pos, &row) in all.iter().enumerate() {
+        let part = stage1.assignment[pos] as usize;
+        let dc = dist(proj.row(row), &partitions[part].center);
+        let ring = (dc / epsilon).floor() as u64;
+        rings[row] = ring;
+        max_ring = max_ring.max(ring);
+    }
+    let ring_c = max_ring + 2;
+
+    // --- Group by (partition, ring); BTreeMap gives key-sorted layout. ---
+    let mut groups: BTreeMap<(usize, u64), Vec<usize>> = BTreeMap::new();
+    for (pos, &row) in all.iter().enumerate() {
+        let part = stage1.assignment[pos] as usize;
+        groups.entry((part, rings[row])).or_default().push(row);
+    }
+
+    // --- Stage 2: per-ring ksp-means. -------------------------------------
+    // First pass assembles the sub-partition definitions (in key order);
+    // the second pass lays them out as two *packed* regions — all projected
+    // records, then all original records — so adjacent sub-partitions share
+    // pages (the paper's sequential-disk organization).
+    struct SubDef {
+        key: u64,
+        pivot: Vec<f32>,
+        radius: f64,
+        ids: Vec<usize>,
+    }
+    let mut defs: Vec<SubDef> = Vec::new();
+    let mut sub_seed = config.seed ^ 0x5EED_5EED;
+    for (&(part, ring), members) in &groups {
+        sub_seed = sub_seed.wrapping_add(0x9E37_79B9);
+        // Cap the sub-partition count so thin rings are not shattered into
+        // singleton sub-partitions: each sub-partition should hold enough
+        // points to fill its disk pages (the µ-selectivity intent of the
+        // paper's parameter analysis).
+        let ksp = config.ksp.min(members.len().div_ceil(16)).max(1);
+        let mut km2 = KMeansConfig::new(ksp, sub_seed);
+        km2.max_iters = config.kmeans_iters;
+        let stage2 = kmeans(proj, members, &km2);
+        let key = part as u64 * ring_c + ring;
+        for (c, positions) in stage2.members().into_iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            // Sort members by point id: the original region then reads in
+            // increasing-id order, keeping verification sequential.
+            let mut ids: Vec<usize> = positions.iter().map(|&p| members[p]).collect();
+            ids.sort_unstable();
+            defs.push(SubDef {
+                key,
+                pivot: stage2.centroids.row(c).to_vec(),
+                radius: stage2.radii[c],
+                ids,
+            });
+        }
+    }
+
+    // --- Packed projected region. ------------------------------------------
+    let mut proj_offs = Vec::with_capacity(defs.len());
+    let mut writer = RegionWriter::new(&pager);
+    let mut rec = Vec::with_capacity(8 + 4 * m);
+    for def in &defs {
+        let mut first = None;
+        for &id in &def.ids {
+            rec.clear();
+            enc::put_u64(&mut rec, id as u64);
+            enc::put_f32s(&mut rec, proj.row(id));
+            let off = writer.append(&rec)?;
+            first.get_or_insert(off);
+        }
+        proj_offs.push(first.expect("sub-partition is non-empty"));
+    }
+    let proj_region = writer.finish()?;
+
+    // --- Packed original region. -------------------------------------------
+    let mut orig_offs = Vec::with_capacity(defs.len());
+    let mut writer = RegionWriter::new(&pager);
+    let mut rec = Vec::with_capacity(4 * d);
+    for def in &defs {
+        let mut first = None;
+        for &id in &def.ids {
+            rec.clear();
+            enc::put_f32s(&mut rec, orig.row(id));
+            let off = writer.append(&rec)?;
+            first.get_or_insert(off);
+        }
+        orig_offs.push(first.expect("sub-partition is non-empty"));
+    }
+    let orig_region = writer.finish()?;
+
+    let mut subparts: Vec<SubPartMeta> = Vec::with_capacity(defs.len());
+    let mut tree_entries: Vec<(u64, u64)> = Vec::with_capacity(defs.len());
+    for (i, def) in defs.iter().enumerate() {
+        subparts.push(SubPartMeta {
+            key: def.key,
+            pivot: def.pivot.clone(),
+            radius: def.radius,
+            count: def.ids.len() as u32,
+            proj_off: proj_offs[i],
+            orig_off: orig_offs[i],
+        });
+        tree_entries.push((def.key, i as u64));
+    }
+
+    // Keys arrive sorted because BTreeMap iterates (partition, ring) in
+    // ascending order and key = part·C + ring is monotone in that order.
+    debug_assert!(tree_entries.windows(2).all(|w| w[0].0 <= w[1].0));
+    let tree = BTree::bulk_load(Arc::clone(&pager), tree_entries)?;
+
+    let index = IDistanceIndex::assemble(
+        pager,
+        tree,
+        m,
+        d,
+        epsilon,
+        ring_c,
+        proj_region,
+        orig_region,
+        partitions,
+        subparts,
+        n as u64,
+    );
+    index.write_footer()?;
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promips_stats::Xoshiro256pp;
+
+    fn random_matrix(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        Matrix::from_rows(d, (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()))
+    }
+
+    #[test]
+    fn build_covers_every_point_exactly_once() {
+        let proj = random_matrix(500, 6, 1);
+        let orig = random_matrix(500, 40, 2);
+        let pager = Arc::new(Pager::in_memory(4096, 4096));
+        let cfg = IDistanceConfig { kp: 3, nkey: 8, ksp: 3, ..Default::default() };
+        let idx = build_index(pager, &proj, &orig, &cfg).unwrap();
+
+        let total: u64 = idx.subparts().iter().map(|s| s.count as u64).sum();
+        assert_eq!(total, 500);
+        assert_eq!(idx.len(), 500);
+
+        // Every id appears exactly once across sub-partition blobs.
+        let mut seen = vec![false; 500];
+        for s in 0..idx.subparts().len() {
+            for (id, _) in idx.read_subpart_proj(s as u32).unwrap() {
+                assert!(!seen[id as usize], "id {id} duplicated");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn keys_respect_formula_6() {
+        let proj = random_matrix(300, 4, 3);
+        let orig = random_matrix(300, 10, 4);
+        let pager = Arc::new(Pager::in_memory(1024, 4096));
+        let cfg = IDistanceConfig { kp: 4, nkey: 10, ksp: 2, ..Default::default() };
+        let idx = build_index(pager, &proj, &orig, &cfg).unwrap();
+
+        for sp in idx.subparts() {
+            let part = (sp.key / idx.ring_c()) as usize;
+            let ring = sp.key % idx.ring_c();
+            assert!(part < idx.partitions().len());
+            // Every member's ring index must equal the sub-partition ring.
+            // (Reconstruct from the stored projected vectors.)
+            let members = idx
+                .read_subpart_proj_by_meta(sp)
+                .unwrap();
+            for (_, pv) in members {
+                let dc = dist(&pv, &idx.partitions()[part].center);
+                assert_eq!((dc / idx.epsilon()).floor() as u64, ring);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_identical_points() {
+        let proj = Matrix::from_rows(3, (0..20).map(|_| vec![1.0f32, 2.0, 3.0]));
+        let orig = Matrix::from_rows(5, (0..20).map(|_| vec![0.5f32; 5]));
+        let pager = Arc::new(Pager::in_memory(512, 1024));
+        let cfg = IDistanceConfig { kp: 2, nkey: 4, ksp: 2, ..Default::default() };
+        let idx = build_index(pager, &proj, &orig, &cfg).unwrap();
+        assert_eq!(idx.len(), 20);
+        let total: u64 = idx.subparts().iter().map(|s| s.count as u64).sum();
+        assert_eq!(total, 20);
+    }
+}

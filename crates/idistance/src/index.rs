@@ -1,0 +1,602 @@
+//! The queryable index: annulus range search, point fetches, persistence.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+use promips_btree::BTree;
+use promips_linalg::dist;
+use promips_storage::{AccessStatsSnapshot, PageBuf, PageId, Pager};
+
+use crate::knn::NnIter;
+use crate::layout::{enc, read_blob, read_blob_range, write_blob};
+use crate::meta::{PartitionMeta, SubPartMeta};
+
+/// A packed byte region: `(start_page, byte_len)`; pages are consecutive.
+pub type Region = (PageId, u64);
+
+const FOOTER_MAGIC: u64 = 0x1D15_7A4C_E01D_F007;
+
+/// A point surfaced by a projected-space range search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeCandidate {
+    /// Point id (row in the original dataset).
+    pub id: u64,
+    /// Euclidean distance between the projected point and the projected
+    /// query.
+    pub proj_dist: f64,
+    /// Sub-partition holding the point.
+    pub subpart: u32,
+    /// Record offset inside the sub-partition.
+    pub offset: u32,
+}
+
+/// iDistance index handle (see the crate docs for the structure).
+pub struct IDistanceIndex {
+    pager: Arc<Pager>,
+    tree: BTree,
+    m: usize,
+    d: usize,
+    epsilon: f64,
+    ring_c: u64,
+    proj_region: Region,
+    orig_region: Region,
+    partitions: Vec<PartitionMeta>,
+    subparts: Vec<SubPartMeta>,
+    n_points: u64,
+}
+
+impl IDistanceIndex {
+    /// Internal constructor used by the builder and by [`Self::open`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        pager: Arc<Pager>,
+        tree: BTree,
+        m: usize,
+        d: usize,
+        epsilon: f64,
+        ring_c: u64,
+        proj_region: Region,
+        orig_region: Region,
+        partitions: Vec<PartitionMeta>,
+        subparts: Vec<SubPartMeta>,
+        n_points: u64,
+    ) -> Self {
+        Self {
+            pager,
+            tree,
+            m,
+            d,
+            epsilon,
+            ring_c,
+            proj_region,
+            orig_region,
+            partitions,
+            subparts,
+            n_points,
+        }
+    }
+
+    /// Projected dimensionality `m`.
+    pub fn proj_dim(&self) -> usize {
+        self.m
+    }
+
+    /// Original dimensionality `d`.
+    pub fn orig_dim(&self) -> usize {
+        self.d
+    }
+
+    /// Ring width `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Partition key stride `C` of Formula 6.
+    pub fn ring_c(&self) -> u64 {
+        self.ring_c
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> u64 {
+        self.n_points
+    }
+
+    /// True when the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    /// First-stage partitions.
+    pub fn partitions(&self) -> &[PartitionMeta] {
+        &self.partitions
+    }
+
+    /// Sub-partition directory.
+    pub fn subparts(&self) -> &[SubPartMeta] {
+        &self.subparts
+    }
+
+    /// The backing pager (page-access counters live here).
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    /// Convenience: current page-access snapshot.
+    pub fn access_stats(&self) -> AccessStatsSnapshot {
+        self.pager.stats().snapshot()
+    }
+
+    /// Total bytes of the index file (Index Size metric).
+    pub fn size_bytes(&self) -> u64 {
+        self.pager.size_bytes()
+    }
+
+    /// The packed projected-record region `(start_page, byte_len)`.
+    pub fn proj_region(&self) -> Region {
+        self.proj_region
+    }
+
+    /// The packed original-record region `(start_page, byte_len)`.
+    pub fn orig_region(&self) -> Region {
+        self.orig_region
+    }
+
+    // --- Range search ----------------------------------------------------
+
+    /// Annulus range search in the projected space: returns every point with
+    /// `r_lo < proj_dist ≤ r_hi`, grouped by sub-partition in directory
+    /// order. Pass `r_lo < 0` for a plain ball query.
+    ///
+    /// Page accesses: B+-tree traversal + projected blobs of sub-partitions
+    /// whose pivot sphere intersects the annulus.
+    pub fn range_candidates(
+        &self,
+        pq: &[f32],
+        r_lo: f64,
+        r_hi: f64,
+    ) -> io::Result<Vec<RangeCandidate>> {
+        assert_eq!(pq.len(), self.m, "query has wrong projected dimension");
+        let mut out = Vec::new();
+        for (part_idx, part) in self.partitions.iter().enumerate() {
+            let dc = dist(pq, &part.center);
+            if dc - r_hi > part.radius {
+                continue; // query ball misses the partition sphere entirely
+            }
+            let ring_lo = ((dc - r_hi).max(0.0) / self.epsilon).floor() as u64;
+            let ring_hi_geom = ((dc + r_hi) / self.epsilon).floor() as u64;
+            let ring_cap = (part.radius / self.epsilon).floor() as u64;
+            let ring_hi = ring_hi_geom.min(ring_cap);
+            if ring_lo > ring_hi {
+                continue;
+            }
+            let key_lo = part_idx as u64 * self.ring_c + ring_lo;
+            let key_hi = part_idx as u64 * self.ring_c + ring_hi;
+            for entry in self.tree.range(key_lo, key_hi)? {
+                let (_key, sub_id) = entry?;
+                let sp = &self.subparts[sub_id as usize];
+                let dp = dist(pq, &sp.pivot);
+                // Sphere filter (paper Fig. 3): skip sub-partitions that
+                // cannot contain a point in the annulus.
+                if dp - sp.radius > r_hi || dp + sp.radius <= r_lo {
+                    continue;
+                }
+                self.scan_subpart(sub_id as u32, pq, r_lo, r_hi, &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scans one sub-partition's projected blob, appending candidates in the
+    /// annulus.
+    fn scan_subpart(
+        &self,
+        sub: u32,
+        pq: &[f32],
+        r_lo: f64,
+        r_hi: f64,
+        out: &mut Vec<RangeCandidate>,
+    ) -> io::Result<()> {
+        for (offset, (id, pv)) in self.read_subpart_proj(sub)?.into_iter().enumerate() {
+            let pd = dist(&pv, pq);
+            if pd > r_lo && pd <= r_hi {
+                out.push(RangeCandidate {
+                    id,
+                    proj_dist: pd,
+                    subpart: sub,
+                    offset: offset as u32,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a sub-partition's projected records: `(id, projected vector)`.
+    pub fn read_subpart_proj(&self, sub: u32) -> io::Result<Vec<(u64, Vec<f32>)>> {
+        let sp = &self.subparts[sub as usize];
+        self.read_subpart_proj_by_meta(sp)
+    }
+
+    /// As [`Self::read_subpart_proj`] but from a metadata reference
+    /// (used during construction before `self.subparts` is final).
+    pub fn read_subpart_proj_by_meta(
+        &self,
+        sp: &SubPartMeta,
+    ) -> io::Result<Vec<(u64, Vec<f32>)>> {
+        let rec = 8 + 4 * self.m;
+        let blob = read_blob_range(
+            &self.pager,
+            self.proj_region.0,
+            sp.proj_off as usize,
+            sp.count as usize * rec,
+        )?;
+        let mut pos = 0;
+        let mut out = Vec::with_capacity(sp.count as usize);
+        for _ in 0..sp.count {
+            let id = enc::get_u64(&blob, &mut pos);
+            let v = enc::get_f32s(&blob, &mut pos, self.m);
+            out.push((id, v));
+        }
+        Ok(out)
+    }
+
+    /// Fetches a single projected record `(id, projected vector)` — used by
+    /// Quick-Probe to read the located point and turn its projected distance
+    /// into the searching range.
+    pub fn fetch_proj_record(&self, sub: u32, offset: u32) -> io::Result<(u64, Vec<f32>)> {
+        let sp = &self.subparts[sub as usize];
+        debug_assert!(offset < sp.count);
+        let rec = 8 + 4 * self.m;
+        let bytes = read_blob_range(
+            &self.pager,
+            self.proj_region.0,
+            sp.proj_off as usize + offset as usize * rec,
+            rec,
+        )?;
+        let mut pos = 0;
+        let id = enc::get_u64(&bytes, &mut pos);
+        Ok((id, enc::get_f32s(&bytes, &mut pos, self.m)))
+    }
+
+    // --- Original-vector fetches ------------------------------------------
+
+    /// Fetches the original vectors at the given record offsets of one
+    /// sub-partition. Each covering page is read exactly once per call, so
+    /// verifying a batch of candidates in the same sub-partition costs the
+    /// sequential-read page count the paper's layout is designed for.
+    pub fn fetch_originals(
+        &self,
+        sub: u32,
+        offsets: &[u32],
+    ) -> io::Result<Vec<Vec<f32>>> {
+        let sp = &self.subparts[sub as usize];
+        let rec = 4 * self.d;
+        let ps = self.pager.page_size();
+        let base = sp.orig_off as usize;
+
+        // Which pages of the original region cover the requested records?
+        let mut pages: Vec<u64> = Vec::new();
+        for &o in offsets {
+            debug_assert!(o < sp.count, "offset out of range");
+            let lo = base + o as usize * rec;
+            let hi = lo + rec - 1;
+            for p in (lo / ps)..=(hi / ps) {
+                pages.push(p as u64);
+            }
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        let mut cache: HashMap<u64, Arc<PageBuf>> = HashMap::with_capacity(pages.len());
+        for p in pages {
+            cache.insert(p, self.pager.read(self.orig_region.0 + p)?);
+        }
+
+        let mut out = Vec::with_capacity(offsets.len());
+        for &o in offsets {
+            let mut bytes = Vec::with_capacity(rec);
+            let lo = base + o as usize * rec;
+            let mut cursor = lo;
+            while cursor < lo + rec {
+                let page_idx = (cursor / ps) as u64;
+                let in_page = cursor % ps;
+                let take = (ps - in_page).min(lo + rec - cursor);
+                let page = &cache[&page_idx];
+                bytes.extend_from_slice(&page.as_slice()[in_page..in_page + take]);
+                cursor += take;
+            }
+            let mut pos = 0;
+            out.push(enc::get_f32s(&bytes, &mut pos, self.d));
+        }
+        Ok(out)
+    }
+
+    /// Fetches a single original vector.
+    pub fn fetch_original(&self, cand: &RangeCandidate) -> io::Result<Vec<f32>> {
+        Ok(self.fetch_originals(cand.subpart, &[cand.offset])?.pop().unwrap())
+    }
+
+    /// Reads a whole sub-partition's original blob in record order (used by
+    /// the scan-everything verification paths and tests).
+    pub fn read_subpart_orig(&self, sub: u32) -> io::Result<Vec<Vec<f32>>> {
+        let sp = &self.subparts[sub as usize];
+        let rec = 4 * self.d;
+        let blob = read_blob_range(
+            &self.pager,
+            self.orig_region.0,
+            sp.orig_off as usize,
+            sp.count as usize * rec,
+        )?;
+        let mut pos = 0;
+        Ok((0..sp.count).map(|_| enc::get_f32s(&blob, &mut pos, self.d)).collect())
+    }
+
+    // --- Incremental NN ----------------------------------------------------
+
+    /// Exact incremental nearest-neighbour iteration in the projected space
+    /// (best-first over sub-partition lower bounds).
+    pub fn nn_iter(&self, pq: &[f32]) -> NnIter<'_> {
+        NnIter::new(self, pq)
+    }
+
+    // --- Persistence -------------------------------------------------------
+
+    /// Writes the directory blob and a footer page at the end of the file so
+    /// [`Self::open`] can reconstruct the handle. Called by the builder.
+    pub(crate) fn write_footer(&self) -> io::Result<()> {
+        let mut dir = Vec::new();
+        enc::put_u32(&mut dir, self.partitions.len() as u32);
+        for p in &self.partitions {
+            p.encode(&mut dir);
+        }
+        enc::put_u32(&mut dir, self.subparts.len() as u32);
+        for s in &self.subparts {
+            s.encode(&mut dir);
+        }
+        let dir_start = write_blob(&self.pager, &dir)?;
+
+        let ps = self.pager.page_size();
+        let mut footer = Vec::with_capacity(ps);
+        enc::put_u64(&mut footer, FOOTER_MAGIC);
+        enc::put_u64(&mut footer, self.m as u64);
+        enc::put_u64(&mut footer, self.d as u64);
+        enc::put_f64(&mut footer, self.epsilon);
+        enc::put_u64(&mut footer, self.ring_c);
+        enc::put_u64(&mut footer, self.proj_region.0);
+        enc::put_u64(&mut footer, self.proj_region.1);
+        enc::put_u64(&mut footer, self.orig_region.0);
+        enc::put_u64(&mut footer, self.orig_region.1);
+        enc::put_u64(&mut footer, dir_start);
+        enc::put_u64(&mut footer, dir.len() as u64);
+        enc::put_u64(&mut footer, self.tree.root());
+        enc::put_u64(&mut footer, self.tree.height() as u64);
+        enc::put_u64(&mut footer, self.tree.len());
+        enc::put_u64(&mut footer, self.n_points);
+        footer.resize(ps, 0);
+        let mut page = PageBuf::zeroed(ps);
+        page.as_mut_slice().copy_from_slice(&footer);
+        self.pager.append(page)?;
+        self.pager.sync()
+    }
+
+    /// Reopens an index from a pager whose **last page** is the footer
+    /// written by the builder.
+    pub fn open(pager: Arc<Pager>) -> io::Result<Self> {
+        let last = pager.num_pages().checked_sub(1).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "empty index file")
+        })?;
+        Self::open_at(pager, last)
+    }
+
+    /// Reopens an index whose footer lives at a known page (used when other
+    /// layers — e.g. the full ProMIPS persistence — append their own data
+    /// after the iDistance footer).
+    pub fn open_at(pager: Arc<Pager>, footer_page: PageId) -> io::Result<Self> {
+        let page = pager.read(footer_page)?;
+        let buf = page.as_slice();
+        let mut pos = 0;
+        let magic = enc::get_u64(buf, &mut pos);
+        if magic != FOOTER_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad iDistance footer magic",
+            ));
+        }
+        let m = enc::get_u64(buf, &mut pos) as usize;
+        let d = enc::get_u64(buf, &mut pos) as usize;
+        let epsilon = enc::get_f64(buf, &mut pos);
+        let ring_c = enc::get_u64(buf, &mut pos);
+        let proj_region = (enc::get_u64(buf, &mut pos), enc::get_u64(buf, &mut pos));
+        let orig_region = (enc::get_u64(buf, &mut pos), enc::get_u64(buf, &mut pos));
+        let dir_start = enc::get_u64(buf, &mut pos);
+        let dir_len = enc::get_u64(buf, &mut pos) as usize;
+        let tree_root = enc::get_u64(buf, &mut pos);
+        let tree_height = enc::get_u64(buf, &mut pos) as u32;
+        let tree_len = enc::get_u64(buf, &mut pos);
+        let n_points = enc::get_u64(buf, &mut pos);
+
+        let dir = read_blob(&pager, dir_start, dir_len)?;
+        let mut dpos = 0;
+        let n_parts = enc::get_u32(&dir, &mut dpos) as usize;
+        let partitions: Vec<PartitionMeta> =
+            (0..n_parts).map(|_| PartitionMeta::decode(&dir, &mut dpos)).collect();
+        let n_subs = enc::get_u32(&dir, &mut dpos) as usize;
+        let subparts: Vec<SubPartMeta> =
+            (0..n_subs).map(|_| SubPartMeta::decode(&dir, &mut dpos)).collect();
+
+        let tree = BTree::open(Arc::clone(&pager), tree_root, tree_height, tree_len);
+        Ok(Self::assemble(
+            pager,
+            tree,
+            m,
+            d,
+            epsilon,
+            ring_c,
+            proj_region,
+            orig_region,
+            partitions,
+            subparts,
+            n_points,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_index;
+    use crate::config::IDistanceConfig;
+    use promips_linalg::Matrix;
+    use promips_stats::Xoshiro256pp;
+
+    fn random_matrix(n: usize, dims: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        Matrix::from_rows(dims, (0..n).map(|_| {
+            (0..dims).map(|_| rng.normal() as f32).collect()
+        }))
+    }
+
+    fn build_small() -> (IDistanceIndex, Matrix, Matrix) {
+        let proj = random_matrix(600, 6, 10);
+        let orig = random_matrix(600, 24, 11);
+        let pager = Arc::new(Pager::in_memory(1024, 1 << 16));
+        let cfg = IDistanceConfig { kp: 4, nkey: 10, ksp: 3, ..Default::default() };
+        let idx = build_index(pager, &proj, &orig, &cfg).unwrap();
+        (idx, proj, orig)
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let (idx, proj, _) = build_small();
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        for _ in 0..10 {
+            let pq: Vec<f32> = (0..6).map(|_| rng.normal() as f32).collect();
+            let r = rng.uniform_range(0.5, 3.0);
+            let mut got: Vec<u64> = idx
+                .range_candidates(&pq, -1.0, r)
+                .unwrap()
+                .into_iter()
+                .map(|c| c.id)
+                .collect();
+            got.sort_unstable();
+            let mut expected: Vec<u64> = (0..proj.rows())
+                .filter(|&i| dist(proj.row(i), &pq) <= r)
+                .map(|i| i as u64)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "r={r}");
+        }
+    }
+
+    #[test]
+    fn annulus_excludes_inner_ball() {
+        let (idx, proj, _) = build_small();
+        let pq: Vec<f32> = vec![0.1; 6];
+        let (r_lo, r_hi) = (1.0, 2.5);
+        let mut got: Vec<u64> = idx
+            .range_candidates(&pq, r_lo, r_hi)
+            .unwrap()
+            .into_iter()
+            .map(|c| c.id)
+            .collect();
+        got.sort_unstable();
+        let mut expected: Vec<u64> = (0..proj.rows())
+            .filter(|&i| {
+                let pd = dist(proj.row(i), &pq);
+                pd > r_lo && pd <= r_hi
+            })
+            .map(|i| i as u64)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn fetch_originals_returns_right_vectors() {
+        let (idx, _, orig) = build_small();
+        let pq: Vec<f32> = vec![0.0; 6];
+        let cands = idx.range_candidates(&pq, -1.0, 2.0).unwrap();
+        assert!(!cands.is_empty());
+        for chunk in cands.chunks(5) {
+            // Group by subpart within the chunk.
+            for c in chunk {
+                let v = idx.fetch_original(c).unwrap();
+                let expected: Vec<f32> = orig.row(c.id as usize).to_vec();
+                assert_eq!(v, expected, "id {}", c.id);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fetch_reads_each_page_once() {
+        let (idx, _, _) = build_small();
+        // Pick a sub-partition with several points.
+        let sub = (0..idx.subparts().len() as u32)
+            .find(|&s| idx.subparts()[s as usize].count >= 4)
+            .expect("some subpart with >= 4 points");
+        let count = idx.subparts()[sub as usize].count;
+        let offsets: Vec<u32> = (0..count.min(6)).collect();
+
+        idx.pager().stats().reset();
+        idx.pager().clear_cache();
+        let _ = idx.fetch_originals(sub, &offsets).unwrap();
+        let batched = idx.access_stats().logical_reads;
+
+        idx.pager().stats().reset();
+        idx.pager().clear_cache();
+        for &o in &offsets {
+            let _ = idx.fetch_originals(sub, &[o]).unwrap();
+        }
+        let unbatched = idx.access_stats().logical_reads;
+        assert!(batched <= unbatched, "batched {batched} > unbatched {unbatched}");
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("promips-idx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.pmx");
+
+        let proj = random_matrix(300, 5, 21);
+        let orig = random_matrix(300, 16, 22);
+        let stats = promips_storage::AccessStats::new_shared();
+        let storage = Arc::new(promips_storage::FileStorage::create(&path, 1024).unwrap());
+        let pager = Arc::new(Pager::new(storage, 256, stats));
+        let cfg = IDistanceConfig { kp: 3, nkey: 6, ksp: 2, ..Default::default() };
+        let built = build_index(pager, &proj, &orig, &cfg).unwrap();
+        let pq: Vec<f32> = vec![0.0; 5];
+        let mut before: Vec<u64> = built
+            .range_candidates(&pq, -1.0, 2.0)
+            .unwrap()
+            .into_iter()
+            .map(|c| c.id)
+            .collect();
+        before.sort_unstable();
+        drop(built);
+
+        let stats2 = promips_storage::AccessStats::new_shared();
+        let storage2 = Arc::new(promips_storage::FileStorage::open(&path, 1024).unwrap());
+        let pager2 = Arc::new(Pager::new(storage2, 256, stats2));
+        let reopened = IDistanceIndex::open(pager2).unwrap();
+        assert_eq!(reopened.len(), 300);
+        let mut after: Vec<u64> = reopened
+            .range_candidates(&pq, -1.0, 2.0)
+            .unwrap()
+            .into_iter()
+            .map(|c| c.id)
+            .collect();
+        after.sort_unstable();
+        assert_eq!(before, after);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn search_costs_page_accesses() {
+        let (idx, _, _) = build_small();
+        idx.pager().clear_cache();
+        idx.pager().stats().reset();
+        let pq: Vec<f32> = vec![0.0; 6];
+        let _ = idx.range_candidates(&pq, -1.0, 1.5).unwrap();
+        let snap = idx.access_stats();
+        assert!(snap.logical_reads > 0, "search must touch pages");
+    }
+}

@@ -1,0 +1,133 @@
+//! Directory metadata: partitions and sub-partitions, with a compact binary
+//! codec so the directory itself lives in the paged file (it is part of the
+//! paper's Index Size measurement).
+
+use crate::layout::enc::*;
+
+/// A first-stage partition: k-means center and covering radius in the
+/// projected space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionMeta {
+    /// Cluster center `Oi` (m-dim, projected space).
+    pub center: Vec<f32>,
+    /// Max distance from a member point to `center`.
+    pub radius: f64,
+    /// Number of points in the partition.
+    pub count: u64,
+}
+
+/// A sub-partition: one contiguous run of points on disk, filtered by a
+/// pivot/radius sphere during range search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubPartMeta {
+    /// Ring key of Formula 6 this sub-partition belongs to.
+    pub key: u64,
+    /// Sub-cluster pivot (m-dim, projected space).
+    pub pivot: Vec<f32>,
+    /// Max distance from a member to `pivot`.
+    pub radius: f64,
+    /// Number of points.
+    pub count: u32,
+    /// Byte offset of this sub-partition's projected records inside the
+    /// packed projected region (`count` records of `8 + 4m` bytes each:
+    /// point id + projected vector).
+    pub proj_off: u64,
+    /// Byte offset of the original records inside the packed original
+    /// region (`count` records of `4d` bytes, same order as projected).
+    pub orig_off: u64,
+}
+
+impl PartitionMeta {
+    /// Serializes into `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.center.len() as u32);
+        put_f32s(buf, &self.center);
+        put_f64(buf, self.radius);
+        put_u64(buf, self.count);
+    }
+
+    /// Deserializes from `buf` at `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Self {
+        let m = get_u32(buf, pos) as usize;
+        let center = get_f32s(buf, pos, m);
+        let radius = get_f64(buf, pos);
+        let count = get_u64(buf, pos);
+        Self { center, radius, count }
+    }
+}
+
+impl SubPartMeta {
+    /// Serializes into `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.key);
+        put_u32(buf, self.pivot.len() as u32);
+        put_f32s(buf, &self.pivot);
+        put_f64(buf, self.radius);
+        put_u32(buf, self.count);
+        put_u64(buf, self.proj_off);
+        put_u64(buf, self.orig_off);
+    }
+
+    /// Deserializes from `buf` at `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Self {
+        let key = get_u64(buf, pos);
+        let m = get_u32(buf, pos) as usize;
+        let pivot = get_f32s(buf, pos, m);
+        let radius = get_f64(buf, pos);
+        let count = get_u32(buf, pos);
+        let proj_off = get_u64(buf, pos);
+        let orig_off = get_u64(buf, pos);
+        Self { key, pivot, radius, count, proj_off, orig_off }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_roundtrip() {
+        let p = PartitionMeta { center: vec![1.0, -2.0, 3.5], radius: 7.25, count: 42 };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(PartitionMeta::decode(&buf, &mut pos), p);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn subpart_roundtrip() {
+        let s = SubPartMeta {
+            key: 99,
+            pivot: vec![0.5; 6],
+            radius: 1.125,
+            count: 17,
+            proj_off: 1234,
+            orig_off: 5678,
+        };
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(SubPartMeta::decode(&buf, &mut pos), s);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn sequence_roundtrip() {
+        let mut buf = Vec::new();
+        let parts: Vec<PartitionMeta> = (0..5)
+            .map(|i| PartitionMeta {
+                center: vec![i as f32; 4],
+                radius: i as f64,
+                count: i,
+            })
+            .collect();
+        for p in &parts {
+            p.encode(&mut buf);
+        }
+        let mut pos = 0;
+        let decoded: Vec<PartitionMeta> =
+            (0..5).map(|_| PartitionMeta::decode(&buf, &mut pos)).collect();
+        assert_eq!(decoded, parts);
+    }
+}

@@ -1,0 +1,15 @@
+//! Dense linear-algebra kernels used across the ProMIPS reproduction.
+//!
+//! Data vectors are stored as `f32` (halving the memory footprint and disk
+//! pages relative to `f64`, which matters for the paper's Page Access
+//! metric), while every reduction — inner products, norms, distances — is
+//! accumulated in `f64` so the searching conditions of the paper keep full
+//! precision.
+
+pub mod matrix;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use vector::{
+    add_scaled, dist, dot, norm1, norm2, sq_dist, sq_norm2, sub,
+};

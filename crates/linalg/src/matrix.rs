@@ -1,0 +1,167 @@
+//! Row-major dense matrix, used for datasets (n × d), projection matrices
+//! (m × d), and PQ codebooks.
+
+use crate::vector::dot;
+
+/// A row-major dense `f32` matrix.
+///
+/// Rows are the natural unit here: a dataset is a matrix whose rows are
+/// points; a projection is a matrix whose rows are the `m` 2-stable random
+/// vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Wraps an existing buffer. `data.len()` must equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix buffer size {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix row by row from an iterator of row slices.
+    pub fn from_rows(cols: usize, rows_iter: impl IntoIterator<Item = Vec<f32>>) -> Self {
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for row in rows_iter {
+            assert_eq!(row.len(), cols, "row {rows} has wrong width");
+            data.extend_from_slice(&row);
+            rows += 1;
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows (points).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (dimensionality).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns true if the matrix has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows, "row {i} out of {} rows", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over rows. A zero-column matrix yields no rows (its backing
+    /// buffer is empty, so there is nothing to chunk).
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// The raw backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Matrix–vector product `self · x`, returning an `f32` vector with
+    /// `f64` accumulation per row. This is exactly the m-fold 2-stable
+    /// random projection of Definition 2 when `self` is the m × d matrix of
+    /// i.i.d. N(0,1) rows.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        self.iter_rows().map(|row| dot(row, x) as f32).collect()
+    }
+
+    /// Appends a row. Must match the column count.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols);
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Gathers the given row indices into a new matrix (used to materialize
+    /// query sets and cluster splits).
+    pub fn gather(&self, indices: &[usize]) -> Matrix {
+        let mut out = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            out.extend_from_slice(self.row(i));
+        }
+        Matrix::from_vec(indices.len(), self.cols, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.iter_rows().count(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_bad_size() {
+        Matrix::from_vec(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.0]);
+        let y = m.matvec(&[3.0, 4.0, 5.0]);
+        assert_eq!(y, vec![-2.0, 10.0]);
+    }
+
+    #[test]
+    fn push_row_and_gather() {
+        let mut m = Matrix::zeros(0, 2);
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        m.push_row(&[5.0, 6.0]);
+        let g = m.gather(&[2, 0]);
+        assert_eq!(g.row(0), &[5.0, 6.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_rows_builder() {
+        let m = Matrix::from_rows(2, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Vector kernels: inner product, norms, Euclidean distances.
+//!
+//! All kernels take `&[f32]` slices and accumulate in `f64` with 4-way
+//! unrolling, which the compiler auto-vectorizes on x86-64 and aarch64.
+
+/// Inner product `⟨a, b⟩` with `f64` accumulation.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    let (a4, a_rest) = a.split_at(chunks * 4);
+    let (b4, b_rest) = b.split_at(chunks * 4);
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc[0] += ca[0] as f64 * cb[0] as f64;
+        acc[1] += ca[1] as f64 * cb[1] as f64;
+        acc[2] += ca[2] as f64 * cb[2] as f64;
+        acc[3] += ca[3] as f64 * cb[3] as f64;
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in a_rest.iter().zip(b_rest) {
+        tail += x as f64 * y as f64;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Squared Euclidean norm `‖a‖²`.
+#[inline]
+pub fn sq_norm2(a: &[f32]) -> f64 {
+    dot(a, a)
+}
+
+/// Euclidean norm `‖a‖`.
+#[inline]
+pub fn norm2(a: &[f32]) -> f64 {
+    sq_norm2(a).sqrt()
+}
+
+/// 1-norm `‖a‖₁ = Σ|aᵢ|` — the quantity Quick-Probe stores per point
+/// (Theorem 4 of the paper bounds `dis(o,q) ≤ ‖o‖₁ + ‖q‖₁`).
+#[inline]
+pub fn norm1(a: &[f32]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    let (a4, rest) = a.split_at(chunks * 4);
+    for c in a4.chunks_exact(4) {
+        acc[0] += c[0].abs() as f64;
+        acc[1] += c[1].abs() as f64;
+        acc[2] += c[2].abs() as f64;
+        acc[3] += c[3].abs() as f64;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + rest.iter().map(|x| x.abs() as f64).sum::<f64>()
+}
+
+/// Squared Euclidean distance `dis²(a, b)`.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "sq_dist: dimension mismatch");
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    let (a4, a_rest) = a.split_at(chunks * 4);
+    let (b4, b_rest) = b.split_at(chunks * 4);
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        let d0 = ca[0] as f64 - cb[0] as f64;
+        let d1 = ca[1] as f64 - cb[1] as f64;
+        let d2 = ca[2] as f64 - cb[2] as f64;
+        let d3 = ca[3] as f64 - cb[3] as f64;
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in a_rest.iter().zip(b_rest) {
+        let d = x as f64 - y as f64;
+        tail += d * d;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Euclidean distance `dis(a, b)`.
+#[inline]
+pub fn dist(a: &[f32], b: &[f32]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Element-wise difference `a − b` into a fresh vector.
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// `out += alpha * x` (the BLAS `axpy`), used by k-means centroid updates.
+pub fn add_scaled(out: &mut [f64], alpha: f64, x: &[f32]) {
+    debug_assert_eq!(out.len(), x.len());
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += alpha * v as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+        // length 5 exercises the tail path
+        assert_eq!(dot(&[1.0; 5], &[2.0; 5]), 10.0);
+    }
+
+    #[test]
+    fn norms_basic() {
+        assert_eq!(sq_norm2(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm1(&[1.0, -2.0, 3.0, -4.0, 5.0]), 15.0);
+    }
+
+    #[test]
+    fn distances_basic() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(dist(&[1.0; 7], &[1.0; 7]), 0.0);
+    }
+
+    #[test]
+    fn sub_and_axpy() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
+        let mut acc = vec![1.0f64, 1.0];
+        add_scaled(&mut acc, 2.0, &[3.0, -1.0]);
+        assert_eq!(acc, vec![7.0, -1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_matches_naive(v in proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 0..64)) {
+            let a: Vec<f32> = v.iter().map(|p| p.0).collect();
+            let b: Vec<f32> = v.iter().map(|p| p.1).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+            prop_assert!((dot(&a, &b) - naive).abs() <= 1e-9 * (1.0 + naive.abs()));
+        }
+
+        #[test]
+        fn sq_dist_identity_with_ip(v in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 1..48)) {
+            // dis²(a,b) = ‖a‖² + ‖b‖² − 2⟨a,b⟩ — the identity ProMIPS's
+            // searching conditions rest on.
+            let a: Vec<f32> = v.iter().map(|p| p.0).collect();
+            let b: Vec<f32> = v.iter().map(|p| p.1).collect();
+            let lhs = sq_dist(&a, &b);
+            let rhs = sq_norm2(&a) + sq_norm2(&b) - 2.0 * dot(&a, &b);
+            prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + lhs.abs()));
+        }
+
+        #[test]
+        fn norm1_dominates_norm2(a in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+            // ‖a‖₂ ≤ ‖a‖₁ — the inequality behind Theorem 4.
+            prop_assert!(norm2(&a) <= norm1(&a) + 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(ab in proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0), 1..32)) {
+            let a: Vec<f32> = ab.iter().map(|p| p.0).collect();
+            let b: Vec<f32> = ab.iter().map(|p| p.1).collect();
+            let c: Vec<f32> = ab.iter().map(|p| p.2).collect();
+            prop_assert!(dist(&a, &c) <= dist(&a, &b) + dist(&b, &c) + 1e-9);
+        }
+    }
+}

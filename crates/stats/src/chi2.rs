@@ -1,0 +1,177 @@
+//! Chi-square distribution: CDF `Ψm(x)`, PDF, and inverse CDF `Ψm⁻¹(p)`.
+//!
+//! In the paper's notation (Table I), `Ψm(x)` is the CDF of the chi-square
+//! distribution with `m` degrees of freedom. Condition B tests
+//! `Ψm(ratio) ≥ p` and the Quick-Probe compensation radius is
+//! `r' = sqrt(Ψm⁻¹(p) · (‖oM‖² + ‖q‖² − 2⟨omax,q⟩/c))`.
+
+use crate::gamma::{ln_gamma, reg_gamma_lower};
+use crate::normal::normal_inv_cdf;
+
+/// CDF of the chi-square distribution with `m` degrees of freedom:
+/// `Ψm(x) = P(m/2, x/2)`.
+///
+/// Returns 0 for `x ≤ 0`.
+pub fn chi2_cdf(m: u32, x: f64) -> f64 {
+    debug_assert!(m > 0, "chi2_cdf requires m >= 1");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    reg_gamma_lower(m as f64 / 2.0, x / 2.0)
+}
+
+/// PDF of the chi-square distribution with `m` degrees of freedom.
+pub fn chi2_pdf(m: u32, x: f64) -> f64 {
+    debug_assert!(m > 0, "chi2_pdf requires m >= 1");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let a = m as f64 / 2.0;
+    ((a - 1.0) * x.ln() - x / 2.0 - a * std::f64::consts::LN_2 - ln_gamma(a)).exp()
+}
+
+/// Inverse CDF (quantile) `Ψm⁻¹(p)`: the `x` such that `chi2_cdf(m, x) = p`.
+///
+/// Uses the Wilson–Hilferty normal approximation as the starting point and
+/// polishes with Newton iterations, falling back to bisection whenever a
+/// Newton step leaves the current bracket. Accuracy is ~1e-12 in `p` space.
+///
+/// # Panics
+/// Panics if `p` is outside `(0, 1)` (the open interval); the endpoints map
+/// to 0 and +∞ which are not useful as search radii.
+pub fn chi2_inv_cdf(m: u32, p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "chi2_inv_cdf requires p in (0,1), got {p}"
+    );
+    let df = m as f64;
+
+    // Wilson–Hilferty: X ≈ m(1 − 2/(9m) + z√(2/(9m)))³.
+    let z = normal_inv_cdf(p);
+    let t = 1.0 - 2.0 / (9.0 * df) + z * (2.0 / (9.0 * df)).sqrt();
+    let mut x = (df * t * t * t).max(1e-12);
+
+    // Establish a bracket [lo, hi] with cdf(lo) <= p <= cdf(hi).
+    let mut lo = 0.0;
+    let mut hi = x.max(df);
+    while chi2_cdf(m, hi) < p {
+        lo = hi;
+        hi *= 2.0;
+        if hi > 1e300 {
+            return hi;
+        }
+    }
+    if chi2_cdf(m, x) > p {
+        // start inside the bracket
+        x = 0.5 * (lo + hi.min(x));
+    }
+
+    for _ in 0..200 {
+        let f = chi2_cdf(m, x) - p;
+        if f.abs() < 1e-13 {
+            break;
+        }
+        if f > 0.0 {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        let d = chi2_pdf(m, x);
+        let newton = if d > 1e-300 { x - f / d } else { f64::NAN };
+        x = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        if (hi - lo) < 1e-13 * (1.0 + x.abs()) {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        // From standard chi-square tables / scipy.stats.chi2.cdf.
+        assert_close(chi2_cdf(1, 3.841_458_820_694_124), 0.95, 1e-10);
+        assert_close(chi2_cdf(2, 5.991_464_547_107_979), 0.95, 1e-10);
+        assert_close(chi2_cdf(10, 18.307_038_053_275_143), 0.95, 1e-10);
+        // chi2(2) is Exp(1/2): CDF(x) = 1 − e^{−x/2}.
+        for &x in &[0.5, 1.0, 2.0, 7.0] {
+            assert_close(chi2_cdf(2, x), 1.0 - (-x / 2.0f64).exp(), 1e-13);
+        }
+    }
+
+    #[test]
+    fn cdf_zero_and_negative() {
+        assert_eq!(chi2_cdf(4, 0.0), 0.0);
+        assert_eq!(chi2_cdf(4, -1.0), 0.0);
+    }
+
+    #[test]
+    fn median_close_to_df() {
+        // chi2(2) is Exp(1/2), so its median is exactly 2·ln 2.
+        assert_close(chi2_inv_cdf(2, 0.5), 2.0 * std::f64::consts::LN_2, 1e-10);
+        // For larger m the Wilson–Hilferty approximation m(1 − 2/(9m))³ is
+        // accurate to well under 1%.
+        for &m in &[6u32, 8, 10, 20] {
+            let med = chi2_inv_cdf(m, 0.5);
+            let approx = m as f64 * (1.0 - 2.0 / (9.0 * m as f64)).powi(3);
+            assert!((med - approx).abs() / approx < 0.01, "m={m}: {med} vs {approx}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for &m in &[1u32, 2, 6, 8, 10, 30, 100] {
+            for &p in &[0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999] {
+                let x = chi2_inv_cdf(m, p);
+                assert_close(chi2_cdf(m, x), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_monotone_in_p() {
+        for &m in &[6u32, 10] {
+            let mut prev = 0.0;
+            for i in 1..100 {
+                let p = i as f64 / 100.0;
+                let x = chi2_inv_cdf(m, p);
+                assert!(x > prev, "quantile not monotone at m={m}, p={p}");
+                prev = x;
+            }
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        // Trapezoidal integration of the pdf should recover the cdf.
+        let m = 6;
+        let steps = 12_000usize;
+        let step = 12.0 / steps as f64;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let x = i as f64 * step;
+            acc += step * 0.5 * (chi2_pdf(m, x) + chi2_pdf(m, x + step));
+        }
+        assert_close(acc, chi2_cdf(m, 12.0), 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverse_rejects_p_one() {
+        chi2_inv_cdf(4, 1.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error function, expressed through the regularized incomplete gamma
+//! function: `erf(x) = sign(x) · P(1/2, x²)`.
+
+use crate::gamma::{reg_gamma_lower, reg_gamma_upper};
+
+/// The error function `erf(x) = (2/√π) ∫₀ˣ e^{−t²} dt`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = reg_gamma_lower(0.5, x * x);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Evaluated via the *upper* incomplete gamma for positive `x` so that the
+/// tail keeps full relative precision (important for the QALSH baseline's
+/// collision probabilities at large separations).
+pub fn erfc(x: f64) -> f64 {
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x > 0.0 {
+        reg_gamma_upper(0.5, x * x)
+    } else {
+        1.0 + reg_gamma_lower(0.5, x * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert_close(erf(0.5), 0.520_499_877_813_046_5, 1e-12);
+        assert_close(erf(1.0), 0.842_700_792_949_714_9, 1e-12);
+        assert_close(erf(2.0), 0.995_322_265_018_952_7, 1e-12);
+        assert_close(erf(-1.0), -0.842_700_792_949_714_9, 1e-12);
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for i in 0..50 {
+            let x = i as f64 * 0.1;
+            assert_close(erf(-x), -erf(x), 1e-15);
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for i in -30..30 {
+            let x = i as f64 * 0.2;
+            assert_close(erf(x) + erfc(x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn erfc_tail_precision() {
+        // erfc(3) ≈ 2.209e-5; the complementary path must not lose it to
+        // cancellation.
+        assert_close(erfc(3.0), 2.209_049_699_858_544e-5, 1e-17);
+        assert!(erfc(6.0) > 0.0 && erfc(6.0) < 1e-15);
+    }
+}

@@ -1,0 +1,28 @@
+//! Statistical special functions and deterministic random number generation
+//! for the ProMIPS reproduction.
+//!
+//! ProMIPS's probability-guaranteed searching conditions (Theorems 1–2 of the
+//! paper) are built on the fact that for 2-stable random projections the ratio
+//! `dis²(P(o),P(q)) / dis²(o,q)` follows a chi-square distribution with `m`
+//! degrees of freedom. Evaluating Condition B therefore needs the chi-square
+//! CDF `Ψm(x)`, and the Quick-Probe compensation step needs its inverse
+//! `Ψm⁻¹(p)`. Neither is in `std`, so this crate implements them from first
+//! principles (Lanczos log-gamma, regularized incomplete gamma by series /
+//! continued fraction, Wilson–Hilferty-seeded Newton inversion), together
+//! with the normal distribution (needed by the QALSH baseline's collision
+//! probabilities) and a small, fully deterministic PRNG (xoshiro256++ with
+//! Box–Muller Gaussians) so every experiment in the repository is
+//! bit-reproducible.
+
+pub mod chi2;
+pub mod erf;
+pub mod gamma;
+pub mod normal;
+pub mod rng;
+
+pub use chi2::{chi2_cdf, chi2_inv_cdf, chi2_pdf};
+pub use erf::{erf, erfc};
+pub use gamma::{ln_gamma, reg_gamma_lower, reg_gamma_upper};
+pub use normal::{normal_cdf, normal_inv_cdf, normal_pdf};
+pub use rng::SplitMix64;
+pub use rng::Xoshiro256pp;

@@ -1,0 +1,225 @@
+//! A small LRU buffer pool.
+//!
+//! The paper delegates caching to the operating system; we model the cache
+//! explicitly so experiments can distinguish logical page accesses (the
+//! Fig. 7 metric) from physical I/O, and so cold-cache runs are reproducible
+//! regardless of host page-cache state.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::page::{PageBuf, PageId};
+
+/// Doubly-linked-list node indices for the LRU chain (indices into `slots`).
+const NIL: usize = usize::MAX;
+
+struct Slot {
+    id: PageId,
+    page: Arc<PageBuf>,
+    prev: usize,
+    next: usize,
+}
+
+struct Inner {
+    map: HashMap<PageId, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+/// A fixed-capacity LRU cache of immutable page snapshots.
+///
+/// Pages are shared via `Arc`, so an evicted page that a reader still holds
+/// stays alive until the reader drops it — eviction can never invalidate a
+/// borrow.
+pub struct BufferPool {
+    inner: Mutex<Inner>,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::with_capacity(capacity),
+                slots: Vec::with_capacity(capacity),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                capacity,
+            }),
+        }
+    }
+
+    /// Looks up a page, promoting it to most-recently-used on hit.
+    pub fn get(&self, id: PageId) -> Option<Arc<PageBuf>> {
+        let mut inner = self.inner.lock();
+        let &slot_idx = inner.map.get(&id)?;
+        inner.unlink(slot_idx);
+        inner.push_front(slot_idx);
+        Some(Arc::clone(&inner.slots[slot_idx].page))
+    }
+
+    /// Inserts (or replaces) a page, evicting the least-recently-used entry
+    /// if the pool is full.
+    pub fn insert(&self, id: PageId, page: Arc<PageBuf>) {
+        let mut inner = self.inner.lock();
+        if let Some(&slot_idx) = inner.map.get(&id) {
+            inner.slots[slot_idx].page = page;
+            inner.unlink(slot_idx);
+            inner.push_front(slot_idx);
+            return;
+        }
+        if inner.map.len() >= inner.capacity {
+            let victim = inner.tail;
+            debug_assert_ne!(victim, NIL);
+            inner.unlink(victim);
+            let old_id = inner.slots[victim].id;
+            inner.map.remove(&old_id);
+            inner.free.push(victim);
+        }
+        let slot_idx = if let Some(idx) = inner.free.pop() {
+            inner.slots[idx] = Slot { id, page, prev: NIL, next: NIL };
+            idx
+        } else {
+            inner.slots.push(Slot { id, page, prev: NIL, next: NIL });
+            inner.slots.len() - 1
+        };
+        inner.map.insert(id, slot_idx);
+        inner.push_front(slot_idx);
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached pages.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.slots.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+    }
+}
+
+impl Inner {
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(tag: u8) -> Arc<PageBuf> {
+        let mut p = PageBuf::zeroed(8);
+        p.as_mut_slice()[0] = tag;
+        Arc::new(p)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let pool = BufferPool::new(4);
+        pool.insert(1, page(1));
+        pool.insert(2, page(2));
+        assert_eq!(pool.get(1).unwrap().as_slice()[0], 1);
+        assert_eq!(pool.get(2).unwrap().as_slice()[0], 2);
+        assert!(pool.get(3).is_none());
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let pool = BufferPool::new(2);
+        pool.insert(1, page(1));
+        pool.insert(2, page(2));
+        // Touch 1 so 2 becomes LRU.
+        pool.get(1).unwrap();
+        pool.insert(3, page(3));
+        assert!(pool.get(2).is_none(), "2 should have been evicted");
+        assert!(pool.get(1).is_some());
+        assert!(pool.get(3).is_some());
+    }
+
+    #[test]
+    fn replace_existing_key() {
+        let pool = BufferPool::new(2);
+        pool.insert(1, page(1));
+        pool.insert(1, page(9));
+        assert_eq!(pool.get(1).unwrap().as_slice()[0], 9);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let pool = BufferPool::new(4);
+        pool.insert(1, page(1));
+        pool.clear();
+        assert!(pool.is_empty());
+        assert!(pool.get(1).is_none());
+        // Pool must remain usable after clear.
+        pool.insert(2, page(2));
+        assert!(pool.get(2).is_some());
+    }
+
+    #[test]
+    fn capacity_one_pool() {
+        let pool = BufferPool::new(1);
+        for i in 0..10u8 {
+            pool.insert(i as PageId, page(i));
+            assert_eq!(pool.get(i as PageId).unwrap().as_slice()[0], i);
+            assert_eq!(pool.len(), 1);
+        }
+    }
+
+    #[test]
+    fn heavy_churn_consistency() {
+        let pool = BufferPool::new(16);
+        for round in 0..1000u64 {
+            let id = round % 40;
+            pool.insert(id, page((id % 256) as u8));
+            if let Some(p) = pool.get(id) {
+                assert_eq!(p.as_slice()[0], (id % 256) as u8);
+            }
+        }
+        assert!(pool.len() <= 16);
+    }
+}

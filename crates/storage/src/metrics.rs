@@ -1,0 +1,141 @@
+//! Access accounting: the measurement behind the paper's Page Access metric.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe page-access counters.
+///
+/// * `logical_reads` — every page fetched through a [`crate::Pager`],
+///   whether or not it was cached. This matches the paper's "number of disk
+///   pages to be accessed during the searching process" (their Java
+///   implementation counts page fetches and leaves caching to the OS).
+/// * `cache_hits` / `cache_misses` — buffer-pool behaviour, reported
+///   separately so cold-cache (physical) I/O can also be studied.
+/// * `writes` — pages written (pre-processing cost).
+#[derive(Debug, Default)]
+pub struct AccessStats {
+    logical_reads: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl AccessStats {
+    /// Creates a fresh, shareable counter set.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    #[inline]
+    pub(crate) fn record_read(&self) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Atomically reads all counters.
+    pub fn snapshot(&self) -> AccessStatsSnapshot {
+        AccessStatsSnapshot {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero (called between queries when measuring
+    /// per-query page accesses).
+    pub fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`AccessStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessStatsSnapshot {
+    /// Pages fetched through the pager (the paper's Page Access).
+    pub logical_reads: u64,
+    /// Fetches served by the buffer pool.
+    pub cache_hits: u64,
+    /// Fetches that had to go to the backing storage.
+    pub cache_misses: u64,
+    /// Pages written.
+    pub writes: u64,
+}
+
+impl AccessStatsSnapshot {
+    /// Difference of two snapshots (self − earlier), for per-query deltas.
+    pub fn delta_since(&self, earlier: &AccessStatsSnapshot) -> AccessStatsSnapshot {
+        AccessStatsSnapshot {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            writes: self.writes - earlier.writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = AccessStats::new_shared();
+        s.record_read();
+        s.record_read();
+        s.record_hit();
+        s.record_miss();
+        s.record_write();
+        let snap = s.snapshot();
+        assert_eq!(snap.logical_reads, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.writes, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), AccessStatsSnapshot::default());
+    }
+
+    #[test]
+    fn delta_between_snapshots() {
+        let s = AccessStats::new_shared();
+        s.record_read();
+        let a = s.snapshot();
+        s.record_read();
+        s.record_read();
+        let b = s.snapshot();
+        assert_eq!(b.delta_since(&a).logical_reads, 2);
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        let s = AccessStats::new_shared();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_read();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot().logical_reads, 4000);
+    }
+}

@@ -1,0 +1,114 @@
+//! Side-by-side comparison of ProMIPS against the paper's three baselines
+//! (H2-ALSH, Norm-Ranging LSH, PQ-based) on one synthetic dataset —
+//! a miniature of the paper's Figs. 5–8.
+//!
+//! Run with: `cargo run --release --example compare_methods`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use promips::baselines::h2alsh::{H2Alsh, H2AlshConfig};
+use promips::baselines::pq::{PqConfig, PqMips};
+use promips::baselines::rangelsh::{RangeLsh, RangeLshConfig};
+use promips::baselines::{MipsMethod, ProMipsMethod};
+use promips::core::{ProMips, ProMipsConfig};
+use promips::data::{exact_topk_batch, DatasetSpec};
+use promips::storage::Pager;
+
+const K: usize = 10;
+const QUERIES: usize = 30;
+
+fn main() {
+    let spec = DatasetSpec::netflix().with_n(10_000);
+    println!("dataset: {} n={} d={}", spec.name, spec.n, spec.d);
+    let ds = spec.generate();
+    let gt = exact_topk_batch(&ds.data, &ds.queries, K, 4);
+
+    // Build all four methods.
+    let mut methods: Vec<(Box<dyn MipsMethod>, f64)> = Vec::new();
+    let t = Instant::now();
+    let promips = ProMips::build_in_memory(
+        &ds.data,
+        ProMipsConfig::builder().c(0.9).p(0.5).seed(1).build(),
+    )
+    .unwrap();
+    methods.push((Box::new(ProMipsMethod::new(promips)), ms(t)));
+
+    let t = Instant::now();
+    let h2 = H2Alsh::build(
+        &ds.data,
+        H2AlshConfig::default(),
+        Arc::new(Pager::in_memory(4096, 4096)),
+    )
+    .unwrap();
+    methods.push((Box::new(h2), ms(t)));
+
+    let t = Instant::now();
+    let rl = RangeLsh::build(
+        &ds.data,
+        RangeLshConfig::default(),
+        Arc::new(Pager::in_memory(4096, 4096)),
+    )
+    .unwrap();
+    methods.push((Box::new(rl), ms(t)));
+
+    let t = Instant::now();
+    let pq = PqMips::build(
+        &ds.data,
+        PqConfig::default(),
+        Arc::new(Pager::in_memory(4096, 4096)),
+    )
+    .unwrap();
+    methods.push((Box::new(pq), ms(t)));
+
+    println!(
+        "\n{:<10} {:>9} {:>9} {:>8} {:>8} {:>10} {:>9}",
+        "method", "build ms", "index MB", "ratio", "recall", "pages/q", "cpu ms/q"
+    );
+    for (method, build_ms) in &methods {
+        let mut sum_ratio = 0.0;
+        let mut sum_recall = 0.0;
+        let mut sum_pages = 0.0;
+        let mut sum_ms = 0.0;
+        for qi in 0..QUERIES {
+            let q = ds.queries.row(qi);
+            method.reset_stats();
+            let t = Instant::now();
+            let res = method.search(q, K).unwrap();
+            sum_ms += ms(t);
+            sum_pages += method.page_accesses() as f64;
+
+            let exact = &gt[qi];
+            sum_ratio += res
+                .iter()
+                .zip(exact)
+                .filter(|(_, e)| e.1 > 0.0)
+                .map(|(r, e)| (r.ip / e.1).min(1.0))
+                .sum::<f64>()
+                / K as f64;
+            let ids: std::collections::HashSet<u64> =
+                exact.iter().map(|&(id, _)| id).collect();
+            sum_recall +=
+                res.iter().filter(|n| ids.contains(&n.id)).count() as f64 / K as f64;
+        }
+        let nq = QUERIES as f64;
+        println!(
+            "{:<10} {:>9.0} {:>9.2} {:>8.4} {:>8.3} {:>10.1} {:>9.3}",
+            method.name(),
+            build_ms,
+            method.index_size_bytes() as f64 / 1048576.0,
+            sum_ratio / nq,
+            sum_recall / nq,
+            sum_pages / nq,
+            sum_ms / nq
+        );
+    }
+    println!(
+        "\n(the paper's qualitative ordering: ProMIPS smallest index, fewest \
+         pages, and top accuracy; PQ fastest CPU; see EXPERIMENTS.md)"
+    );
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}

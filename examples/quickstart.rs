@@ -1,0 +1,62 @@
+//! Quickstart: build a ProMIPS index over random vectors and answer a
+//! c-approximate maximum inner product query with a probability guarantee.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use promips::core::{ProMips, ProMipsConfig};
+use promips::linalg::{dot, Matrix};
+use promips::stats::Xoshiro256pp;
+
+fn main() {
+    // 1. Some data: 5,000 points in 64 dimensions.
+    let (n, d) = (5_000usize, 64usize);
+    let mut rng = Xoshiro256pp::seed_from_u64(42);
+    let data = Matrix::from_rows(
+        d,
+        (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()),
+    );
+
+    // 2. Build the index. c = 0.9 means every returned point's inner
+    //    product is within 10% of the true maximum, with probability at
+    //    least p = 0.5 (both are tunable; the paper's defaults).
+    let config = ProMipsConfig::builder().c(0.9).p(0.5).seed(7).build();
+    let index = ProMips::build_in_memory(&data, config).expect("build failed");
+    println!(
+        "built ProMIPS over {n} points: projected dimension m = {}, \
+         index size = {:.2} MB, build time = {:.1} ms",
+        index.m(),
+        index.index_size_bytes() as f64 / 1048576.0,
+        index.build_timings().total_ms(),
+    );
+
+    // 3. Search: top-10 c-AMIP points for a fresh query.
+    let query: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
+    index.reset_stats();
+    let result = index.search(&query, 10).expect("search failed");
+
+    println!("\ntop-10 (approximate, probability-guaranteed):");
+    for (rank, item) in result.items.iter().enumerate() {
+        println!("  #{:<2} id {:<6} ip {:+.4}", rank + 1, item.id, item.ip);
+    }
+    println!(
+        "\nverified {} candidates, terminated by {:?}, page accesses = {}",
+        result.verified,
+        result.termination,
+        index.access_stats().logical_reads,
+    );
+
+    // 4. Compare against the exact answer.
+    let exact = (0..n)
+        .map(|i| (i, dot(data.row(i), &query)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    let got = result.items[0].ip;
+    println!(
+        "\nexact MIP: id {} ip {:+.4}  →  overall ratio (top-1) = {:.4}",
+        exact.0,
+        exact.1,
+        got / exact.1
+    );
+    assert!(got >= 0.9 * exact.1 || got >= exact.1, "c-bound violated on this query");
+    println!("c-bound (0.9) satisfied ✓");
+}

@@ -1,0 +1,53 @@
+//! # ProMIPS
+//!
+//! A complete Rust reproduction of *"ProMIPS: Efficient High-Dimensional
+//! c-Approximate Maximum Inner Product Search with a Lightweight Index"*
+//! (Song, Gu, Zhang, Yu — ICDE 2021).
+//!
+//! This facade crate re-exports the whole workspace under one name:
+//!
+//! * [`core`] — the ProMIPS algorithm: 2-stable random projections, the
+//!   probability-guaranteed searching conditions, Quick-Probe, and the
+//!   end-to-end index.
+//! * [`idistance`] — the lightweight iDistance index with the paper's ring
+//!   partition pattern.
+//! * [`btree`], [`storage`] — the disk substrate (single B+-tree over a
+//!   paged file with access accounting).
+//! * [`baselines`] — H2-ALSH, Norm-Ranging LSH, PQ-based search and the
+//!   exact scanner used for ground truth.
+//! * [`data`] — synthetic stand-ins for the paper's four datasets.
+//! * [`stats`], [`linalg`], [`cluster`] — numeric substrates.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use promips::core::{ProMips, ProMipsConfig};
+//! use promips::linalg::Matrix;
+//!
+//! // 1000 random 32-d points.
+//! let mut rng = promips::stats::Xoshiro256pp::seed_from_u64(1);
+//! let data = Matrix::from_rows(
+//!     32,
+//!     (0..1000).map(|_| (0..32).map(|_| rng.normal() as f32).collect()),
+//! );
+//!
+//! // Build a ProMIPS index with approximation ratio c = 0.9 and
+//! // guarantee probability p = 0.5.
+//! let config = ProMipsConfig::builder().c(0.9).p(0.5).seed(7).build();
+//! let index = ProMips::build_in_memory(&data, config).unwrap();
+//!
+//! // Top-10 c-approximate maximum inner product search.
+//! let query: Vec<f32> = (0..32).map(|_| rng.normal() as f32).collect();
+//! let result = index.search(&query, 10).unwrap();
+//! assert_eq!(result.items.len(), 10);
+//! ```
+
+pub use promips_baselines as baselines;
+pub use promips_btree as btree;
+pub use promips_cluster as cluster;
+pub use promips_core as core;
+pub use promips_data as data;
+pub use promips_idistance as idistance;
+pub use promips_linalg as linalg;
+pub use promips_stats as stats;
+pub use promips_storage as storage;

@@ -1,0 +1,132 @@
+//! Cross-method integration tests: every evaluated method answers the same
+//! workload sanely, and the exact scanner agrees with brute force.
+
+use std::sync::Arc;
+
+use promips::baselines::h2alsh::{H2Alsh, H2AlshConfig};
+use promips::baselines::pq::{PqConfig, PqMips};
+use promips::baselines::rangelsh::{RangeLsh, RangeLshConfig};
+use promips::baselines::{ExactScan, MipsMethod, ProMipsMethod};
+use promips::core::{ProMips, ProMipsConfig};
+use promips::data::{exact_topk, DatasetSpec};
+use promips::storage::Pager;
+
+fn methods_over(
+    data: &promips::linalg::Matrix,
+) -> Vec<Box<dyn MipsMethod>> {
+    let promips_index = ProMips::build_in_memory(
+        data,
+        ProMipsConfig::builder().seed(3).build(),
+    )
+    .unwrap();
+    let h2 = H2Alsh::build(
+        data,
+        H2AlshConfig::default(),
+        Arc::new(Pager::in_memory(4096, 4096)),
+    )
+    .unwrap();
+    let rl = RangeLsh::build(
+        data,
+        RangeLshConfig::default(),
+        Arc::new(Pager::in_memory(4096, 4096)),
+    )
+    .unwrap();
+    let pq = PqMips::build(
+        data,
+        PqConfig { cells: Some(16), train_sample: 1_000, ..Default::default() },
+        Arc::new(Pager::in_memory(4096, 4096)),
+    )
+    .unwrap();
+    vec![
+        Box::new(ProMipsMethod::new(promips_index)),
+        Box::new(h2),
+        Box::new(rl),
+        Box::new(pq),
+    ]
+}
+
+#[test]
+fn all_methods_return_reasonable_top1() {
+    let ds = DatasetSpec::netflix().with_n(2_000).generate();
+    let methods = methods_over(&ds.data);
+    for method in &methods {
+        let mut ratio_sum = 0.0;
+        let trials = 10;
+        for qi in 0..trials {
+            let q = ds.queries.row(qi);
+            let res = method.search(q, 5).unwrap();
+            assert!(!res.is_empty(), "{}", method.name());
+            let exact = exact_topk(&ds.data, q, 1)[0].1;
+            ratio_sum += (res[0].ip / exact).min(1.0);
+        }
+        let mean = ratio_sum / trials as f64;
+        assert!(mean > 0.8, "{} top-1 ratio {mean}", method.name());
+    }
+}
+
+#[test]
+fn all_methods_count_pages_and_sizes() {
+    let ds = DatasetSpec::sift().with_n(1_500).generate();
+    let methods = methods_over(&ds.data);
+    for method in &methods {
+        method.clear_cache();
+        method.reset_stats();
+        let _ = method.search(ds.queries.row(0), 10).unwrap();
+        assert!(method.page_accesses() > 0, "{} counted no pages", method.name());
+        assert!(method.index_size_bytes() > 0, "{}", method.name());
+    }
+}
+
+#[test]
+fn reported_ips_are_exact_for_every_method() {
+    let ds = DatasetSpec::yahoo().with_n(1_200).generate();
+    let methods = methods_over(&ds.data);
+    let q = ds.queries.row(1);
+    for method in &methods {
+        for nb in method.search(q, 8).unwrap() {
+            let true_ip = promips::linalg::dot(ds.data.row(nb.id as usize), q);
+            assert!(
+                (nb.ip - true_ip).abs() < 1e-9,
+                "{} reported wrong ip for id {}",
+                method.name(),
+                nb.id
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_scan_agrees_with_ground_truth() {
+    let ds = DatasetSpec::netflix().with_n(1_000).generate();
+    let scan = ExactScan::new(&ds.data, 4);
+    for qi in 0..5 {
+        let q = ds.queries.row(qi);
+        let a = scan.top_k(q, 10);
+        let b = exact_topk(&ds.data, q, 10);
+        assert_eq!(
+            a.iter().map(|n| n.id).collect::<Vec<_>>(),
+            b.iter().map(|&(id, _)| id).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn self_query_finds_high_ip_points() {
+    // Under the paper's protocol queries are dataset points; every method
+    // should surface points at least as good as c·⟨q,q⟩ for most queries.
+    let ds = DatasetSpec::netflix().with_n(2_000).generate();
+    let methods = methods_over(&ds.data);
+    for method in &methods {
+        let mut ok = 0;
+        let trials = 10;
+        for qi in 0..trials {
+            let q = ds.queries.row(qi);
+            let self_ip = promips::linalg::dot(q, q);
+            let res = method.search(q, 1).unwrap();
+            if res[0].ip >= 0.7 * self_ip {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials / 2, "{}: only {ok}/{trials} near self-ip", method.name());
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end integration tests of the full ProMIPS pipeline
+//! (data generation → projection → iDistance → Quick-Probe → search),
+//! checking the paper's central claims at test scale.
+
+use promips::core::{ProMips, ProMipsConfig};
+use promips::data::{exact_topk, DatasetSpec};
+use promips::stats::Xoshiro256pp;
+
+fn build(n: usize, c: f64, p: f64, seed: u64) -> (ProMips, promips::data::Dataset) {
+    let ds = DatasetSpec::netflix().with_n(n).generate();
+    let cfg = ProMipsConfig::builder().c(c).p(p).seed(seed).build();
+    let index = ProMips::build_in_memory(&ds.data, cfg).unwrap();
+    (index, ds)
+}
+
+#[test]
+fn probability_guarantee_holds_empirically() {
+    // With c = 0.9, p = 0.5: the fraction of queries whose top-1 result
+    // satisfies ⟨o,q⟩ ≥ c·⟨o*,q⟩ must be at least p (it is far higher in
+    // practice — the paper's Fig. 5 shows overall ratios above 0.95).
+    let (index, ds) = build(3_000, 0.9, 0.5, 7);
+    let mut satisfied = 0;
+    let total = 40;
+    for qi in 0..total {
+        let q = ds.queries.row(qi);
+        let res = index.search(q, 1).unwrap();
+        let exact = exact_topk(&ds.data, q, 1)[0].1;
+        if res.items[0].ip >= 0.9 * exact - 1e-9 {
+            satisfied += 1;
+        }
+    }
+    assert!(
+        satisfied as f64 / total as f64 >= 0.5,
+        "guarantee rate {satisfied}/{total} below p = 0.5"
+    );
+}
+
+#[test]
+fn topk_overall_ratio_beats_c() {
+    let (index, ds) = build(3_000, 0.9, 0.5, 13);
+    let k = 10;
+    let mut ratios = Vec::new();
+    for qi in 0..20 {
+        let q = ds.queries.row(qi);
+        let res = index.search(q, k).unwrap();
+        let exact = exact_topk(&ds.data, q, k);
+        let ratio: f64 = res
+            .items
+            .iter()
+            .zip(&exact)
+            .filter(|(_, e)| e.1 > 0.0)
+            .map(|(r, e)| (r.ip / e.1).min(1.0))
+            .sum::<f64>()
+            / k as f64;
+        ratios.push(ratio);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(mean > 0.9, "mean overall ratio {mean} below c");
+}
+
+#[test]
+fn quickprobe_and_incremental_agree_on_quality() {
+    let (index, ds) = build(2_000, 0.8, 0.5, 3);
+    let mut probe_sum = 0.0;
+    let mut incr_sum = 0.0;
+    for qi in 0..10 {
+        let q = ds.queries.row(qi);
+        let exact = exact_topk(&ds.data, q, 1)[0].1;
+        probe_sum += index.search(q, 1).unwrap().items[0].ip / exact;
+        incr_sum += index.search_incremental(q, 1).unwrap().items[0].ip / exact;
+    }
+    // Both algorithms provide the same guarantee; their mean quality should
+    // be comparable (within 10% of each other).
+    assert!((probe_sum - incr_sum).abs() / 10.0 < 0.1, "{probe_sum} vs {incr_sum}");
+}
+
+#[test]
+fn results_are_exact_inner_products() {
+    // The ip reported for every returned id must equal the true inner
+    // product of that point with the query (verification is exact).
+    let (index, ds) = build(1_500, 0.9, 0.5, 21);
+    let q = ds.queries.row(0);
+    let res = index.search(q, 15).unwrap();
+    for item in &res.items {
+        let true_ip = promips::linalg::dot(ds.data.row(item.id as usize), q);
+        assert!((item.ip - true_ip).abs() < 1e-9, "id {}", item.id);
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let (a, ds) = build(1_200, 0.9, 0.5, 5);
+    let (b, _) = build(1_200, 0.9, 0.5, 5);
+    for qi in 0..5 {
+        let q = ds.queries.row(qi);
+        assert_eq!(a.search(q, 10).unwrap().ids(), b.search(q, 10).unwrap().ids());
+    }
+}
+
+#[test]
+fn varying_k_returns_prefix_consistent_quality() {
+    let (index, ds) = build(2_500, 0.9, 0.5, 17);
+    let q = ds.queries.row(3);
+    let r100 = index.search(q, 100).unwrap();
+    assert_eq!(r100.items.len(), 100);
+    // Top item should be stable across k.
+    let r10 = index.search(q, 10).unwrap();
+    assert_eq!(r10.items[0].id, r100.items[0].id);
+}
+
+#[test]
+fn page_accesses_scale_with_k() {
+    let (index, ds) = build(4_000, 0.9, 0.5, 31);
+    let mut prev = 0u64;
+    let mut grew = 0;
+    for &k in &[10usize, 50, 100] {
+        let mut pages = 0;
+        for qi in 0..5 {
+            index.reset_stats();
+            let _ = index.search(ds.queries.row(qi), k).unwrap();
+            pages += index.access_stats().logical_reads;
+        }
+        if pages >= prev {
+            grew += 1;
+        }
+        prev = pages;
+    }
+    assert!(grew >= 2, "page accesses should not shrink as k grows");
+}
+
+#[test]
+fn works_on_all_four_dataset_families() {
+    for spec in [
+        DatasetSpec::netflix().with_n(800),
+        DatasetSpec::yahoo().with_n(800),
+        DatasetSpec::p53().with_n(300).with_d(512),
+        DatasetSpec::sift().with_n(800),
+    ] {
+        let name = spec.name;
+        let ds = spec.generate();
+        let cfg = ProMipsConfig::builder().seed(9).build();
+        let index = ProMips::build_in_memory(&ds.data, cfg).unwrap();
+        let res = index.search(ds.queries.row(0), 5).unwrap();
+        assert_eq!(res.items.len(), 5, "dataset {name}");
+        // Results sorted by ip.
+        assert!(res.items.windows(2).all(|w| w[0].ip >= w[1].ip), "dataset {name}");
+    }
+}
+
+#[test]
+fn random_gaussian_queries_are_handled() {
+    // Queries need not come from the dataset distribution.
+    let (index, _) = build(1_000, 0.9, 0.5, 41);
+    let mut rng = Xoshiro256pp::seed_from_u64(77);
+    for _ in 0..5 {
+        let q: Vec<f32> = (0..300).map(|_| rng.normal() as f32).collect();
+        let res = index.search(&q, 3).unwrap();
+        assert_eq!(res.items.len(), 3);
+    }
+}

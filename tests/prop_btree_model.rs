@@ -1,0 +1,104 @@
+//! Model-based property test: the disk B+-tree must behave exactly like an
+//! in-memory ordered multimap under arbitrary interleavings of inserts,
+//! point lookups and range scans.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use promips::btree::BTree;
+use promips::storage::Pager;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..200, 0u64..1000).prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => (0u64..220).prop_map(Op::Get),
+        1 => (0u64..220, 0u64..220).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn btree_matches_ordered_multimap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        // Tiny pages force deep trees and frequent splits.
+        let pager = Arc::new(Pager::in_memory(64, 4096));
+        let mut tree = BTree::create(pager).unwrap();
+        let mut model: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(k, v).unwrap();
+                    model.entry(k).or_default().push(v);
+                }
+                Op::Get(k) => {
+                    let mut got = tree.get_all(k).unwrap();
+                    got.sort_unstable();
+                    let mut want = model.get(&k).cloned().unwrap_or_default();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want, "get_all({})", k);
+                }
+                Op::Range(lo, hi) => {
+                    let mut got: Vec<(u64, u64)> = tree
+                        .range(lo, hi)
+                        .unwrap()
+                        .map(|r| r.unwrap())
+                        .collect();
+                    // Keys must come back sorted.
+                    prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+                    got.sort_unstable();
+                    let mut want: Vec<(u64, u64)> = model
+                        .range(lo..=hi)
+                        .flat_map(|(&k, vs)| vs.iter().map(move |&v| (k, v)))
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want, "range({}, {})", lo, hi);
+                }
+            }
+        }
+
+        // Final invariants: full scan equals the model, length agrees.
+        let total: usize = model.values().map(|v| v.len()).sum();
+        prop_assert_eq!(tree.len() as usize, total);
+        let mut got: Vec<(u64, u64)> = tree.scan_all().unwrap().map(|r| r.unwrap()).collect();
+        prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = model
+            .iter()
+            .flat_map(|(&k, vs)| vs.iter().map(move |&v| (k, v)))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_inserts(
+        mut pairs in proptest::collection::vec((0u64..500, 0u64..100), 0..300)
+    ) {
+        pairs.sort_unstable();
+        let bulk_pager = Arc::new(Pager::in_memory(128, 4096));
+        let bulk = BTree::bulk_load(bulk_pager, pairs.clone()).unwrap();
+
+        let inc_pager = Arc::new(Pager::in_memory(128, 4096));
+        let mut inc = BTree::create(inc_pager).unwrap();
+        for &(k, v) in &pairs {
+            inc.insert(k, v).unwrap();
+        }
+
+        let mut a: Vec<(u64, u64)> = bulk.scan_all().unwrap().map(|r| r.unwrap()).collect();
+        let mut b: Vec<(u64, u64)> = inc.scan_all().unwrap().map(|r| r.unwrap()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(bulk.len(), inc.len());
+    }
+}
