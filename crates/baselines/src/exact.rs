@@ -9,7 +9,7 @@ use crate::method::{merge_topk, Neighbor};
 ///
 /// Not a [`crate::MipsMethod`]: it has no index or disk footprint and only
 /// serves to compute exact top-k answers (optionally in parallel with
-/// crossbeam scoped threads).
+/// `std::thread::scope`).
 pub struct ExactScan<'a> {
     data: &'a Matrix,
     threads: usize,
@@ -19,7 +19,10 @@ impl<'a> ExactScan<'a> {
     /// Creates a scanner over `data` using `threads` worker threads
     /// (clamped to at least 1).
     pub fn new(data: &'a Matrix, threads: usize) -> Self {
-        Self { data, threads: threads.max(1) }
+        Self {
+            data,
+            threads: threads.max(1),
+        }
     }
 
     /// Exact top-k maximum inner product points for `q`.
@@ -34,12 +37,12 @@ impl<'a> ExactScan<'a> {
         }
         let chunk = n.div_ceil(self.threads);
         let mut lists: Vec<Vec<Neighbor>> = Vec::with_capacity(self.threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = (0..self.threads)
                 .map(|t| {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(n);
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         if lo < hi {
                             scan_chunk(self.data, lo, hi, q, k)
                         } else {
@@ -51,8 +54,7 @@ impl<'a> ExactScan<'a> {
             for h in handles {
                 lists.push(h.join().expect("scan thread panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         merge_topk(lists, k)
     }
 
@@ -66,7 +68,10 @@ fn scan_chunk(data: &Matrix, lo: usize, hi: usize, q: &[f32], k: usize) -> Vec<N
     // Keep a small sorted buffer; for chunk scans a full sort at the end is
     // simpler and fast enough (k ≤ 100 in all experiments).
     let mut items: Vec<Neighbor> = (lo..hi)
-        .map(|i| Neighbor { id: i as u64, ip: dot(data.row(i), q) })
+        .map(|i| Neighbor {
+            id: i as u64,
+            ip: dot(data.row(i), q),
+        })
         .collect();
     items.sort_by(|a, b| b.ip.total_cmp(&a.ip).then(a.id.cmp(&b.id)));
     items.truncate(k);
@@ -80,9 +85,10 @@ mod tests {
 
     fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        Matrix::from_rows(d, (0..n).map(|_| {
-            (0..d).map(|_| rng.normal() as f32).collect()
-        }))
+        Matrix::from_rows(
+            d,
+            (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()),
+        )
     }
 
     #[test]

@@ -66,8 +66,9 @@ mod tests {
     #[test]
     fn fetches_correct_records() {
         let pager = Pager::in_memory(64, 128);
-        let records: Vec<Vec<f32>> =
-            (0..50).map(|i| vec![i as f32, i as f32 * 2.0, -(i as f32)]).collect();
+        let records: Vec<Vec<f32>> = (0..50)
+            .map(|i| vec![i as f32, i as f32 * 2.0, -(i as f32)])
+            .collect();
         let mut blob = Vec::new();
         for r in &records {
             enc::put_f32s(&mut blob, r);

@@ -47,7 +47,11 @@ pub struct H2AlshConfig {
 
 impl Default for H2AlshConfig {
     fn default() -> Self {
-        Self { c0: 2.0, delta: 1.0 / std::f64::consts::E, seed: 0xA15B }
+        Self {
+            c0: 2.0,
+            delta: 1.0 / std::f64::consts::E,
+            seed: 0xA15B,
+        }
     }
 }
 
@@ -62,18 +66,13 @@ pub struct H2Alsh {
 
 impl H2Alsh {
     /// Builds the index over `data` in the given pager.
-    pub fn build(
-        data: &Matrix,
-        config: H2AlshConfig,
-        pager: Arc<Pager>,
-    ) -> io::Result<Self> {
+    pub fn build(data: &Matrix, config: H2AlshConfig, pager: Arc<Pager>) -> io::Result<Self> {
         assert!(!data.is_empty());
         let n = data.rows();
         let d = data.cols();
 
         // Sort ids by descending norm.
-        let mut order: Vec<(f64, u64)> =
-            (0..n).map(|i| (norm2(data.row(i)), i as u64)).collect();
+        let mut order: Vec<(f64, u64)> = (0..n).map(|i| (norm2(data.row(i)), i as u64)).collect();
         order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
         // Homocentric hypersphere partition: norms in (Mj/c0², Mj].
@@ -105,7 +104,8 @@ impl H2Alsh {
                 let qnf = Qnf { max_norm: mj };
                 let transformed = Matrix::from_rows(
                     d + 1,
-                    ids.iter().map(|&id| qnf.transform_data(data.row(id as usize))),
+                    ids.iter()
+                        .map(|&id| qnf.transform_data(data.row(id as usize))),
                 );
                 seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 let q = Qalsh::build(
@@ -121,11 +121,22 @@ impl H2Alsh {
                 None
             };
 
-            subsets.push(Subset { max_norm: mj, ids, orig_start, qalsh });
+            subsets.push(Subset {
+                max_norm: mj,
+                ids,
+                orig_start,
+                qalsh,
+            });
             start = end;
         }
 
-        Ok(Self { pager, subsets, d, orig_pages, hash_bytes })
+        Ok(Self {
+            pager,
+            subsets,
+            d,
+            orig_pages,
+            hash_bytes,
+        })
     }
 
     /// Number of norm subsets.
@@ -135,8 +146,7 @@ impl H2Alsh {
 
     fn fetch_orig(&self, subset: &Subset, local: u32) -> io::Result<Vec<f32>> {
         let rec = 4 * self.d;
-        let bytes =
-            read_blob_range(&self.pager, subset.orig_start, local as usize * rec, rec)?;
+        let bytes = read_blob_range(&self.pager, subset.orig_start, local as usize * rec, rec)?;
         let mut pos = 0;
         Ok(enc::get_f32s(&bytes, &mut pos, self.d))
     }
@@ -146,9 +156,7 @@ impl H2Alsh {
         let qn = norm2(q);
         let mut top: Vec<Neighbor> = Vec::new(); // sorted desc by ip
         let push = |top: &mut Vec<Neighbor>, nb: Neighbor| {
-            let pos = top.partition_point(|x| {
-                x.ip > nb.ip || (x.ip == nb.ip && x.id < nb.id)
-            });
+            let pos = top.partition_point(|x| x.ip > nb.ip || (x.ip == nb.ip && x.id < nb.id));
             top.insert(pos, nb);
             if top.len() > k {
                 top.pop();
@@ -160,17 +168,15 @@ impl H2Alsh {
             if top.len() == k && top[k - 1].ip >= qn * subset.max_norm {
                 break;
             }
-            let qnf = Qnf { max_norm: subset.max_norm };
+            let qnf = Qnf {
+                max_norm: subset.max_norm,
+            };
             match &subset.qalsh {
                 None => {
                     // Sequential scan of the subset blob.
                     let rec = 4 * self.d;
-                    let blob = read_blob_range(
-                        &self.pager,
-                        subset.orig_start,
-                        0,
-                        subset.ids.len() * rec,
-                    )?;
+                    let blob =
+                        read_blob_range(&self.pager, subset.orig_start, 0, subset.ids.len() * rec)?;
                     let mut pos = 0;
                     for &id in &subset.ids {
                         let o = enc::get_f32s(&blob, &mut pos, self.d);
@@ -182,7 +188,13 @@ impl H2Alsh {
                     qalsh.search(&tq, k, |local| {
                         let o = self.fetch_orig(subset, local)?;
                         let ip = dot(&o, q);
-                        push(&mut top, Neighbor { id: subset.ids[local as usize], ip });
+                        push(
+                            &mut top,
+                            Neighbor {
+                                id: subset.ids[local as usize],
+                                ip,
+                            },
+                        );
                         Ok(qnf.sq_dist_from_ip(lambda, ip).sqrt())
                     })?;
                 }
@@ -230,10 +242,13 @@ mod tests {
     fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         // Mix norms so several subsets appear.
-        Matrix::from_rows(d, (0..n).map(|i| {
-            let scale = 0.25 + 4.0 * (i % 13) as f32 / 13.0;
-            (0..d).map(|_| scale * rng.normal() as f32).collect()
-        }))
+        Matrix::from_rows(
+            d,
+            (0..n).map(|i| {
+                let scale = 0.25 + 4.0 * (i % 13) as f32 / 13.0;
+                (0..d).map(|_| scale * rng.normal() as f32).collect()
+            }),
+        )
     }
 
     fn exact_top1(data: &Matrix, q: &[f32]) -> (u64, f64) {

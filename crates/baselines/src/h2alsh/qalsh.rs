@@ -54,7 +54,7 @@ impl QalshParams {
         let alpha = (eta * p1 + p2) / (1.0 + eta);
         let m_raw = (((1.0 / delta).ln().sqrt() + (2.0 / beta).ln().sqrt()).powi(2)
             / (2.0 * (p1 - p2) * (p1 - p2)))
-        .ceil() as usize;
+            .ceil() as usize;
         // Cap to keep index construction tractable; the cap only reduces the
         // success probability marginally for very small subsets.
         let m = m_raw.clamp(4, 96);
@@ -102,7 +102,12 @@ impl Qalsh {
             pairs.sort_unstable_by_key(|&(k, _)| k);
             trees.push(BTree::bulk_load(Arc::clone(&pager), pairs)?);
         }
-        Ok(Self { params, hash, trees, n })
+        Ok(Self {
+            params,
+            hash,
+            trees,
+            n,
+        })
     }
 
     /// The derived parameters.
@@ -133,7 +138,7 @@ impl Qalsh {
 
         let mut r = 1.0f64;
         let mut prev_half: f64 = 0.0; // previous half-width per tree
-        // Hash values scale with the data norm; cap rounds generously.
+                                      // Hash values scale with the data norm; cap rounds generously.
         for _round in 0..64 {
             let half = self.params.w * r / 2.0;
             for (i, tree) in self.trees.iter().enumerate() {
@@ -194,9 +199,10 @@ mod tests {
 
     fn random_points(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        Matrix::from_rows(d, (0..n).map(|_| {
-            (0..d).map(|_| rng.normal() as f32).collect()
-        }))
+        Matrix::from_rows(
+            d,
+            (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()),
+        )
     }
 
     #[test]
@@ -210,8 +216,8 @@ mod tests {
 
     #[test]
     fn params_p1_exceeds_p2() {
-        for &c in &[1.5, 2.0, 3.0] {
-            let w = (8.0 * c * c * (c as f64).ln() / (c * c - 1.0)).sqrt();
+        for &c in &[1.5f64, 2.0, 3.0] {
+            let w = (8.0 * c * c * c.ln() / (c * c - 1.0)).sqrt();
             let p1 = 1.0 - 2.0 * normal_cdf(-w / 2.0);
             let p2 = 1.0 - 2.0 * normal_cdf(-w / (2.0 * c));
             assert!(p1 > p2, "c={c}");
@@ -224,8 +230,7 @@ mod tests {
         let d = 16;
         let points = random_points(n, d, 7);
         let pager = Arc::new(Pager::in_memory(4096, 1 << 14));
-        let qalsh =
-            Qalsh::build(pager, &points, 2.0, 1.0 / std::f64::consts::E, 11).unwrap();
+        let qalsh = Qalsh::build(pager, &points, 2.0, 1.0 / std::f64::consts::E, 11).unwrap();
 
         // Query very close to point 123: QALSH should verify it.
         let target: Vec<f32> = points.row(123).iter().map(|&v| v + 0.01).collect();
@@ -248,8 +253,7 @@ mod tests {
         let n = 300;
         let points = random_points(n, 8, 3);
         let pager = Arc::new(Pager::in_memory(4096, 1 << 14));
-        let qalsh =
-            Qalsh::build(pager, &points, 2.0, 1.0 / std::f64::consts::E, 5).unwrap();
+        let qalsh = Qalsh::build(pager, &points, 2.0, 1.0 / std::f64::consts::E, 5).unwrap();
         let q: Vec<f32> = vec![0.0; 8];
         let verified = qalsh
             .search(&q, 10, |id| Ok(dist(points.row(id as usize), &q)))

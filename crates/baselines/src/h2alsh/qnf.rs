@@ -92,7 +92,10 @@ mod tests {
             .map(|_| (0..d).map(|_| rng.normal() as f32).collect())
             .collect();
         let q: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
-        let m = points.iter().map(|p| sq_norm2(p).sqrt()).fold(0.0, f64::max);
+        let m = points
+            .iter()
+            .map(|p| sq_norm2(p).sqrt())
+            .fold(0.0, f64::max);
         let qnf = Qnf { max_norm: m };
         let (tq, _) = qnf.transform_query(&q);
 

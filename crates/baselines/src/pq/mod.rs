@@ -99,7 +99,10 @@ impl PqMips {
         let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
 
         // Global QNF transformation (single M = max norm).
-        let max_norm = (0..n).map(|i| norm2(data.row(i))).fold(0.0, f64::max).max(1e-12);
+        let max_norm = (0..n)
+            .map(|i| norm2(data.row(i)))
+            .fold(0.0, f64::max)
+            .max(1e-12);
         let qnf = Qnf { max_norm };
         let transform = |row: &[f32]| -> Vec<f32> {
             let mut t = qnf.transform_data(row);
@@ -114,10 +117,7 @@ impl PqMips {
             .min(n);
         let sample_size = config.train_sample.min(n);
         let sample_idx = rng.sample_indices(n, sample_size);
-        let sample = Matrix::from_rows(
-            dim_p,
-            sample_idx.iter().map(|&i| transform(data.row(i))),
-        );
+        let sample = Matrix::from_rows(dim_p, sample_idx.iter().map(|&i| transform(data.row(i))));
         let all_sample: Vec<usize> = (0..sample.rows()).collect();
         let mut km = KMeansConfig::new(n_cells, rng.next_u64());
         km.max_iters = 12;
@@ -128,7 +128,7 @@ impl PqMips {
         // Assign every point to its nearest cell; collect residual sample
         // for the codebooks.
         let mut assignment = vec![0u32; n];
-        for i in 0..n {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let t = transform(data.row(i));
             let mut best = (f64::INFINITY, 0u32);
             for c in 0..n_cells {
@@ -137,7 +137,7 @@ impl PqMips {
                     best = (dist, c as u32);
                 }
             }
-            assignment[i] = best.1;
+            *slot = best.1;
         }
 
         // Sub-space codebooks trained on sampled residuals.
@@ -174,7 +174,11 @@ impl PqMips {
         let mut code_pages = 0u64;
         for (c, ids) in members.into_iter().enumerate() {
             if ids.is_empty() {
-                cells.push(Cell { ids, codes_start: 0, orig_start: 0 });
+                cells.push(Cell {
+                    ids,
+                    codes_start: 0,
+                    orig_start: 0,
+                });
                 continue;
             }
             let mut codes_blob = Vec::with_capacity(ids.len() * subspaces);
@@ -182,11 +186,10 @@ impl PqMips {
             for &id in &ids {
                 let t = transform(data.row(id as usize));
                 let center = coarse.row(c);
-                for s in 0..subspaces {
+                for (s, cb) in codebooks.iter().enumerate().take(subspaces) {
                     let r: Vec<f32> = (s * sub_dim..(s + 1) * sub_dim)
                         .map(|j| t[j] - center[j])
                         .collect();
-                    let cb = &codebooks[s];
                     let mut best = (f64::INFINITY, 0usize);
                     for e in 0..cb.rows() {
                         let dist = sq_dist(&r, cb.row(e));
@@ -201,7 +204,11 @@ impl PqMips {
             let codes_start = write_blob(&pager, &codes_blob)?;
             let orig_start = write_blob(&pager, &orig_blob)?;
             code_pages += (codes_blob.len() as u64).div_ceil(ps).max(1);
-            cells.push(Cell { ids, codes_start, orig_start });
+            cells.push(Cell {
+                ids,
+                codes_start,
+                orig_start,
+            });
         }
 
         Ok(Self {
@@ -279,10 +286,11 @@ impl PqMips {
             let origs = fetch_f32_records(&self.pager, cell.orig_start, self.d, &offsets)?;
             for (&local, orig) in offsets.iter().zip(&origs) {
                 let ip = dot(orig, q);
-                let nb = Neighbor { id: cell.ids[local as usize], ip };
-                let pos = top.partition_point(|x| {
-                    x.ip > nb.ip || (x.ip == nb.ip && x.id < nb.id)
-                });
+                let nb = Neighbor {
+                    id: cell.ids[local as usize],
+                    ip,
+                };
+                let pos = top.partition_point(|x| x.ip > nb.ip || (x.ip == nb.ip && x.id < nb.id));
                 top.insert(pos, nb);
                 if top.len() > k {
                     top.pop();
@@ -355,9 +363,10 @@ mod tests {
 
     fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        Matrix::from_rows(d, (0..n).map(|_| {
-            (0..d).map(|_| rng.normal() as f32).collect()
-        }))
+        Matrix::from_rows(
+            d,
+            (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()),
+        )
     }
 
     fn small_config(seed: u64) -> PqConfig {
@@ -424,7 +433,7 @@ mod tests {
         let pq = PqMips::build(&data, small_config(7), pager).unwrap();
         pq.clear_cache();
         pq.reset_stats();
-        let _ = pq.search(&vec![0.4; 8], 10).unwrap();
+        let _ = pq.search(&[0.4; 8], 10).unwrap();
         assert!(pq.page_accesses() > 0);
         assert!(pq.index_size_bytes() > 0);
     }

@@ -47,7 +47,12 @@ pub struct RangeLshConfig {
 
 impl Default for RangeLshConfig {
     fn default() -> Self {
-        Self { partitions: 32, code_bits: 16, budget_frac: 0.3, seed: 0x4A5C }
+        Self {
+            partitions: 32,
+            code_bits: 16,
+            budget_frac: 0.3,
+            seed: 0x4A5C,
+        }
     }
 }
 
@@ -99,11 +104,7 @@ impl Ord for ProbeEntry {
 
 impl RangeLsh {
     /// Builds the index over `data`.
-    pub fn build(
-        data: &Matrix,
-        config: RangeLshConfig,
-        pager: Arc<Pager>,
-    ) -> io::Result<Self> {
+    pub fn build(data: &Matrix, config: RangeLshConfig, pager: Arc<Pager>) -> io::Result<Self> {
         assert!(!data.is_empty());
         assert!(config.code_bits >= 1 && config.code_bits <= 16);
         let n = data.rows();
@@ -120,8 +121,7 @@ impl RangeLsh {
 
         // Norm-sorted, split into equal-cardinality ranges. The paper
         // organizes subsets on disk by descending maximum norm.
-        let mut order: Vec<(f64, u64)> =
-            (0..n).map(|i| (norm2(data.row(i)), i as u64)).collect();
+        let mut order: Vec<(f64, u64)> = (0..n).map(|i| (norm2(data.row(i)), i as u64)).collect();
         order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
         let per = n.div_ceil(partitions);
@@ -139,10 +139,22 @@ impl RangeLsh {
                 buckets.entry(code).or_default().push(local as u32);
             }
             let orig_start = write_blob(&pager, &blob)?;
-            subsets.push(SubDataset { u, ids, orig_start, buckets });
+            subsets.push(SubDataset {
+                u,
+                ids,
+                orig_start,
+                buckets,
+            });
         }
 
-        Ok(Self { pager, d, config, hash, subsets, n })
+        Ok(Self {
+            pager,
+            d,
+            config,
+            hash,
+            subsets,
+            n,
+        })
     }
 
     /// Number of sub-datasets.
@@ -159,15 +171,18 @@ impl RangeLsh {
         tq.push(0.0);
         let q_code = simhash_code(&self.hash, &tq);
 
-        let budget =
-            ((self.config.budget_frac * self.n as f64).ceil() as usize).max(4 * k);
+        let budget = ((self.config.budget_frac * self.n as f64).ceil() as usize).max(4 * k);
         let mut top: Vec<Neighbor> = Vec::new();
         let mut verified = 0usize;
 
         // Rank (subset, hamming) cells by the bound Uj·cos(π·h/L).
         let mut heap: BinaryHeap<ProbeEntry> = BinaryHeap::new();
         for (j, s) in self.subsets.iter().enumerate() {
-            heap.push(ProbeEntry { bound: s.u, subset: j, hamming: 0 });
+            heap.push(ProbeEntry {
+                bound: s.u,
+                subset: j,
+                hamming: 0,
+            });
         }
 
         // The cos-angle bound is an *estimate*, not a true upper bound, so
@@ -177,8 +192,7 @@ impl RangeLsh {
         while let Some(entry) = heap.pop() {
             // Ranking-bound termination: every unprobed bucket's estimated
             // best inner product is below the current k-th best.
-            if top.len() == k && top[k - 1].ip >= entry.bound && verified >= min_verified
-            {
+            if top.len() == k && top[k - 1].ip >= entry.bound && verified >= min_verified {
                 break;
             }
             if verified >= budget {
@@ -187,22 +201,34 @@ impl RangeLsh {
             let s = &self.subsets[entry.subset];
             // All codes at Hamming distance h from q_code.
             for code in codes_at_hamming(q_code, entry.hamming, l) {
-                let Some(locals) = s.buckets.get(&code) else { continue };
-                let origs =
-                    fetch_f32_records(&self.pager, s.orig_start, self.d, locals)?;
+                let Some(locals) = s.buckets.get(&code) else {
+                    continue;
+                };
+                let origs = fetch_f32_records(&self.pager, s.orig_start, self.d, locals)?;
                 for (&local, orig) in locals.iter().zip(&origs) {
                     let ip = dot(orig, q);
-                    push_topk(&mut top, Neighbor { id: s.ids[local as usize], ip }, k);
+                    push_topk(
+                        &mut top,
+                        Neighbor {
+                            id: s.ids[local as usize],
+                            ip,
+                        },
+                        k,
+                    );
                     verified += 1;
                 }
                 if verified >= budget {
                     break;
                 }
             }
-            if entry.hamming + 1 <= l {
+            if entry.hamming < l {
                 let h = entry.hamming + 1;
                 let bound = s.u * (std::f64::consts::PI * h as f64 / l as f64).cos();
-                heap.push(ProbeEntry { bound, subset: entry.subset, hamming: h });
+                heap.push(ProbeEntry {
+                    bound,
+                    subset: entry.subset,
+                    hamming: h,
+                });
             }
         }
         Ok(top)
@@ -275,7 +301,10 @@ impl MipsMethod for RangeLsh {
             .subsets
             .iter()
             .map(|s| {
-                s.buckets.values().map(|v| 4 * v.len() as u64 + 2).sum::<u64>()
+                s.buckets
+                    .values()
+                    .map(|v| 4 * v.len() as u64 + 2)
+                    .sum::<u64>()
                     + s.ids.len() as u64 * 8
             })
             .sum();
@@ -301,10 +330,13 @@ mod tests {
 
     fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        Matrix::from_rows(d, (0..n).map(|i| {
-            let scale = 0.5 + 2.0 * (i % 7) as f32 / 7.0;
-            (0..d).map(|_| scale * rng.normal() as f32).collect()
-        }))
+        Matrix::from_rows(
+            d,
+            (0..n).map(|i| {
+                let scale = 0.5 + 2.0 * (i % 7) as f32 / 7.0;
+                (0..d).map(|_| scale * rng.normal() as f32).collect()
+            }),
+        )
     }
 
     #[test]
@@ -372,7 +404,10 @@ mod tests {
     fn pages_counted_and_budget_bounds_work() {
         let data = random_data(800, 12, 9);
         let pager = Arc::new(Pager::in_memory(4096, 1 << 14));
-        let cfg = RangeLshConfig { budget_frac: 0.05, ..Default::default() };
+        let cfg = RangeLshConfig {
+            budget_frac: 0.05,
+            ..Default::default()
+        };
         let rl = RangeLsh::build(&data, cfg, pager).unwrap();
         rl.clear_cache();
         rl.reset_stats();

@@ -54,7 +54,11 @@ fn main() {
             sum_ratio += overall_ratio(&neighbors, &w.ground_truth[qi], K);
         }
         let nq = w.dataset.queries.rows() as f64;
-        let marker = if m == m_star { format!("{m} (m*)") } else { m.to_string() };
+        let marker = if m == m_star {
+            format!("{m} (m*)")
+        } else {
+            m.to_string()
+        };
         table.row(vec![
             marker,
             f(sum_ratio / nq, 4),

@@ -39,8 +39,7 @@ fn main() {
         }),
     ];
 
-    let mut table =
-        Table::new(&["variant", "ratio", "pages/query", "index MB", "build ms"]);
+    let mut table = Table::new(&["variant", "ratio", "pages/query", "index MB", "build ms"]);
     for (name, id_cfg) in variants {
         let pconfig = ProMipsConfig {
             idistance: id_cfg,

@@ -6,8 +6,8 @@
 //! Expected: MIP-Search-II needs no more (usually far fewer) page accesses
 //! and less CPU per query at equal accuracy.
 
-use promips_bench::metrics::overall_ratio;
 use promips_bench::methods::idistance_for;
+use promips_bench::metrics::overall_ratio;
 use promips_bench::report::{f, Table};
 use promips_bench::{write_csv, BenchConfig, Workload};
 use promips_core::{ProMips, ProMipsConfig};
@@ -27,8 +27,17 @@ fn main() {
     };
     let index = ProMips::build_in_memory(&w.dataset.data, pconfig).unwrap();
 
-    let mut table = Table::new(&["algorithm", "ratio", "pages/query", "cpu ms/query", "verified/query"]);
-    for (name, use_probe) in [("MIP-Search-II (Quick-Probe)", true), ("MIP-Search-I (incremental)", false)] {
+    let mut table = Table::new(&[
+        "algorithm",
+        "ratio",
+        "pages/query",
+        "cpu ms/query",
+        "verified/query",
+    ]);
+    for (name, use_probe) in [
+        ("MIP-Search-II (Quick-Probe)", true),
+        ("MIP-Search-I (incremental)", false),
+    ] {
         let mut sum_ratio = 0.0;
         let mut sum_pages = 0.0;
         let mut sum_ms = 0.0;

@@ -1,0 +1,252 @@
+//! Kernel + query-pipeline microbenchmark, emitting `BENCH_kernels.json`.
+//!
+//! Measures the runtime-dispatched SIMD kernels against the portable scalar
+//! reference at the paper-typical d = 128, the projection paths, and the
+//! single-query vs batched search pipeline. The JSON artifact is the
+//! perf-trajectory record for this repository: later PRs regenerate it and
+//! compare.
+//!
+//! Run with `cargo bench --bench bench_kernels`. Output path defaults to
+//! `BENCH_kernels.json` in the working directory; override with
+//! `PROMIPS_BENCH_OUT`.
+
+use promips_bench::micro::{ns_per_op, Json, MicroBench};
+use promips_core::{ProMips, ProMipsConfig, SearchScratch};
+use promips_linalg::dispatch::available_backends;
+use promips_linalg::{active_backend, dot, norm1, scalar, sq_dist, sq_norm2, Matrix};
+use promips_stats::Xoshiro256pp;
+
+const D: usize = 128;
+const M: usize = 16;
+
+fn random_matrix(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    Matrix::from_rows(
+        d,
+        (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()),
+    )
+}
+
+/// `(simd_ns, scalar_ns)` pair plus speedup as a JSON object.
+fn pair(simd_ns: f64, scalar_ns: f64) -> Json {
+    Json::obj(vec![
+        ("simd_ns", Json::Num(simd_ns)),
+        ("scalar_ns", Json::Num(scalar_ns)),
+        ("speedup", Json::Num(scalar_ns / simd_ns)),
+    ])
+}
+
+/// Rows of a (ROWS × d) pair of operand sets — each timed op sweeps every
+/// row pair, amortizing call/timer overhead so the reading reflects kernel
+/// loop throughput rather than harness boundaries.
+const ROWS: usize = 32;
+
+fn main() {
+    let backend = active_backend();
+    println!("kernel backend: {backend}");
+    let mut b = MicroBench::new();
+
+    // --- kernels at d = 128 -------------------------------------------------
+    let am = random_matrix(ROWS, D, 7);
+    let cm = random_matrix(ROWS, D, 8);
+    let sweep2 = |f: &dyn Fn(&[f32], &[f32]) -> f64| -> f64 {
+        let mut s = 0.0;
+        for i in 0..ROWS {
+            s += f(std::hint::black_box(am.row(i)), cm.row(i));
+        }
+        s
+    };
+    let sweep1 = |f: &dyn Fn(&[f32]) -> f64| -> f64 {
+        let mut s = 0.0;
+        for i in 0..ROWS {
+            s += f(std::hint::black_box(am.row(i)));
+        }
+        s
+    };
+    let per_row = |ns: f64| ns / ROWS as f64;
+
+    // The deployed dot path: `verify_groups` runs candidate rows against a
+    // fixed query four at a time through `dot4`, so the query's f32→f64
+    // conversions amortize across the block. The scalar fallback's deployed
+    // shape is four plain dots (see `scalar::dot4`). Per-row numbers.
+    let q: Vec<f32> = cm.row(0).to_vec();
+    let dot_simd = per_row(ns_per_op(|| {
+        let mut s = [0.0f64; 4];
+        let mut i = 0;
+        while i + 4 <= ROWS {
+            let r = promips_linalg::dot4(
+                am.row(i),
+                am.row(i + 1),
+                am.row(i + 2),
+                am.row(i + 3),
+                std::hint::black_box(&q),
+            );
+            s[0] += r[0];
+            s[1] += r[1];
+            s[2] += r[2];
+            s[3] += r[3];
+            i += 4;
+        }
+        s
+    }));
+    let dot_scalar = per_row(ns_per_op(|| {
+        let mut s = 0.0;
+        for i in 0..ROWS {
+            s += scalar::dot(am.row(i), std::hint::black_box(&q));
+        }
+        s
+    }));
+    let dot_single_simd = per_row(ns_per_op(|| sweep2(&|x, y| dot(x, y))));
+    let dot_single_scalar = per_row(ns_per_op(|| sweep2(&scalar::dot)));
+    let sqd_simd = per_row(ns_per_op(|| sweep2(&|x, y| sq_dist(x, y))));
+    let sqd_scalar = per_row(ns_per_op(|| sweep2(&scalar::sq_dist)));
+    let sqn_simd = per_row(ns_per_op(|| sweep1(&|x| sq_norm2(x))));
+    let sqn_scalar = per_row(ns_per_op(|| sweep1(&scalar::sq_norm2)));
+    let n1_simd = per_row(ns_per_op(|| sweep1(&|x| norm1(x))));
+    let n1_scalar = per_row(ns_per_op(|| sweep1(&scalar::norm1)));
+    for (name, ns) in [
+        ("dot_128d (verify shape, dot4-blocked)", dot_simd),
+        ("dot_128d_scalar (verify shape)", dot_scalar),
+        ("dot_128d_single", dot_single_simd),
+        ("dot_128d_single_scalar", dot_single_scalar),
+        ("sq_dist_128d", sqd_simd),
+        ("sq_dist_128d_scalar", sqd_scalar),
+        ("sq_norm2_128d", sqn_simd),
+        ("sq_norm2_128d_scalar", sqn_scalar),
+        ("norm1_128d", n1_simd),
+        ("norm1_128d_scalar", n1_scalar),
+    ] {
+        println!("  {name}: {ns:.1} ns/op");
+    }
+
+    // Per-backend breakdown: every SIMD tier this host can execute, so the
+    // artifact records each tier's speedup over the portable fallback even
+    // when the dispatcher picks a wider one.
+    let mut backend_rows: Vec<(String, Json)> = Vec::new();
+    let mut scalar_row_dot = f64::NAN;
+    for k in available_backends() {
+        let dns = per_row(ns_per_op(|| sweep2(&|x, y| (k.dot)(x, y))));
+        let sns = per_row(ns_per_op(|| sweep2(&|x, y| (k.sq_dist)(x, y))));
+        println!(
+            "  dot_128d[{}]: {dns:.1} ns/op  sq_dist_128d[{}]: {sns:.1} ns/op",
+            k.name, k.name
+        );
+        if k.name == "scalar" {
+            scalar_row_dot = dns;
+        }
+        backend_rows.push((
+            k.name.to_string(),
+            Json::obj(vec![
+                ("dot_ns", Json::Num(dns)),
+                ("dot_speedup_vs_scalar", Json::Num(scalar_row_dot / dns)),
+                ("sq_dist_ns", Json::Num(sns)),
+            ]),
+        ));
+    }
+
+    // --- projection: blocked matvec vs the pre-SIMD shape -------------------
+    let a: Vec<f32> = am.row(0).to_vec();
+    let projection = promips_core::projection::Projection::generate(M, D, 11);
+    let mut pq = Vec::new();
+    let proj_simd = b.run("project_128d_to_16d", || {
+        projection.project_into(std::hint::black_box(&a), &mut pq);
+        pq.len()
+    });
+    // Reference: what project() compiled to before this PR — one allocating
+    // scalar dot per projection row.
+    let vrows = projection.matrix().clone();
+    let proj_scalar = b.run("project_128d_to_16d_scalar", || {
+        let q = std::hint::black_box(&a);
+        vrows
+            .iter_rows()
+            .map(|row| scalar::dot(row, q) as f32)
+            .collect::<Vec<f32>>()
+    });
+
+    // Whole-dataset projection (the build-time hot loop).
+    let chunk = random_matrix(2_000, D, 21);
+    let gemm_ns = ns_per_op(|| projection.project_all(std::hint::black_box(&chunk)));
+    println!("  project_all_2000x128_to_16 (gemm): {gemm_ns:.1} ns/op");
+    let gemm_scalar_ns = ns_per_op(|| {
+        let data = std::hint::black_box(&chunk);
+        let mut rows = Vec::with_capacity(data.rows() * M);
+        for row in data.iter_rows() {
+            rows.extend(vrows.iter_rows().map(|v| scalar::dot(v, row) as f32));
+        }
+        Matrix::from_vec(data.rows(), M, rows)
+    });
+    println!("  project_all_2000x128_to_16 (scalar rowwise): {gemm_scalar_ns:.1} ns/op");
+
+    // --- query pipeline: sequential vs batched ------------------------------
+    let n = 8_000;
+    let nq = 64;
+    let k = 10;
+    let threads = 8;
+    let data = random_matrix(n, D, 31);
+    let cfg = ProMipsConfig::builder().c(0.9).p(0.5).seed(77).build();
+    let index = ProMips::build_in_memory(&data, cfg).expect("index build");
+    let queries = random_matrix(nq, D, 41);
+    let query_refs: Vec<&[f32]> = (0..nq).map(|i| queries.row(i)).collect();
+
+    let mut scratch = SearchScratch::new();
+    let seq_ns = ns_per_op(|| {
+        for q in &query_refs {
+            std::hint::black_box(index.search_with_scratch(q, k, &mut scratch).unwrap());
+        }
+    }) / nq as f64;
+    println!("  search_seq (per query): {seq_ns:.1} ns");
+    let batch_ns = ns_per_op(|| {
+        std::hint::black_box(
+            index
+                .search_batch_threaded(&query_refs, k, threads)
+                .unwrap(),
+        )
+    }) / nq as f64;
+    println!("  search_batch_{threads}t (per query): {batch_ns:.1} ns");
+
+    // --- artifact -----------------------------------------------------------
+    let json = Json::obj(vec![
+        ("schema", Json::Str("promips-bench-kernels-v1".into())),
+        ("backend", Json::Str(backend.into())),
+        ("d", Json::Num(D as f64)),
+        (
+            "kernels",
+            Json::obj(vec![
+                ("dot", pair(dot_simd, dot_scalar)),
+                ("dot_single", pair(dot_single_simd, dot_single_scalar)),
+                ("sq_dist", pair(sqd_simd, sqd_scalar)),
+                ("sq_norm2", pair(sqn_simd, sqn_scalar)),
+                ("norm1", pair(n1_simd, n1_scalar)),
+            ]),
+        ),
+        ("backends", Json::Obj(backend_rows.clone())),
+        (
+            "project",
+            Json::obj(vec![
+                ("single", pair(proj_simd, proj_scalar)),
+                ("dataset_2000", pair(gemm_ns, gemm_scalar_ns)),
+                ("m", Json::Num(M as f64)),
+            ]),
+        ),
+        (
+            "search",
+            Json::obj(vec![
+                ("n", Json::Num(n as f64)),
+                ("queries", Json::Num(nq as f64)),
+                ("k", Json::Num(k as f64)),
+                ("threads", Json::Num(threads as f64)),
+                ("sequential_ns_per_query", Json::Num(seq_ns)),
+                ("batch_ns_per_query", Json::Num(batch_ns)),
+                ("speedup", Json::Num(seq_ns / batch_ns)),
+            ]),
+        ),
+    ]);
+
+    // cargo runs bench binaries with CWD = the bench crate; anchor the
+    // default artifact location at the workspace root.
+    let out_path = std::env::var("PROMIPS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_kernels.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, json.render()).expect("write bench artifact");
+    println!("\nwrote {out_path}");
+    b.print("bench_kernels: dispatched vs scalar");
+}

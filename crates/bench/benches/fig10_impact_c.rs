@@ -5,8 +5,8 @@
 //! candidates → lower overall ratio and fewer page accesses; the measured
 //! overall ratio stays above the configured c in every cell.
 
-use promips_bench::metrics::overall_ratio;
 use promips_bench::methods::build_promips;
+use promips_bench::metrics::overall_ratio;
 use promips_bench::report::{f, Table};
 use promips_bench::{write_csv, BenchConfig, Workload};
 use std::time::Instant;

@@ -6,8 +6,8 @@
 //! overall ratio but disproportionately more page accesses (accuracy gains
 //! flatten while I/O keeps climbing).
 
-use promips_bench::metrics::overall_ratio;
 use promips_bench::methods::build_promips;
+use promips_bench::metrics::overall_ratio;
 use promips_bench::report::{f, Table};
 use promips_bench::{write_csv, BenchConfig, Workload};
 

@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks of the hot substrate operations: 2-stable
-//! projection, chi-square CDF/quantile, B+-tree point/range access, k-means
-//! assignment step, Quick-Probe group location, and the vector kernels.
+//! Microbenchmarks of the hot substrate operations: 2-stable projection,
+//! chi-square CDF/quantile, B+-tree point/range access, k-means assignment
+//! step, Quick-Probe group location, and the vector kernels.
+//!
+//! Plain `fn main` harness (no external bench framework is available
+//! offline); timing machinery lives in [`promips_bench::micro`].
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use promips_bench::micro::MicroBench;
 use promips_btree::BTree;
 use promips_cluster::{kmeans, KMeansConfig};
 use promips_core::quickprobe::QuickProbe;
@@ -14,85 +17,75 @@ use promips_storage::Pager;
 
 fn random_matrix(n: usize, d: usize, seed: u64) -> Matrix {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    Matrix::from_rows(d, (0..n).map(|_| {
-        (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()
-    }))
+    Matrix::from_rows(
+        d,
+        (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()),
+    )
 }
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
+    let mut b = MicroBench::new();
+    println!("kernel backend: {}", promips_linalg::active_backend());
+
+    // --- vector kernels -----------------------------------------------------
     let a: Vec<f32> = (0..300).map(|i| (i as f32 * 0.01).sin()).collect();
-    let b: Vec<f32> = (0..300).map(|i| (i as f32 * 0.02).cos()).collect();
-    c.bench_function("dot_300d", |bench| bench.iter(|| dot(std::hint::black_box(&a), &b)));
-    c.bench_function("sq_dist_300d", |bench| bench.iter(|| sq_dist(std::hint::black_box(&a), &b)));
-    c.bench_function("norm1_300d", |bench| bench.iter(|| norm1(std::hint::black_box(&a))));
-}
+    let c: Vec<f32> = (0..300).map(|i| (i as f32 * 0.02).cos()).collect();
+    b.run("dot_300d", || dot(std::hint::black_box(&a), &c));
+    b.run("sq_dist_300d", || sq_dist(std::hint::black_box(&a), &c));
+    b.run("norm1_300d", || norm1(std::hint::black_box(&a)));
 
-fn bench_projection(c: &mut Criterion) {
+    // --- projection ---------------------------------------------------------
     let proj = promips_core::projection::Projection::generate(8, 300, 1);
     let point: Vec<f32> = (0..300).map(|i| (i as f32).sin()).collect();
-    c.bench_function("project_300d_to_8d", |bench| {
-        bench.iter(|| proj.project(std::hint::black_box(&point)))
+    b.run("project_300d_to_8d", || {
+        proj.project(std::hint::black_box(&point))
     });
-}
+    let mut out = Vec::new();
+    b.run("project_into_300d_to_8d", || {
+        proj.project_into(std::hint::black_box(&point), &mut out);
+        out.len()
+    });
 
-fn bench_chi2(c: &mut Criterion) {
-    c.bench_function("chi2_cdf_m8", |bench| {
-        bench.iter(|| chi2_cdf(8, std::hint::black_box(5.3)))
+    // --- chi-square ---------------------------------------------------------
+    b.run("chi2_cdf_m8", || chi2_cdf(8, std::hint::black_box(5.3)));
+    b.run("chi2_inv_cdf_m8", || {
+        chi2_inv_cdf(8, std::hint::black_box(0.5))
     });
-    c.bench_function("chi2_inv_cdf_m8", |bench| {
-        bench.iter(|| chi2_inv_cdf(8, std::hint::black_box(0.5)))
-    });
-}
 
-fn bench_btree(c: &mut Criterion) {
+    // --- B+-tree ------------------------------------------------------------
     let pager = Arc::new(Pager::in_memory(4096, 1 << 14));
-    let tree =
-        BTree::bulk_load(Arc::clone(&pager), (0..100_000u64).map(|k| (k, k))).unwrap();
-    c.bench_function("btree_get", |bench| {
-        let mut key = 0u64;
-        bench.iter(|| {
-            key = (key + 7919) % 100_000;
-            tree.get(std::hint::black_box(key)).unwrap()
-        })
+    let tree = BTree::bulk_load(Arc::clone(&pager), (0..100_000u64).map(|k| (k, k))).unwrap();
+    let mut key = 0u64;
+    b.run("btree_get", || {
+        key = (key + 7919) % 100_000;
+        tree.get(std::hint::black_box(key)).unwrap()
     });
-    c.bench_function("btree_range_100", |bench| {
-        bench.iter(|| {
-            tree.range(50_000, 50_099)
-                .unwrap()
-                .map(|r| r.unwrap().1)
-                .sum::<u64>()
-        })
+    b.run("btree_range_100", || {
+        tree.range(50_000, 50_099)
+            .unwrap()
+            .map(|r| r.unwrap().1)
+            .sum::<u64>()
     });
-}
 
-fn bench_kmeans(c: &mut Criterion) {
+    // --- k-means ------------------------------------------------------------
     let data = random_matrix(2_000, 8, 3);
     let subset: Vec<usize> = (0..2_000).collect();
-    c.bench_function("kmeans_2000x8_k10", |bench| {
-        bench.iter_batched(
-            || KMeansConfig { k: 10, max_iters: 5, seed: 7 },
-            |cfg| kmeans(&data, &subset, &cfg),
-            BatchSize::SmallInput,
-        )
-    });
-}
+    let cfg = KMeansConfig {
+        k: 10,
+        max_iters: 5,
+        seed: 7,
+    };
+    b.run("kmeans_2000x8_k10", || kmeans(&data, &subset, &cfg));
 
-fn bench_quickprobe(c: &mut Criterion) {
-    let proj = random_matrix(20_000, 8, 5);
-    let qp = QuickProbe::build(
-        8,
-        (0..20_000).map(|i| (i as u64, proj.row(i))),
-        |id| norm1(proj.row(id as usize)) * 3.0,
-    );
+    // --- Quick-Probe --------------------------------------------------------
+    let qp_proj = random_matrix(20_000, 8, 5);
+    let qp = QuickProbe::build(8, (0..20_000).map(|i| (i as u64, qp_proj.row(i))), |id| {
+        norm1(qp_proj.row(id as usize)) * 3.0
+    });
     let pq: Vec<f32> = (0..8).map(|i| (i as f32).sin()).collect();
-    c.bench_function("quickprobe_locate_20k_m8", |bench| {
-        bench.iter(|| qp.locate(std::hint::black_box(&pq), 10.0, 0.9, 0.5))
+    b.run("quickprobe_locate_20k_m8", || {
+        qp.locate(std::hint::black_box(&pq), 10.0, 0.9, 0.5)
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_kernels, bench_projection, bench_chi2, bench_btree, bench_kmeans, bench_quickprobe
+    b.print("micro: substrate operations");
 }
-criterion_main!(benches);

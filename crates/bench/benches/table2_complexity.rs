@@ -43,7 +43,10 @@ fn main() {
             f(sum_pages / QUERIES as f64, 1),
         ]);
         if let Some(prev) = prev_ms {
-            eprintln!("[table2] n={n}: query-time growth ×{:.2} for n×2", ms / prev);
+            eprintln!(
+                "[table2] n={n}: query-time growth ×{:.2} for n×2",
+                ms / prev
+            );
         }
         prev_ms = Some(ms);
     }

@@ -50,7 +50,13 @@ impl BenchConfig {
             })
             .filter(|v| !v.is_empty())
             .unwrap_or_else(|| vec!["Netflix", "Yahoo", "P53", "Sift"]);
-        Self { scale, queries, ks, page_us, datasets }
+        Self {
+            scale,
+            queries,
+            ks,
+            page_us,
+            datasets,
+        }
     }
 
     /// The dataset specs selected by this configuration, scaled.
@@ -91,11 +97,17 @@ impl BenchConfig {
 }
 
 fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 #[cfg(test)]

@@ -16,8 +16,9 @@
 //! | `PROMIPS_DATASETS` | all | comma list among `netflix,yahoo,p53,sift` |
 
 pub mod config;
-pub mod metrics;
 pub mod methods;
+pub mod metrics;
+pub mod micro;
 pub mod report;
 pub mod sweep;
 pub mod workload;

@@ -41,7 +41,12 @@ pub fn idistance_for(n: usize) -> IDistanceConfig {
     let ksp = (per_part as f64).sqrt().round() as usize;
     let ksp = ksp.clamp(1, 10);
     let nkey = (per_part / ksp.max(1)).clamp(2, 40);
-    IDistanceConfig { kp, nkey, ksp, ..Default::default() }
+    IDistanceConfig {
+        kp,
+        nkey,
+        ksp,
+        ..Default::default()
+    }
 }
 
 /// Buffer-pool pages used by every method (16 MB at 4 KB pages).
@@ -63,41 +68,66 @@ pub fn build_promips(w: &Workload, c: f64, p: f64, seed: u64) -> BuiltMethod {
     let build_ms = t.elapsed().as_secs_f64() * 1e3;
     let m = ProMipsMethod::new(index);
     let index_bytes = m.index_size_bytes();
-    BuiltMethod { method: Box::new(m), build_ms, index_bytes }
+    BuiltMethod {
+        method: Box::new(m),
+        build_ms,
+        index_bytes,
+    }
 }
 
 /// Builds H2-ALSH (c0 = 2.0 per the paper).
 pub fn build_h2alsh(w: &Workload, seed: u64) -> BuiltMethod {
     let pager = Arc::new(Pager::in_memory(w.page_size(), POOL_PAGES));
-    let cfg = H2AlshConfig { seed, ..Default::default() };
+    let cfg = H2AlshConfig {
+        seed,
+        ..Default::default()
+    };
     let t = Instant::now();
     let index = H2Alsh::build(&w.dataset.data, cfg, pager).expect("H2-ALSH build");
     let build_ms = t.elapsed().as_secs_f64() * 1e3;
     let index_bytes = index.index_size_bytes();
-    BuiltMethod { method: Box::new(index), build_ms, index_bytes }
+    BuiltMethod {
+        method: Box::new(index),
+        build_ms,
+        index_bytes,
+    }
 }
 
 /// Builds Norm-Ranging LSH (32 partitions, 16-bit codes per the paper).
 pub fn build_rangelsh(w: &Workload, seed: u64) -> BuiltMethod {
     let pager = Arc::new(Pager::in_memory(w.page_size(), POOL_PAGES));
-    let cfg = RangeLshConfig { seed, ..Default::default() };
+    let cfg = RangeLshConfig {
+        seed,
+        ..Default::default()
+    };
     let t = Instant::now();
     let index = RangeLsh::build(&w.dataset.data, cfg, pager).expect("Range-LSH build");
     let build_ms = t.elapsed().as_secs_f64() * 1e3;
     let index_bytes = index.index_size_bytes();
-    BuiltMethod { method: Box::new(index), build_ms, index_bytes }
+    BuiltMethod {
+        method: Box::new(index),
+        build_ms,
+        index_bytes,
+    }
 }
 
 /// Builds the PQ-based method (16 sub-spaces × 256 centroids, 16 probed
 /// cells per the paper).
 pub fn build_pq(w: &Workload, seed: u64) -> BuiltMethod {
     let pager = Arc::new(Pager::in_memory(w.page_size(), POOL_PAGES));
-    let cfg = PqConfig { seed, ..Default::default() };
+    let cfg = PqConfig {
+        seed,
+        ..Default::default()
+    };
     let t = Instant::now();
     let index = PqMips::build(&w.dataset.data, cfg, pager).expect("PQ build");
     let build_ms = t.elapsed().as_secs_f64() * 1e3;
     let index_bytes = index.index_size_bytes();
-    BuiltMethod { method: Box::new(index), build_ms, index_bytes }
+    BuiltMethod {
+        method: Box::new(index),
+        build_ms,
+        index_bytes,
+    }
 }
 
 /// Builds all four evaluated methods in the paper's order.
@@ -122,7 +152,10 @@ mod tests {
         let small = idistance_for(2_000);
         // ≈16 points per sub-partition.
         let per_sub = 2_000 / (small.kp * small.nkey * small.ksp);
-        assert!((4..=64).contains(&per_sub), "per_sub = {per_sub}, cfg {small:?}");
+        assert!(
+            (4..=64).contains(&per_sub),
+            "per_sub = {per_sub}, cfg {small:?}"
+        );
     }
 
     #[test]

@@ -35,8 +35,7 @@ pub fn recall(result: &[Neighbor], exact: &GroundTruth, k: usize) -> f64 {
     if k == 0 {
         return 1.0;
     }
-    let exact_ids: std::collections::HashSet<u64> =
-        exact[..k].iter().map(|&(id, _)| id).collect();
+    let exact_ids: std::collections::HashSet<u64> = exact[..k].iter().map(|&(id, _)| id).collect();
     let hits = result
         .iter()
         .take(k)

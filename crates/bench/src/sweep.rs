@@ -4,8 +4,8 @@
 
 use std::time::Instant;
 
-use crate::metrics::{overall_ratio, recall};
 use crate::methods::BuiltMethod;
+use crate::metrics::{overall_ratio, recall};
 use crate::workload::Workload;
 
 /// One (method, k) aggregate over all queries.
@@ -131,7 +131,11 @@ pub fn full_sweep_cached(cfg: &crate::config::BenchConfig) -> Vec<SweepRow> {
         "sweep_s{}_q{}_ks{}_d{}",
         cfg.scale,
         cfg.queries,
-        cfg.ks.iter().map(|k| k.to_string()).collect::<Vec<_>>().join("-"),
+        cfg.ks
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join("-"),
         cfg.datasets.join("-"),
     );
     let path = crate::config::BenchConfig::out_dir().join(format!("{tag}.csv"));
@@ -152,7 +156,12 @@ pub fn full_sweep_cached(cfg: &crate::config::BenchConfig) -> Vec<SweepRow> {
         let w = Workload::prepare(spec, cfg.queries, gt_k);
         eprintln!("[sweep] {}: building 4 methods …", w.spec.name);
         let methods = crate::methods::build_all_methods(&w, 42);
-        eprintln!("[sweep] {}: running {} queries × {} ks …", w.spec.name, cfg.queries, cfg.ks.len());
+        eprintln!(
+            "[sweep] {}: running {} queries × {} ks …",
+            w.spec.name,
+            cfg.queries,
+            cfg.ks.len()
+        );
         all.extend(run_sweep(&w, &methods, &cfg.ks, cfg.page_us));
     }
 

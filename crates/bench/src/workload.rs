@@ -21,10 +21,16 @@ impl Workload {
     pub fn prepare(mut spec: DatasetSpec, n_queries: usize, gt_k: usize) -> Self {
         spec.n_queries = n_queries;
         let dataset = spec.generate();
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-        let ground_truth =
-            exact_topk_batch(&dataset.data, &dataset.queries, gt_k, threads);
-        Self { spec, dataset, ground_truth, gt_k }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        let ground_truth = exact_topk_batch(&dataset.data, &dataset.queries, gt_k, threads);
+        Self {
+            spec,
+            dataset,
+            ground_truth,
+            gt_k,
+        }
     }
 
     /// The paper's page size for this dataset: 64 KB for P53 (one 5408-dim

@@ -61,7 +61,10 @@ pub fn bulk_load(
     // Final leaf (possibly empty if the input size is a multiple of
     // per_leaf, or the input was empty — an empty tree is a single leaf).
     let first_key = pending.first().map(|e| e.0).unwrap_or(0);
-    let node = Node::Leaf { entries: std::mem::take(&mut pending), next: NIL_PAGE };
+    let node = Node::Leaf {
+        entries: std::mem::take(&mut pending),
+        next: NIL_PAGE,
+    };
     pager.write(pending_page, node.encode(page_size))?;
     if leaves.is_empty() || node_has_entries(total, per_leaf) {
         leaves.push((first_key, pending_page));
@@ -72,7 +75,14 @@ pub fn bulk_load(
         let &(prev_first, prev_page) = leaves.last().unwrap();
         let prev = pager.read(prev_page)?;
         if let Node::Leaf { entries, .. } = Node::decode(prev.as_slice()) {
-            pager.write(prev_page, Node::Leaf { entries, next: NIL_PAGE }.encode(page_size))?;
+            pager.write(
+                prev_page,
+                Node::Leaf {
+                    entries,
+                    next: NIL_PAGE,
+                }
+                .encode(page_size),
+            )?;
         }
         let _ = prev_first;
     }
@@ -86,8 +96,7 @@ pub fn bulk_load(
         for chunk in level.chunks(cap + 1) {
             let leftmost = chunk[0].1;
             let first_key = chunk[0].0;
-            let entries: Vec<(u64, u64)> =
-                chunk[1..].iter().map(|&(k, p)| (k, p)).collect();
+            let entries: Vec<(u64, u64)> = chunk[1..].iter().map(|&(k, p)| (k, p)).collect();
             let page = pager.append(Node::Internal { leftmost, entries }.encode(page_size))?;
             next_level.push((first_key, page));
         }
@@ -101,7 +110,7 @@ pub fn bulk_load(
 
 /// Whether the final pending leaf actually received entries.
 fn node_has_entries(total: u64, per_leaf: usize) -> bool {
-    total == 0 || total % per_leaf as u64 != 0
+    total == 0 || !total.is_multiple_of(per_leaf as u64)
 }
 
 #[cfg(test)]

@@ -23,12 +23,7 @@ pub struct RangeIter {
 }
 
 impl RangeIter {
-    pub(crate) fn new(
-        pager: Arc<Pager>,
-        start_leaf: PageId,
-        lo: u64,
-        hi: u64,
-    ) -> io::Result<Self> {
+    pub(crate) fn new(pager: Arc<Pager>, start_leaf: PageId, lo: u64, hi: u64) -> io::Result<Self> {
         let mut iter = Self {
             pager,
             entries: Vec::new(),

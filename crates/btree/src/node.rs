@@ -32,7 +32,10 @@ const TAG_INTERNAL: u8 = 2;
 #[inline]
 pub fn node_capacity(page_size: usize) -> usize {
     let cap = (page_size - HEADER_LEN) / ENTRY_LEN;
-    assert!(cap >= 3, "page size {page_size} too small for a B+-tree node");
+    assert!(
+        cap >= 3,
+        "page size {page_size} too small for a B+-tree node"
+    );
     cap
 }
 
@@ -58,7 +61,10 @@ pub enum Node {
 impl Node {
     /// Creates an empty leaf.
     pub fn empty_leaf() -> Self {
-        Node::Leaf { entries: Vec::new(), next: NIL_PAGE }
+        Node::Leaf {
+            entries: Vec::new(),
+            next: NIL_PAGE,
+        }
     }
 
     /// Number of entries.
@@ -129,8 +135,14 @@ impl Node {
             entries.push((k, v));
         }
         match tag {
-            TAG_LEAF => Node::Leaf { entries, next: link },
-            TAG_INTERNAL => Node::Internal { leftmost: link, entries },
+            TAG_LEAF => Node::Leaf {
+                entries,
+                next: link,
+            },
+            TAG_INTERNAL => Node::Internal {
+                leftmost: link,
+                entries,
+            },
             other => panic!("corrupt B+-tree page: unknown tag {other}"),
         }
     }
@@ -187,7 +199,10 @@ mod tests {
     fn full_node_roundtrip() {
         let cap = node_capacity(256);
         let entries: Vec<(u64, u64)> = (0..cap as u64).map(|i| (i * 3, i)).collect();
-        let node = Node::Leaf { entries, next: NIL_PAGE };
+        let node = Node::Leaf {
+            entries,
+            next: NIL_PAGE,
+        };
         let page = node.encode(256);
         assert_eq!(Node::decode(page.as_slice()), node);
     }
@@ -197,6 +212,10 @@ mod tests {
     fn encode_rejects_overflow() {
         let cap = node_capacity(64);
         let entries: Vec<(u64, u64)> = (0..=cap as u64).map(|i| (i, i)).collect();
-        Node::Leaf { entries, next: NIL_PAGE }.encode(64);
+        Node::Leaf {
+            entries,
+            next: NIL_PAGE,
+        }
+        .encode(64);
     }
 }

@@ -24,13 +24,23 @@ impl BTree {
     /// Creates an empty tree (a single empty leaf) in `pager`.
     pub fn create(pager: Arc<Pager>) -> io::Result<Self> {
         let root = pager.append(Node::empty_leaf().encode(pager.page_size()))?;
-        Ok(Self { pager, root, height: 1, len: 0 })
+        Ok(Self {
+            pager,
+            root,
+            height: 1,
+            len: 0,
+        })
     }
 
     /// Reconstructs a handle from a persisted root (see [`BTree::root`],
     /// [`BTree::height`], [`BTree::len`] for what to persist).
     pub fn open(pager: Arc<Pager>, root: PageId, height: u32, len: u64) -> Self {
-        Self { pager, root, height, len }
+        Self {
+            pager,
+            root,
+            height,
+            len,
+        }
     }
 
     /// Builds a tree from `(key, value)` pairs **sorted by key** using
@@ -84,7 +94,11 @@ impl BTree {
                 Node::Internal { leftmost, entries } => {
                     // Last separator strictly below `key`, else leftmost.
                     let idx = entries.partition_point(|&(sep, _)| sep < key);
-                    id = if idx == 0 { leftmost } else { entries[idx - 1].1 };
+                    id = if idx == 0 {
+                        leftmost
+                    } else {
+                        entries[idx - 1].1
+                    };
                 }
             }
         }
@@ -101,9 +115,7 @@ impl BTree {
 
     /// Returns every value stored under `key`.
     pub fn get_all(&self, key: u64) -> io::Result<Vec<u64>> {
-        self.range(key, key)?
-            .map(|r| r.map(|(_, v)| v))
-            .collect()
+        self.range(key, key)?.map(|r| r.map(|(_, v)| v)).collect()
     }
 
     /// Iterates `(key, value)` pairs with `lo <= key <= hi` in key order.
@@ -149,23 +161,41 @@ impl BTree {
                 let pos = entries.partition_point(|&(k, _)| k <= key);
                 entries.insert(pos, (key, value));
                 if entries.len() <= cap {
-                    self.pager.write(id, Node::Leaf { entries, next }.encode(page_size))?;
+                    self.pager
+                        .write(id, Node::Leaf { entries, next }.encode(page_size))?;
                     return Ok(None);
                 }
                 // Split: right half moves to a fresh page.
                 let mid = entries.len() / 2;
                 let right_entries = entries.split_off(mid);
                 let sep = right_entries[0].0;
-                let right_page = self
-                    .pager
-                    .append(Node::Leaf { entries: right_entries, next }.encode(page_size))?;
-                self.pager
-                    .write(id, Node::Leaf { entries, next: right_page }.encode(page_size))?;
+                let right_page = self.pager.append(
+                    Node::Leaf {
+                        entries: right_entries,
+                        next,
+                    }
+                    .encode(page_size),
+                )?;
+                self.pager.write(
+                    id,
+                    Node::Leaf {
+                        entries,
+                        next: right_page,
+                    }
+                    .encode(page_size),
+                )?;
                 Ok(Some((sep, right_page)))
             }
-            Node::Internal { leftmost, mut entries } => {
+            Node::Internal {
+                leftmost,
+                mut entries,
+            } => {
                 let idx = entries.partition_point(|&(sep, _)| sep <= key);
-                let child = if idx == 0 { leftmost } else { entries[idx - 1].1 };
+                let child = if idx == 0 {
+                    leftmost
+                } else {
+                    entries[idx - 1].1
+                };
                 let Some((sep, right)) = self.insert_rec(child, key, value)? else {
                     return Ok(None);
                 };
@@ -180,8 +210,11 @@ impl BTree {
                 let mut right_entries = entries.split_off(mid);
                 let (up_sep, right_leftmost) = right_entries.remove(0);
                 let right_page = self.pager.append(
-                    Node::Internal { leftmost: right_leftmost, entries: right_entries }
-                        .encode(page_size),
+                    Node::Internal {
+                        leftmost: right_leftmost,
+                        entries: right_entries,
+                    }
+                    .encode(page_size),
                 )?;
                 self.pager
                     .write(id, Node::Internal { leftmost, entries }.encode(page_size))?;
@@ -229,8 +262,7 @@ mod tests {
         for k in (0..150u64).rev() {
             t.insert(k, k + 1).unwrap();
         }
-        let collected: Vec<(u64, u64)> =
-            t.scan_all().unwrap().map(|r| r.unwrap()).collect();
+        let collected: Vec<(u64, u64)> = t.scan_all().unwrap().map(|r| r.unwrap()).collect();
         assert_eq!(collected.len(), 150);
         assert!(collected.windows(2).all(|w| w[0].0 <= w[1].0));
         assert_eq!(collected[0], (0, 1));

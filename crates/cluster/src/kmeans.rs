@@ -19,7 +19,11 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// A sensible default: `max_iters = 25`.
     pub fn new(k: usize, seed: u64) -> Self {
-        Self { k, max_iters: 25, seed }
+        Self {
+            k,
+            max_iters: 25,
+            seed,
+        }
     }
 }
 
@@ -108,7 +112,10 @@ pub fn kmeans(data: &Matrix, subset: &[usize], config: &KMeansConfig) -> KMeansR
                     .iter()
                     .enumerate()
                     .map(|(pos, &row)| {
-                        (pos, sq_dist(data.row(row), centroids.row(assignment[pos] as usize)))
+                        (
+                            pos,
+                            sq_dist(data.row(row), centroids.row(assignment[pos] as usize)),
+                        )
                     })
                     .max_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("subset non-empty");
@@ -136,7 +143,13 @@ pub fn kmeans(data: &Matrix, subset: &[usize], config: &KMeansConfig) -> KMeansR
         }
     }
 
-    KMeansResult { centroids, assignment, sizes, radii, iterations }
+    KMeansResult {
+        centroids,
+        assignment,
+        sizes,
+        radii,
+        iterations,
+    }
 }
 
 #[cfg(test)]

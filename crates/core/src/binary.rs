@@ -29,11 +29,7 @@ pub fn code_of(projected: &[f32]) -> BinaryCode {
 /// `code`, given the query's code and the absolute values of the query's
 /// projected coordinates.
 #[inline]
-pub fn theorem3_lower_bound(
-    code: BinaryCode,
-    q_code: BinaryCode,
-    q_abs: &[f64],
-) -> f64 {
+pub fn theorem3_lower_bound(code: BinaryCode, q_code: BinaryCode, q_abs: &[f64]) -> f64 {
     let m = q_abs.len();
     debug_assert!(m <= 64);
     let mut diff = code ^ q_code;

@@ -83,7 +83,13 @@ mod tests {
     use super::*;
 
     fn ctx() -> ConditionContext {
-        ConditionContext { c: 0.9, p: 0.5, m: 6, max_sq_norm: 100.0, q_sq_norm: 50.0 }
+        ConditionContext {
+            c: 0.9,
+            p: 0.5,
+            m: 6,
+            max_sq_norm: 100.0,
+            q_sq_norm: 50.0,
+        }
     }
 
     #[test]

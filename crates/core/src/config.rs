@@ -44,7 +44,9 @@ impl Default for ProMipsConfig {
 impl ProMipsConfig {
     /// Starts a builder with the paper defaults.
     pub fn builder() -> ProMipsConfigBuilder {
-        ProMipsConfigBuilder { config: Self::default() }
+        ProMipsConfigBuilder {
+            config: Self::default(),
+        }
     }
 
     /// Validates parameter domains.
@@ -53,8 +55,16 @@ impl ProMipsConfig {
     /// Panics if `c` or `p` lies outside `(0, 1)` or `m == Some(0)` /
     /// `m > 64` (binary codes are stored in a `u64`).
     pub fn validate(&self) {
-        assert!(self.c > 0.0 && self.c < 1.0, "c must be in (0,1), got {}", self.c);
-        assert!(self.p > 0.0 && self.p < 1.0, "p must be in (0,1), got {}", self.p);
+        assert!(
+            self.c > 0.0 && self.c < 1.0,
+            "c must be in (0,1), got {}",
+            self.c
+        );
+        assert!(
+            self.p > 0.0 && self.p < 1.0,
+            "p must be in (0,1), got {}",
+            self.p
+        );
         if let Some(m) = self.m {
             assert!((1..=64).contains(&m), "m must be in 1..=64, got {m}");
         }

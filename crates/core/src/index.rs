@@ -76,8 +76,15 @@ impl ProMips {
         pager: Arc<Pager>,
     ) -> io::Result<Self> {
         config.validate();
-        assert!(!data.is_empty(), "cannot build ProMIPS over an empty dataset");
-        assert_eq!(pager.page_size(), config.page_size, "pager/config page size mismatch");
+        assert!(
+            !data.is_empty(),
+            "cannot build ProMIPS over an empty dataset"
+        );
+        assert_eq!(
+            pager.page_size(),
+            config.page_size,
+            "pager/config page size mismatch"
+        );
         let n = data.rows();
         let d = data.cols();
         let m = config
@@ -94,11 +101,9 @@ impl ProMips {
         // Stage 2: norms + binary codes for Quick-Probe.
         let t1 = std::time::Instant::now();
         let norms = NormTable::compute(data);
-        let quickprobe = QuickProbe::build(
-            m,
-            (0..n).map(|i| (i as u64, proj.row(i))),
-            |id| norms.norm1(id),
-        );
+        let quickprobe = QuickProbe::build(m, (0..n).map(|i| (i as u64, proj.row(i))), |id| {
+            norms.norm1(id)
+        });
         let quickprobe_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         // Stage 3: iDistance over the projected points, originals alongside.
@@ -112,9 +117,7 @@ impl ProMips {
         // Locator: where did each id land?
         let mut locator = vec![(u32::MAX, u32::MAX); n];
         for sub in 0..index.subparts().len() as u32 {
-            for (offset, (id, _)) in
-                index.read_subpart_proj(sub)?.into_iter().enumerate()
-            {
+            for (offset, (id, _)) in index.read_subpart_proj(sub)?.into_iter().enumerate() {
                 locator[id as usize] = (sub, offset as u32);
             }
         }
@@ -130,7 +133,11 @@ impl ProMips {
             locator,
             m,
             d,
-            timings: BuildTimings { project_ms, quickprobe_ms, index_ms },
+            timings: BuildTimings {
+                project_ms,
+                quickprobe_ms,
+                index_ms,
+            },
             idist_footer_page,
             delta: DeltaSegment::default(),
             tombstones: std::collections::HashSet::new(),
@@ -233,9 +240,8 @@ impl ProMips {
         let ps = self.index.pager().page_size() as u64;
         let orig_pages = self.index.orig_region().1.div_ceil(ps).max(1);
         let file = self.index.size_bytes();
-        let aux = (self.quickprobe.size_bytes()
-            + self.norms.size_bytes()
-            + self.locator.len() * 8) as u64;
+        let aux = (self.quickprobe.size_bytes() + self.norms.size_bytes() + self.locator.len() * 8)
+            as u64;
         file - orig_pages * ps + aux
     }
 
@@ -252,9 +258,10 @@ mod tests {
 
     fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        Matrix::from_rows(d, (0..n).map(|_| {
-            (0..d).map(|_| rng.normal() as f32).collect()
-        }))
+        Matrix::from_rows(
+            d,
+            (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()),
+        )
     }
 
     #[test]

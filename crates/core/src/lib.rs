@@ -46,3 +46,4 @@ pub use config::{ProMipsConfig, ProMipsConfigBuilder};
 pub use index::ProMips;
 pub use optimize::optimized_projection_dim;
 pub use result::{SearchItem, SearchResult};
+pub use search::SearchScratch;

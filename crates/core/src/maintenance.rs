@@ -18,7 +18,6 @@
 //! * [`ProMips::rebuild`] folds the delta and tombstones into a fresh,
 //!   fully-packed index when the delta grows past the caller's threshold.
 
-
 use std::io;
 use std::sync::Arc;
 
@@ -60,7 +59,11 @@ impl ProMips {
         if sq > self.delta.max_sq_norm {
             self.delta.max_sq_norm = sq;
         }
-        self.delta.entries.push(DeltaEntry { id, proj, orig: point.to_vec() });
+        self.delta.entries.push(DeltaEntry {
+            id,
+            proj,
+            orig: point.to_vec(),
+        });
         id
     }
 
@@ -98,7 +101,11 @@ impl ProMips {
     /// base points back from the index file, merges the delta, drops
     /// tombstones). Returns the new index and the mapping from new ids to
     /// the old ids.
-    pub fn rebuild(&self, pager: Arc<Pager>, config: ProMipsConfig) -> io::Result<(ProMips, Vec<u64>)> {
+    pub fn rebuild(
+        &self,
+        pager: Arc<Pager>,
+        config: ProMipsConfig,
+    ) -> io::Result<(ProMips, Vec<u64>)> {
         let mut old_ids = Vec::new();
         let mut rows: Vec<Vec<f32>> = Vec::new();
         // Base points, in sub-partition order.
@@ -133,18 +140,16 @@ mod tests {
 
     fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        Matrix::from_rows(d, (0..n).map(|_| {
-            (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()
-        }))
+        Matrix::from_rows(
+            d,
+            (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()),
+        )
     }
 
     fn build(n: usize, seed: u64) -> (ProMips, Matrix) {
         let data = random_data(n, 16, seed);
-        let idx = ProMips::build_in_memory(
-            &data,
-            ProMipsConfig::builder().seed(seed).build(),
-        )
-        .unwrap();
+        let idx =
+            ProMips::build_in_memory(&data, ProMipsConfig::builder().seed(seed).build()).unwrap();
         (idx, data)
     }
 
@@ -169,7 +174,10 @@ mod tests {
         let top = idx.search(&q, 1).unwrap().items[0].id;
         idx.delete(top);
         let res = idx.search(&q, 5).unwrap();
-        assert!(res.items.iter().all(|i| i.id != top), "tombstoned id returned");
+        assert!(
+            res.items.iter().all(|i| i.id != top),
+            "tombstoned id returned"
+        );
         assert_eq!(idx.live_len(), 299);
     }
 
@@ -241,7 +249,7 @@ mod tests {
     fn max_norm_tracks_delta_inserts() {
         let (mut idx, _) = build(150, 6);
         let before = idx.effective_max_sq_norm();
-        idx.insert(&vec![100.0f32; 16]);
+        idx.insert(&[100.0f32; 16]);
         assert!(idx.effective_max_sq_norm() > before);
         assert!((idx.effective_max_sq_norm() - 160_000.0).abs() < 1.0);
     }

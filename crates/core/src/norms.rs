@@ -33,7 +33,12 @@ impl NormTable {
             sq.push(s);
             l1.push(norm1(row));
         }
-        Self { sq_norm2: sq, norm1: l1, max_sq_norm2: max_sq, max_norm_id: max_id }
+        Self {
+            sq_norm2: sq,
+            norm1: l1,
+            max_sq_norm2: max_sq,
+            max_norm_id: max_id,
+        }
     }
 
     /// Number of points.
@@ -96,7 +101,12 @@ impl NormTable {
         let norm1: Vec<f64> = (0..n).map(|_| get_f64(buf, pos)).collect();
         let max_sq_norm2 = get_f64(buf, pos);
         let max_norm_id = get_u64(buf, pos);
-        Self { sq_norm2, norm1, max_sq_norm2, max_norm_id }
+        Self {
+            sq_norm2,
+            norm1,
+            max_sq_norm2,
+            max_norm_id,
+        }
     }
 }
 
@@ -106,10 +116,7 @@ mod tests {
 
     #[test]
     fn computes_all_norms() {
-        let data = Matrix::from_rows(
-            2,
-            vec![vec![3.0f32, 4.0], vec![1.0, -1.0], vec![0.0, 0.0]],
-        );
+        let data = Matrix::from_rows(2, vec![vec![3.0f32, 4.0], vec![1.0, -1.0], vec![0.0, 0.0]]);
         let t = NormTable::compute(&data);
         assert_eq!(t.len(), 3);
         assert_eq!(t.sq_norm2(0), 25.0);

@@ -76,9 +76,10 @@ impl ProMips {
 
     /// Reopens a fully persisted index (see [`ProMips::save`]).
     pub fn open(pager: Arc<Pager>) -> io::Result<Self> {
-        let last = pager.num_pages().checked_sub(1).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "empty ProMIPS file")
-        })?;
+        let last = pager
+            .num_pages()
+            .checked_sub(1)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty ProMIPS file"))?;
         let page = pager.read(last)?;
         let mut pos = 0;
         let buf = page.as_slice();
@@ -142,9 +143,10 @@ mod tests {
 
     fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = promips_stats::Xoshiro256pp::seed_from_u64(seed);
-        Matrix::from_rows(d, (0..n).map(|_| {
-            (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()
-        }))
+        Matrix::from_rows(
+            d,
+            (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()),
+        )
     }
 
     #[test]

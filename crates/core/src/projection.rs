@@ -23,7 +23,9 @@ impl Projection {
         for _ in 0..m * d {
             data.push(rng.normal() as f32);
         }
-        Self { matrix: Matrix::from_vec(m, d, data) }
+        Self {
+            matrix: Matrix::from_vec(m, d, data),
+        }
     }
 
     /// Projected dimensionality `m`.
@@ -41,14 +43,20 @@ impl Projection {
         self.matrix.matvec(point)
     }
 
-    /// Projects every row of `data` (n × d) into an n × m matrix.
+    /// Allocation-free projection: resizes `out` to `m` and writes `V·o`
+    /// into it. Search paths reuse one buffer across queries via
+    /// [`crate::search::SearchScratch`].
+    pub fn project_into(&self, point: &[f32], out: &mut Vec<f32>) {
+        out.resize(self.m(), 0.0);
+        self.matrix.matvec_into(point, out);
+    }
+
+    /// Projects every row of `data` (n × d) into an n × m matrix as one
+    /// register-blocked `data · Vᵀ` ([`Matrix::gemm_nt`]) instead of n
+    /// independent allocating matvecs.
     pub fn project_all(&self, data: &Matrix) -> Matrix {
         assert_eq!(data.cols(), self.d(), "data dimensionality mismatch");
-        let mut rows = Vec::with_capacity(data.rows() * self.m());
-        for row in data.iter_rows() {
-            rows.extend_from_slice(&self.project(row));
-        }
-        Matrix::from_vec(data.rows(), self.m(), rows)
+        data.gemm_nt(&self.matrix)
     }
 
     /// The raw matrix (rows are the `m` random vectors).
@@ -75,7 +83,7 @@ mod tests {
         let p = Projection::generate(6, 50, 1);
         assert_eq!(p.m(), 6);
         assert_eq!(p.d(), 50);
-        assert_eq!(p.project(&vec![0.5; 50]).len(), 6);
+        assert_eq!(p.project(&[0.5; 50]).len(), 6);
     }
 
     #[test]
@@ -99,6 +107,19 @@ mod tests {
         for i in 0..3 {
             assert!((px[i] + py[i] - psum[i]).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn project_into_reuses_buffer_and_matches() {
+        let p = Projection::generate(7, 20, 9);
+        let a: Vec<f32> = (0..20).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..20).map(|i| (i as f32).cos()).collect();
+        let mut buf = Vec::new();
+        p.project_into(&a, &mut buf);
+        assert_eq!(buf, p.project(&a));
+        p.project_into(&b, &mut buf);
+        assert_eq!(buf, p.project(&b));
+        assert_eq!(buf.len(), 7);
     }
 
     #[test]

@@ -102,7 +102,13 @@ impl QuickProbe {
                 members.insert(pos, (norm1, id));
             }
             Err(gi) => {
-                self.groups.insert(gi, Group { code, members: vec![(norm1, id)] });
+                self.groups.insert(
+                    gi,
+                    Group {
+                        code,
+                        members: vec![(norm1, id)],
+                    },
+                );
             }
         }
     }
@@ -131,8 +137,9 @@ impl QuickProbe {
             .map(|_| {
                 let code = get_u64(buf, pos);
                 let len = get_u32(buf, pos) as usize;
-                let members =
-                    (0..len).map(|_| (get_f64(buf, pos), get_u64(buf, pos))).collect();
+                let members = (0..len)
+                    .map(|_| (get_f64(buf, pos), get_u64(buf, pos)))
+                    .collect();
                 Group { code, members }
             })
             .collect();
@@ -169,7 +176,11 @@ impl QuickProbe {
             let value = if denom > 0.0 { (lb * lb) / denom } else { 0.0 };
             // Test A.
             if chi2_cdf(self.m as u32, value) >= p {
-                return Located { id, test_a_passed: true, groups_probed: probed + 1 };
+                return Located {
+                    id,
+                    test_a_passed: true,
+                    groups_probed: probed + 1,
+                };
             }
             if value >= best_value {
                 best_value = value;
@@ -204,7 +215,9 @@ mod tests {
     fn build(proj: &[Vec<f32>], norms: &[f64], m: usize) -> QuickProbe {
         QuickProbe::build(
             m,
-            proj.iter().enumerate().map(|(i, v)| (i as u64, v.as_slice())),
+            proj.iter()
+                .enumerate()
+                .map(|(i, v)| (i as u64, v.as_slice())),
             |id| norms[id as usize],
         )
     }

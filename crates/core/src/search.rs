@@ -1,17 +1,58 @@
 //! The searching processes: MIP-Search-II with Quick-Probe (Algorithm 3,
 //! the production path) and MIP-Search-I (Algorithm 1, the incremental
 //! baseline kept for the paper's design rationale and our ablation).
+//!
+//! The production path is allocation-lean: every per-query buffer (the
+//! projected query, the candidate list, the offset list, and the original
+//! vector arena) lives in a reusable [`SearchScratch`], and
+//! [`ProMips::search_batch`] fans a query batch across scoped worker
+//! threads, one scratch per worker.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use promips_idistance::RangeCandidate;
-use promips_linalg::{dist, dot, norm1, sq_norm2};
+use promips_linalg::{dist, dot, dot4, norm1, sq_norm2};
 
 use crate::conditions::ConditionContext;
 use crate::index::ProMips;
 use crate::result::{SearchItem, SearchResult, Termination};
+
+/// Reusable per-query buffers. One scratch serves any number of sequential
+/// searches against any index; [`ProMips::search_batch`] keeps one per
+/// worker thread. All buffers grow to the high-water mark of the queries
+/// they serve and are never shrunk.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Projected query (length m).
+    pq: Vec<f32>,
+    /// Range-search candidates, grouped by sub-partition.
+    cands: Vec<RangeCandidate>,
+    /// Buffers for batched original-vector verification.
+    fetch: FetchBuffers,
+}
+
+#[derive(Debug, Default)]
+struct FetchBuffers {
+    /// Record offsets of the group being verified.
+    offsets: Vec<u32>,
+    /// Flat decode arena: record `i` at `arena[i*d..(i+1)*d]`.
+    arena: Vec<f32>,
+    /// Per-group sort keys: `(min proj_dist, start, end)` into the
+    /// candidate slice — precomputed once, so the group ordering pass is
+    /// O(G log G) instead of the O(G² · |group|) of recomputing the key
+    /// inside the comparator.
+    groups: Vec<(f64, usize, usize)>,
+}
+
+impl SearchScratch {
+    /// A fresh scratch (buffers allocate lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Bounded top-k collector over (inner product, id), deterministic under
 /// ties (larger ip wins; equal ips keep the smaller id).
@@ -34,7 +75,10 @@ impl Ord for OrdF64 {
 
 impl TopK {
     fn new(k: usize) -> Self {
-        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     fn push(&mut self, id: u64, ip: f64) {
@@ -54,7 +98,10 @@ impl TopK {
         if self.heap.len() < self.k {
             f64::NEG_INFINITY
         } else {
-            self.heap.peek().map(|Reverse((OrdF64(ip), _))| *ip).unwrap()
+            self.heap
+                .peek()
+                .map(|Reverse((OrdF64(ip), _))| *ip)
+                .unwrap()
         }
     }
 
@@ -75,12 +122,26 @@ impl ProMips {
     /// Returns the top-`k` candidates by exact inner product among the
     /// verified points; with probability at least `p`, each returned item
     /// satisfies `⟨oᵢ,q⟩ ≥ c·⟨o*ᵢ,q⟩`.
+    ///
+    /// Allocates a fresh [`SearchScratch`]; callers issuing many queries
+    /// should hold one and use [`ProMips::search_with_scratch`], or batch
+    /// through [`ProMips::search_batch`].
     pub fn search(&self, q: &[f32], k: usize) -> io::Result<SearchResult> {
+        self.search_with_scratch(q, k, &mut SearchScratch::new())
+    }
+
+    /// [`ProMips::search`] with caller-provided scratch buffers.
+    pub fn search_with_scratch(
+        &self,
+        q: &[f32],
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> io::Result<SearchResult> {
         assert_eq!(q.len(), self.d, "query dimensionality mismatch");
         assert!(k >= 1, "k must be at least 1");
         let k = k.min(self.live_len() as usize);
 
-        let pq = self.projection.project(q);
+        self.projection.project_into(q, &mut scratch.pq);
         let ctx = ConditionContext {
             c: self.config.c,
             p: self.config.p,
@@ -90,8 +151,10 @@ impl ProMips {
         };
 
         // --- Quick-Probe: locate the range-defining point (Algorithm 2). --
-        let located = self.quickprobe.locate(&pq, norm1(q), self.config.c, self.config.p);
-        let r = self.located_radius(&located, &pq)?;
+        let located = self
+            .quickprobe
+            .locate(&scratch.pq, norm1(q), self.config.c, self.config.p);
+        let r = self.located_radius(&located, &scratch.pq)?;
 
         let mut top = TopK::new(k);
         let mut verified = 0usize;
@@ -102,8 +165,16 @@ impl ProMips {
         self.verify_delta(q, &mut top, &mut verified);
 
         // --- Range search within r; verify per sub-partition batch. -------
-        let cands = self.index.range_candidates(&pq, -1.0, r)?;
-        if let Some(term) = self.verify_groups(&cands, q, &ctx, &mut top, &mut verified)? {
+        self.index
+            .range_candidates_into(&scratch.pq, -1.0, r, &mut scratch.cands)?;
+        if let Some(term) = self.verify_groups(
+            &scratch.cands,
+            q,
+            &ctx,
+            &mut top,
+            &mut verified,
+            &mut scratch.fetch,
+        )? {
             return Ok(self.finish(top, verified, Some(r), Some(r), false, term));
         }
 
@@ -113,13 +184,17 @@ impl ProMips {
         let mut r_final = r;
         let mut extended = false;
         if top.len() < k {
-            let mut iter = self.index.nn_iter(&pq);
+            let mut iter = self.index.nn_iter(&scratch.pq);
             for cand in iter.by_ref() {
                 if cand.proj_dist <= r || self.is_deleted(cand.id) {
                     continue; // already verified by the range pass / deleted
                 }
-                let orig = self.index.fetch_original(&cand)?;
-                top.push(cand.id, dot(&orig, q));
+                self.index.fetch_originals(
+                    cand.subpart,
+                    &[cand.offset],
+                    &mut scratch.fetch.arena,
+                )?;
+                top.push(cand.id, dot(&scratch.fetch.arena, q));
                 verified += 1;
                 r_final = cand.proj_dist;
                 extended = true;
@@ -134,26 +209,126 @@ impl ProMips {
 
         // --- Termination tests at the searched radius. ---------------------
         if ctx.condition_a(top.kth_ip()) {
-            return Ok(self.finish(top, verified, Some(r), Some(r_final), extended, Termination::ConditionA));
+            return Ok(self.finish(
+                top,
+                verified,
+                Some(r),
+                Some(r_final),
+                extended,
+                Termination::ConditionA,
+            ));
         }
         if ctx.condition_b(r_final * r_final, top.kth_ip()) {
-            return Ok(self.finish(top, verified, Some(r), Some(r_final), extended, Termination::ConditionB));
+            return Ok(self.finish(
+                top,
+                verified,
+                Some(r),
+                Some(r_final),
+                extended,
+                Termination::ConditionB,
+            ));
         }
 
         // --- Compensation: extend once to r' (paper Section V-A). ---------
         if let Some(r_prime) = ctx.compensation_radius(top.kth_ip()) {
             if r_prime > r_final {
-                let annulus = self.index.range_candidates(&pq, r_final, r_prime)?;
-                if let Some(term) =
-                    self.verify_groups(&annulus, q, &ctx, &mut top, &mut verified)?
-                {
+                self.index.range_candidates_into(
+                    &scratch.pq,
+                    r_final,
+                    r_prime,
+                    &mut scratch.cands,
+                )?;
+                if let Some(term) = self.verify_groups(
+                    &scratch.cands,
+                    q,
+                    &ctx,
+                    &mut top,
+                    &mut verified,
+                    &mut scratch.fetch,
+                )? {
                     return Ok(self.finish(top, verified, Some(r), Some(r_prime), true, term));
                 }
                 r_final = r_prime;
                 extended = true;
             }
         }
-        Ok(self.finish(top, verified, Some(r), Some(r_final), extended, Termination::RangeExhausted))
+        Ok(self.finish(
+            top,
+            verified,
+            Some(r),
+            Some(r_final),
+            extended,
+            Termination::RangeExhausted,
+        ))
+    }
+
+    /// Searches a batch of queries in parallel, using all available cores.
+    ///
+    /// Results are positionally aligned with `queries` and identical — item
+    /// for item — to calling [`ProMips::search`] on each query in turn: the
+    /// workers share the index read-only (page cache and counters behind
+    /// their mutex), and each query's computation is independent and
+    /// deterministic.
+    ///
+    /// Scaling note: all workers share one buffer pool behind a single
+    /// mutex, so page-fetch-heavy workloads contend on it; sharding the
+    /// page cache is the known follow-up (see ROADMAP). Verification
+    /// arithmetic (the dominant CPU cost for in-memory indexes) runs
+    /// entirely outside the lock.
+    pub fn search_batch(&self, queries: &[&[f32]], k: usize) -> io::Result<Vec<SearchResult>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.search_batch_threaded(queries, k, threads)
+    }
+
+    /// [`ProMips::search_batch`] with an explicit worker-thread count
+    /// (clamped to `1..=queries.len()`). Queries are claimed from a shared
+    /// atomic counter, so stragglers do not serialize the batch.
+    pub fn search_batch_threaded(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        threads: usize,
+    ) -> io::Result<Vec<SearchResult>> {
+        let threads = threads.clamp(1, queries.len().max(1));
+        if threads == 1 {
+            let mut scratch = SearchScratch::new();
+            return queries
+                .iter()
+                .map(|q| self.search_with_scratch(q, k, &mut scratch))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots = std::thread::scope(|s| -> io::Result<Vec<Option<SearchResult>>> {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut scratch = SearchScratch::new();
+                        let mut local: Vec<(usize, io::Result<SearchResult>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            local.push((i, self.search_with_scratch(queries[i], k, &mut scratch)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<SearchResult>> = (0..queries.len()).map(|_| None).collect();
+            for w in workers {
+                for (i, res) in w.join().expect("search worker panicked") {
+                    slots[i] = Some(res?);
+                }
+            }
+            Ok(slots)
+        })?;
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("atomic work queue covers every query"))
+            .collect())
     }
 
     /// MIP-Search-I (Algorithm 1): incremental NN search testing the
@@ -221,29 +396,68 @@ impl ProMips {
         ctx: &ConditionContext,
         top: &mut TopK,
         verified: &mut usize,
+        buf: &mut FetchBuffers,
     ) -> io::Result<Option<Termination>> {
-        let mut groups: Vec<&[RangeCandidate]> =
-            cands.chunk_by(|a, b| a.subpart == b.subpart).collect();
-        let min_pd = |g: &[RangeCandidate]| {
-            g.iter().map(|c| c.proj_dist).fold(f64::INFINITY, f64::min)
-        };
-        groups.sort_by(|a, b| min_pd(a).total_cmp(&min_pd(b)));
+        // Candidates arrive grouped by sub-partition (directory order);
+        // compute each group's (min proj_dist, range) key in one pass.
+        buf.groups.clear();
+        let mut start = 0;
+        while start < cands.len() {
+            let subpart = cands[start].subpart;
+            let mut min_pd = cands[start].proj_dist;
+            let mut end = start + 1;
+            while end < cands.len() && cands[end].subpart == subpart {
+                min_pd = min_pd.min(cands[end].proj_dist);
+                end += 1;
+            }
+            buf.groups.push((min_pd, start, end));
+            start = end;
+        }
+        buf.groups.sort_by(|a, b| a.0.total_cmp(&b.0));
 
-        for (gi, group) in groups.iter().enumerate() {
-            let offsets: Vec<u32> = group.iter().map(|c| c.offset).collect();
-            let origs = self.index.fetch_originals(group[0].subpart, &offsets)?;
-            for (cand, orig) in group.iter().zip(&origs) {
-                if self.is_deleted(cand.id) {
-                    continue;
+        for gi in 0..buf.groups.len() {
+            let (_, s, e) = buf.groups[gi];
+            let group = &cands[s..e];
+            buf.offsets.clear();
+            buf.offsets.extend(group.iter().map(|c| c.offset));
+            self.index
+                .fetch_originals(group[0].subpart, &buf.offsets, &mut buf.arena)?;
+            // Verify four candidates per dot4 call: the arena rows are
+            // contiguous, and the blocked kernel converts/loads the query
+            // once per block instead of once per candidate.
+            let d = self.d;
+            let mut slot = 0;
+            while slot + 4 <= group.len() {
+                let rows = &buf.arena[slot * d..(slot + 4) * d];
+                let ips = dot4(
+                    &rows[..d],
+                    &rows[d..2 * d],
+                    &rows[2 * d..3 * d],
+                    &rows[3 * d..],
+                    q,
+                );
+                for (j, &ip) in ips.iter().enumerate() {
+                    let cand = &group[slot + j];
+                    if !self.is_deleted(cand.id) {
+                        top.push(cand.id, ip);
+                        *verified += 1;
+                    }
                 }
-                top.push(cand.id, dot(orig, q));
-                *verified += 1;
+                slot += 4;
+            }
+            for (cand, row) in group[slot..]
+                .iter()
+                .zip(buf.arena[slot * d..].chunks_exact(d))
+            {
+                if !self.is_deleted(cand.id) {
+                    top.push(cand.id, dot(row, q));
+                    *verified += 1;
+                }
             }
             if ctx.condition_a(top.kth_ip()) {
                 return Ok(Some(Termination::ConditionA));
             }
-            if let Some(next) = groups.get(gi + 1) {
-                let frontier = min_pd(next);
+            if let Some(&(frontier, _, _)) = buf.groups.get(gi + 1) {
                 if ctx.condition_b(frontier * frontier, top.kth_ip()) {
                     return Ok(Some(Termination::ConditionB));
                 }
@@ -253,18 +467,33 @@ impl ProMips {
     }
 
     /// Resolves the Quick-Probe point's projected distance. The located id
-    /// can refer to a delta insert, whose projection is in memory.
-    fn located_radius(
-        &self,
-        located: &crate::quickprobe::Located,
-        pq: &[f32],
-    ) -> io::Result<f64> {
-        if let Some(entry) =
-            self.delta.entries.iter().find(|e| e.id == located.id)
-        {
+    /// can refer to a delta insert, whose projection is in memory; an id
+    /// outside the locator (possible only if Quick-Probe state and the index
+    /// ever disagree, e.g. after a partial reload) is reported as data
+    /// corruption instead of a panic.
+    fn located_radius(&self, located: &crate::quickprobe::Located, pq: &[f32]) -> io::Result<f64> {
+        if let Some(entry) = self.delta.entries.iter().find(|e| e.id == located.id) {
             return Ok(dist(&entry.proj, pq));
         }
-        let (sub, off) = self.locator[located.id as usize];
+        let Some(&(sub, off)) = self.locator.get(located.id as usize) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "quick-probe located id {} outside the index (n = {})",
+                    located.id,
+                    self.locator.len()
+                ),
+            ));
+        };
+        if sub == u32::MAX {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "quick-probe located id {} has no index location",
+                    located.id
+                ),
+            ));
+        }
         let (_, located_proj) = self.index.fetch_proj_record(sub, off)?;
         Ok(dist(&located_proj, pq))
     }
@@ -308,9 +537,10 @@ mod tests {
 
     fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        Matrix::from_rows(d, (0..n).map(|_| {
-            (0..d).map(|_| rng.normal() as f32).collect()
-        }))
+        Matrix::from_rows(
+            d,
+            (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()),
+        )
     }
 
     /// Exact top-k MIP by brute force.
@@ -325,7 +555,11 @@ mod tests {
 
     fn build(n: usize, d: usize, seed: u64, c: f64, p: f64) -> (ProMips, Matrix) {
         let data = random_data(n, d, seed);
-        let cfg = ProMipsConfig::builder().c(c).p(p).seed(seed ^ 0xABCD).build();
+        let cfg = ProMipsConfig::builder()
+            .c(c)
+            .p(p)
+            .seed(seed ^ 0xABCD)
+            .build();
         let idx = ProMips::build_in_memory(&data, cfg).unwrap();
         (idx, data)
     }
@@ -342,7 +576,10 @@ mod tests {
         t.push(4, 6.0); // evicts 3.0
         assert_eq!(t.kth_ip(), 5.0);
         let items = t.into_sorted();
-        assert_eq!(items.iter().map(|i| i.id).collect::<Vec<_>>(), vec![2, 4, 1]);
+        assert_eq!(
+            items.iter().map(|i| i.id).collect::<Vec<_>>(),
+            vec![2, 4, 1]
+        );
     }
 
     #[test]
@@ -355,6 +592,52 @@ mod tests {
         assert!(res.items.windows(2).all(|w| w[0].ip >= w[1].ip));
         assert!(res.verified >= 10);
         assert!(res.probe_radius.is_some());
+    }
+
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        // One scratch serving many queries must give the same results as a
+        // fresh scratch per query.
+        let (idx, _) = build(700, 20, 23, 0.9, 0.5);
+        let mut rng = Xoshiro256pp::seed_from_u64(41);
+        let mut shared = SearchScratch::new();
+        for _ in 0..10 {
+            let q: Vec<f32> = (0..20).map(|_| rng.normal() as f32).collect();
+            let reused = idx.search_with_scratch(&q, 7, &mut shared).unwrap();
+            let fresh = idx.search(&q, 7).unwrap();
+            assert_eq!(reused.items, fresh.items);
+            assert_eq!(reused.verified, fresh.verified);
+            assert_eq!(reused.termination, fresh.termination);
+        }
+    }
+
+    #[test]
+    fn search_batch_matches_sequential_search() {
+        let (idx, _) = build(900, 28, 31, 0.9, 0.5);
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
+        let queries: Vec<Vec<f32>> = (0..24)
+            .map(|_| (0..28).map(|_| rng.normal() as f32).collect())
+            .collect();
+        let query_refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        for &threads in &[1usize, 2, 8] {
+            let batch = idx.search_batch_threaded(&query_refs, 5, threads).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            for (q, b) in queries.iter().zip(&batch) {
+                let single = idx.search(q, 5).unwrap();
+                assert_eq!(single.items, b.items, "threads={threads}");
+                assert_eq!(single.verified, b.verified, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_batch_empty_and_single() {
+        let (idx, _) = build(100, 8, 5, 0.9, 0.5);
+        assert!(idx.search_batch(&[], 3).unwrap().is_empty());
+        let q = vec![0.5f32; 8];
+        let one = idx.search_batch(&[&q], 3).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].items, idx.search(&q, 3).unwrap().items);
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl DatasetSpec {
             n_queries: 100,
             queries_from_data: true,
             seed: 0x4E7F,
-            kind: DatasetKind::LatentFactor { rank: 32, popularity_sigma: 0.2 },
+            kind: DatasetKind::LatentFactor {
+                rank: 32,
+                popularity_sigma: 0.2,
+            },
         }
     }
 
@@ -82,7 +85,10 @@ impl DatasetSpec {
             n_queries: 100,
             queries_from_data: true,
             seed: 0x7A00,
-            kind: DatasetKind::LatentFactor { rank: 48, popularity_sigma: 0.25 },
+            kind: DatasetKind::LatentFactor {
+                rank: 48,
+                popularity_sigma: 0.25,
+            },
         }
     }
 
@@ -148,20 +154,27 @@ impl DatasetSpec {
     /// data rows; otherwise they are held-out fresh draws from the same
     /// distribution.
     pub fn generate(&self) -> Dataset {
-        let total = if self.queries_from_data { self.n } else { self.n + self.n_queries };
+        let total = if self.queries_from_data {
+            self.n
+        } else {
+            self.n + self.n_queries
+        };
         let all = match self.kind {
-            DatasetKind::LatentFactor { rank, popularity_sigma } => {
-                gen::latent_factor(total, self.d, rank, popularity_sigma, self.seed)
-            }
-            DatasetKind::BioFeature { block } => {
-                gen::bio_feature(total, self.d, block, self.seed)
-            }
+            DatasetKind::LatentFactor {
+                rank,
+                popularity_sigma,
+            } => gen::latent_factor(total, self.d, rank, popularity_sigma, self.seed),
+            DatasetKind::BioFeature { block } => gen::bio_feature(total, self.d, block, self.seed),
             DatasetKind::SiftHistogram => gen::sift_histogram(total, self.d, self.seed),
         };
         if self.queries_from_data {
             let mut rng = promips_stats::Xoshiro256pp::seed_from_u64(self.seed ^ 0x5EED);
             let picks = rng.sample_indices(self.n, self.n_queries.min(self.n));
-            Dataset { name: self.name, queries: all.gather(&picks), data: all }
+            Dataset {
+                name: self.name,
+                queries: all.gather(&picks),
+                data: all,
+            }
         } else {
             let data_rows: Vec<usize> = (0..self.n).collect();
             let query_rows: Vec<usize> = (self.n..total).collect();
@@ -260,7 +273,10 @@ mod tests {
 
     #[test]
     fn held_out_queries_differ_from_data() {
-        let d = DatasetSpec::netflix().with_n(300).with_held_out_queries().generate();
+        let d = DatasetSpec::netflix()
+            .with_n(300)
+            .with_held_out_queries()
+            .generate();
         for qi in 0..5 {
             let q = d.queries.row(qi);
             assert!((0..300).all(|i| d.data.row(i) != q));

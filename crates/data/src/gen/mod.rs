@@ -15,19 +15,15 @@ use promips_stats::Xoshiro256pp;
 /// reproduces the two properties of PureSVD item factors that matter for
 /// MIPS benchmarking: a decaying spectrum (inner products dominated by a
 /// few directions) and a long-tailed 2-norm distribution.
-pub fn latent_factor(
-    n: usize,
-    d: usize,
-    rank: usize,
-    popularity_sigma: f64,
-    seed: u64,
-) -> Matrix {
+pub fn latent_factor(n: usize, d: usize, rank: usize, popularity_sigma: f64, seed: u64) -> Matrix {
     let rank = rank.min(d).max(1);
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
 
     // Mixing matrix W: d × rank, entries N(0, 1/rank) so ‖o‖ = O(1).
     let winv = 1.0 / (rank as f64).sqrt();
-    let w: Vec<f32> = (0..d * rank).map(|_| (rng.normal() * winv) as f32).collect();
+    let w: Vec<f32> = (0..d * rank)
+        .map(|_| (rng.normal() * winv) as f32)
+        .collect();
     let sv: Vec<f64> = (0..rank).map(|r| 1.0 / ((r + 1) as f64).sqrt()).collect();
 
     let mut out = Vec::with_capacity(n * d);
@@ -59,14 +55,14 @@ pub fn latent_factor(
     let mut sorted = norms.clone();
     sorted.sort_by(f64::total_cmp);
     let median = sorted[n / 2].max(1e-12);
-    for i in 0..n {
-        let norm = norms[i].max(1e-12);
+    for (i, raw_norm) in norms.iter_mut().enumerate() {
+        let norm = raw_norm.max(1e-12);
         let target = median * (norm / median).powf(GAMMA);
         let scale = (target / norm) as f32;
         for v in m.row_mut(i) {
             *v *= scale;
         }
-        norms[i] = target;
+        *raw_norm = target;
     }
     m
 }
@@ -149,7 +145,10 @@ mod tests {
         }
         mean_abs_cos /= pairs as f64;
         // Full-rank d=100 gaussians give E|cos| ≈ 0.08; rank 4 gives ≈ 0.4.
-        assert!(mean_abs_cos > 0.2, "mean |cos| {mean_abs_cos} too low for rank-4");
+        assert!(
+            mean_abs_cos > 0.2,
+            "mean |cos| {mean_abs_cos} too low for rank-4"
+        );
     }
 
     #[test]
@@ -157,9 +156,7 @@ mod tests {
         let m = bio_feature(300, 64, 16, 7);
         // Correlation of adjacent coords (same block) should beat
         // far-apart coords (different blocks).
-        let col = |j: usize| -> Vec<f64> {
-            (0..300).map(|i| m.row(i)[j] as f64).collect()
-        };
+        let col = |j: usize| -> Vec<f64> { (0..300).map(|i| m.row(i)[j] as f64).collect() };
         let corr = |x: &[f64], y: &[f64]| -> f64 {
             let n = x.len() as f64;
             let (mx, my) = (x.iter().sum::<f64>() / n, y.iter().sum::<f64>() / n);

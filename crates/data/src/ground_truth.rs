@@ -18,7 +18,7 @@ pub fn exact_topk(data: &Matrix, q: &[f32], k: usize) -> GroundTruth {
 }
 
 /// Exact top-k for a batch of queries, parallelized over queries with
-/// crossbeam scoped threads.
+/// `std::thread::scope`.
 pub fn exact_topk_batch(
     data: &Matrix,
     queries: &Matrix,
@@ -28,21 +28,22 @@ pub fn exact_topk_batch(
     let nq = queries.rows();
     let threads = threads.clamp(1, nq.max(1));
     if threads == 1 {
-        return (0..nq).map(|i| exact_topk(data, queries.row(i), k)).collect();
+        return (0..nq)
+            .map(|i| exact_topk(data, queries.row(i), k))
+            .collect();
     }
     let mut out: Vec<GroundTruth> = vec![Vec::new(); nq];
     let chunk = nq.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (t, slot) in out.chunks_mut(chunk).enumerate() {
             let lo = t * chunk;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (off, gt) in slot.iter_mut().enumerate() {
                     *gt = exact_topk(data, queries.row(lo + off), k);
                 }
             });
         }
-    })
-    .expect("ground-truth scope failed");
+    });
     out
 }
 
@@ -53,9 +54,10 @@ mod tests {
 
     fn random(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        Matrix::from_rows(d, (0..n).map(|_| {
-            (0..d).map(|_| rng.normal() as f32).collect()
-        }))
+        Matrix::from_rows(
+            d,
+            (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()),
+        )
     }
 
     #[test]
@@ -79,9 +81,9 @@ mod tests {
         let data = random(400, 8, 2);
         let queries = random(10, 8, 3);
         let batch = exact_topk_batch(&data, &queries, 5, 4);
-        for i in 0..10 {
+        for (i, got) in batch.iter().enumerate() {
             let single = exact_topk(&data, queries.row(i), 5);
-            assert_eq!(batch[i], single);
+            assert_eq!(*got, single);
         }
     }
 }

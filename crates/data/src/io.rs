@@ -46,7 +46,10 @@ pub fn read_fvecs(path: impl AsRef<Path>) -> io::Result<Matrix> {
         }
         let mut buf = vec![0u8; dim * 4];
         r.read_exact(&mut buf)?;
-        rows.extend(buf.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())));
+        rows.extend(
+            buf.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+        );
         n += 1;
     }
     let d = d.unwrap_or(0);
@@ -120,10 +123,7 @@ mod tests {
             make()
         })
         .unwrap();
-        let (d2, q2) = cached_or_generate(&dir, "t", || {
-            panic!("should not regenerate")
-        })
-        .unwrap();
+        let (d2, q2) = cached_or_generate(&dir, "t", || panic!("should not regenerate")).unwrap();
         assert_eq!(calls, 1);
         assert_eq!(d1, d2);
         assert_eq!(q1, q2);

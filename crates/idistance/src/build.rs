@@ -56,7 +56,7 @@ pub fn build_index(
     // --- Ring width ε from the average radius (paper Section VI). --------
     let r_avg = partitions.iter().map(|p| p.radius).sum::<f64>() / kp as f64;
     let mut epsilon = r_avg / config.nkey as f64;
-    if !(epsilon > 0.0) {
+    if epsilon <= 0.0 || epsilon.is_nan() {
         // Degenerate data (all points identical): any positive width works.
         epsilon = 1.0;
     }
@@ -198,7 +198,10 @@ mod tests {
 
     fn random_matrix(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        Matrix::from_rows(d, (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()))
+        Matrix::from_rows(
+            d,
+            (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect()),
+        )
     }
 
     #[test]
@@ -206,7 +209,12 @@ mod tests {
         let proj = random_matrix(500, 6, 1);
         let orig = random_matrix(500, 40, 2);
         let pager = Arc::new(Pager::in_memory(4096, 4096));
-        let cfg = IDistanceConfig { kp: 3, nkey: 8, ksp: 3, ..Default::default() };
+        let cfg = IDistanceConfig {
+            kp: 3,
+            nkey: 8,
+            ksp: 3,
+            ..Default::default()
+        };
         let idx = build_index(pager, &proj, &orig, &cfg).unwrap();
 
         let total: u64 = idx.subparts().iter().map(|s| s.count as u64).sum();
@@ -229,7 +237,12 @@ mod tests {
         let proj = random_matrix(300, 4, 3);
         let orig = random_matrix(300, 10, 4);
         let pager = Arc::new(Pager::in_memory(1024, 4096));
-        let cfg = IDistanceConfig { kp: 4, nkey: 10, ksp: 2, ..Default::default() };
+        let cfg = IDistanceConfig {
+            kp: 4,
+            nkey: 10,
+            ksp: 2,
+            ..Default::default()
+        };
         let idx = build_index(pager, &proj, &orig, &cfg).unwrap();
 
         for sp in idx.subparts() {
@@ -238,9 +251,7 @@ mod tests {
             assert!(part < idx.partitions().len());
             // Every member's ring index must equal the sub-partition ring.
             // (Reconstruct from the stored projected vectors.)
-            let members = idx
-                .read_subpart_proj_by_meta(sp)
-                .unwrap();
+            let members = idx.read_subpart_proj_by_meta(sp).unwrap();
             for (_, pv) in members {
                 let dc = dist(&pv, &idx.partitions()[part].center);
                 assert_eq!((dc / idx.epsilon()).floor() as u64, ring);
@@ -253,7 +264,12 @@ mod tests {
         let proj = Matrix::from_rows(3, (0..20).map(|_| vec![1.0f32, 2.0, 3.0]));
         let orig = Matrix::from_rows(5, (0..20).map(|_| vec![0.5f32; 5]));
         let pager = Arc::new(Pager::in_memory(512, 1024));
-        let cfg = IDistanceConfig { kp: 2, nkey: 4, ksp: 2, ..Default::default() };
+        let cfg = IDistanceConfig {
+            kp: 2,
+            nkey: 4,
+            ksp: 2,
+            ..Default::default()
+        };
         let idx = build_index(pager, &proj, &orig, &cfg).unwrap();
         assert_eq!(idx.len(), 20);
         let total: u64 = idx.subparts().iter().map(|s| s.count as u64).sum();

@@ -18,7 +18,13 @@ pub struct IDistanceConfig {
 
 impl Default for IDistanceConfig {
     fn default() -> Self {
-        Self { kp: 5, nkey: 40, ksp: 10, kmeans_iters: 20, seed: 0x1D15_7A4C }
+        Self {
+            kp: 5,
+            nkey: 40,
+            ksp: 10,
+            kmeans_iters: 20,
+            seed: 0x1D15_7A4C,
+        }
     }
 }
 

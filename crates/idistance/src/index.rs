@@ -1,6 +1,5 @@
 //! The queryable index: annulus range search, point fetches, persistence.
 
-use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
 
@@ -156,8 +155,23 @@ impl IDistanceIndex {
         r_lo: f64,
         r_hi: f64,
     ) -> io::Result<Vec<RangeCandidate>> {
-        assert_eq!(pq.len(), self.m, "query has wrong projected dimension");
         let mut out = Vec::new();
+        self.range_candidates_into(pq, r_lo, r_hi, &mut out)?;
+        Ok(out)
+    }
+
+    /// As [`Self::range_candidates`], but clears and fills a caller-provided
+    /// buffer — the batched search path reuses one buffer per worker thread
+    /// instead of allocating per query.
+    pub fn range_candidates_into(
+        &self,
+        pq: &[f32],
+        r_lo: f64,
+        r_hi: f64,
+        out: &mut Vec<RangeCandidate>,
+    ) -> io::Result<()> {
+        assert_eq!(pq.len(), self.m, "query has wrong projected dimension");
+        out.clear();
         for (part_idx, part) in self.partitions.iter().enumerate() {
             let dc = dist(pq, &part.center);
             if dc - r_hi > part.radius {
@@ -181,10 +195,10 @@ impl IDistanceIndex {
                 if dp - sp.radius > r_hi || dp + sp.radius <= r_lo {
                     continue;
                 }
-                self.scan_subpart(sub_id as u32, pq, r_lo, r_hi, &mut out)?;
+                self.scan_subpart(sub_id as u32, pq, r_lo, r_hi, out)?;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Scans one sub-partition's projected blob, appending candidates in the
@@ -219,10 +233,7 @@ impl IDistanceIndex {
 
     /// As [`Self::read_subpart_proj`] but from a metadata reference
     /// (used during construction before `self.subparts` is final).
-    pub fn read_subpart_proj_by_meta(
-        &self,
-        sp: &SubPartMeta,
-    ) -> io::Result<Vec<(u64, Vec<f32>)>> {
+    pub fn read_subpart_proj_by_meta(&self, sp: &SubPartMeta) -> io::Result<Vec<(u64, Vec<f32>)>> {
         let rec = 8 + 4 * self.m;
         let blob = read_blob_range(
             &self.pager,
@@ -261,58 +272,77 @@ impl IDistanceIndex {
     // --- Original-vector fetches ------------------------------------------
 
     /// Fetches the original vectors at the given record offsets of one
-    /// sub-partition. Each covering page is read exactly once per call, so
-    /// verifying a batch of candidates in the same sub-partition costs the
-    /// sequential-read page count the paper's layout is designed for.
+    /// sub-partition, decoding them into a flat caller-provided arena:
+    /// record `i` of the request lands at `arena[i*d .. (i+1)*d]`. The arena
+    /// is cleared first, so buffers can be reused across calls and queries
+    /// without per-query allocation.
+    ///
+    /// Offsets from the search path arrive in ascending record order, so the
+    /// covering pages are visited monotonically and each is read exactly
+    /// once per call — the sequential-read page count the paper's layout is
+    /// designed for. Out-of-order offsets stay correct (a page may just be
+    /// re-read).
     pub fn fetch_originals(
         &self,
         sub: u32,
         offsets: &[u32],
-    ) -> io::Result<Vec<Vec<f32>>> {
+        arena: &mut Vec<f32>,
+    ) -> io::Result<()> {
         let sp = &self.subparts[sub as usize];
         let rec = 4 * self.d;
         let ps = self.pager.page_size();
         let base = sp.orig_off as usize;
+        arena.clear();
+        arena.reserve(offsets.len() * self.d);
 
-        // Which pages of the original region cover the requested records?
-        let mut pages: Vec<u64> = Vec::new();
+        let mut cur: Option<(u64, Arc<PageBuf>)> = None;
+        // Partial f32 carried across a page boundary (only possible when the
+        // page size is not a multiple of 4; real configurations never hit it).
+        let mut word = [0u8; 4];
+        let mut have = 0usize;
         for &o in offsets {
             debug_assert!(o < sp.count, "offset out of range");
-            let lo = base + o as usize * rec;
-            let hi = lo + rec - 1;
-            for p in (lo / ps)..=(hi / ps) {
-                pages.push(p as u64);
-            }
-        }
-        pages.sort_unstable();
-        pages.dedup();
-        let mut cache: HashMap<u64, Arc<PageBuf>> = HashMap::with_capacity(pages.len());
-        for p in pages {
-            cache.insert(p, self.pager.read(self.orig_region.0 + p)?);
-        }
-
-        let mut out = Vec::with_capacity(offsets.len());
-        for &o in offsets {
-            let mut bytes = Vec::with_capacity(rec);
-            let lo = base + o as usize * rec;
-            let mut cursor = lo;
-            while cursor < lo + rec {
-                let page_idx = (cursor / ps) as u64;
+            let start = base + o as usize * rec;
+            let mut cursor = start;
+            let end = start + rec;
+            while cursor < end {
+                let pid = (cursor / ps) as u64;
+                if cur.as_ref().map(|c| c.0) != Some(pid) {
+                    cur = Some((pid, self.pager.read(self.orig_region.0 + pid)?));
+                }
+                let slice = cur.as_ref().expect("page just loaded").1.as_slice();
                 let in_page = cursor % ps;
-                let take = (ps - in_page).min(lo + rec - cursor);
-                let page = &cache[&page_idx];
-                bytes.extend_from_slice(&page.as_slice()[in_page..in_page + take]);
-                cursor += take;
+                let n = (ps - in_page).min(end - cursor);
+                let mut chunk = &slice[in_page..in_page + n];
+                cursor += n;
+                if have > 0 {
+                    let need = (4 - have).min(chunk.len());
+                    word[have..have + need].copy_from_slice(&chunk[..need]);
+                    have += need;
+                    chunk = &chunk[need..];
+                    if have < 4 {
+                        continue; // page exhausted while the word is partial
+                    }
+                    arena.push(f32::from_le_bytes(word));
+                }
+                let whole = chunk.len() / 4 * 4;
+                for c in chunk[..whole].chunks_exact(4) {
+                    arena.push(f32::from_le_bytes(c.try_into().expect("4-byte chunk")));
+                }
+                let rem = &chunk[whole..];
+                word[..rem.len()].copy_from_slice(rem);
+                have = rem.len();
             }
-            let mut pos = 0;
-            out.push(enc::get_f32s(&bytes, &mut pos, self.d));
+            debug_assert_eq!(have, 0, "record length is a multiple of 4 bytes");
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Fetches a single original vector.
     pub fn fetch_original(&self, cand: &RangeCandidate) -> io::Result<Vec<f32>> {
-        Ok(self.fetch_originals(cand.subpart, &[cand.offset])?.pop().unwrap())
+        let mut arena = Vec::with_capacity(self.d);
+        self.fetch_originals(cand.subpart, &[cand.offset], &mut arena)?;
+        Ok(arena)
     }
 
     /// Reads a whole sub-partition's original blob in record order (used by
@@ -327,7 +357,9 @@ impl IDistanceIndex {
             sp.count as usize * rec,
         )?;
         let mut pos = 0;
-        Ok((0..sp.count).map(|_| enc::get_f32s(&blob, &mut pos, self.d)).collect())
+        Ok((0..sp.count)
+            .map(|_| enc::get_f32s(&blob, &mut pos, self.d))
+            .collect())
     }
 
     // --- Incremental NN ----------------------------------------------------
@@ -381,9 +413,10 @@ impl IDistanceIndex {
     /// Reopens an index from a pager whose **last page** is the footer
     /// written by the builder.
     pub fn open(pager: Arc<Pager>) -> io::Result<Self> {
-        let last = pager.num_pages().checked_sub(1).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "empty index file")
-        })?;
+        let last = pager
+            .num_pages()
+            .checked_sub(1)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty index file"))?;
         Self::open_at(pager, last)
     }
 
@@ -417,11 +450,13 @@ impl IDistanceIndex {
         let dir = read_blob(&pager, dir_start, dir_len)?;
         let mut dpos = 0;
         let n_parts = enc::get_u32(&dir, &mut dpos) as usize;
-        let partitions: Vec<PartitionMeta> =
-            (0..n_parts).map(|_| PartitionMeta::decode(&dir, &mut dpos)).collect();
+        let partitions: Vec<PartitionMeta> = (0..n_parts)
+            .map(|_| PartitionMeta::decode(&dir, &mut dpos))
+            .collect();
         let n_subs = enc::get_u32(&dir, &mut dpos) as usize;
-        let subparts: Vec<SubPartMeta> =
-            (0..n_subs).map(|_| SubPartMeta::decode(&dir, &mut dpos)).collect();
+        let subparts: Vec<SubPartMeta> = (0..n_subs)
+            .map(|_| SubPartMeta::decode(&dir, &mut dpos))
+            .collect();
 
         let tree = BTree::open(Arc::clone(&pager), tree_root, tree_height, tree_len);
         Ok(Self::assemble(
@@ -450,16 +485,22 @@ mod tests {
 
     fn random_matrix(n: usize, dims: usize, seed: u64) -> Matrix {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        Matrix::from_rows(dims, (0..n).map(|_| {
-            (0..dims).map(|_| rng.normal() as f32).collect()
-        }))
+        Matrix::from_rows(
+            dims,
+            (0..n).map(|_| (0..dims).map(|_| rng.normal() as f32).collect()),
+        )
     }
 
     fn build_small() -> (IDistanceIndex, Matrix, Matrix) {
         let proj = random_matrix(600, 6, 10);
         let orig = random_matrix(600, 24, 11);
         let pager = Arc::new(Pager::in_memory(1024, 1 << 16));
-        let cfg = IDistanceConfig { kp: 4, nkey: 10, ksp: 3, ..Default::default() };
+        let cfg = IDistanceConfig {
+            kp: 4,
+            nkey: 10,
+            ksp: 3,
+            ..Default::default()
+        };
         let idx = build_index(pager, &proj, &orig, &cfg).unwrap();
         (idx, proj, orig)
     }
@@ -536,18 +577,88 @@ mod tests {
         let count = idx.subparts()[sub as usize].count;
         let offsets: Vec<u32> = (0..count.min(6)).collect();
 
+        let mut arena = Vec::new();
         idx.pager().stats().reset();
         idx.pager().clear_cache();
-        let _ = idx.fetch_originals(sub, &offsets).unwrap();
+        idx.fetch_originals(sub, &offsets, &mut arena).unwrap();
         let batched = idx.access_stats().logical_reads;
+        assert_eq!(arena.len(), offsets.len() * idx.orig_dim());
 
         idx.pager().stats().reset();
         idx.pager().clear_cache();
         for &o in &offsets {
-            let _ = idx.fetch_originals(sub, &[o]).unwrap();
+            idx.fetch_originals(sub, &[o], &mut arena).unwrap();
         }
         let unbatched = idx.access_stats().logical_reads;
-        assert!(batched <= unbatched, "batched {batched} > unbatched {unbatched}");
+        assert!(
+            batched <= unbatched,
+            "batched {batched} > unbatched {unbatched}"
+        );
+    }
+
+    #[test]
+    fn arena_fetch_matches_whole_subpart_read() {
+        let (idx, _, orig) = build_small();
+        let d = idx.orig_dim();
+        let mut arena = Vec::new();
+        for sub in 0..idx.subparts().len() as u32 {
+            let count = idx.subparts()[sub as usize].count;
+            // Every second record, decoded via the arena path, must match
+            // the id-addressed rows of the source matrix.
+            let offsets: Vec<u32> = (0..count).step_by(2).collect();
+            idx.fetch_originals(sub, &offsets, &mut arena).unwrap();
+            assert_eq!(arena.len(), offsets.len() * d);
+            let ids: Vec<u64> = idx
+                .read_subpart_proj(sub)
+                .unwrap()
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            for (slot, &off) in offsets.iter().enumerate() {
+                let got = &arena[slot * d..(slot + 1) * d];
+                assert_eq!(
+                    got,
+                    orig.row(ids[off as usize] as usize),
+                    "sub {sub} off {off}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_fetch_survives_word_straddling_pages() {
+        // A page size that is not a multiple of 4 forces f32 records to
+        // straddle page boundaries, exercising the partial-word path of
+        // fetch_originals.
+        let proj = random_matrix(200, 5, 61);
+        let orig = random_matrix(200, 7, 62);
+        let pager = Arc::new(Pager::in_memory(70, 1 << 16));
+        let cfg = IDistanceConfig {
+            kp: 3,
+            nkey: 6,
+            ksp: 2,
+            ..Default::default()
+        };
+        let idx = build_index(pager, &proj, &orig, &cfg).unwrap();
+        let mut arena = Vec::new();
+        for sub in 0..idx.subparts().len() as u32 {
+            let count = idx.subparts()[sub as usize].count;
+            let offsets: Vec<u32> = (0..count).collect();
+            idx.fetch_originals(sub, &offsets, &mut arena).unwrap();
+            let ids: Vec<u64> = idx
+                .read_subpart_proj(sub)
+                .unwrap()
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            for (slot, &id) in ids.iter().enumerate() {
+                assert_eq!(
+                    &arena[slot * 7..(slot + 1) * 7],
+                    orig.row(id as usize),
+                    "sub {sub} slot {slot}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -561,7 +672,12 @@ mod tests {
         let stats = promips_storage::AccessStats::new_shared();
         let storage = Arc::new(promips_storage::FileStorage::create(&path, 1024).unwrap());
         let pager = Arc::new(Pager::new(storage, 256, stats));
-        let cfg = IDistanceConfig { kp: 3, nkey: 6, ksp: 2, ..Default::default() };
+        let cfg = IDistanceConfig {
+            kp: 3,
+            nkey: 6,
+            ksp: 2,
+            ..Default::default()
+        };
         let built = build_index(pager, &proj, &orig, &cfg).unwrap();
         let pq: Vec<f32> = vec![0.0; 5];
         let mut before: Vec<u64> = built

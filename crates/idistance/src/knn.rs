@@ -70,10 +70,20 @@ impl<'a> NnIter<'a> {
         let mut seq = 0;
         for (sub_id, sp) in index.subparts().iter().enumerate() {
             let bound = (dist(pq, &sp.pivot) - sp.radius).max(0.0);
-            heap.push(HeapItem { dist: bound, seq, entry: Entry::SubPart(sub_id as u32) });
+            heap.push(HeapItem {
+                dist: bound,
+                seq,
+                entry: Entry::SubPart(sub_id as u32),
+            });
             seq += 1;
         }
-        Self { index, pq: pq.to_vec(), heap, seq, error: None }
+        Self {
+            index,
+            pq: pq.to_vec(),
+            heap,
+            seq,
+            error: None,
+        }
     }
 
     /// Returns the I/O error that terminated iteration, if any.
@@ -137,14 +147,21 @@ mod tests {
 
     fn setup(n: usize, m: usize) -> (IDistanceIndex, Matrix) {
         let mut rng = Xoshiro256pp::seed_from_u64(31);
-        let proj = Matrix::from_rows(m, (0..n).map(|_| {
-            (0..m).map(|_| rng.normal() as f32).collect()
-        }));
-        let orig = Matrix::from_rows(8, (0..n).map(|_| {
-            (0..8).map(|_| rng.normal() as f32).collect()
-        }));
+        let proj = Matrix::from_rows(
+            m,
+            (0..n).map(|_| (0..m).map(|_| rng.normal() as f32).collect()),
+        );
+        let orig = Matrix::from_rows(
+            8,
+            (0..n).map(|_| (0..8).map(|_| rng.normal() as f32).collect()),
+        );
         let pager = Arc::new(Pager::in_memory(1024, 1 << 16));
-        let cfg = IDistanceConfig { kp: 3, nkey: 8, ksp: 3, ..Default::default() };
+        let cfg = IDistanceConfig {
+            kp: 3,
+            nkey: 8,
+            ksp: 3,
+            ..Default::default()
+        };
         (build_index(pager, &proj, &orig, &cfg).unwrap(), proj)
     }
 
@@ -155,10 +172,11 @@ mod tests {
         let stream: Vec<RangeCandidate> = idx.nn_iter(&pq).collect();
         assert_eq!(stream.len(), 400);
         // Ascending distances.
-        assert!(stream.windows(2).all(|w| w[0].proj_dist <= w[1].proj_dist + 1e-12));
+        assert!(stream
+            .windows(2)
+            .all(|w| w[0].proj_dist <= w[1].proj_dist + 1e-12));
         // Matches brute force ordering (by distance value).
-        let mut expected: Vec<f64> =
-            (0..400).map(|i| dist(proj.row(i), &pq)).collect();
+        let mut expected: Vec<f64> = (0..400).map(|i| dist(proj.row(i), &pq)).collect();
         expected.sort_by(|a, b| a.total_cmp(b));
         for (c, e) in stream.iter().zip(&expected) {
             assert!((c.proj_dist - e).abs() < 1e-9);

@@ -79,7 +79,13 @@ pub struct RegionWriter<'a> {
 impl<'a> RegionWriter<'a> {
     /// Starts a region on the given pager.
     pub fn new(pager: &'a Pager) -> Self {
-        Self { pager, start: None, prev_page: 0, buf: Vec::new(), written: 0 }
+        Self {
+            pager,
+            start: None,
+            prev_page: 0,
+            buf: Vec::new(),
+            written: 0,
+        }
     }
 
     /// Appends `bytes`, returning their byte offset within the region.
@@ -196,7 +202,14 @@ mod tests {
         let pager = Pager::in_memory(64, 128);
         let bytes: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
         let start = write_blob(&pager, &bytes).unwrap();
-        for &(off, len) in &[(0usize, 10usize), (60, 10), (63, 2), (128, 64), (999, 1), (0, 1000)] {
+        for &(off, len) in &[
+            (0usize, 10usize),
+            (60, 10),
+            (63, 2),
+            (128, 64),
+            (999, 1),
+            (0, 1000),
+        ] {
             let got = read_blob_range(&pager, start, off, len).unwrap();
             assert_eq!(got, &bytes[off..off + len], "off={off} len={len}");
         }
@@ -229,8 +242,7 @@ mod tests {
         let pager = Pager::in_memory(64, 256);
         let mut w = RegionWriter::new(&pager);
         let mut offsets = Vec::new();
-        let records: Vec<Vec<u8>> =
-            (0..40u8).map(|i| vec![i; 7 + (i as usize % 5)]).collect();
+        let records: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; 7 + (i as usize % 5)]).collect();
         for r in &records {
             offsets.push(w.append(r).unwrap());
         }
@@ -260,7 +272,10 @@ mod tests {
         w.append(&[7u8; 128]).unwrap();
         let (start, len) = w.finish().unwrap();
         assert_eq!(len, 128);
-        assert_eq!(read_blob_range(&pager, start, 0, 128).unwrap(), vec![7u8; 128]);
+        assert_eq!(
+            read_blob_range(&pager, start, 0, 128).unwrap(),
+            vec![7u8; 128]
+        );
     }
 
     #[test]

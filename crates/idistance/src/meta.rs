@@ -52,7 +52,11 @@ impl PartitionMeta {
         let center = get_f32s(buf, pos, m);
         let radius = get_f64(buf, pos);
         let count = get_u64(buf, pos);
-        Self { center, radius, count }
+        Self {
+            center,
+            radius,
+            count,
+        }
     }
 }
 
@@ -77,7 +81,14 @@ impl SubPartMeta {
         let count = get_u32(buf, pos);
         let proj_off = get_u64(buf, pos);
         let orig_off = get_u64(buf, pos);
-        Self { key, pivot, radius, count, proj_off, orig_off }
+        Self {
+            key,
+            pivot,
+            radius,
+            count,
+            proj_off,
+            orig_off,
+        }
     }
 }
 
@@ -87,7 +98,11 @@ mod tests {
 
     #[test]
     fn partition_roundtrip() {
-        let p = PartitionMeta { center: vec![1.0, -2.0, 3.5], radius: 7.25, count: 42 };
+        let p = PartitionMeta {
+            center: vec![1.0, -2.0, 3.5],
+            radius: 7.25,
+            count: 42,
+        };
         let mut buf = Vec::new();
         p.encode(&mut buf);
         let mut pos = 0;
@@ -126,8 +141,9 @@ mod tests {
             p.encode(&mut buf);
         }
         let mut pos = 0;
-        let decoded: Vec<PartitionMeta> =
-            (0..5).map(|_| PartitionMeta::decode(&buf, &mut pos)).collect();
+        let decoded: Vec<PartitionMeta> = (0..5)
+            .map(|_| PartitionMeta::decode(&buf, &mut pos))
+            .collect();
         assert_eq!(decoded, parts);
     }
 }

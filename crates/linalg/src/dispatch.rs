@@ -1,0 +1,175 @@
+//! Runtime kernel dispatch.
+//!
+//! The public kernels in [`crate::vector`] and the blocked routines in
+//! [`crate::matrix`] all route through a single table of function pointers,
+//! selected once per process and cached in a [`OnceLock`]. Callers pay one
+//! atomic load per call (the `OnceLock` fast path) — no per-call feature
+//! detection, no generic bloat, and the choice is overridable for tests and
+//! benchmarks via [`force_scalar`].
+//!
+//! ## Backends
+//!
+//! | backend  | where                                          |
+//! |----------|------------------------------------------------|
+//! | `avx512` | x86-64 with runtime-detected AVX-512F          |
+//! | `avx2`   | x86-64 with runtime-detected AVX2 + FMA        |
+//! | `scalar` | everything else                                |
+//!
+//! ## Numerical contract
+//!
+//! Every backend widens `f32` inputs to `f64` exactly and accumulates in
+//! `f64`; backends differ only in accumulation order and in the AVX2 path's
+//! use of fused multiply-add (one rounding instead of two per term). The
+//! cross-backend guarantee, asserted by this crate's property tests, is
+//!
+//! ```text
+//! |simd − scalar| ≤ 1e-4 · max(1, |scalar|)
+//! ```
+//!
+//! In practice agreement is ~1e-12 relative for the d ≤ 10⁴ vectors this
+//! workspace handles; the loose documented bound leaves room for future
+//! backends with wider accumulators (e.g. AVX-512) without an API break.
+
+use std::sync::OnceLock;
+
+use crate::scalar;
+
+/// Signature of the blocked four-row inner-product kernel.
+pub type Dot4Fn = fn(&[f32], &[f32], &[f32], &[f32], &[f32]) -> [f64; 4];
+
+/// The dispatch table: one entry per kernel.
+#[derive(Clone, Copy)]
+pub struct Kernels {
+    /// Backend name (`"avx512"`, `"avx2"` or `"scalar"`), for logs and
+    /// bench reports.
+    pub name: &'static str,
+    /// Inner product `⟨a, b⟩`.
+    pub dot: fn(&[f32], &[f32]) -> f64,
+    /// Squared Euclidean distance `dis²(a, b)`.
+    pub sq_dist: fn(&[f32], &[f32]) -> f64,
+    /// Squared Euclidean norm `‖a‖²`.
+    pub sq_norm2: fn(&[f32]) -> f64,
+    /// 1-norm `‖a‖₁`.
+    pub norm1: fn(&[f32]) -> f64,
+    /// Four inner products against a shared right-hand side.
+    pub dot4: Dot4Fn,
+}
+
+/// The portable table (also the fallback backend).
+pub static SCALAR: Kernels = Kernels {
+    name: "scalar",
+    dot: scalar::dot,
+    sq_dist: scalar::sq_dist,
+    sq_norm2: scalar::sq_norm2,
+    norm1: scalar::norm1,
+    dot4: scalar::dot4,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: Kernels = Kernels {
+    name: "avx2",
+    dot: crate::x86::dot,
+    sq_dist: crate::x86::sq_dist,
+    sq_norm2: crate::x86::sq_norm2,
+    norm1: crate::x86::norm1,
+    dot4: crate::x86::dot4,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX512: Kernels = Kernels {
+    name: "avx512",
+    dot: crate::avx512::dot,
+    sq_dist: crate::avx512::sq_dist,
+    sq_norm2: crate::avx512::sq_norm2,
+    norm1: crate::avx512::norm1,
+    dot4: crate::avx512::dot4,
+};
+
+fn select() -> Kernels {
+    if force_scalar_requested() {
+        return SCALAR;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return AVX512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return AVX2;
+        }
+    }
+    SCALAR
+}
+
+/// `PROMIPS_FORCE_SCALAR=1` pins the scalar backend for the whole process —
+/// the knob the kernel benchmarks use to measure the fallback on SIMD hosts.
+fn force_scalar_requested() -> bool {
+    std::env::var_os("PROMIPS_FORCE_SCALAR").is_some_and(|v| v == "1" || v == "true")
+}
+
+static ACTIVE: OnceLock<Kernels> = OnceLock::new();
+
+/// The process-wide kernel table (selected on first use).
+#[inline]
+pub fn kernels() -> &'static Kernels {
+    ACTIVE.get_or_init(select)
+}
+
+/// Name of the active backend (`"avx512"`, `"avx2"` or `"scalar"`).
+pub fn active_backend() -> &'static str {
+    kernels().name
+}
+
+/// Every backend the current host can execute, scalar first. Parity tests
+/// and benchmarks iterate this so each SIMD tier is exercised — not just
+/// the one the dispatcher would pick.
+pub fn available_backends() -> Vec<&'static Kernels> {
+    #[allow(unused_mut)]
+    let mut v: Vec<&'static Kernels> = vec![&SCALAR];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            v.push(&AVX2);
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            v.push(&AVX512);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_is_stable_and_named() {
+        let k1 = kernels();
+        let k2 = kernels();
+        assert_eq!(k1.name, k2.name, "dispatch must be cached");
+        assert!(["avx512", "avx2", "scalar"].contains(&k1.name));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn widest_available_backend_selected() {
+        if std::env::var_os("PROMIPS_FORCE_SCALAR").is_some() {
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            assert_eq!(active_backend(), "avx512");
+        } else if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            assert_eq!(active_backend(), "avx2");
+        }
+    }
+}

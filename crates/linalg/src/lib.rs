@@ -5,11 +5,24 @@
 //! metric), while every reduction — inner products, norms, distances — is
 //! accumulated in `f64` so the searching conditions of the paper keep full
 //! precision.
+//!
+//! Kernels are **runtime-dispatched**: x86-64 hosts get the widest explicit
+//! SIMD tier they support (AVX-512F in [`avx512`], else AVX2+FMA in
+//! [`x86`]); everywhere else the portable [`scalar`] versions run. The
+//! choice is made once per process and cached ([`dispatch`]);
+//! `PROMIPS_FORCE_SCALAR=1` pins the fallback. See [`dispatch`] for the
+//! cross-backend numerical tolerance contract.
 
+pub mod dispatch;
 pub mod matrix;
+pub mod scalar;
 pub mod vector;
 
+#[cfg(target_arch = "x86_64")]
+mod avx512;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+pub use dispatch::{active_backend, kernels, Kernels};
 pub use matrix::Matrix;
-pub use vector::{
-    add_scaled, dist, dot, norm1, norm2, sq_dist, sq_norm2, sub,
-};
+pub use vector::{add_scaled, dist, dot, dot4, norm1, norm2, sq_dist, sq_norm2, sub};

@@ -1,7 +1,7 @@
 //! Row-major dense matrix, used for datasets (n × d), projection matrices
 //! (m × d), and PQ codebooks.
 
-use crate::vector::dot;
+use crate::vector::{dot, dot4};
 
 /// A row-major dense `f32` matrix.
 ///
@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Wraps an existing buffer. `data.len()` must equal `rows * cols`.
@@ -98,8 +102,50 @@ impl Matrix {
     /// random projection of Definition 2 when `self` is the m × d matrix of
     /// i.i.d. N(0,1) rows.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free matrix–vector product: writes `self · x` into `out`
+    /// (`out.len()` must equal the row count). Rows are processed four at a
+    /// time through the register-blocked [`dot4`] kernel, so `x` is loaded
+    /// once per block instead of once per row.
+    pub fn matvec_into(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
-        self.iter_rows().map(|row| dot(row, x) as f32).collect()
+        assert_eq!(out.len(), self.rows, "matvec: output length mismatch");
+        let c = self.cols;
+        let blocks = self.rows / 4;
+        for bi in 0..blocks {
+            let base = bi * 4;
+            let p = &self.data[base * c..];
+            let r = dot4(&p[..c], &p[c..2 * c], &p[2 * c..3 * c], &p[3 * c..4 * c], x);
+            out[base] = r[0] as f32;
+            out[base + 1] = r[1] as f32;
+            out[base + 2] = r[2] as f32;
+            out[base + 3] = r[3] as f32;
+        }
+        for (i, slot) in out.iter_mut().enumerate().skip(blocks * 4) {
+            *slot = dot(self.row(i), x) as f32;
+        }
+    }
+
+    /// `self · otherᵀ` — both operands row-major, result `n × m` where
+    /// `self` is `n × d` and `other` is `m × d`. Entry `(i, j)` is
+    /// `⟨self.row(i), other.row(j)⟩` with `f64` accumulation.
+    ///
+    /// This is the batched form of [`Matrix::matvec`]: projecting a whole
+    /// dataset is `data.gemm_nt(projection)` — one output buffer, the
+    /// projection rows streamed through the blocked kernel per data row —
+    /// instead of n independent allocating matvecs.
+    pub fn gemm_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "gemm_nt: inner dimension mismatch");
+        let (n, m) = (self.rows, other.rows);
+        let mut out = vec![0.0f32; n * m];
+        for (i, chunk) in out.chunks_exact_mut(m.max(1)).enumerate().take(n) {
+            other.matvec_into(self.row(i), &mut chunk[..m]);
+        }
+        Matrix::from_vec(n, m, out)
     }
 
     /// Appends a row. Must match the column count.
@@ -145,6 +191,55 @@ mod tests {
         let m = Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.0]);
         let y = m.matvec(&[3.0, 4.0, 5.0]);
         assert_eq!(y, vec![-2.0, 10.0]);
+    }
+
+    #[test]
+    fn matvec_into_matches_per_row_dot() {
+        // 11 rows exercises both the 4-row blocks and the remainder rows.
+        let rows = 11;
+        let cols = 9;
+        let m = Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|i| ((i * 37 % 19) as f32) - 9.0)
+                .collect(),
+        );
+        let x: Vec<f32> = (0..cols).map(|i| (i as f32) * 0.5 - 2.0).collect();
+        let mut out = vec![0.0f32; rows];
+        m.matvec_into(&x, &mut out);
+        for (i, &got) in out.iter().enumerate() {
+            let want = dot(m.row(i), &x) as f32;
+            assert!((got - want).abs() <= 1e-4 * want.abs().max(1.0), "row {i}");
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_dots() {
+        let a = Matrix::from_vec(5, 7, (0..35).map(|i| (i as f32 * 0.3).sin()).collect());
+        let b = Matrix::from_vec(6, 7, (0..42).map(|i| (i as f32 * 0.7).cos()).collect());
+        let c = a.gemm_nt(&b);
+        assert_eq!((c.rows(), c.cols()), (5, 6));
+        for i in 0..5 {
+            for j in 0..6 {
+                let want = dot(a.row(i), b.row(j)) as f32;
+                let got = c.row(i)[j];
+                assert!(
+                    (got - want).abs() <= 1e-4 * want.abs().max(1.0),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_degenerate_shapes() {
+        let a = Matrix::zeros(3, 4);
+        let empty = Matrix::zeros(0, 4);
+        let c = a.gemm_nt(&empty);
+        assert_eq!((c.rows(), c.cols()), (3, 0));
+        let c2 = empty.gemm_nt(&a);
+        assert_eq!((c2.rows(), c2.cols()), (0, 3));
     }
 
     #[test]

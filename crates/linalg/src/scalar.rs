@@ -1,0 +1,84 @@
+//! Portable scalar kernels — the reference implementations and the runtime
+//! fallback on targets without a SIMD path.
+//!
+//! All reductions accumulate in `f64` over exactly-converted `f32` inputs
+//! (every `f32` is representable in `f64`, so the only rounding happens in
+//! the `f64` additions). The 4-way unrolling both helps the auto-vectorizer
+//! and fixes an accumulation *shape* (four partial sums + tail) that the
+//! explicit SIMD kernels reproduce closely; see [`crate::dispatch`] for the
+//! cross-backend tolerance contract.
+
+/// Inner product `⟨a, b⟩` with `f64` accumulation.
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    let (a4, a_rest) = a.split_at(chunks * 4);
+    let (b4, b_rest) = b.split_at(chunks * 4);
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc[0] += ca[0] as f64 * cb[0] as f64;
+        acc[1] += ca[1] as f64 * cb[1] as f64;
+        acc[2] += ca[2] as f64 * cb[2] as f64;
+        acc[3] += ca[3] as f64 * cb[3] as f64;
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in a_rest.iter().zip(b_rest) {
+        tail += x as f64 * y as f64;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Squared Euclidean norm `‖a‖²`.
+pub fn sq_norm2(a: &[f32]) -> f64 {
+    dot(a, a)
+}
+
+/// 1-norm `‖a‖₁ = Σ|aᵢ|`.
+pub fn norm1(a: &[f32]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    let (a4, rest) = a.split_at(chunks * 4);
+    for c in a4.chunks_exact(4) {
+        acc[0] += c[0].abs() as f64;
+        acc[1] += c[1].abs() as f64;
+        acc[2] += c[2].abs() as f64;
+        acc[3] += c[3].abs() as f64;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + rest.iter().map(|x| x.abs() as f64).sum::<f64>()
+}
+
+/// Squared Euclidean distance `dis²(a, b)`.
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "sq_dist: dimension mismatch");
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    let (a4, a_rest) = a.split_at(chunks * 4);
+    let (b4, b_rest) = b.split_at(chunks * 4);
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        let d0 = ca[0] as f64 - cb[0] as f64;
+        let d1 = ca[1] as f64 - cb[1] as f64;
+        let d2 = ca[2] as f64 - cb[2] as f64;
+        let d3 = ca[3] as f64 - cb[3] as f64;
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in a_rest.iter().zip(b_rest) {
+        let d = x as f64 - y as f64;
+        tail += d * d;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Four simultaneous inner products `⟨aᵢ, b⟩` — the blocked primitive
+/// behind multi-row matvec, `gemm_nt`, and batched candidate verification.
+/// All five slices must have equal length.
+///
+/// The portable version is simply four [`dot`]s: interleaving the four
+/// accumulations in one loop defeats the compiler's vectorizer and measures
+/// ~2× slower than running the well-shaped single-row kernel four times.
+pub fn dot4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 4] {
+    [dot(a0, b), dot(a1, b), dot(a2, b), dot(a3, b)]
+}

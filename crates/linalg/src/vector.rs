@@ -1,7 +1,11 @@
 //! Vector kernels: inner product, norms, Euclidean distances.
 //!
-//! All kernels take `&[f32]` slices and accumulate in `f64` with 4-way
-//! unrolling, which the compiler auto-vectorizes on x86-64 and aarch64.
+//! All kernels take `&[f32]` slices and accumulate in `f64`. Each call
+//! routes through the runtime-dispatched table in [`crate::dispatch`] —
+//! AVX2+FMA on x86-64 hosts that support it, the portable
+//! [`crate::scalar`] implementations elsewhere.
+
+use crate::dispatch::kernels;
 
 /// Inner product `⟨a, b⟩` with `f64` accumulation.
 ///
@@ -9,28 +13,13 @@
 /// Panics in debug builds if the slices differ in length.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f64 {
-    debug_assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
-    let mut acc = [0.0f64; 4];
-    let chunks = a.len() / 4;
-    let (a4, a_rest) = a.split_at(chunks * 4);
-    let (b4, b_rest) = b.split_at(chunks * 4);
-    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
-        acc[0] += ca[0] as f64 * cb[0] as f64;
-        acc[1] += ca[1] as f64 * cb[1] as f64;
-        acc[2] += ca[2] as f64 * cb[2] as f64;
-        acc[3] += ca[3] as f64 * cb[3] as f64;
-    }
-    let mut tail = 0.0;
-    for (&x, &y) in a_rest.iter().zip(b_rest) {
-        tail += x as f64 * y as f64;
-    }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
+    (kernels().dot)(a, b)
 }
 
 /// Squared Euclidean norm `‖a‖²`.
 #[inline]
 pub fn sq_norm2(a: &[f32]) -> f64 {
-    dot(a, a)
+    (kernels().sq_norm2)(a)
 }
 
 /// Euclidean norm `‖a‖`.
@@ -43,48 +32,27 @@ pub fn norm2(a: &[f32]) -> f64 {
 /// (Theorem 4 of the paper bounds `dis(o,q) ≤ ‖o‖₁ + ‖q‖₁`).
 #[inline]
 pub fn norm1(a: &[f32]) -> f64 {
-    let mut acc = [0.0f64; 4];
-    let chunks = a.len() / 4;
-    let (a4, rest) = a.split_at(chunks * 4);
-    for c in a4.chunks_exact(4) {
-        acc[0] += c[0].abs() as f64;
-        acc[1] += c[1].abs() as f64;
-        acc[2] += c[2].abs() as f64;
-        acc[3] += c[3].abs() as f64;
-    }
-    acc[0] + acc[1] + acc[2] + acc[3] + rest.iter().map(|x| x.abs() as f64).sum::<f64>()
+    (kernels().norm1)(a)
 }
 
 /// Squared Euclidean distance `dis²(a, b)`.
 #[inline]
 pub fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
-    debug_assert_eq!(a.len(), b.len(), "sq_dist: dimension mismatch");
-    let mut acc = [0.0f64; 4];
-    let chunks = a.len() / 4;
-    let (a4, a_rest) = a.split_at(chunks * 4);
-    let (b4, b_rest) = b.split_at(chunks * 4);
-    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
-        let d0 = ca[0] as f64 - cb[0] as f64;
-        let d1 = ca[1] as f64 - cb[1] as f64;
-        let d2 = ca[2] as f64 - cb[2] as f64;
-        let d3 = ca[3] as f64 - cb[3] as f64;
-        acc[0] += d0 * d0;
-        acc[1] += d1 * d1;
-        acc[2] += d2 * d2;
-        acc[3] += d3 * d3;
-    }
-    let mut tail = 0.0;
-    for (&x, &y) in a_rest.iter().zip(b_rest) {
-        let d = x as f64 - y as f64;
-        tail += d * d;
-    }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
+    (kernels().sq_dist)(a, b)
 }
 
 /// Euclidean distance `dis(a, b)`.
 #[inline]
 pub fn dist(a: &[f32], b: &[f32]) -> f64 {
     sq_dist(a, b).sqrt()
+}
+
+/// Four inner products `⟨aᵢ, b⟩` sharing one pass over `b` — the blocked
+/// primitive behind [`crate::Matrix::matvec_into`] and
+/// [`crate::Matrix::gemm_nt`].
+#[inline]
+pub fn dot4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 4] {
+    (kernels().dot4)(a0, a1, a2, a3, b)
 }
 
 /// Element-wise difference `a − b` into a fresh vector.
@@ -129,6 +97,22 @@ mod tests {
     }
 
     #[test]
+    fn dot4_matches_four_dots() {
+        let rows: Vec<Vec<f32>> = (0..4)
+            .map(|r| (0..13).map(|i| (r * 13 + i) as f32 * 0.25 - 3.0).collect())
+            .collect();
+        let b: Vec<f32> = (0..13).map(|i| (i as f32).cos()).collect();
+        let got = dot4(&rows[0], &rows[1], &rows[2], &rows[3], &b);
+        for r in 0..4 {
+            let want = dot(&rows[r], &b);
+            assert!(
+                (got[r] - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
     fn sub_and_axpy() {
         assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
         let mut acc = vec![1.0f64, 1.0];
@@ -168,6 +152,76 @@ mod tests {
             let b: Vec<f32> = ab.iter().map(|p| p.1).collect();
             let c: Vec<f32> = ab.iter().map(|p| p.2).collect();
             prop_assert!(dist(&a, &c) <= dist(&a, &b) + dist(&b, &c) + 1e-9);
+        }
+    }
+
+    /// SIMD/scalar parity: every backend the host can execute (not just the
+    /// dispatched one) must agree with the portable reference within 1e-4
+    /// relative tolerance (the contract in [`crate::dispatch`]). Lengths
+    /// 0..200 sweep every unroll remainder across the 4/8/16/32-wide inner
+    /// loops; magnitudes up to 1e3 stress cancellation in `sq_dist`.
+    mod backend_parity {
+        use super::*;
+        use crate::dispatch::available_backends;
+        use crate::scalar;
+
+        fn close(got: f64, reference: f64) -> bool {
+            (got - reference).abs() <= 1e-4 * reference.abs().max(1.0)
+        }
+
+        proptest! {
+            #[test]
+            fn dot_parity(v in proptest::collection::vec((-1e3f32..1e3, -1e3f32..1e3), 0..200)) {
+                let a: Vec<f32> = v.iter().map(|p| p.0).collect();
+                let b: Vec<f32> = v.iter().map(|p| p.1).collect();
+                let want = scalar::dot(&a, &b);
+                for k in available_backends() {
+                    prop_assert!(close((k.dot)(&a, &b), want), "backend {}", k.name);
+                }
+            }
+
+            #[test]
+            fn sq_dist_parity(v in proptest::collection::vec((-1e3f32..1e3, -1e3f32..1e3), 0..200)) {
+                let a: Vec<f32> = v.iter().map(|p| p.0).collect();
+                let b: Vec<f32> = v.iter().map(|p| p.1).collect();
+                let want = scalar::sq_dist(&a, &b);
+                for k in available_backends() {
+                    prop_assert!(close((k.sq_dist)(&a, &b), want), "backend {}", k.name);
+                }
+            }
+
+            #[test]
+            fn sq_norm2_parity(a in proptest::collection::vec(-1e3f32..1e3, 0..200)) {
+                let want = scalar::sq_norm2(&a);
+                for k in available_backends() {
+                    prop_assert!(close((k.sq_norm2)(&a), want), "backend {}", k.name);
+                }
+            }
+
+            #[test]
+            fn norm1_parity(a in proptest::collection::vec(-1e3f32..1e3, 0..200)) {
+                let want = scalar::norm1(&a);
+                for k in available_backends() {
+                    prop_assert!(close((k.norm1)(&a), want), "backend {}", k.name);
+                }
+            }
+
+            #[test]
+            fn dot4_parity(v in proptest::collection::vec(
+                (-1e2f32..1e2, -1e2f32..1e2, -1e2f32..1e2, -1e2f32..1e2, -1e2f32..1e2),
+                0..150,
+            )) {
+                let cols: Vec<Vec<f32>> = (0..5)
+                    .map(|c| v.iter().map(|t| [t.0, t.1, t.2, t.3, t.4][c]).collect())
+                    .collect();
+                let want = scalar::dot4(&cols[0], &cols[1], &cols[2], &cols[3], &cols[4]);
+                for k in available_backends() {
+                    let got = (k.dot4)(&cols[0], &cols[1], &cols[2], &cols[3], &cols[4]);
+                    for r in 0..4 {
+                        prop_assert!(close(got[r], want[r]), "backend {} row {}", k.name, r);
+                    }
+                }
+            }
         }
     }
 }

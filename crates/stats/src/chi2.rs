@@ -128,7 +128,10 @@ mod tests {
         for &m in &[6u32, 8, 10, 20] {
             let med = chi2_inv_cdf(m, 0.5);
             let approx = m as f64 * (1.0 - 2.0 / (9.0 * m as f64)).powi(3);
-            assert!((med - approx).abs() / approx < 0.01, "m={m}: {med} vs {approx}");
+            assert!(
+                (med - approx).abs() / approx < 0.01,
+                "m={m}: {med} vs {approx}"
+            );
         }
     }
 

@@ -47,7 +47,10 @@ impl Xoshiro256pp {
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
         let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
-        Self { s, gauss_spare: None }
+        Self {
+            s,
+            gauss_spare: None,
+        }
     }
 
     /// Next 64 uniformly distributed bits.
@@ -148,9 +151,7 @@ impl Xoshiro256pp {
             }
             let v3 = v * v * v;
             let u = self.uniform();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
                 return d * v3 * scale;
             }
         }

@@ -84,10 +84,20 @@ impl BufferPool {
             inner.free.push(victim);
         }
         let slot_idx = if let Some(idx) = inner.free.pop() {
-            inner.slots[idx] = Slot { id, page, prev: NIL, next: NIL };
+            inner.slots[idx] = Slot {
+                id,
+                page,
+                prev: NIL,
+                next: NIL,
+            };
             idx
         } else {
-            inner.slots.push(Slot { id, page, prev: NIL, next: NIL });
+            inner.slots.push(Slot {
+                id,
+                page,
+                prev: NIL,
+                next: NIL,
+            });
             inner.slots.len() - 1
         };
         inner.map.insert(id, slot_idx);

@@ -23,12 +23,16 @@ pub struct PageBuf {
 impl PageBuf {
     /// Allocates a zeroed page of the given size.
     pub fn zeroed(page_size: usize) -> Self {
-        Self { data: vec![0u8; page_size].into_boxed_slice() }
+        Self {
+            data: vec![0u8; page_size].into_boxed_slice(),
+        }
     }
 
     /// Wraps an existing byte buffer as a page.
     pub fn from_vec(data: Vec<u8>) -> Self {
-        Self { data: data.into_boxed_slice() }
+        Self {
+            data: data.into_boxed_slice(),
+        }
     }
 
     /// Page contents.

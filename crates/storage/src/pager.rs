@@ -41,7 +41,10 @@ impl MemStorage {
     /// Creates an empty in-memory device with the given page size.
     pub fn new(page_size: usize) -> Self {
         assert!(page_size >= 64, "page size too small: {page_size}");
-        Self { page_size, pages: Mutex::new(Vec::new()) }
+        Self {
+            page_size,
+            pages: Mutex::new(Vec::new()),
+        }
     }
 }
 
@@ -101,7 +104,11 @@ impl FileStorage {
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(Self { page_size, file, num_pages: Mutex::new(0) })
+        Ok(Self {
+            page_size,
+            file,
+            num_pages: Mutex::new(0),
+        })
     }
 
     /// Opens an existing page file; its length must be a multiple of
@@ -115,7 +122,11 @@ impl FileStorage {
                 format!("file length {len} not a multiple of page size {page_size}"),
             ));
         }
-        Ok(Self { page_size, file, num_pages: Mutex::new(len / page_size as u64) })
+        Ok(Self {
+            page_size,
+            file,
+            num_pages: Mutex::new(len / page_size as u64),
+        })
     }
 
     /// Total file size in bytes (the paper's Index Size measurement unit).
@@ -171,7 +182,11 @@ impl Pager {
     /// Wraps a storage device with a buffer pool of `capacity` pages.
     pub fn new(storage: Arc<dyn Storage>, capacity: usize, stats: Arc<AccessStats>) -> Self {
         let pool = BufferPool::new(capacity);
-        Self { storage, pool, stats }
+        Self {
+            storage,
+            pool,
+            stats,
+        }
     }
 
     /// Convenience constructor: in-memory device, fresh counters.

@@ -70,7 +70,7 @@ fn main() {
         let mut sum_recall = 0.0;
         let mut sum_pages = 0.0;
         let mut sum_ms = 0.0;
-        for qi in 0..QUERIES {
+        for (qi, exact) in gt.iter().enumerate().take(QUERIES) {
             let q = ds.queries.row(qi);
             method.reset_stats();
             let t = Instant::now();
@@ -78,7 +78,6 @@ fn main() {
             sum_ms += ms(t);
             sum_pages += method.page_accesses() as f64;
 
-            let exact = &gt[qi];
             sum_ratio += res
                 .iter()
                 .zip(exact)
@@ -86,10 +85,8 @@ fn main() {
                 .map(|(r, e)| (r.ip / e.1).min(1.0))
                 .sum::<f64>()
                 / K as f64;
-            let ids: std::collections::HashSet<u64> =
-                exact.iter().map(|&(id, _)| id).collect();
-            sum_recall +=
-                res.iter().filter(|n| ids.contains(&n.id)).count() as f64 / K as f64;
+            let ids: std::collections::HashSet<u64> = exact.iter().map(|&(id, _)| id).collect();
+            sum_recall += res.iter().filter(|n| ids.contains(&n.id)).count() as f64 / K as f64;
         }
         let nq = QUERIES as f64;
         println!(

@@ -36,7 +36,11 @@ fn main() {
     println!("indexing the classifier bank with ProMIPS …");
     let config = ProMipsConfig::builder().c(0.9).p(0.7).seed(3).build();
     let index = ProMips::build_in_memory(&classifiers, config).expect("build");
-    println!("  m = {}, build = {:.0} ms\n", index.m(), index.build_timings().total_ms());
+    println!(
+        "  m = {}, build = {:.0} ms\n",
+        index.m(),
+        index.build_timings().total_ms()
+    );
 
     // Test features: noisy versions of random prototypes — the "true" label
     // should rank highly.

@@ -33,7 +33,12 @@ fn main() -> std::io::Result<()> {
     println!("building iDistance index into {} …", path.display());
     let storage = Arc::new(FileStorage::create(&path, PAGE_SIZE_DEFAULT)?);
     let pager = Arc::new(Pager::new(storage, 2048, AccessStats::new_shared()));
-    let cfg = IDistanceConfig { kp: 5, nkey: 16, ksp: 6, ..Default::default() };
+    let cfg = IDistanceConfig {
+        kp: 5,
+        nkey: 16,
+        ksp: 6,
+        ..Default::default()
+    };
     let index = build_index(pager, &proj, &orig, &cfg)?;
     println!(
         "  {} points, {} sub-partitions, file = {:.2} MB",
@@ -48,7 +53,11 @@ fn main() -> std::io::Result<()> {
     let storage = Arc::new(FileStorage::open(&path, PAGE_SIZE_DEFAULT)?);
     let pager = Arc::new(Pager::new(storage, 2048, AccessStats::new_shared()));
     let index = IDistanceIndex::open(pager)?;
-    println!("  reopened: {} points, m = {}", index.len(), index.proj_dim());
+    println!(
+        "  reopened: {} points, m = {}",
+        index.len(),
+        index.proj_dim()
+    );
 
     // Cold query vs warm query.
     let pq: Vec<f32> = (0..m).map(|_| rng.normal() as f32).collect();

@@ -57,6 +57,9 @@ fn main() {
         exact.1,
         got / exact.1
     );
-    assert!(got >= 0.9 * exact.1 || got >= exact.1, "c-bound violated on this query");
+    assert!(
+        got >= 0.9 * exact.1 || got >= exact.1,
+        "c-bound violated on this query"
+    );
     println!("c-bound (0.9) satisfied ✓");
 }

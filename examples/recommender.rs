@@ -16,7 +16,10 @@ const USERS: usize = 20;
 fn main() {
     // Item catalogue: Netflix-like latent factors (17,770 items × 300 dims).
     let spec = DatasetSpec::netflix().with_n(17_770);
-    println!("generating {} items ({} dims, PureSVD-style factors) …", spec.n, spec.d);
+    println!(
+        "generating {} items ({} dims, PureSVD-style factors) …",
+        spec.n, spec.d
+    );
     let catalogue = spec.generate();
     let items: &Matrix = &catalogue.data;
 
@@ -52,9 +55,12 @@ fn main() {
             .map(|(r, e)| (r.ip / e.1).min(1.0))
             .sum::<f64>()
             / TOP_K as f64;
-        let exact_ids: std::collections::HashSet<u64> =
-            exact.iter().map(|&(id, _)| id).collect();
-        let hits = recs.items.iter().filter(|i| exact_ids.contains(&i.id)).count();
+        let exact_ids: std::collections::HashSet<u64> = exact.iter().map(|&(id, _)| id).collect();
+        let hits = recs
+            .items
+            .iter()
+            .filter(|i| exact_ids.contains(&i.id))
+            .count();
 
         if u < 3 {
             println!(

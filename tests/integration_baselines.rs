@@ -11,14 +11,9 @@ use promips::core::{ProMips, ProMipsConfig};
 use promips::data::{exact_topk, DatasetSpec};
 use promips::storage::Pager;
 
-fn methods_over(
-    data: &promips::linalg::Matrix,
-) -> Vec<Box<dyn MipsMethod>> {
-    let promips_index = ProMips::build_in_memory(
-        data,
-        ProMipsConfig::builder().seed(3).build(),
-    )
-    .unwrap();
+fn methods_over(data: &promips::linalg::Matrix) -> Vec<Box<dyn MipsMethod>> {
+    let promips_index =
+        ProMips::build_in_memory(data, ProMipsConfig::builder().seed(3).build()).unwrap();
     let h2 = H2Alsh::build(
         data,
         H2AlshConfig::default(),
@@ -33,7 +28,11 @@ fn methods_over(
     .unwrap();
     let pq = PqMips::build(
         data,
-        PqConfig { cells: Some(16), train_sample: 1_000, ..Default::default() },
+        PqConfig {
+            cells: Some(16),
+            train_sample: 1_000,
+            ..Default::default()
+        },
         Arc::new(Pager::in_memory(4096, 4096)),
     )
     .unwrap();
@@ -72,7 +71,11 @@ fn all_methods_count_pages_and_sizes() {
         method.clear_cache();
         method.reset_stats();
         let _ = method.search(ds.queries.row(0), 10).unwrap();
-        assert!(method.page_accesses() > 0, "{} counted no pages", method.name());
+        assert!(
+            method.page_accesses() > 0,
+            "{} counted no pages",
+            method.name()
+        );
         assert!(method.index_size_bytes() > 0, "{}", method.name());
     }
 }
@@ -127,6 +130,10 @@ fn self_query_finds_high_ip_points() {
                 ok += 1;
             }
         }
-        assert!(ok >= trials / 2, "{}: only {ok}/{trials} near self-ip", method.name());
+        assert!(
+            ok >= trials / 2,
+            "{}: only {ok}/{trials} near self-ip",
+            method.name()
+        );
     }
 }

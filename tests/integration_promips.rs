@@ -71,7 +71,10 @@ fn quickprobe_and_incremental_agree_on_quality() {
     }
     // Both algorithms provide the same guarantee; their mean quality should
     // be comparable (within 10% of each other).
-    assert!((probe_sum - incr_sum).abs() / 10.0 < 0.1, "{probe_sum} vs {incr_sum}");
+    assert!(
+        (probe_sum - incr_sum).abs() / 10.0 < 0.1,
+        "{probe_sum} vs {incr_sum}"
+    );
 }
 
 #[test]
@@ -93,7 +96,10 @@ fn deterministic_given_seed() {
     let (b, _) = build(1_200, 0.9, 0.5, 5);
     for qi in 0..5 {
         let q = ds.queries.row(qi);
-        assert_eq!(a.search(q, 10).unwrap().ids(), b.search(q, 10).unwrap().ids());
+        assert_eq!(
+            a.search(q, 10).unwrap().ids(),
+            b.search(q, 10).unwrap().ids()
+        );
     }
 }
 
@@ -143,7 +149,10 @@ fn works_on_all_four_dataset_families() {
         let res = index.search(ds.queries.row(0), 5).unwrap();
         assert_eq!(res.items.len(), 5, "dataset {name}");
         // Results sorted by ip.
-        assert!(res.items.windows(2).all(|w| w[0].ip >= w[1].ip), "dataset {name}");
+        assert!(
+            res.items.windows(2).all(|w| w[0].ip >= w[1].ip),
+            "dataset {name}"
+        );
     }
 }
 

@@ -9,7 +9,13 @@ use promips::stats::{chi2_cdf, chi2_inv_cdf, Xoshiro256pp};
 use proptest::prelude::*;
 
 fn ctx(c: f64, p: f64, m: u32, max_sq: f64, q_sq: f64) -> ConditionContext {
-    ConditionContext { c, p, m, max_sq_norm: max_sq, q_sq_norm: q_sq }
+    ConditionContext {
+        c,
+        p,
+        m,
+        max_sq_norm: max_sq,
+        q_sq_norm: q_sq,
+    }
 }
 
 proptest! {
