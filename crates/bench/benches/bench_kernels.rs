@@ -10,11 +10,16 @@
 //! `BENCH_kernels.json` in the working directory; override with
 //! `PROMIPS_BENCH_OUT`.
 
+use std::sync::Arc;
+
 use promips_bench::micro::{ns_per_op, Json, MicroBench};
 use promips_core::{ProMips, ProMipsConfig, SearchScratch};
+use promips_idistance::layout::{enc, read_blob_range};
+use promips_idistance::{build_index, IDistanceConfig, ProjScratch, RangeCandidate};
 use promips_linalg::dispatch::available_backends;
-use promips_linalg::{active_backend, dot, norm1, scalar, sq_dist, sq_norm2, Matrix};
+use promips_linalg::{active_backend, dist, dot, norm1, scalar, sq_dist, sq_norm2, Matrix};
 use promips_stats::Xoshiro256pp;
+use promips_storage::{AccessStats, MemStorage, PageBuf, Pager};
 
 const D: usize = 128;
 const M: usize = 16;
@@ -100,6 +105,35 @@ fn main() {
     let dot_single_scalar = per_row(ns_per_op(|| sweep2(&scalar::dot)));
     let sqd_simd = per_row(ns_per_op(|| sweep2(&|x, y| sq_dist(x, y))));
     let sqd_scalar = per_row(ns_per_op(|| sweep2(&scalar::sq_dist)));
+    // The deployed annulus-filter shape: four contiguous rows against one
+    // projected query through the blocked sq_dist4 (the arena scan's inner
+    // loop); the scalar reference is the per-row single kernel.
+    let sqd4_simd = per_row(ns_per_op(|| {
+        let mut s = [0.0f64; 4];
+        let mut i = 0;
+        while i + 4 <= ROWS {
+            let r = promips_linalg::sq_dist4(
+                am.row(i),
+                am.row(i + 1),
+                am.row(i + 2),
+                am.row(i + 3),
+                std::hint::black_box(&q),
+            );
+            s[0] += r[0];
+            s[1] += r[1];
+            s[2] += r[2];
+            s[3] += r[3];
+            i += 4;
+        }
+        s
+    }));
+    let sqd4_scalar = per_row(ns_per_op(|| {
+        let mut s = 0.0;
+        for i in 0..ROWS {
+            s += scalar::sq_dist(am.row(i), std::hint::black_box(&q));
+        }
+        s
+    }));
     let sqn_simd = per_row(ns_per_op(|| sweep1(&|x| sq_norm2(x))));
     let sqn_scalar = per_row(ns_per_op(|| sweep1(&scalar::sq_norm2)));
     let n1_simd = per_row(ns_per_op(|| sweep1(&|x| norm1(x))));
@@ -111,6 +145,8 @@ fn main() {
         ("dot_128d_single_scalar", dot_single_scalar),
         ("sq_dist_128d", sqd_simd),
         ("sq_dist_128d_scalar", sqd_scalar),
+        ("sq_dist_128d (scan shape, sq_dist4-blocked)", sqd4_simd),
+        ("sq_dist_128d_scalar (scan shape)", sqd4_scalar),
         ("sq_norm2_128d", sqn_simd),
         ("sq_norm2_128d_scalar", sqn_scalar),
         ("norm1_128d", n1_simd),
@@ -177,6 +213,123 @@ fn main() {
     });
     println!("  project_all_2000x128_to_16 (scalar rowwise): {gemm_scalar_ns:.1} ns/op");
 
+    // --- projected scan: legacy per-record decode vs arena + sq_dist4 -------
+    // Sweeps every sub-partition of a realistic index with an annulus
+    // filter. The legacy shape is what `scan_subpart` shipped as before the
+    // arena: decode each record into a fresh `Vec<f32>`, then a single-row
+    // `dist` per record. The arena shape is the deployed path: one
+    // `ProjScratch` decode per sub-partition, blocked `sq_dist4` filter.
+    let scan_n = 8_000;
+    let scan_m = 16;
+    let scan_data = random_matrix(scan_n, scan_m, 51);
+    let scan_orig = random_matrix(scan_n, 8, 52);
+    let scan_pager = Arc::new(Pager::in_memory(4096, 1 << 16));
+    let scan_cfg = IDistanceConfig {
+        kp: 4,
+        nkey: 8,
+        ksp: 3,
+        ..Default::default()
+    };
+    let scan_idx = build_index(scan_pager, &scan_data, &scan_orig, &scan_cfg).expect("scan index");
+    let n_subs = scan_idx.subparts().len() as u32;
+    let scan_q: Vec<f32> = scan_data.row(0).to_vec();
+    let (r_lo, r_hi) = (0.5, 4.0);
+    let per_record = |ns: f64| ns / scan_n as f64;
+    let mut cands: Vec<RangeCandidate> = Vec::new();
+    let mut proj = ProjScratch::new();
+    let arena_scan_ns = per_record(ns_per_op(|| {
+        cands.clear();
+        for sub in 0..n_subs {
+            scan_idx.read_subpart_proj_into(sub, &mut proj).unwrap();
+            proj.for_each_dist(std::hint::black_box(&scan_q), |offset, id, pd| {
+                if pd > r_lo && pd <= r_hi {
+                    cands.push(RangeCandidate {
+                        id,
+                        proj_dist: pd,
+                        subpart: sub,
+                        offset: offset as u32,
+                    });
+                }
+            });
+        }
+        cands.len()
+    }));
+    // The true pre-arena shape (read_subpart_proj is now a wrapper over the
+    // arena, so it can't stand in for its old self): one blob read per
+    // sub-partition, one fresh Vec<f32> per record, single-row dist filter.
+    let rec_bytes = 8 + 4 * scan_m;
+    let legacy_scan_ns = per_record(ns_per_op(|| {
+        cands.clear();
+        for sub in 0..n_subs {
+            let sp = &scan_idx.subparts()[sub as usize];
+            let blob = read_blob_range(
+                scan_idx.pager(),
+                scan_idx.proj_region().0,
+                sp.proj_off as usize,
+                sp.count as usize * rec_bytes,
+            )
+            .unwrap();
+            let mut pos = 0;
+            for offset in 0..sp.count {
+                let id = enc::get_u64(&blob, &mut pos);
+                let pv = enc::get_f32s(&blob, &mut pos, scan_m);
+                let pd = dist(&pv, std::hint::black_box(&scan_q));
+                if pd > r_lo && pd <= r_hi {
+                    cands.push(RangeCandidate {
+                        id,
+                        proj_dist: pd,
+                        subpart: sub,
+                        offset,
+                    });
+                }
+            }
+        }
+        cands.len()
+    }));
+    println!("  scan_arena (per record): {arena_scan_ns:.1} ns");
+    println!("  scan_legacy_decode (per record): {legacy_scan_ns:.1} ns");
+
+    // --- pager contention: single-mutex pool vs lock-striped pool -----------
+    // Four threads hammer a shared pager whose pool holds half the pages, so
+    // every read takes the pool lock (hit) and half also evict (miss). The
+    // 1-shard pool is the pre-striping design.
+    let contention = |shards: usize| -> f64 {
+        let storage = Arc::new(MemStorage::new(256));
+        let n_pages = 512u64;
+        let pager = Arc::new(Pager::with_pool_shards(
+            storage,
+            256,
+            shards,
+            AccessStats::new_shared(),
+        ));
+        for _ in 0..n_pages {
+            pager.append(PageBuf::zeroed(256)).unwrap();
+        }
+        let threads = 4u64;
+        let reads_per_thread = 50_000u64;
+        let ns = ns_per_op(|| {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let pager = Arc::clone(&pager);
+                    s.spawn(move || {
+                        for i in 0..reads_per_thread {
+                            let id = (i * 17 + t * 131) % n_pages;
+                            std::hint::black_box(pager.read(id).unwrap());
+                        }
+                    });
+                }
+            })
+        });
+        ns / (threads * reads_per_thread) as f64
+    };
+    let pool_1shard_ns = contention(1);
+    let pool_striped_ns = contention(promips_storage::DEFAULT_SHARDS);
+    println!("  pager_read_4t_1shard (per read): {pool_1shard_ns:.1} ns");
+    println!(
+        "  pager_read_4t_{}shard (per read): {pool_striped_ns:.1} ns",
+        promips_storage::DEFAULT_SHARDS
+    );
+
     // --- query pipeline: sequential vs batched ------------------------------
     let n = 8_000;
     let nq = 64;
@@ -215,6 +368,7 @@ fn main() {
                 ("dot", pair(dot_simd, dot_scalar)),
                 ("dot_single", pair(dot_single_simd, dot_single_scalar)),
                 ("sq_dist", pair(sqd_simd, sqd_scalar)),
+                ("sq_dist4", pair(sqd4_simd, sqd4_scalar)),
                 ("sq_norm2", pair(sqn_simd, sqn_scalar)),
                 ("norm1", pair(n1_simd, n1_scalar)),
             ]),
@@ -226,6 +380,29 @@ fn main() {
                 ("single", pair(proj_simd, proj_scalar)),
                 ("dataset_2000", pair(gemm_ns, gemm_scalar_ns)),
                 ("m", Json::Num(M as f64)),
+            ]),
+        ),
+        (
+            "scan",
+            Json::obj(vec![
+                ("n", Json::Num(scan_n as f64)),
+                ("m", Json::Num(scan_m as f64)),
+                ("subparts", Json::Num(n_subs as f64)),
+                ("arena_ns_per_record", Json::Num(arena_scan_ns)),
+                ("legacy_decode_ns_per_record", Json::Num(legacy_scan_ns)),
+                ("speedup", Json::Num(legacy_scan_ns / arena_scan_ns)),
+            ]),
+        ),
+        (
+            "pager_contention",
+            Json::obj(vec![
+                ("threads", Json::Num(4.0)),
+                ("pool_pages", Json::Num(256.0)),
+                ("file_pages", Json::Num(512.0)),
+                ("single_mutex_ns_per_read", Json::Num(pool_1shard_ns)),
+                ("striped_ns_per_read", Json::Num(pool_striped_ns)),
+                ("shards", Json::Num(promips_storage::DEFAULT_SHARDS as f64)),
+                ("speedup", Json::Num(pool_1shard_ns / pool_striped_ns)),
             ]),
         ),
         (

@@ -114,10 +114,13 @@ impl ProMips {
         // build_index ends by writing the iDistance footer as the last page.
         let idist_footer_page = pager.num_pages() - 1;
 
-        // Locator: where did each id land?
+        // Locator: where did each id land? (One reused decode arena across
+        // sub-partitions — this pass touches every projected record.)
         let mut locator = vec![(u32::MAX, u32::MAX); n];
+        let mut scratch = promips_idistance::ProjScratch::new();
         for sub in 0..index.subparts().len() as u32 {
-            for (offset, (id, _)) in index.read_subpart_proj(sub)?.into_iter().enumerate() {
+            index.read_subpart_proj_into(sub, &mut scratch)?;
+            for (offset, &id) in scratch.ids().iter().enumerate() {
                 locator[id as usize] = (sub, offset as u32);
             }
         }

@@ -108,11 +108,13 @@ impl ProMips {
     ) -> io::Result<(ProMips, Vec<u64>)> {
         let mut old_ids = Vec::new();
         let mut rows: Vec<Vec<f32>> = Vec::new();
-        // Base points, in sub-partition order.
+        // Base points, in sub-partition order (ids come from the reused
+        // projected-record arena; only the original vectors are kept).
+        let mut scratch = promips_idistance::ProjScratch::new();
         for sub in 0..self.index.subparts().len() as u32 {
             let origs = self.index.read_subpart_orig(sub)?;
-            let projs = self.index.read_subpart_proj(sub)?;
-            for ((id, _), orig) in projs.into_iter().zip(origs) {
+            self.index.read_subpart_proj_into(sub, &mut scratch)?;
+            for (&id, orig) in scratch.ids().iter().zip(origs) {
                 if !self.is_deleted(id) {
                     old_ids.push(id);
                     rows.push(orig);

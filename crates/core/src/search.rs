@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use promips_idistance::RangeCandidate;
+use promips_idistance::{ProjScratch, RangeCandidate};
 use promips_linalg::{dist, dot, dot4, norm1, sq_norm2};
 
 use crate::conditions::ConditionContext;
@@ -30,6 +30,9 @@ pub struct SearchScratch {
     pq: Vec<f32>,
     /// Range-search candidates, grouped by sub-partition.
     cands: Vec<RangeCandidate>,
+    /// Projected-record decode arena for the annulus scan and the
+    /// Quick-Probe located-point read (id column + flat `f32` rows).
+    proj: ProjScratch,
     /// Buffers for batched original-vector verification.
     fetch: FetchBuffers,
 }
@@ -154,7 +157,7 @@ impl ProMips {
         let located = self
             .quickprobe
             .locate(&scratch.pq, norm1(q), self.config.c, self.config.p);
-        let r = self.located_radius(&located, &scratch.pq)?;
+        let r = self.located_radius(&located, &scratch.pq, &mut scratch.proj)?;
 
         let mut top = TopK::new(k);
         let mut verified = 0usize;
@@ -165,8 +168,13 @@ impl ProMips {
         self.verify_delta(q, &mut top, &mut verified);
 
         // --- Range search within r; verify per sub-partition batch. -------
-        self.index
-            .range_candidates_into(&scratch.pq, -1.0, r, &mut scratch.cands)?;
+        self.index.range_candidates_into(
+            &scratch.pq,
+            -1.0,
+            r,
+            &mut scratch.cands,
+            &mut scratch.proj,
+        )?;
         if let Some(term) = self.verify_groups(
             &scratch.cands,
             q,
@@ -237,6 +245,7 @@ impl ProMips {
                     r_final,
                     r_prime,
                     &mut scratch.cands,
+                    &mut scratch.proj,
                 )?;
                 if let Some(term) = self.verify_groups(
                     &scratch.cands,
@@ -270,11 +279,10 @@ impl ProMips {
     /// their mutex), and each query's computation is independent and
     /// deterministic.
     ///
-    /// Scaling note: all workers share one buffer pool behind a single
-    /// mutex, so page-fetch-heavy workloads contend on it; sharding the
-    /// page cache is the known follow-up (see ROADMAP). Verification
-    /// arithmetic (the dominant CPU cost for in-memory indexes) runs
-    /// entirely outside the lock.
+    /// Scaling note: the shared buffer pool is lock-striped (page id →
+    /// stripe), so workers only contend when they touch the same stripe;
+    /// verification arithmetic (the dominant CPU cost for in-memory
+    /// indexes) runs entirely outside any lock.
     pub fn search_batch(&self, queries: &[&[f32]], k: usize) -> io::Result<Vec<SearchResult>> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -471,9 +479,24 @@ impl ProMips {
     /// outside the locator (possible only if Quick-Probe state and the index
     /// ever disagree, e.g. after a partial reload) is reported as data
     /// corruption instead of a panic.
-    fn located_radius(&self, located: &crate::quickprobe::Located, pq: &[f32]) -> io::Result<f64> {
+    ///
+    /// The returned radius is inflated by a few ulps: the annulus scan
+    /// measures distances with the blocked `sq_dist4` kernel, whose rounding
+    /// can differ from the single-row `dist` used here in the last ulp, and
+    /// the located point itself must always fall inside its own range
+    /// (`pd <= r`). The inflation only ever *enlarges* the searched range,
+    /// so the probability guarantee is untouched.
+    fn located_radius(
+        &self,
+        located: &crate::quickprobe::Located,
+        pq: &[f32],
+        proj: &mut ProjScratch,
+    ) -> io::Result<f64> {
+        fn ulp_pad(r: f64) -> f64 {
+            r * (1.0 + 4.0 * f64::EPSILON)
+        }
         if let Some(entry) = self.delta.entries.iter().find(|e| e.id == located.id) {
-            return Ok(dist(&entry.proj, pq));
+            return Ok(ulp_pad(dist(&entry.proj, pq)));
         }
         let Some(&(sub, off)) = self.locator.get(located.id as usize) else {
             return Err(io::Error::new(
@@ -494,8 +517,8 @@ impl ProMips {
                 ),
             ));
         }
-        let (_, located_proj) = self.index.fetch_proj_record(sub, off)?;
-        Ok(dist(&located_proj, pq))
+        self.index.fetch_proj_record_into(sub, off, proj)?;
+        Ok(ulp_pad(dist(proj.row(0), pq)))
     }
 
     /// Verifies every live delta entry (in memory, no page cost).

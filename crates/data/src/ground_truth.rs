@@ -1,17 +1,20 @@
 //! Exact MIP ground truth, computed once per (dataset, queries, k) and
 //! reused by the accuracy metrics (overall ratio, recall).
 
-use promips_linalg::{dot, Matrix};
+use promips_linalg::Matrix;
 
 /// Exact top-k list for one query: `(id, ip)` sorted by ip descending.
 pub type GroundTruth = Vec<(u64, f64)>;
 
-/// Exact top-k MIP points of `q` by linear scan.
+/// Exact top-k MIP points of `q` by linear scan, scored through the blocked
+/// `dot4` loop ([`Matrix::dot_rows`]): the query's `f32 → f64` conversions
+/// amortize across each four-row block — the same shape candidate
+/// verification uses.
 pub fn exact_topk(data: &Matrix, q: &[f32], k: usize) -> GroundTruth {
-    let k = k.min(data.rows());
-    let mut all: Vec<(u64, f64)> = (0..data.rows())
-        .map(|i| (i as u64, dot(data.row(i), q)))
-        .collect();
+    let n = data.rows();
+    let k = k.min(n);
+    let mut all: Vec<(u64, f64)> = Vec::with_capacity(n);
+    data.dot_rows(0, n, q, |row, ip| all.push((row as u64, ip)));
     all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     all.truncate(k);
     all
@@ -50,6 +53,7 @@ pub fn exact_topk_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use promips_linalg::dot;
     use promips_stats::Xoshiro256pp;
 
     fn random(n: usize, d: usize, seed: u64) -> Matrix {

@@ -223,8 +223,10 @@ mod tests {
 
         // Every id appears exactly once across sub-partition blobs.
         let mut seen = vec![false; 500];
+        let mut scratch = crate::index::ProjScratch::new();
         for s in 0..idx.subparts().len() {
-            for (id, _) in idx.read_subpart_proj(s as u32).unwrap() {
+            idx.read_subpart_proj_into(s as u32, &mut scratch).unwrap();
+            for &id in scratch.ids() {
                 assert!(!seen[id as usize], "id {id} duplicated");
                 seen[id as usize] = true;
             }
@@ -245,15 +247,17 @@ mod tests {
         };
         let idx = build_index(pager, &proj, &orig, &cfg).unwrap();
 
+        let mut scratch = crate::index::ProjScratch::new();
         for sp in idx.subparts() {
             let part = (sp.key / idx.ring_c()) as usize;
             let ring = sp.key % idx.ring_c();
             assert!(part < idx.partitions().len());
             // Every member's ring index must equal the sub-partition ring.
             // (Reconstruct from the stored projected vectors.)
-            let members = idx.read_subpart_proj_by_meta(sp).unwrap();
-            for (_, pv) in members {
-                let dc = dist(&pv, &idx.partitions()[part].center);
+            idx.read_subpart_proj_into_by_meta(sp, &mut scratch)
+                .unwrap();
+            for i in 0..scratch.len() {
+                let dc = dist(scratch.row(i), &idx.partitions()[part].center);
                 assert_eq!((dc / idx.epsilon()).floor() as u64, ring);
             }
         }

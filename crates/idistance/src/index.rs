@@ -4,7 +4,7 @@ use std::io;
 use std::sync::Arc;
 
 use promips_btree::BTree;
-use promips_linalg::dist;
+use promips_linalg::{dist, sq_dist, sq_dist4};
 use promips_storage::{AccessStatsSnapshot, PageBuf, PageId, Pager};
 
 use crate::knn::NnIter;
@@ -28,6 +28,149 @@ pub struct RangeCandidate {
     pub subpart: u32,
     /// Record offset inside the sub-partition.
     pub offset: u32,
+}
+
+/// A reusable decode arena for projected records: a `u64` id column plus a
+/// flat `f32` row arena (row `i` at `rows[i*m .. (i+1)*m]`).
+///
+/// One scratch serves any number of sequential scans: each
+/// [`IDistanceIndex::read_subpart_proj_into`] call clears and refills it, so
+/// buffers grow to the largest sub-partition seen and are never reallocated
+/// afterwards. This is what makes the annulus range scan allocation-free on
+/// its steady-state path — the legacy `Vec<(u64, Vec<f32>)>` decode paid one
+/// heap allocation per record.
+#[derive(Debug, Default)]
+pub struct ProjScratch {
+    ids: Vec<u64>,
+    rows: Vec<f32>,
+    m: usize,
+}
+
+impl ProjScratch {
+    /// A fresh scratch (buffers allocate lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of decoded records.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the scratch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Projected dimensionality of the decoded rows.
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// The id column, in record order.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Id of record `i`.
+    pub fn id(&self, i: usize) -> u64 {
+        self.ids[i]
+    }
+
+    /// Projected vector of record `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.rows[i * self.m..(i + 1) * self.m]
+    }
+
+    /// The flat row arena (`len() * dim()` floats).
+    pub fn rows_flat(&self) -> &[f32] {
+        &self.rows
+    }
+
+    fn reset(&mut self, m: usize, count: usize) {
+        self.m = m;
+        self.ids.clear();
+        self.rows.clear();
+        self.ids.reserve(count);
+        self.rows.reserve(count * m);
+    }
+
+    /// Calls `f(offset, id, proj_dist)` for every decoded record with its
+    /// Euclidean distance to `pq`, four contiguous rows per blocked
+    /// [`sq_dist4`] call (the tail runs the single-row kernel).
+    ///
+    /// A record's position in the block structure is fixed by the
+    /// sub-partition layout, so repeated scans — and the range-search and
+    /// incremental-NN paths, which both come through here — compute
+    /// bit-identical distances for the same point.
+    pub fn for_each_dist(&self, pq: &[f32], mut f: impl FnMut(usize, u64, f64)) {
+        let m = self.m;
+        let n = self.len();
+        let rows = &self.rows;
+        let mut i = 0;
+        while i + 4 <= n {
+            let base = i * m;
+            let d2 = sq_dist4(
+                &rows[base..base + m],
+                &rows[base + m..base + 2 * m],
+                &rows[base + 2 * m..base + 3 * m],
+                &rows[base + 3 * m..base + 4 * m],
+                pq,
+            );
+            f(i, self.ids[i], d2[0].sqrt());
+            f(i + 1, self.ids[i + 1], d2[1].sqrt());
+            f(i + 2, self.ids[i + 2], d2[2].sqrt());
+            f(i + 3, self.ids[i + 3], d2[3].sqrt());
+            i += 4;
+        }
+        for j in i..n {
+            f(j, self.ids[j], sq_dist(self.row(j), pq).sqrt());
+        }
+    }
+}
+
+/// A cursor over one packed byte region: fetches covering pages on demand,
+/// caches the current page across ranges, and hands the caller maximal
+/// in-page byte chunks. Both record decoders ([`IDistanceIndex::
+/// fetch_originals`] and the projected-record decoder) walk their ranges
+/// through this, so the page-boundary discipline lives in one place.
+struct PageCursor<'a> {
+    pager: &'a Pager,
+    region_start: PageId,
+    ps: usize,
+    cur: Option<(u64, Arc<PageBuf>)>,
+}
+
+impl<'a> PageCursor<'a> {
+    fn new(pager: &'a Pager, region_start: PageId) -> Self {
+        Self {
+            pager,
+            region_start,
+            ps: pager.page_size(),
+            cur: None,
+        }
+    }
+
+    /// Calls `f` with each maximal in-page chunk of region bytes
+    /// `[start, start + len)`, in order. The current page stays cached
+    /// across calls, so consecutive ranges touching the same page read it
+    /// once (the sequential-read page count the packed layout is for).
+    fn walk(&mut self, start: usize, len: usize, mut f: impl FnMut(&[u8])) -> io::Result<()> {
+        let mut cursor = start;
+        let end = start + len;
+        while cursor < end {
+            let pid = (cursor / self.ps) as u64;
+            if self.cur.as_ref().map(|c| c.0) != Some(pid) {
+                self.cur = Some((pid, self.pager.read(self.region_start + pid)?));
+            }
+            let slice = self.cur.as_ref().expect("page just loaded").1.as_slice();
+            let in_page = cursor % self.ps;
+            let n = (self.ps - in_page).min(end - cursor);
+            f(&slice[in_page..in_page + n]);
+            cursor += n;
+        }
+        Ok(())
+    }
 }
 
 /// iDistance index handle (see the crate docs for the structure).
@@ -156,19 +299,22 @@ impl IDistanceIndex {
         r_hi: f64,
     ) -> io::Result<Vec<RangeCandidate>> {
         let mut out = Vec::new();
-        self.range_candidates_into(pq, r_lo, r_hi, &mut out)?;
+        self.range_candidates_into(pq, r_lo, r_hi, &mut out, &mut ProjScratch::new())?;
         Ok(out)
     }
 
     /// As [`Self::range_candidates`], but clears and fills a caller-provided
-    /// buffer — the batched search path reuses one buffer per worker thread
-    /// instead of allocating per query.
+    /// candidate buffer and decodes through a caller-provided arena — the
+    /// batched search path reuses one of each per worker thread, so the
+    /// steady-state scan performs no per-record (or per-query) heap
+    /// allocation at all.
     pub fn range_candidates_into(
         &self,
         pq: &[f32],
         r_lo: f64,
         r_hi: f64,
         out: &mut Vec<RangeCandidate>,
+        scratch: &mut ProjScratch,
     ) -> io::Result<()> {
         assert_eq!(pq.len(), self.m, "query has wrong projected dimension");
         out.clear();
@@ -195,14 +341,15 @@ impl IDistanceIndex {
                 if dp - sp.radius > r_hi || dp + sp.radius <= r_lo {
                     continue;
                 }
-                self.scan_subpart(sub_id as u32, pq, r_lo, r_hi, out)?;
+                self.scan_subpart(sub_id as u32, pq, r_lo, r_hi, out, scratch)?;
             }
         }
         Ok(())
     }
 
     /// Scans one sub-partition's projected blob, appending candidates in the
-    /// annulus.
+    /// annulus: one arena decode, then a blocked `sq_dist4` filter over four
+    /// contiguous rows at a time.
     fn scan_subpart(
         &self,
         sub: u32,
@@ -210,9 +357,10 @@ impl IDistanceIndex {
         r_lo: f64,
         r_hi: f64,
         out: &mut Vec<RangeCandidate>,
+        scratch: &mut ProjScratch,
     ) -> io::Result<()> {
-        for (offset, (id, pv)) in self.read_subpart_proj(sub)?.into_iter().enumerate() {
-            let pd = dist(&pv, pq);
+        self.read_subpart_proj_into(sub, scratch)?;
+        scratch.for_each_dist(pq, |offset, id, pd| {
             if pd > r_lo && pd <= r_hi {
                 out.push(RangeCandidate {
                     id,
@@ -221,52 +369,148 @@ impl IDistanceIndex {
                     offset: offset as u32,
                 });
             }
-        }
+        });
+        Ok(())
+    }
+
+    /// Decodes a sub-partition's projected records into `scratch` (id
+    /// column plus flat row arena), reading the covering pages directly —
+    /// no intermediate blob, no per-record allocation.
+    pub fn read_subpart_proj_into(&self, sub: u32, scratch: &mut ProjScratch) -> io::Result<()> {
+        let sp = &self.subparts[sub as usize];
+        self.read_subpart_proj_into_by_meta(sp, scratch)
+    }
+
+    /// As [`Self::read_subpart_proj_into`] but from a metadata reference
+    /// (used during construction before `self.subparts` is final).
+    pub fn read_subpart_proj_into_by_meta(
+        &self,
+        sp: &SubPartMeta,
+        scratch: &mut ProjScratch,
+    ) -> io::Result<()> {
+        scratch.reset(self.m, sp.count as usize);
+        self.decode_proj_records(sp.proj_off as usize, sp.count as usize, scratch)?;
+        debug_assert_eq!(scratch.ids.len(), sp.count as usize);
+        debug_assert_eq!(scratch.rows.len(), sp.count as usize * self.m);
         Ok(())
     }
 
     /// Reads a sub-partition's projected records: `(id, projected vector)`.
+    ///
+    /// Compatibility wrapper over the arena path; allocates one `Vec` per
+    /// record. Hot paths should use [`Self::read_subpart_proj_into`].
     pub fn read_subpart_proj(&self, sub: u32) -> io::Result<Vec<(u64, Vec<f32>)>> {
         let sp = &self.subparts[sub as usize];
         self.read_subpart_proj_by_meta(sp)
     }
 
-    /// As [`Self::read_subpart_proj`] but from a metadata reference
-    /// (used during construction before `self.subparts` is final).
+    /// As [`Self::read_subpart_proj`] but from a metadata reference.
     pub fn read_subpart_proj_by_meta(&self, sp: &SubPartMeta) -> io::Result<Vec<(u64, Vec<f32>)>> {
-        let rec = 8 + 4 * self.m;
-        let blob = read_blob_range(
-            &self.pager,
-            self.proj_region.0,
-            sp.proj_off as usize,
-            sp.count as usize * rec,
-        )?;
-        let mut pos = 0;
-        let mut out = Vec::with_capacity(sp.count as usize);
-        for _ in 0..sp.count {
-            let id = enc::get_u64(&blob, &mut pos);
-            let v = enc::get_f32s(&blob, &mut pos, self.m);
-            out.push((id, v));
-        }
-        Ok(out)
+        let mut scratch = ProjScratch::new();
+        self.read_subpart_proj_into_by_meta(sp, &mut scratch)?;
+        Ok((0..scratch.len())
+            .map(|i| (scratch.id(i), scratch.row(i).to_vec()))
+            .collect())
     }
 
-    /// Fetches a single projected record `(id, projected vector)` — used by
-    /// Quick-Probe to read the located point and turn its projected distance
-    /// into the searching range.
-    pub fn fetch_proj_record(&self, sub: u32, offset: u32) -> io::Result<(u64, Vec<f32>)> {
+    /// Streams `count` projected records starting at byte `start` of the
+    /// projected region into `scratch`, straight from the covering pages.
+    /// Fields (an 8-byte id, then `m` 4-byte floats per record) may straddle
+    /// page boundaries; a partial field is staged in a small word buffer.
+    fn decode_proj_records(
+        &self,
+        start: usize,
+        count: usize,
+        scratch: &mut ProjScratch,
+    ) -> io::Result<()> {
+        let m = self.m;
+        let rec = 8 + 4 * m;
+        // Field currently being assembled: `need` is 8 while expecting an
+        // id, 4 while expecting one of the record's `floats_left` floats.
+        let mut field = [0u8; 8];
+        let mut have = 0usize;
+        let mut need = 8usize;
+        let mut floats_left = 0usize;
+        let ids = &mut scratch.ids;
+        let rows = &mut scratch.rows;
+        let mut pages = PageCursor::new(&self.pager, self.proj_region.0);
+        pages.walk(start, count * rec, |mut chunk| {
+            while !chunk.is_empty() {
+                // Bulk path: decode whole floats straight off the page.
+                if have == 0 && need == 4 && chunk.len() >= 4 {
+                    let take = floats_left.min(chunk.len() / 4);
+                    for c in chunk[..take * 4].chunks_exact(4) {
+                        rows.push(f32::from_le_bytes(c.try_into().expect("4-byte chunk")));
+                    }
+                    floats_left -= take;
+                    if floats_left == 0 {
+                        need = 8;
+                    }
+                    chunk = &chunk[take * 4..];
+                    continue;
+                }
+                // Bulk path: a whole id inside the chunk.
+                if have == 0 && need == 8 && chunk.len() >= 8 {
+                    ids.push(u64::from_le_bytes(
+                        chunk[..8].try_into().expect("8-byte id"),
+                    ));
+                    floats_left = m;
+                    need = 4;
+                    chunk = &chunk[8..];
+                    continue;
+                }
+                // Straddle path: stage bytes until the field completes.
+                let take = (need - have).min(chunk.len());
+                field[have..have + take].copy_from_slice(&chunk[..take]);
+                have += take;
+                chunk = &chunk[take..];
+                if have < need {
+                    continue; // chunk exhausted mid-field
+                }
+                if need == 8 {
+                    ids.push(u64::from_le_bytes(field));
+                    floats_left = m;
+                    need = 4;
+                } else {
+                    rows.push(f32::from_le_bytes(
+                        field[..4].try_into().expect("4-byte word"),
+                    ));
+                    floats_left -= 1;
+                    if floats_left == 0 {
+                        need = 8;
+                    }
+                }
+                have = 0;
+            }
+        })?;
+        debug_assert_eq!(have, 0, "record stream ends on a field boundary");
+        Ok(())
+    }
+
+    /// Decodes a single projected record into `scratch` (which afterwards
+    /// holds exactly that record at index 0) — used by Quick-Probe to read
+    /// the located point without allocating a blob per query.
+    pub fn fetch_proj_record_into(
+        &self,
+        sub: u32,
+        offset: u32,
+        scratch: &mut ProjScratch,
+    ) -> io::Result<()> {
         let sp = &self.subparts[sub as usize];
         debug_assert!(offset < sp.count);
         let rec = 8 + 4 * self.m;
-        let bytes = read_blob_range(
-            &self.pager,
-            self.proj_region.0,
-            sp.proj_off as usize + offset as usize * rec,
-            rec,
-        )?;
-        let mut pos = 0;
-        let id = enc::get_u64(&bytes, &mut pos);
-        Ok((id, enc::get_f32s(&bytes, &mut pos, self.m)))
+        scratch.reset(self.m, 1);
+        self.decode_proj_records(sp.proj_off as usize + offset as usize * rec, 1, scratch)
+    }
+
+    /// Fetches a single projected record `(id, projected vector)`.
+    ///
+    /// Compatibility wrapper over [`Self::fetch_proj_record_into`];
+    /// allocates the returned vector.
+    pub fn fetch_proj_record(&self, sub: u32, offset: u32) -> io::Result<(u64, Vec<f32>)> {
+        let mut scratch = ProjScratch::new();
+        self.fetch_proj_record_into(sub, offset, &mut scratch)?;
+        Ok((scratch.id(0), scratch.row(0).to_vec()))
     }
 
     // --- Original-vector fetches ------------------------------------------
@@ -290,38 +534,25 @@ impl IDistanceIndex {
     ) -> io::Result<()> {
         let sp = &self.subparts[sub as usize];
         let rec = 4 * self.d;
-        let ps = self.pager.page_size();
         let base = sp.orig_off as usize;
         arena.clear();
         arena.reserve(offsets.len() * self.d);
 
-        let mut cur: Option<(u64, Arc<PageBuf>)> = None;
+        let mut pages = PageCursor::new(&self.pager, self.orig_region.0);
         // Partial f32 carried across a page boundary (only possible when the
         // page size is not a multiple of 4; real configurations never hit it).
         let mut word = [0u8; 4];
         let mut have = 0usize;
         for &o in offsets {
             debug_assert!(o < sp.count, "offset out of range");
-            let start = base + o as usize * rec;
-            let mut cursor = start;
-            let end = start + rec;
-            while cursor < end {
-                let pid = (cursor / ps) as u64;
-                if cur.as_ref().map(|c| c.0) != Some(pid) {
-                    cur = Some((pid, self.pager.read(self.orig_region.0 + pid)?));
-                }
-                let slice = cur.as_ref().expect("page just loaded").1.as_slice();
-                let in_page = cursor % ps;
-                let n = (ps - in_page).min(end - cursor);
-                let mut chunk = &slice[in_page..in_page + n];
-                cursor += n;
+            pages.walk(base + o as usize * rec, rec, |mut chunk| {
                 if have > 0 {
                     let need = (4 - have).min(chunk.len());
                     word[have..have + need].copy_from_slice(&chunk[..need]);
                     have += need;
                     chunk = &chunk[need..];
                     if have < 4 {
-                        continue; // page exhausted while the word is partial
+                        return; // chunk exhausted while the word is partial
                     }
                     arena.push(f32::from_le_bytes(word));
                 }
@@ -332,7 +563,7 @@ impl IDistanceIndex {
                 let rem = &chunk[whole..];
                 word[..rem.len()].copy_from_slice(rem);
                 have = rem.len();
-            }
+            })?;
             debug_assert_eq!(have, 0, "record length is a multiple of 4 bytes");
         }
         Ok(())

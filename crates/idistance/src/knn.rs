@@ -20,7 +20,7 @@ use std::io;
 
 use promips_linalg::dist;
 
-use crate::index::{IDistanceIndex, RangeCandidate};
+use crate::index::{IDistanceIndex, ProjScratch, RangeCandidate};
 
 enum Entry {
     SubPart(u32),
@@ -61,6 +61,10 @@ pub struct NnIter<'a> {
     heap: BinaryHeap<HeapItem>,
     seq: u64,
     error: Option<io::Error>,
+    /// Reused across sub-partition expansions, so steady-state iteration
+    /// performs no per-record decode allocation (same arena discipline as
+    /// the range scan).
+    scratch: ProjScratch,
 }
 
 impl<'a> NnIter<'a> {
@@ -83,6 +87,7 @@ impl<'a> NnIter<'a> {
             heap,
             seq,
             error: None,
+            scratch: ProjScratch::new(),
         }
     }
 
@@ -103,22 +108,26 @@ impl Iterator for NnIter<'_> {
             match item.entry {
                 Entry::Point(cand) => return Some(cand),
                 Entry::SubPart(sub) => {
-                    let records = match self.index.read_subpart_proj(sub) {
-                        Ok(r) => r,
-                        Err(e) => {
-                            self.error = Some(e);
-                            return None;
-                        }
-                    };
-                    for (offset, (id, pv)) in records.into_iter().enumerate() {
-                        let pd = dist(&pv, &self.pq);
-                        debug_assert!(
-                            pd >= item.dist - 1e-9,
-                            "point closer than sub-partition bound"
-                        );
-                        self.heap.push(HeapItem {
+                    if let Err(e) = self.index.read_subpart_proj_into(sub, &mut self.scratch) {
+                        self.error = Some(e);
+                        return None;
+                    }
+                    // Distances come from the same blocked sq_dist4 pass the
+                    // range scan uses, so both paths agree bit-for-bit on a
+                    // point's projected distance.
+                    let Self {
+                        heap,
+                        seq,
+                        scratch,
+                        pq,
+                        ..
+                    } = self;
+                    let bound = item.dist;
+                    scratch.for_each_dist(pq, |offset, id, pd| {
+                        debug_assert!(pd >= bound - 1e-9, "point closer than sub-partition bound");
+                        heap.push(HeapItem {
                             dist: pd,
-                            seq: self.seq,
+                            seq: *seq,
                             entry: Entry::Point(RangeCandidate {
                                 id,
                                 proj_dist: pd,
@@ -126,8 +135,8 @@ impl Iterator for NnIter<'_> {
                                 offset: offset as u32,
                             }),
                         });
-                        self.seq += 1;
-                    }
+                        *seq += 1;
+                    });
                 }
             }
         }

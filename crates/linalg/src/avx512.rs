@@ -188,6 +188,47 @@ unsafe fn dot4_body(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -
     out
 }
 
+#[target_feature(enable = "avx512f")]
+unsafe fn sq_dist4_body(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 4] {
+    debug_assert!(
+        a0.len() == b.len() && a1.len() == b.len() && a2.len() == b.len() && a3.len() == b.len(),
+        "sq_dist4: dimension mismatch"
+    );
+    // Soundness: clamp to the shortest operand (see dot_body).
+    let n = b
+        .len()
+        .min(a0.len())
+        .min(a1.len())
+        .min(a2.len())
+        .min(a3.len());
+    let bp = b.as_ptr();
+    let rows = [a0.as_ptr(), a1.as_ptr(), a2.as_ptr(), a3.as_ptr()];
+    // One widened load of `b` feeds four sub+FMA chains.
+    let mut acc = [_mm512_setzero_pd(); 4];
+    let chunks = n / 8;
+    for i in 0..chunks {
+        let vb = widen8(bp.add(i * 8));
+        for (r, &rp) in rows.iter().enumerate() {
+            let d = _mm512_sub_pd(widen8(rp.add(i * 8)), vb);
+            acc[r] = _mm512_fmadd_pd(d, d, acc[r]);
+        }
+    }
+    let mut out = [
+        _mm512_reduce_add_pd(acc[0]),
+        _mm512_reduce_add_pd(acc[1]),
+        _mm512_reduce_add_pd(acc[2]),
+        _mm512_reduce_add_pd(acc[3]),
+    ];
+    for i in chunks * 8..n {
+        let x = *bp.add(i) as f64;
+        for (r, &rp) in rows.iter().enumerate() {
+            let d = *rp.add(i) as f64 - x;
+            out[r] += d * d;
+        }
+    }
+    out
+}
+
 // Safe wrappers installed into the dispatch table. Soundness: the table
 // selects these only after runtime detection of avx512f (see
 // `dispatch::select`).
@@ -210,4 +251,8 @@ pub(crate) fn norm1(a: &[f32]) -> f64 {
 
 pub(crate) fn dot4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 4] {
     unsafe { dot4_body(a0, a1, a2, a3, b) }
+}
+
+pub(crate) fn sq_dist4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 4] {
+    unsafe { sq_dist4_body(a0, a1, a2, a3, b) }
 }

@@ -34,7 +34,8 @@ use std::sync::OnceLock;
 
 use crate::scalar;
 
-/// Signature of the blocked four-row inner-product kernel.
+/// Signature of the blocked four-row kernels (`dot4`, `sq_dist4`): four rows
+/// against one shared right-hand side.
 pub type Dot4Fn = fn(&[f32], &[f32], &[f32], &[f32], &[f32]) -> [f64; 4];
 
 /// The dispatch table: one entry per kernel.
@@ -53,6 +54,8 @@ pub struct Kernels {
     pub norm1: fn(&[f32]) -> f64,
     /// Four inner products against a shared right-hand side.
     pub dot4: Dot4Fn,
+    /// Four squared Euclidean distances against a shared right-hand side.
+    pub sq_dist4: Dot4Fn,
 }
 
 /// The portable table (also the fallback backend).
@@ -63,6 +66,7 @@ pub static SCALAR: Kernels = Kernels {
     sq_norm2: scalar::sq_norm2,
     norm1: scalar::norm1,
     dot4: scalar::dot4,
+    sq_dist4: scalar::sq_dist4,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -73,6 +77,7 @@ static AVX2: Kernels = Kernels {
     sq_norm2: crate::x86::sq_norm2,
     norm1: crate::x86::norm1,
     dot4: crate::x86::dot4,
+    sq_dist4: crate::x86::sq_dist4,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -83,6 +88,7 @@ static AVX512: Kernels = Kernels {
     sq_norm2: crate::avx512::sq_norm2,
     norm1: crate::avx512::norm1,
     dot4: crate::avx512::dot4,
+    sq_dist4: crate::avx512::sq_dist4,
 };
 
 fn select() -> Kernels {

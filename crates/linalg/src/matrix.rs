@@ -107,6 +107,30 @@ impl Matrix {
         out
     }
 
+    /// Calls `f(row, ⟨row, q⟩)` for each row in `lo..hi`, scoring four
+    /// contiguous rows per blocked [`dot4`] call (scalar-kernel tail) — the
+    /// shared inner loop of the exact ground-truth scanners.
+    pub fn dot_rows(&self, lo: usize, hi: usize, q: &[f32], mut f: impl FnMut(usize, f64)) {
+        debug_assert!(lo <= hi && hi <= self.rows);
+        let mut i = lo;
+        while i + 4 <= hi {
+            let ips = dot4(
+                self.row(i),
+                self.row(i + 1),
+                self.row(i + 2),
+                self.row(i + 3),
+                q,
+            );
+            for (j, &ip) in ips.iter().enumerate() {
+                f(i + j, ip);
+            }
+            i += 4;
+        }
+        for r in i..hi {
+            f(r, dot(self.row(r), q));
+        }
+    }
+
     /// Allocation-free matrix–vector product: writes `self · x` into `out`
     /// (`out.len()` must equal the row count). Rows are processed four at a
     /// time through the register-blocked [`dot4`] kernel, so `x` is loaded

@@ -82,3 +82,19 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
 pub fn dot4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 4] {
     [dot(a0, b), dot(a1, b), dot(a2, b), dot(a3, b)]
 }
+
+/// Four simultaneous squared distances `dis²(aᵢ, b)` — the blocked primitive
+/// behind the projected-arena annulus scan, where four contiguous rows are
+/// filtered against one projected query per call. All five slices must have
+/// equal length.
+///
+/// Like [`dot4`], the portable version runs the well-shaped single-row
+/// kernel four times rather than interleaving the accumulations.
+pub fn sq_dist4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 4] {
+    [
+        sq_dist(a0, b),
+        sq_dist(a1, b),
+        sq_dist(a2, b),
+        sq_dist(a3, b),
+    ]
+}

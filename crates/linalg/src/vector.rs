@@ -55,6 +55,14 @@ pub fn dot4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 
     (kernels().dot4)(a0, a1, a2, a3, b)
 }
 
+/// Four squared distances `dis²(aᵢ, b)` sharing one pass over `b` — the
+/// blocked primitive behind the projected-arena annulus scan (four
+/// contiguous decoded rows filtered against one projected query per call).
+#[inline]
+pub fn sq_dist4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 4] {
+    (kernels().sq_dist4)(a0, a1, a2, a3, b)
+}
+
 /// Element-wise difference `a − b` into a fresh vector.
 pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
     debug_assert_eq!(a.len(), b.len());
@@ -105,6 +113,22 @@ mod tests {
         let got = dot4(&rows[0], &rows[1], &rows[2], &rows[3], &b);
         for r in 0..4 {
             let want = dot(&rows[r], &b);
+            assert!(
+                (got[r] - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn sq_dist4_matches_four_sq_dists() {
+        let rows: Vec<Vec<f32>> = (0..4)
+            .map(|r| (0..13).map(|i| (r * 13 + i) as f32 * 0.25 - 3.0).collect())
+            .collect();
+        let b: Vec<f32> = (0..13).map(|i| (i as f32).cos()).collect();
+        let got = sq_dist4(&rows[0], &rows[1], &rows[2], &rows[3], &b);
+        for r in 0..4 {
+            let want = sq_dist(&rows[r], &b);
             assert!(
                 (got[r] - want).abs() <= 1e-9 * (1.0 + want.abs()),
                 "row {r}"
@@ -217,6 +241,23 @@ mod tests {
                 let want = scalar::dot4(&cols[0], &cols[1], &cols[2], &cols[3], &cols[4]);
                 for k in available_backends() {
                     let got = (k.dot4)(&cols[0], &cols[1], &cols[2], &cols[3], &cols[4]);
+                    for r in 0..4 {
+                        prop_assert!(close(got[r], want[r]), "backend {} row {}", k.name, r);
+                    }
+                }
+            }
+
+            #[test]
+            fn sq_dist4_parity(v in proptest::collection::vec(
+                (-1e2f32..1e2, -1e2f32..1e2, -1e2f32..1e2, -1e2f32..1e2, -1e2f32..1e2),
+                0..150,
+            )) {
+                let cols: Vec<Vec<f32>> = (0..5)
+                    .map(|c| v.iter().map(|t| [t.0, t.1, t.2, t.3, t.4][c]).collect())
+                    .collect();
+                let want = scalar::sq_dist4(&cols[0], &cols[1], &cols[2], &cols[3], &cols[4]);
+                for k in available_backends() {
+                    let got = (k.sq_dist4)(&cols[0], &cols[1], &cols[2], &cols[3], &cols[4]);
                     for r in 0..4 {
                         prop_assert!(close(got[r], want[r]), "backend {} row {}", k.name, r);
                     }

@@ -226,6 +226,48 @@ unsafe fn dot4_body(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -
     out
 }
 
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sq_dist4_body(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 4] {
+    debug_assert!(
+        a0.len() == b.len() && a1.len() == b.len() && a2.len() == b.len() && a3.len() == b.len(),
+        "sq_dist4: dimension mismatch"
+    );
+    // Soundness: clamp to the shortest operand (see dot_body).
+    let n = b
+        .len()
+        .min(a0.len())
+        .min(a1.len())
+        .min(a2.len())
+        .min(a3.len());
+    let bp = b.as_ptr();
+    let rows = [a0.as_ptr(), a1.as_ptr(), a2.as_ptr(), a3.as_ptr()];
+    // One widened load of `b` feeds four sub+FMA chains — the same
+    // register-blocking as dot4, paying the query conversion once per block.
+    let mut acc = [_mm256_setzero_pd(); 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let vb = _mm256_cvtps_pd(_mm_loadu_ps(bp.add(i * 4)));
+        for (r, &rp) in rows.iter().enumerate() {
+            let d = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(rp.add(i * 4))), vb);
+            acc[r] = _mm256_fmadd_pd(d, d, acc[r]);
+        }
+    }
+    let mut out = [
+        hsum_pd(acc[0]),
+        hsum_pd(acc[1]),
+        hsum_pd(acc[2]),
+        hsum_pd(acc[3]),
+    ];
+    for i in chunks * 4..n {
+        let x = *bp.add(i) as f64;
+        for (r, &rp) in rows.iter().enumerate() {
+            let d = *rp.add(i) as f64 - x;
+            out[r] += d * d;
+        }
+    }
+    out
+}
+
 // Safe wrappers installed into the dispatch table. Soundness: the table
 // selects these only after runtime detection of avx2+fma (see
 // `dispatch::select`), so the target-feature preconditions always hold.
@@ -248,4 +290,8 @@ pub(crate) fn norm1(a: &[f32]) -> f64 {
 
 pub(crate) fn dot4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 4] {
     unsafe { dot4_body(a0, a1, a2, a3, b) }
+}
+
+pub(crate) fn sq_dist4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], b: &[f32]) -> [f64; 4] {
+    unsafe { sq_dist4_body(a0, a1, a2, a3, b) }
 }

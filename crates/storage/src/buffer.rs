@@ -1,9 +1,19 @@
-//! A small LRU buffer pool.
+//! A lock-striped LRU buffer pool.
 //!
 //! The paper delegates caching to the operating system; we model the cache
 //! explicitly so experiments can distinguish logical page accesses (the
 //! Fig. 7 metric) from physical I/O, and so cold-cache runs are reproducible
 //! regardless of host page-cache state.
+//!
+//! The pool is **sharded**: page ids map to `id % num_shards`, each shard
+//! owns an independent mutex, hash map and LRU chain, and the total capacity
+//! is split across shards. Concurrent `search_batch` workers therefore only
+//! contend when they touch the same stripe, instead of convoying on one
+//! global lock. Consecutive page ids — the access pattern of blob scans —
+//! land on consecutive shards, spreading a sequential read across every
+//! stripe. Eviction is LRU *per shard*: a skewed workload can evict from a
+//! hot stripe while a cold stripe has room, which is the standard trade a
+//! striped cache makes for lock scalability.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -11,6 +21,11 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::page::{PageBuf, PageId};
+
+/// Default shard count for [`BufferPool::new`]. Sixteen stripes cost ~1 KB
+/// of mutexes and are enough to make same-stripe collisions rare at the
+/// worker counts `search_batch` spawns (one per core).
+pub const DEFAULT_SHARDS: usize = 16;
 
 /// Doubly-linked-list node indices for the LRU chain (indices into `slots`).
 const NIL: usize = usize::MAX;
@@ -31,44 +46,87 @@ struct Inner {
     capacity: usize,
 }
 
-/// A fixed-capacity LRU cache of immutable page snapshots.
+impl Inner {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+}
+
+/// A fixed-capacity, lock-striped LRU cache of immutable page snapshots.
 ///
 /// Pages are shared via `Arc`, so an evicted page that a reader still holds
 /// stays alive until the reader drops it — eviction can never invalidate a
-/// borrow.
+/// borrow. The sum of shard capacities equals the requested capacity, so the
+/// pool as a whole never holds more than `capacity` pages.
 pub struct BufferPool {
-    inner: Mutex<Inner>,
+    shards: Box<[Mutex<Inner>]>,
+    capacity: usize,
 }
 
 impl BufferPool {
-    /// Creates a pool holding at most `capacity` pages (minimum 1).
+    /// Creates a pool holding at most `capacity` pages (minimum 1), striped
+    /// across [`DEFAULT_SHARDS`] shards (fewer when `capacity` is smaller,
+    /// so every shard can hold at least one page).
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a pool with an explicit shard count (clamped to
+    /// `1..=capacity`). `with_shards(capacity, 1)` reproduces a single
+    /// global-LRU pool — tests and the contention benchmark use it as the
+    /// unsharded baseline.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
         let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        // Split capacity as evenly as possible; the first `capacity % shards`
+        // stripes take the remainder so the total is exact.
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        let inners: Vec<Mutex<Inner>> = (0..shards)
+            .map(|i| Mutex::new(Inner::with_capacity(base + usize::from(i < extra))))
+            .collect();
         Self {
-            inner: Mutex::new(Inner {
-                map: HashMap::with_capacity(capacity),
-                slots: Vec::with_capacity(capacity),
-                free: Vec::new(),
-                head: NIL,
-                tail: NIL,
-                capacity,
-            }),
+            shards: inners.into_boxed_slice(),
+            capacity,
         }
     }
 
-    /// Looks up a page, promoting it to most-recently-used on hit.
+    /// Total page capacity (sum across shards).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard(&self, id: PageId) -> &Mutex<Inner> {
+        &self.shards[(id % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a page, promoting it to most-recently-used on hit. Only the
+    /// page's stripe is locked.
     pub fn get(&self, id: PageId) -> Option<Arc<PageBuf>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(id).lock();
         let &slot_idx = inner.map.get(&id)?;
         inner.unlink(slot_idx);
         inner.push_front(slot_idx);
         Some(Arc::clone(&inner.slots[slot_idx].page))
     }
 
-    /// Inserts (or replaces) a page, evicting the least-recently-used entry
-    /// if the pool is full.
+    /// Inserts (or replaces) a page, evicting the stripe's least-recently-
+    /// used entry if the stripe is full.
     pub fn insert(&self, id: PageId, page: Arc<PageBuf>) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(id).lock();
         if let Some(&slot_idx) = inner.map.get(&id) {
             inner.slots[slot_idx].page = page;
             inner.unlink(slot_idx);
@@ -104,9 +162,9 @@ impl BufferPool {
         inner.push_front(slot_idx);
     }
 
-    /// Number of cached pages.
+    /// Number of cached pages (sums the stripes; not atomic across them).
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Whether the pool is empty.
@@ -116,12 +174,14 @@ impl BufferPool {
 
     /// Drops all cached pages.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.slots.clear();
-        inner.free.clear();
-        inner.head = NIL;
-        inner.tail = NIL;
+        for shard in self.shards.iter() {
+            let mut inner = shard.lock();
+            inner.map.clear();
+            inner.slots.clear();
+            inner.free.clear();
+            inner.head = NIL;
+            inner.tail = NIL;
+        }
     }
 }
 
@@ -177,8 +237,9 @@ mod tests {
     }
 
     #[test]
-    fn lru_eviction_order() {
-        let pool = BufferPool::new(2);
+    fn lru_eviction_order_single_shard() {
+        // One stripe gives the classic global-LRU behaviour.
+        let pool = BufferPool::with_shards(2, 1);
         pool.insert(1, page(1));
         pool.insert(2, page(2));
         // Touch 1 so 2 becomes LRU.
@@ -187,6 +248,41 @@ mod tests {
         assert!(pool.get(2).is_none(), "2 should have been evicted");
         assert!(pool.get(1).is_some());
         assert!(pool.get(3).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_order_within_a_stripe() {
+        // Ids that are congruent mod num_shards share a stripe, so the LRU
+        // discipline applies among them exactly as in the unsharded pool.
+        let pool = BufferPool::new(16);
+        let n = pool.num_shards() as u64;
+        assert_eq!(pool.capacity() / pool.num_shards(), 1);
+        pool.insert(0, page(1)); // stripe 0, fills its single slot
+        pool.insert(n, page(2)); // stripe 0 again → evicts 0
+        assert!(pool.get(0).is_none(), "0 should have been evicted");
+        assert_eq!(pool.get(n).unwrap().as_slice()[0], 2);
+        // A different stripe is untouched by stripe 0's churn.
+        pool.insert(1, page(3));
+        pool.insert(2 * n, page(4)); // stripe 0 churns again
+        assert!(pool.get(1).is_some(), "stripe 1 must be unaffected");
+    }
+
+    #[test]
+    fn capacity_splits_exactly_across_shards() {
+        for cap in [1usize, 2, 5, 16, 17, 100] {
+            let pool = BufferPool::new(cap);
+            assert_eq!(pool.capacity(), cap);
+            assert!(pool.num_shards() <= cap.max(1));
+            // Overfill every stripe; the pool must never exceed capacity.
+            for id in 0..(cap as u64 * 4) {
+                pool.insert(id, page((id % 251) as u8));
+            }
+            assert!(
+                pool.len() <= cap,
+                "cap {cap}: len {} exceeds capacity",
+                pool.len()
+            );
+        }
     }
 
     #[test]
@@ -202,6 +298,7 @@ mod tests {
     fn clear_empties_pool() {
         let pool = BufferPool::new(4);
         pool.insert(1, page(1));
+        pool.insert(2, page(2));
         pool.clear();
         assert!(pool.is_empty());
         assert!(pool.get(1).is_none());
@@ -213,6 +310,7 @@ mod tests {
     #[test]
     fn capacity_one_pool() {
         let pool = BufferPool::new(1);
+        assert_eq!(pool.num_shards(), 1);
         for i in 0..10u8 {
             pool.insert(i as PageId, page(i));
             assert_eq!(pool.get(i as PageId).unwrap().as_slice()[0], i);
@@ -231,5 +329,35 @@ mod tests {
             }
         }
         assert!(pool.len() <= 16);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_consistent() {
+        // Multi-threaded stress: every thread inserts and reads tagged pages
+        // over a shared striped pool. A get must either miss or return the
+        // exact page content for that id, and the pool must never exceed its
+        // total capacity.
+        let pool = Arc::new(BufferPool::new(32));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for round in 0..2_000u64 {
+                        let id = (round * 7 + t * 13) % 96;
+                        pool.insert(id, page((id % 251) as u8));
+                        let probe = (round * 11 + t) % 96;
+                        if let Some(p) = pool.get(probe) {
+                            assert_eq!(
+                                p.as_slice()[0],
+                                (probe % 251) as u8,
+                                "stale or cross-wired page for id {probe}"
+                            );
+                        }
+                        assert!(pool.len() <= 32, "capacity exceeded");
+                    }
+                });
+            }
+        });
+        assert!(pool.len() <= 32);
     }
 }

@@ -8,8 +8,10 @@
 //! * [`page`]: page identifiers and a fixed-size page buffer;
 //! * [`pager`]: the [`pager::Storage`] trait with file-backed and in-memory
 //!   implementations;
-//! * [`buffer`]: an LRU buffer pool (the paper relies on OS buffering; we
-//!   model it explicitly so cold/warm behaviour is measurable);
+//! * [`buffer`]: a lock-striped LRU buffer pool (the paper relies on OS
+//!   buffering; we model it explicitly so cold/warm behaviour is
+//!   measurable, and stripe it so parallel query workers don't convoy on
+//!   one cache mutex);
 //! * [`metrics`]: shared logical/physical access counters.
 //!
 //! Page sizes follow the paper: 4 KB for Netflix/Yahoo/Sift-like data and
@@ -20,7 +22,7 @@ pub mod metrics;
 pub mod page;
 pub mod pager;
 
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, DEFAULT_SHARDS};
 pub use metrics::{AccessStats, AccessStatsSnapshot};
 pub use page::{PageBuf, PageId, PAGE_SIZE_DEFAULT, PAGE_SIZE_LARGE};
 pub use pager::{FileStorage, MemStorage, Pager, Storage};

@@ -179,12 +179,29 @@ pub struct Pager {
 }
 
 impl Pager {
-    /// Wraps a storage device with a buffer pool of `capacity` pages.
+    /// Wraps a storage device with a buffer pool of `capacity` pages,
+    /// striped across the default shard count (see
+    /// [`crate::buffer::DEFAULT_SHARDS`]).
     pub fn new(storage: Arc<dyn Storage>, capacity: usize, stats: Arc<AccessStats>) -> Self {
-        let pool = BufferPool::new(capacity);
         Self {
             storage,
-            pool,
+            pool: BufferPool::new(capacity),
+            stats,
+        }
+    }
+
+    /// As [`Pager::new`] with an explicit buffer-pool shard count — `1`
+    /// reproduces the old single-mutex pool (the contention benchmark's
+    /// baseline).
+    pub fn with_pool_shards(
+        storage: Arc<dyn Storage>,
+        capacity: usize,
+        shards: usize,
+        stats: Arc<AccessStats>,
+    ) -> Self {
+        Self {
+            storage,
+            pool: BufferPool::with_shards(capacity, shards),
             stats,
         }
     }
@@ -334,6 +351,53 @@ mod tests {
         let snap = pager.stats().snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.cache_misses, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_get_correct_pages_within_capacity() {
+        // Stress the striped pool through the full pager path: many threads
+        // read a page set larger than the pool, so stripes churn constantly.
+        // Every read must return the page's own content, and the cache must
+        // never hold more pages than its total capacity.
+        for shards in [1usize, 4, 16] {
+            let storage = Arc::new(MemStorage::new(64));
+            let pool_pages = 24;
+            let pager = Arc::new(Pager::with_pool_shards(
+                storage,
+                pool_pages,
+                shards,
+                AccessStats::new_shared(),
+            ));
+            let n_pages = 200u64;
+            for i in 0..n_pages {
+                let mut b = PageBuf::zeroed(64);
+                b.as_mut_slice()[0] = (i % 251) as u8;
+                b.as_mut_slice()[63] = (i % 13) as u8;
+                pager.append(b).unwrap();
+            }
+            pager.clear_cache();
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let pager = Arc::clone(&pager);
+                    s.spawn(move || {
+                        for round in 0..3_000u64 {
+                            let id = (round * 31 + t * 47) % n_pages;
+                            let p = pager.read(id).unwrap();
+                            assert_eq!(p.as_slice()[0], (id % 251) as u8, "page {id}");
+                            assert_eq!(p.as_slice()[63], (id % 13) as u8, "page {id}");
+                        }
+                    });
+                }
+            });
+            let cached = pager.pool.len();
+            assert!(
+                cached <= pool_pages,
+                "shards={shards}: {cached} cached pages exceed capacity {pool_pages}"
+            );
+            let snap = pager.stats().snapshot();
+            assert_eq!(snap.logical_reads, 4 * 3_000);
+            assert_eq!(snap.cache_hits + snap.cache_misses, snap.logical_reads);
+        }
     }
 
     #[test]
