@@ -18,6 +18,7 @@ use promips_idistance::layout::{enc, read_blob_range};
 use promips_idistance::{build_index, IDistanceConfig, ProjScratch, RangeCandidate};
 use promips_linalg::dispatch::available_backends;
 use promips_linalg::{active_backend, dist, dot, norm1, scalar, sq_dist, sq_norm2, Matrix};
+use promips_shard::{ShardedConfig, ShardedProMips, ShardedScratch};
 use promips_stats::Xoshiro256pp;
 use promips_storage::{AccessStats, MemStorage, PageBuf, Pager};
 
@@ -357,6 +358,59 @@ fn main() {
     }) / nq as f64;
     println!("  search_batch_{threads}t (per query): {batch_ns:.1} ns");
 
+    // --- sharded fan-out: 1 / 4 / 16 norm-range shards ----------------------
+    // Norm-skewed rows (log-uniform scales over ~3 decades) — the regime
+    // where norm-range partitioning and Cauchy–Schwarz shard pruning bite;
+    // i.i.d. Gaussian rows concentrate all norms near √d and never prune.
+    let shard_data = promips_data::gen::norm_skewed(n, D, 61);
+    let shard_queries = random_matrix(nq, D, 71);
+    let mut shard_rows: Vec<(String, Json)> = Vec::new();
+    let mut one_shard_ns = f64::NAN;
+    for &shards in &[1usize, 4, 16] {
+        let cfg = ShardedConfig::builder()
+            .shards(shards)
+            .base(ProMipsConfig::builder().c(0.9).p(0.5).seed(77).build())
+            .build();
+        let sharded = ShardedProMips::build_in_memory(&shard_data, cfg).expect("sharded build");
+        let mut scratch = ShardedScratch::for_index(&sharded);
+        let mut pruned = 0usize;
+        let mut verified = 0usize;
+        for i in 0..nq {
+            let res = sharded
+                .search_with_scratch(shard_queries.row(i), k, &mut scratch)
+                .unwrap();
+            pruned += res.shards_pruned();
+            verified += res.verified;
+        }
+        let fan_ns = ns_per_op(|| {
+            for i in 0..nq {
+                std::hint::black_box(
+                    sharded
+                        .search_with_scratch(shard_queries.row(i), k, &mut scratch)
+                        .unwrap(),
+                );
+            }
+        }) / nq as f64;
+        if shards == 1 {
+            one_shard_ns = fan_ns;
+        }
+        let pruned_avg = pruned as f64 / nq as f64;
+        let verified_avg = verified as f64 / nq as f64;
+        println!(
+            "  sharded_search_{shards} (per query): {fan_ns:.1} ns  \
+             (avg {pruned_avg:.1} shards pruned, {verified_avg:.0} verified)"
+        );
+        shard_rows.push((
+            format!("shards_{shards}"),
+            Json::obj(vec![
+                ("ns_per_query", Json::Num(fan_ns)),
+                ("pruned_avg", Json::Num(pruned_avg)),
+                ("verified_avg", Json::Num(verified_avg)),
+                ("speedup_vs_1_shard", Json::Num(one_shard_ns / fan_ns)),
+            ]),
+        ));
+    }
+
     // --- artifact -----------------------------------------------------------
     let json = Json::obj(vec![
         ("schema", Json::Str("promips-bench-kernels-v1".into())),
@@ -415,6 +469,17 @@ fn main() {
                 ("sequential_ns_per_query", Json::Num(seq_ns)),
                 ("batch_ns_per_query", Json::Num(batch_ns)),
                 ("speedup", Json::Num(seq_ns / batch_ns)),
+            ]),
+        ),
+        (
+            "sharded_fanout",
+            Json::obj(vec![
+                ("n", Json::Num(n as f64)),
+                ("d", Json::Num(D as f64)),
+                ("queries", Json::Num(nq as f64)),
+                ("k", Json::Num(k as f64)),
+                ("partitioner", Json::Str("norm-range (skewed norms)".into())),
+                ("per_shard_count", Json::Obj(shard_rows.clone())),
             ]),
         ),
     ]);

@@ -3,18 +3,25 @@
 use std::io;
 use std::sync::Arc;
 
-use promips_storage::{PageId, Pager};
+use promips_storage::{PageBuf, PageId, Pager};
 
-use crate::node::{Node, NIL_PAGE};
+use crate::node::{entry_at, NodeView, NIL_PAGE};
 
 /// Iterator over `(key, value)` pairs with `lo <= key <= hi`, in key order.
 ///
-/// The iterator decodes one leaf at a time and follows `next` pointers;
-/// every leaf it touches is charged as a page access on the shared pager,
+/// The iterator holds the current leaf **page** and reads entries straight
+/// from it through a borrowed [`NodeView`] — no per-leaf `Vec` of decoded
+/// entries, so range scans allocate nothing once the pages are cached
+/// (asserted by the counting-allocator test in `promips_idistance`). Every
+/// leaf it touches is charged as a page access on the shared pager,
 /// mirroring how a disk scan would behave.
 pub struct RangeIter {
     pager: Arc<Pager>,
-    entries: Vec<(u64, u64)>,
+    /// The current leaf page (`None` once the scan is exhausted). Holding
+    /// the `Arc` keeps the page alive even if the pool evicts it.
+    page: Option<Arc<PageBuf>>,
+    /// Entry count of the current leaf (cached from the header).
+    count: usize,
     pos: usize,
     next_leaf: PageId,
     lo: u64,
@@ -26,7 +33,8 @@ impl RangeIter {
     pub(crate) fn new(pager: Arc<Pager>, start_leaf: PageId, lo: u64, hi: u64) -> io::Result<Self> {
         let mut iter = Self {
             pager,
-            entries: Vec::new(),
+            page: None,
+            count: 0,
             pos: 0,
             next_leaf: start_leaf,
             lo,
@@ -36,37 +44,45 @@ impl RangeIter {
         if !iter.done {
             iter.load_next_leaf()?;
             // Skip entries below `lo` in the first leaf.
-            iter.pos = iter.entries.partition_point(|&(k, _)| k < lo);
+            iter.pos = iter.view().map_or(0, |v| v.lower_bound(lo));
             // The strict-descend rule can land one leaf early when the whole
             // leaf is below `lo`; advance until a usable entry or exhaustion.
-            while !iter.done && iter.pos >= iter.entries.len() {
+            while !iter.done && iter.pos >= iter.count {
                 iter.load_next_leaf()?;
-                iter.pos = iter.entries.partition_point(|&(k, _)| k < lo);
+                iter.pos = iter.view().map_or(0, |v| v.lower_bound(lo));
             }
         }
         Ok(iter)
     }
 
+    /// The borrowed view of the current leaf page, if any.
+    fn view(&self) -> Option<NodeView<'_>> {
+        self.page
+            .as_deref()
+            .map(|p| NodeView::parse(p.as_slice()).expect("leaf page validated on load"))
+    }
+
     fn load_next_leaf(&mut self) -> io::Result<()> {
         if self.next_leaf == NIL_PAGE {
             self.done = true;
-            self.entries.clear();
+            self.page = None;
+            self.count = 0;
             self.pos = 0;
             return Ok(());
         }
         let page = self.pager.read(self.next_leaf)?;
-        match Node::decode(page.as_slice()) {
-            Node::Leaf { entries, next } => {
-                self.entries = entries;
-                self.pos = 0;
-                self.next_leaf = next;
-                Ok(())
-            }
-            Node::Internal { .. } => Err(io::Error::new(
+        let view = NodeView::parse(page.as_slice())?;
+        if !view.is_leaf() {
+            return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "leaf chain pointed at an internal node",
-            )),
+            ));
         }
+        self.count = view.len();
+        self.next_leaf = view.link();
+        self.pos = 0;
+        self.page = Some(page);
+        Ok(())
     }
 }
 
@@ -78,8 +94,12 @@ impl Iterator for RangeIter {
             if self.done {
                 return None;
             }
-            if self.pos < self.entries.len() {
-                let (k, v) = self.entries[self.pos];
+            if self.pos < self.count {
+                // The page was validated by NodeView::parse when it was
+                // loaded; read the entry directly instead of re-parsing
+                // the header for every yielded pair.
+                let page = self.page.as_deref().expect("position within a loaded leaf");
+                let (k, v) = entry_at(page.as_slice(), self.pos);
                 if k > self.hi {
                     self.done = true;
                     return None;
@@ -131,5 +151,22 @@ mod tests {
             t.insert(k, k).unwrap();
         }
         assert_eq!(t.range(100, u64::MAX).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn iteration_survives_cache_eviction_mid_scan() {
+        // A pool of 2 pages guarantees the current leaf is evicted while
+        // the iterator still holds it; the held Arc must keep it readable.
+        let pager = Arc::new(Pager::in_memory(64, 2));
+        let mut t = BTree::create(Arc::clone(&pager)).unwrap();
+        for k in 0..128u64 {
+            t.insert(k, k * 2).unwrap();
+        }
+        let got: Vec<(u64, u64)> = t.scan_all().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), 128);
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, &(k, v))| { k == i as u64 && v == 2 * i as u64 }));
     }
 }

@@ -24,4 +24,5 @@ pub mod tree;
 
 pub use codec::{f64_to_key, key_to_f64};
 pub use iter::RangeIter;
+pub use node::{Node, NodeView, NIL_PAGE};
 pub use tree::BTree;

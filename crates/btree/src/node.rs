@@ -18,6 +18,8 @@
 //! All integers are little-endian. The decoded form is an owned struct; the
 //! tree performs copy-on-write: read page → decode → mutate → encode → write.
 
+use std::io;
+
 use promips_storage::{PageBuf, PageId};
 
 /// Sentinel for "no page" (last leaf's next pointer).
@@ -148,6 +150,148 @@ impl Node {
     }
 }
 
+/// Reads entry `i` of an encoded node straight from page bytes, without
+/// re-validating the header. Crate-internal fast path for the leaf-chain
+/// iterator, which validates each page once (via [`NodeView::parse`]) when
+/// it loads it and then reads entries one at a time.
+#[inline]
+pub(crate) fn entry_at(bytes: &[u8], i: usize) -> (u64, u64) {
+    let off = HEADER_LEN + i * ENTRY_LEN;
+    (
+        u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()),
+        u64::from_le_bytes(bytes[off + 8..off + 16].try_into().unwrap()),
+    )
+}
+
+/// A borrowed, page-backed view of an encoded node.
+///
+/// [`Node::decode`] materializes an owned `Vec` of entries — the right
+/// shape for copy-on-write *mutation*, but a heap allocation per node on
+/// the read path. `NodeView` borrows the page bytes instead: the header is
+/// parsed on construction, entries are decoded lazily straight from the
+/// page, and nothing is allocated. The B+-tree descend and the leaf-chain
+/// range scan (the whole projected-range-search read path) ride this view,
+/// which is what makes a warm annulus scan allocation-free end to end.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView<'a> {
+    bytes: &'a [u8],
+    count: usize,
+    leaf: bool,
+    link: PageId,
+}
+
+impl<'a> NodeView<'a> {
+    /// Parses the node header; entries stay borrowed from `bytes`.
+    ///
+    /// Returns an error (instead of [`Node::decode`]'s panic) on an unknown
+    /// tag byte or an entry count that overruns the page, so a corrupt
+    /// page surfaces as `io::Error` on read paths — `parse` is the single
+    /// validation point the accessors rely on.
+    pub fn parse(bytes: &'a [u8]) -> io::Result<NodeView<'a>> {
+        if bytes.len() < HEADER_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "corrupt B+-tree page: {} bytes, header needs 16",
+                    bytes.len()
+                ),
+            ));
+        }
+        let tag = bytes[0];
+        if tag != TAG_LEAF && tag != TAG_INTERNAL {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt B+-tree page: unknown tag {tag}"),
+            ));
+        }
+        let count = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
+        if HEADER_LEN + count * ENTRY_LEN > bytes.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "corrupt B+-tree page: {count} entries overrun the {}-byte page",
+                    bytes.len()
+                ),
+            ));
+        }
+        let link = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        Ok(NodeView {
+            bytes,
+            count,
+            leaf: tag == TAG_LEAF,
+            link,
+        })
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.leaf
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the node holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Leaf: next-leaf page id ([`NIL_PAGE`] for the last leaf).
+    /// Internal: leftmost child page id.
+    pub fn link(&self) -> PageId {
+        self.link
+    }
+
+    /// Key of entry `i`.
+    #[inline]
+    pub fn key(&self, i: usize) -> u64 {
+        debug_assert!(i < self.count);
+        let off = HEADER_LEN + i * ENTRY_LEN;
+        u64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+    }
+
+    /// Entry `i` as `(key, value)` (leaf) or `(separator, child)`
+    /// (internal).
+    #[inline]
+    pub fn entry(&self, i: usize) -> (u64, u64) {
+        debug_assert!(i < self.count);
+        entry_at(self.bytes, i)
+    }
+
+    /// Index of the first entry whose key is **not less than** `key`
+    /// (binary search over the sorted key column; equivalently the number
+    /// of keys `< key`).
+    pub fn lower_bound(&self, key: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, self.count);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.key(mid) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Index of the first entry whose key is **greater than** `key` (the
+    /// number of keys `<= key`).
+    pub fn upper_bound(&self, key: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, self.count);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.key(mid) <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +349,78 @@ mod tests {
         };
         let page = node.encode(256);
         assert_eq!(Node::decode(page.as_slice()), node);
+    }
+
+    #[test]
+    fn view_agrees_with_owned_decode() {
+        let node = Node::Leaf {
+            entries: vec![(1, 10), (5, 50), (5, 51), (9, 90)],
+            next: 77,
+        };
+        let page = node.encode(4096);
+        let view = NodeView::parse(page.as_slice()).unwrap();
+        assert!(view.is_leaf());
+        assert_eq!(view.len(), 4);
+        assert_eq!(view.link(), 77);
+        for (i, &(k, v)) in [(1u64, 10u64), (5, 50), (5, 51), (9, 90)]
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(view.entry(i), (k, v));
+            assert_eq!(view.key(i), k);
+        }
+
+        let internal = Node::Internal {
+            leftmost: 3,
+            entries: vec![(100, 4), (200, 5)],
+        };
+        let page = internal.encode(4096);
+        let view = NodeView::parse(page.as_slice()).unwrap();
+        assert!(!view.is_leaf());
+        assert_eq!(view.link(), 3);
+        assert_eq!(view.entry(1), (200, 5));
+    }
+
+    #[test]
+    fn view_bounds_match_partition_point() {
+        let entries: Vec<(u64, u64)> = vec![(2, 0), (4, 1), (4, 2), (4, 3), (9, 4), (12, 5)];
+        let node = Node::Leaf {
+            entries: entries.clone(),
+            next: NIL_PAGE,
+        };
+        let page = node.encode(4096);
+        let view = NodeView::parse(page.as_slice()).unwrap();
+        for probe in 0..15u64 {
+            assert_eq!(
+                view.lower_bound(probe),
+                entries.partition_point(|&(k, _)| k < probe),
+                "lower_bound({probe})"
+            );
+            assert_eq!(
+                view.upper_bound(probe),
+                entries.partition_point(|&(k, _)| k <= probe),
+                "upper_bound({probe})"
+            );
+        }
+    }
+
+    #[test]
+    fn view_rejects_corrupt_tag() {
+        let mut page = PageBuf::zeroed(256);
+        page.as_mut_slice()[0] = 9; // neither leaf nor internal
+        assert!(NodeView::parse(page.as_slice()).is_err());
+    }
+
+    #[test]
+    fn view_rejects_overrunning_count() {
+        // Bit-rotted count: header says 0xFFFF entries on a 256-byte page.
+        let mut page = PageBuf::zeroed(256);
+        page.as_mut_slice()[0] = 1; // leaf
+        page.as_mut_slice()[2] = 0xFF;
+        page.as_mut_slice()[3] = 0xFF;
+        assert!(NodeView::parse(page.as_slice()).is_err());
+        // And a buffer shorter than the header.
+        assert!(NodeView::parse(&[1u8, 0, 0]).is_err());
     }
 
     #[test]

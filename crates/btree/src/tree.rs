@@ -6,7 +6,7 @@ use std::sync::Arc;
 use promips_storage::{PageId, Pager};
 
 use crate::iter::RangeIter;
-use crate::node::{node_capacity, Node};
+use crate::node::{node_capacity, Node, NodeView};
 
 /// A disk B+-tree rooted at a known page of a [`Pager`].
 ///
@@ -85,22 +85,24 @@ impl BTree {
     ///
     /// Uses the strict `separator < key` rule so that duplicate runs that
     /// straddle a split boundary are never skipped (the scan then walks the
-    /// leaf chain forward).
+    /// leaf chain forward). Internal nodes are read through the borrowed
+    /// [`NodeView`] — the whole read path down to the leaf allocates
+    /// nothing.
     fn descend_for_scan(&self, key: u64) -> io::Result<PageId> {
         let mut id = self.root;
         loop {
-            match self.read_node(id)? {
-                Node::Leaf { .. } => return Ok(id),
-                Node::Internal { leftmost, entries } => {
-                    // Last separator strictly below `key`, else leftmost.
-                    let idx = entries.partition_point(|&(sep, _)| sep < key);
-                    id = if idx == 0 {
-                        leftmost
-                    } else {
-                        entries[idx - 1].1
-                    };
-                }
+            let page = self.pager.read(id)?;
+            let view = NodeView::parse(page.as_slice())?;
+            if view.is_leaf() {
+                return Ok(id);
             }
+            // Last separator strictly below `key`, else the leftmost child.
+            let idx = view.lower_bound(key);
+            id = if idx == 0 {
+                view.link()
+            } else {
+                view.entry(idx - 1).1
+            };
         }
     }
 

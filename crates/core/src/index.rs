@@ -287,10 +287,13 @@ mod tests {
     fn locator_is_consistent() {
         let data = random_data(400, 12, 3);
         let idx = ProMips::build_in_memory(&data, ProMipsConfig::default()).unwrap();
+        let mut scratch = promips_idistance::ProjScratch::new();
         for id in (0..400u64).step_by(37) {
             let (sub, off) = idx.locator[id as usize];
-            let (stored_id, _) = idx.index.fetch_proj_record(sub, off).unwrap();
-            assert_eq!(stored_id, id);
+            idx.index
+                .fetch_proj_record_into(sub, off, &mut scratch)
+                .unwrap();
+            assert_eq!(scratch.id(0), id);
         }
     }
 

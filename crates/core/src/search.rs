@@ -59,10 +59,20 @@ impl SearchScratch {
 
 /// Bounded top-k collector over (inner product, id), deterministic under
 /// ties (larger ip wins; equal ips keep the smaller id).
+///
+/// An optional *floor* models a k-th best inner product already verified
+/// elsewhere (another shard of a [`ShardedProMips`]-style fan-out): items
+/// strictly below the floor are discarded on push — they could never enter
+/// the merged global top-k — and [`TopK::kth_ip`] never reports less than
+/// the floor, so the searching conditions fire as if those k external
+/// items were local. A floor of `-∞` reproduces the plain collector
+/// bit-for-bit.
 struct TopK {
     k: usize,
     /// Min-heap of (ip, Reverse(id)) so the weakest kept item is on top.
     heap: BinaryHeap<Reverse<(OrdF64, Reverse<u64>)>>,
+    /// Externally verified k-th best inner product (`-∞` when standalone).
+    floor: f64,
 }
 
 /// Total-ordered f64 wrapper.
@@ -78,13 +88,21 @@ impl Ord for OrdF64 {
 
 impl TopK {
     fn new(k: usize) -> Self {
+        Self::with_floor(k, f64::NEG_INFINITY)
+    }
+
+    fn with_floor(k: usize, floor: f64) -> Self {
         Self {
             k,
             heap: BinaryHeap::with_capacity(k + 1),
+            floor,
         }
     }
 
     fn push(&mut self, id: u64, ip: f64) {
+        if ip < self.floor {
+            return; // beaten by k externally verified items already
+        }
         self.heap.push(Reverse((OrdF64(ip), Reverse(id))));
         if self.heap.len() > self.k {
             self.heap.pop();
@@ -95,11 +113,12 @@ impl TopK {
         self.heap.len()
     }
 
-    /// The k-th best inner product so far (paper's `⟨ok_max, q⟩`), or −∞
-    /// while fewer than k candidates have been verified.
+    /// The k-th best inner product so far (paper's `⟨ok_max, q⟩`), or the
+    /// floor (−∞ when standalone) while fewer than k candidates have been
+    /// verified.
     fn kth_ip(&self) -> f64 {
         if self.heap.len() < self.k {
-            f64::NEG_INFINITY
+            self.floor
         } else {
             self.heap
                 .peek()
@@ -140,6 +159,37 @@ impl ProMips {
         k: usize,
         scratch: &mut SearchScratch,
     ) -> io::Result<SearchResult> {
+        self.search_with_floor(q, k, f64::NEG_INFINITY, scratch)
+    }
+
+    /// Per-shard search entry point: [`ProMips::search_with_scratch`] with a
+    /// caller-supplied **inner-product floor**.
+    ///
+    /// The floor asserts that `k` points with inner product at least
+    /// `ip_floor` have already been verified *outside* this index — the
+    /// situation of one shard in a sharded fan-out, where another shard has
+    /// already produced a global top-k candidate set. The search then:
+    ///
+    /// * discards candidates strictly below the floor (they cannot enter the
+    ///   merged global top-k, so verifying bookkeeping for them is wasted),
+    /// * lets the searching conditions (Theorems 1–2) treat the floor as the
+    ///   current k-th best inner product, terminating earlier when this
+    ///   shard cannot improve on it.
+    ///
+    /// The result may therefore hold fewer than `k` items: exactly those
+    /// whose inner product reaches the floor — and a floored search never
+    /// verifies more candidates than the floor-less one (its running k-th
+    /// is never smaller, so every termination test fires no later, and the
+    /// shortfall-extension loop is skipped outright). With
+    /// `ip_floor = -∞` this is bit-identical to
+    /// [`ProMips::search_with_scratch`].
+    pub fn search_with_floor(
+        &self,
+        q: &[f32],
+        k: usize,
+        ip_floor: f64,
+        scratch: &mut SearchScratch,
+    ) -> io::Result<SearchResult> {
         assert_eq!(q.len(), self.d, "query dimensionality mismatch");
         assert!(k >= 1, "k must be at least 1");
         let k = k.min(self.live_len() as usize);
@@ -159,7 +209,7 @@ impl ProMips {
             .locate(&scratch.pq, norm1(q), self.config.c, self.config.p);
         let r = self.located_radius(&located, &scratch.pq, &mut scratch.proj)?;
 
-        let mut top = TopK::new(k);
+        let mut top = TopK::with_floor(k, ip_floor);
         let mut verified = 0usize;
 
         // Fresh inserts live in the in-memory delta segment; verify them
@@ -188,10 +238,16 @@ impl ProMips {
 
         // --- Rare shortfall: fewer than k candidates inside r. ------------
         // Pull further neighbours in distance order until k are verified so
-        // the conditions (which need the k-th best) become meaningful.
+        // the conditions (which need the k-th best) become meaningful. With
+        // a floor this loop is skipped entirely: `kth_ip()` already reports
+        // the floor while the heap is short, so the conditions are
+        // meaningful without it — and running it would make the floored
+        // search verify *more* than the plain one (the plain search's full
+        // heap skips the loop), breaking the "a floor only ever reduces
+        // verification work" contract.
         let mut r_final = r;
         let mut extended = false;
-        if top.len() < k {
+        if top.len() < k && ip_floor == f64::NEG_INFINITY {
             let mut iter = self.index.nn_iter(&scratch.pq);
             for cand in iter.by_ref() {
                 if cand.proj_dist <= r || self.is_deleted(cand.id) {
@@ -632,6 +688,67 @@ mod tests {
             assert_eq!(reused.verified, fresh.verified);
             assert_eq!(reused.termination, fresh.termination);
         }
+    }
+
+    #[test]
+    fn floor_of_negative_infinity_is_bit_identical() {
+        let (idx, _) = build(700, 20, 37, 0.9, 0.5);
+        let mut rng = Xoshiro256pp::seed_from_u64(91);
+        let mut scratch = SearchScratch::new();
+        for _ in 0..8 {
+            let q: Vec<f32> = (0..20).map(|_| rng.normal() as f32).collect();
+            let plain = idx.search(&q, 6).unwrap();
+            let floored = idx
+                .search_with_floor(&q, 6, f64::NEG_INFINITY, &mut scratch)
+                .unwrap();
+            assert_eq!(plain.items, floored.items);
+            assert_eq!(plain.verified, floored.verified);
+            assert_eq!(plain.termination, floored.termination);
+        }
+    }
+
+    #[test]
+    fn floor_drops_weak_items_and_never_verifies_more() {
+        let (idx, _) = build(900, 16, 47, 0.9, 0.5);
+        let mut rng = Xoshiro256pp::seed_from_u64(93);
+        let mut scratch = SearchScratch::new();
+        for _ in 0..8 {
+            let q: Vec<f32> = (0..16).map(|_| rng.normal() as f32).collect();
+            let plain = idx.search(&q, 5).unwrap();
+            // Floor at the plain search's 3rd-best: at most 3 items can
+            // reach it, and all of them must sit at or above the floor.
+            let floor = plain.items[2].ip;
+            let floored = idx.search_with_floor(&q, 5, floor, &mut scratch).unwrap();
+            assert!(floored.items.len() <= plain.items.len());
+            assert!(floored.items.iter().all(|it| it.ip >= floor));
+            assert!(
+                floored.verified <= plain.verified,
+                "floor must not verify more: {} > {}",
+                floored.verified,
+                plain.verified
+            );
+            // The floored search's survivors are a prefix-quality subset:
+            // its best item is at least as good as the floor.
+            assert!(floored.best_ip().unwrap_or(f64::NEG_INFINITY) >= floor);
+        }
+    }
+
+    #[test]
+    fn floor_above_everything_returns_empty_without_crawling() {
+        let (idx, _) = build(400, 12, 53, 0.9, 0.5);
+        let q = vec![0.2f32; 12];
+        let mut scratch = SearchScratch::new();
+        let res = idx.search_with_floor(&q, 5, 1e12, &mut scratch).unwrap();
+        assert!(res.items.is_empty());
+        // The floor stands in for the k-th best, so Condition A fires at
+        // the first group boundary instead of the search crawling the
+        // whole dataset chasing items that can never beat the floor.
+        assert_eq!(res.termination, Termination::ConditionA);
+        assert!(
+            res.verified < 400,
+            "floored search verified {} candidates",
+            res.verified
+        );
     }
 
     #[test]

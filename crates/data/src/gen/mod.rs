@@ -96,6 +96,28 @@ pub fn bio_feature(n: usize, d: usize, block: usize, seed: u64) -> Matrix {
     Matrix::from_vec(n, d, out)
 }
 
+/// Gaussian directions with log-uniform norm skew spanning three decades
+/// (`‖o‖ ∝ 10^U(−2,1)`).
+///
+/// I.i.d. Gaussian rows concentrate every 2-norm near `√d`, which makes
+/// norm-aware methods (norm-range sharding, Cauchy–Schwarz shard pruning)
+/// look inert; real MIPS embedding tables have norm spreads of orders of
+/// magnitude. This generator is the standard workload for exercising the
+/// sharded fan-out's pruning path — shared by its tests, the
+/// `sharded_fanout` benchmark section, and `examples/sharded.rs`.
+pub fn norm_skewed(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    Matrix::from_rows(
+        d,
+        (0..n).map(|_| {
+            let scale = (10.0f64).powf(rng.uniform_range(-2.0, 1.0)) as f32;
+            (0..d)
+                .map(|_| rng.normal() as f32 * scale)
+                .collect::<Vec<f32>>()
+        }),
+    )
+}
+
 /// Non-negative gradient-histogram vectors in the `u8` range (SIFT
 /// stand-in): AR(1)-smoothed gamma draws, clipped to `[0, 255]`, with the
 /// characteristic many-small / few-large bin profile of SIFT descriptors.
@@ -171,6 +193,19 @@ mod tests {
             same_block > cross_block + 0.2,
             "same {same_block} vs cross {cross_block}"
         );
+    }
+
+    #[test]
+    fn norm_skewed_spans_decades() {
+        let m = norm_skewed(400, 16, 11);
+        let norms: Vec<f64> = (0..400).map(|i| norm2(m.row(i))).collect();
+        let max = norms.iter().cloned().fold(f64::MIN, f64::max);
+        let min = norms.iter().cloned().fold(f64::MAX, f64::min);
+        // Log-uniform over 3 decades: the realized spread must be ≫ the
+        // ~1.2× of i.i.d. Gaussian rows.
+        assert!(max / min > 100.0, "spread {max}/{min} too narrow");
+        // Deterministic in the seed.
+        assert_eq!(m.row(7), norm_skewed(400, 16, 11).row(7));
     }
 
     #[test]

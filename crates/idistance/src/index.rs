@@ -398,14 +398,29 @@ impl IDistanceIndex {
     /// Reads a sub-partition's projected records: `(id, projected vector)`.
     ///
     /// Compatibility wrapper over the arena path; allocates one `Vec` per
-    /// record. Hot paths should use [`Self::read_subpart_proj_into`].
+    /// record.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates one Vec per record; decode into a reusable `ProjScratch` \
+                via `read_subpart_proj_into` instead"
+    )]
     pub fn read_subpart_proj(&self, sub: u32) -> io::Result<Vec<(u64, Vec<f32>)>> {
         let sp = &self.subparts[sub as usize];
-        self.read_subpart_proj_by_meta(sp)
+        self.proj_records_to_vecs(sp)
     }
 
     /// As [`Self::read_subpart_proj`] but from a metadata reference.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates one Vec per record; decode into a reusable `ProjScratch` \
+                via `read_subpart_proj_into_by_meta` instead"
+    )]
     pub fn read_subpart_proj_by_meta(&self, sp: &SubPartMeta) -> io::Result<Vec<(u64, Vec<f32>)>> {
+        self.proj_records_to_vecs(sp)
+    }
+
+    /// Shared body of the deprecated owning wrappers.
+    fn proj_records_to_vecs(&self, sp: &SubPartMeta) -> io::Result<Vec<(u64, Vec<f32>)>> {
         let mut scratch = ProjScratch::new();
         self.read_subpart_proj_into_by_meta(sp, &mut scratch)?;
         Ok((0..scratch.len())
@@ -507,6 +522,11 @@ impl IDistanceIndex {
     ///
     /// Compatibility wrapper over [`Self::fetch_proj_record_into`];
     /// allocates the returned vector.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates the returned vector; decode into a reusable `ProjScratch` \
+                via `fetch_proj_record_into` instead"
+    )]
     pub fn fetch_proj_record(&self, sub: u32, offset: u32) -> io::Result<(u64, Vec<f32>)> {
         let mut scratch = ProjScratch::new();
         self.fetch_proj_record_into(sub, offset, &mut scratch)?;
@@ -839,12 +859,9 @@ mod tests {
             let offsets: Vec<u32> = (0..count).step_by(2).collect();
             idx.fetch_originals(sub, &offsets, &mut arena).unwrap();
             assert_eq!(arena.len(), offsets.len() * d);
-            let ids: Vec<u64> = idx
-                .read_subpart_proj(sub)
-                .unwrap()
-                .into_iter()
-                .map(|(id, _)| id)
-                .collect();
+            let mut scratch = ProjScratch::new();
+            idx.read_subpart_proj_into(sub, &mut scratch).unwrap();
+            let ids: Vec<u64> = scratch.ids().to_vec();
             for (slot, &off) in offsets.iter().enumerate() {
                 let got = &arena[slot * d..(slot + 1) * d];
                 assert_eq!(
@@ -876,12 +893,9 @@ mod tests {
             let count = idx.subparts()[sub as usize].count;
             let offsets: Vec<u32> = (0..count).collect();
             idx.fetch_originals(sub, &offsets, &mut arena).unwrap();
-            let ids: Vec<u64> = idx
-                .read_subpart_proj(sub)
-                .unwrap()
-                .into_iter()
-                .map(|(id, _)| id)
-                .collect();
+            let mut scratch = ProjScratch::new();
+            idx.read_subpart_proj_into(sub, &mut scratch).unwrap();
+            let ids: Vec<u64> = scratch.ids().to_vec();
             for (slot, &id) in ids.iter().enumerate() {
                 assert_eq!(
                     &arena[slot * 7..(slot + 1) * 7],

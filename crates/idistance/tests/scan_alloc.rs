@@ -4,9 +4,9 @@
 //! `Vec<f32>` — at least one heap allocation per record scanned. The arena
 //! path must do none of that: once the per-worker buffers have grown to
 //! their high-water mark, a warm `range_candidates_into` call performs no
-//! per-record allocation. The only remaining allocations are per-leaf
-//! B+-tree node decodes, which scale with the directory, not with the
-//! number of records filtered.
+//! per-record allocation. With the B+-tree read path riding the borrowed
+//! `NodeView` (no `Vec` of entries per leaf or internal node), a warm scan
+//! performs **no heap allocation at all**.
 //!
 //! This file holds exactly one test on purpose: the counting allocator is
 //! process-global, and a sibling test running in another thread would
@@ -96,11 +96,14 @@ fn warm_range_scan_does_not_allocate_per_record() {
     assert_eq!(out.len(), n);
 
     // The legacy decode would have cost ≥ n allocations here (one Vec per
-    // record, plus the blob). The arena path may still allocate per B+-tree
-    // leaf decode — a handful, independent of the record count.
-    assert!(
-        warm < n as u64 / 4,
-        "warm scan allocated {warm} times for {n} records — per-record allocation is back"
+    // record, plus the blob). The arena path must do none of that, and —
+    // now that B+-tree descends and leaf scans read through the borrowed
+    // `NodeView` instead of decoding a `Vec` of entries per node — the
+    // whole warm range-search path performs **zero** heap allocations.
+    assert_eq!(
+        warm, 0,
+        "warm scan allocated {warm} times for {n} records — the range path \
+         is no longer allocation-free"
     );
 
     // And the count must not scale with the records scanned: a scan that

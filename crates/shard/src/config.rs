@@ -1,0 +1,157 @@
+//! Configuration for the sharded index.
+
+use promips_core::ProMipsConfig;
+
+use crate::partition::PartitionStrategy;
+
+/// Build- and search-time parameters of a [`crate::ShardedProMips`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of shards `N ≥ 1`.
+    pub shards: usize,
+    /// How points are distributed across shards.
+    pub strategy: PartitionStrategy,
+    /// Shards with fewer points than this skip index construction and fall
+    /// back to a blocked exact scan ("To Index or Not to Index", Abuzaid et
+    /// al., arXiv:1706.01449: below a size/selectivity threshold a scan
+    /// beats any index). `0` disables the fallback except for empty shards,
+    /// which are always scan-backed.
+    pub exact_threshold: usize,
+    /// Whether the fan-out search prunes shards whose Cauchy–Schwarz bound
+    /// `‖q‖ · max_norm(shard)` cannot beat the k-th inner product already
+    /// verified in the seed shard. Pruning never changes the returned
+    /// top-k; disabling it is for measurement.
+    pub prune: bool,
+    /// Whether surviving shards are searched with the seed shard's k-th
+    /// inner product as a termination floor
+    /// ([`promips_core::ProMips::search_with_floor`]): each shard then
+    /// stops verifying as soon as it cannot improve the global result.
+    /// **Approximate** — it can cost recall (the searching conditions fire
+    /// earlier), which is why it defaults to off; shard pruning alone is
+    /// exact. Turn it on for latency-bound fan-outs.
+    pub cross_shard_floor: bool,
+    /// Per-shard ProMIPS parameters. Shard `i` builds with
+    /// `seed ⊕ (i · φ₆₄)`, so shard 0 of a one-shard config reproduces the
+    /// unsharded index exactly.
+    pub base: ProMipsConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            strategy: PartitionStrategy::NormRange,
+            exact_threshold: 128,
+            prune: true,
+            cross_shard_floor: false,
+            base: ProMipsConfig::default(),
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// Starts a builder with the defaults above.
+    pub fn builder() -> ShardedConfigBuilder {
+        ShardedConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Validates parameter domains (and the embedded base config).
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or absurdly large (> 65 536).
+    pub fn validate(&self) {
+        assert!(
+            (1..=65_536).contains(&self.shards),
+            "shards must be in 1..=65536, got {}",
+            self.shards
+        );
+        self.base.validate();
+    }
+}
+
+/// Fluent builder for [`ShardedConfig`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfigBuilder {
+    config: ShardedConfig,
+}
+
+impl ShardedConfigBuilder {
+    /// Sets the shard count.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.config.shards = n;
+        self
+    }
+
+    /// Sets the partition strategy.
+    pub fn strategy(mut self, s: PartitionStrategy) -> Self {
+        self.config.strategy = s;
+        self
+    }
+
+    /// Sets the exact-scan fallback threshold (points).
+    pub fn exact_threshold(mut self, points: usize) -> Self {
+        self.config.exact_threshold = points;
+        self
+    }
+
+    /// Enables or disables norm-bound shard pruning.
+    pub fn prune(mut self, on: bool) -> Self {
+        self.config.prune = on;
+        self
+    }
+
+    /// Enables the (approximate, latency-oriented) cross-shard termination
+    /// floor.
+    pub fn cross_shard_floor(mut self, on: bool) -> Self {
+        self.config.cross_shard_floor = on;
+        self
+    }
+
+    /// Sets the per-shard ProMIPS configuration.
+    pub fn base(mut self, base: ProMipsConfig) -> Self {
+        self.config.base = base;
+        self
+    }
+
+    /// Finalizes and validates the configuration.
+    pub fn build(self) -> ShardedConfig {
+        self.config.validate();
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ShardedConfig::default();
+        assert_eq!(c.shards, 4);
+        assert_eq!(c.strategy, PartitionStrategy::NormRange);
+        assert!(c.prune);
+        c.validate();
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = ShardedConfig::builder()
+            .shards(8)
+            .strategy(PartitionStrategy::Hash)
+            .exact_threshold(10)
+            .prune(false)
+            .build();
+        assert_eq!(c.shards, 8);
+        assert_eq!(c.strategy, PartitionStrategy::Hash);
+        assert_eq!(c.exact_threshold, 10);
+        assert!(!c.prune);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_shards() {
+        ShardedConfig::builder().shards(0).build();
+    }
+}

@@ -1,0 +1,290 @@
+//! The sharded index: construction and shard bookkeeping.
+
+use std::io;
+use std::sync::Arc;
+
+use promips_core::{ProMips, ProMipsConfig};
+use promips_linalg::{sq_norm2, Matrix};
+use promips_storage::{AccessStatsSnapshot, Pager};
+
+use crate::config::ShardedConfig;
+use crate::partition::Partitioner;
+
+/// Golden-ratio stride for deriving per-shard seeds; shard 0 keeps the base
+/// seed so a one-shard build reproduces the unsharded index exactly.
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Seed for shard `si` derived from the base config seed.
+pub(crate) fn shard_seed(base: u64, si: usize) -> u64 {
+    base ^ (si as u64).wrapping_mul(SEED_STRIDE)
+}
+
+/// A shard that fell below the exact-scan threshold: its rows live as a
+/// plain matrix and queries run a blocked exact scan over them, following
+/// the small-shard regime of "To Index or Not to Index" (arXiv:1706.01449).
+#[derive(Debug)]
+pub(crate) struct ExactShard {
+    /// Shard rows, local order (row `i` belongs to global id `ids[i]`).
+    pub rows: Matrix,
+}
+
+/// What backs a shard's queries. (The indexed variant is boxed: a
+/// `ProMips` handle is hundreds of bytes, an exact shard a few pointers.)
+pub(crate) enum ShardKind {
+    /// A full ProMIPS index over the shard's rows (own pager, own file).
+    Indexed(Box<ProMips>),
+    /// Blocked exact scan (small or empty shards).
+    Exact(ExactShard),
+}
+
+/// One shard: its global-id map, its norm bound, and its query backend.
+pub struct Shard {
+    /// Shard-local id → global id. Ascending (members are collected in
+    /// global-id order), so per-shard tie-breaking by local id agrees with
+    /// global tie-breaking by global id.
+    pub(crate) ids: Vec<u64>,
+    /// `max ‖o‖₂` over the shard (not squared): with Cauchy–Schwarz,
+    /// `⟨o,q⟩ ≤ ‖q‖₂ · max_norm` bounds every inner product in the shard.
+    pub(crate) max_norm: f64,
+    pub(crate) kind: ShardKind,
+}
+
+impl Shard {
+    /// Number of points in this shard.
+    pub fn len(&self) -> u64 {
+        self.ids.len() as u64
+    }
+
+    /// True when the shard holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The shard's inner-product norm bound `max ‖o‖₂`.
+    pub fn max_norm(&self) -> f64 {
+        self.max_norm
+    }
+
+    /// True when the shard answers queries by exact scan instead of an
+    /// index.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.kind, ShardKind::Exact(_))
+    }
+
+    /// The shard's ProMIPS index, when it has one.
+    pub fn index(&self) -> Option<&ProMips> {
+        match &self.kind {
+            ShardKind::Indexed(pm) => Some(pm),
+            ShardKind::Exact(_) => None,
+        }
+    }
+
+    /// Global ids of the shard's points, in shard-local order.
+    pub fn global_ids(&self) -> &[u64] {
+        &self.ids
+    }
+}
+
+/// A sharded ProMIPS index: `N` shards, each owning its own storage
+/// (pager + file), its own ProMIPS/iDistance index (or an exact-scan
+/// fallback below [`ShardedConfig::exact_threshold`]), searched by a
+/// norm-bound-pruned parallel fan-out (see [`crate::search`]).
+pub struct ShardedProMips {
+    pub(crate) config: ShardedConfig,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) d: usize,
+    pub(crate) n_points: u64,
+    /// Name of the partitioner that built the assignment (for reporting).
+    pub(crate) partitioner_name: String,
+}
+
+impl ShardedProMips {
+    /// Builds the sharded index with one in-memory page device per shard,
+    /// using the partitioner named by `config.strategy`.
+    pub fn build_in_memory(data: &Matrix, config: ShardedConfig) -> io::Result<Self> {
+        let strategy = config.strategy;
+        Self::build_with_partitioner(data, config, strategy.partitioner())
+    }
+
+    /// As [`ShardedProMips::build_in_memory`] with a caller-supplied
+    /// [`Partitioner`] (`config.strategy` is ignored for the assignment but
+    /// still recorded in snapshots).
+    pub fn build_with_partitioner(
+        data: &Matrix,
+        config: ShardedConfig,
+        partitioner: &dyn Partitioner,
+    ) -> io::Result<Self> {
+        let base = config.base.clone();
+        Self::build_impl(data, config, partitioner, |_si| {
+            Ok(Arc::new(Pager::in_memory(base.page_size, base.pool_pages)))
+        })
+    }
+
+    /// Shared build path; `pager_for(si)` supplies the page device for each
+    /// *indexed* shard (exact-scan shards keep their rows in memory and
+    /// only touch disk at snapshot time).
+    pub(crate) fn build_impl(
+        data: &Matrix,
+        config: ShardedConfig,
+        partitioner: &dyn Partitioner,
+        mut pager_for: impl FnMut(usize) -> io::Result<Arc<Pager>>,
+    ) -> io::Result<Self> {
+        config.validate();
+        assert!(
+            !data.is_empty(),
+            "cannot build a sharded index over an empty dataset"
+        );
+        let n = data.rows();
+        let d = data.cols();
+        let assign = partitioner.assign(data, config.shards);
+        assert_eq!(
+            assign.len(),
+            n,
+            "partitioner returned {} assignments for {n} rows",
+            assign.len()
+        );
+
+        // Membership lists in ascending global-id order (the id-map order
+        // every tie-break rule depends on).
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); config.shards];
+        for (i, &s) in assign.iter().enumerate() {
+            assert!(
+                (s as usize) < config.shards,
+                "partitioner assigned row {i} to shard {s} of {}",
+                config.shards
+            );
+            members[s as usize].push(i);
+        }
+
+        let mut shards = Vec::with_capacity(config.shards);
+        for (si, m) in members.iter().enumerate() {
+            let ids: Vec<u64> = m.iter().map(|&i| i as u64).collect();
+            let rows = data.gather(m);
+            let max_norm = rows.iter_rows().map(sq_norm2).fold(0.0f64, f64::max).sqrt();
+            let kind = if m.is_empty() || m.len() < config.exact_threshold {
+                ShardKind::Exact(ExactShard { rows })
+            } else {
+                let mut cfg: ProMipsConfig = config.base.clone();
+                cfg.seed = shard_seed(config.base.seed, si);
+                ShardKind::Indexed(Box::new(ProMips::build_with_pager(
+                    &rows,
+                    cfg,
+                    pager_for(si)?,
+                )?))
+            };
+            shards.push(Shard {
+                ids,
+                max_norm,
+                kind,
+            });
+        }
+
+        Ok(Self {
+            config,
+            shards,
+            d,
+            n_points: n as u64,
+            partitioner_name: partitioner.name().to_string(),
+        })
+    }
+
+    /// Total number of indexed points across all shards.
+    pub fn len(&self) -> u64 {
+        self.n_points
+    }
+
+    /// True when no points are indexed (never: construction requires data).
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    /// Original dimensionality `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in shard-id order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Per-shard point counts (shard-local stat used by the persistence
+    /// tests and the benchmark report).
+    pub fn shard_points(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// Name of the partitioner that built the shard assignment.
+    pub fn partitioner_name(&self) -> &str {
+        &self.partitioner_name
+    }
+
+    /// Aggregated page-access counters over every indexed shard (exact
+    /// shards are memory-resident and never touch a pager).
+    pub fn access_stats(&self) -> AccessStatsSnapshot {
+        let mut total = AccessStatsSnapshot::default();
+        for s in &self.shards {
+            if let ShardKind::Indexed(pm) = &s.kind {
+                let snap = pm.access_stats();
+                total.logical_reads += snap.logical_reads;
+                total.cache_hits += snap.cache_hits;
+                total.cache_misses += snap.cache_misses;
+                total.writes += snap.writes;
+            }
+        }
+        total
+    }
+
+    /// Resets every shard's page-access counters.
+    pub fn reset_stats(&self) {
+        for s in &self.shards {
+            if let ShardKind::Indexed(pm) = &s.kind {
+                pm.reset_stats();
+            }
+        }
+    }
+
+    /// Drops every shard's cached pages (cold-cache measurements).
+    pub fn clear_cache(&self) {
+        for s in &self.shards {
+            if let ShardKind::Indexed(pm) = &s.kind {
+                pm.clear_cache();
+            }
+        }
+    }
+
+    /// Sum of the paper's Index Size metric over indexed shards, plus the
+    /// raw bytes of exact-scan shards and the id maps.
+    pub fn index_size_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for s in &self.shards {
+            total += s.ids.len() as u64 * 8;
+            match &s.kind {
+                ShardKind::Indexed(pm) => total += pm.index_size_bytes(),
+                ShardKind::Exact(ex) => total += (ex.rows.as_slice().len() * 4) as u64,
+            }
+        }
+        total
+    }
+
+    /// Total bytes across every shard's page file (data + index).
+    pub fn file_size_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| match &s.kind {
+                ShardKind::Indexed(pm) => pm.file_size_bytes(),
+                ShardKind::Exact(ex) => (ex.rows.as_slice().len() * 4) as u64,
+            })
+            .sum()
+    }
+}

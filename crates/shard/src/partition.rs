@@ -1,0 +1,202 @@
+//! Partitioners: how points are distributed across shards.
+//!
+//! The interesting implementation is [`NormRangePartitioner`], following
+//! Norm-Range Partition (Yan et al., NeurIPS 2018, arXiv:1810.09104): MIPS
+//! candidate quality is dominated by vector norms, so cutting the dataset
+//! into contiguous **norm ranges** concentrates the likely winners in the
+//! high-norm shards and gives every shard a tight inner-product upper bound
+//! `‖q‖ · max_norm(shard)` (Cauchy–Schwarz) that the fan-out search uses to
+//! prune whole shards. [`HashPartitioner`] is the neutral baseline: uniform
+//! spread, no exploitable bound ordering.
+
+use promips_linalg::{sq_norm2, Matrix};
+
+/// Assigns every dataset row to one of `n_shards` shards.
+///
+/// Implementations must be deterministic in `data` (the sharded index's
+/// reproducibility tests depend on it) and must keep the assignment stable
+/// under `n_shards = 1` — every row to shard 0 — so a one-shard
+/// [`crate::ShardedProMips`] reproduces the unsharded index bit-for-bit.
+pub trait Partitioner: Send + Sync {
+    /// Display name (recorded in snapshots and benchmark artifacts).
+    fn name(&self) -> &'static str;
+
+    /// Returns one shard id in `0..n_shards` per row of `data`.
+    fn assign(&self, data: &Matrix, n_shards: usize) -> Vec<u32>;
+}
+
+/// Equal-count norm-range partitioning: rows are ranked by 2-norm
+/// (ascending, ties by row id) and rank `r` of `n` goes to shard
+/// `r · n_shards / n`. Shard `n_shards − 1` therefore holds the largest
+/// norms — the shard the fan-out search probes first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormRangePartitioner;
+
+impl Partitioner for NormRangePartitioner {
+    fn name(&self) -> &'static str {
+        "norm-range"
+    }
+
+    fn assign(&self, data: &Matrix, n_shards: usize) -> Vec<u32> {
+        let n = data.rows();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| {
+            sq_norm2(data.row(a as usize))
+                .total_cmp(&sq_norm2(data.row(b as usize)))
+                .then(a.cmp(&b))
+        });
+        let mut assign = vec![0u32; n];
+        for (rank, &row) in order.iter().enumerate() {
+            assign[row as usize] = (rank * n_shards / n) as u32;
+        }
+        assign
+    }
+}
+
+/// Norm-oblivious spread: a Fibonacci hash of the row id modulo the shard
+/// count. Balances load without any norm ordering — the control arm for the
+/// norm-range pruning experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+
+    fn assign(&self, data: &Matrix, n_shards: usize) -> Vec<u32> {
+        (0..data.rows() as u64)
+            .map(|id| {
+                let h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+                (h % n_shards as u64) as u32
+            })
+            .collect()
+    }
+}
+
+/// The built-in partitioner choices, as persistable configuration.
+///
+/// [`crate::ShardedProMips::build_with_partitioner`] accepts any
+/// [`Partitioner`]; this enum names the two shipped ones so they can be
+/// selected from a [`crate::ShardedConfig`] and recorded in a snapshot
+/// manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// [`NormRangePartitioner`] (the default).
+    #[default]
+    NormRange,
+    /// [`HashPartitioner`].
+    Hash,
+}
+
+impl PartitionStrategy {
+    /// The partitioner this strategy names.
+    pub fn partitioner(&self) -> &'static dyn Partitioner {
+        match self {
+            PartitionStrategy::NormRange => &NormRangePartitioner,
+            PartitionStrategy::Hash => &HashPartitioner,
+        }
+    }
+
+    /// Stable tag used by the snapshot manifest.
+    pub(crate) fn tag(&self) -> u64 {
+        match self {
+            PartitionStrategy::NormRange => 0,
+            PartitionStrategy::Hash => 1,
+        }
+    }
+
+    /// Inverse of [`PartitionStrategy::tag`].
+    pub(crate) fn from_tag(tag: u64) -> Option<Self> {
+        match tag {
+            0 => Some(PartitionStrategy::NormRange),
+            1 => Some(PartitionStrategy::Hash),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promips_stats::Xoshiro256pp;
+
+    fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        Matrix::from_rows(
+            d,
+            (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()),
+        )
+    }
+
+    #[test]
+    fn norm_range_counts_are_balanced() {
+        let data = random_data(1003, 12, 1);
+        let assign = NormRangePartitioner.assign(&data, 4);
+        let mut counts = [0usize; 4];
+        for &s in &assign {
+            counts[s as usize] += 1;
+        }
+        // Equal-count ranks: shard sizes differ by at most one.
+        assert!(counts.iter().all(|&c| c == 250 || c == 251), "{counts:?}");
+    }
+
+    #[test]
+    fn norm_range_orders_shards_by_norm() {
+        let data = random_data(600, 8, 2);
+        let assign = NormRangePartitioner.assign(&data, 3);
+        // Every point in a higher shard has norm >= every point in a lower
+        // shard (up to rank ties, which equal norms make unobservable).
+        let max_per: Vec<f64> = (0..3)
+            .map(|s| {
+                (0..600)
+                    .filter(|&i| assign[i] == s)
+                    .map(|i| sq_norm2(data.row(i)))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        let min_per: Vec<f64> = (0..3)
+            .map(|s| {
+                (0..600)
+                    .filter(|&i| assign[i] == s)
+                    .map(|i| sq_norm2(data.row(i)))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        assert!(max_per[0] <= min_per[1]);
+        assert!(max_per[1] <= min_per[2]);
+    }
+
+    #[test]
+    fn single_shard_maps_everything_to_zero() {
+        let data = random_data(100, 6, 3);
+        assert!(NormRangePartitioner
+            .assign(&data, 1)
+            .iter()
+            .all(|&s| s == 0));
+        assert!(HashPartitioner.assign(&data, 1).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn hash_spreads_reasonably() {
+        let data = random_data(4000, 4, 4);
+        let assign = HashPartitioner.assign(&data, 8);
+        let mut counts = [0usize; 8];
+        for &s in &assign {
+            counts[s as usize] += 1;
+        }
+        // Fibonacci hashing over sequential ids is near-uniform.
+        assert!(
+            counts.iter().all(|&c| c > 300 && c < 700),
+            "skewed: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn strategy_tags_roundtrip() {
+        for s in [PartitionStrategy::NormRange, PartitionStrategy::Hash] {
+            assert_eq!(PartitionStrategy::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(PartitionStrategy::from_tag(99), None);
+    }
+}

@@ -1,0 +1,322 @@
+//! Directory-based persistence: one file per shard plus a manifest.
+//!
+//! Layout of a snapshot directory:
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST.pms      config scalars, per-shard kind / count / norm bound,
+//!                     and the shard-local → global id maps
+//!   shard_0000.pmx    indexed shard: a full ProMIPS page file
+//!                     (identical format to [`promips_core::ProMips::save`])
+//!   shard_0001.exact  exact-scan shard: raw row blob (magic, n, d, f32s)
+//!   ...
+//! ```
+//!
+//! Each shard file is self-contained — an indexed shard's `.pmx` can even
+//! be opened directly with `ProMips::open` — so shards can later be placed
+//! on different devices or hosts without touching the format.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use promips_core::ProMips;
+use promips_idistance::layout::enc;
+use promips_linalg::Matrix;
+use promips_storage::{AccessStats, FileStorage, Pager, Storage};
+
+use crate::config::ShardedConfig;
+use crate::index::{ExactShard, Shard, ShardKind, ShardedProMips};
+use crate::partition::PartitionStrategy;
+
+const MANIFEST_MAGIC: u64 = 0x5AA2_D1CE_5059_0001;
+const MANIFEST_VERSION: u64 = 1;
+const EXACT_MAGIC: u64 = 0x5AA2_D1CE_E7AC_0001;
+const MANIFEST_NAME: &str = "MANIFEST.pms";
+
+fn shard_path(dir: &Path, si: usize, exact: bool) -> PathBuf {
+    let ext = if exact { "exact" } else { "pmx" };
+    dir.join(format!("shard_{si:04}.{ext}"))
+}
+
+fn write_exact(path: &Path, rows: &Matrix) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(24 + rows.as_slice().len() * 4);
+    enc::put_u64(&mut buf, EXACT_MAGIC);
+    enc::put_u64(&mut buf, rows.rows() as u64);
+    enc::put_u64(&mut buf, rows.cols() as u64);
+    enc::put_f32s(&mut buf, rows.as_slice());
+    fs::write(path, buf)
+}
+
+fn read_exact(path: &Path, expect_d: usize) -> io::Result<Matrix> {
+    let buf = fs::read(path)?;
+    let mut pos = 0;
+    if buf.len() < 24 || enc::get_u64(&buf, &mut pos) != EXACT_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad exact-shard magic in {}", path.display()),
+        ));
+    }
+    let n = enc::get_u64(&buf, &mut pos) as usize;
+    let d = enc::get_u64(&buf, &mut pos) as usize;
+    if d != expect_d && n != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("exact shard dimensionality {d} != manifest {expect_d}"),
+        ));
+    }
+    // Validate the header against the actual file length before decoding:
+    // a truncated file or bit-rotted n/d must surface as InvalidData, not
+    // a slice panic (or a capacity overflow) inside the readers.
+    let fits = n
+        .checked_mul(d)
+        .and_then(|floats| floats.checked_mul(4))
+        .is_some_and(|bytes| pos + bytes <= buf.len());
+    if !fits {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "corrupt exact shard {}: header claims {n}×{d} floats, file has {} payload bytes",
+                path.display(),
+                buf.len() - pos
+            ),
+        ));
+    }
+    let data = enc::get_f32s(&buf, &mut pos, n * d);
+    Ok(Matrix::from_vec(n, expect_d.max(d), data))
+}
+
+impl ShardedProMips {
+    /// Builds the sharded index **directly into `dir`**: each indexed shard
+    /// gets its own file-backed page device (`shard_NNNN.pmx`), exact-scan
+    /// shards are written as row blobs, and the manifest is finalized — the
+    /// directory is immediately reopenable with [`ShardedProMips::open`],
+    /// with no page copying.
+    pub fn build_in_dir(
+        data: &Matrix,
+        config: ShardedConfig,
+        dir: impl AsRef<Path>,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let strategy = config.strategy;
+        let base = config.base.clone();
+        let built = Self::build_impl(data, config, strategy.partitioner(), |si| {
+            let storage = Arc::new(FileStorage::create(
+                shard_path(dir, si, false),
+                base.page_size,
+            )?);
+            Ok(Arc::new(Pager::new(
+                storage,
+                base.pool_pages,
+                AccessStats::new_shared(),
+            )))
+        })?;
+        for shard in &built.shards {
+            if let ShardKind::Indexed(pm) = &shard.kind {
+                pm.save()?; // aux + footer straight into the shard's file
+            }
+        }
+        built.write_aux_and_manifest(dir)?;
+        Ok(built)
+    }
+
+    /// Snapshots the index into `dir`: indexed shards append their
+    /// persistence footer ([`ProMips::save`]) and have their pages copied
+    /// into per-shard files; exact shards and the manifest are written
+    /// alongside. Reopen with [`ShardedProMips::open`].
+    ///
+    /// Snapshot a given in-memory index at most once per directory: each
+    /// call appends a fresh persistence footer to the live shard pagers
+    /// (the last one always wins on reopen, but the pages accumulate).
+    pub fn snapshot(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        for (si, shard) in self.shards.iter().enumerate() {
+            if let ShardKind::Indexed(pm) = &shard.kind {
+                pm.save()?;
+                // Copy at the device level: going through Pager::read here
+                // would charge a logical read per page to the shard's
+                // access counters and churn its buffer pool.
+                let src = pm.idistance().pager().storage();
+                let dst = FileStorage::create(shard_path(dir, si, false), src.page_size())?;
+                let mut page = vec![0u8; src.page_size()];
+                for pid in 0..src.num_pages() {
+                    src.read_page(pid, &mut page)?;
+                    let id = dst.allocate()?;
+                    debug_assert_eq!(id, pid, "copied pages must stay dense");
+                    dst.write_page(id, &page)?;
+                }
+                dst.sync()?;
+            }
+        }
+        self.write_aux_and_manifest(dir)
+    }
+
+    /// Writes exact-shard blobs and the manifest (shared by
+    /// [`ShardedProMips::snapshot`] and [`ShardedProMips::build_in_dir`]).
+    fn write_aux_and_manifest(&self, dir: &Path) -> io::Result<()> {
+        for (si, shard) in self.shards.iter().enumerate() {
+            if let ShardKind::Exact(ex) = &shard.kind {
+                write_exact(&shard_path(dir, si, true), &ex.rows)?;
+            }
+        }
+        let mut buf = Vec::new();
+        enc::put_u64(&mut buf, MANIFEST_MAGIC);
+        enc::put_u64(&mut buf, MANIFEST_VERSION);
+        enc::put_u64(&mut buf, self.shards.len() as u64);
+        enc::put_u64(&mut buf, self.d as u64);
+        enc::put_u64(&mut buf, self.n_points);
+        enc::put_u64(&mut buf, self.config.exact_threshold as u64);
+        enc::put_u64(&mut buf, u64::from(self.config.prune));
+        enc::put_u64(&mut buf, u64::from(self.config.cross_shard_floor));
+        enc::put_u64(&mut buf, self.config.strategy.tag());
+        enc::put_f64(&mut buf, self.config.base.c);
+        enc::put_f64(&mut buf, self.config.base.p);
+        enc::put_u64(&mut buf, self.config.base.m.map_or(u64::MAX, |m| m as u64));
+        enc::put_u64(&mut buf, self.config.base.page_size as u64);
+        enc::put_u64(&mut buf, self.config.base.pool_pages as u64);
+        enc::put_u64(&mut buf, self.config.base.seed);
+        let name = self.partitioner_name.as_bytes();
+        enc::put_u64(&mut buf, name.len() as u64);
+        buf.extend_from_slice(name);
+        for shard in &self.shards {
+            enc::put_u64(&mut buf, u64::from(shard.is_exact()));
+            enc::put_u64(&mut buf, shard.ids.len() as u64);
+            enc::put_f64(&mut buf, shard.max_norm);
+            for &id in &shard.ids {
+                enc::put_u64(&mut buf, id);
+            }
+        }
+        fs::write(dir.join(MANIFEST_NAME), buf)
+    }
+
+    /// Reopens a snapshot directory written by [`ShardedProMips::snapshot`]
+    /// or [`ShardedProMips::build_in_dir`].
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        let buf = fs::read(dir.join(MANIFEST_NAME))?;
+        // Truncation guard: a partially written manifest must surface as
+        // InvalidData, not a slice panic inside the `enc` readers.
+        let need = |pos: usize, bytes: usize| -> io::Result<()> {
+            if pos + bytes > buf.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "truncated sharded-index manifest: need {} bytes at offset {pos}, have {}",
+                        bytes,
+                        buf.len()
+                    ),
+                ));
+            }
+            Ok(())
+        };
+        // Fixed-size header: magic..seed plus the partitioner-name length
+        // (16 little-endian 8-byte fields).
+        const HEADER_BYTES: usize = 16 * 8;
+        let mut pos = 0;
+        if buf.len() < 16 || enc::get_u64(&buf, &mut pos) != MANIFEST_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad sharded-index manifest magic",
+            ));
+        }
+        need(0, HEADER_BYTES)?;
+        let version = enc::get_u64(&buf, &mut pos);
+        if version != MANIFEST_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported manifest version {version}"),
+            ));
+        }
+        let n_shards = enc::get_u64(&buf, &mut pos) as usize;
+        let d = enc::get_u64(&buf, &mut pos) as usize;
+        let n_points = enc::get_u64(&buf, &mut pos);
+        let exact_threshold = enc::get_u64(&buf, &mut pos) as usize;
+        let prune = enc::get_u64(&buf, &mut pos) != 0;
+        let cross_shard_floor = enc::get_u64(&buf, &mut pos) != 0;
+        let strategy = PartitionStrategy::from_tag(enc::get_u64(&buf, &mut pos))
+            .unwrap_or(PartitionStrategy::NormRange);
+        let c = enc::get_f64(&buf, &mut pos);
+        let p = enc::get_f64(&buf, &mut pos);
+        let m = match enc::get_u64(&buf, &mut pos) {
+            u64::MAX => None,
+            m => Some(m as usize),
+        };
+        let page_size = enc::get_u64(&buf, &mut pos) as usize;
+        let pool_pages = enc::get_u64(&buf, &mut pos) as usize;
+        let seed = enc::get_u64(&buf, &mut pos);
+        let name_len = enc::get_u64(&buf, &mut pos) as usize;
+        need(pos, name_len)?;
+        let partitioner_name = String::from_utf8_lossy(&buf[pos..pos + name_len]).into_owned();
+        pos += name_len;
+
+        let config = ShardedConfig {
+            shards: n_shards,
+            strategy,
+            exact_threshold,
+            prune,
+            cross_shard_floor,
+            base: promips_core::ProMipsConfig {
+                c,
+                p,
+                m,
+                idistance: Default::default(), // build-time only
+                page_size,
+                pool_pages,
+                seed,
+            },
+        };
+
+        let mut shards = Vec::with_capacity(n_shards.min(1 << 16));
+        for si in 0..n_shards {
+            need(pos, 24)?; // kind + count + max_norm
+            let exact = enc::get_u64(&buf, &mut pos) != 0;
+            let count = enc::get_u64(&buf, &mut pos) as usize;
+            let max_norm = enc::get_f64(&buf, &mut pos);
+            need(pos, count.saturating_mul(8))?;
+            let ids: Vec<u64> = (0..count).map(|_| enc::get_u64(&buf, &mut pos)).collect();
+            let kind = if exact {
+                let rows = read_exact(&shard_path(dir, si, true), d)?;
+                if rows.rows() != count {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "exact shard {si} holds {} rows, manifest says {count}",
+                            rows.rows()
+                        ),
+                    ));
+                }
+                ShardKind::Exact(ExactShard { rows })
+            } else {
+                let storage = Arc::new(FileStorage::open(shard_path(dir, si, false), page_size)?);
+                let pager = Arc::new(Pager::new(storage, pool_pages, AccessStats::new_shared()));
+                let pm = ProMips::open(pager)?;
+                if pm.len() != count as u64 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "indexed shard {si} holds {} points, manifest says {count}",
+                            pm.len()
+                        ),
+                    ));
+                }
+                ShardKind::Indexed(Box::new(pm))
+            };
+            shards.push(Shard {
+                ids,
+                max_norm,
+                kind,
+            });
+        }
+
+        Ok(Self {
+            config,
+            shards,
+            d,
+            n_points,
+            partitioner_name,
+        })
+    }
+}

@@ -1,0 +1,93 @@
+//! Results of a sharded fan-out search, with per-shard diagnostics.
+
+use promips_core::SearchItem;
+
+/// Per-shard outcome of one fan-out query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardQueryStats {
+    /// Shard id.
+    pub shard: u32,
+    /// Points stored in the shard.
+    pub points: u64,
+    /// True when the norm bound pruned the shard without searching it.
+    pub pruned: bool,
+    /// True when the shard ran the exact-scan fallback instead of its
+    /// ProMIPS index.
+    pub exact: bool,
+    /// Candidates whose exact inner product was computed in this shard
+    /// (zero for pruned shards).
+    pub verified: usize,
+    /// Items the shard contributed to the merge (before the global top-k
+    /// cut).
+    pub returned: usize,
+}
+
+/// Result of a sharded c-k-AMIP search: the merged global top-k plus what
+/// each shard did.
+#[derive(Debug, Clone)]
+pub struct ShardedSearchResult {
+    /// Top-k items by exact inner product, descending; ids are **global**
+    /// dataset row ids.
+    pub items: Vec<SearchItem>,
+    /// Total candidates verified across all searched shards.
+    pub verified: usize,
+    /// Per-shard diagnostics, indexed by shard id.
+    pub per_shard: Vec<ShardQueryStats>,
+}
+
+impl ShardedSearchResult {
+    /// The best inner product found (None for an empty result).
+    pub fn best_ip(&self) -> Option<f64> {
+        self.items.first().map(|i| i.ip)
+    }
+
+    /// The ids in rank order.
+    pub fn ids(&self) -> Vec<u64> {
+        self.items.iter().map(|i| i.id).collect()
+    }
+
+    /// Number of shards actually searched.
+    pub fn shards_searched(&self) -> usize {
+        self.per_shard.iter().filter(|s| !s.pruned).count()
+    }
+
+    /// Number of shards pruned by the norm bound.
+    pub fn shards_pruned(&self) -> usize {
+        self.per_shard.iter().filter(|s| s.pruned).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = ShardedSearchResult {
+            items: vec![SearchItem { id: 9, ip: 4.0 }, SearchItem { id: 2, ip: 1.0 }],
+            verified: 12,
+            per_shard: vec![
+                ShardQueryStats {
+                    shard: 0,
+                    points: 10,
+                    pruned: false,
+                    exact: false,
+                    verified: 12,
+                    returned: 2,
+                },
+                ShardQueryStats {
+                    shard: 1,
+                    points: 3,
+                    pruned: true,
+                    exact: true,
+                    verified: 0,
+                    returned: 0,
+                },
+            ],
+        };
+        assert_eq!(r.best_ip(), Some(4.0));
+        assert_eq!(r.ids(), vec![9, 2]);
+        assert_eq!(r.shards_searched(), 1);
+        assert_eq!(r.shards_pruned(), 1);
+    }
+}

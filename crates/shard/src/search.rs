@@ -1,0 +1,288 @@
+//! Parallel fan-out search with norm-bound shard pruning.
+//!
+//! A query runs in two deterministic phases:
+//!
+//! 1. **Seed probe.** The shard with the largest norm bound (under
+//!    norm-range partitioning, the high-norm shard — where the MIPS winner
+//!    statistically lives) is searched first. Its k-th best inner product
+//!    becomes the global *floor*.
+//! 2. **Pruned fan-out.** Every other shard whose Cauchy–Schwarz bound
+//!    `‖q‖₂ · max_norm(shard)` falls strictly below the floor is pruned —
+//!    no point it holds can enter the global top-k. Surviving shards are
+//!    searched concurrently under `std::thread::scope`, each with its own
+//!    [`SearchScratch`].
+//!
+//! Pruning is exact, never approximate: a pruned shard's best possible
+//! inner product is beaten by k already-verified points, so the merged
+//! top-k is identical with pruning on or off. With
+//! [`crate::ShardedConfig::cross_shard_floor`] enabled, the floor is
+//! additionally passed down to
+//! [`promips_core::ProMips::search_with_floor`], letting each surviving
+//! shard stop verifying as soon as it cannot improve the global result —
+//! a latency/recall trade that is therefore **off by default**.
+//!
+//! The floor is fixed after phase 1 (workers never race to update it), so
+//! results are **deterministic**: the same query against the same index
+//! returns the same items, ranks, and per-shard counts regardless of thread
+//! count or scheduling.
+
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use promips_core::{SearchItem, SearchScratch};
+use promips_linalg::sq_norm2;
+
+use crate::index::{ShardKind, ShardedProMips};
+use crate::result::{ShardQueryStats, ShardedSearchResult};
+
+/// Reusable per-shard search buffers: one [`SearchScratch`] per shard,
+/// individually locked so fan-out workers (at most one per shard) take
+/// them without contention. Buffers grow to each shard's high-water mark
+/// and are reused across queries.
+pub struct ShardedScratch {
+    per_shard: Vec<Mutex<SearchScratch>>,
+}
+
+impl ShardedScratch {
+    /// A fresh scratch set for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            per_shard: (0..shards)
+                .map(|_| Mutex::new(SearchScratch::new()))
+                .collect(),
+        }
+    }
+
+    /// A scratch set sized for `index`.
+    pub fn for_index(index: &ShardedProMips) -> Self {
+        Self::new(index.shard_count())
+    }
+}
+
+/// What one searched shard contributed.
+struct ShardOutcome {
+    /// Shard items mapped to **global** ids, best first.
+    items: Vec<SearchItem>,
+    verified: usize,
+}
+
+impl ShardedProMips {
+    /// c-k-AMIP search across all shards (allocates a fresh scratch set;
+    /// high-throughput callers should hold a [`ShardedScratch`] and use
+    /// [`ShardedProMips::search_with_scratch`]).
+    pub fn search(&self, q: &[f32], k: usize) -> io::Result<ShardedSearchResult> {
+        self.search_with_scratch(q, k, &mut ShardedScratch::for_index(self))
+    }
+
+    /// [`ShardedProMips::search`] with caller-provided per-shard scratch
+    /// buffers, fanning out over all available cores.
+    pub fn search_with_scratch(
+        &self,
+        q: &[f32],
+        k: usize,
+        scratch: &mut ShardedScratch,
+    ) -> io::Result<ShardedSearchResult> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.search_threaded(q, k, threads, scratch)
+    }
+
+    /// [`ShardedProMips::search_with_scratch`] with an explicit worker
+    /// count for the fan-out phase. Results are identical for every thread
+    /// count (see the module docs on determinism).
+    pub fn search_threaded(
+        &self,
+        q: &[f32],
+        k: usize,
+        threads: usize,
+        scratch: &mut ShardedScratch,
+    ) -> io::Result<ShardedSearchResult> {
+        assert_eq!(q.len(), self.d, "query dimensionality mismatch");
+        assert!(k >= 1, "k must be at least 1");
+        assert_eq!(
+            scratch.per_shard.len(),
+            self.shards.len(),
+            "scratch sized for {} shards, index has {}",
+            scratch.per_shard.len(),
+            self.shards.len()
+        );
+        let ns = self.shards.len();
+        let q_norm = sq_norm2(q).sqrt();
+        let mut outcomes: Vec<Option<ShardOutcome>> = (0..ns).map(|_| None).collect();
+        let mut pruned = vec![false; ns];
+
+        // --- Phase 1: seed probe of the highest-norm-bound shard. ---------
+        let mut kth_floor = f64::NEG_INFINITY;
+        let mut fan_out: Vec<usize> = Vec::with_capacity(ns);
+        if self.config.prune && ns > 1 {
+            let seed = self
+                .shards
+                .iter()
+                .enumerate()
+                .max_by(|(ia, a), (ib, b)| a.max_norm.total_cmp(&b.max_norm).then(ib.cmp(ia)))
+                .map(|(i, _)| i)
+                .expect("at least one shard");
+            let outcome = self.search_shard(
+                seed,
+                q,
+                k,
+                f64::NEG_INFINITY,
+                &mut scratch.per_shard[seed].lock(),
+            )?;
+            if outcome.items.len() >= k {
+                kth_floor = outcome.items[k - 1].ip;
+            }
+            outcomes[seed] = Some(outcome);
+            for (si, shard) in self.shards.iter().enumerate() {
+                if si == seed {
+                    continue;
+                }
+                if q_norm * shard.max_norm < kth_floor {
+                    pruned[si] = true; // cannot beat k verified points
+                } else {
+                    fan_out.push(si);
+                }
+            }
+        } else {
+            fan_out.extend(0..ns);
+        }
+        // Exact by construction: shard pruning only drops points strictly
+        // below k verified inner products. The in-shard floor is the
+        // opt-in approximate accelerator (see the module docs).
+        let floor = if self.config.cross_shard_floor {
+            kth_floor
+        } else {
+            f64::NEG_INFINITY
+        };
+
+        // --- Phase 2: parallel fan-out over surviving shards. -------------
+        let threads = threads.clamp(1, fan_out.len().max(1));
+        if threads == 1 {
+            for &si in &fan_out {
+                let outcome =
+                    self.search_shard(si, q, k, floor, &mut scratch.per_shard[si].lock())?;
+                outcomes[si] = Some(outcome);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let fan_out_ref = &fan_out;
+            let per_shard = &scratch.per_shard;
+            let collected = std::thread::scope(|s| -> io::Result<Vec<(usize, ShardOutcome)>> {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut local: Vec<(usize, io::Result<ShardOutcome>)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= fan_out_ref.len() {
+                                    break;
+                                }
+                                let si = fan_out_ref[i];
+                                let res =
+                                    self.search_shard(si, q, k, floor, &mut per_shard[si].lock());
+                                local.push((si, res));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(fan_out_ref.len());
+                for w in workers {
+                    for (si, res) in w.join().expect("shard fan-out worker panicked") {
+                        out.push((si, res?));
+                    }
+                }
+                Ok(out)
+            })?;
+            for (si, outcome) in collected {
+                outcomes[si] = Some(outcome);
+            }
+        }
+
+        // --- Merge: one global top-k over every contributed item. ---------
+        let mut merged: Vec<SearchItem> = outcomes
+            .iter()
+            .flatten()
+            .flat_map(|o| o.items.iter().copied())
+            .collect();
+        merged.sort_by(|a, b| b.ip.total_cmp(&a.ip).then(a.id.cmp(&b.id)));
+        merged.truncate(k);
+
+        let verified = outcomes.iter().flatten().map(|o| o.verified).sum();
+        let per_shard = (0..ns)
+            .map(|si| ShardQueryStats {
+                shard: si as u32,
+                points: self.shards[si].len(),
+                pruned: pruned[si],
+                exact: self.shards[si].is_exact(),
+                verified: outcomes[si].as_ref().map_or(0, |o| o.verified),
+                returned: outcomes[si].as_ref().map_or(0, |o| o.items.len()),
+            })
+            .collect();
+
+        Ok(ShardedSearchResult {
+            items: merged,
+            verified,
+            per_shard,
+        })
+    }
+
+    /// Searches one shard with the given floor, mapping item ids to global
+    /// ids. Indexed shards ride
+    /// [`promips_core::ProMips::search_with_floor`]; exact shards run a
+    /// blocked scan over their rows.
+    fn search_shard(
+        &self,
+        si: usize,
+        q: &[f32],
+        k: usize,
+        floor: f64,
+        scratch: &mut SearchScratch,
+    ) -> io::Result<ShardOutcome> {
+        let shard = &self.shards[si];
+        match &shard.kind {
+            ShardKind::Indexed(pm) => {
+                let res = pm.search_with_floor(q, k, floor, scratch)?;
+                Ok(ShardOutcome {
+                    items: res
+                        .items
+                        .iter()
+                        .map(|it| SearchItem {
+                            id: shard.ids[it.id as usize],
+                            ip: it.ip,
+                        })
+                        .collect(),
+                    verified: res.verified,
+                })
+            }
+            ShardKind::Exact(ex) => Ok(ShardOutcome {
+                items: exact_topk(&ex.rows, &shard.ids, q, k, floor),
+                verified: ex.rows.rows(),
+            }),
+        }
+    }
+}
+
+/// Blocked exact top-k over a small shard: every row is scored through the
+/// shared `dot4`-blocked kernel ([`promips_linalg::Matrix::dot_rows`]),
+/// items below the floor are dropped, and ties break by global id — the
+/// same total order the merge and the indexed shards use.
+fn exact_topk(
+    rows: &promips_linalg::Matrix,
+    ids: &[u64],
+    q: &[f32],
+    k: usize,
+    floor: f64,
+) -> Vec<SearchItem> {
+    let mut items: Vec<SearchItem> = Vec::with_capacity(rows.rows());
+    rows.dot_rows(0, rows.rows(), q, |i, ip| {
+        if ip >= floor {
+            items.push(SearchItem { id: ids[i], ip });
+        }
+    });
+    items.sort_by(|a, b| b.ip.total_cmp(&a.ip).then(a.id.cmp(&b.id)));
+    items.truncate(k);
+    items
+}

@@ -1,0 +1,218 @@
+//! Sharded persistence: snapshot a `ShardedProMips` to a directory, reload
+//! it, and require bit-identical behaviour — top-k items, per-shard point
+//! counts, and the 1-shard configuration's equivalence to the plain
+//! unsharded index.
+
+use promips_core::{ProMips, ProMipsConfig};
+use promips_linalg::Matrix;
+use promips_shard::{PartitionStrategy, ShardedConfig, ShardedProMips};
+use promips_stats::Xoshiro256pp;
+
+fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    Matrix::from_rows(
+        d,
+        (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()),
+    )
+}
+
+fn random_queries(nq: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..nq)
+        .map(|_| (0..d).map(|_| rng.normal() as f32).collect())
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("promips-shard-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn snapshot_reload_is_bit_identical() {
+    let dir = temp_dir("roundtrip");
+    let data = random_data(1100, 18, 7);
+    let cfg = ShardedConfig::builder()
+        .shards(4)
+        .exact_threshold(64)
+        .base(ProMipsConfig::builder().c(0.9).p(0.5).seed(21).build())
+        .build();
+    let built = ShardedProMips::build_in_memory(&data, cfg).unwrap();
+    built.snapshot(&dir).unwrap();
+
+    let queries = random_queries(10, 18, 11);
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| built.search(q, 10).unwrap())
+        .collect();
+    let points_before = built.shard_points();
+    drop(built);
+
+    let reopened = ShardedProMips::open(&dir).unwrap();
+    assert_eq!(reopened.len(), 1100);
+    assert_eq!(reopened.shard_count(), 4);
+    assert_eq!(reopened.shard_points(), points_before);
+    assert_eq!(reopened.partitioner_name(), "norm-range");
+    assert_eq!(reopened.config().strategy, PartitionStrategy::NormRange);
+
+    for (q, b) in queries.iter().zip(&before) {
+        let a = reopened.search(q, 10).unwrap();
+        assert_eq!(a.items, b.items, "reloaded top-k must be bit-identical");
+        assert_eq!(a.verified, b.verified);
+        for (x, y) in a.per_shard.iter().zip(&b.per_shard) {
+            assert_eq!(x, y, "per-shard stats must survive the roundtrip");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn build_in_dir_equals_in_memory_build_and_reopens() {
+    let dir = temp_dir("build-in-dir");
+    let data = random_data(900, 14, 17);
+    let cfg = ShardedConfig::builder()
+        .shards(3)
+        .base(ProMipsConfig::builder().seed(5).build())
+        .build();
+    let mem = ShardedProMips::build_in_memory(&data, cfg.clone()).unwrap();
+    let disk = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
+
+    let queries = random_queries(8, 14, 19);
+    for q in &queries {
+        let a = mem.search(q, 7).unwrap();
+        let b = disk.search(q, 7).unwrap();
+        assert_eq!(a.items, b.items, "storage backend must not change results");
+    }
+    drop(disk);
+
+    let reopened = ShardedProMips::open(&dir).unwrap();
+    assert_eq!(reopened.shard_points(), mem.shard_points());
+    for q in &queries {
+        let a = mem.search(q, 7).unwrap();
+        let b = reopened.search(q, 7).unwrap();
+        assert_eq!(a.items, b.items);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn one_shard_snapshot_matches_unsharded_index() {
+    // The compatibility pin: a persisted-and-reloaded 1-shard sharded index
+    // must agree item-for-item with the plain ProMips built from the same
+    // base config over the same data.
+    let dir = temp_dir("one-shard");
+    let data = random_data(800, 16, 29);
+    let base = ProMipsConfig::builder().c(0.85).p(0.6).seed(77).build();
+    let unsharded = ProMips::build_in_memory(&data, base.clone()).unwrap();
+    let sharded = ShardedProMips::build_in_memory(
+        &data,
+        ShardedConfig::builder()
+            .shards(1)
+            .exact_threshold(0)
+            .base(base)
+            .build(),
+    )
+    .unwrap();
+    assert_eq!(sharded.shard_points(), vec![800]);
+    sharded.snapshot(&dir).unwrap();
+    drop(sharded);
+
+    let reopened = ShardedProMips::open(&dir).unwrap();
+    assert_eq!(reopened.shard_points(), vec![800]);
+    for q in random_queries(10, 16, 31) {
+        let a = unsharded.search(&q, 9).unwrap();
+        let b = reopened.search(&q, 9).unwrap();
+        assert_eq!(a.items, b.items, "1-shard reload must equal unsharded");
+        assert_eq!(a.verified, b.verified);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn exact_shards_survive_the_roundtrip() {
+    let dir = temp_dir("exact");
+    let data = random_data(150, 10, 41);
+    // Threshold above every shard size: all four shards are scan-backed.
+    let cfg = ShardedConfig::builder()
+        .shards(4)
+        .exact_threshold(1_000)
+        .build();
+    let built = ShardedProMips::build_in_memory(&data, cfg).unwrap();
+    assert!(built.shards().iter().all(|s| s.is_exact()));
+    built.snapshot(&dir).unwrap();
+    let queries = random_queries(6, 10, 43);
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| built.search(q, 5).unwrap())
+        .collect();
+    drop(built);
+
+    let reopened = ShardedProMips::open(&dir).unwrap();
+    assert!(reopened.shards().iter().all(|s| s.is_exact()));
+    assert_eq!(reopened.shard_points().iter().sum::<u64>(), 150);
+    for (q, b) in queries.iter().zip(&before) {
+        assert_eq!(reopened.search(q, 5).unwrap().items, b.items);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn snapshot_does_not_inflate_read_stats_or_evict_cache() {
+    // The page copy must go through the raw storage device, not the
+    // pager: logical-read counters are the paper's Page Access metric and
+    // must not move, and the query working set must stay cached.
+    let dir = temp_dir("stats");
+    let data = random_data(600, 12, 53);
+    let built =
+        ShardedProMips::build_in_memory(&data, ShardedConfig::builder().shards(2).build()).unwrap();
+    let q = random_queries(1, 12, 57).pop().unwrap();
+    built.reset_stats();
+    let _ = built.search(&q, 5).unwrap();
+    let before = built.access_stats();
+    built.snapshot(&dir).unwrap();
+    let after = built.access_stats();
+    assert_eq!(
+        after.logical_reads, before.logical_reads,
+        "snapshot charged logical reads to the shard pagers"
+    );
+    assert_eq!(after.cache_misses, before.cache_misses);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn open_rejects_truncated_manifest() {
+    // Every truncation point must surface as an error, never a panic.
+    let dir = temp_dir("truncated");
+    let data = random_data(200, 8, 59);
+    let built =
+        ShardedProMips::build_in_memory(&data, ShardedConfig::builder().shards(2).build()).unwrap();
+    built.snapshot(&dir).unwrap();
+    let manifest = std::fs::read(dir.join("MANIFEST.pms")).unwrap();
+    for cut in [17, 64, 127, 130, manifest.len() - 9, manifest.len() - 1] {
+        std::fs::write(dir.join("MANIFEST.pms"), &manifest[..cut]).unwrap();
+        assert!(
+            ShardedProMips::open(&dir).is_err(),
+            "truncation at {cut} bytes must error"
+        );
+    }
+    // Restoring the full manifest restores openability.
+    std::fs::write(dir.join("MANIFEST.pms"), &manifest).unwrap();
+    assert!(ShardedProMips::open(&dir).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn open_rejects_garbage_manifest() {
+    let dir = temp_dir("garbage");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("MANIFEST.pms"), b"not a manifest at all").unwrap();
+    assert!(ShardedProMips::open(&dir).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn open_missing_dir_errors() {
+    let dir = temp_dir("missing");
+    assert!(ShardedProMips::open(&dir).is_err());
+}

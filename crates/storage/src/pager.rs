@@ -235,6 +235,15 @@ impl Pager {
         &self.stats
     }
 
+    /// The underlying page device. Maintenance paths — whole-file copies
+    /// like sharded snapshots — read through this instead of
+    /// [`Pager::read`], so they neither inflate the access counters the
+    /// experiments measure nor evict the query working set from the
+    /// buffer pool.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
+    }
+
     /// Fetches a page, counting one logical read; served from the buffer
     /// pool when possible.
     pub fn read(&self, id: PageId) -> io::Result<Arc<PageBuf>> {

@@ -9,6 +9,9 @@
 //! * [`core`] — the ProMIPS algorithm: 2-stable random projections, the
 //!   probability-guaranteed searching conditions, Quick-Probe, and the
 //!   end-to-end index.
+//! * [`shard`] — horizontal scaling: norm-range partitioned shards, each
+//!   with its own storage file and index, searched by a pruned parallel
+//!   fan-out.
 //! * [`idistance`] — the lightweight iDistance index with the paper's ring
 //!   partition pattern.
 //! * [`btree`], [`storage`] — the disk substrate (single B+-tree over a
@@ -41,6 +44,27 @@
 //! let result = index.search(&query, 10).unwrap();
 //! assert_eq!(result.items.len(), 10);
 //! ```
+//!
+//! ## Scaling out
+//!
+//! ```
+//! use promips::shard::{ShardedConfig, ShardedProMips};
+//! # use promips::linalg::Matrix;
+//! # let mut rng = promips::stats::Xoshiro256pp::seed_from_u64(1);
+//! # let data = Matrix::from_rows(
+//! #     32,
+//! #     (0..1000).map(|_| (0..32).map(|_| rng.normal() as f32).collect()),
+//! # );
+//!
+//! // Four norm-range shards, each with its own storage + index; queries
+//! // fan out in parallel and low-norm shards are pruned by an exact
+//! // Cauchy–Schwarz bound.
+//! let config = ShardedConfig::builder().shards(4).build();
+//! let sharded = ShardedProMips::build_in_memory(&data, config).unwrap();
+//! let query: Vec<f32> = (0..32).map(|_| rng.normal() as f32).collect();
+//! let top10 = sharded.search(&query, 10).unwrap();
+//! assert_eq!(top10.per_shard.len(), 4);
+//! ```
 
 pub use promips_baselines as baselines;
 pub use promips_btree as btree;
@@ -49,5 +73,6 @@ pub use promips_core as core;
 pub use promips_data as data;
 pub use promips_idistance as idistance;
 pub use promips_linalg as linalg;
+pub use promips_shard as shard;
 pub use promips_stats as stats;
 pub use promips_storage as storage;
