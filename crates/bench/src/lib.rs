@@ -20,6 +20,7 @@ pub mod methods;
 pub mod metrics;
 pub mod micro;
 pub mod report;
+pub mod schema;
 pub mod sweep;
 pub mod workload;
 

@@ -111,8 +111,10 @@ impl ProMips {
         let mut id_cfg = config.idistance.clone();
         id_cfg.seed ^= config.seed;
         let index = build_index(Arc::clone(&pager), &proj, data, &id_cfg)?;
-        // build_index ends by writing the iDistance footer as the last page.
-        let idist_footer_page = pager.num_pages() - 1;
+        // build_index ends by writing the iDistance footer as the file's
+        // last pages (one page at any realistic page size).
+        let idist_footer_page =
+            pager.num_pages() - promips_idistance::footer_span_pages(pager.page_size());
 
         // Locator: where did each id land? (One reused decode arena across
         // sub-partitions — this pass touches every projected record.)

@@ -14,6 +14,15 @@ pub struct IDistanceConfig {
     pub kmeans_iters: usize,
     /// Seed for the clustering RNG.
     pub seed: u64,
+    /// Whether to build the SQ8 quantized filter tier: a dense u8 code
+    /// column per sub-partition (1 byte per projected coordinate instead of
+    /// 4) that the annulus scan filters first, decoding only surviving
+    /// 4-row blocks through the exact f32 path. The quantized filter is
+    /// padded by the per-sub-partition quantization error bound, so scan
+    /// results are **bit-identical** with the tier on or off — `false` only
+    /// trades scan speed for a slightly smaller file (and writes the
+    /// version-1 on-disk format, which current builds can still open).
+    pub quantize: bool,
 }
 
 impl Default for IDistanceConfig {
@@ -24,6 +33,7 @@ impl Default for IDistanceConfig {
             ksp: 10,
             kmeans_iters: 20,
             seed: 0x1D15_7A4C,
+            quantize: true,
         }
     }
 }

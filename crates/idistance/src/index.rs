@@ -4,17 +4,39 @@ use std::io;
 use std::sync::Arc;
 
 use promips_btree::BTree;
-use promips_linalg::{dist, sq_dist, sq_dist4};
+use promips_linalg::{dist, scalar, sq_dist, sq_dist4, sq_dist4_i8};
 use promips_storage::{AccessStatsSnapshot, PageBuf, PageId, Pager};
 
 use crate::knn::NnIter;
 use crate::layout::{enc, read_blob, read_blob_range, write_blob};
-use crate::meta::{PartitionMeta, SubPartMeta};
+use crate::meta::{PartitionMeta, SubPartMeta, SubPartQuant};
 
 /// A packed byte region: `(start_page, byte_len)`; pages are consecutive.
 pub type Region = (PageId, u64);
 
+/// Format v1: projected + original regions only (no quantized tier).
 const FOOTER_MAGIC: u64 = 0x1D15_7A4C_E01D_F007;
+/// Format v2: v1 plus the SQ8 quantized region and its per-sub-partition
+/// quantizer directory. [`IDistanceIndex::open_at`] accepts both; v1 files
+/// simply open with the quantized filter tier disabled.
+const FOOTER_MAGIC_V2: u64 = 0x1D15_7A4C_E01D_F008;
+
+/// Fixed on-disk footer length: the 17 8-byte fields of a v2 footer. v1
+/// footers (15 fields) are zero-padded to the same length, so the footer's
+/// page span is version-independent and callers can locate its start
+/// without knowing the version (see [`footer_span_pages`]). For any page
+/// size ≥ 136 this is one zero-padded page — byte-identical to the
+/// pre-quantization single-page footer; smaller (test-only) page sizes
+/// spill onto consecutive pages instead of silently truncating.
+const FOOTER_BYTES: usize = 17 * 8;
+
+/// Number of trailing pages the iDistance footer occupies for a given page
+/// size — the builder writes the footer as the file's last
+/// `footer_span_pages` pages, and layers that append their own data after
+/// it (the full ProMIPS persistence) use this to find the footer start.
+pub fn footer_span_pages(page_size: usize) -> u64 {
+    FOOTER_BYTES.div_ceil(page_size).max(1) as u64
+}
 
 /// A point surfaced by a projected-space range search.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +66,15 @@ pub struct ProjScratch {
     ids: Vec<u64>,
     rows: Vec<f32>,
     m: usize,
+    /// Quantized-stage buffers (SQ8 filter tier): the current
+    /// sub-partition's u8 code column, the query quantized into the
+    /// sub-partition's code space, and the 4-row block indices that
+    /// survived the integer filter. Like the f32 arena, these grow to the
+    /// largest sub-partition seen and are never reallocated afterwards, so
+    /// the quantized pass is allocation-free at steady state.
+    codes: Vec<u8>,
+    qcodes: Vec<u8>,
+    qblocks: Vec<u32>,
 }
 
 impl ProjScratch {
@@ -183,8 +214,14 @@ pub struct IDistanceIndex {
     ring_c: u64,
     proj_region: Region,
     orig_region: Region,
+    /// The packed SQ8 code region (format v2); `None` on v1 files and
+    /// `quantize: false` builds, which scan through the f32 path alone.
+    quant_region: Option<Region>,
     partitions: Vec<PartitionMeta>,
     subparts: Vec<SubPartMeta>,
+    /// Per-sub-partition quantizers, parallel to `subparts` (empty when
+    /// `quant_region` is `None`).
+    quants: Vec<SubPartQuant>,
     n_points: u64,
 }
 
@@ -200,10 +237,20 @@ impl IDistanceIndex {
         ring_c: u64,
         proj_region: Region,
         orig_region: Region,
+        quant_region: Option<Region>,
         partitions: Vec<PartitionMeta>,
         subparts: Vec<SubPartMeta>,
+        quants: Vec<SubPartQuant>,
         n_points: u64,
     ) -> Self {
+        debug_assert!(
+            if quant_region.is_some() {
+                quants.len() == subparts.len()
+            } else {
+                quants.is_empty()
+            },
+            "quantizer directory must parallel the sub-partition directory"
+        );
         Self {
             pager,
             tree,
@@ -213,8 +260,10 @@ impl IDistanceIndex {
             ring_c,
             proj_region,
             orig_region,
+            quant_region,
             partitions,
             subparts,
+            quants,
             n_points,
         }
     }
@@ -284,6 +333,22 @@ impl IDistanceIndex {
         self.orig_region
     }
 
+    /// The packed SQ8 code region, if the quantized filter tier is built.
+    pub fn quant_region(&self) -> Option<Region> {
+        self.quant_region
+    }
+
+    /// Whether the annulus scan runs the two-level quantized filter.
+    pub fn quantized(&self) -> bool {
+        self.quant_region.is_some()
+    }
+
+    /// Per-sub-partition quantizers (parallel to [`Self::subparts`]; empty
+    /// when the quantized tier is absent).
+    pub fn quants(&self) -> &[SubPartQuant] {
+        &self.quants
+    }
+
     // --- Range search ----------------------------------------------------
 
     /// Annulus range search in the projected space: returns every point with
@@ -347,9 +412,14 @@ impl IDistanceIndex {
         Ok(())
     }
 
-    /// Scans one sub-partition's projected blob, appending candidates in the
-    /// annulus: one arena decode, then a blocked `sq_dist4` filter over four
-    /// contiguous rows at a time.
+    /// Scans one sub-partition, appending candidates in the annulus. With
+    /// the quantized tier present this is the two-level path (integer
+    /// filter, then exact f32 re-test of surviving blocks); otherwise one
+    /// arena decode plus the blocked `sq_dist4` filter over four contiguous
+    /// rows at a time. Both paths emit **identical** candidates: the
+    /// quantized filter is padded by the sub-partition's quantization error
+    /// bound so it never drops a true candidate, and survivors' distances
+    /// come from the same f32 kernels over the same 4-row blocks.
     fn scan_subpart(
         &self,
         sub: u32,
@@ -359,6 +429,9 @@ impl IDistanceIndex {
         out: &mut Vec<RangeCandidate>,
         scratch: &mut ProjScratch,
     ) -> io::Result<()> {
+        if self.quant_region.is_some() {
+            return self.scan_subpart_quantized(sub, pq, r_lo, r_hi, out, scratch);
+        }
         self.read_subpart_proj_into(sub, scratch)?;
         scratch.for_each_dist(pq, |offset, id, pd| {
             if pd > r_lo && pd <= r_hi {
@@ -370,6 +443,174 @@ impl IDistanceIndex {
                 });
             }
         });
+        Ok(())
+    }
+
+    /// Two-level quantized scan of one sub-partition.
+    ///
+    /// **Level 1 (integer):** the sub-partition's u8 code column (1 byte
+    /// per coordinate — a quarter of the f32 record bytes, and no id
+    /// column) is filtered with the blocked [`sq_dist4_i8`] kernel against
+    /// the query quantized into the sub-partition's code space. A code-space
+    /// distance `Dq = scale·√(Σ (aⱼ−bⱼ)²)` is the exact distance between
+    /// the *dequantized* row and the *dequantized* query, so by two triangle
+    /// inequalities the true distance satisfies `|pd − Dq| ≤ err_total`
+    /// where `err_total = err_subpart + err_query` (the stored build-time
+    /// dequantization bound plus the query's own quantization error,
+    /// computed exactly per call — which also covers query coordinates
+    /// clamped outside the code range). Rows are kept when `Dq` falls in
+    /// the annulus **padded by `err_total`**, so no true candidate is ever
+    /// dropped; comparisons happen in the squared domain with a relative
+    /// 1e-9 inflation that swamps the few-ulp f64 rounding differences
+    /// between this filter and the exact kernel.
+    ///
+    /// **Level 2 (exact):** only 4-row blocks containing at least one
+    /// survivor are decoded from the f32 projected region and re-tested
+    /// with the same blocked `sq_dist4` (tail rows: single-row `sq_dist`)
+    /// the full scan uses — identical block shapes, hence bit-identical
+    /// distances. Quantized non-survivors inside a surviving block are
+    /// guaranteed by the bound to fail the exact test, so re-testing the
+    /// whole block changes nothing and keeps the kernel shape fixed.
+    fn scan_subpart_quantized(
+        &self,
+        sub: u32,
+        pq: &[f32],
+        r_lo: f64,
+        r_hi: f64,
+        out: &mut Vec<RangeCandidate>,
+        scratch: &mut ProjScratch,
+    ) -> io::Result<()> {
+        let sp = &self.subparts[sub as usize];
+        let qt = &self.quants[sub as usize];
+        let m = self.m;
+        let count = sp.count as usize;
+        let (quant_start, _) = self.quant_region.expect("quantized scan requires the tier");
+
+        let ProjScratch {
+            ids,
+            rows,
+            m: scratch_m,
+            codes,
+            qcodes,
+            qblocks,
+        } = scratch;
+        *scratch_m = m;
+        ids.clear();
+        rows.clear();
+
+        // --- Quantize the query; measure its quantization error exactly. --
+        let scale = qt.scale as f64;
+        let min = qt.min as f64;
+        qcodes.clear();
+        qcodes.reserve(m);
+        let mut q_err_sq = 0.0f64;
+        for &x in pq {
+            let code = ((x as f64 - min) / scale).round().clamp(0.0, 255.0);
+            qcodes.push(code as u8);
+            let e = x as f64 - (min + scale * code);
+            q_err_sq += e * e;
+        }
+        let err_total = (qt.err as f64 + q_err_sq.sqrt()) * (1.0 + 1e-9);
+
+        // Padded squared thresholds in the code-distance domain: keep when
+        // lo2 < D²·scale² ≤ hi2 (lower test skipped for ball queries).
+        let scale2 = scale * scale;
+        let hi_thr = r_hi + err_total;
+        let hi2 = hi_thr * hi_thr * (1.0 + 1e-9);
+        let lo_thr = r_lo - err_total;
+        let lo2 = if lo_thr > 0.0 {
+            lo_thr * lo_thr * (1.0 - 1e-9)
+        } else {
+            -1.0
+        };
+        let in_window = |d2_codes: u32| {
+            let d2 = d2_codes as f64 * scale2;
+            d2 > lo2 && d2 <= hi2
+        };
+
+        // --- Level 1: integer filter over the code column. -----------------
+        codes.clear();
+        codes.reserve(count * m);
+        let mut pages = PageCursor::new(&self.pager, quant_start);
+        pages.walk(qt.off as usize, count * m, |chunk| {
+            codes.extend_from_slice(chunk)
+        })?;
+
+        qblocks.clear();
+        let full_blocks = count / 4;
+        for b in 0..full_blocks {
+            let base = b * 4 * m;
+            let d2 = sq_dist4_i8(
+                &codes[base..base + m],
+                &codes[base + m..base + 2 * m],
+                &codes[base + 2 * m..base + 3 * m],
+                &codes[base + 3 * m..base + 4 * m],
+                qcodes,
+            );
+            if d2.iter().copied().any(in_window) {
+                qblocks.push(b as u32);
+            }
+        }
+        let tail_start = full_blocks * 4;
+        let tail_survives = (tail_start..count)
+            .any(|i| in_window(scalar::sq_dist_i8(&codes[i * m..(i + 1) * m], qcodes)));
+
+        // --- Level 2: exact re-test of surviving blocks only. --------------
+        let rec = 8 + 4 * m;
+        let mut pages = PageCursor::new(&self.pager, self.proj_region.0);
+        for &b in qblocks.iter() {
+            let p = ids.len();
+            Self::decode_proj_fields(
+                &mut pages,
+                sp.proj_off as usize + b as usize * 4 * rec,
+                4,
+                m,
+                ids,
+                rows,
+            )?;
+            let base = p * m;
+            let d2 = sq_dist4(
+                &rows[base..base + m],
+                &rows[base + m..base + 2 * m],
+                &rows[base + 2 * m..base + 3 * m],
+                &rows[base + 3 * m..base + 4 * m],
+                pq,
+            );
+            for (j, &v) in d2.iter().enumerate() {
+                let pd = v.sqrt();
+                if pd > r_lo && pd <= r_hi {
+                    out.push(RangeCandidate {
+                        id: ids[p + j],
+                        proj_dist: pd,
+                        subpart: sub,
+                        offset: b * 4 + j as u32,
+                    });
+                }
+            }
+        }
+        if tail_survives {
+            let p = ids.len();
+            Self::decode_proj_fields(
+                &mut pages,
+                sp.proj_off as usize + tail_start * rec,
+                count - tail_start,
+                m,
+                ids,
+                rows,
+            )?;
+            for (j, offset) in (tail_start..count).enumerate() {
+                let base = (p + j) * m;
+                let pd = sq_dist(&rows[base..base + m], pq).sqrt();
+                if pd > r_lo && pd <= r_hi {
+                    out.push(RangeCandidate {
+                        id: ids[p + j],
+                        proj_dist: pd,
+                        subpart: sub,
+                        offset: offset as u32,
+                    });
+                }
+            }
+        }
         Ok(())
     }
 
@@ -395,50 +636,40 @@ impl IDistanceIndex {
         Ok(())
     }
 
-    /// Reads a sub-partition's projected records: `(id, projected vector)`.
-    ///
-    /// Compatibility wrapper over the arena path; allocates one `Vec` per
-    /// record.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates one Vec per record; decode into a reusable `ProjScratch` \
-                via `read_subpart_proj_into` instead"
-    )]
-    pub fn read_subpart_proj(&self, sub: u32) -> io::Result<Vec<(u64, Vec<f32>)>> {
-        let sp = &self.subparts[sub as usize];
-        self.proj_records_to_vecs(sp)
-    }
-
-    /// As [`Self::read_subpart_proj`] but from a metadata reference.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates one Vec per record; decode into a reusable `ProjScratch` \
-                via `read_subpart_proj_into_by_meta` instead"
-    )]
-    pub fn read_subpart_proj_by_meta(&self, sp: &SubPartMeta) -> io::Result<Vec<(u64, Vec<f32>)>> {
-        self.proj_records_to_vecs(sp)
-    }
-
-    /// Shared body of the deprecated owning wrappers.
-    fn proj_records_to_vecs(&self, sp: &SubPartMeta) -> io::Result<Vec<(u64, Vec<f32>)>> {
-        let mut scratch = ProjScratch::new();
-        self.read_subpart_proj_into_by_meta(sp, &mut scratch)?;
-        Ok((0..scratch.len())
-            .map(|i| (scratch.id(i), scratch.row(i).to_vec()))
-            .collect())
-    }
-
     /// Streams `count` projected records starting at byte `start` of the
     /// projected region into `scratch`, straight from the covering pages.
-    /// Fields (an 8-byte id, then `m` 4-byte floats per record) may straddle
-    /// page boundaries; a partial field is staged in a small word buffer.
     fn decode_proj_records(
         &self,
         start: usize,
         count: usize,
         scratch: &mut ProjScratch,
     ) -> io::Result<()> {
-        let m = self.m;
+        let mut pages = PageCursor::new(&self.pager, self.proj_region.0);
+        Self::decode_proj_fields(
+            &mut pages,
+            start,
+            count,
+            self.m,
+            &mut scratch.ids,
+            &mut scratch.rows,
+        )
+    }
+
+    /// Decodes `count` projected records at byte `start` through a
+    /// caller-held [`PageCursor`], appending to the id column and flat row
+    /// arena. The quantized scan decodes several disjoint record runs of
+    /// one sub-partition through a single cursor, so a page shared by two
+    /// surviving blocks is still read once. Fields (an 8-byte id, then `m`
+    /// 4-byte floats per record) may straddle page boundaries; a partial
+    /// field is staged in a small word buffer.
+    fn decode_proj_fields(
+        pages: &mut PageCursor<'_>,
+        start: usize,
+        count: usize,
+        m: usize,
+        ids: &mut Vec<u64>,
+        rows: &mut Vec<f32>,
+    ) -> io::Result<()> {
         let rec = 8 + 4 * m;
         // Field currently being assembled: `need` is 8 while expecting an
         // id, 4 while expecting one of the record's `floats_left` floats.
@@ -446,9 +677,6 @@ impl IDistanceIndex {
         let mut have = 0usize;
         let mut need = 8usize;
         let mut floats_left = 0usize;
-        let ids = &mut scratch.ids;
-        let rows = &mut scratch.rows;
-        let mut pages = PageCursor::new(&self.pager, self.proj_region.0);
         pages.walk(start, count * rec, |mut chunk| {
             while !chunk.is_empty() {
                 // Bulk path: decode whole floats straight off the page.
@@ -516,21 +744,6 @@ impl IDistanceIndex {
         let rec = 8 + 4 * self.m;
         scratch.reset(self.m, 1);
         self.decode_proj_records(sp.proj_off as usize + offset as usize * rec, 1, scratch)
-    }
-
-    /// Fetches a single projected record `(id, projected vector)`.
-    ///
-    /// Compatibility wrapper over [`Self::fetch_proj_record_into`];
-    /// allocates the returned vector.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates the returned vector; decode into a reusable `ProjScratch` \
-                via `fetch_proj_record_into` instead"
-    )]
-    pub fn fetch_proj_record(&self, sub: u32, offset: u32) -> io::Result<(u64, Vec<f32>)> {
-        let mut scratch = ProjScratch::new();
-        self.fetch_proj_record_into(sub, offset, &mut scratch)?;
-        Ok((scratch.id(0), scratch.row(0).to_vec()))
     }
 
     // --- Original-vector fetches ------------------------------------------
@@ -625,6 +838,9 @@ impl IDistanceIndex {
 
     /// Writes the directory blob and a footer page at the end of the file so
     /// [`Self::open`] can reconstruct the handle. Called by the builder.
+    /// Indexes carrying the quantized tier write the v2 format (quantized
+    /// region + quantizer directory); others write v1, byte-identical to
+    /// pre-quantization builds.
     pub(crate) fn write_footer(&self) -> io::Result<()> {
         let mut dir = Vec::new();
         enc::put_u32(&mut dir, self.partitions.len() as u32);
@@ -635,11 +851,24 @@ impl IDistanceIndex {
         for s in &self.subparts {
             s.encode(&mut dir);
         }
+        if self.quant_region.is_some() {
+            enc::put_u32(&mut dir, self.quants.len() as u32);
+            for q in &self.quants {
+                q.encode(&mut dir);
+            }
+        }
         let dir_start = write_blob(&self.pager, &dir)?;
 
         let ps = self.pager.page_size();
         let mut footer = Vec::with_capacity(ps);
-        enc::put_u64(&mut footer, FOOTER_MAGIC);
+        enc::put_u64(
+            &mut footer,
+            if self.quant_region.is_some() {
+                FOOTER_MAGIC_V2
+            } else {
+                FOOTER_MAGIC
+            },
+        );
         enc::put_u64(&mut footer, self.m as u64);
         enc::put_u64(&mut footer, self.d as u64);
         enc::put_f64(&mut footer, self.epsilon);
@@ -648,49 +877,67 @@ impl IDistanceIndex {
         enc::put_u64(&mut footer, self.proj_region.1);
         enc::put_u64(&mut footer, self.orig_region.0);
         enc::put_u64(&mut footer, self.orig_region.1);
+        if let Some((qs, ql)) = self.quant_region {
+            enc::put_u64(&mut footer, qs);
+            enc::put_u64(&mut footer, ql);
+        }
         enc::put_u64(&mut footer, dir_start);
         enc::put_u64(&mut footer, dir.len() as u64);
         enc::put_u64(&mut footer, self.tree.root());
         enc::put_u64(&mut footer, self.tree.height() as u64);
         enc::put_u64(&mut footer, self.tree.len());
         enc::put_u64(&mut footer, self.n_points);
-        footer.resize(ps, 0);
-        let mut page = PageBuf::zeroed(ps);
-        page.as_mut_slice().copy_from_slice(&footer);
-        self.pager.append(page)?;
+        debug_assert!(footer.len() <= FOOTER_BYTES, "footer outgrew FOOTER_BYTES");
+        footer.resize(FOOTER_BYTES, 0);
+        let start = write_blob(&self.pager, &footer)?;
+        debug_assert_eq!(
+            start + footer_span_pages(ps),
+            self.pager.num_pages(),
+            "footer must end the file"
+        );
         self.pager.sync()
     }
 
-    /// Reopens an index from a pager whose **last page** is the footer
-    /// written by the builder.
+    /// Reopens an index from a pager whose **last pages** hold the footer
+    /// written by the builder (one page at any realistic page size; see
+    /// [`footer_span_pages`]).
     pub fn open(pager: Arc<Pager>) -> io::Result<Self> {
-        let last = pager
+        let start = pager
             .num_pages()
-            .checked_sub(1)
+            .checked_sub(footer_span_pages(pager.page_size()))
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty index file"))?;
-        Self::open_at(pager, last)
+        Self::open_at(pager, start)
     }
 
-    /// Reopens an index whose footer lives at a known page (used when other
-    /// layers — e.g. the full ProMIPS persistence — append their own data
-    /// after the iDistance footer).
+    /// Reopens an index whose footer starts at a known page (used when
+    /// other layers — e.g. the full ProMIPS persistence — append their own
+    /// data after the iDistance footer).
     pub fn open_at(pager: Arc<Pager>, footer_page: PageId) -> io::Result<Self> {
-        let page = pager.read(footer_page)?;
-        let buf = page.as_slice();
+        let buf = read_blob_range(&pager, footer_page, 0, FOOTER_BYTES)?;
+        let buf = &buf[..];
         let mut pos = 0;
         let magic = enc::get_u64(buf, &mut pos);
-        if magic != FOOTER_MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "bad iDistance footer magic",
-            ));
-        }
+        let v2 = match magic {
+            FOOTER_MAGIC => false,
+            FOOTER_MAGIC_V2 => true,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad iDistance footer magic",
+                ))
+            }
+        };
         let m = enc::get_u64(buf, &mut pos) as usize;
         let d = enc::get_u64(buf, &mut pos) as usize;
         let epsilon = enc::get_f64(buf, &mut pos);
         let ring_c = enc::get_u64(buf, &mut pos);
         let proj_region = (enc::get_u64(buf, &mut pos), enc::get_u64(buf, &mut pos));
         let orig_region = (enc::get_u64(buf, &mut pos), enc::get_u64(buf, &mut pos));
+        let quant_region = if v2 {
+            Some((enc::get_u64(buf, &mut pos), enc::get_u64(buf, &mut pos)))
+        } else {
+            None
+        };
         let dir_start = enc::get_u64(buf, &mut pos);
         let dir_len = enc::get_u64(buf, &mut pos) as usize;
         let tree_root = enc::get_u64(buf, &mut pos);
@@ -708,6 +955,20 @@ impl IDistanceIndex {
         let subparts: Vec<SubPartMeta> = (0..n_subs)
             .map(|_| SubPartMeta::decode(&dir, &mut dpos))
             .collect();
+        let quants: Vec<SubPartQuant> = if v2 {
+            let n_quants = enc::get_u32(&dir, &mut dpos) as usize;
+            if n_quants != n_subs {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "quantizer directory does not parallel the sub-partition directory",
+                ));
+            }
+            (0..n_quants)
+                .map(|_| SubPartQuant::decode(&dir, &mut dpos))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let tree = BTree::open(Arc::clone(&pager), tree_root, tree_height, tree_len);
         Ok(Self::assemble(
@@ -719,8 +980,10 @@ impl IDistanceIndex {
             ring_c,
             proj_region,
             orig_region,
+            quant_region,
             partitions,
             subparts,
+            quants,
             n_points,
         ))
     }
@@ -948,6 +1211,87 @@ mod tests {
         after.sort_unstable();
         assert_eq!(before, after);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistence_roundtrip_keeps_quantized_tier() {
+        // The default build writes format v2; reopening must restore the
+        // quantized region and its per-sub-partition quantizers exactly.
+        let (idx, _, _) = build_small();
+        assert!(idx.quantized());
+        let footer = idx.pager().num_pages() - footer_span_pages(idx.pager().page_size());
+        let reopened = IDistanceIndex::open_at(Arc::clone(idx.pager()), footer).unwrap();
+        assert!(reopened.quantized());
+        assert_eq!(reopened.quant_region(), idx.quant_region());
+        assert_eq!(reopened.quants(), idx.quants());
+        let pq = vec![0.2f32; 6];
+        assert_eq!(
+            idx.range_candidates(&pq, 0.5, 2.5).unwrap(),
+            reopened.range_candidates(&pq, 0.5, 2.5).unwrap()
+        );
+    }
+
+    #[test]
+    fn footer_survives_pages_smaller_than_itself() {
+        // The 136-byte footer does not fit a 64-byte page; it must spill
+        // onto consecutive pages (not silently truncate) and reopen
+        // losslessly — the straddle-coverage page sizes the scan tests use
+        // would otherwise build unreopenable files.
+        let proj = random_matrix(150, 4, 91);
+        let orig = random_matrix(150, 6, 92);
+        let pager = Arc::new(Pager::in_memory(64, 1 << 16));
+        assert_eq!(footer_span_pages(64), 3);
+        let cfg = IDistanceConfig {
+            kp: 2,
+            nkey: 4,
+            ksp: 2,
+            ..Default::default()
+        };
+        let built = build_index(Arc::clone(&pager), &proj, &orig, &cfg).unwrap();
+        let pq = vec![0.3f32; 4];
+        let before = built.range_candidates(&pq, -1.0, 2.0).unwrap();
+        let reopened = IDistanceIndex::open(pager).unwrap();
+        assert_eq!(reopened.len(), 150);
+        assert!(reopened.quantized());
+        assert_eq!(reopened.quants(), built.quants());
+        assert_eq!(reopened.range_candidates(&pq, -1.0, 2.0).unwrap(), before);
+    }
+
+    #[test]
+    fn v1_format_files_open_without_quant_tier() {
+        // `quantize: false` writes the v1 footer (byte-compatible with
+        // pre-quantization builds); open must accept it, run the pure-f32
+        // scan, and return the same candidates as a quantized twin.
+        let proj = random_matrix(400, 5, 31);
+        let orig = random_matrix(400, 12, 32);
+        let cfg = IDistanceConfig {
+            kp: 3,
+            nkey: 6,
+            ksp: 2,
+            quantize: false,
+            ..Default::default()
+        };
+        let pager = Arc::new(Pager::in_memory(512, 1 << 16));
+        let v1 = build_index(Arc::clone(&pager), &proj, &orig, &cfg).unwrap();
+        assert!(!v1.quantized());
+        assert!(v1.quants().is_empty());
+        let reopened = IDistanceIndex::open(pager).unwrap();
+        assert!(!reopened.quantized());
+
+        let cfg_v2 = IDistanceConfig {
+            quantize: true,
+            ..cfg
+        };
+        let pager2 = Arc::new(Pager::in_memory(512, 1 << 16));
+        let v2 = build_index(pager2, &proj, &orig, &cfg_v2).unwrap();
+        let pq = vec![0.1f32; 5];
+        for &(r_lo, r_hi) in &[(-1.0, 2.0), (0.8, 2.5)] {
+            assert_eq!(
+                reopened.range_candidates(&pq, r_lo, r_hi).unwrap(),
+                v2.range_candidates(&pq, r_lo, r_hi).unwrap(),
+                "r = ({r_lo}, {r_hi})"
+            );
+        }
     }
 
     #[test]

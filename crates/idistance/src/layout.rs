@@ -149,6 +149,10 @@ pub mod enc {
     pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
         buf.extend_from_slice(&v.to_le_bytes());
     }
+    /// Appends an `f32`.
+    pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
     /// Appends an `f32` slice.
     pub fn put_f32s(buf: &mut Vec<u8>, vs: &[f32]) {
         for &v in vs {
@@ -172,6 +176,12 @@ pub mod enc {
     pub fn get_f64(buf: &[u8], pos: &mut usize) -> f64 {
         let v = f64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
         *pos += 8;
+        v
+    }
+    /// Reads an `f32` at `*pos`, advancing it.
+    pub fn get_f32(buf: &[u8], pos: &mut usize) -> f32 {
+        let v = f32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap());
+        *pos += 4;
         v
     }
     /// Reads `n` `f32`s at `*pos`, advancing it.

@@ -38,6 +38,17 @@ use crate::scalar;
 /// against one shared right-hand side.
 pub type Dot4Fn = fn(&[f32], &[f32], &[f32], &[f32], &[f32]) -> [f64; 4];
 
+/// Signature of the blocked quantized squared-distance kernel
+/// (`sq_dist4_i8`): four u8 code rows against one shared u8 code query.
+/// Exact integer arithmetic — every backend returns identical sums (valid
+/// for lengths up to 2¹⁵; the quantized tier serves `m ≤ 64`).
+pub type SqDist4I8Fn = fn(&[u8], &[u8], &[u8], &[u8], &[u8]) -> [u32; 4];
+
+/// Signature of the blocked quantized inner-product kernel (`dot4_i8`):
+/// four u8 code rows against one shared i8 query. Exact integer arithmetic,
+/// same length bound as [`SqDist4I8Fn`].
+pub type Dot4I8Fn = fn(&[u8], &[u8], &[u8], &[u8], &[i8]) -> [i32; 4];
+
 /// The dispatch table: one entry per kernel.
 #[derive(Clone, Copy)]
 pub struct Kernels {
@@ -56,6 +67,10 @@ pub struct Kernels {
     pub dot4: Dot4Fn,
     /// Four squared Euclidean distances against a shared right-hand side.
     pub sq_dist4: Dot4Fn,
+    /// Four quantized squared distances over u8 codes (SQ8 filter tier).
+    pub sq_dist4_i8: SqDist4I8Fn,
+    /// Four quantized inner products (u8 code rows × i8 query).
+    pub dot4_i8: Dot4I8Fn,
 }
 
 /// The portable table (also the fallback backend).
@@ -67,6 +82,8 @@ pub static SCALAR: Kernels = Kernels {
     norm1: scalar::norm1,
     dot4: scalar::dot4,
     sq_dist4: scalar::sq_dist4,
+    sq_dist4_i8: scalar::sq_dist4_i8,
+    dot4_i8: scalar::dot4_i8,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -78,6 +95,8 @@ static AVX2: Kernels = Kernels {
     norm1: crate::x86::norm1,
     dot4: crate::x86::dot4,
     sq_dist4: crate::x86::sq_dist4,
+    sq_dist4_i8: crate::x86::sq_dist4_i8,
+    dot4_i8: crate::x86::dot4_i8,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -89,7 +108,25 @@ static AVX512: Kernels = Kernels {
     norm1: crate::avx512::norm1,
     dot4: crate::avx512::dot4,
     sq_dist4: crate::avx512::sq_dist4,
+    // Sound default for the i8 entries: the 512-bit integer bodies need
+    // AVX-512BW, which the `avx512f` gate does not imply, so the static
+    // table carries the AVX2 bodies and `avx512_table()` swaps in the
+    // 512-bit versions after a one-time BW detection.
+    sq_dist4_i8: crate::x86::sq_dist4_i8,
+    dot4_i8: crate::x86::dot4_i8,
 };
+
+/// The avx512 table with the widest i8 kernels the host supports — BW is
+/// detected once here, at table-construction time, never per call.
+#[cfg(target_arch = "x86_64")]
+fn avx512_table() -> Kernels {
+    let mut k = AVX512;
+    if std::arch::is_x86_feature_detected!("avx512bw") {
+        k.sq_dist4_i8 = crate::avx512::sq_dist4_i8;
+        k.dot4_i8 = crate::avx512::dot4_i8;
+    }
+    k
+}
 
 fn select() -> Kernels {
     if force_scalar_requested() {
@@ -100,7 +137,7 @@ fn select() -> Kernels {
         if std::arch::is_x86_feature_detected!("avx512f")
             && std::arch::is_x86_feature_detected!("fma")
         {
-            return AVX512;
+            return avx512_table();
         }
         if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
         {
@@ -131,20 +168,22 @@ pub fn active_backend() -> &'static str {
 
 /// Every backend the current host can execute, scalar first. Parity tests
 /// and benchmarks iterate this so each SIMD tier is exercised — not just
-/// the one the dispatcher would pick.
-pub fn available_backends() -> Vec<&'static Kernels> {
+/// the one the dispatcher would pick. (Tables are returned by value —
+/// `Kernels` is `Copy` — because the avx512 entry's i8 kernels depend on
+/// the host's AVX-512BW support.)
+pub fn available_backends() -> Vec<Kernels> {
     #[allow(unused_mut)]
-    let mut v: Vec<&'static Kernels> = vec![&SCALAR];
+    let mut v: Vec<Kernels> = vec![SCALAR];
     #[cfg(target_arch = "x86_64")]
     {
         if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
         {
-            v.push(&AVX2);
+            v.push(AVX2);
         }
         if std::arch::is_x86_feature_detected!("avx512f")
             && std::arch::is_x86_feature_detected!("fma")
         {
-            v.push(&AVX512);
+            v.push(avx512_table());
         }
     }
     v

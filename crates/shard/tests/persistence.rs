@@ -130,6 +130,56 @@ fn one_shard_snapshot_matches_unsharded_index() {
 }
 
 #[test]
+fn shard_files_carry_the_quantized_column() {
+    // Each indexed shard's self-contained .pmx file must persist the SQ8
+    // quantized region (format v2): opened directly with `ProMips::open`,
+    // the shard reports the tier active, and the reloaded sharded index
+    // keeps returning bit-identical results through the two-level scan.
+    let dir = temp_dir("quantcol");
+    let data = random_data(900, 16, 41);
+    let cfg = ShardedConfig::builder()
+        .shards(3)
+        .exact_threshold(0) // all shards indexed
+        .base(ProMipsConfig::builder().c(0.9).p(0.5).seed(13).build())
+        .build();
+    let built = ShardedProMips::build_in_memory(&data, cfg).unwrap();
+    built.snapshot(&dir).unwrap();
+
+    for si in 0..3 {
+        let path = dir.join(format!("shard_{si:04}.pmx"));
+        let storage = std::sync::Arc::new(promips_storage::FileStorage::open(&path, 4096).unwrap());
+        let pager = std::sync::Arc::new(promips_storage::Pager::new(
+            storage,
+            256,
+            promips_storage::AccessStats::new_shared(),
+        ));
+        let shard = ProMips::open(pager).unwrap();
+        assert!(
+            shard.idistance().quantized(),
+            "shard {si} file lost the quantized tier"
+        );
+        assert_eq!(
+            shard.idistance().quants().len(),
+            shard.idistance().subparts().len()
+        );
+    }
+
+    let queries = random_queries(6, 16, 43);
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| built.search(q, 8).unwrap())
+        .collect();
+    drop(built);
+    let reopened = ShardedProMips::open(&dir).unwrap();
+    for (q, b) in queries.iter().zip(&before) {
+        let a = reopened.search(q, 8).unwrap();
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.verified, b.verified);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn exact_shards_survive_the_roundtrip() {
     let dir = temp_dir("exact");
     let data = random_data(150, 10, 41);
