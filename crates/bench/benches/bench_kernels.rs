@@ -21,7 +21,7 @@ use promips_linalg::dispatch::available_backends;
 use promips_linalg::{
     active_backend, dist, dot, norm1, scalar, sq_dist, sq_dist4_i8, sq_norm2, Matrix,
 };
-use promips_shard::{ShardedConfig, ShardedProMips, ShardedScratch};
+use promips_shard::{ShardedConfig, ShardedProMips, ShardedScratch, SyncPolicy};
 use promips_stats::Xoshiro256pp;
 use promips_storage::{AccessStats, MemStorage, PageBuf, Pager};
 
@@ -590,6 +590,131 @@ fn main() {
         }
     }
 
+    // --- maintenance: WAL throughput, delta drag, compaction cost -----------
+    // The durable mutation lifecycle in numbers: (1) insert throughput
+    // through the per-shard WAL under each group-commit policy; (2) query
+    // latency as the uncompacted delta fraction grows (delta points are
+    // verified exhaustively per query, so this is the drag compaction
+    // removes); (3) the cost of a full compaction pass and of a whole-index
+    // re-partition, the two knobs of the CompactionPolicy.
+    let maint_n = 4_000usize;
+    let maint_d = 32usize;
+    let maint_data = promips_data::gen::norm_skewed(maint_n, maint_d, 91);
+    let maint_queries = random_matrix(nq, maint_d, 93);
+    let maint_base = ProMipsConfig::builder().c(0.9).p(0.5).seed(97).build();
+    let bench_root =
+        std::env::temp_dir().join(format!("promips-bench-maint-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&bench_root);
+
+    let mut rng = Xoshiro256pp::seed_from_u64(101);
+    let insert_batch: Vec<Vec<f32>> = (0..512)
+        .map(|_| (0..maint_d).map(|_| rng.normal() as f32).collect())
+        .collect();
+    let mut insert_rows: Vec<(String, Json)> = Vec::new();
+    for (label, sync) in [
+        ("fsync_always", SyncPolicy::Always),
+        ("fsync_every_64", SyncPolicy::EveryN(64)),
+        ("fsync_never", SyncPolicy::Never),
+    ] {
+        let dir = bench_root.join(label);
+        let cfg = ShardedConfig::builder()
+            .shards(2)
+            .wal_sync(sync)
+            .base(maint_base.clone())
+            .build();
+        let mut idx = ShardedProMips::build_in_dir(&maint_data, cfg, &dir).expect("durable build");
+        // Mutations are stateful: one timed pass over the batch (plus a
+        // closing group-commit sync so policies are comparable end-to-end).
+        let t = std::time::Instant::now();
+        for v in &insert_batch {
+            idx.insert(v).unwrap();
+        }
+        idx.sync_wal().unwrap();
+        let ns = t.elapsed().as_nanos() as f64 / insert_batch.len() as f64;
+        println!(
+            "  wal_insert {label}: {ns:.0} ns/insert ({:.0} inserts/s)",
+            1e9 / ns
+        );
+        insert_rows.push((
+            label.to_string(),
+            Json::obj(vec![
+                ("ns_per_insert", Json::Num(ns)),
+                ("inserts_per_sec", Json::Num(1e9 / ns)),
+            ]),
+        ));
+    }
+
+    let mut delta_rows: Vec<(String, Json)> = Vec::new();
+    for &frac in &[0.0f64, 0.1, 0.25] {
+        let cfg = ShardedConfig::builder()
+            .shards(4)
+            .base(maint_base.clone())
+            .build();
+        let mut idx = ShardedProMips::build_in_memory(&maint_data, cfg).expect("build");
+        let extra = (maint_n as f64 * frac) as usize;
+        for _ in 0..extra {
+            let v: Vec<f32> = (0..maint_d).map(|_| rng.normal() as f32).collect();
+            idx.insert(&v).unwrap();
+        }
+        let mut scratch = ShardedScratch::for_index(&idx);
+        let q_ns = ns_per_op(|| {
+            for i in 0..nq {
+                std::hint::black_box(
+                    idx.search_with_scratch(maint_queries.row(i), k, &mut scratch)
+                        .unwrap(),
+                );
+            }
+        }) / nq as f64;
+        let label = format!("delta_{:02}pct", (frac * 100.0) as u32);
+        println!("  query_vs_delta {label}: {q_ns:.0} ns/query");
+        delta_rows.push((
+            label,
+            Json::obj(vec![
+                ("delta_points", Json::Num(extra as f64)),
+                ("ns_per_query", Json::Num(q_ns)),
+            ]),
+        ));
+    }
+
+    // Compaction pass: 25% delta + ~10% tombstones over a durable index.
+    let compact_dir = bench_root.join("compact");
+    let cfg = ShardedConfig::builder()
+        .shards(4)
+        .wal_sync(SyncPolicy::EveryN(64))
+        .base(maint_base.clone())
+        .build();
+    let mut idx = ShardedProMips::build_in_dir(&maint_data, cfg, &compact_dir).expect("build");
+    for _ in 0..maint_n / 4 {
+        let v: Vec<f32> = (0..maint_d).map(|_| rng.normal() as f32).collect();
+        idx.insert(&v).unwrap();
+    }
+    for gid in (0..maint_n as u64).step_by(10) {
+        idx.delete(gid).unwrap();
+    }
+    let t = std::time::Instant::now();
+    let compacted = idx.compact_all().unwrap();
+    let compact_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  compact_all: {compact_ms:.1} ms ({} shards folded)",
+        compacted.len()
+    );
+    // Re-partition after a skewed insert burst (high norms pile into the
+    // top shard; the rebalance rebuilds every shard over fresh boundaries).
+    for _ in 0..maint_n / 4 {
+        let v: Vec<f32> = (0..maint_d).map(|_| (rng.normal() * 8.0) as f32).collect();
+        idx.insert(&v).unwrap();
+    }
+    let skew = idx.shard_skew();
+    let t = std::time::Instant::now();
+    idx.repartition().unwrap();
+    let repart_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  repartition: {repart_ms:.1} ms (skew {skew:.2} -> {:.2})",
+        idx.shard_skew()
+    );
+    drop(idx);
+    let _ = std::fs::remove_dir_all(&bench_root);
+
     // --- artifact -----------------------------------------------------------
     let json = Json::obj(vec![
         ("schema", Json::Str("promips-bench-kernels-v2".into())),
@@ -683,6 +808,31 @@ fn main() {
                 ("k", Json::Num(k as f64)),
                 ("partitioner", Json::Str("norm-range (skewed norms)".into())),
                 ("configs", Json::Obj(floor_rows.clone())),
+            ]),
+        ),
+        (
+            "maintenance",
+            Json::obj(vec![
+                ("n", Json::Num(maint_n as f64)),
+                ("d", Json::Num(maint_d as f64)),
+                ("insert_batch", Json::Num(insert_batch.len() as f64)),
+                (
+                    "insert_throughput",
+                    Json::Obj(insert_rows.into_iter().collect()),
+                ),
+                (
+                    "query_vs_delta",
+                    Json::Obj(delta_rows.into_iter().collect()),
+                ),
+                (
+                    "compaction",
+                    Json::obj(vec![
+                        ("compact_all_ms", Json::Num(compact_ms)),
+                        ("shards_folded", Json::Num(compacted.len() as f64)),
+                        ("repartition_ms", Json::Num(repart_ms)),
+                        ("pre_repartition_skew", Json::Num(skew)),
+                    ]),
+                ),
             ]),
         ),
     ]);

@@ -52,6 +52,10 @@ pub const REQUIRED_SECTIONS: &[(&str, &[&str])] = &[
     ("search", &["sequential_ns_per_query"]),
     ("sharded_fanout", &["per_shard_count"]),
     ("floor_tradeoff", &["configs"]),
+    (
+        "maintenance",
+        &["insert_throughput", "query_vs_delta", "compaction"],
+    ),
 ];
 
 /// Parses a JSON document, returning the root value.

@@ -67,14 +67,21 @@ impl ProMips {
         id
     }
 
-    /// Marks a point (base or delta) as deleted. Idempotent; unknown ids
-    /// are ignored. Deleted points never appear in results; the searching
+    /// Marks a live point (base or delta) as deleted, returning whether a
+    /// point was actually tombstoned: `false` for ids that never existed
+    /// (`id ≥ next_id`) and for ids already tombstoned, so replayed or
+    /// duplicated deletes — a WAL can legitimately carry a delete for a
+    /// point compacted away in a previous generation — can never corrupt
+    /// [`ProMips::live_len`] or grow the tombstone set past the points it
+    /// names. Deleted points never appear in results; the searching
     /// conditions stay conservative (the max-norm bound may still reference
     /// a deleted point, which only enlarges the searching range).
-    pub fn delete(&mut self, id: u64) {
-        if id < self.next_id {
-            self.tombstones.insert(id);
+    pub fn delete(&mut self, id: u64) -> bool {
+        if id >= self.next_id || self.tombstones.contains(&id) {
+            return false;
         }
+        self.tombstones.insert(id);
+        true
     }
 
     /// Whether an id is tombstoned.
@@ -87,48 +94,98 @@ impl ProMips {
         self.delta.entries.len()
     }
 
+    /// Number of tombstoned points.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
     /// Number of live (non-deleted) points, base + delta.
     pub fn live_len(&self) -> u64 {
         self.next_id - self.tombstones.len() as u64
     }
 
-    /// The effective `‖oM‖²` including delta inserts.
-    pub(crate) fn effective_max_sq_norm(&self) -> f64 {
+    /// The effective `‖oM‖²` including delta inserts — the bound the
+    /// searching conditions (Theorems 1–2) must use once the index is
+    /// mutable, and the per-shard norm bound a sharded fan-out prunes with.
+    pub fn effective_max_sq_norm(&self) -> f64 {
         self.norms.max_sq_norm2().max(self.delta.max_sq_norm)
+    }
+
+    /// Drains every live point out of the index: base rows are read back
+    /// from the index file one sub-partition at a time (live offsets only,
+    /// decoded straight into one flat row buffer), delta entries are taken
+    /// **by value** and freed as they are copied — at no point does a
+    /// second `Vec<Vec<f32>>` copy of the dataset exist alongside the
+    /// result. Returns the surviving old ids (sub-partition order, then
+    /// delta order) and their rows.
+    ///
+    /// Tombstones are *consumed*: every tombstone must name a point seen
+    /// during the drain (the invariant [`ProMips::delete`] maintains), and
+    /// the set is cleared because the ids it names do not exist in any
+    /// index rebuilt from the returned rows. The drained handle keeps
+    /// serving base-only queries but has lost its delta; callers are
+    /// expected to swap in the rebuilt index.
+    pub fn take_live_rows(&mut self) -> io::Result<(Vec<u64>, Matrix)> {
+        let live = self.live_len() as usize;
+        let mut old_ids: Vec<u64> = Vec::with_capacity(live);
+        let mut flat: Vec<f32> = Vec::with_capacity(live * self.d);
+        let mut scratch = promips_idistance::ProjScratch::new();
+        let mut offsets: Vec<u32> = Vec::new();
+        let mut arena: Vec<f32> = Vec::new();
+        let mut dead_seen = 0usize;
+        for sub in 0..self.index.subparts().len() as u32 {
+            self.index.read_subpart_proj_into(sub, &mut scratch)?;
+            offsets.clear();
+            for (off, &id) in scratch.ids().iter().enumerate() {
+                if self.is_deleted(id) {
+                    dead_seen += 1;
+                } else {
+                    offsets.push(off as u32);
+                    old_ids.push(id);
+                }
+            }
+            self.index.fetch_originals(sub, &offsets, &mut arena)?;
+            flat.extend_from_slice(&arena);
+        }
+        // Delta entries move out of the segment; each row buffer is freed
+        // right after its copy lands in the flat matrix.
+        for e in std::mem::take(&mut self.delta).entries {
+            if self.is_deleted(e.id) {
+                dead_seen += 1;
+            } else {
+                old_ids.push(e.id);
+                flat.extend_from_slice(&e.orig);
+            }
+        }
+        // The delete() guard means every tombstone names exactly one point
+        // we just scanned; a mismatch is namespace confusion (deletes from
+        // a previous generation applied to this index).
+        assert_eq!(
+            dead_seen,
+            self.tombstones.len(),
+            "tombstone set names {} points the index does not hold",
+            self.tombstones.len() - dead_seen
+        );
+        self.tombstones.clear();
+        let rows = Matrix::from_vec(old_ids.len(), self.d, flat);
+        Ok((old_ids, rows))
     }
 
     /// Rebuilds a fresh, fully-packed index over all live points (reads the
     /// base points back from the index file, merges the delta, drops
     /// tombstones). Returns the new index and the mapping from new ids to
     /// the old ids.
+    ///
+    /// The delta segment is consumed (see [`ProMips::take_live_rows`] —
+    /// this is what keeps rebuild from double-holding the dataset); on
+    /// success callers swap in the rebuilt index, and on error the drained
+    /// handle should be discarded or reopened from its file.
     pub fn rebuild(
-        &self,
+        &mut self,
         pager: Arc<Pager>,
         config: ProMipsConfig,
     ) -> io::Result<(ProMips, Vec<u64>)> {
-        let mut old_ids = Vec::new();
-        let mut rows: Vec<Vec<f32>> = Vec::new();
-        // Base points, in sub-partition order (ids come from the reused
-        // projected-record arena; only the original vectors are kept).
-        let mut scratch = promips_idistance::ProjScratch::new();
-        for sub in 0..self.index.subparts().len() as u32 {
-            let origs = self.index.read_subpart_orig(sub)?;
-            self.index.read_subpart_proj_into(sub, &mut scratch)?;
-            for (&id, orig) in scratch.ids().iter().zip(origs) {
-                if !self.is_deleted(id) {
-                    old_ids.push(id);
-                    rows.push(orig);
-                }
-            }
-        }
-        // Delta points.
-        for e in &self.delta.entries {
-            if !self.is_deleted(e.id) {
-                old_ids.push(e.id);
-                rows.push(e.orig.clone());
-            }
-        }
-        let data = Matrix::from_rows(self.d, rows);
+        let (old_ids, data) = self.take_live_rows()?;
         let rebuilt = ProMips::build_with_pager(&data, config, pager)?;
         Ok((rebuilt, old_ids))
     }
@@ -245,6 +302,67 @@ mod tests {
         let base_ip = dot(data.row(5), &q);
         let found = res.items.iter().find(|i| i.id == new_of_old_5).unwrap();
         assert!((found.ip - base_ip).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delete_rejects_unknown_and_duplicate_ids() {
+        let (mut idx, _) = build(100, 7);
+        // Unknown id: never existed, must not be tombstoned.
+        assert!(!idx.delete(100));
+        assert!(!idx.delete(u64::MAX));
+        assert_eq!(idx.tombstone_count(), 0);
+        assert_eq!(idx.live_len(), 100);
+        // First delete of a live point succeeds; the duplicate is refused,
+        // so live_len can never drift below the true live count.
+        assert!(idx.delete(4));
+        assert!(!idx.delete(4));
+        assert_eq!(idx.tombstone_count(), 1);
+        assert_eq!(idx.live_len(), 99);
+        // Same for a delta insert deleted twice.
+        let id = idx.insert(&[1.0f32; 16]);
+        assert!(idx.delete(id));
+        assert!(!idx.delete(id));
+        assert_eq!(idx.live_len(), 99);
+    }
+
+    #[test]
+    fn rebuild_consumes_delta_and_tombstones() {
+        let (mut idx, _) = build(120, 8);
+        idx.insert(&[2.0f32; 16]);
+        idx.delete(3);
+        let pager = Arc::new(Pager::in_memory(4096, 1024));
+        let (rebuilt, old_ids) = idx
+            .rebuild(pager, ProMipsConfig::builder().seed(8).build())
+            .unwrap();
+        assert_eq!(rebuilt.len(), 120);
+        assert_eq!(old_ids.len(), 120);
+        // The drained handle gave up its delta and its tombstones: every
+        // tombstone was matched against a point during the drain (the
+        // invariant take_live_rows asserts), and the folded sets are empty.
+        assert_eq!(idx.delta_len(), 0);
+        assert_eq!(idx.tombstone_count(), 0);
+    }
+
+    #[test]
+    fn take_live_rows_matches_search_view() {
+        let (mut idx, data) = build(200, 9);
+        idx.delete(10);
+        idx.delete(199);
+        let big = vec![5.0f32; 16];
+        let kept = idx.insert(&big);
+        let gone = idx.insert(&[6.0f32; 16]);
+        idx.delete(gone);
+        let (old_ids, rows) = idx.take_live_rows().unwrap();
+        assert_eq!(rows.rows(), 200 - 2 + 2 - 1);
+        assert_eq!(old_ids.len(), rows.rows());
+        assert!(!old_ids.contains(&10));
+        assert!(!old_ids.contains(&199));
+        assert!(!old_ids.contains(&gone));
+        // Row payloads survived the flat-buffer path bit-for-bit.
+        let pos = old_ids.iter().position(|&o| o == kept).unwrap();
+        assert_eq!(rows.row(pos), &big[..]);
+        let pos5 = old_ids.iter().position(|&o| o == 5).unwrap();
+        assert_eq!(rows.row(pos5), data.row(5));
     }
 
     #[test]

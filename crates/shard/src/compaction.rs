@@ -1,0 +1,490 @@
+//! Crash-safe compaction: folding a shard's delta and tombstones into a
+//! fresh **generation** of its data file, and re-partitioning the whole
+//! index when the live norm distribution has drifted off the shard
+//! boundaries.
+//!
+//! ## The generation/manifest protocol
+//!
+//! Every durable shard's data file carries a generation number in its name
+//! (`shard_0007.pmx` is generation 0, `shard_0007.g3.pmx` generation 3).
+//! The manifest names the **live** generation of every shard, and the
+//! manifest itself is only ever replaced atomically (write
+//! `MANIFEST.pms.tmp`, fsync, rename, fsync the directory — see
+//! [`promips_storage::write_file_atomic`]). Compaction therefore runs:
+//!
+//! 1. build generation `g+1` from the shard's live rows (new file, fsynced);
+//! 2. atomically swap the manifest to point at `g+1`;
+//! 3. truncate the shard's WAL — its records are folded into `g+1`;
+//! 4. best-effort delete of the generation-`g` file.
+//!
+//! A crash in (1) leaves an orphan file and the old manifest: the reopened
+//! index replays the intact WAL over generation `g` and retries
+//! compaction later. A crash between (2) and (3) reopens on `g+1` and
+//! replays WAL records whose effects are already folded in — which is why
+//! replay of a stale insert (id already present) or delete (id absent) is
+//! defined as a no-op. Nothing acknowledged is ever lost, nothing is ever
+//! applied twice.
+//!
+//! ## What compaction re-decides
+//!
+//! Following "To Index or Not to Index" (arXiv:1706.01449), the
+//! exact-scan-vs-index decision is re-taken per shard at every compaction
+//! against [`crate::ShardedConfig::exact_threshold`]: a shard shrunk by
+//! deletes drops its ProMIPS index for a blocked scan, one grown past the
+//! threshold gains an index. The shard's norm bound is re-tightened over
+//! the live rows, undoing the conservative growth deletes leave behind.
+//!
+//! ## Re-partitioning
+//!
+//! Norm-range partitioning (arXiv:1810.09104) only prunes well while the
+//! shard boundaries track the **live** norm distribution; a stream of
+//! skewed inserts can pile most live points into one shard.
+//! [`ShardedProMips::repartition`] recomputes equal-count boundaries over
+//! every live point and rebuilds all shards (one generation bump each,
+//! one manifest swap, all WALs truncated); [`ShardedProMips::compact`]
+//! triggers it automatically when
+//! [`CompactionPolicy::repartition_skew`] is exceeded.
+
+use std::io;
+use std::sync::Arc;
+
+use promips_core::{ProMips, ProMipsConfig};
+use promips_linalg::{sq_norm2, Matrix};
+use promips_storage::{AccessStats, FileStorage, Pager};
+
+use crate::index::{shard_seed, ExactShard, Shard, ShardKind, ShardedProMips};
+use crate::persist::shard_path;
+
+/// When the mutation lifecycle folds deltas and tombstones back into shard
+/// files, and when it re-cuts the shard boundaries.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionPolicy {
+    /// Compact a shard once its delta holds more than this fraction of its
+    /// live points.
+    pub max_delta_fraction: f64,
+    /// Compact a shard once more than this fraction of its stored points
+    /// are tombstones.
+    pub max_tombstone_fraction: f64,
+    /// Never trigger below this many pending mutations (delta +
+    /// tombstones) — rebuilding a shard over single-digit deltas is pure
+    /// overhead.
+    pub min_mutations: usize,
+    /// Re-partition the whole index when the largest shard's live count
+    /// exceeds this multiple of the ideal (total / shards). `f64::INFINITY`
+    /// disables skew-triggered re-partitioning.
+    pub repartition_skew: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self {
+            max_delta_fraction: 0.25,
+            max_tombstone_fraction: 0.25,
+            min_mutations: 64,
+            repartition_skew: 4.0,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Whether a shard with the given live/delta/tombstone counts is due.
+    pub fn due(&self, live: u64, delta: usize, tombstones: usize) -> bool {
+        if delta + tombstones < self.min_mutations.max(1) {
+            return false;
+        }
+        let base = (live as f64).max(1.0);
+        delta as f64 / base > self.max_delta_fraction
+            || tombstones as f64 / (live as f64 + tombstones as f64).max(1.0)
+                > self.max_tombstone_fraction
+    }
+}
+
+/// What one [`ShardedProMips::compact`] pass did.
+#[derive(Debug, Clone, Default)]
+pub struct CompactionReport {
+    /// Shards folded into a new generation this pass.
+    pub compacted: Vec<usize>,
+    /// Whether the pass re-partitioned the whole index (which compacts
+    /// every shard as a side effect).
+    pub repartitioned: bool,
+}
+
+/// The infallible recovery shard: an in-memory exact scan over the given
+/// live rows. Used when a compaction or re-partition build fails after
+/// the drain — queries keep answering correctly from here, and durable
+/// indexes still hold every mutation in their (untruncated) WALs.
+fn fallback_exact_shard(ids: Vec<u64>, rows: Matrix) -> Shard {
+    debug_assert_eq!(ids.len(), rows.rows());
+    let max_norm = rows.iter_rows().map(sq_norm2).fold(0.0f64, f64::max).sqrt();
+    Shard {
+        ids,
+        max_norm,
+        built_max_norm: max_norm,
+        kind: ShardKind::Exact(ExactShard::new(rows)),
+    }
+}
+
+/// Sorts `ids` ascending and applies the same permutation (one gather
+/// pass) to the rows of `rows` — restoring the "shard id maps are
+/// ascending" invariant after a drain that returned rows in
+/// sub-partition order.
+pub(crate) fn sort_rows_by_ids(ids: &mut [u64], rows: &mut Matrix) {
+    let n = ids.len();
+    debug_assert_eq!(rows.rows(), n);
+    if ids.windows(2).all(|w| w[0] < w[1]) {
+        return; // already ascending (exact shards drain in id order)
+    }
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.sort_by_key(|&i| ids[i as usize]);
+    let d = rows.cols();
+    let mut flat: Vec<f32> = Vec::with_capacity(n * d);
+    let mut ids_sorted: Vec<u64> = Vec::with_capacity(n);
+    for &src in &perm {
+        ids_sorted.push(ids[src as usize]);
+        flat.extend_from_slice(rows.row(src as usize));
+    }
+    ids.copy_from_slice(&ids_sorted);
+    *rows = Matrix::from_vec(n, d, flat);
+}
+
+impl ShardedProMips {
+    /// Imbalance of live points across shards: `max / ideal` where ideal is
+    /// `total / shards`. 1.0 is perfectly balanced; an empty index reports
+    /// 1.0.
+    pub fn shard_skew(&self) -> f64 {
+        let total: u64 = self.shards.iter().map(|s| s.live_len()).sum();
+        if total == 0 || self.shards.len() <= 1 {
+            return 1.0;
+        }
+        let max = self.shards.iter().map(|s| s.live_len()).max().unwrap_or(0);
+        max as f64 * self.shards.len() as f64 / total as f64
+    }
+
+    /// One policy-driven maintenance pass: re-partitions if the live skew
+    /// exceeds [`CompactionPolicy::repartition_skew`] **and** at least one
+    /// shard is due (re-partitioning folds every delta anyway), otherwise
+    /// compacts each shard the policy marks due.
+    pub fn compact(&mut self) -> io::Result<CompactionReport> {
+        let policy = self.config.compaction;
+        let any_due = (0..self.shards.len()).any(|si| {
+            let s = &self.shards[si];
+            policy.due(s.live_len(), s.delta_len(), s.tombstone_count())
+        });
+        let mut report = CompactionReport::default();
+        if !any_due {
+            return Ok(report);
+        }
+        if policy.repartition_skew.is_finite()
+            && self.shards.len() > 1
+            && self.shard_skew() > policy.repartition_skew
+        {
+            self.repartition()?;
+            report.repartitioned = true;
+            report.compacted = (0..self.shards.len()).collect();
+            return Ok(report);
+        }
+        for si in 0..self.shards.len() {
+            let s = &self.shards[si];
+            if policy.due(s.live_len(), s.delta_len(), s.tombstone_count())
+                && self.compact_shard(si)?
+            {
+                report.compacted.push(si);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Unconditionally compacts every shard with pending mutations (e.g.
+    /// before [`ShardedProMips::snapshot`]). Returns the shards compacted.
+    pub fn compact_all(&mut self) -> io::Result<Vec<usize>> {
+        let mut done = Vec::new();
+        for si in 0..self.shards.len() {
+            if self.compact_shard(si)? {
+                done.push(si);
+            }
+        }
+        Ok(done)
+    }
+
+    /// Folds shard `si`'s delta and tombstones into a fresh generation of
+    /// its data file (see the module docs for the crash protocol). Returns
+    /// `false` when the shard had no pending mutations. The
+    /// exact-scan-vs-index decision and the shard's norm bound are both
+    /// re-taken over the live rows.
+    pub fn compact_shard(&mut self, si: usize) -> io::Result<bool> {
+        {
+            let s = &self.shards[si];
+            if s.delta_len() == 0 && s.tombstone_count() == 0 {
+                return Ok(false);
+            }
+        }
+        let (mut gids, mut rows) = self.take_shard_live_rows(si)?;
+        sort_rows_by_ids(&mut gids, &mut rows);
+        let next_gen = self.durable.as_ref().map(|d| d.generations[si] + 1);
+        let old_exact = self.shards[si].is_exact();
+        let new_shard = match self.build_shard_from_rows(si, gids, rows, next_gen) {
+            Ok(s) => s,
+            Err((e, gids, rows)) => {
+                // The drain already folded the delta/tombstones into the
+                // rows we hold, so a failed build (ENOSPC, …) must not
+                // leave the drained husk live: fall back to an in-memory
+                // exact scan over those rows — queries stay correct, and
+                // the mutations are still in the untouched WAL.
+                self.shards[si] = fallback_exact_shard(gids, rows);
+                return Err(e);
+            }
+        };
+        self.shards[si] = new_shard;
+        self.commit_generations(&[(si, old_exact)])?;
+        Ok(true)
+    }
+
+    /// Recomputes norm-range boundaries over **every live point** and
+    /// rebuilds all shards against them, migrating rows between shards.
+    /// Global ids are preserved; every shard gets a generation bump, one
+    /// manifest swap commits them all, and every WAL is truncated. The
+    /// whole live dataset is resident in memory for the duration.
+    pub fn repartition(&mut self) -> io::Result<()> {
+        let ns = self.shards.len();
+        let live_total: usize = self.shards.iter().map(|s| s.live_len() as usize).sum();
+        let mut all_gids: Vec<u64> = Vec::with_capacity(live_total);
+        let mut flat: Vec<f32> = Vec::with_capacity(live_total * self.d);
+        let mut old_exact: Vec<bool> = Vec::with_capacity(ns);
+        for si in 0..ns {
+            old_exact.push(self.shards[si].is_exact());
+            let (gids, rows) = self.take_shard_live_rows(si)?;
+            all_gids.extend(gids);
+            flat.extend_from_slice(rows.as_slice());
+        }
+        let mut all_rows = Matrix::from_vec(all_gids.len(), self.d, flat);
+        sort_rows_by_ids(&mut all_gids, &mut all_rows);
+
+        // Fresh equal-count boundaries over the live distribution.
+        let assign = self.config.strategy.partitioner().assign(&all_rows, ns);
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); ns];
+        for (i, &s) in assign.iter().enumerate() {
+            assert!(
+                (s as usize) < ns,
+                "partitioner assigned row {i} to shard {s}"
+            );
+            members[s as usize].push(i);
+        }
+
+        // Build every new shard before swapping any in, so a failed build
+        // can restore the whole index from the gathered rows (in-memory
+        // exact scans per the fresh membership — correct for queries, and
+        // every mutation is still in the untouched WALs).
+        let mut new_shards: Vec<Shard> = Vec::with_capacity(ns);
+        for (si, m) in members.iter().enumerate() {
+            // Members are ascending row indices over ascending-gid rows, so
+            // the per-shard id map stays ascending by construction.
+            let gids: Vec<u64> = m.iter().map(|&i| all_gids[i]).collect();
+            let rows = all_rows.gather(m);
+            let next_gen = self.durable.as_ref().map(|d| d.generations[si] + 1);
+            match self.build_shard_from_rows(si, gids, rows, next_gen) {
+                Ok(s) => new_shards.push(s),
+                Err((e, _, _)) => {
+                    for (ri, rm) in members.iter().enumerate() {
+                        let ids: Vec<u64> = rm.iter().map(|&i| all_gids[i]).collect();
+                        self.shards[ri] = fallback_exact_shard(ids, all_rows.gather(rm));
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let changed: Vec<(usize, bool)> = (0..ns).map(|si| (si, old_exact[si])).collect();
+        self.shards = new_shards;
+        self.commit_generations(&changed)
+    }
+
+    /// Drains shard `si`'s live rows and their global ids (sub-partition
+    /// order for indexed shards — callers re-sort). The shard's delta and
+    /// tombstones are consumed; the caller must replace the shard.
+    fn take_shard_live_rows(&mut self, si: usize) -> io::Result<(Vec<u64>, Matrix)> {
+        let shard = &mut self.shards[si];
+        match &mut shard.kind {
+            ShardKind::Indexed(pm) => {
+                let (locals, rows) = pm.take_live_rows()?;
+                let gids = locals.iter().map(|&l| shard.ids[l as usize]).collect();
+                Ok((gids, rows))
+            }
+            ShardKind::Exact(ex) => {
+                let live = ex.rows.rows() - ex.n_deleted;
+                let mut gids: Vec<u64> = Vec::with_capacity(live);
+                let mut flat: Vec<f32> = Vec::with_capacity(live * ex.rows.cols());
+                for i in 0..ex.rows.rows() {
+                    if !ex.deleted[i] {
+                        gids.push(shard.ids[i]);
+                        flat.extend_from_slice(ex.rows.row(i));
+                    }
+                }
+                let rows = Matrix::from_vec(gids.len(), ex.rows.cols(), flat);
+                // Free the old copy eagerly (the shard is about to be
+                // replaced) and keep the husk's counters consistent —
+                // delta_len/tombstone_count must stay 0, not underflow,
+                // if an error path observes it before the swap.
+                ex.rows = Matrix::from_vec(0, 0, Vec::new());
+                ex.deleted.clear();
+                ex.base_rows = 0;
+                ex.n_deleted = 0;
+                Ok((gids, rows))
+            }
+        }
+    }
+
+    /// Builds a fresh shard over `rows` (ids ascending), re-deciding
+    /// exact-vs-indexed against the threshold. For durable indexes
+    /// (`gen = Some`), the new generation's data file is written and
+    /// fsynced here — the manifest swap making it live is
+    /// [`ShardedProMips::commit_generations`]'s job. On failure the
+    /// drained ids/rows are handed back so the caller can restore a
+    /// consistent in-memory shard instead of a drained husk.
+    #[allow(clippy::result_large_err)] // the Err carries recovery payload
+    fn build_shard_from_rows(
+        &self,
+        si: usize,
+        ids: Vec<u64>,
+        rows: Matrix,
+        gen: Option<u64>,
+    ) -> Result<Shard, (io::Error, Vec<u64>, Matrix)> {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must ascend");
+        let max_norm = rows.iter_rows().map(sq_norm2).fold(0.0f64, f64::max).sqrt();
+        let n = rows.rows();
+        let kind = if n == 0 || n < self.config.exact_threshold {
+            if let (Some(g), Some(dur)) = (gen, self.durable.as_ref()) {
+                if let Err(e) = crate::persist::write_exact_file(
+                    &shard_path(&dur.dir, si, true, g),
+                    &rows,
+                    rows.rows(),
+                ) {
+                    return Err((e, ids, rows));
+                }
+            }
+            ShardKind::Exact(ExactShard::new(rows))
+        } else {
+            let mut cfg: ProMipsConfig = self.config.base.clone();
+            cfg.seed = shard_seed(self.config.base.seed, si);
+            let pager = match (gen, self.durable.as_ref()) {
+                (Some(g), Some(dur)) => {
+                    match FileStorage::create(shard_path(&dur.dir, si, false, g), cfg.page_size) {
+                        Ok(storage) => Arc::new(Pager::new(
+                            Arc::new(storage),
+                            cfg.pool_pages,
+                            AccessStats::new_shared(),
+                        )),
+                        Err(e) => return Err((e, ids, rows)),
+                    }
+                }
+                _ => Arc::new(Pager::in_memory(cfg.page_size, cfg.pool_pages)),
+            };
+            // save() ends with a pager sync, completing step 1 of the
+            // crash protocol for durable builds.
+            let built = ProMips::build_with_pager(&rows, cfg, pager).and_then(|pm| {
+                if gen.is_some() {
+                    pm.save().map(|()| pm)
+                } else {
+                    Ok(pm)
+                }
+            });
+            match built {
+                Ok(pm) => ShardKind::Indexed(Box::new(pm)),
+                Err(e) => return Err((e, ids, rows)),
+            }
+        };
+        Ok(Shard {
+            ids,
+            max_norm,
+            built_max_norm: max_norm,
+            kind,
+        })
+    }
+
+    /// Commits freshly built generations: bumps the in-memory generation
+    /// counters, atomically swaps the manifest, and only then truncates
+    /// the affected WALs and deletes the superseded generation files.
+    /// `changed` lists `(shard, was_exact_before)` pairs. In-memory
+    /// indexes return immediately — there is nothing durable to commit.
+    fn commit_generations(&mut self, changed: &[(usize, bool)]) -> io::Result<()> {
+        let Some(dur) = &mut self.durable else {
+            return Ok(());
+        };
+        let mut old: Vec<(usize, u64, bool)> = Vec::with_capacity(changed.len());
+        for &(si, was_exact) in changed {
+            old.push((si, dur.generations[si], was_exact));
+            dur.generations[si] += 1;
+        }
+        let dir = dur.dir.clone();
+        let gens = dur.generations.clone();
+        // The swap: after this rename lands, the new generations are the
+        // authoritative state and the folded WAL records are redundant.
+        self.write_manifest(&dir, &gens)?;
+        let dur = self.durable.as_mut().expect("checked above");
+        for &(si, old_gen, was_exact) in &old {
+            if let Some(wal) = dur.wals[si].as_mut() {
+                wal.truncate()?;
+            }
+            // The superseded file is garbage now; removal is best-effort
+            // (a crash here merely leaks a file the manifest never names).
+            let _ = std::fs::remove_file(shard_path(&dir, si, was_exact, old_gen));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promips_stats::Xoshiro256pp;
+
+    #[test]
+    fn policy_triggers_on_fractions_and_floor() {
+        let p = CompactionPolicy::default();
+        // Below the mutation floor: never due.
+        assert!(!p.due(100, 10, 10));
+        // Delta fraction: 300 delta over 1000 live > 0.25.
+        assert!(p.due(1000, 300, 0));
+        assert!(!p.due(1000, 100, 0));
+        // Tombstone fraction: 300 dead of 1000 stored.
+        assert!(p.due(700, 0, 300));
+        assert!(!p.due(900, 0, 100));
+        // Disabled repartition skew stays disabled.
+        assert!(CompactionPolicy {
+            repartition_skew: f64::INFINITY,
+            ..p
+        }
+        .repartition_skew
+        .is_infinite());
+    }
+
+    #[test]
+    fn sort_rows_by_ids_permutes_rows_with_ids() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for n in [0usize, 1, 2, 7, 64, 129] {
+            let d = 5;
+            let mut ids: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+            // Shuffle ids (Fisher–Yates via the repo rng).
+            for i in (1..n).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                ids.swap(i, j);
+            }
+            // Row i's payload encodes its id so we can verify the pairing.
+            let mut rows = Matrix::from_rows(
+                d,
+                ids.iter().map(|&id| {
+                    (0..d)
+                        .map(|c| (id * 10 + c as u64) as f32)
+                        .collect::<Vec<_>>()
+                }),
+            );
+            let mut ids2 = ids.clone();
+            sort_rows_by_ids(&mut ids2, &mut rows);
+            let mut expect = ids;
+            expect.sort_unstable();
+            assert_eq!(ids2, expect);
+            for (i, &id) in ids2.iter().enumerate() {
+                assert_eq!(rows.row(i)[0], (id * 10) as f32, "row {i} mispaired");
+                assert_eq!(rows.row(i)[d - 1], (id * 10 + d as u64 - 1) as f32);
+            }
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! Configuration for the sharded index.
 
 use promips_core::ProMipsConfig;
+use promips_wal::SyncPolicy;
 
+use crate::compaction::CompactionPolicy;
 use crate::partition::PartitionStrategy;
 
 /// Build- and search-time parameters of a [`crate::ShardedProMips`].
@@ -30,6 +32,12 @@ pub struct ShardedConfig {
     /// earlier), which is why it defaults to off; shard pruning alone is
     /// exact. Turn it on for latency-bound fan-outs.
     pub cross_shard_floor: bool,
+    /// Group-commit policy of the per-shard write-ahead logs (directory-
+    /// backed indexes only; in-memory indexes take mutations volatilely).
+    pub wal_sync: SyncPolicy,
+    /// When [`crate::ShardedProMips::compact`] folds a shard's delta and
+    /// tombstones into a fresh generation, and when it re-partitions.
+    pub compaction: CompactionPolicy,
     /// Per-shard ProMIPS parameters. Shard `i` builds with
     /// `seed ⊕ (i · φ₆₄)`, so shard 0 of a one-shard config reproduces the
     /// unsharded index exactly.
@@ -44,6 +52,8 @@ impl Default for ShardedConfig {
             exact_threshold: 128,
             prune: true,
             cross_shard_floor: false,
+            wal_sync: SyncPolicy::Always,
+            compaction: CompactionPolicy::default(),
             base: ProMipsConfig::default(),
         }
     }
@@ -106,6 +116,18 @@ impl ShardedConfigBuilder {
     /// floor.
     pub fn cross_shard_floor(mut self, on: bool) -> Self {
         self.config.cross_shard_floor = on;
+        self
+    }
+
+    /// Sets the WAL group-commit policy.
+    pub fn wal_sync(mut self, policy: SyncPolicy) -> Self {
+        self.config.wal_sync = policy;
+        self
+    }
+
+    /// Sets the compaction policy.
+    pub fn compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.config.compaction = policy;
         self
     }
 

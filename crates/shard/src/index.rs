@@ -22,10 +22,34 @@ pub(crate) fn shard_seed(base: u64, si: usize) -> u64 {
 /// A shard that fell below the exact-scan threshold: its rows live as a
 /// plain matrix and queries run a blocked exact scan over them, following
 /// the small-shard regime of "To Index or Not to Index" (arXiv:1706.01449).
+///
+/// Mutability mirrors the indexed shard's delta/tombstone scheme at scan
+/// granularity: inserts append rows (the scan covers them immediately),
+/// deletes flip a per-row tombstone bit the scan skips.
 #[derive(Debug)]
 pub(crate) struct ExactShard {
     /// Shard rows, local order (row `i` belongs to global id `ids[i]`).
     pub rows: Matrix,
+    /// Tombstone bit per local row.
+    pub deleted: Vec<bool>,
+    /// Rows present at the last (re)build; everything past this is the
+    /// in-memory delta (rebuilt away at compaction).
+    pub base_rows: usize,
+    /// Count of `true` bits in `deleted`.
+    pub n_deleted: usize,
+}
+
+impl ExactShard {
+    /// Wraps freshly (re)built rows: no delta, no tombstones.
+    pub(crate) fn new(rows: Matrix) -> Self {
+        let n = rows.rows();
+        Self {
+            rows,
+            deleted: vec![false; n],
+            base_rows: n,
+            n_deleted: 0,
+        }
+    }
 }
 
 /// What backs a shard's queries. (The indexed variant is boxed: a
@@ -45,12 +69,16 @@ pub struct Shard {
     pub(crate) ids: Vec<u64>,
     /// `max ‖o‖₂` over the shard (not squared): with Cauchy–Schwarz,
     /// `⟨o,q⟩ ≤ ‖q‖₂ · max_norm` bounds every inner product in the shard.
+    /// Raised in place by delta inserts (see [`Shard::max_norm`]).
     pub(crate) max_norm: f64,
+    /// The bound as of the last (re)build — what the manifest records,
+    /// since WAL replay re-raises the live bound from the delta records.
+    pub(crate) built_max_norm: f64,
     pub(crate) kind: ShardKind,
 }
 
 impl Shard {
-    /// Number of points in this shard.
+    /// Number of points stored in this shard (live + tombstoned).
     pub fn len(&self) -> u64 {
         self.ids.len() as u64
     }
@@ -60,7 +88,34 @@ impl Shard {
         self.ids.is_empty()
     }
 
-    /// The shard's inner-product norm bound `max ‖o‖₂`.
+    /// Number of live (non-tombstoned) points.
+    pub fn live_len(&self) -> u64 {
+        self.ids.len() as u64 - self.tombstone_count() as u64
+    }
+
+    /// Points inserted since the shard's last (re)build — the in-memory
+    /// delta that queries verify exhaustively and compaction folds away.
+    pub fn delta_len(&self) -> usize {
+        match &self.kind {
+            ShardKind::Indexed(pm) => pm.delta_len(),
+            ShardKind::Exact(ex) => ex.rows.rows() - ex.base_rows,
+        }
+    }
+
+    /// Tombstoned (deleted but not yet compacted) points.
+    pub fn tombstone_count(&self) -> usize {
+        match &self.kind {
+            ShardKind::Indexed(pm) => pm.tombstone_count(),
+            ShardKind::Exact(ex) => ex.n_deleted,
+        }
+    }
+
+    /// The shard's inner-product norm bound `max ‖o‖₂`, **including delta
+    /// inserts**: [`crate::ShardedProMips::insert`] raises it in place
+    /// whenever a new point's norm exceeds it, so Cauchy–Schwarz pruning
+    /// and the seed-probe ordering stay sound under mutation (a tombstoned
+    /// max-norm point only leaves the bound conservative). Compaction
+    /// re-tightens it over the live rows.
     pub fn max_norm(&self) -> f64 {
         self.max_norm
     }
@@ -93,9 +148,27 @@ pub struct ShardedProMips {
     pub(crate) config: ShardedConfig,
     pub(crate) shards: Vec<Shard>,
     pub(crate) d: usize,
+    /// Live (non-tombstoned) points across all shards.
     pub(crate) n_points: u64,
+    /// Next global id handed out by [`ShardedProMips::insert`] (global ids
+    /// are stable across compactions and re-partitions).
+    pub(crate) next_global_id: u64,
+    /// Directory-backed durability state; `None` for in-memory builds,
+    /// whose mutations are volatile.
+    pub(crate) durable: Option<DurableState>,
     /// Name of the partitioner that built the assignment (for reporting).
     pub(crate) partitioner_name: String,
+}
+
+/// What a directory-backed index needs to keep its mutations durable: the
+/// snapshot directory, one write-ahead log handle per shard (opened on
+/// first use), and each shard's data-file generation (bumped by every
+/// compaction; the manifest names the live generation, so a crash mid-
+/// compaction leaves the old generation authoritative).
+pub(crate) struct DurableState {
+    pub dir: std::path::PathBuf,
+    pub wals: Vec<Option<promips_wal::Wal>>,
+    pub generations: Vec<u64>,
 }
 
 impl ShardedProMips {
@@ -162,7 +235,7 @@ impl ShardedProMips {
             let rows = data.gather(m);
             let max_norm = rows.iter_rows().map(sq_norm2).fold(0.0f64, f64::max).sqrt();
             let kind = if m.is_empty() || m.len() < config.exact_threshold {
-                ShardKind::Exact(ExactShard { rows })
+                ShardKind::Exact(ExactShard::new(rows))
             } else {
                 let mut cfg: ProMipsConfig = config.base.clone();
                 cfg.seed = shard_seed(config.base.seed, si);
@@ -175,6 +248,7 @@ impl ShardedProMips {
             shards.push(Shard {
                 ids,
                 max_norm,
+                built_max_norm: max_norm,
                 kind,
             });
         }
@@ -184,18 +258,60 @@ impl ShardedProMips {
             shards,
             d,
             n_points: n as u64,
+            next_global_id: n as u64,
+            durable: None,
             partitioner_name: partitioner.name().to_string(),
         })
     }
 
-    /// Total number of indexed points across all shards.
+    /// Total number of live points across all shards.
     pub fn len(&self) -> u64 {
         self.n_points
     }
 
-    /// True when no points are indexed (never: construction requires data).
+    /// True when no live points remain (a freshly built index never is;
+    /// deleting everything gets here).
     pub fn is_empty(&self) -> bool {
         self.n_points == 0
+    }
+
+    /// The next global id an insert will be assigned.
+    pub fn next_global_id(&self) -> u64 {
+        self.next_global_id
+    }
+
+    /// True when the index is directory-backed and mutations are logged to
+    /// per-shard WALs (false for in-memory builds, whose mutations are
+    /// volatile).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Bytes in shard `si`'s write-ahead log (header included), or 0 when
+    /// the shard has no log yet.
+    pub fn wal_bytes(&self, si: usize) -> u64 {
+        self.durable
+            .as_ref()
+            .and_then(|d| d.wals[si].as_ref())
+            .map_or(0, |w| w.size_bytes())
+    }
+
+    /// Per-shard maintenance counters: live points, uncompacted delta,
+    /// tombstones, WAL size, and data-file generation — what an operator
+    /// watches to see compaction debt accumulate.
+    pub fn maintenance_stats(&self) -> Vec<crate::result::ShardMaintenance> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(si, s)| crate::result::ShardMaintenance {
+                shard: si as u32,
+                live: s.live_len(),
+                delta_len: s.delta_len(),
+                tombstones: s.tombstone_count(),
+                wal_bytes: self.wal_bytes(si),
+                generation: self.durable.as_ref().map_or(0, |d| d.generations[si]),
+            })
+            .collect()
     }
 
     /// Original dimensionality `d`.

@@ -42,18 +42,24 @@
 //! [`promips_core::ProMipsConfig`] — the compatibility contract the tests
 //! pin down.
 
+pub mod compaction;
 pub mod config;
 pub mod index;
+pub mod mutation;
 pub mod partition;
 pub mod persist;
 pub mod result;
 pub mod search;
 
+pub use compaction::{CompactionPolicy, CompactionReport};
 pub use config::{ShardedConfig, ShardedConfigBuilder};
 pub use index::{Shard, ShardedProMips};
 pub use partition::{HashPartitioner, NormRangePartitioner, PartitionStrategy, Partitioner};
-pub use result::{ShardQueryStats, ShardedSearchResult};
+pub use result::{ShardMaintenance, ShardQueryStats, ShardedSearchResult};
 pub use search::ShardedScratch;
+// The WAL group-commit knob appears in `ShardedConfig`; re-export it so
+// callers don't need a direct `promips_wal` dependency.
+pub use promips_wal::SyncPolicy;
 
 #[cfg(test)]
 mod tests {

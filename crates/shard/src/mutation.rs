@@ -1,0 +1,231 @@
+//! The durable mutation path: inserts and deletes that route through the
+//! partitioner, hit the owning shard's write-ahead log **before** touching
+//! memory, and are visible to the very next query.
+//!
+//! Ordering contract (what makes the log *write-ahead*): a mutation is
+//! appended to the shard's WAL first — honouring the group-commit policy
+//! ([`crate::ShardedConfig::wal_sync`]) — and applied to the in-memory
+//! shard only afterwards. A crash between the two replays the record on
+//! reopen; a crash before the append loses a mutation that was never
+//! acknowledged. In-memory indexes (no directory) skip the log and take
+//! mutations volatilely — same semantics, no durability.
+//!
+//! Soundness under inserts: the searching conditions (Theorems 1–2) and
+//! the cross-shard Cauchy–Schwarz pruning both lean on per-shard norm
+//! bounds. Inside a shard, `ProMips::effective_max_sq_norm` already folds
+//! the delta's max norm into the condition context; across shards,
+//! [`apply`] raises `Shard::max_norm` in place whenever an insert exceeds
+//! it, so the fan-out's seed-probe ordering and pruning tests keep seeing
+//! a true upper bound. Deletes leave both bounds conservative (a bound
+//! referencing a tombstoned point only enlarges searched ranges).
+
+use std::io;
+
+use promips_linalg::sq_norm2;
+use promips_wal::{Wal, WalConfig, WalRecord};
+
+use crate::index::{ShardKind, ShardedProMips};
+use crate::persist::wal_path;
+
+impl ShardedProMips {
+    /// Inserts a point, returning its global id. The point is routed to a
+    /// shard by [`crate::Partitioner::route`] (norm-range placement under
+    /// the default strategy), logged to that shard's WAL when the index is
+    /// directory-backed, and entered into the shard's in-memory delta —
+    /// searchable immediately, folded into the shard's index file at the
+    /// next compaction.
+    pub fn insert(&mut self, point: &[f32]) -> io::Result<u64> {
+        assert_eq!(point.len(), self.d, "insert dimensionality mismatch");
+        let gid = self.next_global_id;
+        let si = self.route(point, gid);
+        self.wal_append(
+            si,
+            &WalRecord::Insert {
+                id: gid,
+                vector: point.to_vec(),
+            },
+        )?;
+        self.apply_insert(si, gid, point);
+        self.next_global_id = gid + 1;
+        Ok(gid)
+    }
+
+    /// Deletes a point by global id. Returns whether a live point was
+    /// tombstoned: ids that were never assigned, were already deleted, or
+    /// were compacted away are refused (`Ok(false)`) **without** writing a
+    /// log record — the WAL never carries no-ops.
+    pub fn delete(&mut self, gid: u64) -> io::Result<bool> {
+        let Some((si, local)) = self.locate_global(gid) else {
+            return Ok(false);
+        };
+        let live = match &self.shards[si].kind {
+            ShardKind::Indexed(pm) => !pm.is_deleted(local as u64),
+            ShardKind::Exact(ex) => !ex.deleted[local],
+        };
+        if !live {
+            return Ok(false);
+        }
+        self.wal_append(si, &WalRecord::Delete { id: gid })?;
+        self.apply_delete(si, gid);
+        Ok(true)
+    }
+
+    /// Whether a global id names a live point.
+    pub fn contains(&self, gid: u64) -> bool {
+        self.locate_global(gid)
+            .is_some_and(|(si, local)| match &self.shards[si].kind {
+                ShardKind::Indexed(pm) => !pm.is_deleted(local as u64),
+                ShardKind::Exact(ex) => !ex.deleted[local],
+            })
+    }
+
+    /// The shard that owns `gid` and its local offset, if stored. Each
+    /// shard's id map is ascending (global ids are assigned monotonically
+    /// and compaction re-sorts), so this is a binary search per shard.
+    pub(crate) fn locate_global(&self, gid: u64) -> Option<(usize, usize)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .find_map(|(si, s)| s.ids.binary_search(&gid).ok().map(|local| (si, local)))
+    }
+
+    /// Routes a point via the configured partition strategy, against the
+    /// shards' current (insert-raised) norm bounds.
+    fn route(&self, point: &[f32], gid: u64) -> usize {
+        let bounds: Vec<f64> = self.shards.iter().map(|s| s.max_norm).collect();
+        let si = self
+            .config
+            .strategy
+            .partitioner()
+            .route(point, gid, &bounds) as usize;
+        assert!(
+            si < self.shards.len(),
+            "partitioner routed to shard {si} of {}",
+            self.shards.len()
+        );
+        si
+    }
+
+    /// Appends a record to shard `si`'s WAL (no-op for in-memory indexes).
+    /// The log file is created on the shard's first mutation.
+    fn wal_append(&mut self, si: usize, rec: &WalRecord) -> io::Result<()> {
+        let d = self.d;
+        let sync = self.config.wal_sync;
+        let Some(dur) = &mut self.durable else {
+            return Ok(());
+        };
+        if dur.wals[si].is_none() {
+            let (wal, replayed) =
+                Wal::open_or_create(wal_path(&dur.dir, si), d, WalConfig { sync })?;
+            debug_assert!(
+                replayed.is_empty(),
+                "shard {si} WAL had unreplayed records outside open()"
+            );
+            dur.wals[si] = Some(wal);
+        }
+        dur.wals[si].as_mut().expect("just opened").append(rec)
+    }
+
+    /// Applies an insert to shard `si`'s in-memory state (both the live
+    /// mutation path and WAL replay come through here).
+    pub(crate) fn apply_insert(&mut self, si: usize, gid: u64, point: &[f32]) {
+        let shard = &mut self.shards[si];
+        debug_assert!(
+            shard.ids.last().is_none_or(|&last| last < gid),
+            "shard {si} id map would lose its ascending order"
+        );
+        match &mut shard.kind {
+            ShardKind::Indexed(pm) => {
+                let local = pm.insert(point);
+                debug_assert_eq!(local as usize, shard.ids.len(), "local id drift");
+            }
+            ShardKind::Exact(ex) => {
+                ex.rows.push_row(point);
+                ex.deleted.push(false);
+            }
+        }
+        shard.ids.push(gid);
+        let norm = sq_norm2(point).sqrt();
+        if norm > shard.max_norm {
+            shard.max_norm = norm;
+        }
+        self.n_points += 1;
+    }
+
+    /// Applies a delete of `gid` inside shard `si` if it names a live
+    /// point there; returns whether it did (replay of a stale record — the
+    /// id was compacted away, or deleted twice across a torn tail — is a
+    /// no-op).
+    pub(crate) fn apply_delete(&mut self, si: usize, gid: u64) -> bool {
+        let shard = &mut self.shards[si];
+        let Ok(local) = shard.ids.binary_search(&gid) else {
+            return false;
+        };
+        let newly_dead = match &mut shard.kind {
+            ShardKind::Indexed(pm) => pm.delete(local as u64),
+            ShardKind::Exact(ex) => {
+                if ex.deleted[local] {
+                    false
+                } else {
+                    ex.deleted[local] = true;
+                    ex.n_deleted += 1;
+                    true
+                }
+            }
+        };
+        if newly_dead {
+            self.n_points -= 1;
+        }
+        newly_dead
+    }
+
+    /// Replays one WAL record against shard `si` (used by
+    /// [`crate::ShardedProMips::open`]).
+    ///
+    /// Replay must be **idempotent against stale records**: a crash after
+    /// a compaction's manifest swap but before its WAL truncation leaves a
+    /// log whose every record is already folded into the live generation.
+    /// A stale insert is recognised by its id being present somewhere
+    /// (re-partitioning may have moved it to another shard) **or** by
+    /// falling at or below the shard's current maximum id — global ids are
+    /// assigned monotonically, so a genuinely unfolded insert is always
+    /// larger than everything the shard holds, while a folded-then-deleted
+    /// id (absent everywhere) is not. A stale delete finds no live point
+    /// and no-ops on its own.
+    pub(crate) fn apply_replayed(&mut self, si: usize, rec: WalRecord) {
+        match rec {
+            WalRecord::Insert { id, vector } => {
+                if id >= self.next_global_id {
+                    self.next_global_id = id + 1;
+                }
+                let stale = self.shards[si].ids.last().is_some_and(|&last| last >= id)
+                    || self.locate_global(id).is_some();
+                if !stale {
+                    self.apply_insert(si, id, &vector);
+                }
+            }
+            WalRecord::Delete { id } => {
+                self.apply_delete(si, id);
+            }
+        }
+    }
+
+    /// Forces every shard's WAL to durable media regardless of the
+    /// group-commit policy (e.g. before acknowledging a batch).
+    pub fn sync_wal(&mut self) -> io::Result<()> {
+        if let Some(dur) = &mut self.durable {
+            for wal in dur.wals.iter_mut().flatten() {
+                wal.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total pending mutations (delta inserts + tombstones) across shards.
+    pub fn pending_mutations(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.delta_len() + s.tombstone_count())
+            .sum()
+    }
+}

@@ -23,6 +23,18 @@ pub trait Partitioner: Send + Sync {
 
     /// Returns one shard id in `0..n_shards` per row of `data`.
     fn assign(&self, data: &Matrix, n_shards: usize) -> Vec<u32>;
+
+    /// Routes a *single* freshly inserted point to a shard, given the
+    /// current per-shard norm bounds (`max ‖o‖₂`, indexed by shard id).
+    /// This is the mutation-time counterpart of [`Partitioner::assign`]:
+    /// bulk builds see the whole dataset and can rank it, inserts must be
+    /// placed against the boundaries the build left behind. The default
+    /// routes everything to shard 0 (correct for one shard; custom
+    /// partitioners should override).
+    fn route(&self, point: &[f32], id: u64, shard_max_norms: &[f64]) -> u32 {
+        let _ = (point, id, shard_max_norms);
+        0
+    }
 }
 
 /// Equal-count norm-range partitioning: rows are ranked by 2-norm
@@ -51,6 +63,28 @@ impl Partitioner for NormRangePartitioner {
         }
         assign
     }
+
+    /// An insert goes to the shard whose norm range it falls in: among
+    /// shards whose bound covers the point (`max_norm ≥ ‖p‖`), the one
+    /// with the **tightest** bound — that is the norm-range cell the point
+    /// belongs to, and routing there leaves every other shard's
+    /// Cauchy–Schwarz bound untouched. A point above every bound extends
+    /// the highest-norm shard (ties break toward the smaller shard id, so
+    /// routing is deterministic).
+    fn route(&self, point: &[f32], _id: u64, shard_max_norms: &[f64]) -> u32 {
+        let norm = sq_norm2(point).sqrt();
+        let mut best_cover: Option<(f64, usize)> = None; // tightest covering bound
+        let mut best_any = (f64::NEG_INFINITY, 0usize); // highest bound overall
+        for (si, &b) in shard_max_norms.iter().enumerate() {
+            if b > best_any.0 {
+                best_any = (b, si);
+            }
+            if b >= norm && best_cover.is_none_or(|(cb, _)| b < cb) {
+                best_cover = Some((b, si));
+            }
+        }
+        best_cover.map_or(best_any.1, |(_, si)| si) as u32
+    }
 }
 
 /// Norm-oblivious spread: a Fibonacci hash of the row id modulo the shard
@@ -71,6 +105,14 @@ impl Partitioner for HashPartitioner {
                 (h % n_shards as u64) as u32
             })
             .collect()
+    }
+
+    /// Inserts hash exactly like builds (same Fibonacci hash of the global
+    /// id), so a dataset built in bulk and one grown by inserts agree on
+    /// placement.
+    fn route(&self, _point: &[f32], id: u64, shard_max_norms: &[f64]) -> u32 {
+        let h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h % shard_max_norms.len().max(1) as u64) as u32
     }
 }
 

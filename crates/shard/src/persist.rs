@@ -1,16 +1,31 @@
-//! Directory-based persistence: one file per shard plus a manifest.
+//! Directory-based persistence: one data file per shard (named by
+//! **generation**), one write-ahead log per shard, plus a manifest that is
+//! only ever replaced atomically.
 //!
-//! Layout of a snapshot directory:
+//! Layout of an index directory:
 //!
 //! ```text
 //! <dir>/
-//!   MANIFEST.pms      config scalars, per-shard kind / count / norm bound,
-//!                     and the shard-local → global id maps
-//!   shard_0000.pmx    indexed shard: a full ProMIPS page file
+//!   MANIFEST.pms      config scalars, per-shard kind / generation / count /
+//!                     norm bound, and the shard-local → global id maps —
+//!                     always describing the last **compacted** state
+//!   shard_0000.pmx    indexed shard, generation 0: a full ProMIPS page file
 //!                     (identical format to [`promips_core::ProMips::save`])
-//!   shard_0001.exact  exact-scan shard: raw row blob (magic, n, d, f32s)
+//!   shard_0001.exact  exact-scan shard, generation 0: raw row blob
+//!   shard_0002.g3.pmx generation 3 of shard 2 (written by compaction; the
+//!                     manifest names the live generation)
+//!   shard_0000.wal    per-shard write-ahead log: every mutation since the
+//!                     shard's last compaction (see [`promips_wal`])
 //!   ...
 //! ```
+//!
+//! The durability contract: the **manifest + named generation files** hold
+//! the compacted state, the **WALs** hold everything since. [`ShardedProMips::open`]
+//! loads the former and replays the latter, so any crash point lands on
+//! "compacted state + the prefix of mutations that reached disk". Manifest
+//! replacement goes through [`promips_storage::write_file_atomic`]
+//! (`MANIFEST.pms.tmp` → fsync → rename → directory fsync), which is what
+//! makes a compaction's generation swap atomic.
 //!
 //! Each shard file is self-contained — an indexed shard's `.pmx` can even
 //! be opened directly with `ProMips::open` — so shards can later be placed
@@ -24,29 +39,50 @@ use std::sync::Arc;
 use promips_core::ProMips;
 use promips_idistance::layout::enc;
 use promips_linalg::Matrix;
-use promips_storage::{AccessStats, FileStorage, Pager, Storage};
+use promips_storage::{write_file_atomic, AccessStats, FileStorage, Pager, Storage};
+use promips_wal::{SyncPolicy, Wal, WalConfig, WalRecord};
 
 use crate::config::ShardedConfig;
-use crate::index::{ExactShard, Shard, ShardKind, ShardedProMips};
+use crate::index::{DurableState, ExactShard, Shard, ShardKind, ShardedProMips};
 use crate::partition::PartitionStrategy;
 
 const MANIFEST_MAGIC: u64 = 0x5AA2_D1CE_5059_0001;
-const MANIFEST_VERSION: u64 = 1;
+const MANIFEST_VERSION: u64 = 2;
 const EXACT_MAGIC: u64 = 0x5AA2_D1CE_E7AC_0001;
 const MANIFEST_NAME: &str = "MANIFEST.pms";
 
-fn shard_path(dir: &Path, si: usize, exact: bool) -> PathBuf {
+/// Data-file path of shard `si` at `generation` (generation 0 keeps the
+/// original `shard_NNNN.pmx` / `.exact` names, so v1 directories read
+/// unchanged).
+pub(crate) fn shard_path(dir: &Path, si: usize, exact: bool, generation: u64) -> PathBuf {
     let ext = if exact { "exact" } else { "pmx" };
-    dir.join(format!("shard_{si:04}.{ext}"))
+    if generation == 0 {
+        dir.join(format!("shard_{si:04}.{ext}"))
+    } else {
+        dir.join(format!("shard_{si:04}.g{generation}.{ext}"))
+    }
 }
 
-fn write_exact(path: &Path, rows: &Matrix) -> io::Result<()> {
-    let mut buf = Vec::with_capacity(24 + rows.as_slice().len() * 4);
+/// Write-ahead-log path of shard `si`.
+pub(crate) fn wal_path(dir: &Path, si: usize) -> PathBuf {
+    dir.join(format!("shard_{si:04}.wal"))
+}
+
+fn exact_blob(rows: &Matrix, n_rows: usize) -> Vec<u8> {
+    let floats = n_rows * rows.cols();
+    let mut buf = Vec::with_capacity(24 + floats * 4);
     enc::put_u64(&mut buf, EXACT_MAGIC);
-    enc::put_u64(&mut buf, rows.rows() as u64);
+    enc::put_u64(&mut buf, n_rows as u64);
     enc::put_u64(&mut buf, rows.cols() as u64);
-    enc::put_f32s(&mut buf, rows.as_slice());
-    fs::write(path, buf)
+    enc::put_f32s(&mut buf, &rows.as_slice()[..floats]);
+    buf
+}
+
+/// Writes the first `n_rows` rows of an exact shard as a blob, atomically
+/// and fsynced (compaction publishes new generations through this before
+/// the manifest swap makes them live).
+pub(crate) fn write_exact_file(path: &Path, rows: &Matrix, n_rows: usize) -> io::Result<()> {
+    write_file_atomic(path, &exact_blob(rows, n_rows))
 }
 
 fn read_exact(path: &Path, expect_d: usize) -> io::Result<Matrix> {
@@ -87,12 +123,31 @@ fn read_exact(path: &Path, expect_d: usize) -> io::Result<Matrix> {
     Ok(Matrix::from_vec(n, expect_d.max(d), data))
 }
 
+/// Encodes the WAL group-commit policy for the manifest.
+fn sync_policy_tag(p: SyncPolicy) -> u64 {
+    match p {
+        SyncPolicy::Always => 0,
+        SyncPolicy::Never => 1,
+        SyncPolicy::EveryN(n) => 2 + n as u64,
+    }
+}
+
+fn sync_policy_from_tag(tag: u64) -> SyncPolicy {
+    match tag {
+        0 => SyncPolicy::Always,
+        1 => SyncPolicy::Never,
+        n => SyncPolicy::EveryN((n - 2).min(u32::MAX as u64) as u32),
+    }
+}
+
 impl ShardedProMips {
     /// Builds the sharded index **directly into `dir`**: each indexed shard
     /// gets its own file-backed page device (`shard_NNNN.pmx`), exact-scan
     /// shards are written as row blobs, and the manifest is finalized — the
     /// directory is immediately reopenable with [`ShardedProMips::open`],
-    /// with no page copying.
+    /// with no page copying. The returned index is **durable**: subsequent
+    /// [`ShardedProMips::insert`]/[`ShardedProMips::delete`] calls are
+    /// logged to per-shard WALs inside `dir`.
     pub fn build_in_dir(
         data: &Matrix,
         config: ShardedConfig,
@@ -102,9 +157,9 @@ impl ShardedProMips {
         fs::create_dir_all(dir)?;
         let strategy = config.strategy;
         let base = config.base.clone();
-        let built = Self::build_impl(data, config, strategy.partitioner(), |si| {
+        let mut built = Self::build_impl(data, config, strategy.partitioner(), |si| {
             let storage = Arc::new(FileStorage::create(
-                shard_path(dir, si, false),
+                shard_path(dir, si, false, 0),
                 base.page_size,
             )?);
             Ok(Arc::new(Pager::new(
@@ -118,7 +173,13 @@ impl ShardedProMips {
                 pm.save()?; // aux + footer straight into the shard's file
             }
         }
-        built.write_aux_and_manifest(dir)?;
+        let ns = built.shards.len();
+        built.write_aux_and_manifest(dir, &vec![0; ns])?;
+        built.durable = Some(DurableState {
+            dir: dir.to_path_buf(),
+            wals: (0..ns).map(|_| None).collect(),
+            generations: vec![0; ns],
+        });
         Ok(built)
     }
 
@@ -127,10 +188,22 @@ impl ShardedProMips {
     /// into per-shard files; exact shards and the manifest are written
     /// alongside. Reopen with [`ShardedProMips::open`].
     ///
-    /// Snapshot a given in-memory index at most once per directory: each
-    /// call appends a fresh persistence footer to the live shard pagers
-    /// (the last one always wins on reopen, but the pages accumulate).
+    /// The index must have no pending mutations (a snapshot carries no
+    /// WAL, so an uncompacted delta would be silently dropped) — call
+    /// [`ShardedProMips::compact_all`] first. Snapshot a given in-memory
+    /// index at most once per directory: each call appends a fresh
+    /// persistence footer to the live shard pagers (the last one always
+    /// wins on reopen, but the pages accumulate).
     pub fn snapshot(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        if self.pending_mutations() > 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "snapshot would drop {} pending mutations; compact_all() first",
+                    self.pending_mutations()
+                ),
+            ));
+        }
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         for (si, shard) in self.shards.iter().enumerate() {
@@ -140,7 +213,7 @@ impl ShardedProMips {
                 // would charge a logical read per page to the shard's
                 // access counters and churn its buffer pool.
                 let src = pm.idistance().pager().storage();
-                let dst = FileStorage::create(shard_path(dir, si, false), src.page_size())?;
+                let dst = FileStorage::create(shard_path(dir, si, false, 0), src.page_size())?;
                 let mut page = vec![0u8; src.page_size()];
                 for pid in 0..src.num_pages() {
                     src.read_page(pid, &mut page)?;
@@ -151,23 +224,50 @@ impl ShardedProMips {
                 dst.sync()?;
             }
         }
-        self.write_aux_and_manifest(dir)
+        // A snapshot starts a fresh lineage: everything at generation 0.
+        self.write_aux_and_manifest(dir, &vec![0; self.shards.len()])
     }
 
-    /// Writes exact-shard blobs and the manifest (shared by
-    /// [`ShardedProMips::snapshot`] and [`ShardedProMips::build_in_dir`]).
-    fn write_aux_and_manifest(&self, dir: &Path) -> io::Result<()> {
+    /// Writes exact-shard blobs **and** the manifest — the full-directory
+    /// paths ([`ShardedProMips::snapshot`], [`ShardedProMips::build_in_dir`]).
+    /// The compaction commit calls [`ShardedProMips::write_manifest`]
+    /// directly: its new generation files (including exact blobs) were
+    /// already written and fsynced by the build step, and rewriting every
+    /// *unchanged* exact shard's blob per commit would make compaction
+    /// cost scale with total exact-shard bytes.
+    pub(crate) fn write_aux_and_manifest(&self, dir: &Path, generations: &[u64]) -> io::Result<()> {
         for (si, shard) in self.shards.iter().enumerate() {
             if let ShardKind::Exact(ex) = &shard.kind {
-                write_exact(&shard_path(dir, si, true), &ex.rows)?;
+                write_exact_file(
+                    &shard_path(dir, si, true, generations[si]),
+                    &ex.rows,
+                    ex.base_rows,
+                )?;
             }
         }
+        self.write_manifest(dir, generations)
+    }
+
+    /// Atomically replaces the manifest. What is serialized is each
+    /// shard's **committed** view — the state as of its last (re)build:
+    /// delta ids are appended at the tail of the id map and tombstones
+    /// live only in in-memory sets, so the committed prefix plus the WAL
+    /// reconstructs the live state on reopen without applying anything
+    /// twice.
+    pub(crate) fn write_manifest(&self, dir: &Path, generations: &[u64]) -> io::Result<()> {
+        debug_assert_eq!(generations.len(), self.shards.len());
+        // The committed point count: stored minus (uncommitted) delta.
+        let committed_total: u64 = self
+            .shards
+            .iter()
+            .map(|s| (s.ids.len() - s.delta_len()) as u64)
+            .sum();
         let mut buf = Vec::new();
         enc::put_u64(&mut buf, MANIFEST_MAGIC);
         enc::put_u64(&mut buf, MANIFEST_VERSION);
         enc::put_u64(&mut buf, self.shards.len() as u64);
         enc::put_u64(&mut buf, self.d as u64);
-        enc::put_u64(&mut buf, self.n_points);
+        enc::put_u64(&mut buf, committed_total);
         enc::put_u64(&mut buf, self.config.exact_threshold as u64);
         enc::put_u64(&mut buf, u64::from(self.config.prune));
         enc::put_u64(&mut buf, u64::from(self.config.cross_shard_floor));
@@ -178,22 +278,30 @@ impl ShardedProMips {
         enc::put_u64(&mut buf, self.config.base.page_size as u64);
         enc::put_u64(&mut buf, self.config.base.pool_pages as u64);
         enc::put_u64(&mut buf, self.config.base.seed);
+        enc::put_u64(&mut buf, self.next_global_id);
+        enc::put_u64(&mut buf, sync_policy_tag(self.config.wal_sync));
         let name = self.partitioner_name.as_bytes();
         enc::put_u64(&mut buf, name.len() as u64);
         buf.extend_from_slice(name);
-        for shard in &self.shards {
+        for (si, shard) in self.shards.iter().enumerate() {
+            let committed = shard.ids.len() - shard.delta_len();
             enc::put_u64(&mut buf, u64::from(shard.is_exact()));
-            enc::put_u64(&mut buf, shard.ids.len() as u64);
-            enc::put_f64(&mut buf, shard.max_norm);
-            for &id in &shard.ids {
+            enc::put_u64(&mut buf, committed as u64);
+            enc::put_f64(&mut buf, shard.built_max_norm);
+            enc::put_u64(&mut buf, generations[si]);
+            for &id in &shard.ids[..committed] {
                 enc::put_u64(&mut buf, id);
             }
         }
-        fs::write(dir.join(MANIFEST_NAME), buf)
+        write_file_atomic(dir.join(MANIFEST_NAME), &buf)
     }
 
-    /// Reopens a snapshot directory written by [`ShardedProMips::snapshot`]
-    /// or [`ShardedProMips::build_in_dir`].
+    /// Reopens an index directory written by [`ShardedProMips::snapshot`],
+    /// [`ShardedProMips::build_in_dir`], or compaction: loads the
+    /// manifest-named generation of every shard, then replays each shard's
+    /// write-ahead log (if present) so every mutation that reached disk is
+    /// live again. With no WALs this is exactly the read-only open path —
+    /// bit-identical results to the index that was saved.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
         let dir = dir.as_ref();
         let buf = fs::read(dir.join(MANIFEST_NAME))?;
@@ -212,9 +320,6 @@ impl ShardedProMips {
             }
             Ok(())
         };
-        // Fixed-size header: magic..seed plus the partitioner-name length
-        // (16 little-endian 8-byte fields).
-        const HEADER_BYTES: usize = 16 * 8;
         let mut pos = 0;
         if buf.len() < 16 || enc::get_u64(&buf, &mut pos) != MANIFEST_MAGIC {
             return Err(io::Error::new(
@@ -222,14 +327,17 @@ impl ShardedProMips {
                 "bad sharded-index manifest magic",
             ));
         }
-        need(0, HEADER_BYTES)?;
         let version = enc::get_u64(&buf, &mut pos);
-        if version != MANIFEST_VERSION {
+        if version != 1 && version != MANIFEST_VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unsupported manifest version {version}"),
             ));
         }
+        // Fixed-size header: magic..seed, v2's next-id/wal-sync words, and
+        // the partitioner-name length (little-endian 8-byte fields).
+        let header_bytes = if version == 1 { 16 * 8 } else { 18 * 8 };
+        need(0, header_bytes)?;
         let n_shards = enc::get_u64(&buf, &mut pos) as usize;
         let d = enc::get_u64(&buf, &mut pos) as usize;
         let n_points = enc::get_u64(&buf, &mut pos);
@@ -247,6 +355,14 @@ impl ShardedProMips {
         let page_size = enc::get_u64(&buf, &mut pos) as usize;
         let pool_pages = enc::get_u64(&buf, &mut pos) as usize;
         let seed = enc::get_u64(&buf, &mut pos);
+        let (mut next_global_id, wal_sync) = if version >= 2 {
+            let next = enc::get_u64(&buf, &mut pos);
+            let sync = sync_policy_from_tag(enc::get_u64(&buf, &mut pos));
+            (next, sync)
+        } else {
+            // v1 manifests predate mutations: ids are dense 0..n.
+            (n_points, SyncPolicy::Always)
+        };
         let name_len = enc::get_u64(&buf, &mut pos) as usize;
         need(pos, name_len)?;
         let partitioner_name = String::from_utf8_lossy(&buf[pos..pos + name_len]).into_owned();
@@ -258,6 +374,8 @@ impl ShardedProMips {
             exact_threshold,
             prune,
             cross_shard_floor,
+            wal_sync,
+            compaction: Default::default(), // runtime policy, not persisted
             base: promips_core::ProMipsConfig {
                 c,
                 p,
@@ -270,15 +388,23 @@ impl ShardedProMips {
         };
 
         let mut shards = Vec::with_capacity(n_shards.min(1 << 16));
-        for si in 0..n_shards {
-            need(pos, 24)?; // kind + count + max_norm
+        let mut generations = vec![0u64; n_shards];
+        for (si, generation) in generations.iter_mut().enumerate() {
+            // kind + count + max_norm (+ generation in v2).
+            need(pos, if version >= 2 { 32 } else { 24 })?;
             let exact = enc::get_u64(&buf, &mut pos) != 0;
             let count = enc::get_u64(&buf, &mut pos) as usize;
             let max_norm = enc::get_f64(&buf, &mut pos);
+            if version >= 2 {
+                *generation = enc::get_u64(&buf, &mut pos);
+            }
             need(pos, count.saturating_mul(8))?;
             let ids: Vec<u64> = (0..count).map(|_| enc::get_u64(&buf, &mut pos)).collect();
+            if let Some(&max_id) = ids.last() {
+                next_global_id = next_global_id.max(max_id + 1);
+            }
             let kind = if exact {
-                let rows = read_exact(&shard_path(dir, si, true), d)?;
+                let rows = read_exact(&shard_path(dir, si, true, *generation), d)?;
                 if rows.rows() != count {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -288,9 +414,12 @@ impl ShardedProMips {
                         ),
                     ));
                 }
-                ShardKind::Exact(ExactShard { rows })
+                ShardKind::Exact(ExactShard::new(rows))
             } else {
-                let storage = Arc::new(FileStorage::open(shard_path(dir, si, false), page_size)?);
+                let storage = Arc::new(FileStorage::open(
+                    shard_path(dir, si, false, *generation),
+                    page_size,
+                )?);
                 let pager = Arc::new(Pager::new(storage, pool_pages, AccessStats::new_shared()));
                 let pm = ProMips::open(pager)?;
                 if pm.len() != count as u64 {
@@ -307,16 +436,54 @@ impl ShardedProMips {
             shards.push(Shard {
                 ids,
                 max_norm,
+                built_max_norm: max_norm,
                 kind,
             });
         }
 
-        Ok(Self {
+        // Open each shard's write-ahead log (where one exists) and collect
+        // its surviving records; torn tails are truncated inside Wal::open.
+        let mut wals: Vec<Option<Wal>> = (0..n_shards).map(|_| None).collect();
+        let mut replays: Vec<(usize, Vec<WalRecord>)> = Vec::new();
+        for (si, slot) in wals.iter_mut().enumerate() {
+            let wp = wal_path(dir, si);
+            if wp.exists() {
+                let (wal, records) = Wal::open(&wp, WalConfig { sync: wal_sync })?;
+                if wal.d() != d {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "WAL {} dimensionality {} != index {d}",
+                            wp.display(),
+                            wal.d()
+                        ),
+                    ));
+                }
+                *slot = Some(wal);
+                if !records.is_empty() {
+                    replays.push((si, records));
+                }
+            }
+        }
+
+        let mut index = Self {
             config,
             shards,
             d,
             n_points,
+            next_global_id,
+            durable: Some(DurableState {
+                dir: dir.to_path_buf(),
+                wals,
+                generations,
+            }),
             partitioner_name,
-        })
+        };
+        for (si, records) in replays {
+            for rec in records {
+                index.apply_replayed(si, rec);
+            }
+        }
+        Ok(index)
     }
 }

@@ -2,12 +2,13 @@
 
 use promips_core::SearchItem;
 
-/// Per-shard outcome of one fan-out query.
+/// Per-shard outcome of one fan-out query, including the maintenance
+/// counters operators watch to see compaction debt accumulate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardQueryStats {
     /// Shard id.
     pub shard: u32,
-    /// Points stored in the shard.
+    /// Points stored in the shard (live + tombstoned).
     pub points: u64,
     /// True when the norm bound pruned the shard without searching it.
     pub pruned: bool,
@@ -20,6 +21,34 @@ pub struct ShardQueryStats {
     /// Items the shard contributed to the merge (before the global top-k
     /// cut).
     pub returned: usize,
+    /// Uncompacted delta inserts the query had to verify exhaustively —
+    /// when this grows, queries slow down and compaction is due.
+    pub delta_len: usize,
+    /// Tombstoned points still occupying the shard's file.
+    pub tombstones: usize,
+    /// Bytes in the shard's write-ahead log (0 for in-memory indexes).
+    pub wal_bytes: u64,
+}
+
+/// One shard's maintenance ledger (see
+/// [`crate::ShardedProMips::maintenance_stats`]): how much uncompacted
+/// state it carries and how big its write-ahead log has grown — the
+/// numbers an operator (or [`crate::CompactionPolicy`]) watches to decide
+/// when compaction is due.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardMaintenance {
+    /// Shard id.
+    pub shard: u32,
+    /// Live (non-tombstoned) points.
+    pub live: u64,
+    /// Uncompacted delta inserts.
+    pub delta_len: usize,
+    /// Tombstoned points awaiting compaction.
+    pub tombstones: usize,
+    /// Bytes in the shard's write-ahead log (0 for in-memory indexes).
+    pub wal_bytes: u64,
+    /// Data-file generation (bumped by each compaction; 0 in-memory).
+    pub generation: u64,
 }
 
 /// Result of a sharded c-k-AMIP search: the merged global top-k plus what
@@ -74,6 +103,9 @@ mod tests {
                     exact: false,
                     verified: 12,
                     returned: 2,
+                    delta_len: 0,
+                    tombstones: 0,
+                    wal_bytes: 0,
                 },
                 ShardQueryStats {
                     shard: 1,
@@ -82,6 +114,9 @@ mod tests {
                     exact: true,
                     verified: 0,
                     returned: 0,
+                    delta_len: 1,
+                    tombstones: 2,
+                    wal_bytes: 64,
                 },
             ],
         };

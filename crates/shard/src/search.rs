@@ -219,6 +219,9 @@ impl ShardedProMips {
                 exact: self.shards[si].is_exact(),
                 verified: outcomes[si].as_ref().map_or(0, |o| o.verified),
                 returned: outcomes[si].as_ref().map_or(0, |o| o.items.len()),
+                delta_len: self.shards[si].delta_len(),
+                tombstones: self.shards[si].tombstone_count(),
+                wal_bytes: self.wal_bytes(si),
             })
             .collect();
 
@@ -258,19 +261,22 @@ impl ShardedProMips {
                 })
             }
             ShardKind::Exact(ex) => Ok(ShardOutcome {
-                items: exact_topk(&ex.rows, &shard.ids, q, k, floor),
-                verified: ex.rows.rows(),
+                items: exact_topk(&ex.rows, &ex.deleted, &shard.ids, q, k, floor),
+                verified: ex.rows.rows() - ex.n_deleted,
             }),
         }
     }
 }
 
-/// Blocked exact top-k over a small shard: every row is scored through the
-/// shared `dot4`-blocked kernel ([`promips_linalg::Matrix::dot_rows`]),
-/// items below the floor are dropped, and ties break by global id — the
-/// same total order the merge and the indexed shards use.
+/// Blocked exact top-k over a small shard: every live row is scored
+/// through the shared `dot4`-blocked kernel
+/// ([`promips_linalg::Matrix::dot_rows`]) — delta inserts are ordinary
+/// appended rows, tombstoned rows are skipped — items below the floor are
+/// dropped, and ties break by global id, the same total order the merge
+/// and the indexed shards use.
 fn exact_topk(
     rows: &promips_linalg::Matrix,
+    deleted: &[bool],
     ids: &[u64],
     q: &[f32],
     k: usize,
@@ -278,7 +284,7 @@ fn exact_topk(
 ) -> Vec<SearchItem> {
     let mut items: Vec<SearchItem> = Vec::with_capacity(rows.rows());
     rows.dot_rows(0, rows.rows(), q, |i, ip| {
-        if ip >= floor {
+        if !deleted[i] && ip >= floor {
             items.push(SearchItem { id: ids[i], ip });
         }
     });

@@ -1,0 +1,98 @@
+//! Crash-safety primitives shared by the persistence paths: directory
+//! fsync and write-temp-then-rename file replacement.
+//!
+//! POSIX only guarantees a rename is durable once the *containing
+//! directory* has been fsynced, and a freshly written file's contents are
+//! durable only after `fsync` on the file itself. The manifest-swap
+//! protocol of the sharded index (write `MANIFEST.pms.tmp`, fsync it,
+//! rename over `MANIFEST.pms`, fsync the directory) rides these helpers;
+//! the WAL crate carries its own copy of the directory sync for its
+//! create path so the two crates stay dependency-free of each other.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Fsyncs a directory so renames/creates inside it survive a crash.
+pub fn fsync_dir(dir: impl AsRef<Path>) -> io::Result<()> {
+    File::open(dir.as_ref())?.sync_all()
+}
+
+/// Atomically replaces `dst` with `bytes`: writes `dst` + `.tmp` suffix,
+/// fsyncs it, renames over `dst`, and fsyncs the parent directory. A crash
+/// at any point leaves either the old `dst` or the new one — never a
+/// half-written file under the final name.
+pub fn write_file_atomic(dst: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let dst = dst.as_ref();
+    let tmp = tmp_sibling(dst);
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, dst)?;
+    if let Some(parent) = dst.parent() {
+        if !parent.as_os_str().is_empty() {
+            fsync_dir(parent)?;
+        }
+    }
+    Ok(())
+}
+
+/// The temp-file name the atomic writer uses (`<dst>.tmp`), exposed so
+/// crash-recovery sweeps can recognise and discard leftovers.
+pub fn tmp_sibling(dst: &Path) -> std::path::PathBuf {
+    let mut name = dst.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    dst.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("promips-dur-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_tmp() {
+        let dir = temp_dir("atomic");
+        let dst = dir.join("MANIFEST.pms");
+        write_file_atomic(&dst, b"one").unwrap();
+        assert_eq!(std::fs::read(&dst).unwrap(), b"one");
+        write_file_atomic(&dst, b"two-longer").unwrap();
+        assert_eq!(std::fs::read(&dst).unwrap(), b"two-longer");
+        assert!(
+            !tmp_sibling(&dst).exists(),
+            "tmp file must not survive a successful swap"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_is_overwritten_not_trusted() {
+        let dir = temp_dir("stale");
+        let dst = dir.join("MANIFEST.pms");
+        // A crashed previous writer left a half-written temp file.
+        std::fs::write(tmp_sibling(&dst), b"garbage from a crash").unwrap();
+        write_file_atomic(&dst, b"fresh").unwrap();
+        assert_eq!(std::fs::read(&dst).unwrap(), b"fresh");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_dir_works_on_real_directory() {
+        let dir = temp_dir("fsync");
+        fsync_dir(&dir).unwrap();
+        assert!(fsync_dir(dir.join("missing")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,536 @@
+//! The log itself: append, group commit, replay-on-open with torn-tail
+//! truncation, and post-compaction truncation.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::record::WalRecord;
+
+const WAL_MAGIC: u64 = 0x5AA2_D1CE_3A70_0001;
+const WAL_VERSION: u64 = 1;
+/// magic + version + dimensionality.
+pub(crate) const HEADER_BYTES: u64 = 24;
+/// len prefix + crc.
+const RECORD_HEADER: usize = 8;
+
+/// When appends reach durable media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// `fsync` after every append — nothing acknowledged is ever lost.
+    #[default]
+    Always,
+    /// Group commit: `fsync` once per `n` appends (and on explicit
+    /// [`Wal::sync`]). A crash loses at most the last `n − 1` mutations.
+    EveryN(u32),
+    /// Never sync implicitly; the OS flushes when it pleases. For
+    /// measurement and bulk loads followed by an explicit [`Wal::sync`].
+    Never,
+}
+
+/// Log configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalConfig {
+    /// Group-commit knob (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+}
+
+/// An open write-ahead log for one shard.
+///
+/// The in-memory state tracks the byte length of the *complete-record
+/// prefix*; appends go exactly there, so a previous torn tail (already
+/// truncated by [`Wal::open`]) can never resurface.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    d: usize,
+    config: WalConfig,
+    /// End of the last complete record (file offset appends write at).
+    len_bytes: u64,
+    records: u64,
+    /// Appends since the last sync (group-commit counter).
+    unsynced: u32,
+    /// Reusable encode buffer.
+    buf: Vec<u8>,
+}
+
+impl Wal {
+    /// Creates a fresh (empty) log for vectors of dimensionality `d`,
+    /// fsyncing the header and the parent directory so the file itself
+    /// survives a crash.
+    pub fn create(path: impl AsRef<Path>, d: usize, config: WalConfig) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut header = Vec::with_capacity(HEADER_BYTES as usize);
+        header.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        header.extend_from_slice(&(d as u64).to_le_bytes());
+        file.write_all_at(&header, 0)?;
+        file.sync_data()?;
+        promips_sync_parent(&path)?;
+        Ok(Self {
+            file,
+            path,
+            d,
+            config,
+            len_bytes: HEADER_BYTES,
+            records: 0,
+            unsynced: 0,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Opens an existing log and replays it: returns the handle plus the
+    /// longest prefix of *complete* records, in append order. Everything
+    /// from the first incomplete or corrupt record onward — an incomplete
+    /// length prefix, an incomplete payload, or a CRC mismatch — is
+    /// truncated off the file, so the log is clean for subsequent appends.
+    ///
+    /// This is **point-in-time recovery** (the same choice RocksDB's
+    /// default WAL mode and SQLite's WAL replay make): recovery never
+    /// extends past the first bad record, even if parseable bytes follow
+    /// it. The alternative — erroring out when valid records appear after
+    /// a gap — would brick legitimately crashed logs: under group commit
+    /// the OS may persist the unsynced window's pages out of order, so a
+    /// crash can leave a later record intact behind a hole, and such a log
+    /// must still open. The cost is that mid-file bit-rot in an already
+    /// fsynced region also truncates the records behind it; logs are kept
+    /// short by compaction, which bounds that exposure.
+    pub fn open(path: impl AsRef<Path>, config: WalConfig) -> io::Result<(Self, Vec<WalRecord>)> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let file_len = file.metadata()?.len();
+        let mut bytes = vec![0u8; file_len as usize];
+        file.read_exact_at(&mut bytes, 0)?;
+
+        if bytes.len() < HEADER_BYTES as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("WAL {} shorter than its header", path.display()),
+            ));
+        }
+        let magic = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let version = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let d = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+        if magic != WAL_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad WAL magic in {}", path.display()),
+            ));
+        }
+        if version != WAL_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported WAL version {version}"),
+            ));
+        }
+
+        let mut records = Vec::new();
+        let mut pos = HEADER_BYTES as usize;
+        let mut good_end = pos;
+        while pos < bytes.len() {
+            // First failure of any kind ends the scan (see the doc comment
+            // on point-in-time recovery): records are never skipped over.
+            if pos + RECORD_HEADER > bytes.len() {
+                break; // partial length prefix
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let body_start = pos + RECORD_HEADER;
+            if len == 0 || body_start + len > bytes.len() {
+                break; // partial payload (or nonsense length running past EOF)
+            }
+            let payload = &bytes[body_start..body_start + len];
+            if crc32(payload) != crc {
+                break; // half-flushed sector
+            }
+            let rec = match WalRecord::decode_payload(payload, d) {
+                Ok(r) => r,
+                Err(_) => break, // checksummed but undecodable ⇒ treat as tail
+            };
+            records.push(rec);
+            pos = body_start + len;
+            good_end = pos;
+        }
+
+        if good_end as u64 != file_len {
+            // Drop the torn tail so the next append starts on a record
+            // boundary. Sync: the truncation itself must be durable, or a
+            // second crash could resurrect garbage past our append point.
+            file.set_len(good_end as u64)?;
+            file.sync_data()?;
+        }
+
+        Ok((
+            Self {
+                file,
+                path,
+                d,
+                config,
+                len_bytes: good_end as u64,
+                records: records.len() as u64,
+                unsynced: 0,
+                buf: Vec::new(),
+            },
+            records,
+        ))
+    }
+
+    /// Opens `path` if it exists, otherwise creates a fresh log. The replay
+    /// vector is empty for a fresh log.
+    pub fn open_or_create(
+        path: impl AsRef<Path>,
+        d: usize,
+        config: WalConfig,
+    ) -> io::Result<(Self, Vec<WalRecord>)> {
+        if path.as_ref().exists() {
+            let (wal, records) = Self::open(path, config)?;
+            if wal.d != d {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("WAL dimensionality {} != index {d}", wal.d),
+                ));
+            }
+            Ok((wal, records))
+        } else {
+            Ok((Self::create(path, d, config)?, Vec::new()))
+        }
+    }
+
+    /// Appends one record, honouring the group-commit policy. The record is
+    /// on disk (modulo the policy's sync debt) when this returns; apply it
+    /// to in-memory state only afterwards — that ordering is what makes the
+    /// log *write-ahead*.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        if let WalRecord::Insert { vector, .. } = record {
+            assert_eq!(
+                vector.len(),
+                self.d,
+                "WAL dimensionality mismatch: record {} vs log {}",
+                vector.len(),
+                self.d
+            );
+        }
+        let payload_len = record.payload_len(self.d);
+        self.buf.clear();
+        self.buf.reserve(RECORD_HEADER + payload_len);
+        self.buf
+            .extend_from_slice(&(payload_len as u32).to_le_bytes());
+        self.buf.extend_from_slice(&[0u8; 4]); // crc placeholder
+        record.encode_payload(&mut self.buf);
+        debug_assert_eq!(self.buf.len(), RECORD_HEADER + payload_len);
+        let crc = crc32(&self.buf[RECORD_HEADER..]);
+        self.buf[4..8].copy_from_slice(&crc.to_le_bytes());
+
+        self.file.write_all_at(&self.buf, self.len_bytes)?;
+        self.len_bytes += self.buf.len() as u64;
+        self.records += 1;
+        self.unsynced += 1;
+        match self.config.sync {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to durable media.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Empties the log (keeps the header). Called **after** a compaction's
+    /// manifest swap has landed — at that point the records are folded into
+    /// the new generation and replaying them would resurrect dead state.
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(HEADER_BYTES)?;
+        self.file.sync_data()?;
+        self.len_bytes = HEADER_BYTES;
+        self.records = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Number of complete records in the log.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes of complete records + header (the operator-facing "how big is
+    /// my WAL" number; compaction policies feed on it).
+    pub fn size_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// Appends not yet covered by an fsync (sync debt of the group-commit
+    /// policy).
+    pub fn unsynced_appends(&self) -> u32 {
+        self.unsynced
+    }
+
+    /// Vector dimensionality the log was created with.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Fsyncs the directory containing `path` (rename/create durability).
+fn promips_sync_parent(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            File::open(parent)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("promips-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.wal"))
+    }
+
+    fn sample_records(d: usize) -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert {
+                id: 100,
+                vector: (0..d).map(|i| i as f32 * 0.5).collect(),
+            },
+            WalRecord::Delete { id: 7 },
+            WalRecord::Insert {
+                id: 101,
+                vector: (0..d).map(|i| -(i as f32)).collect(),
+            },
+            WalRecord::Delete { id: 100 },
+        ]
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let path = temp_path("roundtrip");
+        let recs = sample_records(6);
+        {
+            let mut wal = Wal::create(&path, 6, WalConfig::default()).unwrap();
+            for r in &recs {
+                wal.append(r).unwrap();
+            }
+            assert_eq!(wal.record_count(), 4);
+        }
+        let (wal, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(replayed, recs);
+        assert_eq!(wal.record_count(), 4);
+        assert_eq!(wal.d(), 6);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appends_continue_after_reopen() {
+        let path = temp_path("continue");
+        let recs = sample_records(3);
+        {
+            let mut wal = Wal::create(&path, 3, WalConfig::default()).unwrap();
+            for r in &recs[..2] {
+                wal.append(r).unwrap();
+            }
+        }
+        {
+            let (mut wal, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
+            assert_eq!(replayed.len(), 2);
+            for r in &recs[2..] {
+                wal.append(r).unwrap();
+            }
+        }
+        let (_, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(replayed, recs);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The crash-safety torture test of the issue: truncate the log at
+    /// every byte offset inside (and around) the final record; replay must
+    /// recover exactly the prefix of complete records — never panic, never
+    /// invent a record, never lose an earlier one.
+    #[test]
+    fn torn_tail_truncated_at_every_byte_offset() {
+        let path = temp_path("torture");
+        let recs = sample_records(5);
+        {
+            let mut wal = Wal::create(&path, 5, WalConfig::default()).unwrap();
+            for r in &recs {
+                wal.append(r).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Byte length of each record as laid out in the file.
+        let rec_len = |r: &WalRecord| RECORD_HEADER + r.payload_len(5);
+        let last_start = full.len() - rec_len(recs.last().unwrap());
+        debug_assert_eq!(
+            HEADER_BYTES as usize + recs.iter().map(rec_len).sum::<usize>(),
+            full.len()
+        );
+
+        for cut in last_start..=full.len() {
+            let torn = temp_path(&format!("torture-cut-{cut}"));
+            std::fs::write(&torn, &full[..cut]).unwrap();
+            let (wal, replayed) = Wal::open(&torn, WalConfig::default()).unwrap();
+            let expect: &[WalRecord] = if cut == full.len() {
+                &recs
+            } else {
+                &recs[..recs.len() - 1]
+            };
+            assert_eq!(replayed, expect, "cut at byte {cut}");
+            // The torn tail is gone from disk: reopening again replays the
+            // same prefix and the file ends exactly at the durable prefix.
+            assert_eq!(
+                std::fs::metadata(&torn).unwrap().len(),
+                wal.size_bytes(),
+                "cut at byte {cut} left trailing garbage"
+            );
+            drop(wal);
+            let (_, again) = Wal::open(&torn, WalConfig::default()).unwrap();
+            assert_eq!(again, expect, "cut at byte {cut} (second open)");
+            std::fs::remove_file(&torn).unwrap();
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_in_tail_is_dropped() {
+        let path = temp_path("crc");
+        let recs = sample_records(4);
+        {
+            let mut wal = Wal::create(&path, 4, WalConfig::default()).unwrap();
+            for r in &recs {
+                wal.append(r).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x40; // flip a bit inside the final payload
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(replayed, recs[..recs.len() - 1]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Point-in-time semantics: corruption in the *middle* of the log also
+    /// ends recovery there — the records behind it are dropped and
+    /// truncated, never skipped over (see the `open` doc for why erroring
+    /// instead would brick legitimately crashed group-commit logs).
+    #[test]
+    fn mid_file_corruption_ends_recovery_there() {
+        let path = temp_path("midrot");
+        let recs = sample_records(4);
+        let rec_len = |r: &WalRecord| RECORD_HEADER + r.payload_len(4);
+        {
+            let mut wal = Wal::create(&path, 4, WalConfig::default()).unwrap();
+            for r in &recs {
+                wal.append(r).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit inside record 1's payload (records 2 and 3 intact).
+        let off = HEADER_BYTES as usize + rec_len(&recs[0]) + RECORD_HEADER + 2;
+        bytes[off] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let (wal, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(replayed, recs[..1]);
+        assert_eq!(
+            wal.size_bytes(),
+            HEADER_BYTES + rec_len(&recs[0]) as u64,
+            "everything from the corrupt record on must be truncated"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_empties_the_log() {
+        let path = temp_path("trunc");
+        let mut wal = Wal::create(&path, 2, WalConfig::default()).unwrap();
+        for r in sample_records(2) {
+            wal.append(&r).unwrap();
+        }
+        wal.truncate().unwrap();
+        assert_eq!(wal.record_count(), 0);
+        assert_eq!(wal.size_bytes(), HEADER_BYTES);
+        // Appends after truncation land cleanly.
+        wal.append(&WalRecord::Delete { id: 3 }).unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(replayed, vec![WalRecord::Delete { id: 3 }]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_tracks_sync_debt() {
+        let path = temp_path("group");
+        let mut wal = Wal::create(
+            &path,
+            2,
+            WalConfig {
+                sync: SyncPolicy::EveryN(3),
+            },
+        )
+        .unwrap();
+        let rec = WalRecord::Delete { id: 1 };
+        wal.append(&rec).unwrap();
+        wal.append(&rec).unwrap();
+        assert_eq!(wal.unsynced_appends(), 2);
+        wal.append(&rec).unwrap(); // third append triggers the group sync
+        assert_eq!(wal.unsynced_appends(), 0);
+        wal.append(&rec).unwrap();
+        assert_eq!(wal.unsynced_appends(), 1);
+        wal.sync().unwrap();
+        assert_eq!(wal.unsynced_appends(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_or_create_and_dimension_check() {
+        let path = temp_path("ooc");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, replayed) = Wal::open_or_create(&path, 3, WalConfig::default()).unwrap();
+        assert!(replayed.is_empty());
+        wal.append(&WalRecord::Delete { id: 5 }).unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open_or_create(&path, 3, WalConfig::default()).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert!(Wal::open_or_create(&path, 7, WalConfig::default()).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mismatched_insert_dimension_panics() {
+        let path = temp_path("dim");
+        let mut wal = Wal::create(&path, 4, WalConfig::default()).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = wal.append(&WalRecord::Insert {
+                id: 0,
+                vector: vec![0.0; 3],
+            });
+        }));
+        assert!(r.is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

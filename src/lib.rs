@@ -11,7 +11,10 @@
 //!   end-to-end index.
 //! * [`shard`] — horizontal scaling: norm-range partitioned shards, each
 //!   with its own storage file and index, searched by a pruned parallel
-//!   fan-out.
+//!   fan-out; durably writable through per-shard write-ahead logs with
+//!   crash-safe compaction and re-partitioning.
+//! * [`wal`] — the append-only per-shard write-ahead log (checksummed
+//!   records, group commit, torn-tail recovery).
 //! * [`idistance`] — the lightweight iDistance index with the paper's ring
 //!   partition pattern.
 //! * [`btree`], [`storage`] — the disk substrate (single B+-tree over a
@@ -65,6 +68,31 @@
 //! let top10 = sharded.search(&query, 10).unwrap();
 //! assert_eq!(top10.per_shard.len(), 4);
 //! ```
+//!
+//! ## Mutating durably
+//!
+//! ```no_run
+//! use promips::shard::{ShardedConfig, ShardedProMips};
+//! # use promips::linalg::Matrix;
+//! # let mut rng = promips::stats::Xoshiro256pp::seed_from_u64(1);
+//! # let data = Matrix::from_rows(
+//! #     32,
+//! #     (0..1000).map(|_| (0..32).map(|_| rng.normal() as f32).collect()),
+//! # );
+//!
+//! // A directory-backed index logs every mutation to a per-shard WAL
+//! // before applying it; reopening replays the log, so nothing
+//! // acknowledged is lost on a crash.
+//! let config = ShardedConfig::builder().shards(4).build();
+//! let mut index = ShardedProMips::build_in_dir(&data, config, "idx").unwrap();
+//! let v: Vec<f32> = (0..32).map(|_| rng.normal() as f32).collect();
+//! let gid = index.insert(&v).unwrap(); // searchable immediately, durable
+//! index.delete(gid).unwrap();
+//! index.compact().unwrap(); // fold deltas per the CompactionPolicy
+//! drop(index);
+//! let reopened = ShardedProMips::open("idx").unwrap(); // replays the WAL
+//! # let _ = reopened;
+//! ```
 
 pub use promips_baselines as baselines;
 pub use promips_btree as btree;
@@ -76,3 +104,4 @@ pub use promips_linalg as linalg;
 pub use promips_shard as shard;
 pub use promips_stats as stats;
 pub use promips_storage as storage;
+pub use promips_wal as wal;
