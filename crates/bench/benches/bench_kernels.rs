@@ -10,6 +10,7 @@
 //! `BENCH_kernels.json` in the working directory; override with
 //! `PROMIPS_BENCH_OUT`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use promips_bench::micro::{ns_per_op, Json, MicroBench};
@@ -21,8 +22,9 @@ use promips_linalg::dispatch::available_backends;
 use promips_linalg::{
     active_backend, dist, dot, norm1, scalar, sq_dist, sq_dist4_i8, sq_norm2, Matrix,
 };
-use promips_shard::{ShardedConfig, ShardedProMips, ShardedScratch, SyncPolicy};
+use promips_shard::{CompactionPolicy, ShardedConfig, ShardedProMips, ShardedScratch, SyncPolicy};
 use promips_stats::Xoshiro256pp;
+use promips_storage::durability::faults;
 use promips_storage::{AccessStats, MemStorage, PageBuf, Pager};
 
 const D: usize = 128;
@@ -498,12 +500,12 @@ fn main() {
             .base(ProMipsConfig::builder().c(0.9).p(0.5).seed(77).build())
             .build();
         let sharded = ShardedProMips::build_in_memory(&shard_data, cfg).expect("sharded build");
-        let mut scratch = ShardedScratch::for_index(&sharded);
+        let scratch = ShardedScratch::for_index(&sharded);
         let mut pruned = 0usize;
         let mut verified = 0usize;
         for i in 0..nq {
             let res = sharded
-                .search_with_scratch(shard_queries.row(i), k, &mut scratch)
+                .search_with_scratch(shard_queries.row(i), k, &scratch)
                 .unwrap();
             pruned += res.shards_pruned();
             verified += res.verified;
@@ -512,7 +514,7 @@ fn main() {
             for i in 0..nq {
                 std::hint::black_box(
                     sharded
-                        .search_with_scratch(shard_queries.row(i), k, &mut scratch)
+                        .search_with_scratch(shard_queries.row(i), k, &scratch)
                         .unwrap(),
                 );
             }
@@ -555,12 +557,12 @@ fn main() {
                 .base(ProMipsConfig::builder().c(0.9).p(0.5).seed(77).build())
                 .build();
             let sharded = ShardedProMips::build_in_memory(&shard_data, cfg).expect("sharded build");
-            let mut scratch = ShardedScratch::for_index(&sharded);
+            let scratch = ShardedScratch::for_index(&sharded);
             let mut verified = 0usize;
             let mut hits = 0usize;
             for (i, truth_row) in gt.iter().enumerate() {
                 let res = sharded
-                    .search_with_scratch(shard_queries.row(i), k, &mut scratch)
+                    .search_with_scratch(shard_queries.row(i), k, &scratch)
                     .unwrap();
                 verified += res.verified;
                 let truth: Vec<u64> = truth_row.iter().map(|&(id, _)| id).collect();
@@ -622,7 +624,7 @@ fn main() {
             .wal_sync(sync)
             .base(maint_base.clone())
             .build();
-        let mut idx = ShardedProMips::build_in_dir(&maint_data, cfg, &dir).expect("durable build");
+        let idx = ShardedProMips::build_in_dir(&maint_data, cfg, &dir).expect("durable build");
         // Mutations are stateful: one timed pass over the batch (plus a
         // closing group-commit sync so policies are comparable end-to-end).
         let t = std::time::Instant::now();
@@ -650,17 +652,17 @@ fn main() {
             .shards(4)
             .base(maint_base.clone())
             .build();
-        let mut idx = ShardedProMips::build_in_memory(&maint_data, cfg).expect("build");
+        let idx = ShardedProMips::build_in_memory(&maint_data, cfg).expect("build");
         let extra = (maint_n as f64 * frac) as usize;
         for _ in 0..extra {
             let v: Vec<f32> = (0..maint_d).map(|_| rng.normal() as f32).collect();
             idx.insert(&v).unwrap();
         }
-        let mut scratch = ShardedScratch::for_index(&idx);
+        let scratch = ShardedScratch::for_index(&idx);
         let q_ns = ns_per_op(|| {
             for i in 0..nq {
                 std::hint::black_box(
-                    idx.search_with_scratch(maint_queries.row(i), k, &mut scratch)
+                    idx.search_with_scratch(maint_queries.row(i), k, &scratch)
                         .unwrap(),
                 );
             }
@@ -683,7 +685,7 @@ fn main() {
         .wal_sync(SyncPolicy::EveryN(64))
         .base(maint_base.clone())
         .build();
-    let mut idx = ShardedProMips::build_in_dir(&maint_data, cfg, &compact_dir).expect("build");
+    let idx = ShardedProMips::build_in_dir(&maint_data, cfg, &compact_dir).expect("build");
     for _ in 0..maint_n / 4 {
         let v: Vec<f32> = (0..maint_d).map(|_| rng.normal() as f32).collect();
         idx.insert(&v).unwrap();
@@ -714,6 +716,115 @@ fn main() {
     );
     drop(idx);
     let _ = std::fs::remove_dir_all(&bench_root);
+
+    // --- concurrent mutation: isolation + group commit in numbers -----------
+    // (1) Query latency percentiles while a writer thread churns
+    // inserts/deletes, with the background compactor off vs folding
+    // generations underneath the readers. Queries run against MVCC
+    // snapshots, so a concurrent shadow rebuild should show up as a modest
+    // tail cost, never a stall. (2) WAL fsyncs per 1 000 inserts for a
+    // single-insert loop vs group-committed `insert_batch`, metered by the
+    // storage shim's process-wide IO counters.
+    let conc_root = std::env::temp_dir().join(format!("promips-bench-conc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&conc_root);
+    let conc_nq = 256usize;
+    let conc_passes = 4usize;
+    let conc_queries = random_matrix(conc_nq, maint_d, 95);
+    let mut latency_rows: Vec<(String, Json)> = Vec::new();
+    for (label, background) in [("compaction_off", false), ("compaction_background", true)] {
+        let cfg = ShardedConfig::builder()
+            .shards(4)
+            .wal_sync(SyncPolicy::EveryN(64))
+            .compaction(CompactionPolicy {
+                max_delta_fraction: 0.02,
+                max_tombstone_fraction: 0.02,
+                min_mutations: 32,
+                repartition_skew: f64::INFINITY,
+            })
+            .base(maint_base.clone())
+            .build();
+        let dir = conc_root.join(label);
+        let idx = Arc::new(ShardedProMips::build_in_dir(&maint_data, cfg, &dir).expect("build"));
+        let compactor =
+            background.then(|| idx.start_compactor(std::time::Duration::from_millis(2)));
+        let stop = AtomicBool::new(false);
+        let mut lat_ns: Vec<f64> = Vec::with_capacity(conc_passes * conc_nq);
+        std::thread::scope(|s| {
+            let widx = &idx;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut rng = Xoshiro256pp::seed_from_u64(103);
+                while !stop.load(Ordering::Acquire) {
+                    let v: Vec<f32> = (0..maint_d).map(|_| rng.normal() as f32).collect();
+                    let gid = widx.insert(&v).unwrap();
+                    if gid.is_multiple_of(2) {
+                        let _ = widx.delete(gid);
+                    }
+                }
+            });
+            let scratch = ShardedScratch::for_index(&idx);
+            for _ in 0..conc_passes {
+                for i in 0..conc_nq {
+                    let t = std::time::Instant::now();
+                    std::hint::black_box(
+                        idx.search_with_scratch(conc_queries.row(i), k, &scratch)
+                            .unwrap(),
+                    );
+                    lat_ns.push(t.elapsed().as_nanos() as f64);
+                }
+            }
+            stop.store(true, Ordering::Release);
+        });
+        if let Some(c) = compactor {
+            assert!(c.stop().is_none(), "background compactor hit an IO error");
+        }
+        lat_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = lat_ns[lat_ns.len() / 2];
+        let p99 = lat_ns[(lat_ns.len() * 99) / 100];
+        println!("  concurrent_query {label}: p50 {p50:.0} ns, p99 {p99:.0} ns");
+        latency_rows.push((
+            label.to_string(),
+            Json::obj(vec![("p50_ns", Json::Num(p50)), ("p99_ns", Json::Num(p99))]),
+        ));
+    }
+
+    let burst: Vec<Vec<f32>> = (0..1000)
+        .map(|_| (0..maint_d).map(|_| rng.normal() as f32).collect())
+        .collect();
+    let mut gc_rows: Vec<(String, Json)> = Vec::new();
+    for (label, batched) in [("insert_loop", false), ("insert_batch_64", true)] {
+        let cfg = ShardedConfig::builder()
+            .shards(2)
+            .wal_sync(SyncPolicy::Always)
+            .base(maint_base.clone())
+            .build();
+        let dir = conc_root.join(format!("gc_{label}"));
+        let idx = ShardedProMips::build_in_dir(&maint_data, cfg, &dir).expect("build");
+        let before = faults::counters();
+        let t = std::time::Instant::now();
+        if batched {
+            for chunk in burst.chunks(64) {
+                idx.insert_batch(chunk.iter().map(|v| v.as_slice()))
+                    .unwrap();
+            }
+        } else {
+            for v in &burst {
+                idx.insert(v).unwrap();
+            }
+        }
+        let ins_ns = t.elapsed().as_nanos() as f64 / burst.len() as f64;
+        let fsyncs = (faults::counters().fsyncs - before.fsyncs) as f64;
+        let per_1k = fsyncs * 1000.0 / burst.len() as f64;
+        println!("  group_commit {label}: {per_1k:.0} fsyncs/1k inserts, {ins_ns:.0} ns/insert");
+        gc_rows.push((
+            label.to_string(),
+            Json::obj(vec![
+                ("fsyncs_per_1k_inserts", Json::Num(per_1k)),
+                ("ns_per_insert", Json::Num(ins_ns)),
+            ]),
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&conc_root);
 
     // --- artifact -----------------------------------------------------------
     let json = Json::obj(vec![
@@ -833,6 +944,20 @@ fn main() {
                         ("pre_repartition_skew", Json::Num(skew)),
                     ]),
                 ),
+            ]),
+        ),
+        (
+            "concurrent_mutation",
+            Json::obj(vec![
+                ("n", Json::Num(maint_n as f64)),
+                ("d", Json::Num(maint_d as f64)),
+                ("queries", Json::Num((conc_passes * conc_nq) as f64)),
+                ("k", Json::Num(k as f64)),
+                (
+                    "query_latency",
+                    Json::Obj(latency_rows.into_iter().collect()),
+                ),
+                ("group_commit", Json::Obj(gc_rows.into_iter().collect())),
             ]),
         ),
     ]);

@@ -56,6 +56,7 @@ pub const REQUIRED_SECTIONS: &[(&str, &[&str])] = &[
         "maintenance",
         &["insert_throughput", "query_vs_delta", "compaction"],
     ),
+    ("concurrent_mutation", &["query_latency", "group_commit"]),
 ];
 
 /// Parses a JSON document, returning the root value.

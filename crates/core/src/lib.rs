@@ -32,6 +32,7 @@
 pub mod binary;
 pub mod conditions;
 pub mod config;
+pub mod error;
 pub mod index;
 pub mod maintenance;
 pub mod norms;
@@ -43,6 +44,7 @@ pub mod result;
 pub mod search;
 
 pub use config::{ProMipsConfig, ProMipsConfigBuilder};
+pub use error::MutationError;
 pub use index::ProMips;
 pub use optimize::optimized_projection_dim;
 pub use result::{SearchItem, SearchResult};

@@ -25,6 +25,7 @@ use promips_linalg::{norm1, sq_norm2, Matrix};
 use promips_storage::Pager;
 
 use crate::config::ProMipsConfig;
+use crate::error::MutationError;
 use crate::index::ProMips;
 
 /// One freshly inserted point, held in memory until the next rebuild.
@@ -67,21 +68,26 @@ impl ProMips {
         id
     }
 
-    /// Marks a live point (base or delta) as deleted, returning whether a
-    /// point was actually tombstoned: `false` for ids that never existed
-    /// (`id ≥ next_id`) and for ids already tombstoned, so replayed or
-    /// duplicated deletes — a WAL can legitimately carry a delete for a
-    /// point compacted away in a previous generation — can never corrupt
-    /// [`ProMips::live_len`] or grow the tombstone set past the points it
-    /// names. Deleted points never appear in results; the searching
-    /// conditions stay conservative (the max-norm bound may still reference
-    /// a deleted point, which only enlarges the searching range).
-    pub fn delete(&mut self, id: u64) -> bool {
-        if id >= self.next_id || self.tombstones.contains(&id) {
-            return false;
+    /// Marks a live point (base or delta) as deleted. Refusals are typed:
+    /// [`MutationError::UnknownId`] for ids that never existed
+    /// (`id ≥ next_id`) and [`MutationError::DeadId`] for ids already
+    /// tombstoned, so replayed or duplicated deletes — a WAL can
+    /// legitimately carry a delete for a point compacted away in a previous
+    /// generation — can never corrupt [`ProMips::live_len`] or grow the
+    /// tombstone set past the points it names, and callers can tell the two
+    /// refusals apart without string matching. Deleted points never appear
+    /// in results; the searching conditions stay conservative (the max-norm
+    /// bound may still reference a deleted point, which only enlarges the
+    /// searching range).
+    pub fn delete(&mut self, id: u64) -> Result<(), MutationError> {
+        if id >= self.next_id {
+            return Err(MutationError::UnknownId(id));
+        }
+        if self.tombstones.contains(&id) {
+            return Err(MutationError::DeadId(id));
         }
         self.tombstones.insert(id);
-        true
+        Ok(())
     }
 
     /// Whether an id is tombstoned.
@@ -171,6 +177,44 @@ impl ProMips {
         Ok((old_ids, rows))
     }
 
+    /// Read-only counterpart of [`ProMips::take_live_rows`] for shadow
+    /// rebuilds: copies out every live point — internal tombstones *and*
+    /// the caller's `is_dead` overlay both filter — without consuming the
+    /// delta or the tombstone set, so the index keeps serving queries
+    /// unchanged while a background thread builds its successor from the
+    /// returned rows. Returns the surviving ids (sub-partition order, then
+    /// delta order) and their rows.
+    pub fn live_rows_snapshot(
+        &self,
+        is_dead: &dyn Fn(u64) -> bool,
+    ) -> io::Result<(Vec<u64>, Matrix)> {
+        let mut old_ids: Vec<u64> = Vec::new();
+        let mut flat: Vec<f32> = Vec::new();
+        let mut scratch = promips_idistance::ProjScratch::new();
+        let mut offsets: Vec<u32> = Vec::new();
+        let mut arena: Vec<f32> = Vec::new();
+        for sub in 0..self.index.subparts().len() as u32 {
+            self.index.read_subpart_proj_into(sub, &mut scratch)?;
+            offsets.clear();
+            for (off, &id) in scratch.ids().iter().enumerate() {
+                if !self.is_deleted(id) && !is_dead(id) {
+                    offsets.push(off as u32);
+                    old_ids.push(id);
+                }
+            }
+            self.index.fetch_originals(sub, &offsets, &mut arena)?;
+            flat.extend_from_slice(&arena);
+        }
+        for e in &self.delta.entries {
+            if !self.is_deleted(e.id) && !is_dead(e.id) {
+                old_ids.push(e.id);
+                flat.extend_from_slice(&e.orig);
+            }
+        }
+        let rows = Matrix::from_vec(old_ids.len(), self.d, flat);
+        Ok((old_ids, rows))
+    }
+
     /// Rebuilds a fresh, fully-packed index over all live points (reads the
     /// base points back from the index file, merges the delta, drops
     /// tombstones). Returns the new index and the mapping from new ids to
@@ -231,7 +275,7 @@ mod tests {
         let (mut idx, data) = build(300, 2);
         let q: Vec<f32> = data.row(7).to_vec();
         let top = idx.search(&q, 1).unwrap().items[0].id;
-        idx.delete(top);
+        idx.delete(top).unwrap();
         let res = idx.search(&q, 5).unwrap();
         assert!(
             res.items.iter().all(|i| i.id != top),
@@ -244,7 +288,7 @@ mod tests {
     fn delete_then_insert_round() {
         let (mut idx, _) = build(200, 3);
         for i in 0..50u64 {
-            idx.delete(i);
+            idx.delete(i).unwrap();
         }
         let mut rng = Xoshiro256pp::seed_from_u64(77);
         for _ in 0..30 {
@@ -266,7 +310,7 @@ mod tests {
         let q = vec![1.0f32; 16];
         let res = idx.search_incremental(&q, 2).unwrap();
         assert_eq!(res.items[0].id, id);
-        idx.delete(id);
+        idx.delete(id).unwrap();
         let res = idx.search_incremental(&q, 2).unwrap();
         assert!(res.items.iter().all(|i| i.id != id));
     }
@@ -274,8 +318,8 @@ mod tests {
     #[test]
     fn rebuild_folds_delta_and_tombstones() {
         let (mut idx, data) = build(300, 5);
-        idx.delete(0);
-        idx.delete(299);
+        idx.delete(0).unwrap();
+        idx.delete(299).unwrap();
         let strong = vec![9.0f32; 16];
         idx.insert(&strong);
         let pager = Arc::new(Pager::in_memory(4096, 1024));
@@ -308,20 +352,26 @@ mod tests {
     fn delete_rejects_unknown_and_duplicate_ids() {
         let (mut idx, _) = build(100, 7);
         // Unknown id: never existed, must not be tombstoned.
-        assert!(!idx.delete(100));
-        assert!(!idx.delete(u64::MAX));
+        assert!(matches!(
+            idx.delete(100),
+            Err(MutationError::UnknownId(100))
+        ));
+        assert!(matches!(
+            idx.delete(u64::MAX),
+            Err(MutationError::UnknownId(_))
+        ));
         assert_eq!(idx.tombstone_count(), 0);
         assert_eq!(idx.live_len(), 100);
         // First delete of a live point succeeds; the duplicate is refused,
         // so live_len can never drift below the true live count.
-        assert!(idx.delete(4));
-        assert!(!idx.delete(4));
+        idx.delete(4).unwrap();
+        assert!(matches!(idx.delete(4), Err(MutationError::DeadId(4))));
         assert_eq!(idx.tombstone_count(), 1);
         assert_eq!(idx.live_len(), 99);
         // Same for a delta insert deleted twice.
         let id = idx.insert(&[1.0f32; 16]);
-        assert!(idx.delete(id));
-        assert!(!idx.delete(id));
+        idx.delete(id).unwrap();
+        assert!(matches!(idx.delete(id), Err(MutationError::DeadId(_))));
         assert_eq!(idx.live_len(), 99);
     }
 
@@ -329,7 +379,7 @@ mod tests {
     fn rebuild_consumes_delta_and_tombstones() {
         let (mut idx, _) = build(120, 8);
         idx.insert(&[2.0f32; 16]);
-        idx.delete(3);
+        idx.delete(3).unwrap();
         let pager = Arc::new(Pager::in_memory(4096, 1024));
         let (rebuilt, old_ids) = idx
             .rebuild(pager, ProMipsConfig::builder().seed(8).build())
@@ -346,12 +396,12 @@ mod tests {
     #[test]
     fn take_live_rows_matches_search_view() {
         let (mut idx, data) = build(200, 9);
-        idx.delete(10);
-        idx.delete(199);
+        idx.delete(10).unwrap();
+        idx.delete(199).unwrap();
         let big = vec![5.0f32; 16];
         let kept = idx.insert(&big);
         let gone = idx.insert(&[6.0f32; 16]);
-        idx.delete(gone);
+        idx.delete(gone).unwrap();
         let (old_ids, rows) = idx.take_live_rows().unwrap();
         assert_eq!(rows.rows(), 200 - 2 + 2 - 1);
         assert_eq!(old_ids.len(), rows.rows());
@@ -363,6 +413,32 @@ mod tests {
         assert_eq!(rows.row(pos), &big[..]);
         let pos5 = old_ids.iter().position(|&o| o == 5).unwrap();
         assert_eq!(rows.row(pos5), data.row(5));
+    }
+
+    #[test]
+    fn live_rows_snapshot_is_read_only_and_honours_overlay() {
+        let (mut idx, data) = build(180, 10);
+        idx.delete(2).unwrap();
+        let kept = idx.insert(&[3.0f32; 16]);
+        let overlay_dead = |id: u64| id == 5 || id == kept;
+        let (ids, rows) = idx.live_rows_snapshot(&overlay_dead).unwrap();
+        // 180 base − 1 internal tombstone − 1 overlay dead (+1 insert,
+        // overlay-dead too).
+        assert_eq!(ids.len(), 178);
+        assert_eq!(rows.rows(), 178);
+        assert!(!ids.contains(&2));
+        assert!(!ids.contains(&5));
+        assert!(!ids.contains(&kept));
+        let pos7 = ids.iter().position(|&o| o == 7).unwrap();
+        assert_eq!(rows.row(pos7), data.row(7));
+        // Nothing was consumed: delta, tombstones, and live count intact.
+        assert_eq!(idx.delta_len(), 1);
+        assert_eq!(idx.tombstone_count(), 1);
+        assert_eq!(idx.live_len(), 180);
+        // A second snapshot without the overlay sees the overlay ids again.
+        let (ids2, _) = idx.live_rows_snapshot(&|_| false).unwrap();
+        assert_eq!(ids2.len(), 180);
+        assert!(ids2.contains(&5) && ids2.contains(&kept));
     }
 
     #[test]

@@ -42,14 +42,11 @@ impl ProMips {
         // Refusing here turns a silent search-time corruption into an
         // actionable error (rebuild first, then save).
         if self.delta_len() > 0 || self.tombstone_count() > 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "cannot save with {} delta inserts and {} tombstones pending; rebuild first",
-                    self.delta_len(),
-                    self.tombstone_count()
-                ),
-            ));
+            return Err(crate::error::MutationError::PendingMutations {
+                delta: self.delta_len(),
+                tombstones: self.tombstone_count(),
+            }
+            .into());
         }
         let pager = self.idistance().pager();
 

@@ -192,9 +192,58 @@ impl ProMips {
         ip_floor: f64,
         scratch: &mut SearchScratch,
     ) -> io::Result<SearchResult> {
+        self.search_inner(q, k, ip_floor, None, 0, scratch)
+    }
+
+    /// [`ProMips::search_with_floor`] with an **external tombstone mask**:
+    /// ids for which `dead` returns true are treated exactly like
+    /// internally tombstoned points — never verified into the top-k, while
+    /// the norm bounds they may define stay in force (which only enlarges
+    /// the searching range, keeping Theorems 1–2 conservative).
+    ///
+    /// This is the read path of an MVCC-style overlay: the caller keeps
+    /// delta/tombstone state *outside* an immutable index generation and
+    /// snapshots it per query, so concurrent deletes never need `&mut`
+    /// access here. `dead_count` must be the number of this index's ids the
+    /// mask kills (an overcount truncates results; an undercount can make a
+    /// shortfall pass scan further than needed) — it tightens the `k` clamp
+    /// the same way internal tombstones do via [`ProMips::live_len`].
+    pub fn search_masked(
+        &self,
+        q: &[f32],
+        k: usize,
+        ip_floor: f64,
+        dead: &dyn Fn(u64) -> bool,
+        dead_count: usize,
+        scratch: &mut SearchScratch,
+    ) -> io::Result<SearchResult> {
+        self.search_inner(q, k, ip_floor, Some(dead), dead_count, scratch)
+    }
+
+    fn search_inner(
+        &self,
+        q: &[f32],
+        k: usize,
+        ip_floor: f64,
+        mask: Option<&dyn Fn(u64) -> bool>,
+        mask_dead_count: usize,
+        scratch: &mut SearchScratch,
+    ) -> io::Result<SearchResult> {
         assert_eq!(q.len(), self.d, "query dimensionality mismatch");
         assert!(k >= 1, "k must be at least 1");
-        let k = k.min(self.live_len() as usize);
+        let k = k.min((self.live_len() as usize).saturating_sub(mask_dead_count));
+        if k == 0 {
+            // Every point is dead (internally or via the mask): nothing to
+            // verify, nothing to return.
+            return Ok(self.finish(
+                TopK::new(0),
+                0,
+                None,
+                None,
+                false,
+                Termination::DatasetExhausted,
+            ));
+        }
 
         self.projection.project_into(q, &mut scratch.pq);
         let ctx = ConditionContext {
@@ -217,7 +266,7 @@ impl ProMips {
         // Fresh inserts live in the in-memory delta segment; verify them
         // all up-front so the searching conditions' premise (everything
         // nearer than a tested frontier is verified) covers them.
-        self.verify_delta(q, &mut top, &mut verified);
+        self.verify_delta(q, mask, &mut top, &mut verified);
 
         // --- Range search within r; verify per sub-partition batch. -------
         self.index.range_candidates_into(
@@ -231,6 +280,7 @@ impl ProMips {
             &scratch.cands,
             q,
             &ctx,
+            mask,
             &mut top,
             &mut verified,
             &mut scratch.fetch,
@@ -252,7 +302,7 @@ impl ProMips {
         if top.len() < k && ip_floor == f64::NEG_INFINITY {
             let mut iter = self.index.nn_iter(&scratch.pq);
             for cand in iter.by_ref() {
-                if cand.proj_dist <= r || self.is_deleted(cand.id) {
+                if cand.proj_dist <= r || self.is_dead(cand.id, mask) {
                     continue; // already verified by the range pass / deleted
                 }
                 self.index.fetch_originals(
@@ -309,6 +359,7 @@ impl ProMips {
                     &scratch.cands,
                     q,
                     &ctx,
+                    mask,
                     &mut top,
                     &mut verified,
                     &mut scratch.fetch,
@@ -418,7 +469,7 @@ impl ProMips {
         let mut top = TopK::new(k);
         let mut verified = 0usize;
         let mut termination = Termination::DatasetExhausted;
-        self.verify_delta(q, &mut top, &mut verified);
+        self.verify_delta(q, None, &mut top, &mut verified);
 
         let mut iter = self.index.nn_iter(&pq);
         for cand in iter.by_ref() {
@@ -455,11 +506,13 @@ impl ProMips {
     /// MIP-Search-II's batched sequential I/O while recovering the early
     /// termination of the incremental search — unverified groups are never
     /// fetched from disk.
+    #[allow(clippy::too_many_arguments)]
     fn verify_groups(
         &self,
         cands: &[RangeCandidate],
         q: &[f32],
         ctx: &ConditionContext,
+        mask: Option<&dyn Fn(u64) -> bool>,
         top: &mut TopK,
         verified: &mut usize,
         buf: &mut FetchBuffers,
@@ -504,7 +557,7 @@ impl ProMips {
                 );
                 for (j, &ip) in ips.iter().enumerate() {
                     let cand = &group[slot + j];
-                    if !self.is_deleted(cand.id) {
+                    if !self.is_dead(cand.id, mask) {
                         top.push(cand.id, ip);
                         *verified += 1;
                     }
@@ -515,7 +568,7 @@ impl ProMips {
                 .iter()
                 .zip(buf.arena[slot * d..].chunks_exact(d))
             {
-                if !self.is_deleted(cand.id) {
+                if !self.is_dead(cand.id, mask) {
                     top.push(cand.id, dot(row, q));
                     *verified += 1;
                 }
@@ -579,10 +632,22 @@ impl ProMips {
         Ok(ulp_pad(dist(proj.row(0), pq)))
     }
 
+    /// Whether `id` is dead for this query: internally tombstoned or
+    /// killed by the caller's external mask.
+    fn is_dead(&self, id: u64, mask: Option<&dyn Fn(u64) -> bool>) -> bool {
+        self.is_deleted(id) || mask.is_some_and(|m| m(id))
+    }
+
     /// Verifies every live delta entry (in memory, no page cost).
-    fn verify_delta(&self, q: &[f32], top: &mut TopK, verified: &mut usize) {
+    fn verify_delta(
+        &self,
+        q: &[f32],
+        mask: Option<&dyn Fn(u64) -> bool>,
+        top: &mut TopK,
+        verified: &mut usize,
+    ) {
         for entry in &self.delta.entries {
-            if !self.is_deleted(entry.id) {
+            if !self.is_dead(entry.id, mask) {
                 top.push(entry.id, dot(&entry.orig, q));
                 *verified += 1;
             }
@@ -713,6 +778,71 @@ mod tests {
             assert_eq!(a.probe_radius, b.probe_radius, "k={k}");
             assert_eq!(a.final_radius, b.final_radius, "k={k}");
         }
+    }
+
+    #[test]
+    fn masked_search_excludes_exactly_the_masked_ids() {
+        let (idx, data) = build(600, 20, 13, 0.9, 0.5);
+        let mut rng = Xoshiro256pp::seed_from_u64(57);
+        let mut scratch = SearchScratch::new();
+        // Kill a fixed slice of ids through the external mask only — the
+        // index itself holds no tombstones.
+        let dead = |id: u64| (50..80).contains(&id);
+        let dead_count = 30usize;
+        for _ in 0..6 {
+            let q: Vec<f32> = (0..20).map(|_| rng.normal() as f32).collect();
+            // Full-k forces exhaustive verification, so the result is the
+            // exact top-k over the unmasked points.
+            let k = 600 - dead_count;
+            let res = idx
+                .search_masked(&q, k, f64::NEG_INFINITY, &dead, dead_count, &mut scratch)
+                .unwrap();
+            assert_eq!(res.items.len(), k);
+            assert!(res.items.iter().all(|i| !dead(i.id)), "masked id returned");
+            let expect: Vec<(u64, f64)> = exact_topk(&data, &q, 600)
+                .into_iter()
+                .filter(|&(id, _)| !dead(id))
+                .collect();
+            for (item, (eid, eip)) in res.items.iter().zip(&expect) {
+                assert_eq!(item.id, *eid);
+                assert!((item.ip - eip).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_search_with_empty_mask_is_bit_identical() {
+        let (idx, _) = build(500, 16, 29, 0.9, 0.5);
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        let mut scratch = SearchScratch::new();
+        for _ in 0..6 {
+            let q: Vec<f32> = (0..16).map(|_| rng.normal() as f32).collect();
+            let plain = idx.search(&q, 5).unwrap();
+            let masked = idx
+                .search_masked(&q, 5, f64::NEG_INFINITY, &|_| false, 0, &mut scratch)
+                .unwrap();
+            assert_eq!(plain.items, masked.items);
+            assert_eq!(plain.verified, masked.verified);
+            assert_eq!(plain.termination, masked.termination);
+        }
+    }
+
+    #[test]
+    fn fully_masked_index_returns_empty() {
+        let (idx, _) = build(200, 16, 43, 0.9, 0.5);
+        let q = vec![1.0f32; 16];
+        let res = idx
+            .search_masked(
+                &q,
+                5,
+                f64::NEG_INFINITY,
+                &|_| true,
+                200,
+                &mut SearchScratch::new(),
+            )
+            .unwrap();
+        assert!(res.items.is_empty());
+        assert_eq!(res.verified, 0);
     }
 
     #[test]

@@ -1,7 +1,20 @@
-//! Crash-safe compaction: folding a shard's delta and tombstones into a
-//! fresh **generation** of its data file, and re-partitioning the whole
-//! index when the live norm distribution has drifted off the shard
-//! boundaries.
+//! Online, crash-safe compaction: folding a shard's delta and tombstones
+//! into a fresh **generation** of its data file while readers keep
+//! serving, and re-partitioning the whole index when the live norm
+//! distribution has drifted off the shard boundaries.
+//!
+//! ## Shadow build
+//!
+//! Compaction never drains the live shard. It **freezes** a snapshot of
+//! the overlay (the delta prefix and the tombstone `Arc` at freeze time),
+//! builds the next generation entirely off to the side from committed
+//! live rows + that frozen delta, and only then commits. Readers keep
+//! serving the old generation merged with the *live* overlay the whole
+//! time; writers keep appending past the freeze point. The commit splits
+//! the overlay at the freeze point: the frozen prefix is now inside the
+//! new generation, the suffix (everything that arrived during the build)
+//! stays as the new delta. A failed build leaves zero footprint — the old
+//! generation was never touched, so there is nothing to roll back.
 //!
 //! ## The generation/manifest protocol
 //!
@@ -10,18 +23,22 @@
 //! The manifest names the **live** generation of every shard, and the
 //! manifest itself is only ever replaced atomically (write
 //! `MANIFEST.pms.tmp`, fsync, rename, fsync the directory — see
-//! [`promips_storage::write_file_atomic`]). Compaction therefore runs:
+//! [`promips_storage::write_file_atomic`]). A commit therefore runs:
 //!
-//! 1. build generation `g+1` from the shard's live rows (new file, fsynced);
-//! 2. atomically swap the manifest to point at `g+1`;
-//! 3. truncate the shard's WAL — its records are folded into `g+1`;
-//! 4. best-effort delete of the generation-`g` file.
+//! 1. build generation `g+1` off-thread (new file, fsynced) — no locks;
+//! 2. atomically swap the manifest to point at `g+1` — **the commit
+//!    point**;
+//! 3. atomically rewrite the shard's WAL down to the unfolded suffix
+//!    (records that arrived after the freeze);
+//! 4. swap the in-memory generation handle and split the overlay;
+//! 5. best-effort delete of the generation-`g` file.
 //!
-//! A crash in (1) leaves an orphan file and the old manifest: the reopened
-//! index replays the intact WAL over generation `g` and retries
-//! compaction later. A crash between (2) and (3) reopens on `g+1` and
-//! replays WAL records whose effects are already folded in — which is why
-//! replay of a stale insert (id already present) or delete (id absent) is
+//! A crash (or injected fault) in (1) leaves an orphan file and the old
+//! manifest: the reopened index replays the intact WAL over generation
+//! `g` and retries compaction later. A crash between (2) and (3) reopens
+//! on `g+1` and replays WAL records whose folded prefix is already in the
+//! file — which is why replay of a stale insert (id at or below the
+//! shard's max, or present elsewhere) or stale delete (id absent) is
 //! defined as a no-op. Nothing acknowledged is ever lost, nothing is ever
 //! applied twice.
 //!
@@ -43,16 +60,25 @@
 //! every live point and rebuilds all shards (one generation bump each,
 //! one manifest swap, all WALs truncated); [`ShardedProMips::compact`]
 //! triggers it automatically when
-//! [`CompactionPolicy::repartition_skew`] is exceeded.
+//! [`CompactionPolicy::repartition_skew`] is exceeded. Re-partitioning
+//! freezes **writers** (it moves ids between shards, so the mutation
+//! order lock is held throughout) but never readers.
 
+use std::collections::HashSet;
+use std::fs;
 use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use promips_core::{ProMips, ProMipsConfig};
 use promips_linalg::{sq_norm2, Matrix};
 use promips_storage::{AccessStats, FileStorage, Pager};
+use promips_wal::WalRecord;
 
-use crate::index::{shard_seed, ExactShard, Shard, ShardKind, ShardedProMips};
+use crate::index::{
+    shard_seed, DeltaState, GenKind, ShardGeneration, ShardSnapshot, ShardedProMips,
+};
 use crate::persist::shard_path;
 
 /// When the mutation lifecycle folds deltas and tombstones back into shard
@@ -109,30 +135,15 @@ pub struct CompactionReport {
     pub repartitioned: bool,
 }
 
-/// The infallible recovery shard: an in-memory exact scan over the given
-/// live rows. Used when a compaction or re-partition build fails after
-/// the drain — queries keep answering correctly from here, and durable
-/// indexes still hold every mutation in their (untruncated) WALs.
-fn fallback_exact_shard(ids: Vec<u64>, rows: Matrix) -> Shard {
-    debug_assert_eq!(ids.len(), rows.rows());
-    let max_norm = rows.iter_rows().map(sq_norm2).fold(0.0f64, f64::max).sqrt();
-    Shard {
-        ids,
-        max_norm,
-        built_max_norm: max_norm,
-        kind: ShardKind::Exact(ExactShard::new(rows)),
-    }
-}
-
 /// Sorts `ids` ascending and applies the same permutation (one gather
 /// pass) to the rows of `rows` — restoring the "shard id maps are
-/// ascending" invariant after a drain that returned rows in
+/// ascending" invariant after a gather that returned rows in
 /// sub-partition order.
 pub(crate) fn sort_rows_by_ids(ids: &mut [u64], rows: &mut Matrix) {
     let n = ids.len();
     debug_assert_eq!(rows.rows(), n);
     if ids.windows(2).all(|w| w[0] < w[1]) {
-        return; // already ascending (exact shards drain in id order)
+        return; // already ascending (exact shards gather in id order)
     }
     let mut perm: Vec<u32> = (0..n as u32).collect();
     perm.sort_by_key(|&i| ids[i as usize]);
@@ -147,31 +158,127 @@ pub(crate) fn sort_rows_by_ids(ids: &mut [u64], rows: &mut Matrix) {
     *rows = Matrix::from_vec(n, d, flat);
 }
 
+/// Copies the live committed rows of a generation (everything the frozen
+/// tombstone set doesn't kill) without consuming anything — the read side
+/// of a shadow rebuild. Returns ids + flat rows (sub-partition order for
+/// indexed generations; callers re-sort).
+fn committed_live_rows(
+    gen: &ShardGeneration,
+    tombs: &HashSet<u64>,
+) -> io::Result<(Vec<u64>, Vec<f32>)> {
+    match &gen.kind {
+        GenKind::Indexed(pm) => {
+            let gen_ids = &gen.ids;
+            let (locals, rows) =
+                pm.live_rows_snapshot(&|l| tombs.contains(&gen_ids[l as usize]))?;
+            let gids = locals.iter().map(|&l| gen_ids[l as usize]).collect();
+            Ok((gids, rows.as_slice().to_vec()))
+        }
+        GenKind::Exact(rows) => {
+            let mut gids: Vec<u64> = Vec::with_capacity(gen.ids.len());
+            let mut flat: Vec<f32> = Vec::with_capacity(rows.as_slice().len());
+            for (i, &gid) in gen.ids.iter().enumerate() {
+                if !tombs.contains(&gid) {
+                    gids.push(gid);
+                    flat.extend_from_slice(rows.row(i));
+                }
+            }
+            Ok((gids, flat))
+        }
+    }
+}
+
+/// Handle to the background compaction thread: wakes every `interval`,
+/// runs one policy pass ([`ShardedProMips::compact`]), and exits when
+/// stopped or dropped. Queries and writers keep running throughout — the
+/// thread only ever holds the same short locks a foreground compaction
+/// does.
+pub struct Compactor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<Option<io::Error>>>,
+}
+
+impl Compactor {
+    /// Signals the thread, joins it, and returns the last compaction error
+    /// it hit (if any) — transient errors don't kill the loop.
+    pub fn stop(mut self) -> Option<io::Error> {
+        self.stop.store(true, Ordering::Release);
+        self.handle.take().and_then(|h| h.join().unwrap_or(None))
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 impl ShardedProMips {
     /// Imbalance of live points across shards: `max / ideal` where ideal is
     /// `total / shards`. 1.0 is perfectly balanced; an empty index reports
     /// 1.0.
     pub fn shard_skew(&self) -> f64 {
-        let total: u64 = self.shards.iter().map(|s| s.live_len()).sum();
-        if total == 0 || self.shards.len() <= 1 {
+        let live: Vec<u64> = self.shards.iter().map(|s| s.live_len()).collect();
+        let total: u64 = live.iter().sum();
+        if total == 0 || live.len() <= 1 {
             return 1.0;
         }
-        let max = self.shards.iter().map(|s| s.live_len()).max().unwrap_or(0);
-        max as f64 * self.shards.len() as f64 / total as f64
+        let max = live.iter().max().copied().unwrap_or(0);
+        max as f64 * live.len() as f64 / total as f64
+    }
+
+    /// Spawns a background thread that runs [`ShardedProMips::compact`]
+    /// every `interval`. Readers and writers are never blocked by it (see
+    /// the module docs); stop it with [`Compactor::stop`] or by dropping
+    /// the handle.
+    pub fn start_compactor(self: &Arc<Self>, interval: Duration) -> Compactor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let index = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("promips-compactor".into())
+            .spawn(move || {
+                let mut last_err = None;
+                while !flag.load(Ordering::Acquire) {
+                    if let Err(e) = index.compact() {
+                        last_err = Some(e);
+                    }
+                    // Sleep in short slices so stop() returns promptly.
+                    let mut slept = Duration::ZERO;
+                    let slice =
+                        Duration::from_millis(5).min(interval.max(Duration::from_micros(1)));
+                    while slept < interval && !flag.load(Ordering::Acquire) {
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                }
+                last_err
+            })
+            .expect("spawn compactor thread");
+        Compactor {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// One policy-driven maintenance pass: re-partitions if the live skew
     /// exceeds [`CompactionPolicy::repartition_skew`] **and** at least one
     /// shard is due (re-partitioning folds every delta anyway), otherwise
     /// compacts each shard the policy marks due.
-    pub fn compact(&mut self) -> io::Result<CompactionReport> {
+    pub fn compact(&self) -> io::Result<CompactionReport> {
         let policy = self.config.compaction;
-        let any_due = (0..self.shards.len()).any(|si| {
+        let is_due = |si: usize| {
             let s = &self.shards[si];
-            policy.due(s.live_len(), s.delta_len(), s.tombstone_count())
-        });
+            let delta = s.delta.read();
+            let stored = self.shards[si].generation.read().ids.len() + delta.inserts.len();
+            let live = (stored - delta.tombstones.len()) as u64;
+            policy.due(live, delta.inserts.len(), delta.tombstones.len())
+        };
         let mut report = CompactionReport::default();
-        if !any_due {
+        if !(0..self.shards.len()).any(is_due) {
             return Ok(report);
         }
         if policy.repartition_skew.is_finite()
@@ -184,10 +291,7 @@ impl ShardedProMips {
             return Ok(report);
         }
         for si in 0..self.shards.len() {
-            let s = &self.shards[si];
-            if policy.due(s.live_len(), s.delta_len(), s.tombstone_count())
-                && self.compact_shard(si)?
-            {
+            if is_due(si) && self.compact_shard(si)? {
                 report.compacted.push(si);
             }
         }
@@ -196,7 +300,7 @@ impl ShardedProMips {
 
     /// Unconditionally compacts every shard with pending mutations (e.g.
     /// before [`ShardedProMips::snapshot`]). Returns the shards compacted.
-    pub fn compact_all(&mut self) -> io::Result<Vec<usize>> {
+    pub fn compact_all(&self) -> io::Result<Vec<usize>> {
         let mut done = Vec::new();
         for si in 0..self.shards.len() {
             if self.compact_shard(si)? {
@@ -206,55 +310,181 @@ impl ShardedProMips {
         Ok(done)
     }
 
-    /// Folds shard `si`'s delta and tombstones into a fresh generation of
-    /// its data file (see the module docs for the crash protocol). Returns
-    /// `false` when the shard had no pending mutations. The
-    /// exact-scan-vs-index decision and the shard's norm bound are both
-    /// re-taken over the live rows.
-    pub fn compact_shard(&mut self, si: usize) -> io::Result<bool> {
-        {
-            let s = &self.shards[si];
-            if s.delta_len() == 0 && s.tombstone_count() == 0 {
+    /// Folds shard `si`'s frozen delta and tombstones into a fresh
+    /// generation of its data file via a shadow build (see the module
+    /// docs), then commits. Returns `false` when the shard had no pending
+    /// mutations. Queries are served throughout from the old generation +
+    /// live overlay; mutations that land during the build survive as the
+    /// new delta. The exact-scan-vs-index decision and the shard's norm
+    /// bound are both re-taken over the live rows.
+    pub fn compact_shard(&self, si: usize) -> io::Result<bool> {
+        let shard = &self.shards[si];
+        let _compacting = shard.compact_lock.lock();
+
+        // ---- Freeze: a point-in-time view of the overlay. ----------------
+        let (old_gen, frozen, frozen_tombs) = {
+            let delta = shard.delta.read();
+            if delta.inserts.is_empty() && delta.tombstones.is_empty() {
                 return Ok(false);
             }
+            (
+                Arc::clone(&shard.generation.read()),
+                delta.inserts.clone(),
+                Arc::clone(&delta.tombstones),
+            )
+        };
+        let split = frozen.len();
+
+        // ---- Shadow build: no locks held, readers and writers run free. --
+        let (mut gids, mut flat) = committed_live_rows(&old_gen, &frozen_tombs)?;
+        for e in &frozen {
+            if !frozen_tombs.contains(&e.gid) {
+                gids.push(e.gid);
+                flat.extend_from_slice(&e.row);
+            }
         }
-        let (mut gids, mut rows) = self.take_shard_live_rows(si)?;
+        let mut rows = Matrix::from_vec(gids.len(), self.d, flat);
         sort_rows_by_ids(&mut gids, &mut rows);
-        let next_gen = self.durable.as_ref().map(|d| d.generations[si] + 1);
-        let old_exact = self.shards[si].is_exact();
-        let new_shard = match self.build_shard_from_rows(si, gids, rows, next_gen) {
-            Ok(s) => s,
-            Err((e, gids, rows)) => {
-                // The drain already folded the delta/tombstones into the
-                // rows we hold, so a failed build (ENOSPC, …) must not
-                // leave the drained husk live: fall back to an in-memory
-                // exact scan over those rows — queries stay correct, and
-                // the mutations are still in the untouched WAL.
-                self.shards[si] = fallback_exact_shard(gids, rows);
+        let new_gen = self.build_generation(si, gids, rows, old_gen.generation + 1)?;
+
+        // ---- Commit: manifest swap, WAL rewrite, handle swap. ------------
+        self.commit_shard(si, &old_gen, new_gen, split, &frozen_tombs)?;
+        Ok(true)
+    }
+
+    /// The commit step of one shard compaction (see the module docs for
+    /// the crash windows each ordering decision covers).
+    fn commit_shard(
+        &self,
+        si: usize,
+        old_gen: &ShardGeneration,
+        new_gen: ShardGeneration,
+        split: usize,
+        frozen_tombs: &HashSet<u64>,
+    ) -> io::Result<()> {
+        let shard = &self.shards[si];
+        let _manifest = self.manifest_lock.lock();
+        // The WAL mutex freezes this shard's mutation state for the whole
+        // commit; readers never take it.
+        let mut wal = shard.wal.lock();
+        let new_gen = Arc::new(new_gen);
+
+        // 1. Manifest swap — THE commit point. On failure nothing moved:
+        //    the old generation stays authoritative on disk and in memory,
+        //    and the new file is deleted.
+        if let Some(dir) = self.dir.clone() {
+            if let Err(e) = self.write_manifest_with(&dir, &[(si, &new_gen)]) {
+                let _ =
+                    fs::remove_file(shard_path(&dir, si, new_gen.is_exact(), new_gen.generation));
                 return Err(e);
             }
-        };
-        self.shards[si] = new_shard;
-        self.commit_generations(&[(si, old_exact)])?;
-        Ok(true)
+        }
+
+        // 2. Rewrite the WAL down to the unfolded suffix: inserts that
+        //    arrived after the freeze (ascending gid — all larger than
+        //    anything in the new generation), then deletes that arrived
+        //    after the freeze (their targets all exist by then). The
+        //    rewrite is atomic (tmp + rename); if it fails the old log
+        //    survives intact, and replaying its folded prefix over the new
+        //    generation is a no-op by the staleness rules.
+        let mut rewrite_result = Ok(());
+        if let Some(w) = wal.as_mut() {
+            let suffix = {
+                let delta = shard.delta.read();
+                let mut recs: Vec<WalRecord> = delta.inserts[split..]
+                    .iter()
+                    .map(|e| WalRecord::Insert {
+                        id: e.gid,
+                        vector: e.row.to_vec(),
+                    })
+                    .collect();
+                let mut late_tombs: Vec<u64> = delta
+                    .tombstones
+                    .iter()
+                    .filter(|t| !frozen_tombs.contains(t))
+                    .copied()
+                    .collect();
+                late_tombs.sort_unstable();
+                recs.extend(late_tombs.into_iter().map(|id| WalRecord::Delete { id }));
+                recs
+            };
+            rewrite_result = w.rewrite(&suffix);
+        }
+
+        // 3. Swap the generation handle and split the overlay — under the
+        //    delta write lock so no reader ever pairs the new generation
+        //    with the old overlay (or vice versa). This happens regardless
+        //    of the rewrite outcome: the on-disk manifest already points
+        //    at the new generation.
+        {
+            let mut delta = shard.delta.write();
+            let mut gen_slot = shard.generation.write();
+            let remaining = delta.inserts.split_off(split);
+            let late_tombs: HashSet<u64> = delta
+                .tombstones
+                .iter()
+                .filter(|t| !frozen_tombs.contains(t))
+                .copied()
+                .collect();
+            let dead_base = late_tombs
+                .iter()
+                .filter(|t| new_gen.ids.binary_search(t).is_ok())
+                .count();
+            let mut max_norm = new_gen.built_max_norm;
+            for e in &remaining {
+                if e.norm > max_norm {
+                    max_norm = e.norm;
+                }
+            }
+            *delta = DeltaState {
+                inserts: remaining,
+                tombstones: Arc::new(late_tombs),
+                max_norm,
+                dead_base,
+            };
+            *gen_slot = Arc::clone(&new_gen);
+        }
+
+        // 4. The superseded file is garbage now; removal is best-effort
+        //    (a crash here merely leaks a file the manifest never names).
+        if let Some(dir) = &self.dir {
+            let _ = fs::remove_file(shard_path(dir, si, old_gen.is_exact(), old_gen.generation));
+        }
+        rewrite_result
     }
 
     /// Recomputes norm-range boundaries over **every live point** and
     /// rebuilds all shards against them, migrating rows between shards.
     /// Global ids are preserved; every shard gets a generation bump, one
-    /// manifest swap commits them all, and every WAL is truncated. The
-    /// whole live dataset is resident in memory for the duration.
-    pub fn repartition(&mut self) -> io::Result<()> {
+    /// manifest swap commits them all, and every WAL is truncated. Writers
+    /// are frozen for the duration (ids move between shards, so the
+    /// mutation-order lock is held throughout); **readers are not** — they
+    /// serve the old generations until the swap. The whole live dataset is
+    /// resident in memory for the duration.
+    pub fn repartition(&self) -> io::Result<()> {
         let ns = self.shards.len();
-        let live_total: usize = self.shards.iter().map(|s| s.live_len() as usize).sum();
+        // Lock order: mut_order → all compact locks → manifest → all WALs
+        // (each group ascending by shard id).
+        let _order = self.mut_order.lock();
+        let _compacting: Vec<_> = self.shards.iter().map(|s| s.compact_lock.lock()).collect();
+        let _manifest = self.manifest_lock.lock();
+        let mut wals: Vec<_> = self.shards.iter().map(|s| s.wal.lock()).collect();
+
+        // All mutation state is frozen now; snapshot and gather live rows.
+        let snaps: Vec<ShardSnapshot> = self.shards.iter().map(|s| s.snapshot()).collect();
+        let live_total: usize = snaps.iter().map(|s| s.stored() - s.tombstones.len()).sum();
         let mut all_gids: Vec<u64> = Vec::with_capacity(live_total);
         let mut flat: Vec<f32> = Vec::with_capacity(live_total * self.d);
-        let mut old_exact: Vec<bool> = Vec::with_capacity(ns);
-        for si in 0..ns {
-            old_exact.push(self.shards[si].is_exact());
-            let (gids, rows) = self.take_shard_live_rows(si)?;
+        for snap in &snaps {
+            let (gids, rows) = committed_live_rows(&snap.gen, &snap.tombstones)?;
             all_gids.extend(gids);
-            flat.extend_from_slice(rows.as_slice());
+            flat.extend_from_slice(&rows);
+            for e in &snap.inserts {
+                if !snap.tombstones.contains(&e.gid) {
+                    all_gids.push(e.gid);
+                    flat.extend_from_slice(&e.row);
+                }
+            }
         }
         let mut all_rows = Matrix::from_vec(all_gids.len(), self.d, flat);
         sort_rows_by_ids(&mut all_gids, &mut all_rows);
@@ -270,164 +500,136 @@ impl ShardedProMips {
             members[s as usize].push(i);
         }
 
-        // Build every new shard before swapping any in, so a failed build
-        // can restore the whole index from the gathered rows (in-memory
-        // exact scans per the fresh membership — correct for queries, and
-        // every mutation is still in the untouched WALs).
-        let mut new_shards: Vec<Shard> = Vec::with_capacity(ns);
+        // Shadow-build every new generation before committing anything: a
+        // failed build deletes its files and leaves the old index — disk
+        // and memory — untouched.
+        let mut new_gens: Vec<Arc<ShardGeneration>> = Vec::with_capacity(ns);
+        let discard = |gens: &[Arc<ShardGeneration>]| {
+            if let Some(dir) = &self.dir {
+                for (ri, g) in gens.iter().enumerate() {
+                    let _ = fs::remove_file(shard_path(dir, ri, g.is_exact(), g.generation));
+                }
+            }
+        };
         for (si, m) in members.iter().enumerate() {
             // Members are ascending row indices over ascending-gid rows, so
             // the per-shard id map stays ascending by construction.
             let gids: Vec<u64> = m.iter().map(|&i| all_gids[i]).collect();
             let rows = all_rows.gather(m);
-            let next_gen = self.durable.as_ref().map(|d| d.generations[si] + 1);
-            match self.build_shard_from_rows(si, gids, rows, next_gen) {
-                Ok(s) => new_shards.push(s),
-                Err((e, _, _)) => {
-                    for (ri, rm) in members.iter().enumerate() {
-                        let ids: Vec<u64> = rm.iter().map(|&i| all_gids[i]).collect();
-                        self.shards[ri] = fallback_exact_shard(ids, all_rows.gather(rm));
-                    }
+            match self.build_generation(si, gids, rows, snaps[si].gen.generation + 1) {
+                Ok(g) => new_gens.push(Arc::new(g)),
+                Err(e) => {
+                    discard(&new_gens);
                     return Err(e);
                 }
             }
         }
-        let changed: Vec<(usize, bool)> = (0..ns).map(|si| (si, old_exact[si])).collect();
-        self.shards = new_shards;
-        self.commit_generations(&changed)
-    }
 
-    /// Drains shard `si`'s live rows and their global ids (sub-partition
-    /// order for indexed shards — callers re-sort). The shard's delta and
-    /// tombstones are consumed; the caller must replace the shard.
-    fn take_shard_live_rows(&mut self, si: usize) -> io::Result<(Vec<u64>, Matrix)> {
-        let shard = &mut self.shards[si];
-        match &mut shard.kind {
-            ShardKind::Indexed(pm) => {
-                let (locals, rows) = pm.take_live_rows()?;
-                let gids = locals.iter().map(|&l| shard.ids[l as usize]).collect();
-                Ok((gids, rows))
+        // One manifest swap commits every shard's new generation.
+        if let Some(dir) = self.dir.clone() {
+            let overrides: Vec<(usize, &ShardGeneration)> = new_gens
+                .iter()
+                .enumerate()
+                .map(|(si, g)| (si, g.as_ref()))
+                .collect();
+            if let Err(e) = self.write_manifest_with(&dir, &overrides) {
+                discard(&new_gens);
+                return Err(e);
             }
-            ShardKind::Exact(ex) => {
-                let live = ex.rows.rows() - ex.n_deleted;
-                let mut gids: Vec<u64> = Vec::with_capacity(live);
-                let mut flat: Vec<f32> = Vec::with_capacity(live * ex.rows.cols());
-                for i in 0..ex.rows.rows() {
-                    if !ex.deleted[i] {
-                        gids.push(shard.ids[i]);
-                        flat.extend_from_slice(ex.rows.row(i));
-                    }
+        }
+
+        // Everything is folded: truncate the logs. A failure here leaves a
+        // stale-but-safe log (replay skips folded records), so finish the
+        // in-memory swap first and report the error after.
+        let mut first_err = None;
+        for slot in wals.iter_mut() {
+            if let Some(w) = slot.as_mut() {
+                if let Err(e) = w.truncate() {
+                    first_err.get_or_insert(e);
                 }
-                let rows = Matrix::from_vec(gids.len(), ex.rows.cols(), flat);
-                // Free the old copy eagerly (the shard is about to be
-                // replaced) and keep the husk's counters consistent —
-                // delta_len/tombstone_count must stay 0, not underflow,
-                // if an error path observes it before the swap.
-                ex.rows = Matrix::from_vec(0, 0, Vec::new());
-                ex.deleted.clear();
-                ex.base_rows = 0;
-                ex.n_deleted = 0;
-                Ok((gids, rows))
             }
+        }
+
+        for (si, new_gen) in new_gens.into_iter().enumerate() {
+            let shard = &self.shards[si];
+            {
+                let mut delta = shard.delta.write();
+                let mut gen_slot = shard.generation.write();
+                *delta = DeltaState::empty(new_gen.built_max_norm);
+                *gen_slot = Arc::clone(&new_gen);
+            }
+            if let Some(dir) = &self.dir {
+                let old = &snaps[si].gen;
+                let _ = fs::remove_file(shard_path(dir, si, old.is_exact(), old.generation));
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
-    /// Builds a fresh shard over `rows` (ids ascending), re-deciding
-    /// exact-vs-indexed against the threshold. For durable indexes
-    /// (`gen = Some`), the new generation's data file is written and
-    /// fsynced here — the manifest swap making it live is
-    /// [`ShardedProMips::commit_generations`]'s job. On failure the
-    /// drained ids/rows are handed back so the caller can restore a
-    /// consistent in-memory shard instead of a drained husk.
-    #[allow(clippy::result_large_err)] // the Err carries recovery payload
-    fn build_shard_from_rows(
+    /// Builds a fresh generation over `rows` (ids ascending), re-deciding
+    /// exact-vs-indexed against the threshold. For durable indexes the new
+    /// generation's data file is written and fsynced here — the manifest
+    /// swap making it live is the caller's commit step. Pure shadow work:
+    /// on failure the partial file is removed and nothing else changed.
+    fn build_generation(
         &self,
         si: usize,
         ids: Vec<u64>,
         rows: Matrix,
-        gen: Option<u64>,
-    ) -> Result<Shard, (io::Error, Vec<u64>, Matrix)> {
+        generation: u64,
+    ) -> io::Result<ShardGeneration> {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must ascend");
-        let max_norm = rows.iter_rows().map(sq_norm2).fold(0.0f64, f64::max).sqrt();
+        let built_max_norm = rows.iter_rows().map(sq_norm2).fold(0.0f64, f64::max).sqrt();
         let n = rows.rows();
         let kind = if n == 0 || n < self.config.exact_threshold {
-            if let (Some(g), Some(dur)) = (gen, self.durable.as_ref()) {
-                if let Err(e) = crate::persist::write_exact_file(
-                    &shard_path(&dur.dir, si, true, g),
-                    &rows,
-                    rows.rows(),
-                ) {
-                    return Err((e, ids, rows));
-                }
+            if let Some(dir) = &self.dir {
+                crate::persist::write_exact_file(&shard_path(dir, si, true, generation), &rows, n)?;
             }
-            ShardKind::Exact(ExactShard::new(rows))
+            GenKind::Exact(rows)
         } else {
             let mut cfg: ProMipsConfig = self.config.base.clone();
             cfg.seed = shard_seed(self.config.base.seed, si);
-            let pager = match (gen, self.durable.as_ref()) {
-                (Some(g), Some(dur)) => {
-                    match FileStorage::create(shard_path(&dur.dir, si, false, g), cfg.page_size) {
-                        Ok(storage) => Arc::new(Pager::new(
-                            Arc::new(storage),
-                            cfg.pool_pages,
-                            AccessStats::new_shared(),
-                        )),
-                        Err(e) => return Err((e, ids, rows)),
-                    }
+            let pager = match &self.dir {
+                Some(dir) => {
+                    let storage =
+                        FileStorage::create(shard_path(dir, si, false, generation), cfg.page_size)?;
+                    Arc::new(Pager::new(
+                        Arc::new(storage),
+                        cfg.pool_pages,
+                        AccessStats::new_shared(),
+                    ))
                 }
-                _ => Arc::new(Pager::in_memory(cfg.page_size, cfg.pool_pages)),
+                None => Arc::new(Pager::in_memory(cfg.page_size, cfg.pool_pages)),
             };
             // save() ends with a pager sync, completing step 1 of the
             // crash protocol for durable builds.
+            let durable = self.dir.is_some();
             let built = ProMips::build_with_pager(&rows, cfg, pager).and_then(|pm| {
-                if gen.is_some() {
+                if durable {
                     pm.save().map(|()| pm)
                 } else {
                     Ok(pm)
                 }
             });
             match built {
-                Ok(pm) => ShardKind::Indexed(Box::new(pm)),
-                Err(e) => return Err((e, ids, rows)),
+                Ok(pm) => GenKind::Indexed(Box::new(pm)),
+                Err(e) => {
+                    if let Some(dir) = &self.dir {
+                        let _ = fs::remove_file(shard_path(dir, si, false, generation));
+                    }
+                    return Err(e);
+                }
             }
         };
-        Ok(Shard {
+        Ok(ShardGeneration {
             ids,
-            max_norm,
-            built_max_norm: max_norm,
+            built_max_norm,
+            generation,
             kind,
         })
-    }
-
-    /// Commits freshly built generations: bumps the in-memory generation
-    /// counters, atomically swaps the manifest, and only then truncates
-    /// the affected WALs and deletes the superseded generation files.
-    /// `changed` lists `(shard, was_exact_before)` pairs. In-memory
-    /// indexes return immediately — there is nothing durable to commit.
-    fn commit_generations(&mut self, changed: &[(usize, bool)]) -> io::Result<()> {
-        let Some(dur) = &mut self.durable else {
-            return Ok(());
-        };
-        let mut old: Vec<(usize, u64, bool)> = Vec::with_capacity(changed.len());
-        for &(si, was_exact) in changed {
-            old.push((si, dur.generations[si], was_exact));
-            dur.generations[si] += 1;
-        }
-        let dir = dur.dir.clone();
-        let gens = dur.generations.clone();
-        // The swap: after this rename lands, the new generations are the
-        // authoritative state and the folded WAL records are redundant.
-        self.write_manifest(&dir, &gens)?;
-        let dur = self.durable.as_mut().expect("checked above");
-        for &(si, old_gen, was_exact) in &old {
-            if let Some(wal) = dur.wals[si].as_mut() {
-                wal.truncate()?;
-            }
-            // The superseded file is garbage now; removal is best-effort
-            // (a crash here merely leaks a file the manifest never names).
-            let _ = std::fs::remove_file(shard_path(&dir, si, was_exact, old_gen));
-        }
-        Ok(())
     }
 }
 

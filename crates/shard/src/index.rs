@@ -1,11 +1,43 @@
-//! The sharded index: construction and shard bookkeeping.
+//! The sharded index: construction, shard bookkeeping, and the MVCC-lite
+//! state layout that lets queries run concurrently with mutations.
+//!
+//! ## Isolation scheme
+//!
+//! Each [`Shard`] splits its state into an **immutable generation** and a
+//! small **mutable overlay**:
+//!
+//! * [`ShardGeneration`] — the index (or exact-scan matrix) as of the
+//!   shard's last (re)build, plus its committed id map and norm bound.
+//!   Generations are never mutated; they are *replaced*, wholesale, behind
+//!   an atomically swappable `RwLock<Arc<ShardGeneration>>` handle (the
+//!   poor man's arc-swap — the write lock is held only for the pointer
+//!   swap, never for IO).
+//! * [`DeltaState`] — everything since that build: appended rows, the
+//!   copy-on-write tombstone set, and the live norm bound. Guarded by a
+//!   per-shard `RwLock` that readers hold only long enough to clone the
+//!   overlay (rows are `Arc<[f32]>`, the tombstone set an `Arc<HashSet>`),
+//!   so a query owns a consistent snapshot without blocking writers.
+//!
+//! A reader therefore **never blocks on a mutation**: inserts and deletes
+//! take the delta write lock for a few pointer pushes (their fsync happens
+//! *outside* any lock readers touch), and compaction builds the next
+//! generation entirely off to the side before swapping the handle.
+//!
+//! Lock order (outer → inner): `mut_order` → `compact_lock` →
+//! `manifest_lock` → `wal` → `delta` → `gen`. Every code path acquires
+//! along this order, which is what makes the background compactor, the
+//! writers, and the fan-out readers deadlock-free by construction.
 
+use std::collections::HashSet;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::{Mutex, RwLock};
 use promips_core::{ProMips, ProMipsConfig};
 use promips_linalg::{sq_norm2, Matrix};
 use promips_storage::{AccessStatsSnapshot, Pager};
+use promips_wal::Wal;
 
 use crate::config::ShardedConfig;
 use crate::partition::Partitioner;
@@ -19,95 +51,173 @@ pub(crate) fn shard_seed(base: u64, si: usize) -> u64 {
     base ^ (si as u64).wrapping_mul(SEED_STRIDE)
 }
 
-/// A shard that fell below the exact-scan threshold: its rows live as a
-/// plain matrix and queries run a blocked exact scan over them, following
-/// the small-shard regime of "To Index or Not to Index" (arXiv:1706.01449).
-///
-/// Mutability mirrors the indexed shard's delta/tombstone scheme at scan
-/// granularity: inserts append rows (the scan covers them immediately),
-/// deletes flip a per-row tombstone bit the scan skips.
-#[derive(Debug)]
-pub(crate) struct ExactShard {
-    /// Shard rows, local order (row `i` belongs to global id `ids[i]`).
-    pub rows: Matrix,
-    /// Tombstone bit per local row.
-    pub deleted: Vec<bool>,
-    /// Rows present at the last (re)build; everything past this is the
-    /// in-memory delta (rebuilt away at compaction).
-    pub base_rows: usize,
-    /// Count of `true` bits in `deleted`.
-    pub n_deleted: usize,
+/// What backs a generation's queries. (The indexed variant is boxed: a
+/// `ProMips` handle is hundreds of bytes, an exact generation a matrix.)
+pub(crate) enum GenKind {
+    /// A full ProMIPS index over the generation's rows (own pager, own
+    /// file). Built fresh at each compaction, so it carries no internal
+    /// delta or tombstones — the shard-level overlay is the only one.
+    Indexed(Box<ProMips>),
+    /// Blocked exact scan (small or empty generations), following the
+    /// small-shard regime of "To Index or Not to Index" (arXiv:1706.01449).
+    Exact(Matrix),
 }
 
-impl ExactShard {
-    /// Wraps freshly (re)built rows: no delta, no tombstones.
-    pub(crate) fn new(rows: Matrix) -> Self {
-        let n = rows.rows();
+/// One immutable generation of a shard: its committed id map, the norm
+/// bound over those rows, and the query backend. Shared with readers as
+/// `Arc<ShardGeneration>`; replaced (never mutated) by compaction.
+pub(crate) struct ShardGeneration {
+    /// Committed shard-local id → global id, ascending (so per-shard
+    /// tie-breaking by local id agrees with global tie-breaking by global
+    /// id, and membership checks are binary searches).
+    pub ids: Vec<u64>,
+    /// `max ‖o‖₂` over the committed rows (not squared).
+    pub built_max_norm: f64,
+    /// Monotone rebuild counter; durable shards name their data file by it.
+    pub generation: u64,
+    pub kind: GenKind,
+}
+
+impl ShardGeneration {
+    pub(crate) fn is_exact(&self) -> bool {
+        matches!(self.kind, GenKind::Exact(_))
+    }
+}
+
+/// One row appended since the shard's last rebuild. The row is `Arc`ed so
+/// query snapshots and compaction freezes share it without copying.
+#[derive(Clone)]
+pub(crate) struct DeltaInsert {
+    pub gid: u64,
+    pub row: Arc<[f32]>,
+    /// `‖row‖₂`, precomputed at insert time.
+    pub norm: f64,
+}
+
+/// The mutable overlay on top of a [`ShardGeneration`]: everything a query
+/// must merge with the committed index to see the live state.
+pub(crate) struct DeltaState {
+    /// Rows appended since the last rebuild, ascending by global id
+    /// (global ids are assigned monotonically and per-shard WAL order
+    /// follows assignment order).
+    pub inserts: Vec<DeltaInsert>,
+    /// Global ids tombstoned since the last rebuild — committed rows and
+    /// delta rows alike. Copy-on-write: a query clones the `Arc`, a delete
+    /// clones the set only when a reader still holds it.
+    pub tombstones: Arc<HashSet<u64>>,
+    /// Live norm bound: `built_max_norm` raised in place by delta inserts.
+    /// Deletes leave it conservative (a tombstoned max-norm point only
+    /// enlarges searched ranges); compaction re-tightens it.
+    pub max_norm: f64,
+    /// How many tombstones target **committed** ids — the `dead_count`
+    /// the masked index search needs for its `k` clamp.
+    pub dead_base: usize,
+}
+
+impl DeltaState {
+    pub(crate) fn empty(built_max_norm: f64) -> Self {
         Self {
-            rows,
-            deleted: vec![false; n],
-            base_rows: n,
-            n_deleted: 0,
+            inserts: Vec::new(),
+            tombstones: Arc::new(HashSet::new()),
+            max_norm: built_max_norm,
+            dead_base: 0,
         }
     }
 }
 
-/// What backs a shard's queries. (The indexed variant is boxed: a
-/// `ProMips` handle is hundreds of bytes, an exact shard a few pointers.)
-pub(crate) enum ShardKind {
-    /// A full ProMIPS index over the shard's rows (own pager, own file).
-    Indexed(Box<ProMips>),
-    /// Blocked exact scan (small or empty shards).
-    Exact(ExactShard),
+/// A consistent point-in-time view of one shard, owned by a query for its
+/// whole run: the generation `Arc` plus a clone of the overlay. Taking one
+/// holds the delta read lock for the duration of two `Arc` clones and a
+/// `Vec` clone of `Arc`ed rows.
+pub(crate) struct ShardSnapshot {
+    pub gen: Arc<ShardGeneration>,
+    pub inserts: Vec<DeltaInsert>,
+    pub tombstones: Arc<HashSet<u64>>,
+    pub max_norm: f64,
+    pub dead_base: usize,
 }
 
-/// One shard: its global-id map, its norm bound, and its query backend.
+impl ShardSnapshot {
+    /// Points stored (committed + delta, live + tombstoned).
+    pub(crate) fn stored(&self) -> usize {
+        self.gen.ids.len() + self.inserts.len()
+    }
+}
+
+/// One shard: an atomically swappable immutable generation, the mutable
+/// delta/tombstone overlay, the shard's write-ahead log, and the lock a
+/// compaction holds to keep rebuilds of the same shard from overlapping.
 pub struct Shard {
-    /// Shard-local id → global id. Ascending (members are collected in
-    /// global-id order), so per-shard tie-breaking by local id agrees with
-    /// global tie-breaking by global id.
-    pub(crate) ids: Vec<u64>,
-    /// `max ‖o‖₂` over the shard (not squared): with Cauchy–Schwarz,
-    /// `⟨o,q⟩ ≤ ‖q‖₂ · max_norm` bounds every inner product in the shard.
-    /// Raised in place by delta inserts (see [`Shard::max_norm`]).
-    pub(crate) max_norm: f64,
-    /// The bound as of the last (re)build — what the manifest records,
-    /// since WAL replay re-raises the live bound from the delta records.
-    pub(crate) built_max_norm: f64,
-    pub(crate) kind: ShardKind,
+    /// The committed generation handle. Swapped (under a brief write lock)
+    /// by compaction; read-locked only long enough to clone the `Arc`.
+    pub(crate) generation: RwLock<Arc<ShardGeneration>>,
+    /// The mutable overlay. Writers hold the write lock for in-memory
+    /// pushes only — never across IO.
+    pub(crate) delta: RwLock<DeltaState>,
+    /// The shard's write-ahead log (`None` until the first durable
+    /// mutation, and always `None` for in-memory indexes). Doubles as the
+    /// shard's **mutation lock**: holding it freezes the overlay against
+    /// other mutators and against a compaction commit, which is what keeps
+    /// the WAL byte order equal to the apply order.
+    pub(crate) wal: Mutex<Option<Wal>>,
+    /// Held across one shard compaction (freeze → shadow build → commit);
+    /// [`crate::ShardedProMips::repartition`] takes all of them.
+    pub(crate) compact_lock: Mutex<()>,
 }
 
 impl Shard {
+    pub(crate) fn new(generation: ShardGeneration) -> Self {
+        let delta = DeltaState::empty(generation.built_max_norm);
+        Self {
+            generation: RwLock::new(Arc::new(generation)),
+            delta: RwLock::new(delta),
+            wal: Mutex::new(None),
+            compact_lock: Mutex::new(()),
+        }
+    }
+
+    /// A consistent snapshot of the shard (see [`ShardSnapshot`]). The
+    /// delta read lock is held while the generation `Arc` is cloned, and
+    /// commits swap both under the delta **write** lock, so the pair is
+    /// always mutually consistent.
+    pub(crate) fn snapshot(&self) -> ShardSnapshot {
+        let delta = self.delta.read();
+        let gen = Arc::clone(&self.generation.read());
+        ShardSnapshot {
+            gen,
+            inserts: delta.inserts.clone(),
+            tombstones: Arc::clone(&delta.tombstones),
+            max_norm: delta.max_norm,
+            dead_base: delta.dead_base,
+        }
+    }
+
     /// Number of points stored in this shard (live + tombstoned).
     pub fn len(&self) -> u64 {
-        self.ids.len() as u64
+        let delta = self.delta.read();
+        (self.generation.read().ids.len() + delta.inserts.len()) as u64
     }
 
     /// True when the shard holds no points.
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.len() == 0
     }
 
     /// Number of live (non-tombstoned) points.
     pub fn live_len(&self) -> u64 {
-        self.ids.len() as u64 - self.tombstone_count() as u64
+        let delta = self.delta.read();
+        (self.generation.read().ids.len() + delta.inserts.len() - delta.tombstones.len()) as u64
     }
 
     /// Points inserted since the shard's last (re)build — the in-memory
     /// delta that queries verify exhaustively and compaction folds away.
     pub fn delta_len(&self) -> usize {
-        match &self.kind {
-            ShardKind::Indexed(pm) => pm.delta_len(),
-            ShardKind::Exact(ex) => ex.rows.rows() - ex.base_rows,
-        }
+        self.delta.read().inserts.len()
     }
 
     /// Tombstoned (deleted but not yet compacted) points.
     pub fn tombstone_count(&self) -> usize {
-        match &self.kind {
-            ShardKind::Indexed(pm) => pm.tombstone_count(),
-            ShardKind::Exact(ex) => ex.n_deleted,
-        }
+        self.delta.read().tombstones.len()
     }
 
     /// The shard's inner-product norm bound `max ‖o‖₂`, **including delta
@@ -117,26 +227,28 @@ impl Shard {
     /// max-norm point only leaves the bound conservative). Compaction
     /// re-tightens it over the live rows.
     pub fn max_norm(&self) -> f64 {
-        self.max_norm
+        self.delta.read().max_norm
     }
 
     /// True when the shard answers queries by exact scan instead of an
     /// index.
     pub fn is_exact(&self) -> bool {
-        matches!(self.kind, ShardKind::Exact(_))
+        self.generation.read().is_exact()
     }
 
-    /// The shard's ProMIPS index, when it has one.
-    pub fn index(&self) -> Option<&ProMips> {
-        match &self.kind {
-            ShardKind::Indexed(pm) => Some(pm),
-            ShardKind::Exact(_) => None,
-        }
+    /// Global ids of the shard's points (committed generation first, then
+    /// the delta), including tombstoned ids still awaiting compaction.
+    pub fn global_ids(&self) -> Vec<u64> {
+        let delta = self.delta.read();
+        let gen = self.generation.read();
+        let mut ids = gen.ids.clone();
+        ids.extend(delta.inserts.iter().map(|e| e.gid));
+        ids
     }
 
-    /// Global ids of the shard's points, in shard-local order.
-    pub fn global_ids(&self) -> &[u64] {
-        &self.ids
+    /// Data-file generation (bumped by each compaction).
+    pub fn generation_number(&self) -> u64 {
+        self.generation.read().generation
     }
 }
 
@@ -144,31 +256,34 @@ impl Shard {
 /// (pager + file), its own ProMIPS/iDistance index (or an exact-scan
 /// fallback below [`ShardedConfig::exact_threshold`]), searched by a
 /// norm-bound-pruned parallel fan-out (see [`crate::search`]).
+///
+/// All operations — including [`ShardedProMips::insert`],
+/// [`ShardedProMips::delete`], and [`ShardedProMips::compact`] — take
+/// `&self`; interior per-shard locking (see [`Shard`]) isolates readers
+/// from writers, so the index can be shared across threads (`Arc<Self>`)
+/// with queries running concurrently with mutations and background
+/// compaction.
 pub struct ShardedProMips {
     pub(crate) config: ShardedConfig,
     pub(crate) shards: Vec<Shard>,
     pub(crate) d: usize,
     /// Live (non-tombstoned) points across all shards.
-    pub(crate) n_points: u64,
+    pub(crate) n_points: AtomicU64,
     /// Next global id handed out by [`ShardedProMips::insert`] (global ids
     /// are stable across compactions and re-partitions).
-    pub(crate) next_global_id: u64,
-    /// Directory-backed durability state; `None` for in-memory builds,
+    pub(crate) next_global_id: AtomicU64,
+    /// Serializes mutation *ordering*: held from global-id assignment until
+    /// the owning shard's WAL lock is acquired, so per-shard WAL append
+    /// order always equals global-id order. Re-partitioning holds it for
+    /// its whole run (writes briefly block on writes; reads never do).
+    pub(crate) mut_order: Mutex<()>,
+    /// Serializes manifest replacement across shard commits.
+    pub(crate) manifest_lock: Mutex<()>,
+    /// Home directory of a durable index; `None` for in-memory builds,
     /// whose mutations are volatile.
-    pub(crate) durable: Option<DurableState>,
+    pub(crate) dir: Option<std::path::PathBuf>,
     /// Name of the partitioner that built the assignment (for reporting).
     pub(crate) partitioner_name: String,
-}
-
-/// What a directory-backed index needs to keep its mutations durable: the
-/// snapshot directory, one write-ahead log handle per shard (opened on
-/// first use), and each shard's data-file generation (bumped by every
-/// compaction; the manifest names the live generation, so a crash mid-
-/// compaction leaves the old generation authoritative).
-pub(crate) struct DurableState {
-    pub dir: std::path::PathBuf,
-    pub wals: Vec<Option<promips_wal::Wal>>,
-    pub generations: Vec<u64>,
 }
 
 impl ShardedProMips {
@@ -235,64 +350,67 @@ impl ShardedProMips {
             let rows = data.gather(m);
             let max_norm = rows.iter_rows().map(sq_norm2).fold(0.0f64, f64::max).sqrt();
             let kind = if m.is_empty() || m.len() < config.exact_threshold {
-                ShardKind::Exact(ExactShard::new(rows))
+                GenKind::Exact(rows)
             } else {
                 let mut cfg: ProMipsConfig = config.base.clone();
                 cfg.seed = shard_seed(config.base.seed, si);
-                ShardKind::Indexed(Box::new(ProMips::build_with_pager(
+                GenKind::Indexed(Box::new(ProMips::build_with_pager(
                     &rows,
                     cfg,
                     pager_for(si)?,
                 )?))
             };
-            shards.push(Shard {
+            shards.push(Shard::new(ShardGeneration {
                 ids,
-                max_norm,
                 built_max_norm: max_norm,
+                generation: 0,
                 kind,
-            });
+            }));
         }
 
         Ok(Self {
             config,
             shards,
             d,
-            n_points: n as u64,
-            next_global_id: n as u64,
-            durable: None,
+            n_points: AtomicU64::new(n as u64),
+            next_global_id: AtomicU64::new(n as u64),
+            mut_order: Mutex::new(()),
+            manifest_lock: Mutex::new(()),
+            dir: None,
             partitioner_name: partitioner.name().to_string(),
         })
     }
 
     /// Total number of live points across all shards.
     pub fn len(&self) -> u64 {
-        self.n_points
+        self.n_points.load(Ordering::Acquire)
     }
 
     /// True when no live points remain (a freshly built index never is;
     /// deleting everything gets here).
     pub fn is_empty(&self) -> bool {
-        self.n_points == 0
+        self.len() == 0
     }
 
     /// The next global id an insert will be assigned.
     pub fn next_global_id(&self) -> u64 {
-        self.next_global_id
+        self.next_global_id.load(Ordering::Acquire)
     }
 
     /// True when the index is directory-backed and mutations are logged to
     /// per-shard WALs (false for in-memory builds, whose mutations are
     /// volatile).
     pub fn is_durable(&self) -> bool {
-        self.durable.is_some()
+        self.dir.is_some()
     }
 
     /// Bytes in shard `si`'s write-ahead log (header included), or 0 when
     /// the shard has no log yet.
     pub fn wal_bytes(&self, si: usize) -> u64 {
-        self.durable
+        self.shards[si]
+            .wal
+            .lock()
             .as_ref()
-            .and_then(|d| d.wals[si].as_ref())
             .map_or(0, |w| w.size_bytes())
     }
 
@@ -303,13 +421,16 @@ impl ShardedProMips {
         self.shards
             .iter()
             .enumerate()
-            .map(|(si, s)| crate::result::ShardMaintenance {
-                shard: si as u32,
-                live: s.live_len(),
-                delta_len: s.delta_len(),
-                tombstones: s.tombstone_count(),
-                wal_bytes: self.wal_bytes(si),
-                generation: self.durable.as_ref().map_or(0, |d| d.generations[si]),
+            .map(|(si, s)| {
+                let snap = s.snapshot();
+                crate::result::ShardMaintenance {
+                    shard: si as u32,
+                    live: (snap.stored() - snap.tombstones.len()) as u64,
+                    delta_len: snap.inserts.len(),
+                    tombstones: snap.tombstones.len(),
+                    wal_bytes: self.wal_bytes(si),
+                    generation: snap.gen.generation,
+                }
             })
             .collect()
     }
@@ -350,7 +471,7 @@ impl ShardedProMips {
     pub fn access_stats(&self) -> AccessStatsSnapshot {
         let mut total = AccessStatsSnapshot::default();
         for s in &self.shards {
-            if let ShardKind::Indexed(pm) = &s.kind {
+            if let GenKind::Indexed(pm) = &s.generation.read().kind {
                 let snap = pm.access_stats();
                 total.logical_reads += snap.logical_reads;
                 total.cache_hits += snap.cache_hits;
@@ -364,7 +485,7 @@ impl ShardedProMips {
     /// Resets every shard's page-access counters.
     pub fn reset_stats(&self) {
         for s in &self.shards {
-            if let ShardKind::Indexed(pm) = &s.kind {
+            if let GenKind::Indexed(pm) = &s.generation.read().kind {
                 pm.reset_stats();
             }
         }
@@ -373,21 +494,27 @@ impl ShardedProMips {
     /// Drops every shard's cached pages (cold-cache measurements).
     pub fn clear_cache(&self) {
         for s in &self.shards {
-            if let ShardKind::Indexed(pm) = &s.kind {
+            if let GenKind::Indexed(pm) = &s.generation.read().kind {
                 pm.clear_cache();
             }
         }
     }
 
     /// Sum of the paper's Index Size metric over indexed shards, plus the
-    /// raw bytes of exact-scan shards and the id maps.
+    /// raw bytes of exact-scan shards, the delta overlays, and the id maps.
     pub fn index_size_bytes(&self) -> u64 {
         let mut total = 0u64;
         for s in &self.shards {
-            total += s.ids.len() as u64 * 8;
-            match &s.kind {
-                ShardKind::Indexed(pm) => total += pm.index_size_bytes(),
-                ShardKind::Exact(ex) => total += (ex.rows.as_slice().len() * 4) as u64,
+            let snap = s.snapshot();
+            total += snap.stored() as u64 * 8;
+            total += snap
+                .inserts
+                .iter()
+                .map(|e| e.row.len() as u64 * 4)
+                .sum::<u64>();
+            match &snap.gen.kind {
+                GenKind::Indexed(pm) => total += pm.index_size_bytes(),
+                GenKind::Exact(rows) => total += (rows.as_slice().len() * 4) as u64,
             }
         }
         total
@@ -397,9 +524,9 @@ impl ShardedProMips {
     pub fn file_size_bytes(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| match &s.kind {
-                ShardKind::Indexed(pm) => pm.file_size_bytes(),
-                ShardKind::Exact(ex) => (ex.rows.as_slice().len() * 4) as u64,
+            .map(|s| match &s.generation.read().kind {
+                GenKind::Indexed(pm) => pm.file_size_bytes(),
+                GenKind::Exact(rows) => (rows.as_slice().len() * 4) as u64,
             })
             .sum()
     }

@@ -51,10 +51,13 @@ pub mod persist;
 pub mod result;
 pub mod search;
 
-pub use compaction::{CompactionPolicy, CompactionReport};
+pub use compaction::{CompactionPolicy, CompactionReport, Compactor};
 pub use config::{ShardedConfig, ShardedConfigBuilder};
 pub use index::{Shard, ShardedProMips};
+// Mutations report typed refusals; re-export the error so callers don't
+// need a direct `promips_core` dependency to match on it.
 pub use partition::{HashPartitioner, NormRangePartitioner, PartitionStrategy, Partitioner};
+pub use promips_core::MutationError;
 pub use result::{ShardMaintenance, ShardQueryStats, ShardedSearchResult};
 pub use search::ShardedScratch;
 // The WAL group-commit knob appears in `ShardedConfig`; re-export it so
@@ -176,7 +179,7 @@ mod tests {
         };
         let exact_mode = mk(false);
         let floor_mode = mk(true);
-        let mut scratch = ShardedScratch::for_index(&floor_mode);
+        let scratch = ShardedScratch::for_index(&floor_mode);
         for q in random_queries(10, 20, 121) {
             let a = exact_mode.search(&q, 8).unwrap();
             let b = floor_mode.search(&q, 8).unwrap();
@@ -186,8 +189,8 @@ mod tests {
             assert!(!b.items.is_empty());
             assert!(b.items.windows(2).all(|w| w[0].ip >= w[1].ip));
             // Deterministic across thread counts, like the exact mode.
-            let c1 = floor_mode.search_threaded(&q, 8, 1, &mut scratch).unwrap();
-            let c4 = floor_mode.search_threaded(&q, 8, 4, &mut scratch).unwrap();
+            let c1 = floor_mode.search_threaded(&q, 8, 1, &scratch).unwrap();
+            let c4 = floor_mode.search_threaded(&q, 8, 4, &scratch).unwrap();
             assert_eq!(c1.items, c4.items);
             assert_eq!(c1.items, b.items);
         }
@@ -204,11 +207,11 @@ mod tests {
                 .build(),
         )
         .unwrap();
-        let mut scratch = ShardedScratch::for_index(&idx);
+        let scratch = ShardedScratch::for_index(&idx);
         for q in random_queries(8, 16, 17) {
-            let base = idx.search_threaded(&q, 7, 1, &mut scratch).unwrap();
+            let base = idx.search_threaded(&q, 7, 1, &scratch).unwrap();
             for threads in [2usize, 4, 16] {
-                let other = idx.search_threaded(&q, 7, threads, &mut scratch).unwrap();
+                let other = idx.search_threaded(&q, 7, threads, &scratch).unwrap();
                 assert_eq!(base.items, other.items, "threads={threads}");
                 assert_eq!(base.verified, other.verified, "threads={threads}");
                 for (a, b) in base.per_shard.iter().zip(&other.per_shard) {
@@ -224,9 +227,9 @@ mod tests {
         let idx =
             ShardedProMips::build_in_memory(&data, ShardedConfig::builder().shards(3).build())
                 .unwrap();
-        let mut shared = ShardedScratch::for_index(&idx);
+        let shared = ShardedScratch::for_index(&idx);
         for q in random_queries(10, 12, 29) {
-            let reused = idx.search_with_scratch(&q, 5, &mut shared).unwrap();
+            let reused = idx.search_with_scratch(&q, 5, &shared).unwrap();
             let fresh = idx.search(&q, 5).unwrap();
             assert_eq!(reused.items, fresh.items);
             assert_eq!(reused.verified, fresh.verified);
@@ -271,11 +274,7 @@ mod tests {
         assert!(idx.shards().iter().all(|s| !s.is_exact()));
         assert_eq!(idx.shard_points().iter().sum::<u64>(), 700);
         // Every global id appears exactly once across shard id maps.
-        let mut seen: Vec<u64> = idx
-            .shards()
-            .iter()
-            .flat_map(|s| s.global_ids().iter().copied())
-            .collect();
+        let mut seen: Vec<u64> = idx.shards().iter().flat_map(|s| s.global_ids()).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..700u64).collect::<Vec<_>>());
     }

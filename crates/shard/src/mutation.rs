@@ -1,30 +1,49 @@
 //! The durable mutation path: inserts and deletes that route through the
 //! partitioner, hit the owning shard's write-ahead log **before** touching
-//! memory, and are visible to the very next query.
+//! memory, and are visible to the very next query — all through `&self`,
+//! so readers keep running while writers commit.
 //!
 //! Ordering contract (what makes the log *write-ahead*): a mutation is
 //! appended to the shard's WAL first — honouring the group-commit policy
 //! ([`crate::ShardedConfig::wal_sync`]) — and applied to the in-memory
-//! shard only afterwards. A crash between the two replays the record on
+//! overlay only afterwards. A crash between the two replays the record on
 //! reopen; a crash before the append loses a mutation that was never
 //! acknowledged. In-memory indexes (no directory) skip the log and take
 //! mutations volatilely — same semantics, no durability.
 //!
+//! Concurrency protocol per mutation:
+//!
+//! 1. take the global `mut_order` mutex, assign/locate the global id, and
+//!    route to the owning shard;
+//! 2. acquire that shard's WAL mutex, **then** release `mut_order` — so
+//!    per-shard WAL byte order always equals global-id order, without
+//!    serializing fsyncs across shards;
+//! 3. append to the WAL (fsync per policy) while holding only the WAL
+//!    mutex — readers are never blocked on storage;
+//! 4. take the shard's delta **write** lock for the in-memory apply (a few
+//!    pointer pushes), then release everything.
+//!
+//! Deletes re-validate liveness *after* acquiring the WAL mutex: the mutex
+//! freezes the shard's mutation state, so the WAL never carries a record
+//! that turned into a no-op between the check and the append.
+//!
 //! Soundness under inserts: the searching conditions (Theorems 1–2) and
 //! the cross-shard Cauchy–Schwarz pruning both lean on per-shard norm
-//! bounds. Inside a shard, `ProMips::effective_max_sq_norm` already folds
-//! the delta's max norm into the condition context; across shards,
-//! [`apply`] raises `Shard::max_norm` in place whenever an insert exceeds
-//! it, so the fan-out's seed-probe ordering and pruning tests keep seeing
-//! a true upper bound. Deletes leave both bounds conservative (a bound
-//! referencing a tombstoned point only enlarges searched ranges).
+//! bounds. [`crate::ShardedProMips::insert`] raises the shard's live bound
+//! in place whenever an insert exceeds it, so the fan-out's seed-probe
+//! ordering and pruning tests keep seeing a true upper bound. Deletes
+//! leave the bound conservative (a bound referencing a tombstoned point
+//! only enlarges searched ranges).
 
 use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
+use promips_core::MutationError;
 use promips_linalg::sq_norm2;
 use promips_wal::{Wal, WalConfig, WalRecord};
 
-use crate::index::{ShardKind, ShardedProMips};
+use crate::index::{DeltaInsert, Shard, ShardedProMips};
 use crate::persist::wal_path;
 
 impl ShardedProMips {
@@ -33,66 +52,149 @@ impl ShardedProMips {
     /// the default strategy), logged to that shard's WAL when the index is
     /// directory-backed, and entered into the shard's in-memory delta —
     /// searchable immediately, folded into the shard's index file at the
-    /// next compaction.
-    pub fn insert(&mut self, point: &[f32]) -> io::Result<u64> {
+    /// next compaction. Concurrent readers are never blocked.
+    pub fn insert(&self, point: &[f32]) -> Result<u64, MutationError> {
+        self.insert_inner(point, true).map(|(gid, _)| gid)
+    }
+
+    /// Inserts a batch under **cross-shard group commit**: every record is
+    /// appended to its shard's WAL with the fsync deferred, then each
+    /// *touched* WAL is synced exactly once — a burst spanning `S` shards
+    /// pays `S` fsyncs instead of one per point (under
+    /// [`promips_wal::SyncPolicy::Always`], `points.len()` of them).
+    /// Returns the assigned global ids, in order. The batch is durable
+    /// when this returns; a crash mid-call can lose the (unacknowledged)
+    /// tail, never a prefix of an earlier acknowledged call.
+    pub fn insert_batch<'a, I>(&self, points: I) -> Result<Vec<u64>, MutationError>
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut gids = Vec::new();
+        let mut touched = vec![false; self.shards.len()];
+        for point in points {
+            let (gid, si) = self.insert_inner(point, false)?;
+            gids.push(gid);
+            touched[si] = true;
+        }
+        for (si, hit) in touched.iter().enumerate() {
+            if *hit {
+                if let Some(wal) = self.shards[si].wal.lock().as_mut() {
+                    wal.sync()?;
+                }
+            }
+        }
+        Ok(gids)
+    }
+
+    fn insert_inner(&self, point: &[f32], sync_now: bool) -> Result<(u64, usize), MutationError> {
         assert_eq!(point.len(), self.d, "insert dimensionality mismatch");
-        let gid = self.next_global_id;
+        let order = self.mut_order.lock();
+        let gid = self.next_global_id.fetch_add(1, Ordering::AcqRel);
         let si = self.route(point, gid);
+        let shard = &self.shards[si];
+        let mut wal = shard.wal.lock();
+        drop(order); // WAL order for this shard is now fixed
         self.wal_append(
             si,
+            &mut wal,
             &WalRecord::Insert {
                 id: gid,
                 vector: point.to_vec(),
             },
+            sync_now,
         )?;
-        self.apply_insert(si, gid, point);
-        self.next_global_id = gid + 1;
-        Ok(gid)
+        let norm = sq_norm2(point).sqrt();
+        {
+            let mut delta = shard.delta.write();
+            debug_assert!(
+                delta.inserts.last().is_none_or(|e| e.gid < gid),
+                "shard {si} delta would lose its ascending gid order"
+            );
+            delta.inserts.push(DeltaInsert {
+                gid,
+                row: Arc::from(point),
+                norm,
+            });
+            if norm > delta.max_norm {
+                delta.max_norm = norm;
+            }
+        }
+        self.n_points.fetch_add(1, Ordering::AcqRel);
+        Ok((gid, si))
     }
 
-    /// Deletes a point by global id. Returns whether a live point was
-    /// tombstoned: ids that were never assigned, were already deleted, or
-    /// were compacted away are refused (`Ok(false)`) **without** writing a
-    /// log record — the WAL never carries no-ops.
-    pub fn delete(&mut self, gid: u64) -> io::Result<bool> {
-        let Some((si, local)) = self.locate_global(gid) else {
-            return Ok(false);
+    /// Deletes a point by global id. Typed refusals instead of a `bool`:
+    /// [`MutationError::UnknownId`] for an id never assigned,
+    /// [`MutationError::DeadId`] for one already tombstoned (or compacted
+    /// away after deletion) — neither writes a log record, so the WAL
+    /// never carries no-ops.
+    pub fn delete(&self, gid: u64) -> Result<(), MutationError> {
+        let order = self.mut_order.lock();
+        let Some(si) = self.owning_shard(gid) else {
+            drop(order);
+            return Err(if gid >= self.next_global_id.load(Ordering::Acquire) {
+                MutationError::UnknownId(gid)
+            } else {
+                // Assigned in the past but stored nowhere: it was deleted
+                // and the tombstone has since been compacted away.
+                MutationError::DeadId(gid)
+            });
         };
-        let live = match &self.shards[si].kind {
-            ShardKind::Indexed(pm) => !pm.is_deleted(local as u64),
-            ShardKind::Exact(ex) => !ex.deleted[local],
+        let shard = &self.shards[si];
+        let mut wal = shard.wal.lock();
+        drop(order);
+        // Re-validate under the WAL mutex: the shard's mutation state is
+        // frozen now, so this verdict holds through the append below.
+        let in_gen = {
+            let delta = shard.delta.read();
+            if delta.tombstones.contains(&gid) {
+                return Err(MutationError::DeadId(gid));
+            }
+            shard.generation.read().ids.binary_search(&gid).is_ok()
         };
-        if !live {
-            return Ok(false);
+        self.wal_append(si, &mut wal, &WalRecord::Delete { id: gid }, true)?;
+        {
+            let mut delta = shard.delta.write();
+            Arc::make_mut(&mut delta.tombstones).insert(gid);
+            if in_gen {
+                delta.dead_base += 1;
+            }
         }
-        self.wal_append(si, &WalRecord::Delete { id: gid })?;
-        self.apply_delete(si, gid);
-        Ok(true)
+        self.n_points.fetch_sub(1, Ordering::AcqRel);
+        Ok(())
     }
 
     /// Whether a global id names a live point.
     pub fn contains(&self, gid: u64) -> bool {
-        self.locate_global(gid)
-            .is_some_and(|(si, local)| match &self.shards[si].kind {
-                ShardKind::Indexed(pm) => !pm.is_deleted(local as u64),
-                ShardKind::Exact(ex) => !ex.deleted[local],
-            })
+        self.shards.iter().any(|s| {
+            let delta = s.delta.read();
+            if delta.tombstones.contains(&gid) {
+                return false;
+            }
+            delta.inserts.binary_search_by_key(&gid, |e| e.gid).is_ok()
+                || s.generation.read().ids.binary_search(&gid).is_ok()
+        })
     }
 
-    /// The shard that owns `gid` and its local offset, if stored. Each
-    /// shard's id map is ascending (global ids are assigned monotonically
-    /// and compaction re-sorts), so this is a binary search per shard.
-    pub(crate) fn locate_global(&self, gid: u64) -> Option<(usize, usize)> {
-        self.shards
-            .iter()
-            .enumerate()
-            .find_map(|(si, s)| s.ids.binary_search(&gid).ok().map(|local| (si, local)))
+    /// The shard storing `gid` (live or tombstoned), if any. Each shard's
+    /// committed id map and delta are both ascending, so this is two
+    /// binary searches per shard.
+    pub(crate) fn owning_shard(&self, gid: u64) -> Option<usize> {
+        self.shards.iter().position(|s| {
+            let delta = s.delta.read();
+            delta.inserts.binary_search_by_key(&gid, |e| e.gid).is_ok()
+                || s.generation.read().ids.binary_search(&gid).is_ok()
+        })
     }
 
     /// Routes a point via the configured partition strategy, against the
     /// shards' current (insert-raised) norm bounds.
     fn route(&self, point: &[f32], gid: u64) -> usize {
-        let bounds: Vec<f64> = self.shards.iter().map(|s| s.max_norm).collect();
+        let bounds: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|s| s.delta.read().max_norm)
+            .collect();
         let si = self
             .config
             .strategy
@@ -107,114 +209,128 @@ impl ShardedProMips {
     }
 
     /// Appends a record to shard `si`'s WAL (no-op for in-memory indexes).
-    /// The log file is created on the shard's first mutation.
-    fn wal_append(&mut self, si: usize, rec: &WalRecord) -> io::Result<()> {
-        let d = self.d;
-        let sync = self.config.wal_sync;
-        let Some(dur) = &mut self.durable else {
+    /// The log file is created on the shard's first mutation. `sync_now =
+    /// false` defers the fsync for group commit — the caller owns syncing
+    /// before acknowledging.
+    fn wal_append(
+        &self,
+        si: usize,
+        slot: &mut Option<Wal>,
+        rec: &WalRecord,
+        sync_now: bool,
+    ) -> io::Result<()> {
+        let Some(dir) = &self.dir else {
             return Ok(());
         };
-        if dur.wals[si].is_none() {
-            let (wal, replayed) =
-                Wal::open_or_create(wal_path(&dur.dir, si), d, WalConfig { sync })?;
-            debug_assert!(
-                replayed.is_empty(),
-                "shard {si} WAL had unreplayed records outside open()"
-            );
-            dur.wals[si] = Some(wal);
+        if slot.is_none() {
+            let wal = Wal::open_or_create_streaming(
+                wal_path(dir, si),
+                self.d,
+                WalConfig {
+                    sync: self.config.wal_sync,
+                },
+                |_rec| {
+                    debug_assert!(
+                        false,
+                        "shard {si} WAL had unreplayed records outside open()"
+                    );
+                    Ok(())
+                },
+            )?;
+            *slot = Some(wal);
         }
-        dur.wals[si].as_mut().expect("just opened").append(rec)
-    }
-
-    /// Applies an insert to shard `si`'s in-memory state (both the live
-    /// mutation path and WAL replay come through here).
-    pub(crate) fn apply_insert(&mut self, si: usize, gid: u64, point: &[f32]) {
-        let shard = &mut self.shards[si];
-        debug_assert!(
-            shard.ids.last().is_none_or(|&last| last < gid),
-            "shard {si} id map would lose its ascending order"
-        );
-        match &mut shard.kind {
-            ShardKind::Indexed(pm) => {
-                let local = pm.insert(point);
-                debug_assert_eq!(local as usize, shard.ids.len(), "local id drift");
-            }
-            ShardKind::Exact(ex) => {
-                ex.rows.push_row(point);
-                ex.deleted.push(false);
-            }
-        }
-        shard.ids.push(gid);
-        let norm = sq_norm2(point).sqrt();
-        if norm > shard.max_norm {
-            shard.max_norm = norm;
-        }
-        self.n_points += 1;
-    }
-
-    /// Applies a delete of `gid` inside shard `si` if it names a live
-    /// point there; returns whether it did (replay of a stale record — the
-    /// id was compacted away, or deleted twice across a torn tail — is a
-    /// no-op).
-    pub(crate) fn apply_delete(&mut self, si: usize, gid: u64) -> bool {
-        let shard = &mut self.shards[si];
-        let Ok(local) = shard.ids.binary_search(&gid) else {
-            return false;
-        };
-        let newly_dead = match &mut shard.kind {
-            ShardKind::Indexed(pm) => pm.delete(local as u64),
-            ShardKind::Exact(ex) => {
-                if ex.deleted[local] {
-                    false
-                } else {
-                    ex.deleted[local] = true;
-                    ex.n_deleted += 1;
-                    true
-                }
-            }
-        };
-        if newly_dead {
-            self.n_points -= 1;
-        }
-        newly_dead
+        slot.as_mut()
+            .expect("just opened")
+            .append_with_sync(rec, sync_now)
     }
 
     /// Replays one WAL record against shard `si` (used by
-    /// [`crate::ShardedProMips::open`]).
+    /// [`crate::ShardedProMips::open`]; no concurrency at replay time, but
+    /// the locked paths are reused so the invariants live in one place).
     ///
     /// Replay must be **idempotent against stale records**: a crash after
-    /// a compaction's manifest swap but before its WAL truncation leaves a
-    /// log whose every record is already folded into the live generation.
-    /// A stale insert is recognised by its id being present somewhere
+    /// a compaction's manifest swap but before its WAL rewrite leaves a
+    /// log whose folded prefix is already in the live generation. A stale
+    /// insert is recognised by its id being present somewhere
     /// (re-partitioning may have moved it to another shard) **or** by
     /// falling at or below the shard's current maximum id — global ids are
     /// assigned monotonically, so a genuinely unfolded insert is always
     /// larger than everything the shard holds, while a folded-then-deleted
     /// id (absent everywhere) is not. A stale delete finds no live point
     /// and no-ops on its own.
-    pub(crate) fn apply_replayed(&mut self, si: usize, rec: WalRecord) {
+    pub(crate) fn apply_replayed(&self, si: usize, rec: WalRecord) -> io::Result<()> {
         match rec {
             WalRecord::Insert { id, vector } => {
-                if id >= self.next_global_id {
-                    self.next_global_id = id + 1;
+                if vector.len() != self.d {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "WAL record dimensionality {} != index {}",
+                            vector.len(),
+                            self.d
+                        ),
+                    ));
                 }
-                let stale = self.shards[si].ids.last().is_some_and(|&last| last >= id)
-                    || self.locate_global(id).is_some();
+                self.next_global_id.fetch_max(id + 1, Ordering::AcqRel);
+                let shard = &self.shards[si];
+                let stale = {
+                    let delta = shard.delta.read();
+                    let max_here = delta
+                        .inserts
+                        .last()
+                        .map(|e| e.gid)
+                        .or_else(|| shard.generation.read().ids.last().copied());
+                    max_here.is_some_and(|m| m >= id) || self.owning_shard(id).is_some()
+                };
                 if !stale {
-                    self.apply_insert(si, id, &vector);
+                    let norm = sq_norm2(&vector).sqrt();
+                    let mut delta = shard.delta.write();
+                    delta.inserts.push(DeltaInsert {
+                        gid: id,
+                        row: vector.into(),
+                        norm,
+                    });
+                    if norm > delta.max_norm {
+                        delta.max_norm = norm;
+                    }
+                    drop(delta);
+                    self.n_points.fetch_add(1, Ordering::AcqRel);
                 }
             }
             WalRecord::Delete { id } => {
-                self.apply_delete(si, id);
+                self.replay_delete(&self.shards[si], id);
             }
         }
+        Ok(())
+    }
+
+    fn replay_delete(&self, shard: &Shard, gid: u64) {
+        let in_gen = {
+            let delta = shard.delta.read();
+            if delta.tombstones.contains(&gid) {
+                return; // already dead (torn-tail double delete)
+            }
+            let in_gen = shard.generation.read().ids.binary_search(&gid).is_ok();
+            let in_delta = delta.inserts.binary_search_by_key(&gid, |e| e.gid).is_ok();
+            if !in_gen && !in_delta {
+                return; // stale: the point was folded away
+            }
+            in_gen
+        };
+        let mut delta = shard.delta.write();
+        Arc::make_mut(&mut delta.tombstones).insert(gid);
+        if in_gen {
+            delta.dead_base += 1;
+        }
+        drop(delta);
+        self.n_points.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Forces every shard's WAL to durable media regardless of the
     /// group-commit policy (e.g. before acknowledging a batch).
-    pub fn sync_wal(&mut self) -> io::Result<()> {
-        if let Some(dur) = &mut self.durable {
-            for wal in dur.wals.iter_mut().flatten() {
+    pub fn sync_wal(&self) -> io::Result<()> {
+        for shard in &self.shards {
+            if let Some(wal) = shard.wal.lock().as_mut() {
                 wal.sync()?;
             }
         }
@@ -225,7 +341,10 @@ impl ShardedProMips {
     pub fn pending_mutations(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.delta_len() + s.tombstone_count())
+            .map(|s| {
+                let delta = s.delta.read();
+                delta.inserts.len() + delta.tombstones.len()
+            })
             .sum()
     }
 }

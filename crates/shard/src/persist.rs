@@ -27,6 +27,14 @@
 //! (`MANIFEST.pms.tmp` → fsync → rename → directory fsync), which is what
 //! makes a compaction's generation swap atomic.
 //!
+//! The manifest serializes only **generation** state — each shard's
+//! committed id map and norm bound, never the delta overlay or tombstone
+//! set (those are exactly what the WALs reconstruct). A compaction commit
+//! therefore writes the manifest while readers and writers keep running:
+//! it only needs the generation handles (under their read locks) plus the
+//! [`crate::index::ShardedProMips`] manifest lock that serializes commits
+//! against each other.
+//!
 //! Each shard file is self-contained — an indexed shard's `.pmx` can even
 //! be opened directly with `ProMips::open` — so shards can later be placed
 //! on different devices or hosts without touching the format.
@@ -34,16 +42,18 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use promips_core::ProMips;
+use parking_lot::Mutex;
+use promips_core::{MutationError, ProMips};
 use promips_idistance::layout::enc;
 use promips_linalg::Matrix;
 use promips_storage::{write_file_atomic, AccessStats, FileStorage, Pager, Storage};
-use promips_wal::{SyncPolicy, Wal, WalConfig, WalRecord};
+use promips_wal::{SyncPolicy, Wal, WalConfig};
 
 use crate::config::ShardedConfig;
-use crate::index::{DurableState, ExactShard, Shard, ShardKind, ShardedProMips};
+use crate::index::{GenKind, Shard, ShardGeneration, ShardedProMips};
 use crate::partition::PartitionStrategy;
 
 const MANIFEST_MAGIC: u64 = 0x5AA2_D1CE_5059_0001;
@@ -169,24 +179,21 @@ impl ShardedProMips {
             )))
         })?;
         for shard in &built.shards {
-            if let ShardKind::Indexed(pm) = &shard.kind {
+            if let GenKind::Indexed(pm) = &shard.generation.read().kind {
                 pm.save()?; // aux + footer straight into the shard's file
             }
         }
+        built.dir = Some(dir.to_path_buf());
         let ns = built.shards.len();
         built.write_aux_and_manifest(dir, &vec![0; ns])?;
-        built.durable = Some(DurableState {
-            dir: dir.to_path_buf(),
-            wals: (0..ns).map(|_| None).collect(),
-            generations: vec![0; ns],
-        });
         Ok(built)
     }
 
     /// Snapshots the index into `dir`: indexed shards append their
     /// persistence footer ([`ProMips::save`]) and have their pages copied
     /// into per-shard files; exact shards and the manifest are written
-    /// alongside. Reopen with [`ShardedProMips::open`].
+    /// alongside. Reopen with [`ShardedProMips::open`]. Mutations and
+    /// compactions are frozen for the duration (queries keep running).
     ///
     /// The index must have no pending mutations (a snapshot carries no
     /// WAL, so an uncompacted delta would be silently dropped) — call
@@ -195,19 +202,23 @@ impl ShardedProMips {
     /// persistence footer to the live shard pagers (the last one always
     /// wins on reopen, but the pages accumulate).
     pub fn snapshot(&self, dir: impl AsRef<Path>) -> io::Result<()> {
-        if self.pending_mutations() > 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "snapshot would drop {} pending mutations; compact_all() first",
-                    self.pending_mutations()
-                ),
-            ));
+        // Freeze all mutation state (same order as repartition: mut_order →
+        // compact locks → manifest). Readers are unaffected.
+        let _order = self.mut_order.lock();
+        let _compacting: Vec<_> = self.shards.iter().map(|s| s.compact_lock.lock()).collect();
+        let _manifest = self.manifest_lock.lock();
+        let (delta, tombstones) = self.shards.iter().fold((0, 0), |(di, ti), s| {
+            let d = s.delta.read();
+            (di + d.inserts.len(), ti + d.tombstones.len())
+        });
+        if delta + tombstones > 0 {
+            return Err(MutationError::PendingMutations { delta, tombstones }.into());
         }
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         for (si, shard) in self.shards.iter().enumerate() {
-            if let ShardKind::Indexed(pm) = &shard.kind {
+            let gen = Arc::clone(&shard.generation.read());
+            if let GenKind::Indexed(pm) = &gen.kind {
                 pm.save()?;
                 // Copy at the device level: going through Pager::read here
                 // would charge a logical read per page to the shard's
@@ -228,40 +239,90 @@ impl ShardedProMips {
         self.write_aux_and_manifest(dir, &vec![0; self.shards.len()])
     }
 
-    /// Writes exact-shard blobs **and** the manifest — the full-directory
-    /// paths ([`ShardedProMips::snapshot`], [`ShardedProMips::build_in_dir`]).
-    /// The compaction commit calls [`ShardedProMips::write_manifest`]
-    /// directly: its new generation files (including exact blobs) were
+    /// Writes exact-shard blobs **and** the manifest, with every shard's
+    /// generation *forced* to `generations[si]` — the full-directory paths
+    /// ([`ShardedProMips::snapshot`], [`ShardedProMips::build_in_dir`]),
+    /// which start a fresh generation-0 lineage in the target directory.
+    /// The compaction commit calls [`ShardedProMips::write_manifest_with`]
+    /// instead: its new generation files (including exact blobs) were
     /// already written and fsynced by the build step, and rewriting every
     /// *unchanged* exact shard's blob per commit would make compaction
     /// cost scale with total exact-shard bytes.
     pub(crate) fn write_aux_and_manifest(&self, dir: &Path, generations: &[u64]) -> io::Result<()> {
-        for (si, shard) in self.shards.iter().enumerate() {
-            if let ShardKind::Exact(ex) = &shard.kind {
+        let gens: Vec<Arc<ShardGeneration>> = self
+            .shards
+            .iter()
+            .map(|s| Arc::clone(&s.generation.read()))
+            .collect();
+        for (si, gen) in gens.iter().enumerate() {
+            if let GenKind::Exact(rows) = &gen.kind {
                 write_exact_file(
                     &shard_path(dir, si, true, generations[si]),
-                    &ex.rows,
-                    ex.base_rows,
+                    rows,
+                    gen.ids.len(),
                 )?;
             }
         }
-        self.write_manifest(dir, generations)
+        self.encode_manifest(
+            dir,
+            &gens.iter().map(Arc::as_ref).collect::<Vec<_>>(),
+            generations,
+        )
     }
 
-    /// Atomically replaces the manifest. What is serialized is each
-    /// shard's **committed** view — the state as of its last (re)build:
-    /// delta ids are appended at the tail of the id map and tombstones
-    /// live only in in-memory sets, so the committed prefix plus the WAL
-    /// reconstructs the live state on reopen without applying anything
-    /// twice.
-    pub(crate) fn write_manifest(&self, dir: &Path, generations: &[u64]) -> io::Result<()> {
-        debug_assert_eq!(generations.len(), self.shards.len());
-        // The committed point count: stored minus (uncommitted) delta.
-        let committed_total: u64 = self
+    /// Atomically replaces the manifest from the shards' **live generation
+    /// handles**, with `overrides` substituting not-yet-swapped new
+    /// generations — the compaction/repartition commit point. Callers hold
+    /// the manifest lock; the generation read locks taken here are the
+    /// only shard state touched, so readers and writers keep running.
+    pub(crate) fn write_manifest_with(
+        &self,
+        dir: &Path,
+        overrides: &[(usize, &ShardGeneration)],
+    ) -> io::Result<()> {
+        let current: Vec<Option<Arc<ShardGeneration>>> = self
             .shards
             .iter()
-            .map(|s| (s.ids.len() - s.delta_len()) as u64)
-            .sum();
+            .enumerate()
+            .map(|(si, s)| {
+                if overrides.iter().any(|&(oi, _)| oi == si) {
+                    None
+                } else {
+                    Some(Arc::clone(&s.generation.read()))
+                }
+            })
+            .collect();
+        let gens: Vec<&ShardGeneration> = current
+            .iter()
+            .enumerate()
+            .map(|(si, slot)| match slot {
+                Some(arc) => arc.as_ref(),
+                None => overrides
+                    .iter()
+                    .find(|&&(oi, _)| oi == si)
+                    .map(|&(_, g)| g)
+                    .expect("override present for every None slot"),
+            })
+            .collect();
+        let generations: Vec<u64> = gens.iter().map(|g| g.generation).collect();
+        self.encode_manifest(dir, &gens, &generations)
+    }
+
+    /// Serializes and atomically writes the manifest for the given
+    /// per-shard generation views. What is recorded is each shard's
+    /// **committed** state — the generation id maps and norm bounds; delta
+    /// rows and tombstones live only in the WALs, so the committed state
+    /// plus a replay reconstructs the live state without applying anything
+    /// twice.
+    fn encode_manifest(
+        &self,
+        dir: &Path,
+        gens: &[&ShardGeneration],
+        generations: &[u64],
+    ) -> io::Result<()> {
+        debug_assert_eq!(gens.len(), self.shards.len());
+        debug_assert_eq!(generations.len(), self.shards.len());
+        let committed_total: u64 = gens.iter().map(|g| g.ids.len() as u64).sum();
         let mut buf = Vec::new();
         enc::put_u64(&mut buf, MANIFEST_MAGIC);
         enc::put_u64(&mut buf, MANIFEST_VERSION);
@@ -278,18 +339,17 @@ impl ShardedProMips {
         enc::put_u64(&mut buf, self.config.base.page_size as u64);
         enc::put_u64(&mut buf, self.config.base.pool_pages as u64);
         enc::put_u64(&mut buf, self.config.base.seed);
-        enc::put_u64(&mut buf, self.next_global_id);
+        enc::put_u64(&mut buf, self.next_global_id.load(Ordering::Acquire));
         enc::put_u64(&mut buf, sync_policy_tag(self.config.wal_sync));
         let name = self.partitioner_name.as_bytes();
         enc::put_u64(&mut buf, name.len() as u64);
         buf.extend_from_slice(name);
-        for (si, shard) in self.shards.iter().enumerate() {
-            let committed = shard.ids.len() - shard.delta_len();
-            enc::put_u64(&mut buf, u64::from(shard.is_exact()));
-            enc::put_u64(&mut buf, committed as u64);
-            enc::put_f64(&mut buf, shard.built_max_norm);
+        for (si, gen) in gens.iter().enumerate() {
+            enc::put_u64(&mut buf, u64::from(gen.is_exact()));
+            enc::put_u64(&mut buf, gen.ids.len() as u64);
+            enc::put_f64(&mut buf, gen.built_max_norm);
             enc::put_u64(&mut buf, generations[si]);
-            for &id in &shard.ids[..committed] {
+            for &id in &gen.ids {
                 enc::put_u64(&mut buf, id);
             }
         }
@@ -298,10 +358,12 @@ impl ShardedProMips {
 
     /// Reopens an index directory written by [`ShardedProMips::snapshot`],
     /// [`ShardedProMips::build_in_dir`], or compaction: loads the
-    /// manifest-named generation of every shard, then replays each shard's
-    /// write-ahead log (if present) so every mutation that reached disk is
-    /// live again. With no WALs this is exactly the read-only open path —
-    /// bit-identical results to the index that was saved.
+    /// manifest-named generation of every shard, then **streams** each
+    /// shard's write-ahead log (if present) through the replay path in
+    /// bounded batches — a log is never buffered wholesale in memory, so
+    /// recovery cost is flat in WAL size. With no WALs this is exactly the
+    /// read-only open path — bit-identical results to the index that was
+    /// saved.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
         let dir = dir.as_ref();
         let buf = fs::read(dir.join(MANIFEST_NAME))?;
@@ -388,23 +450,24 @@ impl ShardedProMips {
         };
 
         let mut shards = Vec::with_capacity(n_shards.min(1 << 16));
-        let mut generations = vec![0u64; n_shards];
-        for (si, generation) in generations.iter_mut().enumerate() {
+        for si in 0..n_shards {
             // kind + count + max_norm (+ generation in v2).
             need(pos, if version >= 2 { 32 } else { 24 })?;
             let exact = enc::get_u64(&buf, &mut pos) != 0;
             let count = enc::get_u64(&buf, &mut pos) as usize;
             let max_norm = enc::get_f64(&buf, &mut pos);
-            if version >= 2 {
-                *generation = enc::get_u64(&buf, &mut pos);
-            }
+            let generation = if version >= 2 {
+                enc::get_u64(&buf, &mut pos)
+            } else {
+                0
+            };
             need(pos, count.saturating_mul(8))?;
             let ids: Vec<u64> = (0..count).map(|_| enc::get_u64(&buf, &mut pos)).collect();
             if let Some(&max_id) = ids.last() {
                 next_global_id = next_global_id.max(max_id + 1);
             }
             let kind = if exact {
-                let rows = read_exact(&shard_path(dir, si, true, *generation), d)?;
+                let rows = read_exact(&shard_path(dir, si, true, generation), d)?;
                 if rows.rows() != count {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -414,10 +477,10 @@ impl ShardedProMips {
                         ),
                     ));
                 }
-                ShardKind::Exact(ExactShard::new(rows))
+                GenKind::Exact(rows)
             } else {
                 let storage = Arc::new(FileStorage::open(
-                    shard_path(dir, si, false, *generation),
+                    shard_path(dir, si, false, generation),
                     page_size,
                 )?);
                 let pager = Arc::new(Pager::new(storage, pool_pages, AccessStats::new_shared()));
@@ -431,58 +494,53 @@ impl ShardedProMips {
                         ),
                     ));
                 }
-                ShardKind::Indexed(Box::new(pm))
+                GenKind::Indexed(Box::new(pm))
             };
-            shards.push(Shard {
+            shards.push(Shard::new(ShardGeneration {
                 ids,
-                max_norm,
                 built_max_norm: max_norm,
+                generation,
                 kind,
-            });
+            }));
         }
 
-        // Open each shard's write-ahead log (where one exists) and collect
-        // its surviving records; torn tails are truncated inside Wal::open.
-        let mut wals: Vec<Option<Wal>> = (0..n_shards).map(|_| None).collect();
-        let mut replays: Vec<(usize, Vec<WalRecord>)> = Vec::new();
-        for (si, slot) in wals.iter_mut().enumerate() {
-            let wp = wal_path(dir, si);
-            if wp.exists() {
-                let (wal, records) = Wal::open(&wp, WalConfig { sync: wal_sync })?;
-                if wal.d() != d {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!(
-                            "WAL {} dimensionality {} != index {d}",
-                            wp.display(),
-                            wal.d()
-                        ),
-                    ));
-                }
-                *slot = Some(wal);
-                if !records.is_empty() {
-                    replays.push((si, records));
-                }
-            }
-        }
-
-        let mut index = Self {
+        let index = Self {
             config,
             shards,
             d,
-            n_points,
-            next_global_id,
-            durable: Some(DurableState {
-                dir: dir.to_path_buf(),
-                wals,
-                generations,
-            }),
+            n_points: AtomicU64::new(n_points),
+            next_global_id: AtomicU64::new(next_global_id),
+            mut_order: Mutex::new(()),
+            manifest_lock: Mutex::new(()),
+            dir: Some(dir.to_path_buf()),
             partitioner_name,
         };
-        for (si, records) in replays {
-            for rec in records {
-                index.apply_replayed(si, rec);
+
+        // Stream each shard's write-ahead log (where one exists) through
+        // the replay path; records are decoded from a bounded sliding
+        // window and applied one at a time, and torn tails are truncated
+        // inside the open. Replay mutates only delta state, so the index
+        // can be built first and the `Wal` handles attached after.
+        let wal_cfg = WalConfig {
+            sync: index.config.wal_sync,
+        };
+        for si in 0..n_shards {
+            let wp = wal_path(dir, si);
+            if !wp.exists() {
+                continue;
             }
+            let wal = Wal::open_streaming(&wp, wal_cfg, |rec| index.apply_replayed(si, rec))?;
+            if wal.d() != d {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL {} dimensionality {} != index {d}",
+                        wp.display(),
+                        wal.d()
+                    ),
+                ));
+            }
+            *index.shards[si].wal.lock() = Some(wal);
         }
         Ok(index)
     }

@@ -1,6 +1,16 @@
-//! Parallel fan-out search with norm-bound shard pruning.
+//! Parallel fan-out search with norm-bound shard pruning, over **per-query
+//! shard snapshots** so queries never block on (or get torn by) concurrent
+//! mutations.
 //!
-//! A query runs in two deterministic phases:
+//! Before any scoring, the query takes a [`crate::index::ShardSnapshot`]
+//! of every shard: the generation `Arc`, a clone of the delta overlay
+//! (`Arc`ed rows, copy-on-write tombstone set), and the live norm bound.
+//! Everything after — seed probe, pruning, fan-out, merge — runs against
+//! those frozen views, so a compaction swapping a generation mid-query or
+//! a writer appending to a delta is simply invisible to this query and
+//! fully visible to the next one.
+//!
+//! The query itself runs in two deterministic phases:
 //!
 //! 1. **Seed probe.** The shard with the largest norm bound (under
 //!    norm-range partitioning, the high-norm shard — where the MIPS winner
@@ -12,28 +22,34 @@
 //!    searched concurrently under `std::thread::scope`, each with its own
 //!    [`SearchScratch`].
 //!
+//! Per shard, the committed generation is searched through
+//! [`promips_core::ProMips::search_masked`] with the snapshot's tombstone
+//! set as the external dead mask (an exact generation runs a blocked
+//! scan), and the delta overlay is verified exhaustively — the same
+//! two-level read an LSM tree does, with the tombstone set filtering both
+//! levels.
+//!
 //! Pruning is exact, never approximate: a pruned shard's best possible
 //! inner product is beaten by k already-verified points, so the merged
 //! top-k is identical with pruning on or off. With
 //! [`crate::ShardedConfig::cross_shard_floor`] enabled, the floor is
-//! additionally passed down to
-//! [`promips_core::ProMips::search_with_floor`], letting each surviving
-//! shard stop verifying as soon as it cannot improve the global result —
-//! a latency/recall trade that is therefore **off by default**.
+//! additionally passed down to each shard's masked search, letting it stop
+//! verifying as soon as it cannot improve the global result — a
+//! latency/recall trade that is therefore **off by default**.
 //!
 //! The floor is fixed after phase 1 (workers never race to update it), so
-//! results are **deterministic**: the same query against the same index
-//! returns the same items, ranks, and per-shard counts regardless of thread
-//! count or scheduling.
+//! results are **deterministic**: the same query against the same snapshot
+//! returns the same items, ranks, and per-shard counts regardless of
+//! thread count or scheduling.
 
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use promips_core::{SearchItem, SearchScratch};
-use promips_linalg::sq_norm2;
+use promips_linalg::{dot, sq_norm2};
 
-use crate::index::{ShardKind, ShardedProMips};
+use crate::index::{GenKind, ShardSnapshot, ShardedProMips};
 use crate::result::{ShardQueryStats, ShardedSearchResult};
 
 /// Reusable per-shard search buffers: one [`SearchScratch`] per shard,
@@ -72,7 +88,7 @@ impl ShardedProMips {
     /// high-throughput callers should hold a [`ShardedScratch`] and use
     /// [`ShardedProMips::search_with_scratch`]).
     pub fn search(&self, q: &[f32], k: usize) -> io::Result<ShardedSearchResult> {
-        self.search_with_scratch(q, k, &mut ShardedScratch::for_index(self))
+        self.search_with_scratch(q, k, &ShardedScratch::for_index(self))
     }
 
     /// [`ShardedProMips::search`] with caller-provided per-shard scratch
@@ -81,7 +97,7 @@ impl ShardedProMips {
         &self,
         q: &[f32],
         k: usize,
-        scratch: &mut ShardedScratch,
+        scratch: &ShardedScratch,
     ) -> io::Result<ShardedSearchResult> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -97,7 +113,7 @@ impl ShardedProMips {
         q: &[f32],
         k: usize,
         threads: usize,
-        scratch: &mut ShardedScratch,
+        scratch: &ShardedScratch,
     ) -> io::Result<ShardedSearchResult> {
         assert_eq!(q.len(), self.d, "query dimensionality mismatch");
         assert!(k >= 1, "k must be at least 1");
@@ -110,6 +126,11 @@ impl ShardedProMips {
         );
         let ns = self.shards.len();
         let q_norm = sq_norm2(q).sqrt();
+
+        // The query's isolation boundary: one consistent snapshot per
+        // shard, taken up front. Everything below reads only these.
+        let snaps: Vec<ShardSnapshot> = self.shards.iter().map(|s| s.snapshot()).collect();
+
         let mut outcomes: Vec<Option<ShardOutcome>> = (0..ns).map(|_| None).collect();
         let mut pruned = vec![false; ns];
 
@@ -117,15 +138,14 @@ impl ShardedProMips {
         let mut kth_floor = f64::NEG_INFINITY;
         let mut fan_out: Vec<usize> = Vec::with_capacity(ns);
         if self.config.prune && ns > 1 {
-            let seed = self
-                .shards
+            let seed = snaps
                 .iter()
                 .enumerate()
                 .max_by(|(ia, a), (ib, b)| a.max_norm.total_cmp(&b.max_norm).then(ib.cmp(ia)))
                 .map(|(i, _)| i)
                 .expect("at least one shard");
-            let outcome = self.search_shard(
-                seed,
+            let outcome = search_snapshot(
+                &snaps[seed],
                 q,
                 k,
                 f64::NEG_INFINITY,
@@ -135,11 +155,11 @@ impl ShardedProMips {
                 kth_floor = outcome.items[k - 1].ip;
             }
             outcomes[seed] = Some(outcome);
-            for (si, shard) in self.shards.iter().enumerate() {
+            for (si, snap) in snaps.iter().enumerate() {
                 if si == seed {
                     continue;
                 }
-                if q_norm * shard.max_norm < kth_floor {
+                if q_norm * snap.max_norm < kth_floor {
                     pruned[si] = true; // cannot beat k verified points
                 } else {
                     fan_out.push(si);
@@ -162,13 +182,14 @@ impl ShardedProMips {
         if threads == 1 {
             for &si in &fan_out {
                 let outcome =
-                    self.search_shard(si, q, k, floor, &mut scratch.per_shard[si].lock())?;
+                    search_snapshot(&snaps[si], q, k, floor, &mut scratch.per_shard[si].lock())?;
                 outcomes[si] = Some(outcome);
             }
         } else {
             let next = AtomicUsize::new(0);
             let fan_out_ref = &fan_out;
             let per_shard = &scratch.per_shard;
+            let snaps_ref = &snaps;
             let collected = std::thread::scope(|s| -> io::Result<Vec<(usize, ShardOutcome)>> {
                 let workers: Vec<_> = (0..threads)
                     .map(|_| {
@@ -180,8 +201,13 @@ impl ShardedProMips {
                                     break;
                                 }
                                 let si = fan_out_ref[i];
-                                let res =
-                                    self.search_shard(si, q, k, floor, &mut per_shard[si].lock());
+                                let res = search_snapshot(
+                                    &snaps_ref[si],
+                                    q,
+                                    k,
+                                    floor,
+                                    &mut per_shard[si].lock(),
+                                );
                                 local.push((si, res));
                             }
                             local
@@ -214,13 +240,13 @@ impl ShardedProMips {
         let per_shard = (0..ns)
             .map(|si| ShardQueryStats {
                 shard: si as u32,
-                points: self.shards[si].len(),
+                points: snaps[si].stored() as u64,
                 pruned: pruned[si],
-                exact: self.shards[si].is_exact(),
+                exact: snaps[si].gen.is_exact(),
                 verified: outcomes[si].as_ref().map_or(0, |o| o.verified),
                 returned: outcomes[si].as_ref().map_or(0, |o| o.items.len()),
-                delta_len: self.shards[si].delta_len(),
-                tombstones: self.shards[si].tombstone_count(),
+                delta_len: snaps[si].inserts.len(),
+                tombstones: snaps[si].tombstones.len(),
                 wal_bytes: self.wal_bytes(si),
             })
             .collect();
@@ -231,64 +257,62 @@ impl ShardedProMips {
             per_shard,
         })
     }
-
-    /// Searches one shard with the given floor, mapping item ids to global
-    /// ids. Indexed shards ride
-    /// [`promips_core::ProMips::search_with_floor`]; exact shards run a
-    /// blocked scan over their rows.
-    fn search_shard(
-        &self,
-        si: usize,
-        q: &[f32],
-        k: usize,
-        floor: f64,
-        scratch: &mut SearchScratch,
-    ) -> io::Result<ShardOutcome> {
-        let shard = &self.shards[si];
-        match &shard.kind {
-            ShardKind::Indexed(pm) => {
-                let res = pm.search_with_floor(q, k, floor, scratch)?;
-                Ok(ShardOutcome {
-                    items: res
-                        .items
-                        .iter()
-                        .map(|it| SearchItem {
-                            id: shard.ids[it.id as usize],
-                            ip: it.ip,
-                        })
-                        .collect(),
-                    verified: res.verified,
-                })
-            }
-            ShardKind::Exact(ex) => Ok(ShardOutcome {
-                items: exact_topk(&ex.rows, &ex.deleted, &shard.ids, q, k, floor),
-                verified: ex.rows.rows() - ex.n_deleted,
-            }),
-        }
-    }
 }
 
-/// Blocked exact top-k over a small shard: every live row is scored
-/// through the shared `dot4`-blocked kernel
-/// ([`promips_linalg::Matrix::dot_rows`]) — delta inserts are ordinary
-/// appended rows, tombstoned rows are skipped — items below the floor are
-/// dropped, and ties break by global id, the same total order the merge
-/// and the indexed shards use.
-fn exact_topk(
-    rows: &promips_linalg::Matrix,
-    deleted: &[bool],
-    ids: &[u64],
+/// Searches one shard snapshot with the given floor, mapping item ids to
+/// global ids. The committed generation is searched under the snapshot's
+/// tombstone mask; the delta overlay is verified exhaustively on top.
+fn search_snapshot(
+    snap: &ShardSnapshot,
     q: &[f32],
     k: usize,
     floor: f64,
-) -> Vec<SearchItem> {
-    let mut items: Vec<SearchItem> = Vec::with_capacity(rows.rows());
-    rows.dot_rows(0, rows.rows(), q, |i, ip| {
-        if !deleted[i] && ip >= floor {
-            items.push(SearchItem { id: ids[i], ip });
+    scratch: &mut SearchScratch,
+) -> io::Result<ShardOutcome> {
+    let dead = &snap.tombstones;
+    let gen_ids = &snap.gen.ids;
+    let (mut items, mut verified) = match &snap.gen.kind {
+        GenKind::Indexed(pm) => {
+            let mask = |local: u64| dead.contains(&gen_ids[local as usize]);
+            let res = pm.search_masked(q, k, floor, &mask, snap.dead_base, scratch)?;
+            let items: Vec<SearchItem> = res
+                .items
+                .iter()
+                .map(|it| SearchItem {
+                    id: gen_ids[it.id as usize],
+                    ip: it.ip,
+                })
+                .collect();
+            (items, res.verified)
         }
-    });
+        GenKind::Exact(rows) => {
+            let mut items: Vec<SearchItem> = Vec::with_capacity(rows.rows());
+            let mut verified = 0usize;
+            rows.dot_rows(0, rows.rows(), q, |i, ip| {
+                if !dead.contains(&gen_ids[i]) {
+                    verified += 1;
+                    if ip >= floor {
+                        items.push(SearchItem { id: gen_ids[i], ip });
+                    }
+                }
+            });
+            (items, verified)
+        }
+    };
+    // Delta overlay: every live appended row is verified exhaustively
+    // (this is the drag compaction removes — see the bench's
+    // query_vs_delta section).
+    for e in &snap.inserts {
+        if dead.contains(&e.gid) {
+            continue;
+        }
+        let ip = dot(q, &e.row);
+        verified += 1;
+        if ip >= floor {
+            items.push(SearchItem { id: e.gid, ip });
+        }
+    }
     items.sort_by(|a, b| b.ip.total_cmp(&a.ip).then(a.id.cmp(&b.id)));
     items.truncate(k);
-    items
+    Ok(ShardOutcome { items, verified })
 }

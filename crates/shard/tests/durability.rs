@@ -6,7 +6,7 @@
 
 use promips_core::{ProMips, ProMipsConfig};
 use promips_linalg::Matrix;
-use promips_shard::{CompactionPolicy, ShardedConfig, ShardedProMips};
+use promips_shard::{CompactionPolicy, MutationError, ShardedConfig, ShardedProMips};
 use promips_stats::Xoshiro256pp;
 use proptest::prelude::*;
 
@@ -61,8 +61,10 @@ fn op_vector(seed: u64, big: bool, d: usize) -> Vec<f32> {
     (0..d).map(|_| (rng.normal() * scale) as f32).collect()
 }
 
-/// Applies `ops` identically to any ShardedProMips.
-fn apply_ops(idx: &mut ShardedProMips, ops: &[Op], d: usize) {
+/// Applies `ops` identically to any ShardedProMips. Deletes may target
+/// dead or never-assigned ids on purpose; those are typed refusals, not
+/// failures.
+fn apply_ops(idx: &ShardedProMips, ops: &[Op], d: usize) {
     for op in ops {
         match op {
             Op::Insert { seed, big } => {
@@ -70,7 +72,10 @@ fn apply_ops(idx: &mut ShardedProMips, ops: &[Op], d: usize) {
             }
             Op::Delete { target } => {
                 let gid = target % idx.next_global_id().max(1);
-                idx.delete(gid).unwrap();
+                match idx.delete(gid) {
+                    Ok(()) | Err(MutationError::DeadId(_)) | Err(MutationError::UnknownId(_)) => {}
+                    Err(e) => panic!("delete({gid}) failed: {e}"),
+                }
             }
         }
     }
@@ -138,15 +143,15 @@ proptest! {
         let dir = temp_dir(&format!("kill-{data_seed}-{}", raw_ops.len()));
 
         // Durable index: build, mutate, drop without any shutdown ritual.
-        let mut durable = ShardedProMips::build_in_dir(&data, cfg.clone(), &dir).unwrap();
-        apply_ops(&mut durable, &ops, d);
+        let durable = ShardedProMips::build_in_dir(&data, cfg.clone(), &dir).unwrap();
+        apply_ops(&durable, &ops, d);
         let live_before = durable.len();
         let next_before = durable.next_global_id();
         drop(durable);
 
         // Volatile twin: same base build, same ops.
-        let mut twin = ShardedProMips::build_in_memory(&data, cfg).unwrap();
-        apply_ops(&mut twin, &ops, d);
+        let twin = ShardedProMips::build_in_memory(&data, cfg).unwrap();
+        apply_ops(&twin, &ops, d);
 
         let reopened = ShardedProMips::open(&dir).unwrap();
         prop_assert_eq!(reopened.len(), live_before);
@@ -219,7 +224,7 @@ fn mutations_survive_reopen_via_wal() {
         .shards(2)
         .base(ProMipsConfig::builder().seed(3).build())
         .build();
-    let mut idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
+    let idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
 
     let strong = vec![9.0f32; d];
     let gid = idx.insert(&strong).unwrap();
@@ -228,9 +233,15 @@ fn mutations_survive_reopen_via_wal() {
     let res = idx.search(&q, 3).unwrap();
     assert_eq!(res.items[0].id, gid, "fresh insert must win immediately");
     let victim = res.items[1].id;
-    assert!(idx.delete(victim).unwrap());
-    assert!(!idx.delete(victim).unwrap(), "double delete refused");
-    assert!(!idx.delete(999_999).unwrap(), "unknown id refused");
+    idx.delete(victim).unwrap();
+    assert!(
+        matches!(idx.delete(victim), Err(MutationError::DeadId(id)) if id == victim),
+        "double delete must be a typed DeadId refusal"
+    );
+    assert!(
+        matches!(idx.delete(999_999), Err(MutationError::UnknownId(999_999))),
+        "never-assigned id must be a typed UnknownId refusal"
+    );
     assert_eq!(idx.len(), 300); // +1 insert, −1 delete
 
     // Stats surface the debt, including WAL bytes on the mutated shard.
@@ -267,7 +278,7 @@ fn compaction_folds_truncates_and_preserves_results() {
         .exact_threshold(32)
         .base(ProMipsConfig::builder().seed(13).build())
         .build();
-    let mut idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
+    let idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
     let mut rng = Xoshiro256pp::seed_from_u64(17);
     let mut inserted = Vec::new();
     for _ in 0..60 {
@@ -333,7 +344,7 @@ fn stale_wal_replay_after_compaction_crash_is_idempotent() {
         .shards(2)
         .base(ProMipsConfig::builder().seed(29).build())
         .build();
-    let mut idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
+    let idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
     let g1 = idx.insert(&vec![4.0f32; d]).unwrap();
     let g2 = idx.insert(&vec![-3.0f32; d]).unwrap();
     idx.delete(5).unwrap();
@@ -388,7 +399,7 @@ fn torn_wal_tail_recovers_complete_prefix() {
         .exact_threshold(0)
         .base(ProMipsConfig::builder().seed(43).build())
         .build();
-    let mut idx = ShardedProMips::build_in_dir(&data, cfg.clone(), &dir).unwrap();
+    let idx = ShardedProMips::build_in_dir(&data, cfg.clone(), &dir).unwrap();
     let mut rng = Xoshiro256pp::seed_from_u64(47);
     let vectors: Vec<Vec<f32>> = (0..5)
         .map(|_| (0..d).map(|_| rng.normal() as f32).collect())
@@ -414,7 +425,7 @@ fn torn_wal_tail_recovers_complete_prefix() {
             "cut at {cut}: wrong survivor count"
         );
         // The surviving prefix behaves like applying exactly `keep` ops.
-        let mut twin = ShardedProMips::build_in_memory(&data, cfg.clone()).unwrap();
+        let twin = ShardedProMips::build_in_memory(&data, cfg.clone()).unwrap();
         for v in &vectors[..keep] {
             twin.insert(v).unwrap();
         }
@@ -438,7 +449,7 @@ fn compaction_redecides_exact_threshold() {
         .exact_threshold(80) // both shards (~60 points) start exact
         .base(ProMipsConfig::builder().seed(67).build())
         .build();
-    let mut idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
+    let idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
     assert!(idx.shards().iter().all(|s| s.is_exact()));
 
     // Grow one norm range well past the threshold.
@@ -455,7 +466,7 @@ fn compaction_redecides_exact_threshold() {
     // Shrink everything: delete most points, compaction drops the index.
     let next = idx.next_global_id();
     for gid in 0..next {
-        let _ = idx.delete(gid % next).unwrap();
+        let _ = idx.delete(gid % next); // dead ids refuse; that's the point
     }
     // Leave a handful alive by re-inserting.
     for _ in 0..5 {
@@ -488,7 +499,7 @@ fn repartition_rebalances_without_changing_results() {
         .exact_threshold(40)
         .base(ProMipsConfig::builder().seed(89).build())
         .build();
-    let mut idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
+    let idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
 
     // A stream of very-high-norm inserts all routes to the top shard.
     let mut rng = Xoshiro256pp::seed_from_u64(97);
@@ -537,7 +548,7 @@ fn policy_pass_compacts_and_repartitions() {
         min_mutations: 10,
         repartition_skew: 1.4,
     };
-    let mut idx = ShardedProMips::build_in_memory(
+    let idx = ShardedProMips::build_in_memory(
         &data,
         ShardedConfig::builder()
             .shards(2)
@@ -577,7 +588,7 @@ fn policy_pass_compacts_and_repartitions() {
 fn snapshot_guards_pending_mutations() {
     let d = 6;
     let data = random_data(150, d, 113);
-    let mut idx = ShardedProMips::build_in_memory(
+    let idx = ShardedProMips::build_in_memory(
         &data,
         ShardedConfig::builder()
             .shards(2)
@@ -604,9 +615,10 @@ fn snapshot_guards_pending_mutations() {
 }
 
 /// A failed compaction build (here: the index directory vanishes, so the
-/// new generation file cannot be created) must not leave a drained husk:
-/// the shard falls back to an in-memory exact scan over its live rows, so
-/// queries stay correct and the maintenance counters stay sane.
+/// new generation file cannot be created) must leave the index exactly as
+/// it was: the build is a shadow build that consumes nothing, so the old
+/// generation keeps serving and the pending delta/tombstones survive to
+/// be folded by a later, successful pass.
 #[test]
 fn failed_compaction_build_leaves_consistent_index() {
     let d = 8;
@@ -617,7 +629,7 @@ fn failed_compaction_build_leaves_consistent_index() {
         .exact_threshold(32)
         .base(ProMipsConfig::builder().seed(149).build())
         .build();
-    let mut idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
+    let idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
     let strong = vec![9.0f32; d];
     let gid = idx.insert(&strong).unwrap();
     idx.delete(3).unwrap();
@@ -629,12 +641,15 @@ fn failed_compaction_build_leaves_consistent_index() {
     let err = idx.compact_all().unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
 
-    // The live view survived the failure, counters don't underflow, and
-    // the fallback keeps serving (the strong insert still wins).
+    // The live view survived the failure untouched: the overlay still
+    // holds the pending insert + tombstone, and the old generation keeps
+    // serving (the strong insert still wins).
     assert_eq!(idx.len(), 300);
-    for st in idx.maintenance_stats() {
-        assert!(st.delta_len < 1_000, "delta_len underflowed");
-    }
+    assert_eq!(
+        idx.pending_mutations(),
+        2,
+        "overlay must survive a failed build"
+    );
     assert_equivalent_full(&full_search_map(&idx, &q), &before, "failed compaction");
     assert_eq!(idx.search(&q, 3).unwrap().items[0].id, gid);
     assert!(idx.contains(gid) && !idx.contains(3));
@@ -650,7 +665,7 @@ fn in_memory_mutations_and_compaction_work() {
         .shards(3)
         .base(ProMipsConfig::builder().seed(137).build())
         .build();
-    let mut idx = ShardedProMips::build_in_memory(&data, cfg).unwrap();
+    let idx = ShardedProMips::build_in_memory(&data, cfg).unwrap();
     assert!(!idx.is_durable());
     let gid = idx.insert(&vec![7.0f32; d]).unwrap();
     idx.delete(0).unwrap();

@@ -1,21 +1,57 @@
 //! Crash-safety primitives shared by the persistence paths: directory
-//! fsync and write-temp-then-rename file replacement.
+//! fsync, write-temp-then-rename file replacement, and a failpoint-style
+//! fault-injection shim that crash-safety tests use to fail the Nth
+//! fsync/rename/write deterministically.
 //!
 //! POSIX only guarantees a rename is durable once the *containing
 //! directory* has been fsynced, and a freshly written file's contents are
 //! durable only after `fsync` on the file itself. The manifest-swap
 //! protocol of the sharded index (write `MANIFEST.pms.tmp`, fsync it,
-//! rename over `MANIFEST.pms`, fsync the directory) rides these helpers;
-//! the WAL crate carries its own copy of the directory sync for its
-//! create path so the two crates stay dependency-free of each other.
+//! rename over `MANIFEST.pms`, fsync the directory) rides these helpers,
+//! and the WAL crate routes its own fsyncs and renames through the same
+//! shim so a single fault plan covers every durability-relevant syscall
+//! in the process.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::Path;
 
+use faults::IoOp;
+
 /// Fsyncs a directory so renames/creates inside it survive a crash.
 pub fn fsync_dir(dir: impl AsRef<Path>) -> io::Result<()> {
-    File::open(dir.as_ref())?.sync_all()
+    let dir = dir.as_ref();
+    let f = File::open(dir)?;
+    faults::check(IoOp::Fsync, dir)?;
+    f.sync_all()
+}
+
+/// Fsyncs an open file's data (plus metadata needed to find it), counting
+/// the operation and honouring any armed fault plan. `path` is only used
+/// for fault-plan scoping and error messages.
+pub fn sync_file_data(f: &File, path: &Path) -> io::Result<()> {
+    faults::check(IoOp::Fsync, path)?;
+    f.sync_data()
+}
+
+/// Fsyncs an open file's data and metadata through the fault shim.
+pub fn sync_file_all(f: &File, path: &Path) -> io::Result<()> {
+    faults::check(IoOp::Fsync, path)?;
+    f.sync_all()
+}
+
+/// `std::fs::rename` routed through the fault shim (scoped on `dst`).
+pub fn rename(src: impl AsRef<Path>, dst: impl AsRef<Path>) -> io::Result<()> {
+    let dst = dst.as_ref();
+    faults::check(IoOp::Rename, dst)?;
+    std::fs::rename(src.as_ref(), dst)
+}
+
+/// `Write::write_all` routed through the fault shim. An injected failure
+/// models a torn write: nothing is guaranteed about how many bytes landed.
+pub fn write_all(f: &mut impl Write, bytes: &[u8], path: &Path) -> io::Result<()> {
+    faults::check(IoOp::Write, path)?;
+    f.write_all(bytes)
 }
 
 /// Atomically replaces `dst` with `bytes`: writes `dst` + `.tmp` suffix,
@@ -31,10 +67,10 @@ pub fn write_file_atomic(dst: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> 
             .create(true)
             .truncate(true)
             .open(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_data()?;
+        write_all(&mut f, bytes, &tmp)?;
+        sync_file_data(&f, &tmp)?;
     }
-    std::fs::rename(&tmp, dst)?;
+    rename(&tmp, dst)?;
     if let Some(parent) = dst.parent() {
         if !parent.as_os_str().is_empty() {
             fsync_dir(parent)?;
@@ -51,9 +87,159 @@ pub fn tmp_sibling(dst: &Path) -> std::path::PathBuf {
     dst.with_file_name(name)
 }
 
+/// Failpoint-style IO fault injection and operation counters.
+///
+/// Every durability-relevant syscall issued through this crate (and the
+/// WAL crate, which routes its fsyncs here) first consults this module: a
+/// per-operation counter is bumped, and if a fault plan is armed for that
+/// operation the plan's countdown advances — hitting zero makes the call
+/// return an injected `io::Error` *instead of issuing the syscall*, which
+/// is exactly what a crash at that instant would look like to the files
+/// already on disk.
+///
+/// The state is process-global (syscalls are process-global too); tests
+/// that arm plans must serialise against each other and disarm when done.
+/// The disarmed fast path is one relaxed atomic load, so production code
+/// pays nothing measurable.
+pub mod faults {
+    use std::io;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// The classes of IO operation the shim can count and fail.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum IoOp {
+        /// `fsync`/`fdatasync` on a file or directory.
+        Fsync,
+        /// `rename(2)` — scoped on the destination path.
+        Rename,
+        /// A data write (`write_all` of a record or blob).
+        Write,
+    }
+
+    /// A one-shot fault: fail the `nth` matching operation (1-based) whose
+    /// path contains `path_contains` (no scoping when `None`). The plan
+    /// disarms itself after firing, so recovery code running after the
+    /// "crash" sees healthy IO again — mirroring a restart.
+    #[derive(Clone, Debug)]
+    pub struct FaultPlan {
+        pub op: IoOp,
+        pub nth: u64,
+        pub path_contains: Option<String>,
+    }
+
+    struct Armed {
+        plan: FaultPlan,
+        seen: u64,
+    }
+
+    static ARMED_FLAG: AtomicBool = AtomicBool::new(false);
+    static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
+    static FSYNCS: AtomicU64 = AtomicU64::new(0);
+    static RENAMES: AtomicU64 = AtomicU64::new(0);
+    static WRITES: AtomicU64 = AtomicU64::new(0);
+    static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+    /// Snapshot of the process-wide operation counters. Monotonic since
+    /// process start; diff two snapshots to meter a workload (e.g. fsyncs
+    /// per 1 000 inserts under group commit).
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct IoCounters {
+        pub fsyncs: u64,
+        pub renames: u64,
+        pub writes: u64,
+        /// Faults fired so far (across all plans).
+        pub injected: u64,
+    }
+
+    /// Reads the operation counters.
+    pub fn counters() -> IoCounters {
+        IoCounters {
+            fsyncs: FSYNCS.load(Ordering::Relaxed),
+            renames: RENAMES.load(Ordering::Relaxed),
+            writes: WRITES.load(Ordering::Relaxed),
+            injected: INJECTED.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Arms `plan`, replacing any previous plan.
+    pub fn arm(plan: FaultPlan) {
+        assert!(plan.nth >= 1, "fault plans are 1-based: nth must be >= 1");
+        let mut g = ARMED.lock().unwrap();
+        *g = Some(Armed { plan, seen: 0 });
+        ARMED_FLAG.store(true, Ordering::Release);
+    }
+
+    /// Disarms any pending plan; returns true if one was still armed
+    /// (i.e. it never fired).
+    pub fn disarm() -> bool {
+        let mut g = ARMED.lock().unwrap();
+        ARMED_FLAG.store(false, Ordering::Release);
+        g.take().is_some()
+    }
+
+    /// The marker every injected error message carries, so tests can tell
+    /// injected faults from real IO errors.
+    pub const INJECTED_MARKER: &str = "injected fault";
+
+    /// True if `err` was produced by the shim rather than the kernel.
+    pub fn is_injected(err: &io::Error) -> bool {
+        err.to_string().contains(INJECTED_MARKER)
+    }
+
+    /// Counts `op` against `path` and fails it if an armed plan says so.
+    /// Called by every durability helper immediately before the syscall.
+    pub fn check(op: IoOp, path: &Path) -> io::Result<()> {
+        match op {
+            IoOp::Fsync => &FSYNCS,
+            IoOp::Rename => &RENAMES,
+            IoOp::Write => &WRITES,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        if !ARMED_FLAG.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let mut g = ARMED.lock().unwrap();
+        let Some(armed) = g.as_mut() else {
+            return Ok(());
+        };
+        if armed.plan.op != op {
+            return Ok(());
+        }
+        if let Some(ref needle) = armed.plan.path_contains {
+            if !path.to_string_lossy().contains(needle.as_str()) {
+                return Ok(());
+            }
+        }
+        armed.seen += 1;
+        if armed.seen < armed.plan.nth {
+            return Ok(());
+        }
+        let plan = g.take().expect("checked above");
+        ARMED_FLAG.store(false, Ordering::Release);
+        INJECTED.fetch_add(1, Ordering::Relaxed);
+        Err(io::Error::other(format!(
+            "{INJECTED_MARKER}: {:?} #{} on {}",
+            plan.plan.op,
+            plan.plan.nth,
+            path.display()
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::faults::{self, FaultPlan, IoOp};
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Fault plans are process-global; tests arming them must not overlap.
+    static FAULT_TESTS: Mutex<()> = Mutex::new(());
+
+    fn fault_guard() -> MutexGuard<'static, ()> {
+        FAULT_TESTS.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("promips-dur-{tag}-{}", std::process::id()));
@@ -93,6 +279,65 @@ mod tests {
         let dir = temp_dir("fsync");
         fsync_dir(&dir).unwrap();
         assert!(fsync_dir(dir.join("missing")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn counters_advance_per_operation() {
+        let _g = fault_guard();
+        let dir = temp_dir("counters");
+        let before = faults::counters();
+        write_file_atomic(dir.join("f"), b"x").unwrap();
+        let after = faults::counters();
+        // write tmp (1 write), fsync tmp + fsync dir (2 fsyncs), 1 rename.
+        assert!(after.writes > before.writes);
+        assert!(after.fsyncs >= before.fsyncs + 2);
+        assert!(after.renames > before.renames);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_rename_fault_preserves_old_contents() {
+        let _g = fault_guard();
+        let dir = temp_dir("inject-rename");
+        let dst = dir.join("MANIFEST.pms");
+        write_file_atomic(&dst, b"old").unwrap();
+        faults::arm(FaultPlan {
+            op: IoOp::Rename,
+            nth: 1,
+            path_contains: Some("MANIFEST".into()),
+        });
+        let err = write_file_atomic(&dst, b"new").unwrap_err();
+        assert!(faults::is_injected(&err), "unexpected error: {err}");
+        assert!(!faults::disarm(), "plan must self-disarm after firing");
+        // The swap never happened: the published file still reads "old".
+        assert_eq!(std::fs::read(&dst).unwrap(), b"old");
+        // Recovery IO works again without explicit disarm.
+        write_file_atomic(&dst, b"new").unwrap();
+        assert_eq!(std::fs::read(&dst).unwrap(), b"new");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nth_and_path_scoping_select_the_target_op() {
+        let _g = fault_guard();
+        let dir = temp_dir("inject-nth");
+        faults::arm(FaultPlan {
+            op: IoOp::Fsync,
+            nth: 2,
+            path_contains: Some("inject-nth".into()),
+        });
+        // First fsync (tmp file) passes; second (directory) fails.
+        let err = write_file_atomic(dir.join("a"), b"x").unwrap_err();
+        assert!(faults::is_injected(&err));
+        // Unscoped paths never count: arm for a non-matching substring.
+        faults::arm(FaultPlan {
+            op: IoOp::Write,
+            nth: 1,
+            path_contains: Some("no-such-path".into()),
+        });
+        write_file_atomic(dir.join("b"), b"y").unwrap();
+        assert!(faults::disarm(), "non-matching plan stays armed");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

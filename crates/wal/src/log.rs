@@ -1,10 +1,15 @@
-//! The log itself: append, group commit, replay-on-open with torn-tail
-//! truncation, and post-compaction truncation.
+//! The log itself: append, group commit, streaming replay-on-open with
+//! torn-tail truncation, and crash-safe post-compaction rewrite.
 
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+
+use promips_storage::durability::{
+    faults::{self, IoOp},
+    fsync_dir, rename, sync_file_data, tmp_sibling,
+};
 
 use crate::crc::crc32;
 use crate::record::WalRecord;
@@ -15,6 +20,12 @@ const WAL_VERSION: u64 = 1;
 pub(crate) const HEADER_BYTES: u64 = 24;
 /// len prefix + crc.
 const RECORD_HEADER: usize = 8;
+/// Replay window: records are parsed out of a sliding buffer of roughly
+/// this many bytes instead of materializing the whole log. A single
+/// record larger than the window (very high-dimensional vectors) still
+/// replays — the window grows to that record's size and shrinks back via
+/// the next compaction of the buffer.
+const REPLAY_CHUNK: usize = 256 * 1024;
 
 /// When appends reach durable media.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +53,7 @@ pub struct WalConfig {
 /// The in-memory state tracks the byte length of the *complete-record
 /// prefix*; appends go exactly there, so a previous torn tail (already
 /// truncated by [`Wal::open`]) can never resurface.
+#[derive(Debug)]
 pub struct Wal {
     file: File,
     path: PathBuf,
@@ -72,9 +84,10 @@ impl Wal {
         header.extend_from_slice(&WAL_MAGIC.to_le_bytes());
         header.extend_from_slice(&WAL_VERSION.to_le_bytes());
         header.extend_from_slice(&(d as u64).to_le_bytes());
+        faults::check(IoOp::Write, &path)?;
         file.write_all_at(&header, 0)?;
-        file.sync_data()?;
-        promips_sync_parent(&path)?;
+        sync_file_data(&file, &path)?;
+        sync_parent(&path)?;
         Ok(Self {
             file,
             path,
@@ -87,11 +100,13 @@ impl Wal {
         })
     }
 
-    /// Opens an existing log and replays it: returns the handle plus the
-    /// longest prefix of *complete* records, in append order. Everything
-    /// from the first incomplete or corrupt record onward — an incomplete
-    /// length prefix, an incomplete payload, or a CRC mismatch — is
-    /// truncated off the file, so the log is clean for subsequent appends.
+    /// Opens an existing log and streams its records, in append order, into
+    /// `apply` — one call per complete record, parsed out of a bounded
+    /// sliding window (see [`REPLAY_CHUNK`]) so replay memory does not grow
+    /// with log size. Everything from the first incomplete or corrupt
+    /// record onward — an incomplete length prefix, an incomplete payload,
+    /// or a CRC mismatch — is truncated off the file, so the log is clean
+    /// for subsequent appends. An error from `apply` aborts the open.
     ///
     /// This is **point-in-time recovery** (the same choice RocksDB's
     /// default WAL mode and SQLite's WAL replay make): recovery never
@@ -103,22 +118,26 @@ impl Wal {
     /// must still open. The cost is that mid-file bit-rot in an already
     /// fsynced region also truncates the records behind it; logs are kept
     /// short by compaction, which bounds that exposure.
-    pub fn open(path: impl AsRef<Path>, config: WalConfig) -> io::Result<(Self, Vec<WalRecord>)> {
+    pub fn open_streaming(
+        path: impl AsRef<Path>,
+        config: WalConfig,
+        mut apply: impl FnMut(WalRecord) -> io::Result<()>,
+    ) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().read(true).write(true).open(&path)?;
         let file_len = file.metadata()?.len();
-        let mut bytes = vec![0u8; file_len as usize];
-        file.read_exact_at(&mut bytes, 0)?;
 
-        if bytes.len() < HEADER_BYTES as usize {
+        if file_len < HEADER_BYTES {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("WAL {} shorter than its header", path.display()),
             ));
         }
-        let magic = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
-        let version = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-        let d = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+        let mut header = [0u8; HEADER_BYTES as usize];
+        file.read_exact_at(&mut header, 0)?;
+        let magic = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
+        let version = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let d = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes")) as usize;
         if magic != WAL_MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -132,22 +151,31 @@ impl Wal {
             ));
         }
 
-        let mut records = Vec::new();
-        let mut pos = HEADER_BYTES as usize;
-        let mut good_end = pos;
-        while pos < bytes.len() {
+        let mut win = Window {
+            file: &file,
+            file_len,
+            base: HEADER_BYTES,
+            buf: Vec::new(),
+            pos: 0,
+        };
+        let mut records = 0u64;
+        let mut good_end = HEADER_BYTES;
+        loop {
             // First failure of any kind ends the scan (see the doc comment
             // on point-in-time recovery): records are never skipped over.
-            if pos + RECORD_HEADER > bytes.len() {
+            if !win.ensure(RECORD_HEADER)? {
                 break; // partial length prefix
             }
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            let body_start = pos + RECORD_HEADER;
-            if len == 0 || body_start + len > bytes.len() {
+            let hdr = win.peek(RECORD_HEADER);
+            let len = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes"));
+            // Checking against the file's remaining bytes *before* asking
+            // the window for them keeps a garbage length prefix from
+            // ballooning the buffer.
+            if len == 0 || !win.ensure(RECORD_HEADER + len)? {
                 break; // partial payload (or nonsense length running past EOF)
             }
-            let payload = &bytes[body_start..body_start + len];
+            let payload = &win.peek(RECORD_HEADER + len)[RECORD_HEADER..];
             if crc32(payload) != crc {
                 break; // half-flushed sector
             }
@@ -155,32 +183,63 @@ impl Wal {
                 Ok(r) => r,
                 Err(_) => break, // checksummed but undecodable ⇒ treat as tail
             };
-            records.push(rec);
-            pos = body_start + len;
-            good_end = pos;
+            win.advance(RECORD_HEADER + len);
+            good_end = win.offset();
+            records += 1;
+            apply(rec)?;
         }
 
-        if good_end as u64 != file_len {
+        if good_end != file_len {
             // Drop the torn tail so the next append starts on a record
             // boundary. Sync: the truncation itself must be durable, or a
             // second crash could resurrect garbage past our append point.
-            file.set_len(good_end as u64)?;
-            file.sync_data()?;
+            file.set_len(good_end)?;
+            sync_file_data(&file, &path)?;
         }
 
-        Ok((
-            Self {
-                file,
-                path,
-                d,
-                config,
-                len_bytes: good_end as u64,
-                records: records.len() as u64,
-                unsynced: 0,
-                buf: Vec::new(),
-            },
+        Ok(Self {
+            file,
+            path,
+            d,
+            config,
+            len_bytes: good_end,
             records,
-        ))
+            unsynced: 0,
+            buf: Vec::new(),
+        })
+    }
+
+    /// [`Wal::open_streaming`] collecting the replayed records into a
+    /// `Vec` — convenient for tests and callers that want the whole log.
+    pub fn open(path: impl AsRef<Path>, config: WalConfig) -> io::Result<(Self, Vec<WalRecord>)> {
+        let mut records = Vec::new();
+        let wal = Self::open_streaming(path, config, |rec| {
+            records.push(rec);
+            Ok(())
+        })?;
+        Ok((wal, records))
+    }
+
+    /// Opens `path` if it exists (streaming records into `apply`),
+    /// otherwise creates a fresh log.
+    pub fn open_or_create_streaming(
+        path: impl AsRef<Path>,
+        d: usize,
+        config: WalConfig,
+        apply: impl FnMut(WalRecord) -> io::Result<()>,
+    ) -> io::Result<Self> {
+        if path.as_ref().exists() {
+            let wal = Self::open_streaming(path, config, apply)?;
+            if wal.d != d {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("WAL dimensionality {} != index {d}", wal.d),
+                ));
+            }
+            Ok(wal)
+        } else {
+            Self::create(path, d, config)
+        }
     }
 
     /// Opens `path` if it exists, otherwise creates a fresh log. The replay
@@ -190,18 +249,12 @@ impl Wal {
         d: usize,
         config: WalConfig,
     ) -> io::Result<(Self, Vec<WalRecord>)> {
-        if path.as_ref().exists() {
-            let (wal, records) = Self::open(path, config)?;
-            if wal.d != d {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("WAL dimensionality {} != index {d}", wal.d),
-                ));
-            }
-            Ok((wal, records))
-        } else {
-            Ok((Self::create(path, d, config)?, Vec::new()))
-        }
+        let mut records = Vec::new();
+        let wal = Self::open_or_create_streaming(path, d, config, |rec| {
+            records.push(rec);
+            Ok(())
+        })?;
+        Ok((wal, records))
     }
 
     /// Appends one record, honouring the group-commit policy. The record is
@@ -209,6 +262,15 @@ impl Wal {
     /// to in-memory state only afterwards — that ordering is what makes the
     /// log *write-ahead*.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        self.append_with_sync(record, true)
+    }
+
+    /// Appends one record, optionally deferring the policy sync. Cross-shard
+    /// group commit uses `sync_now = false` to write a burst spanning many
+    /// logs and then pay one [`Wal::sync`] round at the end — one fsync per
+    /// *touched log* instead of one per record. Callers that defer **must
+    /// not acknowledge** the mutation until the closing sync returns.
+    pub fn append_with_sync(&mut self, record: &WalRecord, sync_now: bool) -> io::Result<()> {
         if let WalRecord::Insert { vector, .. } = record {
             assert_eq!(
                 vector.len(),
@@ -218,36 +280,30 @@ impl Wal {
                 self.d
             );
         }
-        let payload_len = record.payload_len(self.d);
         self.buf.clear();
-        self.buf.reserve(RECORD_HEADER + payload_len);
-        self.buf
-            .extend_from_slice(&(payload_len as u32).to_le_bytes());
-        self.buf.extend_from_slice(&[0u8; 4]); // crc placeholder
-        record.encode_payload(&mut self.buf);
-        debug_assert_eq!(self.buf.len(), RECORD_HEADER + payload_len);
-        let crc = crc32(&self.buf[RECORD_HEADER..]);
-        self.buf[4..8].copy_from_slice(&crc.to_le_bytes());
-
+        encode_record(&mut self.buf, record, self.d);
+        faults::check(IoOp::Write, &self.path)?;
         self.file.write_all_at(&self.buf, self.len_bytes)?;
         self.len_bytes += self.buf.len() as u64;
         self.records += 1;
         self.unsynced += 1;
-        match self.config.sync {
-            SyncPolicy::Always => self.sync()?,
-            SyncPolicy::EveryN(n) => {
-                if self.unsynced >= n.max(1) {
-                    self.sync()?;
+        if sync_now {
+            match self.config.sync {
+                SyncPolicy::Always => self.sync()?,
+                SyncPolicy::EveryN(n) => {
+                    if self.unsynced >= n.max(1) {
+                        self.sync()?;
+                    }
                 }
+                SyncPolicy::Never => {}
             }
-            SyncPolicy::Never => {}
         }
         Ok(())
     }
 
     /// Forces everything appended so far to durable media.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()?;
+        sync_file_data(&self.file, &self.path)?;
         self.unsynced = 0;
         Ok(())
     }
@@ -257,10 +313,60 @@ impl Wal {
     /// the new generation and replaying them would resurrect dead state.
     pub fn truncate(&mut self) -> io::Result<()> {
         self.file.set_len(HEADER_BYTES)?;
-        self.file.sync_data()?;
+        sync_file_data(&self.file, &self.path)?;
         self.len_bytes = HEADER_BYTES;
         self.records = 0;
         self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Atomically replaces the log's on-disk contents with exactly
+    /// `records`: a new file (header + records) is written next to the log,
+    /// fsynced, and renamed over it. A crash at any point leaves either the
+    /// old complete log or the new one — never a partial rewrite — which is
+    /// what lets a compaction commit shrink the log to its *unfolded
+    /// suffix* (mutations that arrived while the shadow build ran) without
+    /// a window where acknowledged records exist nowhere on disk.
+    ///
+    /// On success the handle continues on the new file (the renamed inode);
+    /// the records are already durable, so the sync debt resets.
+    pub fn rewrite(&mut self, records: &[WalRecord]) -> io::Result<()> {
+        let tmp = tmp_sibling(&self.path);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        self.buf.clear();
+        self.buf.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+        self.buf.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        self.buf.extend_from_slice(&(self.d as u64).to_le_bytes());
+        for record in records {
+            if let WalRecord::Insert { vector, .. } = record {
+                assert_eq!(
+                    vector.len(),
+                    self.d,
+                    "WAL dimensionality mismatch: record {} vs log {}",
+                    vector.len(),
+                    self.d
+                );
+            }
+            encode_record(&mut self.buf, record, self.d);
+        }
+        faults::check(IoOp::Write, &tmp)?;
+        file.write_all_at(&self.buf, 0)?;
+        sync_file_data(&file, &tmp)?;
+        rename(&tmp, &self.path)?;
+        // The fd follows the inode across the rename, so the handle is
+        // already on the new log; swap it *before* the directory sync so an
+        // error there cannot strand appends on the unlinked old inode.
+        self.file = file;
+        self.len_bytes = self.buf.len() as u64;
+        self.records = records.len() as u64;
+        self.unsynced = 0;
+        self.buf.clear();
+        sync_parent(&self.path)?;
         Ok(())
     }
 
@@ -292,11 +398,78 @@ impl Wal {
     }
 }
 
+/// Encodes `record` (header + checksummed payload) onto the end of `buf`.
+fn encode_record(buf: &mut Vec<u8>, record: &WalRecord, d: usize) {
+    let payload_len = record.payload_len(d);
+    let start = buf.len();
+    buf.reserve(RECORD_HEADER + payload_len);
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    buf.extend_from_slice(&[0u8; 4]); // crc placeholder
+    record.encode_payload(buf);
+    debug_assert_eq!(buf.len() - start, RECORD_HEADER + payload_len);
+    let crc = crc32(&buf[start + RECORD_HEADER..]);
+    buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// A bounded sliding window over the record region of a log file: at most
+/// ~[`REPLAY_CHUNK`] bytes buffered (more only while a single record is
+/// larger than that), refilled on demand as the parse cursor advances.
+struct Window<'a> {
+    file: &'a File,
+    file_len: u64,
+    /// File offset of `buf[0]`.
+    base: u64,
+    buf: Vec<u8>,
+    /// Parse cursor within `buf`.
+    pos: usize,
+}
+
+impl Window<'_> {
+    /// File offset of the parse cursor.
+    fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    /// Makes at least `n` bytes available at the cursor, reading more of
+    /// the file if needed; `false` when the file has fewer than `n` bytes
+    /// left (a torn tail).
+    fn ensure(&mut self, n: usize) -> io::Result<bool> {
+        if self.file_len - self.offset() < n as u64 {
+            return Ok(false);
+        }
+        if self.buf.len() - self.pos >= n {
+            return Ok(true);
+        }
+        // Slide: drop parsed bytes, then top the buffer up to the chunk
+        // size (or `n`, if one record overflows it).
+        self.buf.drain(..self.pos);
+        self.base += self.pos as u64;
+        self.pos = 0;
+        let have = self.buf.len();
+        let tail = (self.file_len - self.base) as usize - have;
+        let add = n.max(REPLAY_CHUNK).saturating_sub(have).min(tail);
+        self.buf.resize(have + add, 0);
+        self.file
+            .read_exact_at(&mut self.buf[have..], self.base + have as u64)?;
+        Ok(self.buf.len() >= n)
+    }
+
+    /// The next `n` buffered bytes (call [`Window::ensure`] first).
+    fn peek(&self, n: usize) -> &[u8] {
+        &self.buf[self.pos..self.pos + n]
+    }
+
+    /// Consumes `n` parsed bytes.
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+}
+
 /// Fsyncs the directory containing `path` (rename/create durability).
-fn promips_sync_parent(path: &Path) -> io::Result<()> {
+fn sync_parent(path: &Path) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
-            File::open(parent)?.sync_all()?;
+            fsync_dir(parent)?;
         }
     }
     Ok(())
@@ -464,6 +637,81 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
     }
 
+    /// The sliding replay window must hand back byte-identical records
+    /// when many records straddle chunk boundaries. A tiny dimensionality
+    /// with thousands of records exercises dozens of window slides even
+    /// with the production chunk size scaled down by the record count.
+    #[test]
+    fn streaming_replay_across_window_boundaries() {
+        let path = temp_path("stream");
+        let d = 48; // ~210 bytes per insert record
+        let n = 4000u64; // ~840 KB of records ⇒ several 256 KiB windows
+        {
+            let mut wal = Wal::create(
+                &path,
+                d,
+                WalConfig {
+                    sync: SyncPolicy::Never,
+                },
+            )
+            .unwrap();
+            for id in 0..n {
+                wal.append(&WalRecord::Insert {
+                    id,
+                    vector: (0..d).map(|j| (id as f32) + (j as f32) * 0.25).collect(),
+                })
+                .unwrap();
+                if id % 7 == 0 {
+                    wal.append(&WalRecord::Delete { id }).unwrap();
+                }
+            }
+            wal.sync().unwrap();
+        }
+        let mut seen = 0u64;
+        let mut next_insert = 0u64;
+        let wal = Wal::open_streaming(&path, WalConfig::default(), |rec| {
+            match rec {
+                WalRecord::Insert { id, vector } => {
+                    assert_eq!(id, next_insert);
+                    assert_eq!(vector.len(), d);
+                    assert_eq!(vector[1], (id as f32) + 0.25);
+                    next_insert += 1;
+                }
+                WalRecord::Delete { id } => assert_eq!(id % 7, 0),
+            }
+            seen += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(next_insert, n);
+        assert_eq!(seen, wal.record_count());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_apply_error_aborts_open() {
+        let path = temp_path("abort");
+        {
+            let mut wal = Wal::create(&path, 2, WalConfig::default()).unwrap();
+            for r in sample_records(2) {
+                wal.append(&r).unwrap();
+            }
+        }
+        let mut calls = 0;
+        let err = Wal::open_streaming(&path, WalConfig::default(), |_| {
+            calls += 1;
+            if calls == 2 {
+                Err(io::Error::other("replay sink failed"))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "replay sink failed");
+        assert_eq!(calls, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
     #[test]
     fn truncate_empties_the_log() {
         let path = temp_path("trunc");
@@ -479,6 +727,65 @@ mod tests {
         drop(wal);
         let (_, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
         assert_eq!(replayed, vec![WalRecord::Delete { id: 3 }]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// `rewrite` swaps the whole log for the given records and keeps the
+    /// handle usable: appends continue on the renamed file.
+    #[test]
+    fn rewrite_replaces_contents_atomically() {
+        let path = temp_path("rewrite");
+        let recs = sample_records(3);
+        let mut wal = Wal::create(&path, 3, WalConfig::default()).unwrap();
+        for r in &recs {
+            wal.append(r).unwrap();
+        }
+        // Shrink to the suffix, as a compaction commit would.
+        wal.rewrite(&recs[2..]).unwrap();
+        assert_eq!(wal.record_count(), 2);
+        wal.append(&WalRecord::Delete { id: 9 }).unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[..2], recs[2..]);
+        assert_eq!(replayed[2], WalRecord::Delete { id: 9 });
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "tmp log must not survive a successful rewrite"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rewrite_to_empty_acts_as_crash_safe_truncate() {
+        let path = temp_path("rewrite-empty");
+        let mut wal = Wal::create(&path, 2, WalConfig::default()).unwrap();
+        for r in sample_records(2) {
+            wal.append(&r).unwrap();
+        }
+        wal.rewrite(&[]).unwrap();
+        assert_eq!(wal.record_count(), 0);
+        assert_eq!(wal.size_bytes(), HEADER_BYTES);
+        drop(wal);
+        let (_, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
+        assert!(replayed.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn deferred_append_then_explicit_sync() {
+        let path = temp_path("deferred");
+        let mut wal = Wal::create(&path, 2, WalConfig::default()).unwrap();
+        let rec = WalRecord::Delete { id: 1 };
+        // SyncPolicy::Always, but the group-commit path defers.
+        wal.append_with_sync(&rec, false).unwrap();
+        wal.append_with_sync(&rec, false).unwrap();
+        assert_eq!(wal.unsynced_appends(), 2);
+        wal.sync().unwrap();
+        assert_eq!(wal.unsynced_appends(), 0);
+        drop(wal);
+        let (_, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(replayed.len(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 

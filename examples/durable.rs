@@ -30,7 +30,7 @@ fn main() -> std::io::Result<()> {
             ..Default::default()
         })
         .build();
-    let mut index = ShardedProMips::build_in_dir(&data, config, &dir)?;
+    let index = ShardedProMips::build_in_dir(&data, config, &dir)?;
     println!(
         "built {} points across {} shards in {}",
         index.len(),
@@ -66,7 +66,7 @@ fn main() -> std::io::Result<()> {
     // Simulate a crash: drop without any shutdown ritual, reopen, and the
     // WAL replay restores every acknowledged mutation.
     drop(index);
-    let mut index = ShardedProMips::open(&dir)?;
+    let index = ShardedProMips::open(&dir)?;
     println!("\nreopened: {} live points (WAL replayed)", index.len());
     assert!(index.contains(*inserted.last().unwrap()));
 

@@ -84,7 +84,7 @@
 //! // before applying it; reopening replays the log, so nothing
 //! // acknowledged is lost on a crash.
 //! let config = ShardedConfig::builder().shards(4).build();
-//! let mut index = ShardedProMips::build_in_dir(&data, config, "idx").unwrap();
+//! let index = ShardedProMips::build_in_dir(&data, config, "idx").unwrap();
 //! let v: Vec<f32> = (0..32).map(|_| rng.normal() as f32).collect();
 //! let gid = index.insert(&v).unwrap(); // searchable immediately, durable
 //! index.delete(gid).unwrap();
