@@ -592,6 +592,111 @@ fn main() {
         }
     }
 
+    // --- verified_rescore: SQ8 screen+rescore on the verify path ------------
+    // The verification tier screens each candidate block with `dot4_i8`
+    // against the running k-th inner product (padded by the exact
+    // quantization error bound) and fetches + rescores only survivors in
+    // f32. Same skewed workload and shard counts as `floor_tradeoff`, tier
+    // off vs on: `verified_avg` is exact f32 rows read per query (the
+    // bytes the screen exists to save), `screened_fraction` is the share
+    // of candidates the integer screen retired, and the items are asserted
+    // bit-identical between the two builds on every query.
+    let mut rescore_rows: Vec<(String, Json)> = Vec::new();
+    let mut rescore_reductions: Vec<(String, Json)> = Vec::new();
+    for &shards in &[4usize, 16] {
+        for &floor_on in &[false, true] {
+            let mut verified_by_tier = [0f64; 2];
+            let mut items_off: Vec<Vec<promips_core::SearchItem>> = Vec::new();
+            for (ti, &tier_on) in [false, true].iter().enumerate() {
+                let base = ProMipsConfig::builder()
+                    .c(0.9)
+                    .p(0.5)
+                    .seed(77)
+                    .idistance(IDistanceConfig {
+                        verify_quantize: tier_on,
+                        ..Default::default()
+                    })
+                    .build();
+                let cfg = ShardedConfig::builder()
+                    .shards(shards)
+                    .cross_shard_floor(floor_on)
+                    .base(base)
+                    .build();
+                let sharded =
+                    ShardedProMips::build_in_memory(&shard_data, cfg).expect("sharded build");
+                let scratch = ShardedScratch::for_index(&sharded);
+                let mut verified = 0usize;
+                let mut screened = 0usize;
+                for i in 0..nq {
+                    let res = sharded
+                        .search_with_scratch(shard_queries.row(i), k, &scratch)
+                        .unwrap();
+                    verified += res.verified;
+                    screened += res.screened;
+                    // The tier's contract: bit-identical top-k on vs off.
+                    if tier_on {
+                        assert_eq!(
+                            res.items, items_off[i],
+                            "screen+rescore diverged from pure-f32 verification"
+                        );
+                    } else {
+                        items_off.push(res.items);
+                    }
+                }
+                let query_ns = ns_per_op(|| {
+                    for i in 0..nq {
+                        std::hint::black_box(
+                            sharded
+                                .search_with_scratch(shard_queries.row(i), k, &scratch)
+                                .unwrap(),
+                        );
+                    }
+                }) / nq as f64;
+                let verified_avg = verified as f64 / nq as f64;
+                let screened_avg = screened as f64 / nq as f64;
+                let candidates_avg = verified_avg + screened_avg;
+                let screened_fraction = screened_avg / candidates_avg;
+                verified_by_tier[ti] = verified_avg;
+                let label = format!(
+                    "shards_{shards}_floor_{}_tier_{}",
+                    if floor_on { "on" } else { "off" },
+                    if tier_on { "on" } else { "off" }
+                );
+                println!(
+                    "  verified_rescore {label}: {query_ns:.0} ns/query, \
+                     {verified_avg:.0} f32 rows verified, \
+                     {screened_fraction:.2} screened out"
+                );
+                rescore_rows.push((
+                    label,
+                    Json::obj(vec![
+                        ("shards", Json::Num(shards as f64)),
+                        (
+                            "cross_shard_floor",
+                            Json::Str(if floor_on { "on" } else { "off" }.into()),
+                        ),
+                        (
+                            "verify_tier",
+                            Json::Str(if tier_on { "on" } else { "off" }.into()),
+                        ),
+                        ("us_per_query", Json::Num(query_ns / 1e3)),
+                        ("verified_avg", Json::Num(verified_avg)),
+                        ("screened_avg", Json::Num(screened_avg)),
+                        ("screened_fraction", Json::Num(screened_fraction)),
+                        ("ns_per_candidate", Json::Num(query_ns / candidates_avg)),
+                    ]),
+                ));
+            }
+            let reduction = verified_by_tier[0] / verified_by_tier[1];
+            let rlabel = format!(
+                "shards_{shards}_floor_{}",
+                if floor_on { "on" } else { "off" }
+            );
+            println!("  verified_rescore {rlabel}: {reduction:.2}x fewer f32 rows verified");
+            rescore_reductions.push((rlabel, Json::Num(reduction)));
+        }
+    }
+
     // --- maintenance: WAL throughput, delta drag, compaction cost -----------
     // The durable mutation lifecycle in numbers: (1) insert throughput
     // through the per-shard WAL under each group-commit policy; (2) query
@@ -919,6 +1024,17 @@ fn main() {
                 ("k", Json::Num(k as f64)),
                 ("partitioner", Json::Str("norm-range (skewed norms)".into())),
                 ("configs", Json::Obj(floor_rows.clone())),
+            ]),
+        ),
+        (
+            "verified_rescore",
+            Json::obj(vec![
+                ("n", Json::Num(n as f64)),
+                ("queries", Json::Num(nq as f64)),
+                ("k", Json::Num(k as f64)),
+                ("partitioner", Json::Str("norm-range (skewed norms)".into())),
+                ("configs", Json::Obj(rescore_rows.clone())),
+                ("verified_reduction", Json::Obj(rescore_reductions.clone())),
             ]),
         ),
         (

@@ -52,6 +52,7 @@ pub const REQUIRED_SECTIONS: &[(&str, &[&str])] = &[
     ("search", &["sequential_ns_per_query"]),
     ("sharded_fanout", &["per_shard_count"]),
     ("floor_tradeoff", &["configs"]),
+    ("verified_rescore", &["configs", "verified_reduction"]),
     (
         "maintenance",
         &["insert_throughput", "query_vs_delta", "compaction"],

@@ -17,6 +17,12 @@ pub struct SearchResult {
     pub items: Vec<SearchItem>,
     /// Number of candidates whose exact inner product was computed.
     pub verified: usize,
+    /// Number of candidates dropped by the SQ8 verification screen without
+    /// an exact rescore (always 0 when the index has no verification tier).
+    /// A screened candidate is proven — via the quantized inner product plus
+    /// the exact error-bound padding — to fall strictly below the running
+    /// k-th best, so skipping it never changes the returned top-k.
+    pub screened: usize,
     /// The Quick-Probe radius `r` (squared distance **not** applied — this
     /// is the Euclidean radius in the projected space). `None` for
     /// [`crate::ProMips::search_incremental`].
@@ -63,6 +69,7 @@ mod tests {
         let r = SearchResult {
             items: vec![SearchItem { id: 3, ip: 9.0 }, SearchItem { id: 1, ip: 5.0 }],
             verified: 10,
+            screened: 4,
             probe_radius: Some(1.0),
             final_radius: Some(2.0),
             compensated: true,

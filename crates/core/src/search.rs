@@ -14,7 +14,7 @@ use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use promips_idistance::{ProjScratch, RangeCandidate};
-use promips_linalg::{dist, dot, dot4, norm1, sq_norm2};
+use promips_linalg::{dist, dot, dot4, dot4_i8, dot_i8, norm1, sq_norm2};
 
 use crate::conditions::ConditionContext;
 use crate::index::ProMips;
@@ -50,6 +50,60 @@ struct FetchBuffers {
     /// O(G log G) instead of the O(G² · |group|) of recomputing the key
     /// inside the comparator.
     groups: Vec<(f64, usize, usize)>,
+    /// SQ8 code rows of the group being screened (record `i` at
+    /// `codes[i*d..(i+1)*d]`), fetched from the verification-quant region.
+    codes: Vec<u8>,
+    /// Symmetrically quantized query (length d), shared by every group of
+    /// the query — the screen's integer kernels take it as the i8 operand.
+    qcodes: Vec<i8>,
+}
+
+/// Precomputed per-query pieces of the SQ8 verification screen: the
+/// symmetric query quantizer `q̂ⱼ = sq·bⱼ` (codes live in
+/// [`FetchBuffers::qcodes`]) plus the exact scalars the per-group bound
+/// needs. With `idot = Σ codeⱼ·bⱼ` (exact integer arithmetic), the screen
+/// estimate unfolds as
+/// `⟨x̂, q̂⟩ = sq·(min·Σbⱼ + scale·idot)`, and Cauchy–Schwarz bounds the
+/// true inner product by
+/// `|⟨x, q⟩ − ⟨x̂, q̂⟩| ≤ err·‖q‖ + xnorm·‖q − q̂‖`.
+struct QueryScreen {
+    /// Query quantization step `max|qⱼ|/127` (1.0 for the zero query).
+    sq: f64,
+    /// `Σ bⱼ` — exact, pairs with the data quantizer's `min`.
+    sum_b: i64,
+    /// `‖q − q̂‖` computed in f64 from the actual codes (not a bound).
+    q_err: f64,
+    /// `‖q‖`.
+    q_norm: f64,
+}
+
+impl QueryScreen {
+    /// Quantizes `q` symmetrically into `qcodes` and gathers the bound
+    /// scalars. `q_sq_norm` is the caller's already-computed `‖q‖²`.
+    fn build(q: &[f32], q_sq_norm: f64, qcodes: &mut Vec<i8>) -> Self {
+        let mut amax = 0.0f32;
+        for &x in q {
+            amax = amax.max(x.abs());
+        }
+        let sq = if amax > 0.0 { amax as f64 / 127.0 } else { 1.0 };
+        qcodes.clear();
+        qcodes.reserve(q.len());
+        let mut sum_b = 0i64;
+        let mut q_err_sq = 0.0f64;
+        for &x in q {
+            let b = (x as f64 / sq).round().clamp(-127.0, 127.0);
+            qcodes.push(b as i8);
+            sum_b += b as i64;
+            let e = x as f64 - sq * b;
+            q_err_sq += e * e;
+        }
+        Self {
+            sq,
+            sum_b,
+            q_err: q_err_sq.sqrt(),
+            q_norm: q_sq_norm.sqrt(),
+        }
+    }
 }
 
 impl SearchScratch {
@@ -238,6 +292,7 @@ impl ProMips {
             return Ok(self.finish(
                 TopK::new(0),
                 0,
+                0,
                 None,
                 None,
                 false,
@@ -262,6 +317,7 @@ impl ProMips {
 
         let mut top = TopK::with_floor(k, ip_floor);
         let mut verified = 0usize;
+        let mut screened = 0usize;
 
         // Fresh inserts live in the in-memory delta segment; verify them
         // all up-front so the searching conditions' premise (everything
@@ -283,9 +339,10 @@ impl ProMips {
             mask,
             &mut top,
             &mut verified,
+            &mut screened,
             &mut scratch.fetch,
         )? {
-            return Ok(self.finish(top, verified, Some(r), Some(r), false, term));
+            return Ok(self.finish(top, verified, screened, Some(r), Some(r), false, term));
         }
 
         // --- Rare shortfall: fewer than k candidates inside r. ------------
@@ -328,6 +385,7 @@ impl ProMips {
             return Ok(self.finish(
                 top,
                 verified,
+                screened,
                 Some(r),
                 Some(r_final),
                 extended,
@@ -338,6 +396,7 @@ impl ProMips {
             return Ok(self.finish(
                 top,
                 verified,
+                screened,
                 Some(r),
                 Some(r_final),
                 extended,
@@ -362,9 +421,18 @@ impl ProMips {
                     mask,
                     &mut top,
                     &mut verified,
+                    &mut screened,
                     &mut scratch.fetch,
                 )? {
-                    return Ok(self.finish(top, verified, Some(r), Some(r_prime), true, term));
+                    return Ok(self.finish(
+                        top,
+                        verified,
+                        screened,
+                        Some(r),
+                        Some(r_prime),
+                        true,
+                        term,
+                    ));
                 }
                 r_final = r_prime;
                 extended = true;
@@ -373,6 +441,7 @@ impl ProMips {
         Ok(self.finish(
             top,
             verified,
+            screened,
             Some(r),
             Some(r_final),
             extended,
@@ -491,7 +560,7 @@ impl ProMips {
         if let Some(e) = iter.take_error() {
             return Err(e);
         }
-        Ok(self.finish(top, verified, None, None, false, termination))
+        Ok(self.finish(top, verified, 0, None, None, false, termination))
     }
 
     /// Verifies candidates one sub-partition batch at a time (each batch is
@@ -506,6 +575,22 @@ impl ProMips {
     /// MIP-Search-II's batched sequential I/O while recovering the early
     /// termination of the incremental search — unverified groups are never
     /// fetched from disk.
+    ///
+    /// When the index carries the SQ8 verification tier
+    /// ([`promips_idistance::IDistanceConfig::verify_quantize`]) and the
+    /// running k-th best is finite, each group runs through a **two-level**
+    /// path instead: the group's 1-byte code rows are fetched and every
+    /// 4-candidate block is *screened* with the integer `dot4_i8` kernel —
+    /// only blocks whose quantized inner product plus the exact error-bound
+    /// padding can still reach the running k-th best get their f32 rows
+    /// fetched and rescored through the same `dot4` call the plain path
+    /// uses. A screened-out candidate is proven strictly below the k-th
+    /// best, and a surviving block is rescored with bitwise the same rows,
+    /// block shape, and kernel as the plain path — so the returned top-k,
+    /// radii, and termination cause are **bit-identical** tier on or off.
+    /// While the collector still reports `-∞` (fewer than k finite
+    /// verifications, no floor), screening cannot drop anything and the
+    /// plain path runs.
     #[allow(clippy::too_many_arguments)]
     fn verify_groups(
         &self,
@@ -515,6 +600,7 @@ impl ProMips {
         mask: Option<&dyn Fn(u64) -> bool>,
         top: &mut TopK,
         verified: &mut usize,
+        screened: &mut usize,
         buf: &mut FetchBuffers,
     ) -> io::Result<Option<Termination>> {
         // Candidates arrive grouped by sub-partition (directory order);
@@ -534,43 +620,27 @@ impl ProMips {
         }
         buf.groups.sort_by(|a, b| a.0.total_cmp(&b.0));
 
+        // The query-side quantization is subpart-independent; build it once
+        // per verify pass if any group could be screened.
+        let tier = self.index.verify_quantized() && !cands.is_empty();
+        let qs = tier.then(|| QueryScreen::build(q, ctx.q_sq_norm, &mut buf.qcodes));
+
         for gi in 0..buf.groups.len() {
             let (_, s, e) = buf.groups[gi];
             let group = &cands[s..e];
             buf.offsets.clear();
             buf.offsets.extend(group.iter().map(|c| c.offset));
-            self.index
-                .fetch_originals(group[0].subpart, &buf.offsets, &mut buf.arena)?;
-            // Verify four candidates per dot4 call: the arena rows are
-            // contiguous, and the blocked kernel converts/loads the query
-            // once per block instead of once per candidate.
-            let d = self.d;
-            let mut slot = 0;
-            while slot + 4 <= group.len() {
-                let rows = &buf.arena[slot * d..(slot + 4) * d];
-                let ips = dot4(
-                    &rows[..d],
-                    &rows[d..2 * d],
-                    &rows[2 * d..3 * d],
-                    &rows[3 * d..],
-                    q,
-                );
-                for (j, &ip) in ips.iter().enumerate() {
-                    let cand = &group[slot + j];
-                    if !self.is_dead(cand.id, mask) {
-                        top.push(cand.id, ip);
-                        *verified += 1;
-                    }
+            match &qs {
+                // Screening can only drop candidates proven below a finite
+                // k-th best; with `-∞` it is a no-op, so skip the code
+                // fetch entirely and take the plain path.
+                Some(qs) if top.kth_ip() > f64::NEG_INFINITY => {
+                    self.verify_group_screened(group, q, qs, mask, top, verified, screened, buf)?;
                 }
-                slot += 4;
-            }
-            for (cand, row) in group[slot..]
-                .iter()
-                .zip(buf.arena[slot * d..].chunks_exact(d))
-            {
-                if !self.is_dead(cand.id, mask) {
-                    top.push(cand.id, dot(row, q));
-                    *verified += 1;
+                _ => {
+                    self.index
+                        .fetch_originals(group[0].subpart, &buf.offsets, &mut buf.arena)?;
+                    self.rescore_group(group, q, mask, top, verified, &buf.arena);
                 }
             }
             if ctx.condition_a(top.kth_ip()) {
@@ -583,6 +653,141 @@ impl ProMips {
             }
         }
         Ok(None)
+    }
+
+    /// Exact-f32 verification of `cands`, whose rows sit contiguously in
+    /// `arena` (row `i` is candidate `i`). Four candidates go through each
+    /// `dot4` call — the arena rows are contiguous, and the blocked kernel
+    /// converts/loads the query once per block instead of once per
+    /// candidate; a short tail uses single-row `dot`. The plain path passes
+    /// a whole group; the screened path passes one surviving 4-block at a
+    /// time, so both produce bitwise-identical kernel calls for any
+    /// candidate they share.
+    fn rescore_group(
+        &self,
+        cands: &[RangeCandidate],
+        q: &[f32],
+        mask: Option<&dyn Fn(u64) -> bool>,
+        top: &mut TopK,
+        verified: &mut usize,
+        arena: &[f32],
+    ) {
+        let d = self.d;
+        let mut slot = 0;
+        while slot + 4 <= cands.len() {
+            let rows = &arena[slot * d..(slot + 4) * d];
+            let ips = dot4(
+                &rows[..d],
+                &rows[d..2 * d],
+                &rows[2 * d..3 * d],
+                &rows[3 * d..],
+                q,
+            );
+            for (j, &ip) in ips.iter().enumerate() {
+                let cand = &cands[slot + j];
+                if !self.is_dead(cand.id, mask) {
+                    top.push(cand.id, ip);
+                    *verified += 1;
+                }
+            }
+            slot += 4;
+        }
+        for (cand, row) in cands[slot..].iter().zip(arena[slot * d..].chunks_exact(d)) {
+            if !self.is_dead(cand.id, mask) {
+                top.push(cand.id, dot(row, q));
+                *verified += 1;
+            }
+        }
+    }
+
+    /// The two-level screen+rescore for one sub-partition group (caller has
+    /// filled `buf.offsets` and guaranteed `top.kth_ip()` is finite).
+    ///
+    /// Level 1 fetches the group's SQ8 code rows (1 byte per coordinate —
+    /// 4× fewer pages than the f32 rows) and estimates each candidate's
+    /// inner product with exact integer arithmetic:
+    /// `⟨x̂, q̂⟩ = sq·(min·Σb + scale·dot_i8(codes, b))`. A 4-candidate
+    /// block whose every member satisfies `⟨x̂, q̂⟩ + pad < kth` is dropped
+    /// whole; `pad` is the Cauchy–Schwarz bound
+    /// `err·‖q‖ + xnorm·‖q − q̂‖` inflated by a relative `1e-9` (covers the
+    /// f64 rounding of the bound itself) plus an absolute `1e-12·xnorm·‖q‖`
+    /// (dominates the f64 rounding of the estimate and of the exact
+    /// kernels, which is O(d·ε·‖x‖·‖q‖)), so no candidate whose exact
+    /// kernel inner product could reach the k-th best is ever dropped.
+    ///
+    /// Level 2 fetches only the surviving blocks' f32 rows and rescores
+    /// them through [`ProMips::rescore_group`] — the same 4 rows per block,
+    /// in the same order, through the same kernel as the plain path.
+    /// Screening against the *current* `kth` (which only rises as blocks
+    /// are pushed) keeps later blocks' thresholds fresh.
+    #[allow(clippy::too_many_arguments)]
+    fn verify_group_screened(
+        &self,
+        group: &[RangeCandidate],
+        q: &[f32],
+        qs: &QueryScreen,
+        mask: Option<&dyn Fn(u64) -> bool>,
+        top: &mut TopK,
+        verified: &mut usize,
+        screened: &mut usize,
+        buf: &mut FetchBuffers,
+    ) -> io::Result<()> {
+        let FetchBuffers {
+            offsets,
+            arena,
+            codes,
+            qcodes,
+            ..
+        } = buf;
+        let sub = group[0].subpart;
+        self.index.fetch_codes(sub, offsets, codes)?;
+        let vq = &self.index.vquants()[sub as usize];
+        let min = vq.min as f64;
+        let scale = vq.scale as f64;
+        let base = qs.sq * min * qs.sum_b as f64;
+        let step = qs.sq * scale;
+        let pad = (vq.err as f64 * qs.q_norm + vq.xnorm as f64 * qs.q_err) * (1.0 + 1e-9)
+            + 1e-12 * (vq.xnorm as f64 * qs.q_norm);
+
+        let d = self.d;
+        let mut slot = 0;
+        while slot + 4 <= group.len() {
+            let crows = &codes[slot * d..(slot + 4) * d];
+            let idots = dot4_i8(
+                &crows[..d],
+                &crows[d..2 * d],
+                &crows[2 * d..3 * d],
+                &crows[3 * d..],
+                qcodes,
+            );
+            let kth = top.kth_ip();
+            if idots
+                .iter()
+                .any(|&idot| base + step * idot as f64 + pad >= kth)
+            {
+                self.index
+                    .fetch_originals(sub, &offsets[slot..slot + 4], arena)?;
+                self.rescore_group(&group[slot..slot + 4], q, mask, top, verified, arena);
+            } else {
+                *screened += 4;
+            }
+            slot += 4;
+        }
+        for (j, cand) in group[slot..].iter().enumerate() {
+            let crow = &codes[(slot + j) * d..(slot + j + 1) * d];
+            let idot = dot_i8(crow, qcodes);
+            if base + step * idot as f64 + pad >= top.kth_ip() {
+                self.index
+                    .fetch_originals(sub, &offsets[slot + j..slot + j + 1], arena)?;
+                if !self.is_dead(cand.id, mask) {
+                    top.push(cand.id, dot(&arena[..d], q));
+                    *verified += 1;
+                }
+            } else {
+                *screened += 1;
+            }
+        }
+        Ok(())
     }
 
     /// Resolves the Quick-Probe point's projected distance. The located id
@@ -654,10 +859,12 @@ impl ProMips {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         top: TopK,
         verified: usize,
+        screened: usize,
         probe_radius: Option<f64>,
         final_radius: Option<f64>,
         compensated: bool,
@@ -666,6 +873,7 @@ impl ProMips {
         SearchResult {
             items: top.into_sorted(),
             verified,
+            screened,
             probe_radius,
             final_radius,
             compensated,

@@ -19,7 +19,7 @@ use promips_storage::Pager;
 use crate::config::IDistanceConfig;
 use crate::index::IDistanceIndex;
 use crate::layout::{enc, RegionWriter};
-use crate::meta::{PartitionMeta, SubPartMeta, SubPartQuant};
+use crate::meta::{OrigQuant, PartitionMeta, SubPartMeta, SubPartQuant};
 
 /// Builds an [`IDistanceIndex`] over `proj` (n × m projected points) and
 /// `orig` (n × d original points) inside `pager`.
@@ -209,6 +209,62 @@ pub fn build_index(
         quant_region = Some(writer.finish()?);
     }
 
+    // --- Packed SQ8 verification-quant region (format v3). ------------------
+    // Same scheme over the **original** d-dim rows: one affine quantizer per
+    // sub-partition, d code bytes per record in original-region order. The
+    // verification screen needs two bounds per sub-partition — max ‖x − x̂‖
+    // (data-side error) and max ‖x̂‖ (the factor on the query-side error) —
+    // both computed exactly here in f64 and rounded up into f32.
+    let mut vquants: Vec<OrigQuant> = Vec::new();
+    let mut vquant_region = None;
+    if config.verify_quantize {
+        vquants.reserve(defs.len());
+        let mut writer = RegionWriter::new(&pager);
+        let mut rec = Vec::with_capacity(d);
+        for def in &defs {
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &id in &def.ids {
+                for &x in orig.row(id) {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+            }
+            let scale = if hi > lo { (hi - lo) / 255.0 } else { 1.0 };
+            let inv_scale = 1.0 / scale;
+            let mut err_sq_max = 0.0f64;
+            let mut xnorm_sq_max = 0.0f64;
+            let mut first = None;
+            for &id in &def.ids {
+                rec.clear();
+                let mut err_sq = 0.0f64;
+                let mut xnorm_sq = 0.0f64;
+                for &x in orig.row(id) {
+                    let code = ((x - lo) * inv_scale).round().clamp(0.0, 255.0) as u8;
+                    rec.push(code);
+                    let xhat = lo as f64 + scale as f64 * code as f64;
+                    let e = x as f64 - xhat;
+                    err_sq += e * e;
+                    xnorm_sq += xhat * xhat;
+                }
+                err_sq_max = err_sq_max.max(err_sq);
+                xnorm_sq_max = xnorm_sq_max.max(xnorm_sq);
+                let off = writer.append(&rec)?;
+                first.get_or_insert(off);
+            }
+            vquants.push(OrigQuant {
+                off: first.expect("sub-partition is non-empty"),
+                scale,
+                min: lo,
+                // Round both f32 narrowings up so the stored bounds stay
+                // upper bounds (1e-6 relative dwarfs the f32 epsilon).
+                err: (err_sq_max.sqrt() * (1.0 + 1e-6)) as f32,
+                xnorm: (xnorm_sq_max.sqrt() * (1.0 + 1e-6)) as f32,
+            });
+        }
+        vquant_region = Some(writer.finish()?);
+    }
+
     let mut subparts: Vec<SubPartMeta> = Vec::with_capacity(defs.len());
     let mut tree_entries: Vec<(u64, u64)> = Vec::with_capacity(defs.len());
     for (i, def) in defs.iter().enumerate() {
@@ -238,9 +294,11 @@ pub fn build_index(
         proj_region,
         orig_region,
         quant_region,
+        vquant_region,
         partitions,
         subparts,
         quants,
+        vquants,
         n as u64,
     );
     index.write_footer()?;

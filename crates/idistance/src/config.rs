@@ -23,6 +23,18 @@ pub struct IDistanceConfig {
     /// trades scan speed for a slightly smaller file (and writes the
     /// version-1 on-disk format, which current builds can still open).
     pub quantize: bool,
+    /// Whether to build the SQ8 verification tier: a dense u8 code column
+    /// over the **original** d-dim vectors (one affine quantizer per
+    /// sub-partition, like `quantize`'s projected-space column) that the
+    /// verification path screens with integer kernels before fetching f32
+    /// rows — only candidate blocks whose quantized inner product plus the
+    /// exact error-bound padding can still reach the running top-k are
+    /// rescored exactly. Screening never drops a true top-k member, so
+    /// search results are **bit-identical** with the tier on or off;
+    /// `false` trades verification speed for a smaller file. Builds with
+    /// this tier write the version-3 on-disk format (v1/v2 files still
+    /// open, verifying pure-f32).
+    pub verify_quantize: bool,
 }
 
 impl Default for IDistanceConfig {
@@ -34,6 +46,7 @@ impl Default for IDistanceConfig {
             kmeans_iters: 20,
             seed: 0x1D15_7A4C,
             quantize: true,
+            verify_quantize: true,
         }
     }
 }

@@ -9,7 +9,7 @@ use promips_storage::{AccessStatsSnapshot, PageBuf, PageId, Pager};
 
 use crate::knn::NnIter;
 use crate::layout::{enc, read_blob, read_blob_range, write_blob};
-use crate::meta::{PartitionMeta, SubPartMeta, SubPartQuant};
+use crate::meta::{OrigQuant, PartitionMeta, SubPartMeta, SubPartQuant};
 
 /// A packed byte region: `(start_page, byte_len)`; pages are consecutive.
 pub type Region = (PageId, u64);
@@ -20,8 +20,21 @@ const FOOTER_MAGIC: u64 = 0x1D15_7A4C_E01D_F007;
 /// quantizer directory. [`IDistanceIndex::open_at`] accepts both; v1 files
 /// simply open with the quantized filter tier disabled.
 const FOOTER_MAGIC_V2: u64 = 0x1D15_7A4C_E01D_F008;
+/// Format v3: v2 plus the SQ8 **verification** code column over original
+/// vectors. The footer layout is unchanged (17 fields — the scan-quant
+/// region slots hold [`REGION_ABSENT`] when `quantize: false`); the
+/// verification region and its [`OrigQuant`] directory ride the directory
+/// blob, so the footer's page span stays version-independent and v1/v2
+/// files keep opening. v1/v2 files open with the verification tier
+/// disabled (pure-f32 verification).
+const FOOTER_MAGIC_V3: u64 = 0x1D15_7A4C_E01D_F009;
 
-/// Fixed on-disk footer length: the 17 8-byte fields of a v2 footer. v1
+/// Sentinel start-page marking an absent region inside a v3 footer (a real
+/// region can never start there: the file would exceed every address
+/// space).
+const REGION_ABSENT: u64 = u64::MAX;
+
+/// Fixed on-disk footer length: the 17 8-byte fields of a v2/v3 footer. v1
 /// footers (15 fields) are zero-padded to the same length, so the footer's
 /// page span is version-independent and callers can locate its start
 /// without knowing the version (see [`footer_span_pages`]). For any page
@@ -217,11 +230,18 @@ pub struct IDistanceIndex {
     /// The packed SQ8 code region (format v2); `None` on v1 files and
     /// `quantize: false` builds, which scan through the f32 path alone.
     quant_region: Option<Region>,
+    /// The packed SQ8 verification code region over original vectors
+    /// (format v3); `None` on v1/v2 files and `verify_quantize: false`
+    /// builds, which verify through the f32 path alone.
+    vquant_region: Option<Region>,
     partitions: Vec<PartitionMeta>,
     subparts: Vec<SubPartMeta>,
     /// Per-sub-partition quantizers, parallel to `subparts` (empty when
     /// `quant_region` is `None`).
     quants: Vec<SubPartQuant>,
+    /// Per-sub-partition verification quantizers, parallel to `subparts`
+    /// (empty when `vquant_region` is `None`).
+    vquants: Vec<OrigQuant>,
     n_points: u64,
 }
 
@@ -238,9 +258,11 @@ impl IDistanceIndex {
         proj_region: Region,
         orig_region: Region,
         quant_region: Option<Region>,
+        vquant_region: Option<Region>,
         partitions: Vec<PartitionMeta>,
         subparts: Vec<SubPartMeta>,
         quants: Vec<SubPartQuant>,
+        vquants: Vec<OrigQuant>,
         n_points: u64,
     ) -> Self {
         debug_assert!(
@@ -250,6 +272,14 @@ impl IDistanceIndex {
                 quants.is_empty()
             },
             "quantizer directory must parallel the sub-partition directory"
+        );
+        debug_assert!(
+            if vquant_region.is_some() {
+                vquants.len() == subparts.len()
+            } else {
+                vquants.is_empty()
+            },
+            "verification-quantizer directory must parallel the sub-partition directory"
         );
         Self {
             pager,
@@ -261,9 +291,11 @@ impl IDistanceIndex {
             proj_region,
             orig_region,
             quant_region,
+            vquant_region,
             partitions,
             subparts,
             quants,
+            vquants,
             n_points,
         }
     }
@@ -347,6 +379,23 @@ impl IDistanceIndex {
     /// when the quantized tier is absent).
     pub fn quants(&self) -> &[SubPartQuant] {
         &self.quants
+    }
+
+    /// The packed SQ8 verification code region over original vectors, if
+    /// the verification tier is built.
+    pub fn vquant_region(&self) -> Option<Region> {
+        self.vquant_region
+    }
+
+    /// Whether candidate verification can run the quantized screen.
+    pub fn verify_quantized(&self) -> bool {
+        self.vquant_region.is_some()
+    }
+
+    /// Per-sub-partition verification quantizers (parallel to
+    /// [`Self::subparts`]; empty when the verification tier is absent).
+    pub fn vquants(&self) -> &[OrigQuant] {
+        &self.vquants
     }
 
     // --- Range search ----------------------------------------------------
@@ -802,6 +851,38 @@ impl IDistanceIndex {
         Ok(())
     }
 
+    /// Fetches the SQ8 verification code rows at the given record offsets
+    /// of one sub-partition into a flat caller-provided byte arena: record
+    /// `i` of the request lands at `arena[i*d .. (i+1)*d]`. The arena is
+    /// cleared first, so buffers can be reused across calls and queries
+    /// without per-candidate allocation.
+    ///
+    /// Like [`Self::fetch_originals`], ascending offsets visit the covering
+    /// pages monotonically through one cached-page cursor — and each code
+    /// row is `d` bytes instead of `4d`, which is the point of the screen.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the verification tier is absent.
+    pub fn fetch_codes(&self, sub: u32, offsets: &[u32], arena: &mut Vec<u8>) -> io::Result<()> {
+        let sp = &self.subparts[sub as usize];
+        let vq = &self.vquants[sub as usize];
+        let (vq_start, _) = self
+            .vquant_region
+            .expect("fetch_codes requires the verification tier");
+        let rec = self.d;
+        let base = vq.off as usize;
+        arena.clear();
+        arena.reserve(offsets.len() * rec);
+        let mut pages = PageCursor::new(&self.pager, vq_start);
+        for &o in offsets {
+            debug_assert!(o < sp.count, "offset out of range");
+            pages.walk(base + o as usize * rec, rec, |chunk| {
+                arena.extend_from_slice(chunk)
+            })?;
+        }
+        Ok(())
+    }
+
     /// Fetches a single original vector.
     pub fn fetch_original(&self, cand: &RangeCandidate) -> io::Result<Vec<f32>> {
         let mut arena = Vec::with_capacity(self.d);
@@ -838,10 +919,13 @@ impl IDistanceIndex {
 
     /// Writes the directory blob and a footer page at the end of the file so
     /// [`Self::open`] can reconstruct the handle. Called by the builder.
-    /// Indexes carrying the quantized tier write the v2 format (quantized
-    /// region + quantizer directory); others write v1, byte-identical to
-    /// pre-quantization builds.
+    /// Indexes carrying the verification tier write the v3 format (the
+    /// verification region and its quantizer directory travel in the
+    /// directory blob, keeping the footer's span version-independent);
+    /// scan-quantized-only indexes write v2; others write v1,
+    /// byte-identical to pre-quantization builds.
     pub(crate) fn write_footer(&self) -> io::Result<()> {
+        let v3 = self.vquant_region.is_some();
         let mut dir = Vec::new();
         enc::put_u32(&mut dir, self.partitions.len() as u32);
         for p in &self.partitions {
@@ -857,13 +941,23 @@ impl IDistanceIndex {
                 q.encode(&mut dir);
             }
         }
+        if let Some((vs, vl)) = self.vquant_region {
+            enc::put_u64(&mut dir, vs);
+            enc::put_u64(&mut dir, vl);
+            enc::put_u32(&mut dir, self.vquants.len() as u32);
+            for q in &self.vquants {
+                q.encode(&mut dir);
+            }
+        }
         let dir_start = write_blob(&self.pager, &dir)?;
 
         let ps = self.pager.page_size();
         let mut footer = Vec::with_capacity(ps);
         enc::put_u64(
             &mut footer,
-            if self.quant_region.is_some() {
+            if v3 {
+                FOOTER_MAGIC_V3
+            } else if self.quant_region.is_some() {
                 FOOTER_MAGIC_V2
             } else {
                 FOOTER_MAGIC
@@ -880,6 +974,11 @@ impl IDistanceIndex {
         if let Some((qs, ql)) = self.quant_region {
             enc::put_u64(&mut footer, qs);
             enc::put_u64(&mut footer, ql);
+        } else if v3 {
+            // A v3 footer always carries the two scan-quant slots so its
+            // field layout is fixed; absence is the sentinel.
+            enc::put_u64(&mut footer, REGION_ABSENT);
+            enc::put_u64(&mut footer, 0);
         }
         enc::put_u64(&mut footer, dir_start);
         enc::put_u64(&mut footer, dir.len() as u64);
@@ -917,9 +1016,10 @@ impl IDistanceIndex {
         let buf = &buf[..];
         let mut pos = 0;
         let magic = enc::get_u64(buf, &mut pos);
-        let v2 = match magic {
-            FOOTER_MAGIC => false,
-            FOOTER_MAGIC_V2 => true,
+        let version = match magic {
+            FOOTER_MAGIC => 1,
+            FOOTER_MAGIC_V2 => 2,
+            FOOTER_MAGIC_V3 => 3,
             _ => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -933,8 +1033,16 @@ impl IDistanceIndex {
         let ring_c = enc::get_u64(buf, &mut pos);
         let proj_region = (enc::get_u64(buf, &mut pos), enc::get_u64(buf, &mut pos));
         let orig_region = (enc::get_u64(buf, &mut pos), enc::get_u64(buf, &mut pos));
-        let quant_region = if v2 {
-            Some((enc::get_u64(buf, &mut pos), enc::get_u64(buf, &mut pos)))
+        let quant_region = if version >= 2 {
+            let qs = enc::get_u64(buf, &mut pos);
+            let ql = enc::get_u64(buf, &mut pos);
+            // v3 footers always carry the slots; sentinel means the scan
+            // tier was not built (v2 footers only exist when it was).
+            if qs == REGION_ABSENT {
+                None
+            } else {
+                Some((qs, ql))
+            }
         } else {
             None
         };
@@ -955,7 +1063,7 @@ impl IDistanceIndex {
         let subparts: Vec<SubPartMeta> = (0..n_subs)
             .map(|_| SubPartMeta::decode(&dir, &mut dpos))
             .collect();
-        let quants: Vec<SubPartQuant> = if v2 {
+        let quants: Vec<SubPartQuant> = if quant_region.is_some() {
             let n_quants = enc::get_u32(&dir, &mut dpos) as usize;
             if n_quants != n_subs {
                 return Err(io::Error::new(
@@ -969,6 +1077,23 @@ impl IDistanceIndex {
         } else {
             Vec::new()
         };
+        let (vquant_region, vquants) = if version >= 3 {
+            let region = (enc::get_u64(&dir, &mut dpos), enc::get_u64(&dir, &mut dpos));
+            let n_vquants = enc::get_u32(&dir, &mut dpos) as usize;
+            if n_vquants != n_subs {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "verification-quantizer directory does not parallel the sub-partition \
+                     directory",
+                ));
+            }
+            let vquants: Vec<OrigQuant> = (0..n_vquants)
+                .map(|_| OrigQuant::decode(&dir, &mut dpos))
+                .collect();
+            (Some(region), vquants)
+        } else {
+            (None, Vec::new())
+        };
 
         let tree = BTree::open(Arc::clone(&pager), tree_root, tree_height, tree_len);
         Ok(Self::assemble(
@@ -981,9 +1106,11 @@ impl IDistanceIndex {
             proj_region,
             orig_region,
             quant_region,
+            vquant_region,
             partitions,
             subparts,
             quants,
+            vquants,
             n_points,
         ))
     }
@@ -1215,15 +1342,19 @@ mod tests {
 
     #[test]
     fn persistence_roundtrip_keeps_quantized_tier() {
-        // The default build writes format v2; reopening must restore the
-        // quantized region and its per-sub-partition quantizers exactly.
+        // The default build writes format v3; reopening must restore both
+        // quantized regions and their per-sub-partition quantizers exactly.
         let (idx, _, _) = build_small();
         assert!(idx.quantized());
+        assert!(idx.verify_quantized());
         let footer = idx.pager().num_pages() - footer_span_pages(idx.pager().page_size());
         let reopened = IDistanceIndex::open_at(Arc::clone(idx.pager()), footer).unwrap();
         assert!(reopened.quantized());
         assert_eq!(reopened.quant_region(), idx.quant_region());
         assert_eq!(reopened.quants(), idx.quants());
+        assert!(reopened.verify_quantized());
+        assert_eq!(reopened.vquant_region(), idx.vquant_region());
+        assert_eq!(reopened.vquants(), idx.vquants());
         let pq = vec![0.2f32; 6];
         assert_eq!(
             idx.range_candidates(&pq, 0.5, 2.5).unwrap(),
@@ -1254,12 +1385,14 @@ mod tests {
         assert_eq!(reopened.len(), 150);
         assert!(reopened.quantized());
         assert_eq!(reopened.quants(), built.quants());
+        assert!(reopened.verify_quantized());
+        assert_eq!(reopened.vquants(), built.vquants());
         assert_eq!(reopened.range_candidates(&pq, -1.0, 2.0).unwrap(), before);
     }
 
     #[test]
     fn v1_format_files_open_without_quant_tier() {
-        // `quantize: false` writes the v1 footer (byte-compatible with
+        // Both tiers off writes the v1 footer (byte-compatible with
         // pre-quantization builds); open must accept it, run the pure-f32
         // scan, and return the same candidates as a quantized twin.
         let proj = random_matrix(400, 5, 31);
@@ -1269,14 +1402,18 @@ mod tests {
             nkey: 6,
             ksp: 2,
             quantize: false,
+            verify_quantize: false,
             ..Default::default()
         };
         let pager = Arc::new(Pager::in_memory(512, 1 << 16));
         let v1 = build_index(Arc::clone(&pager), &proj, &orig, &cfg).unwrap();
         assert!(!v1.quantized());
         assert!(v1.quants().is_empty());
+        assert!(!v1.verify_quantized());
+        assert!(v1.vquants().is_empty());
         let reopened = IDistanceIndex::open(pager).unwrap();
         assert!(!reopened.quantized());
+        assert!(!reopened.verify_quantized());
 
         let cfg_v2 = IDistanceConfig {
             quantize: true,
@@ -1291,6 +1428,99 @@ mod tests {
                 v2.range_candidates(&pq, r_lo, r_hi).unwrap(),
                 "r = ({r_lo}, {r_hi})"
             );
+        }
+    }
+
+    #[test]
+    fn every_footer_variant_reopens_with_its_tiers() {
+        // The four (quantize, verify_quantize) combinations map onto the
+        // three footer versions — v1 (off/off), v2 (on/off), v3 (either
+        // with verify on, where scan-quant absence is footer-sentinel
+        // encoded). Each must reopen with exactly its tiers and return
+        // identical candidates and code fetches.
+        let proj = random_matrix(300, 5, 41);
+        let orig = random_matrix(300, 9, 42);
+        for (quantize, verify_quantize) in
+            [(false, false), (true, false), (false, true), (true, true)]
+        {
+            let cfg = IDistanceConfig {
+                kp: 3,
+                nkey: 6,
+                ksp: 2,
+                quantize,
+                verify_quantize,
+                ..Default::default()
+            };
+            let pager = Arc::new(Pager::in_memory(512, 1 << 16));
+            let built = build_index(Arc::clone(&pager), &proj, &orig, &cfg).unwrap();
+            let reopened = IDistanceIndex::open(pager).unwrap();
+            assert_eq!(
+                reopened.quantized(),
+                quantize,
+                "({quantize}, {verify_quantize})"
+            );
+            assert_eq!(
+                reopened.verify_quantized(),
+                verify_quantize,
+                "({quantize}, {verify_quantize})"
+            );
+            assert_eq!(reopened.quants(), built.quants());
+            assert_eq!(reopened.vquants(), built.vquants());
+            let pq = vec![0.1f32; 5];
+            assert_eq!(
+                reopened.range_candidates(&pq, -1.0, 2.0).unwrap(),
+                built.range_candidates(&pq, -1.0, 2.0).unwrap()
+            );
+            if verify_quantize {
+                let sub = (0..built.subparts().len() as u32)
+                    .find(|&s| built.subparts()[s as usize].count >= 3)
+                    .expect("a sub-partition with >= 3 points");
+                let offsets = [0u32, 2];
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                built.fetch_codes(sub, &offsets, &mut a).unwrap();
+                reopened.fetch_codes(sub, &offsets, &mut b).unwrap();
+                assert_eq!(a, b);
+                assert_eq!(a.len(), offsets.len() * built.orig_dim());
+            }
+        }
+    }
+
+    #[test]
+    fn fetched_codes_dequantize_to_originals_within_bound() {
+        // Codes fetched through the verification region must dequantize
+        // back to the stored original vectors within the sub-partition's
+        // recorded error bound — the inequality the screen's padding
+        // discipline rests on.
+        let (idx, _, orig) = build_small();
+        assert!(idx.verify_quantized());
+        let d = idx.orig_dim();
+        let mut codes = Vec::new();
+        let mut scratch = ProjScratch::new();
+        for sub in 0..idx.subparts().len() as u32 {
+            let count = idx.subparts()[sub as usize].count;
+            let vq = &idx.vquants()[sub as usize];
+            let offsets: Vec<u32> = (0..count).collect();
+            idx.fetch_codes(sub, &offsets, &mut codes).unwrap();
+            assert_eq!(codes.len(), offsets.len() * d);
+            idx.read_subpart_proj_into(sub, &mut scratch).unwrap();
+            for (slot, &id) in scratch.ids().iter().enumerate() {
+                let row = orig.row(id as usize);
+                let mut err_sq = 0.0f64;
+                let mut xnorm_sq = 0.0f64;
+                for (j, &x) in row.iter().enumerate() {
+                    let xhat = vq.min as f64 + vq.scale as f64 * codes[slot * d + j] as f64;
+                    err_sq += (x as f64 - xhat) * (x as f64 - xhat);
+                    xnorm_sq += xhat * xhat;
+                }
+                assert!(
+                    err_sq.sqrt() <= vq.err as f64,
+                    "sub {sub} slot {slot}: ‖x − x̂‖ exceeds the stored bound"
+                );
+                assert!(
+                    xnorm_sq.sqrt() <= vq.xnorm as f64,
+                    "sub {sub} slot {slot}: ‖x̂‖ exceeds the stored bound"
+                );
+            }
         }
     }
 

@@ -87,6 +87,64 @@ impl SubPartQuant {
     }
 }
 
+/// Per-sub-partition SQ8 quantizer for **original** vectors (format v3):
+/// the sub-partition's original d-dim rows are scalar-quantized with one
+/// shared affine (`code = round((x − min) / scale)`) and stored as a dense
+/// code column in the verification-quant region, in the same record order
+/// as the original region.
+///
+/// The two bounds make the verification screen exact: for any member `x`
+/// with dequantization `x̂`, Cauchy–Schwarz gives
+/// `|⟨x, q⟩ − ⟨x̂, q̂⟩| ≤ err·‖q‖ + xnorm·‖q − q̂‖`, so a candidate block
+/// whose quantized inner product plus that padding still falls below the
+/// running k-th best can be skipped without ever reading its f32 rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrigQuant {
+    /// Byte offset of this sub-partition's code rows inside the packed
+    /// verification-quant region (`count` rows of `d` bytes each, same
+    /// record order as the original region).
+    pub off: u64,
+    /// Quantization step (`> 0`; degenerate single-value sub-partitions
+    /// store 1.0 with all codes 0).
+    pub scale: f32,
+    /// Quantization origin (the sub-partition's coordinate minimum).
+    pub min: f32,
+    /// Upper bound on any member's dequantization distance ‖x − x̂‖
+    /// (rounded up when narrowed to f32).
+    pub err: f32,
+    /// Upper bound on any member's dequantized norm ‖x̂‖ (rounded up when
+    /// narrowed to f32) — the factor multiplying the query's own
+    /// quantization error in the screen bound.
+    pub xnorm: f32,
+}
+
+impl OrigQuant {
+    /// Serializes into `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_u64(buf, self.off);
+        put_f32(buf, self.scale);
+        put_f32(buf, self.min);
+        put_f32(buf, self.err);
+        put_f32(buf, self.xnorm);
+    }
+
+    /// Deserializes from `buf` at `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Self {
+        let off = get_u64(buf, pos);
+        let scale = get_f32(buf, pos);
+        let min = get_f32(buf, pos);
+        let err = get_f32(buf, pos);
+        let xnorm = get_f32(buf, pos);
+        Self {
+            off,
+            scale,
+            min,
+            err,
+            xnorm,
+        }
+    }
+}
+
 impl PartitionMeta {
     /// Serializes into `buf`.
     pub fn encode(&self, buf: &mut Vec<u8>) {
@@ -189,6 +247,22 @@ mod tests {
         q.encode(&mut buf);
         let mut pos = 0;
         assert_eq!(SubPartQuant::decode(&buf, &mut pos), q);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn orig_quant_roundtrip() {
+        let q = OrigQuant {
+            off: 65536,
+            scale: 0.0107,
+            min: -2.5,
+            err: 0.031,
+            xnorm: 12.75,
+        };
+        let mut buf = Vec::new();
+        q.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(OrigQuant::decode(&buf, &mut pos), q);
         assert_eq!(pos, buf.len());
     }
 

@@ -325,6 +325,26 @@ unsafe fn dot4_i8_body(a0: &[u8], a1: &[u8], a2: &[u8], a3: &[u8], b: &[i8]) -> 
     out
 }
 
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn dot_i8_body(a: &[u8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_i8: dimension mismatch");
+    // Soundness: clamp to the shortest operand (see dot_body).
+    let n = b.len().min(a.len());
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = _mm512_setzero_si512();
+    let chunks = n / 32;
+    for i in 0..chunks {
+        let vb = _mm512_cvtepi8_epi16(_mm256_loadu_si256(bp.add(i * 32) as *const __m256i));
+        acc = _mm512_add_epi32(acc, _mm512_madd_epi16(widen32_u8(ap.add(i * 32)), vb));
+    }
+    let mut out = _mm512_reduce_add_epi32(acc);
+    for i in chunks * 32..n {
+        out += *ap.add(i) as i32 * *bp.add(i) as i32;
+    }
+    out
+}
+
 // Safe wrappers installed into the dispatch table. Soundness: the table
 // selects these only after runtime detection of avx512f (see
 // `dispatch::select`); the i8 wrappers additionally require avx512bw,
@@ -362,4 +382,8 @@ pub(crate) fn sq_dist4_i8(a0: &[u8], a1: &[u8], a2: &[u8], a3: &[u8], b: &[u8]) 
 
 pub(crate) fn dot4_i8(a0: &[u8], a1: &[u8], a2: &[u8], a3: &[u8], b: &[i8]) -> [i32; 4] {
     unsafe { dot4_i8_body(a0, a1, a2, a3, b) }
+}
+
+pub(crate) fn dot_i8(a: &[u8], b: &[i8]) -> i32 {
+    unsafe { dot_i8_body(a, b) }
 }

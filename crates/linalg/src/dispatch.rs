@@ -49,6 +49,12 @@ pub type SqDist4I8Fn = fn(&[u8], &[u8], &[u8], &[u8], &[u8]) -> [u32; 4];
 /// same length bound as [`SqDist4I8Fn`].
 pub type Dot4I8Fn = fn(&[u8], &[u8], &[u8], &[u8], &[i8]) -> [i32; 4];
 
+/// Signature of the single-row quantized inner-product kernel (`dot_i8`):
+/// one u8 code row against one i8 query — the tail shape of the quantized
+/// verification screen. Exact integer arithmetic, same length bound as
+/// [`SqDist4I8Fn`].
+pub type DotI8Fn = fn(&[u8], &[i8]) -> i32;
+
 /// The dispatch table: one entry per kernel.
 #[derive(Clone, Copy)]
 pub struct Kernels {
@@ -71,6 +77,8 @@ pub struct Kernels {
     pub sq_dist4_i8: SqDist4I8Fn,
     /// Four quantized inner products (u8 code rows × i8 query).
     pub dot4_i8: Dot4I8Fn,
+    /// One quantized inner product (u8 code row × i8 query).
+    pub dot_i8: DotI8Fn,
 }
 
 /// The portable table (also the fallback backend).
@@ -84,6 +92,7 @@ pub static SCALAR: Kernels = Kernels {
     sq_dist4: scalar::sq_dist4,
     sq_dist4_i8: scalar::sq_dist4_i8,
     dot4_i8: scalar::dot4_i8,
+    dot_i8: scalar::dot_i8,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -97,6 +106,7 @@ static AVX2: Kernels = Kernels {
     sq_dist4: crate::x86::sq_dist4,
     sq_dist4_i8: crate::x86::sq_dist4_i8,
     dot4_i8: crate::x86::dot4_i8,
+    dot_i8: crate::x86::dot_i8,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -114,6 +124,7 @@ static AVX512: Kernels = Kernels {
     // 512-bit versions after a one-time BW detection.
     sq_dist4_i8: crate::x86::sq_dist4_i8,
     dot4_i8: crate::x86::dot4_i8,
+    dot_i8: crate::x86::dot_i8,
 };
 
 /// The avx512 table with the widest i8 kernels the host supports — BW is
@@ -124,6 +135,7 @@ fn avx512_table() -> Kernels {
     if std::arch::is_x86_feature_detected!("avx512bw") {
         k.sq_dist4_i8 = crate::avx512::sq_dist4_i8;
         k.dot4_i8 = crate::avx512::dot4_i8;
+        k.dot_i8 = crate::avx512::dot_i8;
     }
     k
 }

@@ -26,6 +26,6 @@ mod x86;
 pub use dispatch::{active_backend, kernels, Kernels};
 pub use matrix::Matrix;
 pub use vector::{
-    add_scaled, dist, dot, dot4, dot4_i8, norm1, norm2, sq_dist, sq_dist4, sq_dist4_i8, sq_norm2,
-    sub,
+    add_scaled, dist, dot, dot4, dot4_i8, dot_i8, norm1, norm2, sq_dist, sq_dist4, sq_dist4_i8,
+    sq_norm2, sub,
 };

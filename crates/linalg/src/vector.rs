@@ -82,6 +82,15 @@ pub fn dot4_i8(a0: &[u8], a1: &[u8], a2: &[u8], a3: &[u8], b: &[i8]) -> [i32; 4]
     (kernels().dot4_i8)(a0, a1, a2, a3, b)
 }
 
+/// One quantized inner product `Σⱼ aⱼ·bⱼ` (u8 code row × i8 query) — the
+/// tail shape of the quantized verification screen, pairing with
+/// [`dot4_i8`] the way [`dot`] pairs with [`dot4`]. Exact integer
+/// arithmetic, same length bound as [`sq_dist4_i8`].
+#[inline]
+pub fn dot_i8(a: &[u8], b: &[i8]) -> i32 {
+    (kernels().dot_i8)(a, b)
+}
+
 /// Element-wise difference `a − b` into a fresh vector.
 pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
     debug_assert_eq!(a.len(), b.len());
@@ -168,8 +177,10 @@ mod tests {
         // a·q = 0·(−128) + 255·127 + 10·1 + 20·(−1) + 30·0
         let want_dot: i32 = 127 * 255 + 10 - 20;
         assert_eq!(dot4_i8(&a, &a, &a, &a, &q), [want_dot; 4]);
+        assert_eq!(dot_i8(&a, &q), want_dot);
         assert_eq!(sq_dist4_i8(&[], &[], &[], &[], &[]), [0; 4]);
         assert_eq!(dot4_i8(&[], &[], &[], &[], &[]), [0; 4]);
+        assert_eq!(dot_i8(&[], &[]), 0);
     }
 
     #[test]
@@ -315,6 +326,19 @@ mod tests {
                 for k in available_backends() {
                     let got = (k.dot4_i8)(&rows[0], &rows[1], &rows[2], &rows[3], &q);
                     prop_assert_eq!(got, want, "backend {}", k.name);
+                }
+            }
+
+            #[test]
+            fn dot_i8_parity(v in proptest::collection::vec(
+                (0u16..256, -128i16..128),
+                0..200,
+            )) {
+                let a: Vec<u8> = v.iter().map(|t| t.0 as u8).collect();
+                let q: Vec<i8> = v.iter().map(|t| t.1 as i8).collect();
+                let want = scalar::dot_i8(&a, &q);
+                for k in available_backends() {
+                    prop_assert_eq!((k.dot_i8)(&a, &q), want, "backend {}", k.name);
                 }
             }
 

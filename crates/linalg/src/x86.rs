@@ -383,6 +383,28 @@ unsafe fn dot4_i8_body(a0: &[u8], a1: &[u8], a2: &[u8], a3: &[u8], b: &[i8]) -> 
     out
 }
 
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_body(a: &[u8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_i8: dimension mismatch");
+    // Soundness: clamp to the shortest operand (see dot_body).
+    let n = b.len().min(a.len());
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = _mm256_setzero_si256();
+    let chunks = n / 16;
+    for i in 0..chunks {
+        // Sign-extend the query codes; products (u8 as i16) × (i8 as i16)
+        // fit i16 × i16 → i32 exactly under vpmaddwd.
+        let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(i * 16) as *const __m128i));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(widen16_u8(ap.add(i * 16)), vb));
+    }
+    let mut out = hsum_epi32(acc);
+    for i in chunks * 16..n {
+        out += *ap.add(i) as i32 * *bp.add(i) as i32;
+    }
+    out
+}
+
 // Safe wrappers installed into the dispatch table. Soundness: the table
 // selects these only after runtime detection of avx2+fma (see
 // `dispatch::select`), so the target-feature preconditions always hold.
@@ -417,4 +439,8 @@ pub(crate) fn sq_dist4_i8(a0: &[u8], a1: &[u8], a2: &[u8], a3: &[u8], b: &[u8]) 
 
 pub(crate) fn dot4_i8(a0: &[u8], a1: &[u8], a2: &[u8], a3: &[u8], b: &[i8]) -> [i32; 4] {
     unsafe { dot4_i8_body(a0, a1, a2, a3, b) }
+}
+
+pub(crate) fn dot_i8(a: &[u8], b: &[i8]) -> i32 {
+    unsafe { dot_i8_body(a, b) }
 }

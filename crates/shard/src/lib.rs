@@ -122,6 +122,7 @@ mod tests {
             let b = sharded.search(&q, 10).unwrap();
             assert_eq!(a.items, b.items, "one-shard results must be identical");
             assert_eq!(a.verified, b.verified);
+            assert_eq!(a.screened, b.screened);
         }
     }
 

@@ -18,6 +18,10 @@ pub struct ShardQueryStats {
     /// Candidates whose exact inner product was computed in this shard
     /// (zero for pruned shards).
     pub verified: usize,
+    /// Candidates the shard's SQ8 verification screen dropped without an
+    /// exact rescore (zero for pruned or exact-scan shards, and for shards
+    /// whose index file predates the verification tier).
+    pub screened: usize,
     /// Items the shard contributed to the merge (before the global top-k
     /// cut).
     pub returned: usize,
@@ -60,6 +64,9 @@ pub struct ShardedSearchResult {
     pub items: Vec<SearchItem>,
     /// Total candidates verified across all searched shards.
     pub verified: usize,
+    /// Total candidates screened out (skipped without an exact rescore) by
+    /// the shards' SQ8 verification tiers.
+    pub screened: usize,
     /// Per-shard diagnostics, indexed by shard id.
     pub per_shard: Vec<ShardQueryStats>,
 }
@@ -95,6 +102,7 @@ mod tests {
         let r = ShardedSearchResult {
             items: vec![SearchItem { id: 9, ip: 4.0 }, SearchItem { id: 2, ip: 1.0 }],
             verified: 12,
+            screened: 8,
             per_shard: vec![
                 ShardQueryStats {
                     shard: 0,
@@ -102,6 +110,7 @@ mod tests {
                     pruned: false,
                     exact: false,
                     verified: 12,
+                    screened: 8,
                     returned: 2,
                     delta_len: 0,
                     tombstones: 0,
@@ -113,6 +122,7 @@ mod tests {
                     pruned: true,
                     exact: true,
                     verified: 0,
+                    screened: 0,
                     returned: 0,
                     delta_len: 1,
                     tombstones: 2,

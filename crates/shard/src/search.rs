@@ -81,6 +81,7 @@ struct ShardOutcome {
     /// Shard items mapped to **global** ids, best first.
     items: Vec<SearchItem>,
     verified: usize,
+    screened: usize,
 }
 
 impl ShardedProMips {
@@ -237,6 +238,7 @@ impl ShardedProMips {
         merged.truncate(k);
 
         let verified = outcomes.iter().flatten().map(|o| o.verified).sum();
+        let screened = outcomes.iter().flatten().map(|o| o.screened).sum();
         let per_shard = (0..ns)
             .map(|si| ShardQueryStats {
                 shard: si as u32,
@@ -244,6 +246,7 @@ impl ShardedProMips {
                 pruned: pruned[si],
                 exact: snaps[si].gen.is_exact(),
                 verified: outcomes[si].as_ref().map_or(0, |o| o.verified),
+                screened: outcomes[si].as_ref().map_or(0, |o| o.screened),
                 returned: outcomes[si].as_ref().map_or(0, |o| o.items.len()),
                 delta_len: snaps[si].inserts.len(),
                 tombstones: snaps[si].tombstones.len(),
@@ -254,6 +257,7 @@ impl ShardedProMips {
         Ok(ShardedSearchResult {
             items: merged,
             verified,
+            screened,
             per_shard,
         })
     }
@@ -271,7 +275,7 @@ fn search_snapshot(
 ) -> io::Result<ShardOutcome> {
     let dead = &snap.tombstones;
     let gen_ids = &snap.gen.ids;
-    let (mut items, mut verified) = match &snap.gen.kind {
+    let (mut items, mut verified, screened) = match &snap.gen.kind {
         GenKind::Indexed(pm) => {
             let mask = |local: u64| dead.contains(&gen_ids[local as usize]);
             let res = pm.search_masked(q, k, floor, &mask, snap.dead_base, scratch)?;
@@ -283,7 +287,7 @@ fn search_snapshot(
                     ip: it.ip,
                 })
                 .collect();
-            (items, res.verified)
+            (items, res.verified, res.screened)
         }
         GenKind::Exact(rows) => {
             let mut items: Vec<SearchItem> = Vec::with_capacity(rows.rows());
@@ -296,7 +300,7 @@ fn search_snapshot(
                     }
                 }
             });
-            (items, verified)
+            (items, verified, 0)
         }
     };
     // Delta overlay: every live appended row is verified exhaustively
@@ -314,5 +318,9 @@ fn search_snapshot(
     }
     items.sort_by(|a, b| b.ip.total_cmp(&a.ip).then(a.id.cmp(&b.id)));
     items.truncate(k);
-    Ok(ShardOutcome { items, verified })
+    Ok(ShardOutcome {
+        items,
+        verified,
+        screened,
+    })
 }
