@@ -58,6 +58,14 @@ pub const REQUIRED_SECTIONS: &[(&str, &[&str])] = &[
         &["insert_throughput", "query_vs_delta", "compaction"],
     ),
     ("concurrent_mutation", &["query_latency", "group_commit"]),
+    (
+        "obs_overhead",
+        &[
+            "overhead_pct",
+            "traced_ns_per_query",
+            "untimed_ns_per_query",
+        ],
+    ),
 ];
 
 /// Parses a JSON document, returning the root value.

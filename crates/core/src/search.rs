@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use promips_idistance::{ProjScratch, RangeCandidate};
 use promips_linalg::{dist, dot, dot4, dot4_i8, dot_i8, norm1, sq_norm2};
+use promips_obs::{self as obs, CounterId, HistoId, ShardSpan, StageNanos};
 
 use crate::conditions::ConditionContext;
 use crate::index::ProMips;
@@ -274,6 +275,27 @@ impl ProMips {
         self.search_inner(q, k, ip_floor, Some(dead), dead_count, scratch)
     }
 
+    /// [`ProMips::search_masked`] that additionally fills `span` with the
+    /// per-stage wall-time breakdown (scan → screen → verify) and the
+    /// scanned/screened/verified row counts of this search — the per-shard
+    /// slice of an [`obs::QueryTrace`]. The caller owns the span's
+    /// identity fields (`shard`, `seed`, `elapsed_ns`); the stage clocks
+    /// honour the global [`obs::set_timing_enabled`] kill-switch (all
+    /// zeros when disabled).
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_masked_traced(
+        &self,
+        q: &[f32],
+        k: usize,
+        ip_floor: f64,
+        dead: &dyn Fn(u64) -> bool,
+        dead_count: usize,
+        scratch: &mut SearchScratch,
+        span: &mut ShardSpan,
+    ) -> io::Result<SearchResult> {
+        self.search_observed(q, k, ip_floor, Some(dead), dead_count, scratch, Some(span))
+    }
+
     fn search_inner(
         &self,
         q: &[f32],
@@ -282,6 +304,72 @@ impl ProMips {
         mask: Option<&dyn Fn(u64) -> bool>,
         mask_dead_count: usize,
         scratch: &mut SearchScratch,
+    ) -> io::Result<SearchResult> {
+        self.search_observed(q, k, ip_floor, mask, mask_dead_count, scratch, None)
+    }
+
+    /// Runs the timed search body, feeds the global metrics registry
+    /// (row counters always; stage histograms only while timing is
+    /// enabled), and optionally exports the breakdown into `span`.
+    /// Query-level metrics (`promips_queries_total`, end-to-end latency)
+    /// are owned by the sharded layer so a fan-out is counted once, not
+    /// once per shard.
+    #[allow(clippy::too_many_arguments)]
+    fn search_observed(
+        &self,
+        q: &[f32],
+        k: usize,
+        ip_floor: f64,
+        mask: Option<&dyn Fn(u64) -> bool>,
+        mask_dead_count: usize,
+        scratch: &mut SearchScratch,
+        span: Option<&mut ShardSpan>,
+    ) -> io::Result<SearchResult> {
+        let mut stages = StageNanos::default();
+        let mut scanned = 0u64;
+        let res = self.search_core(
+            q,
+            k,
+            ip_floor,
+            mask,
+            mask_dead_count,
+            scratch,
+            &mut stages,
+            &mut scanned,
+        )?;
+        let reg = obs::global();
+        reg.counter(CounterId::QueryScanned).add(scanned);
+        reg.counter(CounterId::QueryScreened)
+            .add(res.screened as u64);
+        reg.counter(CounterId::QueryVerified)
+            .add(res.verified as u64);
+        if obs::timing_enabled() {
+            reg.histogram(HistoId::StageScanNs).record(stages.scan_ns);
+            reg.histogram(HistoId::StageScreenNs)
+                .record(stages.screen_ns);
+            reg.histogram(HistoId::StageVerifyNs)
+                .record(stages.verify_ns);
+        }
+        if let Some(span) = span {
+            span.stages = stages;
+            span.scanned = scanned;
+            span.screened = res.screened as u64;
+            span.verified = res.verified as u64;
+        }
+        Ok(res)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search_core(
+        &self,
+        q: &[f32],
+        k: usize,
+        ip_floor: f64,
+        mask: Option<&dyn Fn(u64) -> bool>,
+        mask_dead_count: usize,
+        scratch: &mut SearchScratch,
+        stages: &mut StageNanos,
+        scanned: &mut u64,
     ) -> io::Result<SearchResult> {
         assert_eq!(q.len(), self.d, "query dimensionality mismatch");
         assert!(k >= 1, "k must be at least 1");
@@ -300,6 +388,7 @@ impl ProMips {
             ));
         }
 
+        let t_scan = obs::clock_start();
         self.projection.project_into(q, &mut scratch.pq);
         let ctx = ConditionContext {
             c: self.config.c,
@@ -313,7 +402,9 @@ impl ProMips {
         let located = self
             .quickprobe
             .locate(&scratch.pq, norm1(q), self.config.c, self.config.p);
-        let r = self.located_radius(&located, &scratch.pq, &mut scratch.proj)?;
+        let r = self.located_radius(&located, &scratch.pq, &mut scratch.proj);
+        stages.scan_ns += obs::elapsed_since(t_scan);
+        let r = r?;
 
         let mut top = TopK::with_floor(k, ip_floor);
         let mut verified = 0usize;
@@ -322,16 +413,22 @@ impl ProMips {
         // Fresh inserts live in the in-memory delta segment; verify them
         // all up-front so the searching conditions' premise (everything
         // nearer than a tested frontier is verified) covers them.
+        let t_delta = obs::clock_start();
         self.verify_delta(q, mask, &mut top, &mut verified);
+        stages.verify_ns += obs::elapsed_since(t_delta);
 
         // --- Range search within r; verify per sub-partition batch. -------
-        self.index.range_candidates_into(
+        let t_range = obs::clock_start();
+        let ranged = self.index.range_candidates_into(
             &scratch.pq,
             -1.0,
             r,
             &mut scratch.cands,
             &mut scratch.proj,
-        )?;
+        );
+        stages.scan_ns += obs::elapsed_since(t_range);
+        ranged?;
+        *scanned += scratch.cands.len() as u64;
         if let Some(term) = self.verify_groups(
             &scratch.cands,
             q,
@@ -341,6 +438,7 @@ impl ProMips {
             &mut verified,
             &mut screened,
             &mut scratch.fetch,
+            stages,
         )? {
             return Ok(self.finish(top, verified, screened, Some(r), Some(r), false, term));
         }
@@ -357,24 +455,31 @@ impl ProMips {
         let mut r_final = r;
         let mut extended = false;
         if top.len() < k && ip_floor == f64::NEG_INFINITY {
+            let t_short = obs::clock_start();
             let mut iter = self.index.nn_iter(&scratch.pq);
-            for cand in iter.by_ref() {
-                if cand.proj_dist <= r || self.is_dead(cand.id, mask) {
-                    continue; // already verified by the range pass / deleted
+            let mut shortfall = || -> io::Result<()> {
+                for cand in iter.by_ref() {
+                    if cand.proj_dist <= r || self.is_dead(cand.id, mask) {
+                        continue; // already verified by the range pass / deleted
+                    }
+                    self.index.fetch_originals(
+                        cand.subpart,
+                        &[cand.offset],
+                        &mut scratch.fetch.arena,
+                    )?;
+                    top.push(cand.id, dot(&scratch.fetch.arena, q));
+                    verified += 1;
+                    r_final = cand.proj_dist;
+                    extended = true;
+                    if top.len() >= k {
+                        break;
+                    }
                 }
-                self.index.fetch_originals(
-                    cand.subpart,
-                    &[cand.offset],
-                    &mut scratch.fetch.arena,
-                )?;
-                top.push(cand.id, dot(&scratch.fetch.arena, q));
-                verified += 1;
-                r_final = cand.proj_dist;
-                extended = true;
-                if top.len() >= k {
-                    break;
-                }
-            }
+                Ok(())
+            };
+            let shorted = shortfall();
+            stages.verify_ns += obs::elapsed_since(t_short);
+            shorted?;
             if let Some(e) = iter.take_error() {
                 return Err(e);
             }
@@ -407,13 +512,17 @@ impl ProMips {
         // --- Compensation: extend once to r' (paper Section V-A). ---------
         if let Some(r_prime) = ctx.compensation_radius(top.kth_ip()) {
             if r_prime > r_final {
-                self.index.range_candidates_into(
+                let t_comp = obs::clock_start();
+                let ranged = self.index.range_candidates_into(
                     &scratch.pq,
                     r_final,
                     r_prime,
                     &mut scratch.cands,
                     &mut scratch.proj,
-                )?;
+                );
+                stages.scan_ns += obs::elapsed_since(t_comp);
+                ranged?;
+                *scanned += scratch.cands.len() as u64;
                 if let Some(term) = self.verify_groups(
                     &scratch.cands,
                     q,
@@ -423,6 +532,7 @@ impl ProMips {
                     &mut verified,
                     &mut screened,
                     &mut scratch.fetch,
+                    stages,
                 )? {
                     return Ok(self.finish(
                         top,
@@ -591,6 +701,13 @@ impl ProMips {
     /// While the collector still reports `-∞` (fewer than k finite
     /// verifications, no floor), screening cannot drop anything and the
     /// plain path runs.
+    /// Stage attribution: the whole screened call (code fetch + integer
+    /// screen + survivor rescore) books to `screen_ns` — that is the
+    /// two-level verification tier as a unit — while the plain f32 path
+    /// books to `verify_ns`. Timing at group granularity (two clock
+    /// reads per group) keeps the instrumentation off the per-block
+    /// kernel hot loop, where a clock read per 4-candidate block would
+    /// cost more than the i8 kernel itself.
     #[allow(clippy::too_many_arguments)]
     fn verify_groups(
         &self,
@@ -602,6 +719,7 @@ impl ProMips {
         verified: &mut usize,
         screened: &mut usize,
         buf: &mut FetchBuffers,
+        stages: &mut StageNanos,
     ) -> io::Result<Option<Termination>> {
         // Candidates arrive grouped by sub-partition (directory order);
         // compute each group's (min proj_dist, range) key in one pass.
@@ -625,34 +743,77 @@ impl ProMips {
         let tier = self.index.verify_quantized() && !cands.is_empty();
         let qs = tier.then(|| QueryScreen::build(q, ctx.q_sq_norm, &mut buf.qcodes));
 
+        // Lap-style stage timing: a query visits hundreds of tiny groups,
+        // so reading the clock around every group would dominate the very
+        // overhead the stage timers exist to expose. The branch (screened
+        // vs plain) flips at most once per pass — plain until the k-th
+        // best becomes finite, screened after — so one lap per *branch
+        // run* gives exact attribution with O(1) clock reads per call.
+        let mut t_lap = obs::clock_start();
+        let mut lap_screened = false;
+        let flush = |screened_lap: bool, t_lap: &mut u64, stages: &mut StageNanos| {
+            if *t_lap != 0 {
+                let now = obs::now_ns();
+                let slot = if screened_lap {
+                    &mut stages.screen_ns
+                } else {
+                    &mut stages.verify_ns
+                };
+                *slot += now.saturating_sub(*t_lap);
+                *t_lap = now;
+            }
+        };
+        let mut outcome = Ok(None);
         for gi in 0..buf.groups.len() {
             let (_, s, e) = buf.groups[gi];
             let group = &cands[s..e];
             buf.offsets.clear();
             buf.offsets.extend(group.iter().map(|c| c.offset));
-            match &qs {
-                // Screening can only drop candidates proven below a finite
-                // k-th best; with `-∞` it is a no-op, so skip the code
-                // fetch entirely and take the plain path.
-                Some(qs) if top.kth_ip() > f64::NEG_INFINITY => {
-                    self.verify_group_screened(group, q, qs, mask, top, verified, screened, buf)?;
-                }
-                _ => {
+            // Screening can only drop candidates proven below a finite
+            // k-th best; with `-∞` it is a no-op, so skip the code
+            // fetch entirely and take the plain path.
+            let screen_now = qs.is_some() && top.kth_ip() > f64::NEG_INFINITY;
+            if screen_now != lap_screened {
+                flush(lap_screened, &mut t_lap, stages);
+                lap_screened = screen_now;
+            }
+            let res = if screen_now {
+                self.verify_group_screened(
+                    group,
+                    q,
+                    qs.as_ref().unwrap(),
+                    mask,
+                    top,
+                    verified,
+                    screened,
+                    buf,
+                )
+            } else {
+                let res =
                     self.index
-                        .fetch_originals(group[0].subpart, &buf.offsets, &mut buf.arena)?;
+                        .fetch_originals(group[0].subpart, &buf.offsets, &mut buf.arena);
+                if res.is_ok() {
                     self.rescore_group(group, q, mask, top, verified, &buf.arena);
                 }
+                res
+            };
+            if let Err(e) = res {
+                outcome = Err(e);
+                break;
             }
             if ctx.condition_a(top.kth_ip()) {
-                return Ok(Some(Termination::ConditionA));
+                outcome = Ok(Some(Termination::ConditionA));
+                break;
             }
             if let Some(&(frontier, _, _)) = buf.groups.get(gi + 1) {
                 if ctx.condition_b(frontier * frontier, top.kth_ip()) {
-                    return Ok(Some(Termination::ConditionB));
+                    outcome = Ok(Some(Termination::ConditionB));
+                    break;
                 }
             }
         }
-        Ok(None)
+        flush(lap_screened, &mut t_lap, stages);
+        outcome
     }
 
     /// Exact-f32 verification of `cands`, whose rows sit contiguously in

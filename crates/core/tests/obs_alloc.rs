@@ -1,0 +1,118 @@
+//! Allocation accounting for the observability instrumentation on the
+//! warm query path.
+//!
+//! The metrics registry is fixed atomic arrays and the stage timers are
+//! plain `u64` reads, so instrumentation must add **zero** allocations to
+//! a warm search — with timing enabled (the default) or disabled (the
+//! kill-switch path the `obs_overhead` bench compares against). A warm
+//! search still pays only the per-search constants (the `TopK` heap and
+//! the sorted result vector), exactly as before the observability layer
+//! landed.
+//!
+//! One test per file: the counting allocator is process-global (see
+//! `verify_alloc.rs`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use promips_core::{ProMips, ProMipsConfig, SearchScratch};
+use promips_linalg::Matrix;
+use promips_stats::Xoshiro256pp;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Warms the scratch, then returns the allocation count of one fully
+/// warm search and its verified-candidate count.
+fn warm_search_allocs(
+    index: &ProMips,
+    q: &[f32],
+    k: usize,
+    scratch: &mut SearchScratch,
+) -> (u64, usize) {
+    for _ in 0..3 {
+        index.search_with_scratch(q, k, scratch).unwrap();
+    }
+    let before = allocs();
+    let res = index.search_with_scratch(q, k, scratch).unwrap();
+    (allocs() - before, res.verified)
+}
+
+#[test]
+fn instrumented_warm_search_does_not_allocate() {
+    let n = 3_000;
+    let d = 24;
+    let k = 16;
+    let mut rng = Xoshiro256pp::seed_from_u64(64);
+    let data = Matrix::from_rows(
+        d,
+        (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()),
+    );
+    let cfg = ProMipsConfig::builder().c(0.9).p(0.5).seed(17).build();
+    let index = ProMips::build_in_memory(&data, cfg).unwrap();
+    let q: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
+    let mut scratch = SearchScratch::new();
+
+    // Touch the registry and the clock epoch up front so their one-time
+    // lazy initialisation doesn't charge the first measured search.
+    promips_obs::set_timing_enabled(true);
+    let _ = promips_obs::now_ns();
+    let _ = promips_obs::global().snapshot();
+
+    let (timed, verified) = warm_search_allocs(&index, &q, k, &mut scratch);
+    assert!(
+        verified > 100,
+        "workload too small to distinguish per-search from per-candidate \
+         ({verified} verified)"
+    );
+    // Steady state with timing on.
+    let (timed_again, _) = warm_search_allocs(&index, &q, k, &mut scratch);
+    assert_eq!(
+        timed, timed_again,
+        "instrumented warm search is not in allocation steady state"
+    );
+    // The kill-switch path allocates exactly as much: recording into the
+    // registry and skipping the clock are both allocation-free.
+    promips_obs::set_timing_enabled(false);
+    let (untimed, _) = warm_search_allocs(&index, &q, k, &mut scratch);
+    promips_obs::set_timing_enabled(true);
+    assert_eq!(
+        timed, untimed,
+        "stage timing changes the warm-path allocation count"
+    );
+    // And it stays a tiny per-search constant, not per-candidate.
+    assert!(
+        (timed as usize) * 16 < verified,
+        "{timed} warm allocations against {verified} verified candidates — \
+         the instrumented search path is allocating per candidate"
+    );
+}

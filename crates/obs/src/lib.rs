@@ -1,0 +1,118 @@
+//! Unified observability layer: a process-global lock-free metrics
+//! registry, per-query stage tracing, and a slow-query log.
+//!
+//! The crate is dependency-free and sits *below* the storage/WAL/core/
+//! shard crates so every layer can feed the same registry without
+//! dependency cycles. Three pieces:
+//!
+//! - [`Registry`]: fixed, enum-indexed arrays of atomic counters, gauges
+//!   and log2-bucketed histograms. The hot path is a single relaxed
+//!   `fetch_add` — no hashing, no locking, no allocation. Snapshots are
+//!   plain values that merge associatively, and render to Prometheus
+//!   text format or JSON.
+//! - [`trace::QueryTrace`]: an opt-in per-query breakdown of where time
+//!   went (scan → screen → verify → merge, with per-shard fan-out spans
+//!   and prune decisions). Enabled per call; near-zero cost when off.
+//! - [`slow`]: a bounded log retaining the N worst traces past a
+//!   configurable latency threshold.
+//!
+//! Timing itself has a global kill-switch ([`set_timing_enabled`]) so
+//! benchmarks can measure the instrumented path against a clock-free
+//! baseline.
+
+mod metrics;
+mod registry;
+mod render;
+pub mod slow;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{CounterId, GaugeId, HistoId, Registry, RegistrySnapshot};
+pub use trace::{QueryTrace, ShardSpan, StageNanos};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Shorthand for the process-global registry.
+pub fn global() -> &'static Registry {
+    Registry::global()
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the first call in this process.
+///
+/// A `u64` of nanoseconds spans ~584 years, so wrap-around is not a
+/// concern; using an in-process epoch keeps the value small and cheap
+/// to subtract.
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+static TIMING: AtomicBool = AtomicBool::new(true);
+
+/// Global kill-switch for stage timing (default: enabled).
+///
+/// With timing disabled the query path skips every clock read and every
+/// latency-histogram record; event counters (queries, scanned rows,
+/// WAL appends, ...) still tick. This exists so the `obs_overhead`
+/// bench can compare the default instrumented path against a clock-free
+/// baseline.
+pub fn set_timing_enabled(enabled: bool) {
+    TIMING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether stage timing is currently enabled. A single relaxed load.
+#[inline]
+pub fn timing_enabled() -> bool {
+    TIMING.load(Ordering::Relaxed)
+}
+
+/// `now_ns()` if timing is enabled, else 0. Call sites pair this with
+/// [`elapsed_since`] so the disabled path performs no clock reads.
+#[inline]
+pub fn clock_start() -> u64 {
+    if timing_enabled() {
+        now_ns()
+    } else {
+        0
+    }
+}
+
+/// Nanoseconds since a [`clock_start`] value; 0 when timing was off at
+/// the start (start == 0 means "not measured", and a genuine 0-ns start
+/// only occurs on the very first clock read in the process).
+#[inline]
+pub fn elapsed_since(start: u64) -> u64 {
+    if start == 0 || !timing_enabled() {
+        0
+    } else {
+        now_ns().saturating_sub(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn kill_switch_suppresses_clock_reads() {
+        set_timing_enabled(false);
+        let start = clock_start();
+        assert_eq!(start, 0);
+        assert_eq!(elapsed_since(start), 0);
+        set_timing_enabled(true);
+        let start = clock_start();
+        // The process epoch was initialised above, so an enabled start
+        // is strictly positive.
+        assert!(start > 0);
+    }
+}

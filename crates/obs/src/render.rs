@@ -1,0 +1,125 @@
+//! Exposition: Prometheus text format and JSON, rendered from a
+//! [`RegistrySnapshot`] so a scrape sees one consistent point in time.
+
+use crate::registry::{CounterId, GaugeId, HistoId, RegistrySnapshot};
+use std::fmt::Write;
+
+/// Quantiles published per histogram. Log2 buckets make any of these a
+/// factor-of-2 estimate; p50/p90/p99 is the conventional trio.
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
+
+fn fmt_f64(v: f64) -> String {
+    // Prometheus accepts plain decimal; avoid exponent noise for the
+    // integral values that dominate (bucket bounds, counts).
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl RegistrySnapshot {
+    /// Prometheus text exposition format, version 0.0.4. Histograms are
+    /// published summary-style: `{quantile="..."}` sample lines plus
+    /// `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for &id in CounterId::ALL {
+            let name = id.name();
+            writeln!(out, "# HELP {name} {}", id.help()).unwrap();
+            writeln!(out, "# TYPE {name} counter").unwrap();
+            writeln!(out, "{name} {}", self.counter(id)).unwrap();
+        }
+        for &id in GaugeId::ALL {
+            let name = id.name();
+            writeln!(out, "# HELP {name} {}", id.help()).unwrap();
+            writeln!(out, "# TYPE {name} gauge").unwrap();
+            writeln!(out, "{name} {}", self.gauge(id)).unwrap();
+        }
+        for &id in HistoId::ALL {
+            let name = id.name();
+            let h = self.histogram(id);
+            writeln!(out, "# HELP {name} {}", id.help()).unwrap();
+            writeln!(out, "# TYPE {name} summary").unwrap();
+            for (p, label) in QUANTILES {
+                writeln!(
+                    out,
+                    "{name}{{quantile=\"{label}\"}} {}",
+                    fmt_f64(h.quantile(p))
+                )
+                .unwrap();
+            }
+            writeln!(out, "{name}_sum {}", h.sum).unwrap();
+            writeln!(out, "{name}_count {}", h.count()).unwrap();
+        }
+        out
+    }
+
+    /// One JSON object: metric name -> value; histograms become
+    /// `{count, sum, mean, p50, p90, p99}` sub-objects.
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let mut first = true;
+        let mut field = |out: &mut String, name: &str, value: String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            write!(out, "  \"{name}\": {value}").unwrap();
+        };
+        for &id in CounterId::ALL {
+            field(&mut out, id.name(), self.counter(id).to_string());
+        }
+        for &id in GaugeId::ALL {
+            field(&mut out, id.name(), self.gauge(id).to_string());
+        }
+        for &id in HistoId::ALL {
+            let h = self.histogram(id);
+            let body = format!(
+                "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                h.count(),
+                h.sum,
+                fmt_f64(h.mean()),
+                fmt_f64(h.quantile(0.5)),
+                fmt_f64(h.quantile(0.9)),
+                fmt_f64(h.quantile(0.99)),
+            );
+            field(&mut out, id.name(), body);
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{CounterId, HistoId, Registry};
+
+    #[test]
+    fn prometheus_has_types_quantiles_and_values() {
+        let r = Registry::new();
+        r.counter(CounterId::Queries).add(7);
+        for v in [100u64, 200, 400, 800] {
+            r.histogram(HistoId::QueryLatencyNs).record(v);
+        }
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE promips_queries_total counter"));
+        assert!(text.contains("promips_queries_total 7"));
+        assert!(text.contains("# TYPE promips_query_latency_ns summary"));
+        assert!(text.contains("promips_query_latency_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("promips_query_latency_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("promips_query_latency_ns_sum 1500"));
+        assert!(text.contains("promips_query_latency_ns_count 4"));
+    }
+
+    #[test]
+    fn json_is_one_object_per_metric() {
+        let r = Registry::new();
+        r.counter(CounterId::Inserts).inc();
+        let json = r.render_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"promips_inserts_total\": 1"));
+        assert!(json.contains("\"promips_query_latency_ns\": {\"count\": 0"));
+    }
+}

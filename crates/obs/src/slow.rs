@@ -1,0 +1,122 @@
+//! Slow-query capture: a bounded, process-global log retaining the N
+//! worst [`QueryTrace`]s whose end-to-end latency crossed a threshold.
+//!
+//! Only *traced* queries are offered (the untraced hot path never
+//! touches this module), so the mutex here costs nothing unless the
+//! caller opted into tracing. Keeping the worst-N (rather than the
+//! latest-N) means a burst of mildly-slow queries cannot evict the one
+//! pathological trace you actually want to inspect.
+
+use crate::registry::{CounterId, Registry};
+use crate::trace::QueryTrace;
+use std::sync::Mutex;
+
+const DEFAULT_CAPACITY: usize = 16;
+
+struct SlowLog {
+    threshold_ns: u64,
+    capacity: usize,
+    /// Sorted by `total_ns` descending; index 0 is the worst query.
+    traces: Vec<QueryTrace>,
+}
+
+static LOG: Mutex<Option<SlowLog>> = Mutex::new(None);
+
+fn with_log<R>(f: impl FnOnce(&mut SlowLog) -> R) -> R {
+    let mut guard = LOG.lock().unwrap_or_else(|e| e.into_inner());
+    let log = guard.get_or_insert_with(|| SlowLog {
+        threshold_ns: 0,
+        capacity: DEFAULT_CAPACITY,
+        traces: Vec::new(),
+    });
+    f(log)
+}
+
+/// Set the capture threshold and retained-trace capacity. The default
+/// is threshold 0 (every offered trace qualifies) and capacity 16.
+/// Shrinking the capacity drops the mildest retained traces.
+pub fn configure(threshold_ns: u64, capacity: usize) {
+    with_log(|log| {
+        log.threshold_ns = threshold_ns;
+        log.capacity = capacity;
+        log.traces.truncate(capacity);
+    });
+}
+
+/// Current capture threshold in nanoseconds.
+pub fn threshold_ns() -> u64 {
+    with_log(|log| log.threshold_ns)
+}
+
+/// Offer a trace for retention. Returns `true` if it was kept (it
+/// crossed the threshold and ranked among the worst N by total
+/// latency). Kept traces bump the `promips_slow_queries_total` counter.
+pub fn offer(trace: &QueryTrace) -> bool {
+    let kept = with_log(|log| {
+        if log.capacity == 0 || trace.total_ns < log.threshold_ns {
+            return false;
+        }
+        if log.traces.len() == log.capacity
+            && trace.total_ns <= log.traces.last().map_or(0, |t| t.total_ns)
+        {
+            return false;
+        }
+        let at = log.traces.partition_point(|t| t.total_ns >= trace.total_ns);
+        log.traces.insert(at, trace.clone());
+        log.traces.truncate(log.capacity);
+        true
+    });
+    if kept {
+        Registry::global().counter(CounterId::SlowQueries).inc();
+    }
+    kept
+}
+
+/// Retained traces, worst first.
+pub fn snapshot() -> Vec<QueryTrace> {
+    with_log(|log| log.traces.clone())
+}
+
+/// Drop all retained traces (threshold and capacity are kept).
+pub fn clear() {
+    with_log(|log| log.traces.clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(total_ns: u64) -> QueryTrace {
+        QueryTrace {
+            total_ns,
+            ..Default::default()
+        }
+    }
+
+    /// One test exercises the whole lifecycle: the log is process-global
+    /// state, so independent `#[test]`s would race each other's
+    /// `configure`/`clear` calls.
+    #[test]
+    fn threshold_capacity_and_worst_n_ordering() {
+        configure(100, 3);
+        clear();
+        assert!(!offer(&trace(99)), "below threshold must be rejected");
+        assert!(offer(&trace(500)));
+        assert!(offer(&trace(300)));
+        assert!(offer(&trace(800)));
+        // Log is full with {800, 500, 300}: a milder trace bounces, a
+        // worse one evicts the mildest.
+        assert!(!offer(&trace(200)));
+        assert!(offer(&trace(600)));
+        let kept: Vec<u64> = snapshot().iter().map(|t| t.total_ns).collect();
+        assert_eq!(kept, vec![800, 600, 500]);
+
+        configure(100, 2);
+        let kept: Vec<u64> = snapshot().iter().map(|t| t.total_ns).collect();
+        assert_eq!(kept, vec![800, 600], "shrink drops the mildest");
+
+        clear();
+        assert!(snapshot().is_empty());
+        configure(0, DEFAULT_CAPACITY);
+    }
+}

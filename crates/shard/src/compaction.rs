@@ -73,6 +73,7 @@ use std::time::Duration;
 
 use promips_core::{ProMips, ProMipsConfig};
 use promips_linalg::{sq_norm2, Matrix};
+use promips_obs::{self as obs, CounterId, GaugeId, HistoId, Registry};
 use promips_storage::{AccessStats, FileStorage, Pager};
 use promips_wal::WalRecord;
 
@@ -80,6 +81,7 @@ use crate::index::{
     shard_seed, DeltaState, GenKind, ShardGeneration, ShardSnapshot, ShardedProMips,
 };
 use crate::persist::shard_path;
+use crate::result::CompactionOutcome;
 
 /// When the mutation lifecycle folds deltas and tombstones back into shard
 /// files, and when it re-cuts the shard boundaries.
@@ -318,6 +320,29 @@ impl ShardedProMips {
     /// new delta. The exact-scan-vs-index decision and the shard's norm
     /// bound are both re-taken over the live rows.
     pub fn compact_shard(&self, si: usize) -> io::Result<bool> {
+        let t0 = obs::clock_start();
+        let res = self.compact_shard_inner(si);
+        match &res {
+            Ok(true) => {
+                let reg = Registry::global();
+                reg.counter(CounterId::Compactions).inc();
+                if obs::timing_enabled() {
+                    reg.histogram(HistoId::CompactionNs)
+                        .record(obs::elapsed_since(t0));
+                }
+            }
+            Ok(false) => {}
+            // Covers shadow-build and commit failures alike: even the
+            // swapped-but-WAL-rewrite-failed path reports Failed, since the
+            // pass needs operator attention either way.
+            Err(_) => self.shards[si]
+                .last_compaction
+                .set(CompactionOutcome::Failed.as_code()),
+        }
+        res
+    }
+
+    fn compact_shard_inner(&self, si: usize) -> io::Result<bool> {
         let shard = &self.shards[si];
         let _compacting = shard.compact_lock.lock();
 
@@ -444,6 +469,15 @@ impl ShardedProMips {
             };
             *gen_slot = Arc::clone(&new_gen);
         }
+        // The frozen prefix left the overlay: fold it out of the global
+        // gauges (strictly incremental — never recomputed from snapshots,
+        // so several live indexes in one process stay additive).
+        let reg = Registry::global();
+        reg.counter(CounterId::GenerationSwaps).inc();
+        reg.gauge(GaugeId::DeltaRows).sub(split as i64);
+        reg.gauge(GaugeId::Tombstones)
+            .sub(frozen_tombs.len() as i64);
+        shard.note_generation_swap(CompactionOutcome::Compacted);
 
         // 4. The superseded file is garbage now; removal is best-effort
         //    (a crash here merely leaks a file the manifest never names).
@@ -550,6 +584,7 @@ impl ShardedProMips {
             }
         }
 
+        let reg = Registry::global();
         for (si, new_gen) in new_gens.into_iter().enumerate() {
             let shard = &self.shards[si];
             {
@@ -558,11 +593,20 @@ impl ShardedProMips {
                 *delta = DeltaState::empty(new_gen.built_max_norm);
                 *gen_slot = Arc::clone(&new_gen);
             }
+            // Each shard's whole overlay was folded: undo its gauge
+            // contribution from the frozen snapshot counts.
+            reg.counter(CounterId::GenerationSwaps).inc();
+            reg.gauge(GaugeId::DeltaRows)
+                .sub(snaps[si].inserts.len() as i64);
+            reg.gauge(GaugeId::Tombstones)
+                .sub(snaps[si].tombstones.len() as i64);
+            shard.note_generation_swap(CompactionOutcome::Repartitioned);
             if let Some(dir) = &self.dir {
                 let old = &snaps[si].gen;
                 let _ = fs::remove_file(shard_path(dir, si, old.is_exact(), old.generation));
             }
         }
+        reg.counter(CounterId::Repartitions).inc();
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),

@@ -163,17 +163,35 @@ pub struct Shard {
     /// Held across one shard compaction (freeze → shadow build → commit);
     /// [`crate::ShardedProMips::repartition`] takes all of them.
     pub(crate) compact_lock: Mutex<()>,
+    /// [`promips_obs::now_ns`] timestamp of the live generation's install
+    /// (build, open, or swap) — [`crate::ShardMaintenance`] reports the age.
+    pub(crate) gen_installed_ns: promips_obs::Gauge,
+    /// [`crate::CompactionOutcome`] code of the last maintenance pass that
+    /// touched this shard (a registry-style gauge, updated incrementally by
+    /// the compaction paths).
+    pub(crate) last_compaction: promips_obs::Gauge,
 }
 
 impl Shard {
     pub(crate) fn new(generation: ShardGeneration) -> Self {
         let delta = DeltaState::empty(generation.built_max_norm);
-        Self {
+        let shard = Self {
             generation: RwLock::new(Arc::new(generation)),
             delta: RwLock::new(delta),
             wal: Mutex::new(None),
             compact_lock: Mutex::new(()),
-        }
+            gen_installed_ns: promips_obs::Gauge::NEW,
+            last_compaction: promips_obs::Gauge::NEW,
+        };
+        shard.gen_installed_ns.set(promips_obs::now_ns() as i64);
+        shard
+    }
+
+    /// Records a generation swap for the maintenance ledger: stamps the
+    /// install time and the outcome of the pass that produced it.
+    pub(crate) fn note_generation_swap(&self, outcome: crate::result::CompactionOutcome) {
+        self.gen_installed_ns.set(promips_obs::now_ns() as i64);
+        self.last_compaction.set(outcome.as_code());
     }
 
     /// A consistent snapshot of the shard (see [`ShardSnapshot`]). The
@@ -415,9 +433,11 @@ impl ShardedProMips {
     }
 
     /// Per-shard maintenance counters: live points, uncompacted delta,
-    /// tombstones, WAL size, and data-file generation — what an operator
-    /// watches to see compaction debt accumulate.
+    /// tombstones, WAL size, data-file generation plus its age, and how
+    /// the last compaction pass ended — what an operator watches to see
+    /// compaction debt accumulate.
     pub fn maintenance_stats(&self) -> Vec<crate::result::ShardMaintenance> {
+        let now = promips_obs::now_ns();
         self.shards
             .iter()
             .enumerate()
@@ -430,6 +450,10 @@ impl ShardedProMips {
                     tombstones: snap.tombstones.len(),
                     wal_bytes: self.wal_bytes(si),
                     generation: snap.gen.generation,
+                    generation_age_ns: now.saturating_sub(s.gen_installed_ns.get() as u64),
+                    last_compaction: crate::result::CompactionOutcome::from_code(
+                        s.last_compaction.get(),
+                    ),
                 }
             })
             .collect()

@@ -58,7 +58,7 @@ pub use index::{Shard, ShardedProMips};
 // need a direct `promips_core` dependency to match on it.
 pub use partition::{HashPartitioner, NormRangePartitioner, PartitionStrategy, Partitioner};
 pub use promips_core::MutationError;
-pub use result::{ShardMaintenance, ShardQueryStats, ShardedSearchResult};
+pub use result::{CompactionOutcome, ShardMaintenance, ShardQueryStats, ShardedSearchResult};
 pub use search::ShardedScratch;
 // The WAL group-commit knob appears in `ShardedConfig`; re-export it so
 // callers don't need a direct `promips_wal` dependency.

@@ -41,6 +41,7 @@ use std::sync::Arc;
 
 use promips_core::MutationError;
 use promips_linalg::sq_norm2;
+use promips_obs::{CounterId, GaugeId, Registry};
 use promips_wal::{Wal, WalConfig, WalRecord};
 
 use crate::index::{DeltaInsert, Shard, ShardedProMips};
@@ -83,6 +84,7 @@ impl ShardedProMips {
                 }
             }
         }
+        Registry::global().counter(CounterId::InsertBatches).inc();
         Ok(gids)
     }
 
@@ -120,6 +122,9 @@ impl ShardedProMips {
             }
         }
         self.n_points.fetch_add(1, Ordering::AcqRel);
+        let reg = Registry::global();
+        reg.counter(CounterId::Inserts).inc();
+        reg.gauge(GaugeId::DeltaRows).add(1);
         Ok((gid, si))
     }
 
@@ -161,6 +166,9 @@ impl ShardedProMips {
             }
         }
         self.n_points.fetch_sub(1, Ordering::AcqRel);
+        let reg = Registry::global();
+        reg.counter(CounterId::Deletes).inc();
+        reg.gauge(GaugeId::Tombstones).add(1);
         Ok(())
     }
 
@@ -295,6 +303,10 @@ impl ShardedProMips {
                     }
                     drop(delta);
                     self.n_points.fetch_add(1, Ordering::AcqRel);
+                    // Replays re-grow the overlay, so the delta gauge must
+                    // track them; the insert *counter* only counts fresh
+                    // mutations (replays tick the WAL-replay counter).
+                    Registry::global().gauge(GaugeId::DeltaRows).add(1);
                 }
             }
             WalRecord::Delete { id } => {
@@ -324,6 +336,7 @@ impl ShardedProMips {
         }
         drop(delta);
         self.n_points.fetch_sub(1, Ordering::AcqRel);
+        Registry::global().gauge(GaugeId::Tombstones).add(1);
     }
 
     /// Forces every shard's WAL to durable media regardless of the

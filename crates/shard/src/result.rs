@@ -34,6 +34,44 @@ pub struct ShardQueryStats {
     pub wal_bytes: u64,
 }
 
+/// How the last maintenance pass that touched a shard ended (see
+/// [`ShardMaintenance::last_compaction`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactionOutcome {
+    /// No compaction has run against this shard since it was opened.
+    #[default]
+    Never,
+    /// The shard's delta/tombstones were folded into a new generation.
+    Compacted,
+    /// The whole index was re-partitioned, rebuilding this shard.
+    Repartitioned,
+    /// The last attempt errored (the old generation stayed live, or the
+    /// swap landed but its WAL rewrite failed — either way an operator
+    /// should look).
+    Failed,
+}
+
+impl CompactionOutcome {
+    /// Stable numeric code for the registry gauge that backs this field.
+    pub(crate) fn as_code(self) -> i64 {
+        match self {
+            CompactionOutcome::Never => 0,
+            CompactionOutcome::Compacted => 1,
+            CompactionOutcome::Repartitioned => 2,
+            CompactionOutcome::Failed => 3,
+        }
+    }
+
+    pub(crate) fn from_code(code: i64) -> Self {
+        match code {
+            1 => CompactionOutcome::Compacted,
+            2 => CompactionOutcome::Repartitioned,
+            3 => CompactionOutcome::Failed,
+            _ => CompactionOutcome::Never,
+        }
+    }
+}
+
 /// One shard's maintenance ledger (see
 /// [`crate::ShardedProMips::maintenance_stats`]): how much uncompacted
 /// state it carries and how big its write-ahead log has grown — the
@@ -53,6 +91,11 @@ pub struct ShardMaintenance {
     pub wal_bytes: u64,
     /// Data-file generation (bumped by each compaction; 0 in-memory).
     pub generation: u64,
+    /// Nanoseconds since the live generation was installed (built, opened,
+    /// or swapped in by compaction) — how stale the committed file is.
+    pub generation_age_ns: u64,
+    /// How the last maintenance pass against this shard ended.
+    pub last_compaction: CompactionOutcome,
 }
 
 /// Result of a sharded c-k-AMIP search: the merged global top-k plus what

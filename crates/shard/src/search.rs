@@ -48,6 +48,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use parking_lot::Mutex;
 use promips_core::{SearchItem, SearchScratch};
 use promips_linalg::{dot, sq_norm2};
+use promips_obs::{self as obs, slow, CounterId, HistoId, QueryTrace, ShardSpan, StageNanos};
 
 use crate::index::{GenKind, ShardSnapshot, ShardedProMips};
 use crate::result::{ShardQueryStats, ShardedSearchResult};
@@ -82,6 +83,13 @@ struct ShardOutcome {
     items: Vec<SearchItem>,
     verified: usize,
     screened: usize,
+    /// Candidate rows the index stage emitted (0 for exact-scan shards).
+    scanned: u64,
+    /// Per-stage wall time inside this shard (all zero when the
+    /// [`obs::set_timing_enabled`] kill-switch is off).
+    stages: StageNanos,
+    /// Wall time of the whole shard search call (0 with timing off).
+    elapsed_ns: u64,
 }
 
 impl ShardedProMips {
@@ -116,6 +124,61 @@ impl ShardedProMips {
         threads: usize,
         scratch: &ShardedScratch,
     ) -> io::Result<ShardedSearchResult> {
+        self.search_observed(q, k, threads, scratch, None)
+    }
+
+    /// [`ShardedProMips::search_with_scratch`] that additionally returns a
+    /// per-query [`QueryTrace`]: stage wall time per shard (scan → screen
+    /// → verify), the cross-shard merge, and every prune decision. The
+    /// trace is also offered to the process-global slow-query log
+    /// ([`promips_obs::slow`]). Tracing costs one small allocation and a
+    /// handful of clock reads on top of the untraced path; stage timings
+    /// inside it are all zero while the [`obs::set_timing_enabled`]
+    /// kill-switch is off.
+    pub fn search_traced(
+        &self,
+        q: &[f32],
+        k: usize,
+        scratch: &ShardedScratch,
+    ) -> io::Result<(ShardedSearchResult, QueryTrace)> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.search_traced_threaded(q, k, threads, scratch)
+    }
+
+    /// [`ShardedProMips::search_traced`] with an explicit fan-out worker
+    /// count. With `threads == 1` the per-shard stage times are disjoint
+    /// slices of the wall clock, so [`QueryTrace::coverage`] accounts for
+    /// the end-to-end latency; with more workers, stage time is CPU time
+    /// across threads and can exceed it.
+    pub fn search_traced_threaded(
+        &self,
+        q: &[f32],
+        k: usize,
+        threads: usize,
+        scratch: &ShardedScratch,
+    ) -> io::Result<(ShardedSearchResult, QueryTrace)> {
+        let mut trace = QueryTrace {
+            k,
+            started_at_ns: obs::now_ns(),
+            ..QueryTrace::default()
+        };
+        let res = self.search_observed(q, k, threads, scratch, Some(&mut trace))?;
+        slow::offer(&trace);
+        Ok((res, trace))
+    }
+
+    /// The one search path: phases and results are identical whether or
+    /// not a trace is requested; tracing only *observes*.
+    fn search_observed(
+        &self,
+        q: &[f32],
+        k: usize,
+        threads: usize,
+        scratch: &ShardedScratch,
+        trace: Option<&mut QueryTrace>,
+    ) -> io::Result<ShardedSearchResult> {
         assert_eq!(q.len(), self.d, "query dimensionality mismatch");
         assert!(k >= 1, "k must be at least 1");
         assert_eq!(
@@ -127,6 +190,14 @@ impl ShardedProMips {
         );
         let ns = self.shards.len();
         let q_norm = sq_norm2(q).sqrt();
+        // A trace must measure wall time even when the aggregate-histogram
+        // timing switch is off — the caller explicitly asked for it.
+        let timing = obs::timing_enabled();
+        let t_query = if timing || trace.is_some() {
+            obs::now_ns()
+        } else {
+            0
+        };
 
         // The query's isolation boundary: one consistent snapshot per
         // shard, taken up front. Everything below reads only these.
@@ -134,6 +205,7 @@ impl ShardedProMips {
 
         let mut outcomes: Vec<Option<ShardOutcome>> = (0..ns).map(|_| None).collect();
         let mut pruned = vec![false; ns];
+        let mut seed_shard: Option<usize> = None;
 
         // --- Phase 1: seed probe of the highest-norm-bound shard. ---------
         let mut kth_floor = f64::NEG_INFINITY;
@@ -156,6 +228,7 @@ impl ShardedProMips {
                 kth_floor = outcome.items[k - 1].ip;
             }
             outcomes[seed] = Some(outcome);
+            seed_shard = Some(seed);
             for (si, snap) in snaps.iter().enumerate() {
                 if si == seed {
                     continue;
@@ -229,6 +302,7 @@ impl ShardedProMips {
         }
 
         // --- Merge: one global top-k over every contributed item. ---------
+        let t_merge = if t_query != 0 { obs::now_ns() } else { 0 };
         let mut merged: Vec<SearchItem> = outcomes
             .iter()
             .flatten()
@@ -253,6 +327,53 @@ impl ShardedProMips {
                 wal_bytes: self.wal_bytes(si),
             })
             .collect();
+        // The merge span covers the top-k merge *and* result assembly, so
+        // a sequential trace's stages sum to (nearly) the wall clock.
+        let merge_ns = if t_merge != 0 {
+            obs::now_ns().saturating_sub(t_merge)
+        } else {
+            0
+        };
+
+        // Aggregate accounting. The per-shard layer owns the query-level
+        // metrics; the core layer booked the in-shard stage histograms and
+        // row counters while the shards ran.
+        let reg = obs::global();
+        reg.counter(CounterId::Queries).inc();
+        let searched = outcomes.iter().flatten().count() as u64;
+        reg.counter(CounterId::ShardsSearched).add(searched);
+        reg.counter(CounterId::ShardsPruned)
+            .add(pruned.iter().filter(|&&p| p).count() as u64);
+        if timing {
+            reg.histogram(HistoId::QueryLatencyNs)
+                .record(obs::now_ns().saturating_sub(t_query));
+            reg.histogram(HistoId::StageMergeNs).record(merge_ns);
+            for o in outcomes.iter().flatten() {
+                reg.histogram(HistoId::ShardSearchNs).record(o.elapsed_ns);
+            }
+        }
+        if let Some(trace) = trace {
+            trace.merge_ns = merge_ns;
+            trace.shards = (0..ns)
+                .map(|si| {
+                    let mut span = ShardSpan {
+                        shard: si,
+                        pruned: pruned[si],
+                        seed: seed_shard == Some(si),
+                        ..ShardSpan::default()
+                    };
+                    if let Some(o) = &outcomes[si] {
+                        span.elapsed_ns = o.elapsed_ns;
+                        span.stages = o.stages;
+                        span.scanned = o.scanned;
+                        span.screened = o.screened as u64;
+                        span.verified = o.verified as u64;
+                    }
+                    span
+                })
+                .collect();
+            trace.total_ns = obs::now_ns().saturating_sub(trace.started_at_ns);
+        }
 
         Ok(ShardedSearchResult {
             items: merged,
@@ -266,6 +387,12 @@ impl ShardedProMips {
 /// Searches one shard snapshot with the given floor, mapping item ids to
 /// global ids. The committed generation is searched under the snapshot's
 /// tombstone mask; the delta overlay is verified exhaustively on top.
+///
+/// Observability: an indexed generation's stage breakdown comes from
+/// [`promips_core::ProMips::search_masked_traced`]; exact-scan and
+/// delta-overlay scoring book to `verify_ns` here (the core layer never
+/// sees those rows, so this layer also tops up the verified-row counter
+/// for them).
 fn search_snapshot(
     snap: &ShardSnapshot,
     q: &[f32],
@@ -273,12 +400,19 @@ fn search_snapshot(
     floor: f64,
     scratch: &mut SearchScratch,
 ) -> io::Result<ShardOutcome> {
+    let t0 = obs::clock_start();
+    let mut stages = StageNanos::default();
+    let mut scanned = 0u64;
     let dead = &snap.tombstones;
     let gen_ids = &snap.gen.ids;
     let (mut items, mut verified, screened) = match &snap.gen.kind {
         GenKind::Indexed(pm) => {
             let mask = |local: u64| dead.contains(&gen_ids[local as usize]);
-            let res = pm.search_masked(q, k, floor, &mask, snap.dead_base, scratch)?;
+            let mut span = ShardSpan::default();
+            let res =
+                pm.search_masked_traced(q, k, floor, &mask, snap.dead_base, scratch, &mut span)?;
+            stages = span.stages;
+            scanned = span.scanned;
             let items: Vec<SearchItem> = res
                 .items
                 .iter()
@@ -290,6 +424,7 @@ fn search_snapshot(
             (items, res.verified, res.screened)
         }
         GenKind::Exact(rows) => {
+            let tv = obs::clock_start();
             let mut items: Vec<SearchItem> = Vec::with_capacity(rows.rows());
             let mut verified = 0usize;
             rows.dot_rows(0, rows.rows(), q, |i, ip| {
@@ -300,12 +435,15 @@ fn search_snapshot(
                     }
                 }
             });
+            stages.verify_ns += obs::elapsed_since(tv);
             (items, verified, 0)
         }
     };
+    let base_verified = verified;
     // Delta overlay: every live appended row is verified exhaustively
     // (this is the drag compaction removes — see the bench's
     // query_vs_delta section).
+    let tv = obs::clock_start();
     for e in &snap.inserts {
         if dead.contains(&e.gid) {
             continue;
@@ -318,9 +456,25 @@ fn search_snapshot(
     }
     items.sort_by(|a, b| b.ip.total_cmp(&a.ip).then(a.id.cmp(&b.id)));
     items.truncate(k);
+    stages.verify_ns += obs::elapsed_since(tv);
+    // Rows the core layer didn't see: exact-scan rows plus the delta
+    // overlay (for an indexed generation, `base_verified` was already
+    // booked by the core search).
+    let extra = match &snap.gen.kind {
+        GenKind::Indexed(_) => verified - base_verified,
+        GenKind::Exact(_) => verified,
+    };
+    if extra > 0 {
+        obs::global()
+            .counter(CounterId::QueryVerified)
+            .add(extra as u64);
+    }
     Ok(ShardOutcome {
         items,
         verified,
         screened,
+        scanned,
+        stages,
+        elapsed_ns: obs::elapsed_since(t0),
     })
 }

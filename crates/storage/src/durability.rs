@@ -102,9 +102,10 @@ pub fn tmp_sibling(dst: &Path) -> std::path::PathBuf {
 /// The disarmed fast path is one relaxed atomic load, so production code
 /// pays nothing measurable.
 pub mod faults {
+    use promips_obs::{CounterId, Registry};
     use std::io;
     use std::path::Path;
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Mutex;
 
     /// The classes of IO operation the shim can count and fail.
@@ -136,14 +137,15 @@ pub mod faults {
 
     static ARMED_FLAG: AtomicBool = AtomicBool::new(false);
     static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
-    static FSYNCS: AtomicU64 = AtomicU64::new(0);
-    static RENAMES: AtomicU64 = AtomicU64::new(0);
-    static WRITES: AtomicU64 = AtomicU64::new(0);
-    static INJECTED: AtomicU64 = AtomicU64::new(0);
 
     /// Snapshot of the process-wide operation counters. Monotonic since
     /// process start; diff two snapshots to meter a workload (e.g. fsyncs
     /// per 1 000 inserts under group commit).
+    ///
+    /// Since the observability PR these are *views over the global
+    /// metrics registry* (`promips_io_*_total`), so the fault shim and
+    /// `Registry::render_prometheus()` report the same numbers from one
+    /// source of truth.
     #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
     pub struct IoCounters {
         pub fsyncs: u64,
@@ -153,13 +155,14 @@ pub mod faults {
         pub injected: u64,
     }
 
-    /// Reads the operation counters.
+    /// Reads the operation counters (from the global metrics registry).
     pub fn counters() -> IoCounters {
+        let reg = Registry::global();
         IoCounters {
-            fsyncs: FSYNCS.load(Ordering::Relaxed),
-            renames: RENAMES.load(Ordering::Relaxed),
-            writes: WRITES.load(Ordering::Relaxed),
-            injected: INJECTED.load(Ordering::Relaxed),
+            fsyncs: reg.counter(CounterId::IoFsyncs).get(),
+            renames: reg.counter(CounterId::IoRenames).get(),
+            writes: reg.counter(CounterId::IoWrites).get(),
+            injected: reg.counter(CounterId::IoFaultsInjected).get(),
         }
     }
 
@@ -191,12 +194,13 @@ pub mod faults {
     /// Counts `op` against `path` and fails it if an armed plan says so.
     /// Called by every durability helper immediately before the syscall.
     pub fn check(op: IoOp, path: &Path) -> io::Result<()> {
-        match op {
-            IoOp::Fsync => &FSYNCS,
-            IoOp::Rename => &RENAMES,
-            IoOp::Write => &WRITES,
-        }
-        .fetch_add(1, Ordering::Relaxed);
+        let reg = Registry::global();
+        reg.counter(match op {
+            IoOp::Fsync => CounterId::IoFsyncs,
+            IoOp::Rename => CounterId::IoRenames,
+            IoOp::Write => CounterId::IoWrites,
+        })
+        .inc();
         if !ARMED_FLAG.load(Ordering::Acquire) {
             return Ok(());
         }
@@ -218,7 +222,7 @@ pub mod faults {
         }
         let plan = g.take().expect("checked above");
         ARMED_FLAG.store(false, Ordering::Release);
-        INJECTED.fetch_add(1, Ordering::Relaxed);
+        reg.counter(CounterId::IoFaultsInjected).inc();
         Err(io::Error::other(format!(
             "{INJECTED_MARKER}: {:?} #{} on {}",
             plan.plan.op,

@@ -1,5 +1,12 @@
 //! Access accounting: the measurement behind the paper's Page Access metric.
+//!
+//! Each pager carries its own [`AccessStats`] (resettable, per-instance —
+//! the per-query view the bench harness diffs); every record additionally
+//! feeds the process-global metrics registry (`promips_page_*_total`), so
+//! aggregate page traffic shows up in `Registry::render_prometheus()`
+//! without touching the per-pager API.
 
+use promips_obs::{CounterId, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -29,21 +36,25 @@ impl AccessStats {
     #[inline]
     pub(crate) fn record_read(&self) {
         self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        Registry::global().counter(CounterId::PageReads).inc();
     }
 
     #[inline]
     pub(crate) fn record_hit(&self) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        Registry::global().counter(CounterId::PageCacheHits).inc();
     }
 
     #[inline]
     pub(crate) fn record_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        Registry::global().counter(CounterId::PageCacheMisses).inc();
     }
 
     #[inline]
     pub(crate) fn record_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
+        Registry::global().counter(CounterId::PageWrites).inc();
     }
 
     /// Atomically reads all counters.

@@ -6,6 +6,7 @@ use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 
+use promips_obs::{CounterId, HistoId, Registry};
 use promips_storage::durability::{
     faults::{self, IoOp},
     fsync_dir, rename, sync_file_data, tmp_sibling,
@@ -196,6 +197,9 @@ impl Wal {
             file.set_len(good_end)?;
             sync_file_data(&file, &path)?;
         }
+        Registry::global()
+            .counter(CounterId::WalReplayedRecords)
+            .add(records);
 
         Ok(Self {
             file,
@@ -287,6 +291,7 @@ impl Wal {
         self.len_bytes += self.buf.len() as u64;
         self.records += 1;
         self.unsynced += 1;
+        Registry::global().counter(CounterId::WalAppends).inc();
         if sync_now {
             match self.config.sync {
                 SyncPolicy::Always => self.sync()?,
@@ -304,6 +309,14 @@ impl Wal {
     /// Forces everything appended so far to durable media.
     pub fn sync(&mut self) -> io::Result<()> {
         sync_file_data(&self.file, &self.path)?;
+        let reg = Registry::global();
+        reg.counter(CounterId::WalSyncs).inc();
+        if self.unsynced > 0 {
+            // Group-commit effectiveness: how many appends this sync
+            // point amortized (no-debt syncs would flood bucket 0).
+            reg.histogram(HistoId::WalGroupCommitBatch)
+                .record(self.unsynced as u64);
+        }
         self.unsynced = 0;
         Ok(())
     }

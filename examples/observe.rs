@@ -1,0 +1,101 @@
+//! The unified observability layer on a sharded workload: the global
+//! metrics registry, per-query stage traces, and the slow-query log.
+//!
+//! ```sh
+//! cargo run --release --example observe
+//! ```
+
+use promips::linalg::Matrix;
+use promips::obs::{self, slow};
+use promips::shard::{ShardedConfig, ShardedProMips, ShardedScratch, SyncPolicy};
+use promips::stats::Xoshiro256pp;
+
+fn main() -> std::io::Result<()> {
+    let d = 32;
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
+    let data = Matrix::from_rows(
+        d,
+        (0..6000).map(|_| (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()),
+    );
+
+    let dir = std::env::temp_dir().join("promips-observe-example");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A durable 3-shard index: queries, mutations and compaction all feed
+    // the same process-global registry.
+    let config = ShardedConfig::builder()
+        .shards(3)
+        .wal_sync(SyncPolicy::EveryN(32))
+        .build();
+    let index = ShardedProMips::build_in_dir(&data, config, &dir)?;
+    let scratch = ShardedScratch::for_index(&index);
+
+    // Keep the 8 slowest traces, whatever their latency.
+    slow::configure(0, 8);
+
+    // A mixed workload: inserts, deletes, queries, one compaction pass.
+    for _ in 0..300 {
+        let v: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
+        index.insert(&v)?;
+    }
+    for gid in (0..600).step_by(4) {
+        index.delete(gid)?;
+    }
+    let queries: Vec<Vec<f32>> = (0..32)
+        .map(|_| (0..d).map(|_| rng.normal() as f32).collect())
+        .collect();
+    for q in &queries {
+        index.search_threaded(q, 10, 1, &scratch)?;
+    }
+    index.compact_all()?;
+
+    // Per-query stage trace: where did this one search spend its time?
+    let (res, trace) = index.search_traced_threaded(&queries[0], 10, 1, &scratch)?;
+    println!("--- one traced query (top ip {:.3}) ---", res.items[0].ip);
+    print!("{}", trace.render());
+
+    // The slow-query log retains the worst traces seen so far.
+    let worst = slow::snapshot();
+    println!(
+        "\n--- slow-query log ({} kept, worst first) ---",
+        worst.len()
+    );
+    for t in worst.iter().take(3) {
+        println!(
+            "  {:>7} us  k={}  searched {}/{} shards",
+            t.total_ns / 1_000,
+            t.k,
+            t.shards_searched(),
+            t.shards.len()
+        );
+    }
+
+    // The registry snapshot renders to Prometheus text format...
+    let snap = obs::global().snapshot();
+    println!("\n--- prometheus exposition (excerpt) ---");
+    for line in snap
+        .render_prometheus()
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            [
+                "queries_total",
+                "query_latency_ns",
+                "wal_appends",
+                "compactions",
+                "delta_rows",
+            ]
+            .iter()
+            .any(|k| l.contains(k))
+        })
+    {
+        println!("{line}");
+    }
+
+    // ...and to JSON for programmatic scraping.
+    let json = snap.render_json();
+    println!("\n--- json view: {} bytes ---", json.len());
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -19,6 +19,9 @@
 //!   partition pattern.
 //! * [`btree`], [`storage`] — the disk substrate (single B+-tree over a
 //!   paged file with access accounting).
+//! * [`obs`] — the unified observability layer: a process-global
+//!   lock-free metrics registry (Prometheus/JSON rendering), per-query
+//!   stage tracing, and a slow-query log fed by every layer above.
 //! * [`baselines`] — H2-ALSH, Norm-Ranging LSH, PQ-based search and the
 //!   exact scanner used for ground truth.
 //! * [`data`] — synthetic stand-ins for the paper's four datasets.
@@ -101,6 +104,7 @@ pub use promips_core as core;
 pub use promips_data as data;
 pub use promips_idistance as idistance;
 pub use promips_linalg as linalg;
+pub use promips_obs as obs;
 pub use promips_shard as shard;
 pub use promips_stats as stats;
 pub use promips_storage as storage;
