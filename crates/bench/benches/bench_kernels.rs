@@ -22,7 +22,10 @@ use promips_linalg::dispatch::available_backends;
 use promips_linalg::{
     active_backend, dist, dot, norm1, scalar, sq_dist, sq_dist4_i8, sq_norm2, Matrix,
 };
-use promips_shard::{CompactionPolicy, ShardedConfig, ShardedProMips, ShardedScratch, SyncPolicy};
+use promips_shard::{
+    CompactionPolicy, DegradationPolicy, QueryBudget, QueryError, ShardedConfig, ShardedProMips,
+    ShardedScratch, SyncPolicy,
+};
 use promips_stats::Xoshiro256pp;
 use promips_storage::durability::faults;
 use promips_storage::{AccessStats, MemStorage, PageBuf, Pager};
@@ -935,8 +938,10 @@ fn main() {
             .build();
         let dir = conc_root.join(label);
         let idx = Arc::new(ShardedProMips::build_in_dir(&maint_data, cfg, &dir).expect("build"));
-        let compactor =
-            background.then(|| idx.start_compactor(std::time::Duration::from_millis(2)));
+        let compactor = background.then(|| {
+            idx.start_compactor(std::time::Duration::from_millis(2))
+                .expect("spawn")
+        });
         let stop = AtomicBool::new(false);
         let mut lat_ns: Vec<f64> = Vec::with_capacity(conc_passes * conc_nq);
         std::thread::scope(|s| {
@@ -1015,6 +1020,139 @@ fn main() {
         ));
     }
     let _ = std::fs::remove_dir_all(&conc_root);
+
+    // --- deadline degradation -----------------------------------------------
+    // The query-lifecycle trade: latency, recall-vs-unbudgeted, and
+    // outcome mix as the deadline shrinks to 100/50/25% of the unbudgeted
+    // p50 on a BestEffort index, plus the shed rate when 4 threads hammer
+    // an admission limit of 2 (offered load = 2× the limit).
+    let dd_n = 20_000usize;
+    let dd_d = 32usize;
+    let dd_k = 10usize;
+    let dd_nq = 32usize;
+    let dd_passes = 5usize;
+    println!("\ndeadline degradation ({dd_n} rows, d = {dd_d}):");
+    let dd_data = promips_data::gen::norm_skewed(dd_n, dd_d, 131);
+    let dd_cfg = ShardedConfig::builder()
+        .shards(4)
+        .degradation(DegradationPolicy::BestEffort)
+        .base(ProMipsConfig::builder().c(0.9).p(0.5).seed(137).build())
+        .build();
+    let mut dd_idx = ShardedProMips::build_in_memory(&dd_data, dd_cfg).expect("build");
+    let dd_scratch = ShardedScratch::for_index(&dd_idx);
+    let dd_queries = random_matrix(dd_nq, dd_d, 139);
+
+    // Unbudgeted baseline: per-query min latency over the passes, and the
+    // reference answer recall is scored against.
+    let mut base_lat = vec![f64::INFINITY; dd_nq];
+    let mut base_ids: Vec<Vec<u64>> = Vec::with_capacity(dd_nq);
+    for pass in 0..dd_passes {
+        for (qi, lat) in base_lat.iter_mut().enumerate() {
+            let t = std::time::Instant::now();
+            let res = dd_idx
+                .search_with_scratch(dd_queries.row(qi), dd_k, &dd_scratch)
+                .unwrap();
+            *lat = lat.min(t.elapsed().as_nanos() as f64);
+            if pass == 0 {
+                base_ids.push(res.ids());
+            }
+        }
+    }
+    let mut sorted = base_lat.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let dd_p50 = sorted[sorted.len() / 2];
+    println!("  unbudgeted p50: {dd_p50:.0} ns");
+
+    let mut dd_rows: Vec<(String, Json)> = Vec::new();
+    for frac in [1.0f64, 0.5, 0.25] {
+        let budget = std::time::Duration::from_nanos((dd_p50 * frac) as u64);
+        let (mut ok_full, mut ok_degraded, mut deadline_hits) = (0u64, 0u64, 0u64);
+        let mut recall_sum = 0.0f64;
+        let mut lat: Vec<f64> = Vec::with_capacity(dd_passes * dd_nq);
+        for _ in 0..dd_passes {
+            for (qi, base) in base_ids.iter().enumerate() {
+                let t = std::time::Instant::now();
+                let out = dd_idx.search_budgeted(
+                    dd_queries.row(qi),
+                    dd_k,
+                    &dd_scratch,
+                    &QueryBudget::with_deadline(budget),
+                );
+                lat.push(t.elapsed().as_nanos() as f64);
+                match out {
+                    Ok(res) => {
+                        if res.degraded {
+                            ok_degraded += 1;
+                        } else {
+                            ok_full += 1;
+                        }
+                        let hits = res.ids().iter().filter(|id| base.contains(id)).count();
+                        recall_sum += hits as f64 / dd_k as f64;
+                    }
+                    Err(QueryError::DeadlineExceeded) => deadline_hits += 1,
+                    Err(e) => panic!("unexpected query error: {e}"),
+                }
+            }
+        }
+        let total = (dd_passes * dd_nq) as f64;
+        let answered = ok_full + ok_degraded;
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = lat[lat.len() / 2];
+        let recall = if answered > 0 {
+            recall_sum / answered as f64
+        } else {
+            0.0
+        };
+        let label = format!("budget_{}pct_of_p50", (frac * 100.0) as u32);
+        println!(
+            "  {label}: p50 {p50:.0} ns, recall {recall:.3}, \
+             {ok_full} full / {ok_degraded} degraded / {deadline_hits} expired"
+        );
+        dd_rows.push((
+            label,
+            Json::obj(vec![
+                ("budget_ns", Json::Num(dd_p50 * frac)),
+                ("p50_ns", Json::Num(p50)),
+                ("recall_vs_unbudgeted", Json::Num(recall)),
+                ("full_rate", Json::Num(ok_full as f64 / total)),
+                ("degraded_rate", Json::Num(ok_degraded as f64 / total)),
+                ("deadline_rate", Json::Num(deadline_hits as f64 / total)),
+            ]),
+        ));
+    }
+
+    // Admission shedding at 2× the limit: 4 worker threads against
+    // max_in_flight = 2; a shed attempt returns `Overloaded` immediately
+    // instead of queueing behind a saturated box.
+    dd_idx.set_max_in_flight(2);
+    let dd_idx = Arc::new(dd_idx);
+    let shed_attempts_per_thread = 200usize;
+    let (shed, attempted) = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let idx = &dd_idx;
+            let scratch = &dd_scratch;
+            let queries = &dd_queries;
+            handles.push(s.spawn(move || {
+                let mut shed = 0u64;
+                for i in 0..shed_attempts_per_thread {
+                    let q = queries.row((w + i) % dd_nq);
+                    match idx.search_budgeted(q, dd_k, scratch, &QueryBudget::unlimited()) {
+                        Ok(_) => {}
+                        Err(QueryError::Overloaded { .. }) => shed += 1,
+                        Err(e) => panic!("unexpected query error: {e}"),
+                    }
+                }
+                shed
+            }));
+        }
+        let shed: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        (shed, (4 * shed_attempts_per_thread) as u64)
+    });
+    let shed_rate = shed as f64 / attempted as f64;
+    println!("  admission: {shed}/{attempted} shed at 2x limit ({shed_rate:.3})");
+    drop(dd_idx);
+    drop(dd_scratch);
 
     // --- artifact -----------------------------------------------------------
     let json = Json::obj(vec![
@@ -1172,6 +1310,20 @@ fn main() {
                 ("traced_ns_per_query", Json::Num(traced_ns)),
                 ("overhead_pct", Json::Num(obs_overhead_pct)),
                 ("traced_overhead_pct", Json::Num(traced_overhead_pct)),
+            ]),
+        ),
+        (
+            "deadline_degradation",
+            Json::obj(vec![
+                ("n", Json::Num(dd_n as f64)),
+                ("d", Json::Num(dd_d as f64)),
+                ("k", Json::Num(dd_k as f64)),
+                ("queries", Json::Num((dd_passes * dd_nq) as f64)),
+                ("unbudgeted_p50_ns", Json::Num(dd_p50)),
+                ("budgets", Json::Obj(dd_rows.clone())),
+                ("max_in_flight", Json::Num(2.0)),
+                ("offered_threads", Json::Num(4.0)),
+                ("shed_rate_at_2x_limit", Json::Num(shed_rate)),
             ]),
         ),
     ]);

@@ -66,6 +66,10 @@ pub const REQUIRED_SECTIONS: &[(&str, &[&str])] = &[
             "untimed_ns_per_query",
         ],
     ),
+    (
+        "deadline_degradation",
+        &["unbudgeted_p50_ns", "budgets", "shed_rate_at_2x_limit"],
+    ),
 ];
 
 /// Parses a JSON document, returning the root value.

@@ -15,7 +15,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use promips_idistance::{ProjScratch, RangeCandidate};
 use promips_linalg::{dist, dot, dot4, dot4_i8, dot_i8, norm1, sq_norm2};
-use promips_obs::{self as obs, CounterId, HistoId, ShardSpan, StageNanos};
+use promips_obs::{
+    self as obs, BudgetChecker, CounterId, HistoId, QueryBudget, ShardSpan, StageNanos,
+};
 
 use crate::conditions::ConditionContext;
 use crate::index::ProMips;
@@ -293,7 +295,48 @@ impl ProMips {
         scratch: &mut SearchScratch,
         span: &mut ShardSpan,
     ) -> io::Result<SearchResult> {
-        self.search_observed(q, k, ip_floor, Some(dead), dead_count, scratch, Some(span))
+        self.search_observed(
+            q,
+            k,
+            ip_floor,
+            Some(dead),
+            dead_count,
+            scratch,
+            Some(span),
+            None,
+        )
+    }
+
+    /// [`ProMips::search_masked_traced`] under a cooperative
+    /// [`QueryBudget`]: the scan/verify loops check the budget every few
+    /// block iterations (amortized — a `None` or unlimited budget costs a
+    /// single branch per check site) and stop with a typed
+    /// [`obs::BudgetExceeded`] error, recoverable from the returned
+    /// `io::Error` via [`obs::budget_error`]. Partial work done before the
+    /// budget fired is discarded by this layer; the sharded fan-out is
+    /// what turns per-shard budget hits into a degraded merged result.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_masked_budgeted(
+        &self,
+        q: &[f32],
+        k: usize,
+        ip_floor: f64,
+        dead: &dyn Fn(u64) -> bool,
+        dead_count: usize,
+        scratch: &mut SearchScratch,
+        span: Option<&mut ShardSpan>,
+        budget: Option<&QueryBudget>,
+    ) -> io::Result<SearchResult> {
+        self.search_observed(
+            q,
+            k,
+            ip_floor,
+            Some(dead),
+            dead_count,
+            scratch,
+            span,
+            budget,
+        )
     }
 
     fn search_inner(
@@ -305,7 +348,7 @@ impl ProMips {
         mask_dead_count: usize,
         scratch: &mut SearchScratch,
     ) -> io::Result<SearchResult> {
-        self.search_observed(q, k, ip_floor, mask, mask_dead_count, scratch, None)
+        self.search_observed(q, k, ip_floor, mask, mask_dead_count, scratch, None, None)
     }
 
     /// Runs the timed search body, feeds the global metrics registry
@@ -324,6 +367,7 @@ impl ProMips {
         mask_dead_count: usize,
         scratch: &mut SearchScratch,
         span: Option<&mut ShardSpan>,
+        budget: Option<&QueryBudget>,
     ) -> io::Result<SearchResult> {
         let mut stages = StageNanos::default();
         let mut scanned = 0u64;
@@ -336,6 +380,7 @@ impl ProMips {
             scratch,
             &mut stages,
             &mut scanned,
+            budget,
         )?;
         let reg = obs::global();
         reg.counter(CounterId::QueryScanned).add(scanned);
@@ -370,9 +415,14 @@ impl ProMips {
         scratch: &mut SearchScratch,
         stages: &mut StageNanos,
         scanned: &mut u64,
+        budget: Option<&QueryBudget>,
     ) -> io::Result<SearchResult> {
         assert_eq!(q.len(), self.d, "query dimensionality mismatch");
         assert!(k >= 1, "k must be at least 1");
+        // Cooperative budget checker shared by every loop below. With no
+        // budget this is one branch per tick site — the no-budget path
+        // stays bit-identical and clock-free.
+        let mut checker = BudgetChecker::new(budget);
         let k = k.min((self.live_len() as usize).saturating_sub(mask_dead_count));
         if k == 0 {
             // Every point is dead (internally or via the mask): nothing to
@@ -405,6 +455,7 @@ impl ProMips {
         let r = self.located_radius(&located, &scratch.pq, &mut scratch.proj);
         stages.scan_ns += obs::elapsed_since(t_scan);
         let r = r?;
+        checker.tick()?;
 
         let mut top = TopK::with_floor(k, ip_floor);
         let mut verified = 0usize;
@@ -429,6 +480,7 @@ impl ProMips {
         stages.scan_ns += obs::elapsed_since(t_range);
         ranged?;
         *scanned += scratch.cands.len() as u64;
+        checker.tick()?;
         if let Some(term) = self.verify_groups(
             &scratch.cands,
             q,
@@ -439,6 +491,7 @@ impl ProMips {
             &mut screened,
             &mut scratch.fetch,
             stages,
+            &mut checker,
         )? {
             return Ok(self.finish(top, verified, screened, Some(r), Some(r), false, term));
         }
@@ -457,8 +510,10 @@ impl ProMips {
         if top.len() < k && ip_floor == f64::NEG_INFINITY {
             let t_short = obs::clock_start();
             let mut iter = self.index.nn_iter(&scratch.pq);
+            let checker = &mut checker;
             let mut shortfall = || -> io::Result<()> {
                 for cand in iter.by_ref() {
+                    checker.tick()?;
                     if cand.proj_dist <= r || self.is_dead(cand.id, mask) {
                         continue; // already verified by the range pass / deleted
                     }
@@ -523,6 +578,7 @@ impl ProMips {
                 stages.scan_ns += obs::elapsed_since(t_comp);
                 ranged?;
                 *scanned += scratch.cands.len() as u64;
+                checker.tick()?;
                 if let Some(term) = self.verify_groups(
                     &scratch.cands,
                     q,
@@ -533,6 +589,7 @@ impl ProMips {
                     &mut screened,
                     &mut scratch.fetch,
                     stages,
+                    &mut checker,
                 )? {
                     return Ok(self.finish(
                         top,
@@ -720,6 +777,7 @@ impl ProMips {
         screened: &mut usize,
         buf: &mut FetchBuffers,
         stages: &mut StageNanos,
+        checker: &mut BudgetChecker<'_>,
     ) -> io::Result<Option<Termination>> {
         // Candidates arrive grouped by sub-partition (directory order);
         // compute each group's (min proj_dist, range) key in one pass.
@@ -765,6 +823,14 @@ impl ProMips {
         };
         let mut outcome = Ok(None);
         for gi in 0..buf.groups.len() {
+            // One cooperative budget check per verified group: a group is
+            // one bounded blob read + one bounded kernel pass, so deadline
+            // overshoot is bounded by the checker's stride worth of
+            // groups. Break (not return) so the timing lap still flushes.
+            if let Err(exceeded) = checker.tick() {
+                outcome = Err(exceeded.into());
+                break;
+            }
             let (_, s, e) = buf.groups[gi];
             let group = &cands[s..e];
             buf.offsets.clear();
@@ -1290,6 +1356,73 @@ mod tests {
             "floored search verified {} candidates",
             res.verified
         );
+    }
+
+    #[test]
+    fn budgeted_search_honours_deadline_cancellation_and_identity() {
+        use promips_obs::{budget_error, BudgetExceeded, CancelToken, QueryBudget};
+        let (idx, _) = build(600, 16, 59, 0.9, 0.5);
+        let q = vec![0.3f32; 16];
+        let mut scratch = SearchScratch::new();
+
+        // Already-expired deadline: the first cooperative check fires and
+        // the typed cause survives the io::Error plumbing.
+        let expired = QueryBudget::with_deadline_at(0);
+        let err = idx
+            .search_masked_budgeted(
+                &q,
+                5,
+                f64::NEG_INFINITY,
+                &|_| false,
+                0,
+                &mut scratch,
+                None,
+                Some(&expired),
+            )
+            .unwrap_err();
+        assert_eq!(budget_error(&err), Some(BudgetExceeded::Deadline));
+
+        // A pre-cancelled token stops the search the same way.
+        let tok = CancelToken::new();
+        tok.cancel();
+        let cancelled = QueryBudget::unlimited().cancellable(tok);
+        let err = idx
+            .search_masked_budgeted(
+                &q,
+                5,
+                f64::NEG_INFINITY,
+                &|_| false,
+                0,
+                &mut scratch,
+                None,
+                Some(&cancelled),
+            )
+            .unwrap_err();
+        assert_eq!(budget_error(&err), Some(BudgetExceeded::Cancelled));
+
+        // An unlimited budget (and an un-fired generous one) is
+        // bit-identical to the plain search.
+        let plain = idx.search(&q, 5).unwrap();
+        for b in [
+            QueryBudget::unlimited(),
+            QueryBudget::with_deadline(std::time::Duration::from_secs(3600)),
+        ] {
+            let budgeted = idx
+                .search_masked_budgeted(
+                    &q,
+                    5,
+                    f64::NEG_INFINITY,
+                    &|_| false,
+                    0,
+                    &mut scratch,
+                    None,
+                    Some(&b),
+                )
+                .unwrap();
+            assert_eq!(plain.items, budgeted.items);
+            assert_eq!(plain.verified, budgeted.verified);
+            assert_eq!(plain.termination, budgeted.termination);
+        }
     }
 
     #[test]

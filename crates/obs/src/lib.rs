@@ -20,12 +20,14 @@
 //! benchmarks can measure the instrumented path against a clock-free
 //! baseline.
 
+pub mod budget;
 mod metrics;
 mod registry;
 mod render;
 pub mod slow;
 pub mod trace;
 
+pub use budget::{budget_error, BudgetChecker, BudgetExceeded, CancelToken, QueryBudget};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{CounterId, GaugeId, HistoId, Registry, RegistrySnapshot};
 pub use trace::{QueryTrace, ShardSpan, StageNanos};

@@ -64,6 +64,12 @@ metric_ids! {
         Repartitions => "promips_repartitions_total", "Whole-index repartitions completed";
         GenerationSwaps => "promips_generation_swaps_total", "Shard generation handles atomically swapped";
         SlowQueries => "promips_slow_queries_total", "Traces accepted by the slow-query log";
+        IoReads => "promips_io_reads_total", "Durable read calls through storage::durability";
+        IoRetries => "promips_io_retries_total", "Transient IO failures retried by storage::durability::retry";
+        DeadlinesExceeded => "promips_deadlines_exceeded_total", "Queries that hit their QueryBudget deadline";
+        QueriesCancelled => "promips_queries_cancelled_total", "Queries stopped by a cancellation token";
+        QueriesShed => "promips_queries_shed_total", "Queries refused by the admission gate (Overloaded)";
+        PartialResults => "promips_partial_results_total", "Best-effort searches that returned a degraded result";
     }
 }
 
@@ -86,6 +92,7 @@ metric_ids! {
         ShardSearchNs => "promips_shard_search_ns", "Single-shard search time within fan-out";
         WalGroupCommitBatch => "promips_wal_group_commit_batch", "Appends amortized per WAL sync";
         CompactionNs => "promips_compaction_ns", "Per-shard compaction wall time";
+        BudgetRemainingNs => "promips_budget_remaining_ns", "Remaining deadline budget when a budgeted search completed";
     }
 }
 

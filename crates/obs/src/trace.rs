@@ -43,6 +43,10 @@ pub struct ShardSpan {
     pub pruned: bool,
     /// Searched in phase 1 to seed the cross-shard floor.
     pub seed: bool,
+    /// The shard's search failed (IO fault, deadline, poisoned worker)
+    /// and a best-effort merge excluded it; count fields cover whatever
+    /// completed before the failure was detected (usually zero).
+    pub failed: bool,
     /// Wall time of this shard's search call.
     pub elapsed_ns: u64,
     pub stages: StageNanos,
@@ -61,6 +65,12 @@ pub struct QueryTrace {
     pub total_ns: u64,
     /// Cross-shard top-k merge and result assembly.
     pub merge_ns: u64,
+    /// One or more shards failed and the result is a best-effort merge
+    /// over the survivors (`BestEffort` degradation policy).
+    pub degraded: bool,
+    /// Remaining deadline budget when the search completed, if the query
+    /// carried one (0 means the deadline fired).
+    pub budget_remaining_ns: Option<u64>,
     /// One span per shard, pruned shards included (with zero timings).
     pub shards: Vec<ShardSpan>,
 }
@@ -105,6 +115,12 @@ impl QueryTrace {
         self.shards.iter().filter(|s| s.pruned).count()
     }
 
+    /// Shards whose search failed and were excluded by a best-effort
+    /// merge.
+    pub fn shards_failed(&self) -> usize {
+        self.shards.iter().filter(|s| s.failed).count()
+    }
+
     pub fn shards_searched(&self) -> usize {
         self.shards.len() - self.shards_pruned()
     }
@@ -116,7 +132,7 @@ impl QueryTrace {
         let st = self.stages();
         writeln!(
             out,
-            "query k={} total={}us (scan={}us screen={}us verify={}us merge={}us, coverage={:.1}%)",
+            "query k={} total={}us (scan={}us screen={}us verify={}us merge={}us, coverage={:.1}%){}{}",
             self.k,
             self.total_ns / 1_000,
             st.scan_ns / 1_000,
@@ -124,11 +140,18 @@ impl QueryTrace {
             st.verify_ns / 1_000,
             self.merge_ns / 1_000,
             self.coverage() * 100.0,
+            if self.degraded { " DEGRADED" } else { "" },
+            match self.budget_remaining_ns {
+                Some(ns) => format!(" budget-left={}us", ns / 1_000),
+                None => String::new(),
+            },
         )
         .unwrap();
         for s in &self.shards {
             if s.pruned {
                 writeln!(out, "  shard {:>3}: pruned (norm bound)", s.shard).unwrap();
+            } else if s.failed {
+                writeln!(out, "  shard {:>3}: FAILED (excluded from merge)", s.shard).unwrap();
             } else {
                 writeln!(
                     out,
@@ -157,6 +180,8 @@ mod tests {
             started_at_ns: 1,
             total_ns: 1_000,
             merge_ns: 50,
+            degraded: false,
+            budget_remaining_ns: None,
             shards: vec![
                 ShardSpan {
                     shard: 0,

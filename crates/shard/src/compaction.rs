@@ -235,8 +235,9 @@ impl ShardedProMips {
     /// Spawns a background thread that runs [`ShardedProMips::compact`]
     /// every `interval`. Readers and writers are never blocked by it (see
     /// the module docs); stop it with [`Compactor::stop`] or by dropping
-    /// the handle.
-    pub fn start_compactor(self: &Arc<Self>, interval: Duration) -> Compactor {
+    /// the handle. Errs only when the OS refuses the thread (resource
+    /// exhaustion) — a survivable condition the caller can back off from.
+    pub fn start_compactor(self: &Arc<Self>, interval: Duration) -> io::Result<Compactor> {
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
         let index = Arc::clone(self);
@@ -258,12 +259,11 @@ impl ShardedProMips {
                     }
                 }
                 last_err
-            })
-            .expect("spawn compactor thread");
-        Compactor {
+            })?;
+        Ok(Compactor {
             stop,
             handle: Some(handle),
-        }
+        })
     }
 
     /// One policy-driven maintenance pass: re-partitions if the live skew

@@ -4,6 +4,7 @@ use promips_core::ProMipsConfig;
 use promips_wal::SyncPolicy;
 
 use crate::compaction::CompactionPolicy;
+use crate::error::DegradationPolicy;
 use crate::partition::PartitionStrategy;
 
 /// Build- and search-time parameters of a [`crate::ShardedProMips`].
@@ -38,6 +39,16 @@ pub struct ShardedConfig {
     /// When [`crate::ShardedProMips::compact`] folds a shard's delta and
     /// tombstones into a fresh generation, and when it re-partitions.
     pub compaction: CompactionPolicy,
+    /// What a shard failure mid-query does to the whole query:
+    /// [`DegradationPolicy::FailFast`] (default) aborts with a typed
+    /// error; [`DegradationPolicy::BestEffort`] returns the top-k over
+    /// surviving shards, flagged degraded.
+    pub degradation: DegradationPolicy,
+    /// Admission limit: at most this many searches may run concurrently
+    /// against the index; the excess is refused with
+    /// [`crate::QueryError::Overloaded`] instead of queueing. `0` means
+    /// unlimited (the default — no admission gate).
+    pub max_in_flight: usize,
     /// Per-shard ProMIPS parameters. Shard `i` builds with
     /// `seed ⊕ (i · φ₆₄)`, so shard 0 of a one-shard config reproduces the
     /// unsharded index exactly.
@@ -54,6 +65,8 @@ impl Default for ShardedConfig {
             cross_shard_floor: false,
             wal_sync: SyncPolicy::Always,
             compaction: CompactionPolicy::default(),
+            degradation: DegradationPolicy::FailFast,
+            max_in_flight: 0,
             base: ProMipsConfig::default(),
         }
     }
@@ -131,6 +144,18 @@ impl ShardedConfigBuilder {
         self
     }
 
+    /// Sets the shard-failure degradation policy.
+    pub fn degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.config.degradation = policy;
+        self
+    }
+
+    /// Sets the admission limit (`0` = unlimited).
+    pub fn max_in_flight(mut self, limit: usize) -> Self {
+        self.config.max_in_flight = limit;
+        self
+    }
+
     /// Sets the per-shard ProMIPS configuration.
     pub fn base(mut self, base: ProMipsConfig) -> Self {
         self.config.base = base;
@@ -175,5 +200,18 @@ mod tests {
     #[should_panic]
     fn rejects_zero_shards() {
         ShardedConfig::builder().shards(0).build();
+    }
+
+    #[test]
+    fn robustness_knobs_default_off() {
+        let c = ShardedConfig::default();
+        assert_eq!(c.degradation, DegradationPolicy::FailFast);
+        assert_eq!(c.max_in_flight, 0);
+        let c = ShardedConfig::builder()
+            .degradation(DegradationPolicy::BestEffort)
+            .max_in_flight(32)
+            .build();
+        assert_eq!(c.degradation, DegradationPolicy::BestEffort);
+        assert_eq!(c.max_in_flight, 32);
     }
 }

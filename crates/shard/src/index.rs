@@ -30,7 +30,7 @@
 
 use std::collections::HashSet;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -302,6 +302,9 @@ pub struct ShardedProMips {
     pub(crate) dir: Option<std::path::PathBuf>,
     /// Name of the partitioner that built the assignment (for reporting).
     pub(crate) partitioner_name: String,
+    /// Searches currently running (admission-control gauge; see
+    /// [`ShardedConfig::max_in_flight`]).
+    pub(crate) in_flight: AtomicUsize,
 }
 
 impl ShardedProMips {
@@ -396,6 +399,7 @@ impl ShardedProMips {
             manifest_lock: Mutex::new(()),
             dir: None,
             partitioner_name: partitioner.name().to_string(),
+            in_flight: AtomicUsize::new(0),
         })
     }
 
@@ -488,6 +492,20 @@ impl ShardedProMips {
     /// Name of the partitioner that built the shard assignment.
     pub fn partitioner_name(&self) -> &str {
         &self.partitioner_name
+    }
+
+    /// Switches the shard-failure degradation policy at runtime. The policy
+    /// is not persisted: [`ShardedProMips::open`] always starts from the
+    /// default ([`crate::DegradationPolicy::FailFast`]).
+    pub fn set_degradation(&mut self, policy: crate::DegradationPolicy) {
+        self.config.degradation = policy;
+    }
+
+    /// Sets the admission-control limit on concurrently executing queries
+    /// (`0` = unlimited). Like the degradation policy, this is a runtime
+    /// knob and is not persisted.
+    pub fn set_max_in_flight(&mut self, limit: usize) {
+        self.config.max_in_flight = limit;
     }
 
     /// Aggregated page-access counters over every indexed shard (exact

@@ -44,6 +44,7 @@
 
 pub mod compaction;
 pub mod config;
+pub mod error;
 pub mod index;
 pub mod mutation;
 pub mod partition;
@@ -53,7 +54,11 @@ pub mod search;
 
 pub use compaction::{CompactionPolicy, CompactionReport, Compactor};
 pub use config::{ShardedConfig, ShardedConfigBuilder};
+pub use error::{DegradationPolicy, QueryError, ShardError, ShardErrorKind};
 pub use index::{Shard, ShardedProMips};
+// Budgets are built by callers and handed to `search_budgeted`; re-export
+// them so callers don't need a direct `promips_obs` dependency.
+pub use promips_obs::{CancelToken, QueryBudget};
 // Mutations report typed refusals; re-export the error so callers don't
 // need a direct `promips_core` dependency to match on it.
 pub use partition::{HashPartitioner, NormRangePartitioner, PartitionStrategy, Partitioner};

@@ -96,6 +96,7 @@ pub(crate) fn write_exact_file(path: &Path, rows: &Matrix, n_rows: usize) -> io:
 }
 
 fn read_exact(path: &Path, expect_d: usize) -> io::Result<Matrix> {
+    promips_storage::faults::check(promips_storage::faults::IoOp::Read, path)?;
     let buf = fs::read(path)?;
     let mut pos = 0;
     if buf.len() < 24 || enc::get_u64(&buf, &mut pos) != EXACT_MAGIC {
@@ -353,7 +354,15 @@ impl ShardedProMips {
                 enc::put_u64(&mut buf, id);
             }
         }
-        write_file_atomic(dir.join(MANIFEST_NAME), &buf)
+        // The swap is the commit point of every build, snapshot, and
+        // compaction; a transient stall here (EINTR, a briefly saturated
+        // device) should not abort an otherwise healthy commit. Re-running
+        // the atomic write is idempotent — it rebuilds the tmp sibling
+        // from scratch and the old manifest stays authoritative until the
+        // rename lands.
+        promips_storage::durability::retry::retry_io(&Default::default(), || {
+            write_file_atomic(dir.join(MANIFEST_NAME), &buf)
+        })
     }
 
     /// Reopens an index directory written by [`ShardedProMips::snapshot`],
@@ -438,6 +447,8 @@ impl ShardedProMips {
             cross_shard_floor,
             wal_sync,
             compaction: Default::default(), // runtime policy, not persisted
+            degradation: Default::default(), // runtime policy, not persisted
+            max_in_flight: 0,               // runtime policy, not persisted
             base: promips_core::ProMipsConfig {
                 c,
                 p,
@@ -514,6 +525,7 @@ impl ShardedProMips {
             manifest_lock: Mutex::new(()),
             dir: Some(dir.to_path_buf()),
             partitioner_name,
+            in_flight: std::sync::atomic::AtomicUsize::new(0),
         };
 
         // Stream each shard's write-ahead log (where one exists) through

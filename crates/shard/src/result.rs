@@ -12,6 +12,11 @@ pub struct ShardQueryStats {
     pub points: u64,
     /// True when the norm bound pruned the shard without searching it.
     pub pruned: bool,
+    /// True when this shard's search failed (IO fault, deadline, panic)
+    /// and its contribution is missing from the merge — only ever set
+    /// under [`crate::DegradationPolicy::BestEffort`]; fail-fast queries
+    /// error instead of returning stats.
+    pub failed: bool,
     /// True when the shard ran the exact-scan fallback instead of its
     /// ProMIPS index.
     pub exact: bool,
@@ -112,6 +117,11 @@ pub struct ShardedSearchResult {
     pub screened: usize,
     /// Per-shard diagnostics, indexed by shard id.
     pub per_shard: Vec<ShardQueryStats>,
+    /// True when at least one shard failed and was excluded from the
+    /// merge under [`crate::DegradationPolicy::BestEffort`]: the items
+    /// are the exact top-k over the **surviving** shards only. Always
+    /// false for fail-fast (and healthy) queries.
+    pub degraded: bool,
 }
 
 impl ShardedSearchResult {
@@ -134,6 +144,12 @@ impl ShardedSearchResult {
     pub fn shards_pruned(&self) -> usize {
         self.per_shard.iter().filter(|s| s.pruned).count()
     }
+
+    /// Number of shards whose search failed and was excluded from the
+    /// merge (non-zero only for degraded best-effort results).
+    pub fn shards_failed(&self) -> usize {
+        self.per_shard.iter().filter(|s| s.failed).count()
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +167,7 @@ mod tests {
                     shard: 0,
                     points: 10,
                     pruned: false,
+                    failed: false,
                     exact: false,
                     verified: 12,
                     screened: 8,
@@ -163,6 +180,7 @@ mod tests {
                     shard: 1,
                     points: 3,
                     pruned: true,
+                    failed: true,
                     exact: true,
                     verified: 0,
                     screened: 0,
@@ -172,10 +190,13 @@ mod tests {
                     wal_bytes: 64,
                 },
             ],
+            degraded: true,
         };
         assert_eq!(r.best_ip(), Some(4.0));
         assert_eq!(r.ids(), vec![9, 2]);
         assert_eq!(r.shards_searched(), 1);
         assert_eq!(r.shards_pruned(), 1);
+        assert_eq!(r.shards_failed(), 1);
+        assert!(r.degraded);
     }
 }

@@ -41,17 +41,52 @@
 //! results are **deterministic**: the same query against the same snapshot
 //! returns the same items, ranks, and per-shard counts regardless of
 //! thread count or scheduling.
+//!
+//! ## Query lifecycle
+//!
+//! Three lifecycle controls wrap the two phases (all off by default, all
+//! zero-cost when off):
+//!
+//! * **Admission** — [`crate::ShardedConfig::max_in_flight`] bounds the
+//!   searches running concurrently against the index; the excess is
+//!   refused up front with [`QueryError::Overloaded`] instead of piling
+//!   onto a saturated box (counted by `promips_queries_shed_total`).
+//! * **Budgets** — the `*_budgeted` entry points carry a
+//!   [`QueryBudget`] (deadline and/or cancellation token) down into every
+//!   shard's scan and verify loops, which check it cooperatively once per
+//!   block of work. An exceeded budget surfaces as
+//!   [`QueryError::DeadlineExceeded`] / [`QueryError::Cancelled`].
+//! * **Degradation** — [`crate::DegradationPolicy`] decides what one
+//!   shard's failure (injected or real IO fault, per-shard deadline
+//!   expiry, worker panic) does to the query: `FailFast` (default)
+//!   aborts with a typed [`ShardError`] naming the shard — reported
+//!   deterministically for the lowest failing shard index — while
+//!   `BestEffort` drops the failed shard from the merge and returns the
+//!   exact top-k over the survivors with
+//!   [`crate::ShardedSearchResult::degraded`] set (counted by
+//!   `promips_partial_results_total`, visible per shard in traces).
 
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 use promips_core::{SearchItem, SearchScratch};
 use promips_linalg::{dot, sq_norm2};
-use promips_obs::{self as obs, slow, CounterId, HistoId, QueryTrace, ShardSpan, StageNanos};
+use promips_obs::{
+    self as obs, budget_error, slow, BudgetChecker, BudgetExceeded, CounterId, HistoId,
+    QueryBudget, QueryTrace, ShardSpan, StageNanos,
+};
 
+use crate::error::{DegradationPolicy, QueryError, ShardError, ShardErrorKind};
 use crate::index::{GenKind, ShardSnapshot, ShardedProMips};
 use crate::result::{ShardQueryStats, ShardedSearchResult};
+
+/// Rows per cooperative budget check in the exact-scan and delta-overlay
+/// loops (the indexed path checks per verified group inside the core).
+/// With the checker's default clock stride this reads the clock every few
+/// thousand rows — far below a page of verification work.
+const EXACT_TICK_ROWS: usize = 256;
 
 /// Reusable per-shard search buffers: one [`SearchScratch`] per shard,
 /// individually locked so fan-out workers (at most one per shard) take
@@ -92,6 +127,45 @@ struct ShardOutcome {
     elapsed_ns: u64,
 }
 
+/// RAII admission permit: holds one slot of the index's in-flight gauge
+/// and releases it on every exit path (success, error, panic unwind).
+struct AdmissionPermit<'a> {
+    gauge: &'a AtomicUsize,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Re-types a shard-level `io::Error`: budget expiries (riding the
+/// `io::Result` plumbing from the core loops) are recovered into their
+/// own kinds; everything else is a storage failure.
+fn classify_shard_error(si: usize, e: io::Error) -> ShardError {
+    let kind = match budget_error(&e) {
+        Some(BudgetExceeded::Deadline) => ShardErrorKind::DeadlineExceeded,
+        Some(BudgetExceeded::Cancelled) => ShardErrorKind::Cancelled,
+        None => ShardErrorKind::Io(e),
+    };
+    ShardError {
+        shard: si as u32,
+        kind,
+    }
+}
+
+/// Books the query-level counter for a failure that aborts the whole
+/// query, then promotes it.
+fn fail_query(se: ShardError) -> QueryError {
+    let reg = obs::global();
+    match se.kind {
+        ShardErrorKind::DeadlineExceeded => reg.counter(CounterId::DeadlinesExceeded).inc(),
+        ShardErrorKind::Cancelled => reg.counter(CounterId::QueriesCancelled).inc(),
+        _ => {}
+    }
+    QueryError::from(se)
+}
+
 impl ShardedProMips {
     /// c-k-AMIP search across all shards (allocates a fresh scratch set;
     /// high-throughput callers should hold a [`ShardedScratch`] and use
@@ -124,7 +198,39 @@ impl ShardedProMips {
         threads: usize,
         scratch: &ShardedScratch,
     ) -> io::Result<ShardedSearchResult> {
-        self.search_observed(q, k, threads, scratch, None)
+        self.search_observed(q, k, threads, scratch, None, None)
+            .map_err(io::Error::from)
+    }
+
+    /// [`ShardedProMips::search_with_scratch`] under a [`QueryBudget`]:
+    /// the deadline/cancellation token is checked cooperatively inside
+    /// every shard's scan and verify loops, and failures come back typed.
+    /// Under [`DegradationPolicy::BestEffort`] a budget that expires after
+    /// some shards finished degrades the result instead of erroring.
+    pub fn search_budgeted(
+        &self,
+        q: &[f32],
+        k: usize,
+        scratch: &ShardedScratch,
+        budget: &QueryBudget,
+    ) -> Result<ShardedSearchResult, QueryError> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.search_budgeted_threaded(q, k, threads, scratch, budget)
+    }
+
+    /// [`ShardedProMips::search_budgeted`] with an explicit fan-out worker
+    /// count.
+    pub fn search_budgeted_threaded(
+        &self,
+        q: &[f32],
+        k: usize,
+        threads: usize,
+        scratch: &ShardedScratch,
+        budget: &QueryBudget,
+    ) -> Result<ShardedSearchResult, QueryError> {
+        self.search_observed(q, k, threads, scratch, None, Some(budget))
     }
 
     /// [`ShardedProMips::search_with_scratch`] that additionally returns a
@@ -164,13 +270,54 @@ impl ShardedProMips {
             started_at_ns: obs::now_ns(),
             ..QueryTrace::default()
         };
-        let res = self.search_observed(q, k, threads, scratch, Some(&mut trace))?;
+        let res = self
+            .search_observed(q, k, threads, scratch, Some(&mut trace), None)
+            .map_err(io::Error::from)?;
         slow::offer(&trace);
         Ok((res, trace))
     }
 
+    /// [`ShardedProMips::search_budgeted`] with a [`QueryTrace`]: the
+    /// trace carries the remaining budget at completion and flags every
+    /// failed (excluded) shard, so a degraded answer is auditable.
+    pub fn search_traced_budgeted(
+        &self,
+        q: &[f32],
+        k: usize,
+        scratch: &ShardedScratch,
+        budget: &QueryBudget,
+    ) -> Result<(ShardedSearchResult, QueryTrace), QueryError> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut trace = QueryTrace {
+            k,
+            started_at_ns: obs::now_ns(),
+            ..QueryTrace::default()
+        };
+        let res = self.search_observed(q, k, threads, scratch, Some(&mut trace), Some(budget))?;
+        slow::offer(&trace);
+        Ok((res, trace))
+    }
+
+    /// Takes an admission slot, or sheds the query when the configured
+    /// limit is saturated.
+    fn admit(&self) -> Result<AdmissionPermit<'_>, QueryError> {
+        let in_flight = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let limit = self.config.max_in_flight;
+        if limit != 0 && in_flight >= limit {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            obs::global().counter(CounterId::QueriesShed).inc();
+            return Err(QueryError::Overloaded { in_flight, limit });
+        }
+        Ok(AdmissionPermit {
+            gauge: &self.in_flight,
+        })
+    }
+
     /// The one search path: phases and results are identical whether or
-    /// not a trace is requested; tracing only *observes*.
+    /// not a trace is requested; tracing only *observes*. A `None` budget
+    /// is the historical unbounded path, bit for bit.
     fn search_observed(
         &self,
         q: &[f32],
@@ -178,7 +325,8 @@ impl ShardedProMips {
         threads: usize,
         scratch: &ShardedScratch,
         trace: Option<&mut QueryTrace>,
-    ) -> io::Result<ShardedSearchResult> {
+        budget: Option<&QueryBudget>,
+    ) -> Result<ShardedSearchResult, QueryError> {
         assert_eq!(q.len(), self.d, "query dimensionality mismatch");
         assert!(k >= 1, "k must be at least 1");
         assert_eq!(
@@ -188,8 +336,13 @@ impl ShardedProMips {
             scratch.per_shard.len(),
             self.shards.len()
         );
+        // Load shedding happens before any real work: a refused query
+        // costs two atomic ops and a counter bump. The permit's Drop
+        // releases the slot on every path out of this function.
+        let _permit = self.admit()?;
         let ns = self.shards.len();
         let q_norm = sq_norm2(q).sqrt();
+        let policy = self.config.degradation;
         // A trace must measure wall time even when the aggregate-histogram
         // timing switch is off — the caller explicitly asked for it.
         let timing = obs::timing_enabled();
@@ -205,7 +358,35 @@ impl ShardedProMips {
 
         let mut outcomes: Vec<Option<ShardOutcome>> = (0..ns).map(|_| None).collect();
         let mut pruned = vec![false; ns];
+        let mut failed = vec![false; ns];
+        let mut failures: Vec<ShardError> = Vec::new();
+        let mut attempted = 0usize;
         let mut seed_shard: Option<usize> = None;
+
+        // One shard, fully contained: IO errors are re-typed, budget
+        // expiries recovered, and a panicking worker is caught here (the
+        // scratch and snapshot it held are query-local; shared state is
+        // lock-free or guarded by non-poisoning locks).
+        let search_one = |si: usize, floor: f64| -> Result<ShardOutcome, ShardError> {
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                search_snapshot(
+                    &snaps[si],
+                    q,
+                    k,
+                    floor,
+                    &mut scratch.per_shard[si].lock(),
+                    budget,
+                )
+            }));
+            match res {
+                Ok(Ok(outcome)) => Ok(outcome),
+                Ok(Err(e)) => Err(classify_shard_error(si, e)),
+                Err(_) => Err(ShardError {
+                    shard: si as u32,
+                    kind: ShardErrorKind::Poisoned,
+                }),
+            }
+        };
 
         // --- Phase 1: seed probe of the highest-norm-bound shard. ---------
         let mut kth_floor = f64::NEG_INFINITY;
@@ -217,17 +398,24 @@ impl ShardedProMips {
                 .max_by(|(ia, a), (ib, b)| a.max_norm.total_cmp(&b.max_norm).then(ib.cmp(ia)))
                 .map(|(i, _)| i)
                 .expect("at least one shard");
-            let outcome = search_snapshot(
-                &snaps[seed],
-                q,
-                k,
-                f64::NEG_INFINITY,
-                &mut scratch.per_shard[seed].lock(),
-            )?;
-            if outcome.items.len() >= k {
-                kth_floor = outcome.items[k - 1].ip;
+            attempted += 1;
+            match search_one(seed, f64::NEG_INFINITY) {
+                Ok(outcome) => {
+                    if outcome.items.len() >= k {
+                        kth_floor = outcome.items[k - 1].ip;
+                    }
+                    outcomes[seed] = Some(outcome);
+                }
+                Err(se) => {
+                    if policy == DegradationPolicy::FailFast {
+                        return Err(fail_query(se));
+                    }
+                    // Degraded probe: no floor, so nothing is pruned and
+                    // every other shard gets its chance to contribute.
+                    failed[seed] = true;
+                    failures.push(se);
+                }
             }
-            outcomes[seed] = Some(outcome);
             seed_shard = Some(seed);
             for (si, snap) in snaps.iter().enumerate() {
                 if si == seed {
@@ -252,52 +440,95 @@ impl ShardedProMips {
         };
 
         // --- Phase 2: parallel fan-out over surviving shards. -------------
+        attempted += fan_out.len();
         let threads = threads.clamp(1, fan_out.len().max(1));
         if threads == 1 {
             for &si in &fan_out {
-                let outcome =
-                    search_snapshot(&snaps[si], q, k, floor, &mut scratch.per_shard[si].lock())?;
-                outcomes[si] = Some(outcome);
+                match search_one(si, floor) {
+                    Ok(outcome) => outcomes[si] = Some(outcome),
+                    Err(se) => {
+                        // Sequential fan-out visits shards in ascending
+                        // index order, so this early return already
+                        // reports the lowest failing shard.
+                        if policy == DegradationPolicy::FailFast {
+                            return Err(fail_query(se));
+                        }
+                        failed[si] = true;
+                        failures.push(se);
+                    }
+                }
             }
         } else {
             let next = AtomicUsize::new(0);
             let fan_out_ref = &fan_out;
-            let per_shard = &scratch.per_shard;
-            let snaps_ref = &snaps;
-            let collected = std::thread::scope(|s| -> io::Result<Vec<(usize, ShardOutcome)>> {
-                let workers: Vec<_> = (0..threads)
-                    .map(|_| {
-                        s.spawn(|| {
-                            let mut local: Vec<(usize, io::Result<ShardOutcome>)> = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, Ordering::Relaxed);
-                                if i >= fan_out_ref.len() {
-                                    break;
+            let search_one = &search_one;
+            let collected: Vec<(usize, Result<ShardOutcome, ShardError>)> =
+                std::thread::scope(|s| {
+                    let workers: Vec<_> = (0..threads)
+                        .map(|_| {
+                            s.spawn(|| {
+                                let mut local: Vec<(usize, Result<ShardOutcome, ShardError>)> =
+                                    Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= fan_out_ref.len() {
+                                        break;
+                                    }
+                                    let si = fan_out_ref[i];
+                                    local.push((si, search_one(si, floor)));
                                 }
-                                let si = fan_out_ref[i];
-                                let res = search_snapshot(
-                                    &snaps_ref[si],
-                                    q,
-                                    k,
-                                    floor,
-                                    &mut per_shard[si].lock(),
-                                );
-                                local.push((si, res));
-                            }
-                            local
+                                local
+                            })
                         })
-                    })
-                    .collect();
-                let mut out = Vec::with_capacity(fan_out_ref.len());
-                for w in workers {
-                    for (si, res) in w.join().expect("shard fan-out worker panicked") {
-                        out.push((si, res?));
+                        .collect();
+                    let mut out = Vec::with_capacity(fan_out_ref.len());
+                    for w in workers {
+                        out.extend(w.join().expect("shard fan-out worker panicked"));
+                    }
+                    out
+                });
+            let mut fan_failures: Vec<ShardError> = Vec::new();
+            for (si, res) in collected {
+                match res {
+                    Ok(outcome) => outcomes[si] = Some(outcome),
+                    Err(se) => {
+                        failed[si] = true;
+                        fan_failures.push(se);
                     }
                 }
-                Ok(out)
-            })?;
-            for (si, outcome) in collected {
-                outcomes[si] = Some(outcome);
+            }
+            if policy == DegradationPolicy::FailFast && !fan_failures.is_empty() {
+                // Workers finish in scheduling order; report the lowest
+                // shard index so the error is thread-count invariant.
+                fan_failures.sort_by_key(|e| e.shard);
+                return Err(fail_query(fan_failures.remove(0)));
+            }
+            failures.extend(fan_failures);
+        }
+
+        // --- Degradation decision (BestEffort only from here on). ----------
+        let mut degraded = false;
+        if !failures.is_empty() {
+            failures.sort_by_key(|e| e.shard);
+            if failures.len() == attempted {
+                // Nothing survived to merge — degrading to an empty answer
+                // would hide a total outage. Error like fail-fast would.
+                return Err(fail_query(failures.swap_remove(0)));
+            }
+            degraded = true;
+            let reg = obs::global();
+            reg.counter(CounterId::PartialResults).inc();
+            if failures
+                .iter()
+                .any(|e| matches!(e.kind, ShardErrorKind::DeadlineExceeded))
+            {
+                reg.counter(CounterId::DeadlinesExceeded).inc();
+            }
+            if failures
+                .iter()
+                .any(|e| matches!(e.kind, ShardErrorKind::Cancelled))
+            {
+                reg.counter(CounterId::QueriesCancelled).inc();
             }
         }
 
@@ -318,6 +549,7 @@ impl ShardedProMips {
                 shard: si as u32,
                 points: snaps[si].stored() as u64,
                 pruned: pruned[si],
+                failed: failed[si],
                 exact: snaps[si].gen.is_exact(),
                 verified: outcomes[si].as_ref().map_or(0, |o| o.verified),
                 screened: outcomes[si].as_ref().map_or(0, |o| o.screened),
@@ -352,13 +584,20 @@ impl ShardedProMips {
                 reg.histogram(HistoId::ShardSearchNs).record(o.elapsed_ns);
             }
         }
+        let budget_remaining_ns = budget.and_then(|b| b.remaining_ns());
+        if let Some(rem) = budget_remaining_ns {
+            reg.histogram(HistoId::BudgetRemainingNs).record(rem);
+        }
         if let Some(trace) = trace {
             trace.merge_ns = merge_ns;
+            trace.degraded = degraded;
+            trace.budget_remaining_ns = budget_remaining_ns;
             trace.shards = (0..ns)
                 .map(|si| {
                     let mut span = ShardSpan {
                         shard: si,
                         pruned: pruned[si],
+                        failed: failed[si],
                         seed: seed_shard == Some(si),
                         ..ShardSpan::default()
                     };
@@ -380,6 +619,7 @@ impl ShardedProMips {
             verified,
             screened,
             per_shard,
+            degraded,
         })
     }
 }
@@ -388,19 +628,24 @@ impl ShardedProMips {
 /// global ids. The committed generation is searched under the snapshot's
 /// tombstone mask; the delta overlay is verified exhaustively on top.
 ///
-/// Observability: an indexed generation's stage breakdown comes from
-/// [`promips_core::ProMips::search_masked_traced`]; exact-scan and
-/// delta-overlay scoring book to `verify_ns` here (the core layer never
-/// sees those rows, so this layer also tops up the verified-row counter
-/// for them).
+/// A budget rides down into the indexed generation's scan/verify loops
+/// (checked per page block and verification group there); the exact-scan
+/// and delta-overlay loops here check it every [`EXACT_TICK_ROWS`] rows.
+///
+/// Observability: an indexed generation's stage breakdown comes from the
+/// core search's span; exact-scan and delta-overlay scoring book to
+/// `verify_ns` here (the core layer never sees those rows, so this layer
+/// also tops up the verified-row counter for them).
 fn search_snapshot(
     snap: &ShardSnapshot,
     q: &[f32],
     k: usize,
     floor: f64,
     scratch: &mut SearchScratch,
+    budget: Option<&QueryBudget>,
 ) -> io::Result<ShardOutcome> {
     let t0 = obs::clock_start();
+    let mut checker = BudgetChecker::new(budget);
     let mut stages = StageNanos::default();
     let mut scanned = 0u64;
     let dead = &snap.tombstones;
@@ -409,8 +654,16 @@ fn search_snapshot(
         GenKind::Indexed(pm) => {
             let mask = |local: u64| dead.contains(&gen_ids[local as usize]);
             let mut span = ShardSpan::default();
-            let res =
-                pm.search_masked_traced(q, k, floor, &mask, snap.dead_base, scratch, &mut span)?;
+            let res = pm.search_masked_budgeted(
+                q,
+                k,
+                floor,
+                &mask,
+                snap.dead_base,
+                scratch,
+                Some(&mut span),
+                budget,
+            )?;
             stages = span.stages;
             scanned = span.scanned;
             let items: Vec<SearchItem> = res
@@ -427,14 +680,21 @@ fn search_snapshot(
             let tv = obs::clock_start();
             let mut items: Vec<SearchItem> = Vec::with_capacity(rows.rows());
             let mut verified = 0usize;
-            rows.dot_rows(0, rows.rows(), q, |i, ip| {
-                if !dead.contains(&gen_ids[i]) {
-                    verified += 1;
-                    if ip >= floor {
-                        items.push(SearchItem { id: gen_ids[i], ip });
+            let n = rows.rows();
+            let mut lo = 0usize;
+            while lo < n {
+                checker.tick()?;
+                let hi = (lo + EXACT_TICK_ROWS).min(n);
+                rows.dot_rows(lo, hi, q, |i, ip| {
+                    if !dead.contains(&gen_ids[i]) {
+                        verified += 1;
+                        if ip >= floor {
+                            items.push(SearchItem { id: gen_ids[i], ip });
+                        }
                     }
-                }
-            });
+                });
+                lo = hi;
+            }
             stages.verify_ns += obs::elapsed_since(tv);
             (items, verified, 0)
         }
@@ -444,7 +704,10 @@ fn search_snapshot(
     // (this is the drag compaction removes — see the bench's
     // query_vs_delta section).
     let tv = obs::clock_start();
-    for e in &snap.inserts {
+    for (i, e) in snap.inserts.iter().enumerate() {
+        if i % EXACT_TICK_ROWS == 0 {
+            checker.tick()?;
+        }
         if dead.contains(&e.gid) {
             continue;
         }
@@ -477,4 +740,77 @@ fn search_snapshot(
         stages,
         elapsed_ns: obs::elapsed_since(t0),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardedConfig;
+    use promips_linalg::Matrix;
+    use promips_stats::Xoshiro256pp;
+
+    fn tiny_index(max_in_flight: usize) -> ShardedProMips {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let data = Matrix::from_rows(
+            8,
+            (0..64).map(|_| (0..8).map(|_| rng.normal() as f32).collect::<Vec<f32>>()),
+        );
+        ShardedProMips::build_in_memory(
+            &data,
+            ShardedConfig::builder()
+                .shards(2)
+                .max_in_flight(max_in_flight)
+                .build(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn admission_sheds_at_the_limit_and_recovers() {
+        let idx = tiny_index(2);
+        let a = idx.admit().unwrap();
+        let b = idx.admit().unwrap();
+        match idx.admit() {
+            Err(QueryError::Overloaded { in_flight, limit }) => {
+                assert_eq!(in_flight, 2);
+                assert_eq!(limit, 2);
+            }
+            Ok(_) => panic!("expected Overloaded, got an admission"),
+            Err(other) => panic!("expected Overloaded, got {other:?}"),
+        }
+        // A shed attempt must not leak a slot: the gauge still reads 2.
+        assert_eq!(idx.in_flight.load(Ordering::Acquire), 2);
+        drop(a);
+        let c = idx.admit().expect("slot freed by drop");
+        drop(b);
+        drop(c);
+        assert_eq!(idx.in_flight.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn search_succeeds_while_permits_are_held_below_the_limit() {
+        let idx = tiny_index(2);
+        let _held = idx.admit().unwrap();
+        let q: Vec<f32> = (0..8).map(|i| (i as f32).sin()).collect();
+        let res = idx.search(&q, 3).unwrap();
+        assert_eq!(res.items.len(), 3);
+        // And at the limit the search itself is shed with a typed error.
+        let _held2 = idx.admit().unwrap();
+        let scratch = ShardedScratch::for_index(&idx);
+        let err = idx
+            .search_budgeted(&q, 3, &scratch, &QueryBudget::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Overloaded { .. }));
+        // The io::Result entry points surface the shed as WouldBlock.
+        let ioerr = idx.search(&q, 3).unwrap_err();
+        assert_eq!(ioerr.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn unlimited_admission_never_sheds() {
+        let idx = tiny_index(0);
+        let permits: Vec<_> = (0..64).map(|_| idx.admit().unwrap()).collect();
+        drop(permits);
+        assert_eq!(idx.in_flight.load(Ordering::Acquire), 0);
+    }
 }

@@ -97,7 +97,7 @@ fn torture_queries_race_mutations_and_background_compaction() {
         .base(ProMipsConfig::builder().seed(7).build())
         .build();
     let idx = Arc::new(ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap());
-    let compactor = idx.start_compactor(Duration::from_millis(3));
+    let compactor = idx.start_compactor(Duration::from_millis(3)).unwrap();
 
     let stop = AtomicBool::new(false);
     let scratch = ShardedScratch::for_index(&idx);
@@ -254,7 +254,7 @@ fn background_compactor_drains_debt_when_quiescent() {
     }
     assert!(idx.pending_mutations() > 0);
 
-    let compactor = idx.start_compactor(Duration::from_millis(2));
+    let compactor = idx.start_compactor(Duration::from_millis(2)).unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(30);
     while idx.pending_mutations() > 0 {
         assert!(
@@ -511,4 +511,162 @@ fn fault_on_repartition_manifest_swap_aborts_wholesale() {
     rig.idx.repartition().unwrap();
     assert_eq!(rig.idx.pending_mutations(), 0);
     rig.assert_intact_and_reopenable();
+}
+
+/// Degraded-mode torture: readers hammer a `BestEffort` index whose page
+/// reads fail *probabilistically* (a recurring seeded plan, ~5% of reads)
+/// while a writer mutates underneath. No query may panic; every Ok answer
+/// — degraded or not — keeps the isolation invariants; every Err is the
+/// injected fault, typed, never a torn result. Afterwards (faults
+/// disarmed) the acknowledged-write ledger must hold exactly, live and
+/// across a reopen.
+#[test]
+fn torture_best_effort_queries_survive_probabilistic_read_faults() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    use promips_shard::DegradationPolicy;
+
+    let d = 10;
+    // Enough committed pages per shard that the tiny pool below keeps
+    // missing (and thus keeps issuing faultable reads) all run long.
+    let n_base = 6000;
+    let (n_ops, n_readers) = if stress() { (2000, 6) } else { (400, 3) };
+
+    let strong: Vec<f32> = vec![8.0f32; d];
+    let mut rows = vec![strong.clone()];
+    rows.extend(random_rows(n_base - 1, d, 81, 1.0));
+    let data = Matrix::from_rows(d, rows.iter().cloned());
+    let inserts = random_rows(n_ops, d, 83, 2.0);
+    let max_norm_ever = data
+        .iter_rows()
+        .map(sq_norm2)
+        .chain(inserts.iter().map(|v| sq_norm2(v)))
+        .fold(0.0f64, f64::max)
+        .sqrt();
+
+    let dir = temp_dir("fault-torture");
+    let tag = dir.file_name().unwrap().to_string_lossy().into_owned();
+    // exact_threshold(0): every shard is indexed, so queries do real page
+    // IO; a tiny pool keeps cache misses (and thus fault opportunities)
+    // coming for the whole run. Pruning stays on — a pruned shard just
+    // dodges its fault chance, which is fine.
+    let cfg = ShardedConfig::builder()
+        .shards(3)
+        .exact_threshold(0)
+        .degradation(DegradationPolicy::BestEffort)
+        .wal_sync(SyncPolicy::EveryN(16))
+        .base(ProMipsConfig::builder().seed(17).pool_pages(4).build())
+        .build();
+    let idx = Arc::new(ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap());
+    // Cold cache + a probabilistic read fault on THIS test's pages only.
+    idx.clear_cache();
+    faults::arm_with(
+        FaultPlan {
+            op: IoOp::Read,
+            nth: 1,
+            path_contains: Some(format!("{tag}/shard_")),
+        },
+        faults::Recurrence::Probabilistic {
+            seed: 0xC0FFEE,
+            p: 0.01,
+        },
+        std::io::ErrorKind::Other,
+    );
+
+    let stop = AtomicBool::new(false);
+    let scratch = ShardedScratch::for_index(&idx);
+    let (live, degraded_seen, refused_seen) = std::thread::scope(|s| {
+        let mut readers = Vec::new();
+        for r in 0..n_readers {
+            let idx = &idx;
+            let stop = &stop;
+            let scratch = &scratch;
+            readers.push(s.spawn(move || {
+                let mut rng = Xoshiro256pp::seed_from_u64(200 + r as u64);
+                let (mut degraded, mut refused) = (0u64, 0u64);
+                while !stop.load(Ordering::Acquire) {
+                    let q: Vec<f32> = (0..d).map(|_| rng.normal() as f32).collect();
+                    match idx.search_with_scratch(&q, 10, scratch) {
+                        Ok(res) => {
+                            degraded += u64::from(res.degraded);
+                            let q_norm = sq_norm2(&q).sqrt();
+                            let mut seen = BTreeSet::new();
+                            for w in res.items.windows(2) {
+                                assert!(w[0].ip >= w[1].ip, "results must be sorted");
+                            }
+                            for it in &res.items {
+                                assert!(seen.insert(it.id), "duplicate gid {}", it.id);
+                                assert!(
+                                    it.ip <= q_norm * max_norm_ever + 1e-6,
+                                    "ip {} breaks the Cauchy–Schwarz ceiling",
+                                    it.ip
+                                );
+                            }
+                        }
+                        // Every shard the query needed failed: the typed
+                        // refusal must carry the injected marker — never
+                        // a panic, never a fabricated answer.
+                        Err(e) => {
+                            assert!(faults::is_injected(&e), "unexpected error: {e}");
+                            refused += 1;
+                        }
+                    }
+                }
+                (degraded, refused)
+            }));
+        }
+
+        // Writer: WAL appends are Write/Fsync ops — unfaulted here — so
+        // every mutation must be acknowledged and the ledger is exact.
+        let mut live: BTreeSet<u64> = (0..n_base as u64).collect();
+        let mut rng = Xoshiro256pp::seed_from_u64(19);
+        for (i, v) in inserts.iter().enumerate() {
+            live.insert(idx.insert(v).unwrap());
+            if !i.is_multiple_of(2) {
+                let nth = (rng.next_u64() as usize) % live.len();
+                let victim = *live.iter().nth(nth).unwrap();
+                if victim != 0 {
+                    idx.delete(victim).unwrap();
+                    live.remove(&victim);
+                }
+            }
+        }
+        stop.store(true, Ordering::Release);
+        let (mut degraded, mut refused) = (0u64, 0u64);
+        for h in readers {
+            let (dg, rf) = h.join().unwrap();
+            degraded += dg;
+            refused += rf;
+        }
+        (live, degraded, refused)
+    });
+    faults::disarm();
+    println!("fault torture: {degraded_seen} degraded answers, {refused_seen} typed refusals");
+
+    // Faults off: the acknowledged ledger holds exactly, live and across
+    // a crash-reopen.
+    idx.sync_wal().unwrap();
+    assert_eq!(idx.len(), live.len() as u64, "liveness ledger diverged");
+    let scratch = ShardedScratch::for_index(&idx);
+    let q = vec![1.0f32; d];
+    let all = idx
+        .search_with_scratch(&q, usize::MAX / 2, &scratch)
+        .unwrap();
+    let got: BTreeSet<u64> = all.items.iter().map(|it| it.id).collect();
+    assert_eq!(got, live, "live id set diverged from the writer's ledger");
+    assert_eq!(all.items[0].id, 0, "strong row lost under faulted churn");
+
+    drop(all);
+    drop(idx);
+    let reopened = ShardedProMips::open(&dir).unwrap();
+    assert_eq!(reopened.len(), live.len() as u64);
+    let scratch = ShardedScratch::for_index(&reopened);
+    let all = reopened
+        .search_with_scratch(&q, usize::MAX / 2, &scratch)
+        .unwrap();
+    let got: BTreeSet<u64> = all.items.iter().map(|it| it.id).collect();
+    assert_eq!(
+        got, live,
+        "reopen lost or resurrected an acknowledged write"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -249,10 +249,12 @@ fn maintenance_reports_generation_age_and_outcome() {
     for row in random_rows(40, d, 51) {
         idx.insert(&row).unwrap();
     }
+    // Sleep before snapshotting so the original generations carry a
+    // recorded age comfortably larger than however long `compact_all`
+    // plus the stats call can take — the rebuilt generations' ages are
+    // measured after compaction, so the margin must cover it.
+    std::thread::sleep(std::time::Duration::from_millis(50));
     let before = idx.maintenance_stats();
-    // Sleep so the rebuilt generations are measurably younger than the
-    // originals even on a coarse clock.
-    std::thread::sleep(std::time::Duration::from_millis(5));
     idx.compact_all().unwrap();
     let after = idx.maintenance_stats();
     for (b, a) in before.iter().zip(&after) {

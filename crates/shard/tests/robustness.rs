@@ -1,0 +1,482 @@
+//! Query-lifecycle robustness: deadlines and cancellation surface as
+//! typed errors (fast, not after the full scan), degraded best-effort
+//! answers are *exactly* the top-k over the surviving shards, and
+//! transient IO faults on the write path are absorbed by bounded retry
+//! without losing an acknowledged write.
+
+use std::io;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use promips_core::ProMipsConfig;
+use promips_linalg::{dot, Matrix};
+use promips_shard::{
+    CancelToken, DegradationPolicy, QueryBudget, QueryError, ShardErrorKind, ShardedConfig,
+    ShardedProMips, ShardedScratch,
+};
+use promips_stats::Xoshiro256pp;
+use promips_storage::durability::faults::{self, FaultPlan, IoOp, Recurrence};
+use proptest::prelude::*;
+
+/// The fault shim is process-global; every test that arms a plan holds
+/// this for its whole body (plans are additionally path-scoped to the
+/// test's own directory, so non-fault tests can never consume one).
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn random_data(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    Matrix::from_rows(
+        d,
+        (0..n).map(|_| (0..d).map(|_| rng.normal() as f32).collect::<Vec<f32>>()),
+    )
+}
+
+fn random_queries(nq: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..nq)
+        .map(|_| (0..d).map(|_| rng.normal() as f32).collect())
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("promips-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// --- budgets -------------------------------------------------------------
+
+/// An already-expired deadline refuses the query with the typed error
+/// before doing the scan work — well inside the budget + 10ms contract
+/// (the generous bound here only absorbs CI scheduling noise).
+#[test]
+fn expired_deadline_returns_typed_error_fast() {
+    let data = random_data(4000, 16, 3);
+    let idx = ShardedProMips::build_in_memory(
+        &data,
+        ShardedConfig::builder()
+            .shards(3)
+            .exact_threshold(0)
+            .base(ProMipsConfig::builder().seed(5).build())
+            .build(),
+    )
+    .unwrap();
+    let scratch = ShardedScratch::for_index(&idx);
+    let q = &random_queries(1, 16, 7)[0];
+
+    let t = Instant::now();
+    let err = idx
+        .search_budgeted(q, 10, &scratch, &QueryBudget::with_deadline_at(1))
+        .unwrap_err();
+    assert!(matches!(err, QueryError::DeadlineExceeded));
+    assert!(
+        t.elapsed() < Duration::from_millis(250),
+        "expired budget took {:?} to surface",
+        t.elapsed()
+    );
+
+    // Threaded fan-out classifies identically.
+    let err = idx
+        .search_budgeted_threaded(q, 10, 4, &scratch, &QueryBudget::with_deadline_at(1))
+        .unwrap_err();
+    assert!(matches!(err, QueryError::DeadlineExceeded));
+}
+
+/// A pre-cancelled token surfaces as `Cancelled`, distinct from a
+/// deadline expiry, and cancellation wins even with a generous deadline.
+#[test]
+fn cancelled_token_returns_typed_error() {
+    let data = random_data(800, 12, 11);
+    let idx =
+        ShardedProMips::build_in_memory(&data, ShardedConfig::builder().shards(2).build()).unwrap();
+    let scratch = ShardedScratch::for_index(&idx);
+    let q = &random_queries(1, 12, 13)[0];
+
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = QueryBudget::with_deadline(Duration::from_secs(60)).cancellable(token);
+    let err = idx.search_budgeted(q, 5, &scratch, &budget).unwrap_err();
+    assert!(matches!(err, QueryError::Cancelled), "got {err}");
+}
+
+/// A budget nobody exhausts is invisible: items, ranks, and per-shard
+/// counters are bit-identical to the un-budgeted entry points.
+#[test]
+fn generous_budget_is_bit_identical_to_unbudgeted_search() {
+    let data = promips_data::gen::norm_skewed(2500, 14, 17);
+    let idx = ShardedProMips::build_in_memory(
+        &data,
+        ShardedConfig::builder()
+            .shards(4)
+            .base(ProMipsConfig::builder().seed(19).build())
+            .build(),
+    )
+    .unwrap();
+    let scratch = ShardedScratch::for_index(&idx);
+    for (budget, label) in [
+        (QueryBudget::unlimited(), "unlimited"),
+        (QueryBudget::with_deadline(Duration::from_secs(120)), "2min"),
+    ] {
+        for q in random_queries(8, 14, 23) {
+            let plain = idx.search_with_scratch(&q, 10, &scratch).unwrap();
+            let budgeted = idx.search_budgeted(&q, 10, &scratch, &budget).unwrap();
+            assert_eq!(plain.items, budgeted.items, "{label}: items diverged");
+            assert_eq!(plain.verified, budgeted.verified, "{label}");
+            assert_eq!(plain.screened, budgeted.screened, "{label}");
+            assert!(!budgeted.degraded, "{label}: nothing failed");
+            assert_eq!(budgeted.shards_failed(), 0, "{label}");
+            let threaded = idx
+                .search_budgeted_threaded(&q, 10, 4, &scratch, &budget)
+                .unwrap();
+            assert_eq!(plain.items, threaded.items, "{label}: threaded diverged");
+        }
+    }
+}
+
+/// The traced budgeted entry point records the remaining budget and
+/// returns the same answer.
+#[test]
+fn traced_budgeted_search_carries_remaining_budget() {
+    let data = random_data(600, 10, 29);
+    let idx =
+        ShardedProMips::build_in_memory(&data, ShardedConfig::builder().shards(2).build()).unwrap();
+    let scratch = ShardedScratch::for_index(&idx);
+    let q = &random_queries(1, 10, 31)[0];
+    let budget = QueryBudget::with_deadline(Duration::from_secs(300));
+    let (res, trace) = idx.search_traced_budgeted(q, 6, &scratch, &budget).unwrap();
+    assert_eq!(res.items, idx.search(q, 6).unwrap().items);
+    assert!(!trace.degraded);
+    let remaining = trace.budget_remaining_ns.expect("deadline was set");
+    assert!(remaining > 0 && remaining <= 300 * 1_000_000_000);
+}
+
+// --- degraded-mode invariants (property) ---------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lifecycle invariants over arbitrary small workloads: a budgeted
+    /// search under an unlimited budget matches the plain search and the
+    /// exact ground truth; every returned inner product is the true dot
+    /// product (never fabricated); results stay sorted and unique; and an
+    /// expired budget always surfaces as the typed deadline error.
+    #[test]
+    fn budgeted_search_never_fabricates_and_expires_typed(
+        n in 30usize..220,
+        shards in 2usize..5,
+        k in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let d = 8;
+        let data = random_data(n, d, seed);
+        let idx = ShardedProMips::build_in_memory(
+            &data,
+            ShardedConfig::builder()
+                .shards(shards)
+                .base(ProMipsConfig::builder().seed(seed ^ 0xA5).build())
+                .build(),
+        )
+        .unwrap();
+        let scratch = ShardedScratch::for_index(&idx);
+        for q in random_queries(3, d, seed ^ 0x5A) {
+            let plain = idx.search_with_scratch(&q, k, &scratch).unwrap();
+            let budgeted = idx
+                .search_budgeted(&q, k, &scratch, &QueryBudget::unlimited())
+                .unwrap();
+            prop_assert_eq!(&plain.items, &budgeted.items);
+            prop_assert!(!budgeted.degraded);
+
+            // Ground truth: ids match the exact scan, ips are real dots.
+            let truth: Vec<u64> = promips_data::exact_topk(&data, &q, k)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            prop_assert_eq!(budgeted.ids(), truth);
+            for w in budgeted.items.windows(2) {
+                prop_assert!(
+                    w[0].ip > w[1].ip || (w[0].ip == w[1].ip && w[0].id < w[1].id)
+                );
+            }
+            for it in &budgeted.items {
+                let want = dot(&q, data.row(it.id as usize));
+                prop_assert!(
+                    (it.ip - want).abs() <= 1e-6 * want.abs().max(1.0),
+                    "fabricated ip for id {}: {} vs {}", it.id, it.ip, want
+                );
+            }
+
+            // Expired budget: typed, never a partial Ok.
+            let err = idx
+                .search_budgeted(&q, k, &scratch, &QueryBudget::with_deadline_at(1))
+                .unwrap_err();
+            prop_assert!(matches!(err, QueryError::DeadlineExceeded));
+        }
+    }
+}
+
+// --- shard-failure degradation -------------------------------------------
+
+/// The heart of the degradation contract, pinned against a ground-truth
+/// twin. Two bit-identical durable indexes are built; in twin B every
+/// point of shard 0 is deleted, so B's answer *is* the exact
+/// survivors-only answer. Index A is reopened cold with a recurring read
+/// fault on shard 0's pages:
+///
+/// * `FailFast` (default): the query aborts with a typed error naming
+///   shard 0, on both the `io::Result` and the typed entry points.
+/// * `BestEffort`: the query succeeds degraded — per-shard status flags
+///   shard 0, and the items equal twin B's items exactly (the merge over
+///   survivors is still the true top-k over every reachable point).
+#[test]
+fn read_fault_degrades_exactly_to_survivor_topk() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let d = 8;
+    let data = random_data(240, d, 41);
+    // prune(false): the faulted shard must actually be searched — a
+    // pruned shard does no IO and would dodge the fault.
+    let cfg = ShardedConfig::builder()
+        .shards(3)
+        .exact_threshold(0)
+        .prune(false)
+        .base(ProMipsConfig::builder().seed(43).build())
+        .build();
+    let dir_a = temp_dir("degrade-a");
+    let dir_b = temp_dir("degrade-b");
+    let tag_a = dir_a.file_name().unwrap().to_string_lossy().into_owned();
+    drop(ShardedProMips::build_in_dir(&data, cfg.clone(), &dir_a).unwrap());
+    drop(ShardedProMips::build_in_dir(&data, cfg, &dir_b).unwrap());
+
+    // Twin B: delete everything shard 0 holds — its searches now return
+    // the exact top-k over the surviving shards.
+    let twin = ShardedProMips::open(&dir_b).unwrap();
+    let shard0_ids = twin.shards()[0].global_ids();
+    assert!(!shard0_ids.is_empty(), "shard 0 must hold points");
+    for gid in &shard0_ids {
+        twin.delete(*gid).unwrap();
+    }
+
+    // Index A: cold reopen, then every page read of shard 0 fails.
+    let mut idx = ShardedProMips::open(&dir_a).unwrap();
+    let scratch = ShardedScratch::for_index(&idx);
+    let queries = random_queries(6, d, 47);
+    faults::arm_with(
+        FaultPlan {
+            op: IoOp::Read,
+            nth: 1,
+            path_contains: Some(format!("{tag_a}/shard_0000")),
+        },
+        Recurrence::EveryNth(1),
+        io::ErrorKind::Other,
+    );
+
+    // FailFast: typed abort naming the shard, injected marker intact.
+    let err = idx
+        .search_with_scratch(&queries[0], 10, &scratch)
+        .unwrap_err();
+    assert!(faults::is_injected(&err), "unexpected error: {err}");
+    match err.get_ref().and_then(|e| e.downcast_ref::<QueryError>()) {
+        Some(QueryError::Shard(se)) => {
+            assert_eq!(se.shard, 0, "must name the failing shard");
+            assert!(matches!(se.kind, ShardErrorKind::Io(_)));
+        }
+        other => panic!("expected a shard error, got {other:?}"),
+    }
+    let err = idx
+        .search_budgeted(&queries[0], 10, &scratch, &QueryBudget::unlimited())
+        .unwrap_err();
+    assert!(
+        matches!(&err, QueryError::Shard(se) if se.shard == 0),
+        "got {err}"
+    );
+
+    // BestEffort: degraded success, exactly the survivor top-k.
+    idx.set_degradation(DegradationPolicy::BestEffort);
+    let twin_scratch = ShardedScratch::for_index(&twin);
+    for q in &queries {
+        let res = idx.search_with_scratch(q, 10, &scratch).unwrap();
+        assert!(res.degraded, "a shard failed: result must say so");
+        assert_eq!(res.shards_failed(), 1);
+        assert!(
+            res.per_shard[0].failed,
+            "per-shard status must flag shard 0"
+        );
+        assert_eq!(res.per_shard[0].returned, 0);
+        let want = twin.search_with_scratch(q, 10, &twin_scratch).unwrap();
+        assert_eq!(
+            res.items, want.items,
+            "degraded answer must be the exact survivor top-k"
+        );
+    }
+    faults::disarm();
+
+    // Healthy again: full answers, not degraded, identical to a fresh
+    // fault-free open of the same directory.
+    let fresh = ShardedProMips::open(&dir_a).unwrap();
+    let fresh_scratch = ShardedScratch::for_index(&fresh);
+    let res = idx.search_with_scratch(&queries[0], 10, &scratch).unwrap();
+    assert!(!res.degraded);
+    assert_eq!(res.shards_failed(), 0);
+    assert_eq!(
+        res.items,
+        fresh
+            .search_with_scratch(&queries[0], 10, &fresh_scratch)
+            .unwrap()
+            .items
+    );
+    drop(fresh);
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+/// All shards failing is not "degraded", it is failure: `BestEffort`
+/// returns the typed error rather than a confidently empty result.
+#[test]
+fn best_effort_with_every_shard_failed_is_an_error() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let d = 8;
+    let data = random_data(120, d, 53);
+    let cfg = ShardedConfig::builder()
+        .shards(2)
+        .exact_threshold(0)
+        .prune(false)
+        .degradation(DegradationPolicy::BestEffort)
+        .base(ProMipsConfig::builder().seed(59).build())
+        .build();
+    let dir = temp_dir("allfail");
+    let tag = dir.file_name().unwrap().to_string_lossy().into_owned();
+    drop(ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap());
+    let idx = ShardedProMips::open(&dir).unwrap();
+    let scratch = ShardedScratch::for_index(&idx);
+    faults::arm_with(
+        FaultPlan {
+            op: IoOp::Read,
+            nth: 1,
+            path_contains: Some(format!("{tag}/shard_")),
+        },
+        Recurrence::EveryNth(1),
+        io::ErrorKind::Other,
+    );
+    let err = idx
+        .search_budgeted(
+            &random_queries(1, d, 61)[0],
+            5,
+            &scratch,
+            &QueryBudget::unlimited(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Shard(_)), "got {err}");
+    faults::disarm();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// --- transient-fault retry -----------------------------------------------
+
+/// A transient fault injected at EVERY retryable step of the write path,
+/// one step at a time: each acknowledged insert must land through the
+/// bounded retry (the armed one-shot provably fired), and a crash-reopen
+/// preserves every acknowledged write.
+#[test]
+fn transient_fault_at_every_write_step_is_absorbed_by_retry() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let d = 8;
+    let data = random_data(100, d, 67);
+    let dir = temp_dir("retry-steps");
+    let tag = dir.file_name().unwrap().to_string_lossy().into_owned();
+    let cfg = ShardedConfig::builder()
+        .shards(2)
+        .base(ProMipsConfig::builder().seed(71).build())
+        .build();
+    let idx = ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap();
+    let mut live: Vec<u64> = Vec::new();
+
+    // WAL append path: the record write and the group-commit fsync.
+    for (op, kind) in [
+        (IoOp::Write, io::ErrorKind::Interrupted),
+        (IoOp::Write, io::ErrorKind::TimedOut),
+        (IoOp::Fsync, io::ErrorKind::Interrupted),
+        (IoOp::Fsync, io::ErrorKind::WouldBlock),
+    ] {
+        faults::arm_with(
+            FaultPlan {
+                op,
+                nth: 1,
+                path_contains: Some(format!("{tag}/shard_")),
+            },
+            Recurrence::Once,
+            kind,
+        );
+        let row = vec![0.3f32; d];
+        let gid = idx
+            .insert(&row)
+            .unwrap_or_else(|e| panic!("transient {op:?}/{kind:?} not retried: {e:?}"));
+        assert!(!faults::disarm(), "armed {op:?} fault never fired");
+        live.push(gid);
+    }
+
+    // Manifest-swap path: the tmp write, its fsync, and the rename are
+    // each retried (compaction must commit through a transient stall).
+    for op in [IoOp::Write, IoOp::Fsync, IoOp::Rename] {
+        idx.insert(&[0.4f32; 8]).map(|gid| live.push(gid)).unwrap();
+        faults::arm_with(
+            FaultPlan {
+                op,
+                nth: 1,
+                path_contains: Some(format!("{tag}/MANIFEST")),
+            },
+            Recurrence::Once,
+            io::ErrorKind::Interrupted,
+        );
+        idx.compact_all()
+            .unwrap_or_else(|e| panic!("transient manifest {op:?} not retried: {e}"));
+        assert!(!faults::disarm(), "armed manifest {op:?} fault never fired");
+        assert_eq!(idx.pending_mutations(), 0);
+    }
+
+    // Every acknowledged write survives a crash-reopen.
+    idx.sync_wal().unwrap();
+    drop(idx);
+    let reopened = ShardedProMips::open(&dir).unwrap();
+    assert_eq!(reopened.len(), 100 + live.len() as u64);
+    let scratch = ShardedScratch::for_index(&reopened);
+    let all = reopened
+        .search_with_scratch(&[1.0f32; 8], usize::MAX / 2, &scratch)
+        .unwrap();
+    for gid in &live {
+        assert!(
+            all.items.iter().any(|it| it.id == *gid),
+            "acknowledged write {gid} lost"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A transient budget is bounded: a fault that keeps firing past the
+/// retry attempts surfaces as the typed error, not an infinite loop.
+#[test]
+fn persistent_transient_fault_exhausts_the_retry_budget() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let d = 8;
+    let data = random_data(60, d, 73);
+    let dir = temp_dir("retry-exhaust");
+    let tag = dir.file_name().unwrap().to_string_lossy().into_owned();
+    let idx = ShardedProMips::build_in_dir(&data, ShardedConfig::builder().shards(1).build(), &dir)
+        .unwrap();
+    faults::arm_with(
+        FaultPlan {
+            op: IoOp::Fsync,
+            nth: 1,
+            path_contains: Some(format!("{tag}/shard_")),
+        },
+        Recurrence::EveryNth(1),
+        io::ErrorKind::Interrupted,
+    );
+    let err = idx.insert(&[0.5f32; 8]).unwrap_err();
+    faults::disarm();
+    let e = match err {
+        promips_shard::MutationError::Io(e) => e,
+        other => panic!("expected an IO refusal, got {other:?}"),
+    };
+    assert!(faults::is_injected(&e), "unexpected error: {e}");
+    assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

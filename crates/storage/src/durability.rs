@@ -117,12 +117,14 @@ pub mod faults {
         Rename,
         /// A data write (`write_all` of a record or blob).
         Write,
+        /// A data read (page fetch, WAL replay, file slurp).
+        Read,
     }
 
-    /// A one-shot fault: fail the `nth` matching operation (1-based) whose
-    /// path contains `path_contains` (no scoping when `None`). The plan
-    /// disarms itself after firing, so recovery code running after the
-    /// "crash" sees healthy IO again — mirroring a restart.
+    /// A fault target: the `nth` matching operation (1-based) whose path
+    /// contains `path_contains` (no scoping when `None`). How often it
+    /// fires after that is the plan's [`Recurrence`]: [`arm`] gives the
+    /// classic one-shot, [`arm_with`] picks.
     #[derive(Clone, Debug)]
     pub struct FaultPlan {
         pub op: IoOp,
@@ -130,9 +132,30 @@ pub mod faults {
         pub path_contains: Option<String>,
     }
 
+    /// How often an armed plan fires once its `nth` gate is reached.
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub enum Recurrence {
+        /// Fire once at the `nth` matching op, then self-disarm — recovery
+        /// code after the "crash" sees healthy IO again, mirroring a
+        /// restart. This is [`arm`]'s behavior.
+        Once,
+        /// Fire at the `nth` matching op and every `n` matching ops after
+        /// it; stays armed until [`disarm`]. Models a persistently sick
+        /// device or a hot path that trips a flaky kernel bug.
+        EveryNth(u32),
+        /// From the `nth` matching op on, fire each matching op
+        /// independently with probability `p`, driven by a deterministic
+        /// xorshift stream from `seed`; stays armed until [`disarm`].
+        /// Same seed + same op sequence → same fault sequence.
+        Probabilistic { seed: u64, p: f64 },
+    }
+
     struct Armed {
         plan: FaultPlan,
+        recurrence: Recurrence,
+        kind: io::ErrorKind,
         seen: u64,
+        rng: u64,
     }
 
     static ARMED_FLAG: AtomicBool = AtomicBool::new(false);
@@ -151,6 +174,7 @@ pub mod faults {
         pub fsyncs: u64,
         pub renames: u64,
         pub writes: u64,
+        pub reads: u64,
         /// Faults fired so far (across all plans).
         pub injected: u64,
     }
@@ -162,15 +186,47 @@ pub mod faults {
             fsyncs: reg.counter(CounterId::IoFsyncs).get(),
             renames: reg.counter(CounterId::IoRenames).get(),
             writes: reg.counter(CounterId::IoWrites).get(),
+            reads: reg.counter(CounterId::IoReads).get(),
             injected: reg.counter(CounterId::IoFaultsInjected).get(),
         }
     }
 
-    /// Arms `plan`, replacing any previous plan.
+    /// Arms `plan` as a classic one-shot (fires once, self-disarms,
+    /// `ErrorKind::Other`), replacing any previous plan.
     pub fn arm(plan: FaultPlan) {
+        arm_with(plan, Recurrence::Once, io::ErrorKind::Other);
+    }
+
+    /// Arms `plan` with an explicit recurrence and injected error kind,
+    /// replacing any previous plan. Transient kinds (`Interrupted`,
+    /// `TimedOut`, `WouldBlock`) let tests exercise the retry paths;
+    /// recurring plans stay armed until [`disarm`].
+    pub fn arm_with(plan: FaultPlan, recurrence: Recurrence, kind: io::ErrorKind) {
         assert!(plan.nth >= 1, "fault plans are 1-based: nth must be >= 1");
+        if let Recurrence::EveryNth(n) = recurrence {
+            assert!(n >= 1, "EveryNth period must be >= 1");
+        }
+        if let Recurrence::Probabilistic { p, .. } = recurrence {
+            assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        }
+        let rng = match recurrence {
+            // splitmix64 scramble so seed 0 still yields a live stream.
+            Recurrence::Probabilistic { seed, .. } => {
+                let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) | 1
+            }
+            _ => 0,
+        };
         let mut g = ARMED.lock().unwrap();
-        *g = Some(Armed { plan, seen: 0 });
+        *g = Some(Armed {
+            plan,
+            recurrence,
+            kind,
+            seen: 0,
+            rng,
+        });
         ARMED_FLAG.store(true, Ordering::Release);
     }
 
@@ -191,6 +247,16 @@ pub mod faults {
         err.to_string().contains(INJECTED_MARKER)
     }
 
+    /// xorshift64 step: cheap, never zero for a nonzero state.
+    fn xorshift64(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
     /// Counts `op` against `path` and fails it if an armed plan says so.
     /// Called by every durability helper immediately before the syscall.
     pub fn check(op: IoOp, path: &Path) -> io::Result<()> {
@@ -199,6 +265,7 @@ pub mod faults {
             IoOp::Fsync => CounterId::IoFsyncs,
             IoOp::Rename => CounterId::IoRenames,
             IoOp::Write => CounterId::IoWrites,
+            IoOp::Read => CounterId::IoReads,
         })
         .inc();
         if !ARMED_FLAG.load(Ordering::Acquire) {
@@ -220,21 +287,109 @@ pub mod faults {
         if armed.seen < armed.plan.nth {
             return Ok(());
         }
-        let plan = g.take().expect("checked above");
-        ARMED_FLAG.store(false, Ordering::Release);
+        let fires = match armed.recurrence {
+            Recurrence::Once => true,
+            Recurrence::EveryNth(n) => (armed.seen - armed.plan.nth) % u64::from(n) == 0,
+            Recurrence::Probabilistic { p, .. } => {
+                // 53 uniform bits → [0, 1); fires with probability p.
+                let u = (xorshift64(&mut armed.rng) >> 11) as f64 / (1u64 << 53) as f64;
+                u < p
+            }
+        };
+        if !fires {
+            return Ok(());
+        }
+        let (op, nth, kind) = (armed.plan.op, armed.seen, armed.kind);
+        if armed.recurrence == Recurrence::Once {
+            *g = None;
+            ARMED_FLAG.store(false, Ordering::Release);
+        }
+        drop(g);
         reg.counter(CounterId::IoFaultsInjected).inc();
-        Err(io::Error::other(format!(
-            "{INJECTED_MARKER}: {:?} #{} on {}",
-            plan.plan.op,
-            plan.plan.nth,
-            path.display()
-        )))
+        let msg = format!("{INJECTED_MARKER}: {op:?} #{nth} on {}", path.display());
+        Err(if kind == io::ErrorKind::Other {
+            io::Error::other(msg)
+        } else {
+            io::Error::new(kind, msg)
+        })
+    }
+}
+
+/// Bounded retry with exponential backoff for *transient* IO failures.
+///
+/// Transience is classified by `io::ErrorKind` alone: `Interrupted`,
+/// `TimedOut` and `WouldBlock` model recoverable conditions (signal
+/// delivery, a momentarily saturated device, a non-blocking handle);
+/// everything else — including the fault shim's default
+/// `ErrorKind::Other` injections — fails through immediately, so
+/// crash-safety tests still observe their fault on the first call.
+///
+/// Used by the WAL append path (before the record is acknowledged) and
+/// the manifest-swap path; each retry ticks `promips_io_retries_total`.
+pub mod retry {
+    use promips_obs::{CounterId, Registry};
+    use std::io;
+    use std::time::Duration;
+
+    /// Retry budget: total attempts (first try included) and the initial
+    /// backoff, doubled after each failure.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RetryPolicy {
+        /// Total attempts, first call included; clamped to at least 1.
+        pub attempts: u32,
+        /// Sleep before the first retry; doubles per retry. Zero means
+        /// retry immediately (useful in tests).
+        pub base_backoff: Duration,
+    }
+
+    impl Default for RetryPolicy {
+        fn default() -> Self {
+            Self {
+                attempts: 3,
+                base_backoff: Duration::from_micros(500),
+            }
+        }
+    }
+
+    /// Whether `e` is worth retrying at all.
+    pub fn is_transient(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        )
+    }
+
+    /// Runs `op`, retrying transient failures up to the policy's attempt
+    /// budget with doubling backoff. The terminal error (transient budget
+    /// exhausted, or any non-transient failure) is returned unchanged.
+    pub fn retry_io<T>(
+        policy: &RetryPolicy,
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        let attempts = policy.attempts.max(1);
+        let mut backoff = policy.base_backoff;
+        let mut attempt = 1;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < attempts && is_transient(&e) => {
+                    Registry::global().counter(CounterId::IoRetries).inc();
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    backoff = backoff.saturating_mul(2);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::faults::{self, FaultPlan, IoOp};
+    use super::faults::{self, FaultPlan, IoOp, Recurrence};
+    use super::retry::{self, RetryPolicy};
     use super::*;
     use std::sync::{Mutex, MutexGuard};
 
@@ -343,5 +498,169 @@ mod tests {
         write_file_atomic(dir.join("b"), b"y").unwrap();
         assert!(faults::disarm(), "non-matching plan stays armed");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_nth_recurrence_keeps_firing_until_disarm() {
+        let _g = fault_guard();
+        let path = Path::new("recur-every-nth");
+        faults::arm_with(
+            FaultPlan {
+                op: IoOp::Read,
+                nth: 2,
+                path_contains: Some("recur-every-nth".into()),
+            },
+            Recurrence::EveryNth(3),
+            std::io::ErrorKind::Other,
+        );
+        let outcomes: Vec<bool> = (0..8)
+            .map(|_| faults::check(IoOp::Read, path).is_err())
+            .collect();
+        // Gate at the 2nd op, then every 3rd matching op after it.
+        assert_eq!(
+            outcomes,
+            [false, true, false, false, true, false, false, true]
+        );
+        assert!(faults::disarm(), "recurring plan stays armed after firing");
+        assert!(faults::check(IoOp::Read, path).is_ok());
+    }
+
+    #[test]
+    fn probabilistic_recurrence_is_deterministic_per_seed() {
+        let _g = fault_guard();
+        let path = Path::new("recur-prob");
+        let run = |seed: u64| -> Vec<bool> {
+            faults::arm_with(
+                FaultPlan {
+                    op: IoOp::Write,
+                    nth: 1,
+                    path_contains: Some("recur-prob".into()),
+                },
+                Recurrence::Probabilistic { seed, p: 0.5 },
+                std::io::ErrorKind::Other,
+            );
+            let v = (0..64)
+                .map(|_| faults::check(IoOp::Write, path).is_err())
+                .collect();
+            faults::disarm();
+            v
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must replay the same fault sequence");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(
+            (8..=56).contains(&fired),
+            "p=0.5 over 64 ops fired {fired} times — stream looks degenerate"
+        );
+        // p=1 always fires and the plan stays armed.
+        faults::arm_with(
+            FaultPlan {
+                op: IoOp::Write,
+                nth: 1,
+                path_contains: Some("recur-prob".into()),
+            },
+            Recurrence::Probabilistic { seed: 9, p: 1.0 },
+            std::io::ErrorKind::Other,
+        );
+        assert!(faults::check(IoOp::Write, path).is_err());
+        assert!(faults::check(IoOp::Write, path).is_err());
+        faults::disarm();
+    }
+
+    #[test]
+    fn injected_kind_is_respected() {
+        let _g = fault_guard();
+        let path = Path::new("kind-scope");
+        faults::arm_with(
+            FaultPlan {
+                op: IoOp::Fsync,
+                nth: 1,
+                path_contains: Some("kind-scope".into()),
+            },
+            Recurrence::Once,
+            std::io::ErrorKind::Interrupted,
+        );
+        let err = faults::check(IoOp::Fsync, path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+        assert!(faults::is_injected(&err));
+        assert!(!faults::disarm(), "Once still self-disarms under arm_with");
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_faults() {
+        let _g = fault_guard();
+        let path = Path::new("retry-transient");
+        // Fail the first two write attempts with a transient kind.
+        faults::arm_with(
+            FaultPlan {
+                op: IoOp::Write,
+                nth: 1,
+                path_contains: Some("retry-transient".into()),
+            },
+            Recurrence::EveryNth(1),
+            std::io::ErrorKind::Interrupted,
+        );
+        let before = faults::counters();
+        let mut calls = 0u32;
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_backoff: std::time::Duration::ZERO,
+        };
+        let res = retry::retry_io(&policy, || {
+            calls += 1;
+            if calls >= 3 {
+                faults::disarm();
+            }
+            faults::check(IoOp::Write, path)
+        });
+        assert!(res.is_ok(), "third attempt runs with the plan disarmed");
+        assert_eq!(calls, 3);
+        let after = faults::counters();
+        assert_eq!(after.injected - before.injected, 2);
+    }
+
+    #[test]
+    fn retry_fails_through_on_non_transient_and_exhaustion() {
+        let _g = fault_guard();
+        let path = Path::new("retry-hard");
+        // Default injections are ErrorKind::Other: never retried, so the
+        // crash-safety suites still see their fault on the first call.
+        faults::arm(FaultPlan {
+            op: IoOp::Write,
+            nth: 1,
+            path_contains: Some("retry-hard".into()),
+        });
+        let mut calls = 0u32;
+        let err = retry::retry_io(&RetryPolicy::default(), || {
+            calls += 1;
+            faults::check(IoOp::Write, path)
+        })
+        .unwrap_err();
+        assert!(faults::is_injected(&err));
+        assert_eq!(calls, 1, "non-transient errors must not be retried");
+        // A persistently transient fault exhausts the attempt budget.
+        faults::arm_with(
+            FaultPlan {
+                op: IoOp::Write,
+                nth: 1,
+                path_contains: Some("retry-hard".into()),
+            },
+            Recurrence::EveryNth(1),
+            std::io::ErrorKind::WouldBlock,
+        );
+        let mut calls = 0u32;
+        let policy = RetryPolicy {
+            attempts: 4,
+            base_backoff: std::time::Duration::ZERO,
+        };
+        let err = retry::retry_io(&policy, || {
+            calls += 1;
+            faults::check(IoOp::Write, path)
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        assert_eq!(calls, 4, "attempt budget is total calls, first included");
+        assert!(faults::disarm());
     }
 }

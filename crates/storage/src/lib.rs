@@ -24,7 +24,7 @@ pub mod page;
 pub mod pager;
 
 pub use buffer::{BufferPool, DEFAULT_SHARDS};
-pub use durability::{faults, fsync_dir, write_file_atomic};
+pub use durability::{faults, fsync_dir, retry, write_file_atomic};
 pub use metrics::{AccessStats, AccessStatsSnapshot};
 pub use page::{PageBuf, PageId, PAGE_SIZE_DEFAULT, PAGE_SIZE_LARGE};
 pub use pager::{FileStorage, MemStorage, Pager, Storage};

@@ -4,12 +4,13 @@
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
+use crate::durability::faults::{self, IoOp};
 use crate::metrics::AccessStats;
 use crate::page::{PageBuf, PageId};
 
@@ -91,6 +92,9 @@ impl Storage for MemStorage {
 pub struct FileStorage {
     page_size: usize,
     file: File,
+    /// Kept for fault-plan scoping: page reads route through the
+    /// durability shim so tests can fault one shard's data file.
+    path: PathBuf,
     num_pages: Mutex<u64>,
 }
 
@@ -98,15 +102,17 @@ impl FileStorage {
     /// Creates (truncating) a page file at `path`.
     pub fn create(path: impl AsRef<Path>, page_size: usize) -> io::Result<Self> {
         assert!(page_size >= 64, "page size too small: {page_size}");
+        let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?;
+            .open(&path)?;
         Ok(Self {
             page_size,
             file,
+            path,
             num_pages: Mutex::new(0),
         })
     }
@@ -114,7 +120,8 @@ impl FileStorage {
     /// Opens an existing page file; its length must be a multiple of
     /// `page_size`.
     pub fn open(path: impl AsRef<Path>, page_size: usize) -> io::Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
         let len = file.metadata()?.len();
         if len % page_size as u64 != 0 {
             return Err(io::Error::new(
@@ -125,6 +132,7 @@ impl FileStorage {
         Ok(Self {
             page_size,
             file,
+            path,
             num_pages: Mutex::new(len / page_size as u64),
         })
     }
@@ -145,6 +153,7 @@ impl Storage for FileStorage {
     }
 
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        faults::check(IoOp::Read, &self.path)?;
         self.file.read_exact_at(buf, id * self.page_size as u64)
     }
 

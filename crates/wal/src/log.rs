@@ -9,7 +9,9 @@ use std::path::{Path, PathBuf};
 use promips_obs::{CounterId, HistoId, Registry};
 use promips_storage::durability::{
     faults::{self, IoOp},
-    fsync_dir, rename, sync_file_data, tmp_sibling,
+    fsync_dir, rename,
+    retry::{self, RetryPolicy},
+    sync_file_data, tmp_sibling,
 };
 
 use crate::crc::crc32;
@@ -85,9 +87,13 @@ impl Wal {
         header.extend_from_slice(&WAL_MAGIC.to_le_bytes());
         header.extend_from_slice(&WAL_VERSION.to_le_bytes());
         header.extend_from_slice(&(d as u64).to_le_bytes());
-        faults::check(IoOp::Write, &path)?;
-        file.write_all_at(&header, 0)?;
-        sync_file_data(&file, &path)?;
+        // A fresh (truncated) file: rewriting the header from offset 0
+        // after a transient failure is idempotent, and fsync always is.
+        retry::retry_io(&RetryPolicy::default(), || {
+            faults::check(IoOp::Write, &path)?;
+            file.write_all_at(&header, 0)?;
+            sync_file_data(&file, &path)
+        })?;
         sync_parent(&path)?;
         Ok(Self {
             file,
@@ -126,6 +132,10 @@ impl Wal {
     ) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        // Replay is a read path: consult the fault shim once per open so
+        // recovery tests can fail a shard's WAL at its most fragile
+        // moment.
+        faults::check(IoOp::Read, &path)?;
         let file_len = file.metadata()?.len();
 
         if file_len < HEADER_BYTES {
@@ -286,8 +296,19 @@ impl Wal {
         }
         self.buf.clear();
         encode_record(&mut self.buf, record, self.d);
-        faults::check(IoOp::Write, &self.path)?;
-        self.file.write_all_at(&self.buf, self.len_bytes)?;
+        // Retry scope: the write targets a fixed offset and `len_bytes`
+        // has not advanced yet, so re-running it after a transient
+        // failure is idempotent — the record is not acknowledged (and not
+        // counted) until the write sticks. Retrying the *whole* append
+        // would not be: a sync failure after a successful write must not
+        // duplicate the record.
+        {
+            let (file, path, buf, off) = (&self.file, &self.path, &self.buf, self.len_bytes);
+            retry::retry_io(&RetryPolicy::default(), || {
+                faults::check(IoOp::Write, path)?;
+                file.write_all_at(buf, off)
+            })?;
+        }
         self.len_bytes += self.buf.len() as u64;
         self.records += 1;
         self.unsynced += 1;
@@ -308,7 +329,10 @@ impl Wal {
 
     /// Forces everything appended so far to durable media.
     pub fn sync(&mut self) -> io::Result<()> {
-        sync_file_data(&self.file, &self.path)?;
+        // fsync is idempotent, so a transient failure retries cleanly.
+        retry::retry_io(&RetryPolicy::default(), || {
+            sync_file_data(&self.file, &self.path)
+        })?;
         let reg = Registry::global();
         reg.counter(CounterId::WalSyncs).inc();
         if self.unsynced > 0 {
@@ -367,9 +391,16 @@ impl Wal {
             }
             encode_record(&mut self.buf, record, self.d);
         }
-        faults::check(IoOp::Write, &tmp)?;
-        file.write_all_at(&self.buf, 0)?;
-        sync_file_data(&file, &tmp)?;
+        // The tmp file is private until the rename, so rewriting it from
+        // offset 0 after a transient failure is idempotent.
+        {
+            let buf = &self.buf;
+            retry::retry_io(&RetryPolicy::default(), || {
+                faults::check(IoOp::Write, &tmp)?;
+                file.write_all_at(buf, 0)?;
+                sync_file_data(&file, &tmp)
+            })?;
+        }
         rename(&tmp, &self.path)?;
         // The fd follows the inode across the rename, so the handle is
         // already on the new log; swap it *before* the directory sync so an
@@ -837,6 +868,63 @@ mod tests {
         let (_, replayed) = Wal::open_or_create(&path, 3, WalConfig::default()).unwrap();
         assert_eq!(replayed.len(), 1);
         assert!(Wal::open_or_create(&path, 7, WalConfig::default()).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Fault plans are process-global; tests arming them must not overlap.
+    static FAULT_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn transient_write_fault_is_retried_and_append_lands() {
+        use promips_storage::durability::faults::{FaultPlan, Recurrence};
+        let _g = FAULT_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        let path = temp_path("retry-append");
+        let mut wal = Wal::create(&path, 2, WalConfig::default()).unwrap();
+        let before = faults::counters();
+        faults::arm_with(
+            FaultPlan {
+                op: IoOp::Write,
+                nth: 1,
+                path_contains: Some("retry-append.wal".into()),
+            },
+            Recurrence::Once,
+            io::ErrorKind::Interrupted,
+        );
+        // The injected transient failure is absorbed by the retry loop:
+        // the caller sees a clean append and the record is durable.
+        wal.append(&WalRecord::Delete { id: 1 }).unwrap();
+        assert!(!faults::disarm(), "the fault fired (and was retried)");
+        assert_eq!(faults::counters().injected - before.injected, 1);
+        assert_eq!(wal.record_count(), 1);
+        drop(wal);
+        let (_, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(replayed, vec![WalRecord::Delete { id: 1 }]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_read_fault_fails_replay_then_recovers() {
+        use promips_storage::durability::faults::{FaultPlan, Recurrence};
+        let _g = FAULT_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        let path = temp_path("read-fault");
+        {
+            let mut wal = Wal::create(&path, 2, WalConfig::default()).unwrap();
+            wal.append(&WalRecord::Delete { id: 4 }).unwrap();
+        }
+        faults::arm_with(
+            FaultPlan {
+                op: IoOp::Read,
+                nth: 1,
+                path_contains: Some("read-fault.wal".into()),
+            },
+            Recurrence::Once,
+            io::ErrorKind::Other,
+        );
+        let err = Wal::open(&path, WalConfig::default()).unwrap_err();
+        assert!(faults::is_injected(&err), "unexpected error: {err}");
+        // The one-shot plan self-disarmed: the log opens intact.
+        let (_, replayed) = Wal::open(&path, WalConfig::default()).unwrap();
+        assert_eq!(replayed, vec![WalRecord::Delete { id: 4 }]);
         std::fs::remove_file(&path).unwrap();
     }
 
