@@ -114,36 +114,87 @@ fn main() {
         let per_call = warm.elapsed().as_secs_f64() / (2 * obs_nq) as f64;
         ((0.015 / per_call).ceil() as u64).max(obs_nq as u64)
     };
-    let rep = |timing: bool, traced: bool| -> f64 {
+    // (timing, traced, sample_every, aggregator) per regime; the order
+    // rotates every round so any periodic interference spreads evenly.
+    // The last two regimes are the serving defaults under test: 1-in-64
+    // sampled tracing, then sampling plus a live background aggregator
+    // ticking the windowed-metrics ring (at an aggressive 5 ms cadence —
+    // 200x the production 1 s default, so the bar is conservative).
+    let regimes: [(bool, bool, u64, bool); 5] = [
+        (false, false, 0, false), // kill-switch baseline
+        (true, false, 0, false),  // default instrumented path
+        (true, true, 0, false),   // explicit per-query tracing
+        (true, false, 64, false), // + 1-in-64 sampled tracing
+        (true, false, 64, true),  // + background aggregator
+    ];
+    let rep = |(timing, traced, sample_every, aggregator): (bool, bool, u64, bool)| -> f64 {
         promips_obs::set_timing_enabled(timing);
+        promips_obs::sampling::set_sample_every(sample_every);
+        let agg = aggregator.then(|| {
+            promips_obs::window::start_global_aggregator(std::time::Duration::from_millis(5))
+                .expect("spawn aggregator")
+        });
         let start = std::time::Instant::now();
         for i in 0..rep_iters {
             std::hint::black_box(run_query(traced, i as usize));
         }
         let ns = start.elapsed().as_secs_f64() * 1e9 / rep_iters as f64;
+        drop(agg);
         promips_obs::set_timing_enabled(true);
+        promips_obs::sampling::set_sample_every(0);
         ns
     };
-    // (timing, traced) per regime; the order rotates every round so any
-    // periodic interference spreads evenly across the three.
-    let regimes = [(false, false), (true, false), (true, true)];
-    let mut mins = [f64::INFINITY; 3];
+    let mut mins = [f64::INFINITY; 5];
     for round in 0..24 {
-        for j in 0..3 {
-            let ri = (round + j) % 3;
-            mins[ri] = mins[ri].min(rep(regimes[ri].0, regimes[ri].1));
+        for j in 0..regimes.len() {
+            let ri = (round + j) % regimes.len();
+            mins[ri] = mins[ri].min(rep(regimes[ri]));
         }
     }
-    let (untimed_ns, timed_ns, traced_ns) = (mins[0], mins[1], mins[2]);
+    let (untimed_ns, timed_ns, traced_ns, sampled_ns, aggregated_ns) =
+        (mins[0], mins[1], mins[2], mins[3], mins[4]);
     promips_obs::slow::configure(0, 16);
-    let obs_overhead_pct = (timed_ns - untimed_ns) / untimed_ns * 100.0;
-    let traced_overhead_pct = (traced_ns - untimed_ns) / untimed_ns * 100.0;
+    promips_obs::sampling::set_sample_every(promips_obs::sampling::DEFAULT_SAMPLE_EVERY);
+    let pct = |ns: f64| (ns - untimed_ns) / untimed_ns * 100.0;
+    let obs_overhead_pct = pct(timed_ns);
+    let traced_overhead_pct = pct(traced_ns);
+    let sampling_overhead_pct = pct(sampled_ns);
+    let aggregator_overhead_pct = pct(aggregated_ns);
     println!(
         "  timing off {untimed_ns:.0} ns, on {timed_ns:.0} ns ({obs_overhead_pct:+.2}%), \
          traced {traced_ns:.0} ns ({traced_overhead_pct:+.2}%)"
     );
+    println!(
+        "  sampled(1/64) {sampled_ns:.0} ns ({sampling_overhead_pct:+.2}%), \
+         + aggregator {aggregated_ns:.0} ns ({aggregator_overhead_pct:+.2}%)"
+    );
     drop(obs_idx);
     drop(obs_scratch);
+
+    // --- windowed metrics ---------------------------------------------------
+    // Fixed costs of the aggregation tier itself: one tick (registry
+    // snapshot + saturating diff + ring push) and one 60 s window merge
+    // over a full 64-interval ring.
+    println!("\nwindowed metrics:");
+    let win_reg = promips_obs::Registry::new();
+    for i in 0..1000u64 {
+        win_reg.counter(promips_obs::CounterId::Queries).inc();
+        win_reg
+            .histogram(promips_obs::HistoId::QueryLatencyNs)
+            .record(i * 997);
+    }
+    let win = promips_obs::MetricsWindow::new();
+    win.tick(&win_reg); // baseline
+    let window_tick_ns = ns_per_op(|| {
+        win.tick(std::hint::black_box(&win_reg));
+        0.0
+    });
+    // The ring is full (capacity 64) after the calibration above; merge
+    // the whole thing.
+    let window_merge_ns = ns_per_op(|| {
+        std::hint::black_box(win.window(promips_obs::window::HORIZON_60S).intervals as f64)
+    });
+    println!("  tick {window_tick_ns:.0} ns, 60s window merge {window_merge_ns:.0} ns");
 
     // --- kernels at d = 128 -------------------------------------------------
     let am = random_matrix(ROWS, D, 7);
@@ -1308,8 +1359,24 @@ fn main() {
                 ("untimed_ns_per_query", Json::Num(untimed_ns)),
                 ("timed_ns_per_query", Json::Num(timed_ns)),
                 ("traced_ns_per_query", Json::Num(traced_ns)),
+                ("sampled_ns_per_query", Json::Num(sampled_ns)),
+                ("aggregated_ns_per_query", Json::Num(aggregated_ns)),
                 ("overhead_pct", Json::Num(obs_overhead_pct)),
                 ("traced_overhead_pct", Json::Num(traced_overhead_pct)),
+                ("sampling_overhead_pct", Json::Num(sampling_overhead_pct)),
+                (
+                    "aggregator_overhead_pct",
+                    Json::Num(aggregator_overhead_pct),
+                ),
+                ("sample_every", Json::Num(64.0)),
+            ]),
+        ),
+        (
+            "windowed_metrics",
+            Json::obj(vec![
+                ("tick_ns", Json::Num(window_tick_ns)),
+                ("window_merge_ns", Json::Num(window_merge_ns)),
+                ("intervals", Json::Num(64.0)),
             ]),
         ),
         (

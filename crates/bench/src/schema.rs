@@ -64,8 +64,11 @@ pub const REQUIRED_SECTIONS: &[(&str, &[&str])] = &[
             "overhead_pct",
             "traced_ns_per_query",
             "untimed_ns_per_query",
+            "sampling_overhead_pct",
+            "aggregator_overhead_pct",
         ],
     ),
+    ("windowed_metrics", &["tick_ns", "window_merge_ns"]),
     (
         "deadline_degradation",
         &["unbudgeted_p50_ns", "budgets", "shed_rate_at_2x_limit"],

@@ -1,0 +1,389 @@
+//! SLO health evaluation over windowed metrics: the typed verdict a
+//! `/healthz` endpoint serves, computed from a [`WindowedSnapshot`]
+//! rather than since-process-start totals (an outage an hour ago must
+//! not fail today's health check).
+//!
+//! [`SloPolicy`] holds the objectives — windowed p99 latency, error
+//! rate, shed rate, degraded-result rate, and (optionally, supplied by
+//! the index layer) maximum generation age. [`SloPolicy::evaluate`]
+//! grades each objective three ways: meeting the objective is
+//! [`HealthStatus::Ok`], within the warning fraction of the limit is
+//! [`HealthStatus::Warn`], and over the limit is
+//! [`HealthStatus::Fail`]; the report's overall status is the worst
+//! check. The report renders to JSON (for `/healthz` bodies) and to
+//! Prometheus gauges (so dashboards can alert on the same verdict the
+//! endpoint serves).
+
+use crate::registry::{CounterId, HistoId};
+use crate::window::WindowedSnapshot;
+use std::fmt;
+
+/// Verdict for one check (and, as the worst across checks, the whole
+/// report). Ordered: `Ok < Warn < Fail`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthStatus {
+    Ok,
+    Warn,
+    Fail,
+}
+
+impl HealthStatus {
+    /// Stable lowercase name (JSON/Prometheus label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Warn => "warn",
+            HealthStatus::Fail => "fail",
+        }
+    }
+
+    /// Numeric gauge encoding: 0 ok, 1 warn, 2 fail.
+    pub fn code(self) -> u8 {
+        match self {
+            HealthStatus::Ok => 0,
+            HealthStatus::Warn => 1,
+            HealthStatus::Fail => 2,
+        }
+    }
+}
+
+impl fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One evaluated objective.
+#[derive(Clone, Debug)]
+pub struct HealthCheck {
+    /// Stable identifier (`windowed_p99_latency`, `error_rate`, ...).
+    pub name: &'static str,
+    pub status: HealthStatus,
+    /// Observed value (ns for latencies/ages, a 0..1 fraction for
+    /// rates).
+    pub value: f64,
+    /// The policy limit the value is graded against.
+    pub limit: f64,
+}
+
+/// The service-level objectives a window must meet.
+///
+/// Rates are fractions of query arrivals within the window; latency
+/// and age limits are nanoseconds. `warn_fraction` grades a check
+/// [`HealthStatus::Warn`] once its value crosses that fraction of the
+/// limit — early warning before the SLO is actually broken.
+#[derive(Clone, Copy, Debug)]
+pub struct SloPolicy {
+    /// Window horizon to evaluate, in ns (default 10 s).
+    pub horizon_ns: u64,
+    /// Maximum acceptable windowed p99 query latency, ns.
+    pub max_p99_latency_ns: u64,
+    /// Maximum fraction of arrivals aborted by failure.
+    pub max_error_rate: f64,
+    /// Maximum fraction of arrivals refused by admission control.
+    pub max_shed_rate: f64,
+    /// Maximum fraction of served queries that returned degraded.
+    pub max_degraded_rate: f64,
+    /// Warn once a value exceeds this fraction of its limit.
+    pub warn_fraction: f64,
+    /// Maximum acceptable shard generation age, ns — evaluated only
+    /// when the caller supplies the observed age (the index layer owns
+    /// that number; see `ShardedProMips::max_generation_age_ns`).
+    pub max_generation_age_ns: u64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            horizon_ns: crate::window::HORIZON_10S,
+            max_p99_latency_ns: 100_000_000, // 100 ms
+            max_error_rate: 0.01,
+            max_shed_rate: 0.05,
+            max_degraded_rate: 0.05,
+            warn_fraction: 0.8,
+            max_generation_age_ns: 0, // 0 = no age objective
+        }
+    }
+}
+
+impl SloPolicy {
+    fn grade(&self, name: &'static str, value: f64, limit: f64) -> HealthCheck {
+        let status = if value > limit {
+            HealthStatus::Fail
+        } else if value > limit * self.warn_fraction {
+            HealthStatus::Warn
+        } else {
+            HealthStatus::Ok
+        };
+        HealthCheck {
+            name,
+            status,
+            value,
+            limit,
+        }
+    }
+
+    /// Evaluate the policy against a windowed view (taken at
+    /// `self.horizon_ns` by the caller). An idle window — no arrivals —
+    /// is healthy by definition: rates are 0 and the p99 of no samples
+    /// is 0.
+    pub fn evaluate(&self, w: &WindowedSnapshot) -> HealthReport {
+        self.evaluate_with_generation_age(w, None)
+    }
+
+    /// [`evaluate`] plus the index layer's observed maximum generation
+    /// age (the staleness objective only the shard layer can measure).
+    ///
+    /// [`evaluate`]: SloPolicy::evaluate
+    pub fn evaluate_with_generation_age(
+        &self,
+        w: &WindowedSnapshot,
+        generation_age_ns: Option<u64>,
+    ) -> HealthReport {
+        let served = w.count(CounterId::Queries);
+        let failures = w.count(CounterId::QueryFailures);
+        let shed = w.count(CounterId::QueriesShed);
+        let degraded = w.count(CounterId::PartialResults);
+        let arrivals = served + failures + shed;
+        let rate = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+
+        let mut checks = vec![
+            self.grade(
+                "windowed_p99_latency",
+                w.quantile(HistoId::QueryLatencyNs, 0.99),
+                self.max_p99_latency_ns as f64,
+            ),
+            self.grade("error_rate", rate(failures, arrivals), self.max_error_rate),
+            self.grade("shed_rate", rate(shed, arrivals), self.max_shed_rate),
+            self.grade(
+                "degraded_rate",
+                rate(degraded, served),
+                self.max_degraded_rate,
+            ),
+        ];
+        if self.max_generation_age_ns > 0 {
+            if let Some(age) = generation_age_ns {
+                checks.push(self.grade(
+                    "generation_age",
+                    age as f64,
+                    self.max_generation_age_ns as f64,
+                ));
+            }
+        }
+        let status = checks
+            .iter()
+            .map(|c| c.status)
+            .max()
+            .unwrap_or(HealthStatus::Ok);
+        HealthReport {
+            status,
+            horizon_ns: self.horizon_ns,
+            window_elapsed_ns: w.elapsed_ns,
+            queries_per_sec: w.rate_per_sec(CounterId::Queries),
+            checks,
+        }
+    }
+}
+
+/// The typed `/healthz` verdict: overall status, the window it was
+/// computed over, and every graded objective.
+#[derive(Clone, Debug)]
+pub struct HealthReport {
+    pub status: HealthStatus,
+    /// The horizon the policy asked for, ns.
+    pub horizon_ns: u64,
+    /// The wall time the evaluated window actually covered, ns.
+    pub window_elapsed_ns: u64,
+    /// Serving rate over the window, for context.
+    pub queries_per_sec: f64,
+    pub checks: Vec<HealthCheck>,
+}
+
+impl HealthReport {
+    /// `true` iff no check failed (warnings still count as healthy —
+    /// they exist to page humans *before* this flips).
+    pub fn healthy(&self) -> bool {
+        self.status != HealthStatus::Fail
+    }
+
+    /// JSON body for a `/healthz` response.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(512);
+        write!(
+            out,
+            "{{\n  \"status\": \"{}\",\n  \"healthy\": {},\n  \"horizon_ns\": {},\n  \"window_elapsed_ns\": {},\n  \"queries_per_sec\": {},\n  \"checks\": [",
+            self.status,
+            self.healthy(),
+            self.horizon_ns,
+            self.window_elapsed_ns,
+            self.queries_per_sec,
+        )
+        .unwrap();
+        for (i, c) in self.checks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"status\": \"{}\", \"value\": {}, \"limit\": {}}}",
+                c.name, c.status, c.value, c.limit
+            )
+            .unwrap();
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Prometheus gauges mirroring the verdict: an overall
+    /// `promips_health_status` plus one `promips_health_check{check=...}`
+    /// per objective (0 ok, 1 warn, 2 fail).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(512);
+        out.push_str("# HELP promips_health_status Overall SLO verdict (0 ok, 1 warn, 2 fail)\n");
+        out.push_str("# TYPE promips_health_status gauge\n");
+        writeln!(out, "promips_health_status {}", self.status.code()).unwrap();
+        out.push_str(
+            "# HELP promips_health_check Per-objective SLO verdict (0 ok, 1 warn, 2 fail)\n",
+        );
+        out.push_str("# TYPE promips_health_check gauge\n");
+        for c in &self.checks {
+            writeln!(
+                out,
+                "promips_health_check{{check=\"{}\"}} {}",
+                c.name,
+                c.status.code()
+            )
+            .unwrap();
+        }
+        out
+    }
+
+    /// One human-readable line per check.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(256);
+        writeln!(
+            out,
+            "health: {} (window {:.1}s, {:.1} qps)",
+            self.status,
+            self.window_elapsed_ns as f64 / 1e9,
+            self.queries_per_sec,
+        )
+        .unwrap();
+        for c in &self.checks {
+            writeln!(
+                out,
+                "  [{:>4}] {:<22} value {:.4} limit {:.4}",
+                c.status, c.name, c.value, c.limit
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::window::{MetricsWindow, HORIZON_10S, HORIZON_1S};
+
+    fn window_after(f: impl Fn(&Registry)) -> WindowedSnapshot {
+        let r = Registry::new();
+        let w = MetricsWindow::new();
+        w.tick_at(r.snapshot(), 0);
+        f(&r);
+        w.tick_at(r.snapshot(), HORIZON_1S);
+        w.window(HORIZON_10S)
+    }
+
+    #[test]
+    fn idle_window_is_healthy() {
+        let report = SloPolicy::default().evaluate(&window_after(|_| {}));
+        assert_eq!(report.status, HealthStatus::Ok);
+        assert!(report.healthy());
+        assert_eq!(report.checks.len(), 4, "no age objective without input");
+    }
+
+    #[test]
+    fn breached_error_rate_fails_and_warn_precedes() {
+        let policy = SloPolicy {
+            max_error_rate: 0.10,
+            ..Default::default()
+        };
+        // 5 failures out of 58 arrivals ≈ 8.6%: inside the limit but
+        // past the 80% warning line.
+        let warn = policy.evaluate(&window_after(|r| {
+            r.counter(CounterId::Queries).add(53);
+            r.counter(CounterId::QueryFailures).add(5);
+        }));
+        assert_eq!(report_check(&warn, "error_rate").status, HealthStatus::Warn);
+        assert_eq!(warn.status, HealthStatus::Warn);
+        assert!(warn.healthy(), "warn still serves");
+
+        // 20 of 120 arrivals failed: objective broken.
+        let fail = policy.evaluate(&window_after(|r| {
+            r.counter(CounterId::Queries).add(100);
+            r.counter(CounterId::QueryFailures).add(20);
+        }));
+        assert_eq!(report_check(&fail, "error_rate").status, HealthStatus::Fail);
+        assert_eq!(fail.status, HealthStatus::Fail);
+        assert!(!fail.healthy());
+    }
+
+    #[test]
+    fn p99_and_generation_age_objectives() {
+        let policy = SloPolicy {
+            max_p99_latency_ns: 1_000_000,
+            max_generation_age_ns: 60 * HORIZON_1S,
+            ..Default::default()
+        };
+        let w = window_after(|r| {
+            for _ in 0..100 {
+                r.histogram(HistoId::QueryLatencyNs).record(100_000_000);
+            }
+            r.counter(CounterId::Queries).add(100);
+        });
+        let report = policy.evaluate_with_generation_age(&w, Some(120 * HORIZON_1S));
+        assert_eq!(
+            report_check(&report, "windowed_p99_latency").status,
+            HealthStatus::Fail
+        );
+        assert_eq!(
+            report_check(&report, "generation_age").status,
+            HealthStatus::Fail
+        );
+        assert_eq!(report.checks.len(), 5);
+    }
+
+    #[test]
+    fn renderings_carry_the_verdict() {
+        let report = SloPolicy::default().evaluate(&window_after(|r| {
+            r.counter(CounterId::Queries).add(10);
+        }));
+        let json = report.render_json();
+        assert!(json.contains("\"status\": \"ok\""));
+        assert!(json.contains("\"healthy\": true"));
+        assert!(json.contains("\"error_rate\""));
+        let prom = report.render_prometheus();
+        assert!(prom.contains("# TYPE promips_health_status gauge"));
+        assert!(prom.contains("promips_health_status 0"));
+        assert!(prom.contains("promips_health_check{check=\"shed_rate\"} 0"));
+        assert!(report.render().contains("windowed_p99_latency"));
+    }
+
+    fn report_check<'a>(r: &'a HealthReport, name: &str) -> &'a HealthCheck {
+        r.checks
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("missing check {name}"))
+    }
+}

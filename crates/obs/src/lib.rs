@@ -13,24 +13,49 @@
 //! - [`trace::QueryTrace`]: an opt-in per-query breakdown of where time
 //!   went (scan → screen → verify → merge, with per-shard fan-out spans
 //!   and prune decisions). Enabled per call; near-zero cost when off.
-//! - [`slow`]: a bounded log retaining the N worst traces past a
-//!   configurable latency threshold.
+//! - [`slow`]: a bounded log retaining the N worst queries past a
+//!   configurable latency threshold, each with its trace, lifecycle
+//!   verdict, and a flight-recorder excerpt.
+//!
+//! On top of the registry sits the aggregation-and-diagnosis tier the
+//! serving layer consumes:
+//!
+//! - [`window`]: a ring of per-interval snapshot deltas exposing
+//!   rates/s and sliding-window quantiles over 1 s / 10 s / 60 s
+//!   horizons, optionally fed by a background aggregator thread.
+//! - [`recorder`]: a lock-light bounded flight recorder of structured
+//!   lifecycle events (compactions, WAL replay, faults, shed/degraded
+//!   queries, generation swaps).
+//! - [`sampling`]: deterministic counter-based 1-in-N sampling that
+//!   routes ordinary searches through the trace machinery.
+//! - [`health`]: an SLO evaluator over windowed snapshots producing a
+//!   typed [`health::HealthReport`] with JSON/Prometheus rendering.
+//! - [`promcheck`]: a small Prometheus text-format checker used by CI
+//!   and the render tests.
 //!
 //! Timing itself has a global kill-switch ([`set_timing_enabled`]) so
 //! benchmarks can measure the instrumented path against a clock-free
 //! baseline.
 
 pub mod budget;
+pub mod health;
 mod metrics;
+pub mod promcheck;
+pub mod recorder;
 mod registry;
 mod render;
+pub mod sampling;
 pub mod slow;
 pub mod trace;
+pub mod window;
 
 pub use budget::{budget_error, BudgetChecker, BudgetExceeded, CancelToken, QueryBudget};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use health::{HealthCheck, HealthReport, HealthStatus, SloPolicy};
+pub use metrics::{bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{CounterId, GaugeId, HistoId, Registry, RegistrySnapshot};
+pub use render::HistogramStyle;
 pub use trace::{QueryTrace, ShardSpan, StageNanos};
+pub use window::{MetricsWindow, WindowedSnapshot};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -102,6 +102,21 @@ fn bucket_of(v: u64) -> usize {
     }
 }
 
+/// Largest sample value bucket `b` can hold: 0 for the zero bucket,
+/// otherwise `2^b - 1` (bucket `b` covers `[2^(b-1), 2^b)` and samples
+/// are integers). These are the `le` bounds of the cumulative-`_bucket`
+/// Prometheus exposition.
+#[inline]
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
 /// Lock-free histogram over `u64` samples (latencies in ns, batch
 /// sizes) with log2 bucketing. Recording is two relaxed `fetch_add`s.
 ///
@@ -192,6 +207,24 @@ impl HistogramSnapshot {
         self.sum += other.sum;
     }
 
+    /// Per-bucket difference against an `earlier` snapshot of the same
+    /// histogram: the histogram of exactly the samples recorded between
+    /// the two snapshots. Buckets and sums are monotonic, so with
+    /// genuinely ordered snapshots no clamping occurs; saturation only
+    /// guards against torn non-atomic snapshot pairs.
+    pub fn saturating_diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::EMPTY;
+        for (dst, (now, was)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *dst = now.saturating_sub(*was);
+        }
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
     /// Estimate the `p`-quantile (`p` in [0, 1]) of the recorded
     /// samples.
     ///
@@ -271,6 +304,40 @@ mod tests {
         let max = s.quantile(1.0); // exact max is 40_000
         assert!((20_000.0..=80_000.0).contains(&max), "max estimate {max}");
         assert!((s.mean() - 42_704.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_recovers_the_between_snapshot_samples() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(900);
+        let before = h.snapshot();
+        h.record(7);
+        h.record(7);
+        let after = h.snapshot();
+        let delta = after.saturating_diff(&before);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum, 14);
+        assert_eq!(delta.buckets[bucket_of(7)], 2);
+        // Diffing in the wrong order saturates instead of wrapping.
+        let wrong = before.saturating_diff(&after);
+        assert_eq!(wrong.count(), 0);
+        assert_eq!(wrong.sum, 0);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_cover_their_buckets() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 4, 1000, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper_bound(b));
+            if b > 0 {
+                assert!(v > bucket_upper_bound(b - 1));
+            }
+        }
     }
 
     #[test]

@@ -70,6 +70,9 @@ metric_ids! {
         QueriesCancelled => "promips_queries_cancelled_total", "Queries stopped by a cancellation token";
         QueriesShed => "promips_queries_shed_total", "Queries refused by the admission gate (Overloaded)";
         PartialResults => "promips_partial_results_total", "Best-effort searches that returned a degraded result";
+        QueryFailures => "promips_query_failures_total", "Queries aborted by a shard failure, deadline, or cancellation";
+        QueriesSampled => "promips_queries_sampled_total", "Ordinary searches routed through tracing by the 1-in-N sampler";
+        RecorderEvents => "promips_recorder_events_total", "Structured events captured by the flight recorder";
     }
 }
 
@@ -176,6 +179,15 @@ pub struct RegistrySnapshot {
 }
 
 impl RegistrySnapshot {
+    /// The all-zero snapshot: identity element for [`merge`].
+    ///
+    /// [`merge`]: RegistrySnapshot::merge
+    pub const ZERO: RegistrySnapshot = RegistrySnapshot {
+        counters: [0; CounterId::COUNT],
+        gauges: [0; GaugeId::COUNT],
+        histograms: [HistogramSnapshot::EMPTY; HistoId::COUNT],
+    };
+
     #[inline]
     pub fn counter(&self, id: CounterId) -> u64 {
         self.counters[id as usize]
@@ -203,6 +215,28 @@ impl RegistrySnapshot {
         for (dst, src) in self.histograms.iter_mut().zip(&other.histograms) {
             dst.merge(src);
         }
+    }
+
+    /// The activity between two snapshots of the *same* registry:
+    /// counters and histogram buckets subtract (they are monotonic, so
+    /// the difference is exactly the events recorded in between), while
+    /// gauges — levels, not flows — keep their value at `self`, the
+    /// later snapshot. Saturating subtraction guards against snapshot
+    /// pairs torn by concurrent writers; genuinely ordered pairs never
+    /// clamp. This is the per-interval delta `obs::window` accumulates.
+    pub fn saturating_diff(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
+        let mut out = self.clone();
+        for (dst, was) in out.counters.iter_mut().zip(&earlier.counters) {
+            *dst = dst.saturating_sub(*was);
+        }
+        for (dst, (now, was)) in out
+            .histograms
+            .iter_mut()
+            .zip(self.histograms.iter().zip(&earlier.histograms))
+        {
+            *dst = now.saturating_diff(was);
+        }
+        out
     }
 }
 
@@ -236,6 +270,25 @@ mod tests {
         assert_eq!(s.counter(CounterId::Queries), 3);
         assert_eq!(s.gauge(GaugeId::DeltaRows), 3);
         assert_eq!(s.histogram(HistoId::QueryLatencyNs).count(), 1);
+    }
+
+    #[test]
+    fn snapshot_diff_is_the_between_activity() {
+        let r = Registry::new();
+        r.counter(CounterId::Queries).add(3);
+        r.gauge(GaugeId::DeltaRows).add(10);
+        r.histogram(HistoId::QueryLatencyNs).record(100);
+        let before = r.snapshot();
+        r.counter(CounterId::Queries).add(4);
+        r.gauge(GaugeId::DeltaRows).sub(6);
+        r.histogram(HistoId::QueryLatencyNs).record(200);
+        let after = r.snapshot();
+        let delta = after.saturating_diff(&before);
+        assert_eq!(delta.counter(CounterId::Queries), 4);
+        assert_eq!(delta.histogram(HistoId::QueryLatencyNs).count(), 1);
+        assert_eq!(delta.histogram(HistoId::QueryLatencyNs).sum, 200);
+        // Gauges are levels: the delta carries the later snapshot's value.
+        assert_eq!(delta.gauge(GaugeId::DeltaRows), 4);
     }
 
     #[test]

@@ -1,23 +1,82 @@
 //! Slow-query capture: a bounded, process-global log retaining the N
-//! worst [`QueryTrace`]s whose end-to-end latency crossed a threshold.
+//! worst queries whose end-to-end latency crossed a threshold — each as
+//! a structured [`SlowQueryEntry`] carrying the trace, the lifecycle
+//! verdict (degraded? how many shards failed? budget left?), and a
+//! flight-recorder excerpt captured at retention time.
 //!
-//! Only *traced* queries are offered (the untraced hot path never
-//! touches this module), so the mutex here costs nothing unless the
-//! caller opted into tracing. Keeping the worst-N (rather than the
-//! latest-N) means a burst of mildly-slow queries cannot evict the one
-//! pathological trace you actually want to inspect.
+//! Entries arrive from two paths: explicitly traced queries
+//! (`search_traced*`) and the 1-in-N exemplars the always-on sampler
+//! promotes out of the ordinary search path ([`crate::sampling`]); the
+//! untraced hot path never touches this module's mutex. Keeping the
+//! worst-N (rather than the latest-N) means a burst of mildly-slow
+//! queries cannot evict the one pathological trace you actually want
+//! to inspect.
 
+use crate::recorder;
 use crate::registry::{CounterId, Registry};
 use crate::trace::QueryTrace;
 use std::sync::Mutex;
 
 const DEFAULT_CAPACITY: usize = 16;
 
+/// One retained slow query: the trace plus the first-class lifecycle
+/// fields an operator triages by, and the flight-recorder events that
+/// led up to it.
+#[derive(Clone, Debug)]
+pub struct SlowQueryEntry {
+    /// The full per-shard stage breakdown.
+    pub trace: QueryTrace,
+    /// The query returned a partial (best-effort) result.
+    pub degraded: bool,
+    /// Shards excluded from the merge by failure.
+    pub shards_failed: usize,
+    /// Deadline budget left at completion (`None` for unbudgeted
+    /// queries).
+    pub budget_remaining_ns: Option<u64>,
+    /// `true` when this entry is a 1-in-N sampler exemplar rather than
+    /// an explicitly traced query.
+    pub sampled: bool,
+    /// Flight-recorder ring at retention time, oldest first — the
+    /// maintenance/fault context surrounding the slow query.
+    pub events: Vec<recorder::Event>,
+}
+
+impl SlowQueryEntry {
+    /// End-to-end latency of the retained query.
+    pub fn total_ns(&self) -> u64 {
+        self.trace.total_ns
+    }
+
+    /// The trace rendering plus the lifecycle verdict and the attached
+    /// flight-recorder excerpt.
+    pub fn render(&self) -> String {
+        let mut out = self.trace.render();
+        if self.sampled {
+            out.push_str("  (sampled exemplar)\n");
+        }
+        if self.degraded {
+            out.push_str(&format!(
+                "  DEGRADED: {} shard(s) excluded by failure\n",
+                self.shards_failed
+            ));
+        }
+        if !self.events.is_empty() {
+            out.push_str("  flight recorder:\n");
+            for e in &self.events {
+                out.push_str("    ");
+                out.push_str(&e.render());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
 struct SlowLog {
     threshold_ns: u64,
     capacity: usize,
     /// Sorted by `total_ns` descending; index 0 is the worst query.
-    traces: Vec<QueryTrace>,
+    entries: Vec<SlowQueryEntry>,
 }
 
 static LOG: Mutex<Option<SlowLog>> = Mutex::new(None);
@@ -27,19 +86,19 @@ fn with_log<R>(f: impl FnOnce(&mut SlowLog) -> R) -> R {
     let log = guard.get_or_insert_with(|| SlowLog {
         threshold_ns: 0,
         capacity: DEFAULT_CAPACITY,
-        traces: Vec::new(),
+        entries: Vec::new(),
     });
     f(log)
 }
 
-/// Set the capture threshold and retained-trace capacity. The default
+/// Set the capture threshold and retained-entry capacity. The default
 /// is threshold 0 (every offered trace qualifies) and capacity 16.
-/// Shrinking the capacity drops the mildest retained traces.
+/// Shrinking the capacity drops the mildest retained entries.
 pub fn configure(threshold_ns: u64, capacity: usize) {
     with_log(|log| {
         log.threshold_ns = threshold_ns;
         log.capacity = capacity;
-        log.traces.truncate(capacity);
+        log.entries.truncate(capacity);
     });
 }
 
@@ -48,22 +107,58 @@ pub fn threshold_ns() -> u64 {
     with_log(|log| log.threshold_ns)
 }
 
-/// Offer a trace for retention. Returns `true` if it was kept (it
-/// crossed the threshold and ranked among the worst N by total
-/// latency). Kept traces bump the `promips_slow_queries_total` counter.
+/// Offer an explicitly requested trace for retention (see
+/// [`offer_sampled`] for the sampler's exemplars). Returns `true` if it
+/// was kept: it crossed the threshold and ranked among the worst N by
+/// total latency. Kept entries bump `promips_slow_queries_total` and
+/// capture the flight-recorder ring.
 pub fn offer(trace: &QueryTrace) -> bool {
-    let kept = with_log(|log| {
+    offer_with(trace, false)
+}
+
+/// [`offer`] for the 1-in-N sampler: the kept entry is flagged as an
+/// exemplar.
+pub fn offer_sampled(trace: &QueryTrace) -> bool {
+    offer_with(trace, true)
+}
+
+fn offer_with(trace: &QueryTrace, sampled: bool) -> bool {
+    // Cheap pre-checks under the lock; the recorder dump (slot scan +
+    // clone) happens only for traces that will actually be kept.
+    let admitted = with_log(|log| {
         if log.capacity == 0 || trace.total_ns < log.threshold_ns {
             return false;
         }
-        if log.traces.len() == log.capacity
-            && trace.total_ns <= log.traces.last().map_or(0, |t| t.total_ns)
+        !(log.entries.len() == log.capacity
+            && trace.total_ns <= log.entries.last().map_or(0, |t| t.total_ns()))
+    });
+    if !admitted {
+        return false;
+    }
+    let entry = SlowQueryEntry {
+        degraded: trace.degraded,
+        shards_failed: trace.shards.iter().filter(|s| s.failed).count(),
+        budget_remaining_ns: trace.budget_remaining_ns,
+        sampled,
+        events: recorder::dump(),
+        trace: trace.clone(),
+    };
+    let kept = with_log(|log| {
+        // Re-check under the lock: a racing offer may have filled the
+        // log with worse entries since the pre-check.
+        if log.capacity == 0 || entry.total_ns() < log.threshold_ns {
+            return false;
+        }
+        if log.entries.len() == log.capacity
+            && entry.total_ns() <= log.entries.last().map_or(0, |t| t.total_ns())
         {
             return false;
         }
-        let at = log.traces.partition_point(|t| t.total_ns >= trace.total_ns);
-        log.traces.insert(at, trace.clone());
-        log.traces.truncate(log.capacity);
+        let at = log
+            .entries
+            .partition_point(|t| t.total_ns() >= entry.total_ns());
+        log.entries.insert(at, entry);
+        log.entries.truncate(log.capacity);
         true
     });
     if kept {
@@ -72,19 +167,20 @@ pub fn offer(trace: &QueryTrace) -> bool {
     kept
 }
 
-/// Retained traces, worst first.
-pub fn snapshot() -> Vec<QueryTrace> {
-    with_log(|log| log.traces.clone())
+/// Retained entries, worst first.
+pub fn snapshot() -> Vec<SlowQueryEntry> {
+    with_log(|log| log.entries.clone())
 }
 
-/// Drop all retained traces (threshold and capacity are kept).
+/// Drop all retained entries (threshold and capacity are kept).
 pub fn clear() {
-    with_log(|log| log.traces.clear());
+    with_log(|log| log.entries.clear());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::ShardSpan;
 
     fn trace(total_ns: u64) -> QueryTrace {
         QueryTrace {
@@ -98,6 +194,9 @@ mod tests {
     /// `configure`/`clear` calls.
     #[test]
     fn threshold_capacity_and_worst_n_ordering() {
+        // The recorder ring feeds kept entries; hold its test lock so
+        // the recorder's own tests cannot clear it mid-offer.
+        let _rec = recorder::test_lock();
         configure(100, 3);
         clear();
         assert!(!offer(&trace(99)), "below threshold must be rejected");
@@ -108,15 +207,55 @@ mod tests {
         // worse one evicts the mildest.
         assert!(!offer(&trace(200)));
         assert!(offer(&trace(600)));
-        let kept: Vec<u64> = snapshot().iter().map(|t| t.total_ns).collect();
+        let kept: Vec<u64> = snapshot().iter().map(|t| t.total_ns()).collect();
         assert_eq!(kept, vec![800, 600, 500]);
 
         configure(100, 2);
-        let kept: Vec<u64> = snapshot().iter().map(|t| t.total_ns).collect();
+        let kept: Vec<u64> = snapshot().iter().map(|t| t.total_ns()).collect();
         assert_eq!(kept, vec![800, 600], "shrink drops the mildest");
 
         clear();
         assert!(snapshot().is_empty());
         configure(0, DEFAULT_CAPACITY);
+
+        // Entries carry the lifecycle fields first-class and the
+        // recorder excerpt; sampled offers are flagged.
+        let mut t = trace(1_000);
+        t.degraded = true;
+        t.budget_remaining_ns = Some(42);
+        t.shards = vec![
+            ShardSpan {
+                shard: 0,
+                failed: true,
+                ..Default::default()
+            },
+            ShardSpan {
+                shard: 1,
+                ..Default::default()
+            },
+        ];
+        recorder::emit(recorder::EventKind::QueryDegraded {
+            failed_shards: 1,
+            attempted: 2,
+        });
+        assert!(offer_sampled(&t));
+        let kept = snapshot();
+        let entry = &kept[0];
+        assert!(entry.degraded);
+        assert_eq!(entry.shards_failed, 1);
+        assert_eq!(entry.budget_remaining_ns, Some(42));
+        assert!(entry.sampled);
+        assert!(entry
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, recorder::EventKind::QueryDegraded { .. })));
+        let text = entry.render();
+        assert!(
+            text.contains("DEGRADED"),
+            "render flags degradation: {text}"
+        );
+        assert!(text.contains("sampled exemplar"));
+        assert!(text.contains("flight recorder"));
+        clear();
     }
 }

@@ -6,7 +6,8 @@
 //! The default configuration keeps `cargo test` quick; the CI stress
 //! job sets `PROMIPS_STRESS=1` to scale writers, readers, and ops up.
 
-use promips_obs::{CounterId, GaugeId, HistoId, Registry};
+use promips_obs::window::MetricsWindow;
+use promips_obs::{recorder, CounterId, GaugeId, HistoId, Registry};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
 
@@ -119,5 +120,150 @@ fn counts_conserved_under_concurrent_snapshots() {
         h.buckets[21..].iter().sum::<u64>(),
         0,
         "no sample can land above the 2^20 bucket"
+    );
+}
+
+/// Window ticks racing with writers and concurrent windowed readers:
+/// every interval delta is non-negative (saturating diffs never
+/// underflow mid-write), concurrent views never over-count, and once
+/// the writers join, the intervals sum to exactly the written total.
+#[test]
+fn window_ticks_conserve_counts_under_concurrent_writers() {
+    static REG: Registry = Registry::new();
+    // Capacity comfortably above any tick count this test performs, so
+    // conservation is exact (nothing rotates out).
+    static WINDOW: MetricsWindow = MetricsWindow::with_capacity(1 << 16);
+    let t = config();
+    let done = AtomicBool::new(false);
+    let total_ops = t.writers as u64 * t.ops_per_writer;
+
+    // Baseline before any writer starts, so every write falls inside
+    // some interval.
+    WINDOW.tick(&REG);
+
+    thread::scope(|s| {
+        for _ in 0..t.writers {
+            let reg = &REG;
+            s.spawn(move || {
+                for i in 0..t.ops_per_writer {
+                    reg.counter(CounterId::Queries).inc();
+                    reg.histogram(HistoId::QueryLatencyNs).record(i % 4096);
+                }
+            });
+        }
+
+        // The ticker closes intervals as fast as it can while writers
+        // run — the adversarial version of the 1 s aggregator cadence.
+        let reg = &REG;
+        let done = &done;
+        s.spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                WINDOW.tick(reg);
+                thread::yield_now();
+            }
+        });
+
+        for _ in 0..t.readers {
+            s.spawn(move || {
+                let mut views = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let v = WINDOW.window(u64::MAX);
+                    assert!(
+                        v.count(CounterId::Queries) <= total_ops,
+                        "window over-counts: {} > {total_ops}",
+                        v.count(CounterId::Queries)
+                    );
+                    assert!(v.snapshot.histogram(HistoId::QueryLatencyNs).count() <= total_ops);
+                    views += 1;
+                }
+                assert!(views > 0);
+            });
+        }
+
+        let reg = &REG;
+        s.spawn(move || {
+            while reg.counter(CounterId::Queries).get() < total_ops {
+                thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+
+    // One final tick captures whatever the last racing tick missed.
+    WINDOW.tick(&REG);
+    let v = WINDOW.window(u64::MAX);
+    assert_eq!(v.count(CounterId::Queries), total_ops);
+    assert_eq!(
+        v.snapshot.histogram(HistoId::QueryLatencyNs).count(),
+        total_ops,
+        "interval deltas conserve every histogram record"
+    );
+}
+
+/// Flight-recorder torture: concurrent emitters racing each other and
+/// concurrent dumpers. Every dump is sorted, bounded, and made of
+/// complete events; the final ring holds the newest CAPACITY sequences.
+#[test]
+fn recorder_dumps_stay_coherent_under_concurrent_emits() {
+    let t = config();
+    // Recorder events are rare in production; cap the op count so the
+    // per-slot lock traffic doesn't dominate the suite.
+    let ops_per_writer = t.ops_per_writer.min(20_000);
+    let done = AtomicBool::new(false);
+    let emitted = std::sync::atomic::AtomicU64::new(0);
+    let total = t.writers as u64 * ops_per_writer;
+
+    thread::scope(|s| {
+        for w in 0..t.writers {
+            let emitted = &emitted;
+            s.spawn(move || {
+                for i in 0..ops_per_writer {
+                    recorder::emit(recorder::EventKind::GenerationSwap {
+                        shard: w as u32,
+                        generation: i,
+                    });
+                    emitted.fetch_add(1, Ordering::Release);
+                }
+            });
+        }
+
+        for _ in 0..t.readers {
+            let done = &done;
+            s.spawn(move || {
+                let mut dumps = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let events = recorder::dump();
+                    assert!(events.len() <= recorder::CAPACITY);
+                    assert!(
+                        events.windows(2).all(|p| p[0].seq < p[1].seq),
+                        "dump must be strictly ordered by sequence"
+                    );
+                    dumps += 1;
+                }
+                assert!(dumps > 0);
+            });
+        }
+
+        let done = &done;
+        let emitted = &emitted;
+        s.spawn(move || {
+            while emitted.load(Ordering::Acquire) < total {
+                thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+
+    let events = recorder::dump();
+    assert_eq!(events.len(), recorder::CAPACITY.min(total as usize));
+    // The ring retains a suffix of the sequence space: the newest
+    // CAPACITY claims all landed (a racer can only lose its slot to a
+    // strictly newer event).
+    let min_seq = events.first().unwrap().seq;
+    let max_seq = events.last().unwrap().seq;
+    assert_eq!(
+        (max_seq - min_seq + 1) as usize,
+        events.len(),
+        "retained sequences are contiguous"
     );
 }

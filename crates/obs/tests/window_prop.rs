@@ -1,0 +1,159 @@
+//! Property tests for the windowed-metrics ring: a windowed view merged
+//! from per-interval snapshot deltas must agree with a fresh registry
+//! fed the same samples — exactly at the bucket level, and within the
+//! log2 histogram's factor-of-2 bound against the true order statistic.
+//! Rotation edge cases (empty intervals, horizons shorter than one
+//! interval, capacity overflow) ride along.
+
+use promips_obs::window::{MetricsWindow, HORIZON_1S};
+use promips_obs::{CounterId, HistoId, Registry, RegistrySnapshot};
+use proptest::prelude::*;
+
+/// Exact order statistic matching the histogram's rank convention.
+fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let k = ((p * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(k - 1) as usize]
+}
+
+/// A fresh registry fed `samples` — the oracle a window is compared to.
+fn oracle(samples: &[u64]) -> RegistrySnapshot {
+    let r = Registry::new();
+    for &v in samples {
+        r.histogram(HistoId::QueryLatencyNs).record(v);
+        r.counter(CounterId::Queries).inc();
+    }
+    r.snapshot()
+}
+
+/// Interval streams: up to 12 intervals of 0..30 samples each, values
+/// spread across the full bucket range via a random shift. Empty
+/// intervals are deliberately common.
+fn intervals_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u64..1024, 0u32..40).prop_map(|(v, s)| v << s), 0..30),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feeding a cumulative registry tick-by-tick and merging every
+    /// interval back together recovers the fresh-registry oracle: the
+    /// histogram buckets match exactly, and therefore every windowed
+    /// quantile is within the same factor-of-2 of the true order
+    /// statistic that a cumulative histogram guarantees.
+    #[test]
+    fn windowed_quantiles_match_a_fresh_registry(
+        intervals in intervals_strategy(),
+        p in 0.0f64..1.0,
+    ) {
+        let r = Registry::new();
+        let w = MetricsWindow::with_capacity(intervals.len());
+        w.tick_at(r.snapshot(), 0);
+        for (i, batch) in intervals.iter().enumerate() {
+            for &v in batch {
+                r.histogram(HistoId::QueryLatencyNs).record(v);
+                r.counter(CounterId::Queries).inc();
+            }
+            w.tick_at(r.snapshot(), (i as u64 + 1) * HORIZON_1S);
+        }
+
+        let all: Vec<u64> = intervals.iter().flatten().copied().collect();
+        let want = oracle(&all);
+        let view = w.window(intervals.len() as u64 * HORIZON_1S);
+
+        prop_assert_eq!(view.intervals, intervals.len());
+        prop_assert_eq!(view.count(CounterId::Queries), all.len() as u64);
+        let got_h = view.snapshot.histogram(HistoId::QueryLatencyNs);
+        let want_h = want.histogram(HistoId::QueryLatencyNs);
+        prop_assert_eq!(&got_h.buckets[..], &want_h.buckets[..]);
+        prop_assert_eq!(got_h.sum, want_h.sum);
+
+        if !all.is_empty() {
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            for q in [0.0, p, 0.5, 0.99, 1.0] {
+                let exact = exact_quantile(&sorted, q);
+                let est = view.quantile(HistoId::QueryLatencyNs, q);
+                if exact == 0 {
+                    prop_assert_eq!(est, 0.0, "q={}: exact 0 must estimate 0", q);
+                } else {
+                    let ratio = est / exact as f64;
+                    prop_assert!(
+                        (0.5..=2.0).contains(&ratio),
+                        "q={}: exact={} est={} ratio={}",
+                        q, exact, est, ratio
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rotation: with capacity for only the newest `cap` intervals, a
+    /// full-horizon view equals the oracle over exactly those intervals
+    /// — older activity has genuinely left the window.
+    #[test]
+    fn rotation_drops_history_exactly(
+        intervals in intervals_strategy(),
+        cap in 1usize..6,
+    ) {
+        let r = Registry::new();
+        let w = MetricsWindow::with_capacity(cap);
+        w.tick_at(r.snapshot(), 0);
+        for (i, batch) in intervals.iter().enumerate() {
+            for &v in batch {
+                r.histogram(HistoId::QueryLatencyNs).record(v);
+                r.counter(CounterId::Queries).inc();
+            }
+            w.tick_at(r.snapshot(), (i as u64 + 1) * HORIZON_1S);
+        }
+
+        let kept = cap.min(intervals.len());
+        let surviving: Vec<u64> = intervals[intervals.len() - kept..]
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        let want = oracle(&surviving);
+        let view = w.window(u64::MAX);
+
+        prop_assert_eq!(view.intervals, kept);
+        prop_assert_eq!(view.count(CounterId::Queries), surviving.len() as u64);
+        prop_assert_eq!(
+            &view.snapshot.histogram(HistoId::QueryLatencyNs).buckets[..],
+            &want.histogram(HistoId::QueryLatencyNs).buckets[..]
+        );
+    }
+
+    /// A horizon shorter than one interval returns exactly the newest
+    /// interval — the finest resolution the ring has — never a partial
+    /// or empty slice of it.
+    #[test]
+    fn short_horizon_returns_the_newest_interval(
+        intervals in intervals_strategy(),
+    ) {
+        let r = Registry::new();
+        let w = MetricsWindow::with_capacity(intervals.len());
+        w.tick_at(r.snapshot(), 0);
+        for (i, batch) in intervals.iter().enumerate() {
+            for &v in batch {
+                r.histogram(HistoId::QueryLatencyNs).record(v);
+                r.counter(CounterId::Queries).inc();
+            }
+            w.tick_at(r.snapshot(), (i as u64 + 1) * HORIZON_1S);
+        }
+
+        let newest = intervals.last().unwrap();
+        let want = oracle(newest);
+        let view = w.window(1); // 1 ns: far below the 1 s interval span
+        prop_assert_eq!(view.intervals, 1);
+        prop_assert_eq!(view.elapsed_ns, HORIZON_1S);
+        prop_assert_eq!(view.count(CounterId::Queries), newest.len() as u64);
+        prop_assert_eq!(
+            &view.snapshot.histogram(HistoId::QueryLatencyNs).buckets[..],
+            &want.histogram(HistoId::QueryLatencyNs).buckets[..]
+        );
+    }
+}

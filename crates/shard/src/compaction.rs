@@ -73,7 +73,7 @@ use std::time::Duration;
 
 use promips_core::{ProMips, ProMipsConfig};
 use promips_linalg::{sq_norm2, Matrix};
-use promips_obs::{self as obs, CounterId, GaugeId, HistoId, Registry};
+use promips_obs::{self as obs, recorder, CounterId, GaugeId, HistoId, Registry};
 use promips_storage::{AccessStats, FileStorage, Pager};
 use promips_wal::WalRecord;
 
@@ -330,14 +330,22 @@ impl ShardedProMips {
                     reg.histogram(HistoId::CompactionNs)
                         .record(obs::elapsed_since(t0));
                 }
+                let generation = self.shards[si].generation.read().generation;
+                recorder::emit(recorder::EventKind::CompactionCompleted {
+                    shard: si as u32,
+                    generation,
+                });
             }
             Ok(false) => {}
             // Covers shadow-build and commit failures alike: even the
             // swapped-but-WAL-rewrite-failed path reports Failed, since the
             // pass needs operator attention either way.
-            Err(_) => self.shards[si]
-                .last_compaction
-                .set(CompactionOutcome::Failed.as_code()),
+            Err(_) => {
+                self.shards[si]
+                    .last_compaction
+                    .set(CompactionOutcome::Failed.as_code());
+                recorder::emit(recorder::EventKind::CompactionFailed { shard: si as u32 });
+            }
         }
         res
     }
@@ -478,6 +486,10 @@ impl ShardedProMips {
         reg.gauge(GaugeId::Tombstones)
             .sub(frozen_tombs.len() as i64);
         shard.note_generation_swap(CompactionOutcome::Compacted);
+        recorder::emit(recorder::EventKind::GenerationSwap {
+            shard: si as u32,
+            generation: new_gen.generation,
+        });
 
         // 4. The superseded file is garbage now; removal is best-effort
         //    (a crash here merely leaks a file the manifest never names).
@@ -601,12 +613,17 @@ impl ShardedProMips {
             reg.gauge(GaugeId::Tombstones)
                 .sub(snaps[si].tombstones.len() as i64);
             shard.note_generation_swap(CompactionOutcome::Repartitioned);
+            recorder::emit(recorder::EventKind::GenerationSwap {
+                shard: si as u32,
+                generation: new_gen.generation,
+            });
             if let Some(dir) = &self.dir {
                 let old = &snaps[si].gen;
                 let _ = fs::remove_file(shard_path(dir, si, old.is_exact(), old.generation));
             }
         }
         reg.counter(CounterId::Repartitions).inc();
+        recorder::emit(recorder::EventKind::Repartitioned { shards: ns as u32 });
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),

@@ -463,6 +463,16 @@ impl ShardedProMips {
             .collect()
     }
 
+    /// Age of the stalest shard generation, in nanoseconds — the value
+    /// the SLO health evaluator compares against its
+    /// `max_generation_age_ns` bound. `None` for an empty index.
+    pub fn max_generation_age_ns(&self) -> Option<u64> {
+        self.maintenance_stats()
+            .iter()
+            .map(|m| m.generation_age_ns)
+            .max()
+    }
+
     /// Original dimensionality `d`.
     pub fn d(&self) -> usize {
         self.d

@@ -74,8 +74,8 @@ use parking_lot::Mutex;
 use promips_core::{SearchItem, SearchScratch};
 use promips_linalg::{dot, sq_norm2};
 use promips_obs::{
-    self as obs, budget_error, slow, BudgetChecker, BudgetExceeded, CounterId, HistoId,
-    QueryBudget, QueryTrace, ShardSpan, StageNanos,
+    self as obs, budget_error, recorder, sampling, slow, BudgetChecker, BudgetExceeded, CounterId,
+    HistoId, QueryBudget, QueryTrace, ShardSpan, StageNanos,
 };
 
 use crate::error::{DegradationPolicy, QueryError, ShardError, ShardErrorKind};
@@ -154,8 +154,9 @@ fn classify_shard_error(si: usize, e: io::Error) -> ShardError {
     }
 }
 
-/// Books the query-level counter for a failure that aborts the whole
-/// query, then promotes it.
+/// Books the query-level counters for a failure that aborts the whole
+/// query, leaves the postmortem trail (a flight-recorder event plus an
+/// automatic [`recorder::ErrorDump`] of the ring), then promotes it.
 fn fail_query(se: ShardError) -> QueryError {
     let reg = obs::global();
     match se.kind {
@@ -163,7 +164,20 @@ fn fail_query(se: ShardError) -> QueryError {
         ShardErrorKind::Cancelled => reg.counter(CounterId::QueriesCancelled).inc(),
         _ => {}
     }
-    QueryError::from(se)
+    reg.counter(CounterId::QueryFailures).inc();
+    let kind = match se.kind {
+        ShardErrorKind::Io(_) => "io",
+        ShardErrorKind::DeadlineExceeded => "deadline",
+        ShardErrorKind::Cancelled => "cancelled",
+        ShardErrorKind::Poisoned => "poisoned",
+    };
+    recorder::emit(recorder::EventKind::QueryFailed {
+        shard: se.shard,
+        kind,
+    });
+    let qe = QueryError::from(se);
+    recorder::capture_error(&qe);
+    qe
 }
 
 impl ShardedProMips {
@@ -191,6 +205,11 @@ impl ShardedProMips {
     /// [`ShardedProMips::search_with_scratch`] with an explicit worker
     /// count for the fan-out phase. Results are identical for every thread
     /// count (see the module docs on determinism).
+    ///
+    /// Every `1-in-N`-th call (deterministic arrival counting, see
+    /// [`promips_obs::sampling`]) is transparently routed through the
+    /// tracing machinery and its trace offered to the slow-query log as
+    /// an exemplar; results are unaffected — tracing only observes.
     pub fn search_threaded(
         &self,
         q: &[f32],
@@ -198,6 +217,14 @@ impl ShardedProMips {
         threads: usize,
         scratch: &ShardedScratch,
     ) -> io::Result<ShardedSearchResult> {
+        if sampling::should_sample() {
+            let mut trace = self.sampled_trace(k);
+            let res = self
+                .search_observed(q, k, threads, scratch, Some(&mut trace), None)
+                .map_err(io::Error::from)?;
+            slow::offer_sampled(&trace);
+            return Ok(res);
+        }
         self.search_observed(q, k, threads, scratch, None, None)
             .map_err(io::Error::from)
     }
@@ -221,7 +248,8 @@ impl ShardedProMips {
     }
 
     /// [`ShardedProMips::search_budgeted`] with an explicit fan-out worker
-    /// count.
+    /// count. Participates in 1-in-N trace sampling exactly like
+    /// [`ShardedProMips::search_threaded`].
     pub fn search_budgeted_threaded(
         &self,
         q: &[f32],
@@ -230,7 +258,25 @@ impl ShardedProMips {
         scratch: &ShardedScratch,
         budget: &QueryBudget,
     ) -> Result<ShardedSearchResult, QueryError> {
+        if sampling::should_sample() {
+            let mut trace = self.sampled_trace(k);
+            let res =
+                self.search_observed(q, k, threads, scratch, Some(&mut trace), Some(budget))?;
+            slow::offer_sampled(&trace);
+            return Ok(res);
+        }
         self.search_observed(q, k, threads, scratch, None, Some(budget))
+    }
+
+    /// A fresh trace for a sampler-selected query (books the sampled
+    /// counter so the exemplar rate is itself observable).
+    fn sampled_trace(&self, k: usize) -> QueryTrace {
+        obs::global().counter(CounterId::QueriesSampled).inc();
+        QueryTrace {
+            k,
+            started_at_ns: obs::now_ns(),
+            ..QueryTrace::default()
+        }
     }
 
     /// [`ShardedProMips::search_with_scratch`] that additionally returns a
@@ -308,6 +354,10 @@ impl ShardedProMips {
         if limit != 0 && in_flight >= limit {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
             obs::global().counter(CounterId::QueriesShed).inc();
+            recorder::emit(recorder::EventKind::QueryShed {
+                in_flight: in_flight as u64,
+                limit: limit as u64,
+            });
             return Err(QueryError::Overloaded { in_flight, limit });
         }
         Ok(AdmissionPermit {
@@ -518,6 +568,10 @@ impl ShardedProMips {
             degraded = true;
             let reg = obs::global();
             reg.counter(CounterId::PartialResults).inc();
+            recorder::emit(recorder::EventKind::QueryDegraded {
+                failed_shards: failures.len() as u32,
+                attempted: attempted as u32,
+            });
             if failures
                 .iter()
                 .any(|e| matches!(e.kind, ShardErrorKind::DeadlineExceeded))

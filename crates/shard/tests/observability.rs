@@ -9,13 +9,17 @@
 //! before/after deltas never interleave. (Each integration-test file is
 //! its own process, so no other suite shares the registry.)
 
+use std::io;
 use std::sync::Mutex;
 
 use promips_core::ProMipsConfig;
 use promips_linalg::Matrix;
-use promips_obs::{self as obs, slow, CounterId, GaugeId};
-use promips_shard::{CompactionOutcome, ShardedConfig, ShardedProMips, ShardedScratch, SyncPolicy};
+use promips_obs::{self as obs, recorder, sampling, slow, CounterId, GaugeId};
+use promips_shard::{
+    CompactionOutcome, DegradationPolicy, ShardedConfig, ShardedProMips, ShardedScratch, SyncPolicy,
+};
 use promips_stats::Xoshiro256pp;
+use promips_storage::durability::faults::{self, FaultPlan, IoOp, Recurrence};
 
 static REG_LOCK: Mutex<()> = Mutex::new(());
 
@@ -116,7 +120,7 @@ fn tracing_is_pure_observation_and_feeds_slow_log() {
         kept.len()
     );
     assert!(
-        kept.windows(2).all(|w| w[0].total_ns >= w[1].total_ns),
+        kept.windows(2).all(|w| w[0].total_ns() >= w[1].total_ns()),
         "slow log is ordered worst-first"
     );
     slow::configure(0, 16);
@@ -182,6 +186,132 @@ fn prometheus_exposition_covers_the_pipeline() {
 
     drop(idx);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite acceptance for the telemetry tier: a best-effort query
+/// degraded by an injected read fault lands in the slow-query log with
+/// the degradation flagged first-class — `degraded`, the failed-shard
+/// count — and the flight-recorder excerpt attached, showing both the
+/// injected fault and the degradation event that explain it.
+#[test]
+fn degraded_best_effort_query_is_flagged_in_slow_log() {
+    let _guard = reg_lock();
+    let d = 8;
+    let data = Matrix::from_rows(d, random_rows(240, d, 61));
+    // prune(false): the faulted shard must actually be searched — a
+    // pruned shard does no IO and would dodge the fault.
+    let cfg = ShardedConfig::builder()
+        .shards(3)
+        .exact_threshold(0)
+        .prune(false)
+        .degradation(DegradationPolicy::BestEffort)
+        .base(ProMipsConfig::builder().seed(63).build())
+        .build();
+    let dir = temp_dir("degraded-slow");
+    let tag = dir.file_name().unwrap().to_string_lossy().into_owned();
+    drop(ShardedProMips::build_in_dir(&data, cfg, &dir).unwrap());
+
+    // Cold reopen (the policy is per-handle, not persisted), then every
+    // page read of shard 0 fails.
+    let mut idx = ShardedProMips::open(&dir).unwrap();
+    idx.set_degradation(DegradationPolicy::BestEffort);
+    let scratch = ShardedScratch::for_index(&idx);
+    let q = &random_rows(1, d, 67)[0];
+
+    slow::configure(0, 8);
+    slow::clear();
+    recorder::clear();
+    faults::arm_with(
+        FaultPlan {
+            op: IoOp::Read,
+            nth: 1,
+            path_contains: Some(format!("{tag}/shard_0000")),
+        },
+        Recurrence::EveryNth(1),
+        io::ErrorKind::Other,
+    );
+    let (res, trace) = idx.search_traced_threaded(q, 10, 1, &scratch).unwrap();
+    faults::disarm();
+
+    assert!(res.degraded, "the injected fault must degrade the query");
+    assert!(trace.degraded, "the trace carries the verdict");
+
+    let kept = slow::snapshot();
+    let entry = kept
+        .iter()
+        .find(|e| e.degraded)
+        .expect("degraded query must be retained and flagged");
+    assert_eq!(entry.shards_failed, 1, "exactly shard 0 was excluded");
+    assert!(!entry.sampled, "an explicit trace is not an exemplar");
+    assert!(
+        entry
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, recorder::EventKind::FaultInjected { op: "read" })),
+        "the injected fault is in the attached flight recorder"
+    );
+    assert!(
+        entry.events.iter().any(|e| matches!(
+            e.kind,
+            recorder::EventKind::QueryDegraded {
+                failed_shards: 1,
+                ..
+            }
+        )),
+        "the degradation event is in the attached flight recorder"
+    );
+    let text = entry.render();
+    assert!(
+        text.contains("DEGRADED: 1 shard(s)"),
+        "render must flag the degradation:\n{text}"
+    );
+    assert!(text.contains("flight recorder:"), "render attaches events");
+
+    slow::configure(0, 16);
+    slow::clear();
+    recorder::clear();
+    drop(idx);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The always-on sampler promotes ordinary (untraced) searches into the
+/// slow log as exemplars at its deterministic 1-in-N cadence.
+#[test]
+fn sampler_promotes_plain_searches_into_the_slow_log() {
+    let _guard = reg_lock();
+    let d = 12;
+    let idx = build_index(1200, d, 2);
+    let scratch = ShardedScratch::for_index(&idx);
+
+    slow::configure(0, 32);
+    slow::clear();
+    sampling::set_sample_every(1); // sample every arrival: deterministic
+    let sampled0 = obs::global().counter(CounterId::QueriesSampled).get();
+    for q in random_rows(5, d, 71) {
+        let plain = idx.search_threaded(&q, 7, 1, &scratch).unwrap();
+        assert_eq!(plain.items.len(), 7);
+    }
+    sampling::set_sample_every(sampling::DEFAULT_SAMPLE_EVERY);
+
+    assert_eq!(
+        obs::global().counter(CounterId::QueriesSampled).get() - sampled0,
+        5,
+        "1-in-1 sampling traces every query"
+    );
+    let kept = slow::snapshot();
+    let exemplars = kept.iter().filter(|e| e.sampled).count();
+    assert!(
+        exemplars >= 5,
+        "all five sampled queries are retained as exemplars, got {exemplars}"
+    );
+    for e in kept.iter().filter(|e| e.sampled) {
+        assert_eq!(e.trace.k, 7);
+        assert!(e.trace.total_ns > 0, "exemplars carry real timings");
+        assert!(e.render().contains("sampled exemplar"));
+    }
+
+    slow::configure(0, 16);
+    slow::clear();
 }
 
 /// The delta/tombstone gauges move strictly incrementally with the

@@ -102,7 +102,7 @@ pub fn tmp_sibling(dst: &Path) -> std::path::PathBuf {
 /// The disarmed fast path is one relaxed atomic load, so production code
 /// pays nothing measurable.
 pub mod faults {
-    use promips_obs::{CounterId, Registry};
+    use promips_obs::{recorder, CounterId, Registry};
     use std::io;
     use std::path::Path;
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -306,6 +306,14 @@ pub mod faults {
         }
         drop(g);
         reg.counter(CounterId::IoFaultsInjected).inc();
+        recorder::emit(recorder::EventKind::FaultInjected {
+            op: match op {
+                IoOp::Fsync => "fsync",
+                IoOp::Rename => "rename",
+                IoOp::Write => "write",
+                IoOp::Read => "read",
+            },
+        });
         let msg = format!("{INJECTED_MARKER}: {op:?} #{nth} on {}", path.display());
         Err(if kind == io::ErrorKind::Other {
             io::Error::other(msg)
@@ -327,7 +335,7 @@ pub mod faults {
 /// Used by the WAL append path (before the record is acknowledged) and
 /// the manifest-swap path; each retry ticks `promips_io_retries_total`.
 pub mod retry {
-    use promips_obs::{CounterId, Registry};
+    use promips_obs::{recorder, CounterId, Registry};
     use std::io;
     use std::time::Duration;
 
@@ -374,6 +382,7 @@ pub mod retry {
                 Ok(v) => return Ok(v),
                 Err(e) if attempt < attempts && is_transient(&e) => {
                     Registry::global().counter(CounterId::IoRetries).inc();
+                    recorder::emit(recorder::EventKind::IoRetried { attempt });
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }

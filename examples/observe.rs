@@ -1,12 +1,21 @@
-//! The unified observability layer on a sharded workload: the global
-//! metrics registry, per-query stage traces, and the slow-query log.
+//! The observability stack on a sharded workload: the global metrics
+//! registry, windowed rates and quantiles fed by a background
+//! aggregator, sampled query traces, the slow-query log, the flight
+//! recorder, and the SLO health report.
 //!
 //! ```sh
 //! cargo run --release --example observe
 //! ```
+//!
+//! CI runs this example and it self-checks: both Prometheus exposition
+//! styles are piped through the in-repo format checker
+//! ([`promips::obs::promcheck`]) and the process exits non-zero if
+//! either fails.
+
+use std::time::Duration;
 
 use promips::linalg::Matrix;
-use promips::obs::{self, slow};
+use promips::obs::{self, health, recorder, sampling, slow, window, HistogramStyle};
 use promips::shard::{ShardedConfig, ShardedProMips, ShardedScratch, SyncPolicy};
 use promips::stats::Xoshiro256pp;
 
@@ -30,8 +39,15 @@ fn main() -> std::io::Result<()> {
     let index = ShardedProMips::build_in_dir(&data, config, &dir)?;
     let scratch = ShardedScratch::for_index(&index);
 
-    // Keep the 8 slowest traces, whatever their latency.
+    // Keep the 8 slowest traces, whatever their latency; sample 1 in 4
+    // ordinary searches through the trace machinery so the slow log and
+    // exemplars fill even without explicit tracing.
     slow::configure(0, 8);
+    sampling::set_sample_every(4);
+
+    // A background aggregator turns the cumulative registry into
+    // per-interval deltas for windowed rates and quantiles.
+    let aggregator = window::start_global_aggregator(Duration::from_millis(25))?;
 
     // A mixed workload: inserts, deletes, queries, one compaction pass.
     for _ in 0..300 {
@@ -49,12 +65,18 @@ fn main() -> std::io::Result<()> {
     }
     index.compact_all()?;
 
+    // Let the aggregator capture the workload in at least one interval,
+    // then stop it (final tick included).
+    std::thread::sleep(Duration::from_millis(60));
+    aggregator.stop();
+
     // Per-query stage trace: where did this one search spend its time?
     let (res, trace) = index.search_traced_threaded(&queries[0], 10, 1, &scratch)?;
     println!("--- one traced query (top ip {:.3}) ---", res.items[0].ip);
     print!("{}", trace.render());
 
-    // The slow-query log retains the worst traces seen so far.
+    // The slow-query log retains the worst entries seen so far, each
+    // carrying its trace, lifecycle verdict, and flight-recorder excerpt.
     let worst = slow::snapshot();
     println!(
         "\n--- slow-query log ({} kept, worst first) ---",
@@ -62,25 +84,81 @@ fn main() -> std::io::Result<()> {
     );
     for t in worst.iter().take(3) {
         println!(
-            "  {:>7} us  k={}  searched {}/{} shards",
-            t.total_ns / 1_000,
-            t.k,
-            t.shards_searched(),
-            t.shards.len()
+            "  {:>7} us  k={}  searched {}/{} shards{}{}",
+            t.total_ns() / 1_000,
+            t.trace.k,
+            t.trace.shards_searched(),
+            t.trace.shards.len(),
+            if t.sampled { "  [sampled]" } else { "" },
+            if t.degraded { "  [DEGRADED]" } else { "" },
         );
     }
 
-    // The registry snapshot renders to Prometheus text format...
+    // Windowed view: per-second rates and sliding quantiles over the
+    // last second of intervals.
+    let w = window::MetricsWindow::global().window(window::HORIZON_1S);
+    println!(
+        "\n--- windowed metrics ({} intervals, {:.0} ms) ---",
+        w.intervals,
+        w.elapsed_ns as f64 / 1e6
+    );
+    println!(
+        "  queries/s   {:8.1}",
+        w.rate_per_sec(obs::CounterId::Queries)
+    );
+    println!(
+        "  inserts/s   {:8.1}",
+        w.rate_per_sec(obs::CounterId::Inserts)
+    );
+    println!(
+        "  p99 latency {:8.1} us",
+        w.quantile(obs::HistoId::QueryLatencyNs, 0.99) / 1e3
+    );
+
+    // SLO health over the windowed view.
+    let report = health::SloPolicy::default().evaluate_with_generation_age(
+        &window::MetricsWindow::global().window(window::HORIZON_10S),
+        index.max_generation_age_ns(),
+    );
+    println!("\n--- health report ---");
+    print!("{}", report.render());
+
+    // The flight recorder holds the maintenance/lifecycle trail.
+    println!(
+        "\n--- flight recorder ({} events) ---",
+        recorder::dump().len()
+    );
+    for line in recorder::render_dump().lines().take(8) {
+        println!("{line}");
+    }
+
+    // Both Prometheus exposition styles must pass the in-repo format
+    // checker: TYPE<->sample agreement, label escaping, cumulative
+    // buckets ending in +Inf. CI runs this example for exactly this.
     let snap = obs::global().snapshot();
-    println!("\n--- prometheus exposition (excerpt) ---");
+    for style in [HistogramStyle::Summary, HistogramStyle::CumulativeBuckets] {
+        let text = snap.render_prometheus_style(style);
+        if let Err(errors) = obs::promcheck::check_exposition(&text) {
+            eprintln!("exposition ({style:?}) failed format check:");
+            for e in errors {
+                eprintln!("  {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+    if let Err(errors) = obs::promcheck::check_exposition(&report.render_prometheus()) {
+        eprintln!("health exposition failed format check: {errors:?}");
+        std::process::exit(1);
+    }
+    println!("\n--- prometheus exposition: both styles pass promcheck ---");
     for line in snap
-        .render_prometheus()
+        .render_prometheus_style(HistogramStyle::CumulativeBuckets)
         .lines()
         .filter(|l| !l.starts_with('#'))
         .filter(|l| {
             [
                 "queries_total",
-                "query_latency_ns",
+                "query_latency_ns_bucket",
                 "wal_appends",
                 "compactions",
                 "delta_rows",
@@ -88,6 +166,7 @@ fn main() -> std::io::Result<()> {
             .iter()
             .any(|k| l.contains(k))
         })
+        .take(16)
     {
         println!("{line}");
     }
